@@ -1,0 +1,395 @@
+use std::collections::BTreeMap;
+
+use archrel_markov::{paths, AbsorbingAnalysis, DtmcBuilder};
+
+use crate::{BaselineError, Result};
+
+/// Marker name of the successful-termination pseudo-component.
+pub const END: &str = "__END__";
+
+/// A component of the classical architecture-based models: a name plus a
+/// context-independent reliability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    /// Component name.
+    pub name: String,
+    /// Probability that one execution of the component succeeds.
+    pub reliability: f64,
+}
+
+/// Options for the path-based estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathOptions {
+    /// Paths with occurrence probability below this value are pruned.
+    pub min_probability: f64,
+    /// Maximum number of transitions per path.
+    pub max_depth: usize,
+    /// Cap on enumerated paths.
+    pub max_paths: usize,
+}
+
+impl Default for PathOptions {
+    fn default() -> Self {
+        PathOptions {
+            min_probability: 1e-12,
+            max_depth: 256,
+            max_paths: 1_000_000,
+        }
+    }
+}
+
+/// A component-level architecture: components with fixed reliabilities and a
+/// probabilistic control flow between them (the shared input format of the
+/// Cheung and Dolbec–Shepard baselines).
+///
+/// Control flow starts at `start` and terminates by a transition to the
+/// [`END`] marker.
+///
+/// # Examples
+///
+/// ```
+/// use archrel_baselines::{Component, ComponentModel};
+///
+/// # fn main() -> Result<(), archrel_baselines::BaselineError> {
+/// let model = ComponentModel::new(
+///     vec![
+///         Component { name: "a".into(), reliability: 0.99 },
+///         Component { name: "b".into(), reliability: 0.95 },
+///     ],
+///     vec![
+///         ("a".into(), "b".into(), 1.0),
+///         ("b".into(), archrel_baselines::ComponentModel::END.into(), 1.0),
+///     ],
+///     "a",
+/// )?;
+/// let r = model.cheung_reliability()?;
+/// assert!((r - 0.99 * 0.95).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentModel {
+    components: Vec<Component>,
+    transitions: Vec<(String, String, f64)>,
+    start: String,
+}
+
+impl ComponentModel {
+    /// Name of the termination marker accepted in transitions.
+    pub const END: &'static str = END;
+
+    /// Creates and validates a component model.
+    ///
+    /// # Errors
+    ///
+    /// - [`BaselineError::InvalidReliability`] for out-of-range
+    ///   reliabilities;
+    /// - [`BaselineError::UnknownComponent`] for dangling transition
+    ///   endpoints or an unknown start;
+    /// - [`BaselineError::Malformed`] for rows that do not sum to one.
+    pub fn new(
+        components: Vec<Component>,
+        transitions: Vec<(String, String, f64)>,
+        start: impl Into<String>,
+    ) -> Result<Self> {
+        let start = start.into();
+        let mut known: BTreeMap<&str, f64> = BTreeMap::new();
+        for c in &components {
+            if !c.reliability.is_finite() || !(0.0..=1.0).contains(&c.reliability) {
+                return Err(BaselineError::InvalidReliability {
+                    component: c.name.clone(),
+                    value: c.reliability,
+                });
+            }
+            known.insert(&c.name, c.reliability);
+        }
+        if !known.contains_key(start.as_str()) {
+            return Err(BaselineError::UnknownComponent { name: start });
+        }
+        let mut row_sums: BTreeMap<&str, f64> = BTreeMap::new();
+        for (from, to, p) in &transitions {
+            if !known.contains_key(from.as_str()) {
+                return Err(BaselineError::UnknownComponent { name: from.clone() });
+            }
+            if to != END && !known.contains_key(to.as_str()) {
+                return Err(BaselineError::UnknownComponent { name: to.clone() });
+            }
+            if !p.is_finite() || !(0.0..=1.0).contains(p) {
+                return Err(BaselineError::Malformed {
+                    reason: format!("transition probability {p} on `{from}` -> `{to}`"),
+                });
+            }
+            *row_sums.entry(from.as_str()).or_insert(0.0) += p;
+        }
+        for c in &components {
+            let sum = row_sums.get(c.name.as_str()).copied().unwrap_or(0.0);
+            if (sum - 1.0).abs() > 1e-9 {
+                return Err(BaselineError::Malformed {
+                    reason: format!("outgoing probabilities of `{}` sum to {sum}", c.name),
+                });
+            }
+        }
+        Ok(ComponentModel {
+            components,
+            transitions,
+            start,
+        })
+    }
+
+    /// The components.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    fn reliability_of(&self, name: &str) -> f64 {
+        self.components
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.reliability)
+            .expect("validated model has no dangling names")
+    }
+
+    /// System reliability by **Cheung's state-based model**: build the chain
+    /// with transitions `R_i · p_ij`, success transitions `R_i · p_i,END`
+    /// into an absorbing `C` state, and failure transitions `1 − R_i` into an
+    /// absorbing `F` state; return the absorption probability into `C`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates Markov-chain failures (e.g. trapped probability mass).
+    pub fn cheung_reliability(&self) -> Result<f64> {
+        #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+        enum S {
+            Comp(String),
+            Success,
+            Failure,
+        }
+        let mut builder = DtmcBuilder::new().state(S::Success).state(S::Failure);
+        let mut merged: BTreeMap<(String, String), f64> = BTreeMap::new();
+        for (from, to, p) in &self.transitions {
+            *merged.entry((from.clone(), to.clone())).or_insert(0.0) += p;
+        }
+        for ((from, to), p) in merged {
+            if p == 0.0 {
+                continue;
+            }
+            let r = self.reliability_of(&from);
+            let target = if to == END { S::Success } else { S::Comp(to) };
+            builder = builder.transition(S::Comp(from), target, r * p);
+        }
+        for c in &self.components {
+            if c.reliability < 1.0 {
+                builder =
+                    builder.transition(S::Comp(c.name.clone()), S::Failure, 1.0 - c.reliability);
+            }
+        }
+        let chain = builder.build()?;
+        let analysis = AbsorbingAnalysis::new(&chain)?;
+        Ok(analysis.absorption_probability(&S::Comp(self.start.clone()), &S::Success)?)
+    }
+
+    /// System reliability by the **path-based model** (Dolbec–Shepard):
+    /// enumerate control-flow paths from `start` to [`END`] and sum
+    /// `P(path) · Π R_i` over them, counting a component's reliability once
+    /// per visit.
+    ///
+    /// Exact for acyclic architectures (given loose-enough options); a lower
+    /// bound under truncation for cyclic ones — the structural weakness §5
+    /// attributes to path-based models.
+    ///
+    /// # Errors
+    ///
+    /// Propagates Markov-chain failures.
+    pub fn path_based_reliability(&self, opts: PathOptions) -> Result<f64> {
+        // Bare control-flow chain (no failure states): components + End.
+        let mut builder = DtmcBuilder::new().state(END.to_string());
+        let mut merged: BTreeMap<(String, String), f64> = BTreeMap::new();
+        for (from, to, p) in &self.transitions {
+            *merged.entry((from.clone(), to.clone())).or_insert(0.0) += p;
+        }
+        for ((from, to), p) in merged {
+            builder = builder.transition(from, to, p);
+        }
+        let chain = builder.build()?;
+        let found = paths::enumerate_paths(
+            &chain,
+            &self.start.to_string(),
+            &[END.to_string()],
+            paths::PathOptions {
+                min_probability: opts.min_probability,
+                max_depth: opts.max_depth,
+                max_paths: opts.max_paths,
+            },
+        )?;
+        let mut total = 0.0;
+        for path in found {
+            let mut reliability = 1.0;
+            for state in &path.states {
+                if state != END {
+                    reliability *= self.reliability_of(state);
+                }
+            }
+            total += path.probability * reliability;
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(r1: f64, r2: f64) -> ComponentModel {
+        ComponentModel::new(
+            vec![
+                Component {
+                    name: "a".into(),
+                    reliability: r1,
+                },
+                Component {
+                    name: "b".into(),
+                    reliability: r2,
+                },
+            ],
+            vec![("a".into(), "b".into(), 1.0), ("b".into(), END.into(), 1.0)],
+            "a",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn series_system_multiplies_reliabilities() {
+        let m = series(0.9, 0.8);
+        assert!((m.cheung_reliability().unwrap() - 0.72).abs() < 1e-12);
+        assert!((m.path_based_reliability(PathOptions::default()).unwrap() - 0.72).abs() < 1e-12);
+    }
+
+    #[test]
+    fn branching_weights_by_probability() {
+        let m = ComponentModel::new(
+            vec![
+                Component {
+                    name: "s".into(),
+                    reliability: 1.0,
+                },
+                Component {
+                    name: "fast".into(),
+                    reliability: 0.9,
+                },
+                Component {
+                    name: "slow".into(),
+                    reliability: 0.99,
+                },
+            ],
+            vec![
+                ("s".into(), "fast".into(), 0.7),
+                ("s".into(), "slow".into(), 0.3),
+                ("fast".into(), END.into(), 1.0),
+                ("slow".into(), END.into(), 1.0),
+            ],
+            "s",
+        )
+        .unwrap();
+        let expected = 0.7 * 0.9 + 0.3 * 0.99;
+        assert!((m.cheung_reliability().unwrap() - expected).abs() < 1e-12);
+        assert!(
+            (m.path_based_reliability(PathOptions::default()).unwrap() - expected).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn cyclic_model_cheung_closed_form() {
+        // One component retried with probability c: R_sys = R(1-c)/(1-Rc).
+        let (r, c) = (0.95, 0.4);
+        let m = ComponentModel::new(
+            vec![Component {
+                name: "loop".into(),
+                reliability: r,
+            }],
+            vec![
+                ("loop".into(), "loop".into(), c),
+                ("loop".into(), END.into(), 1.0 - c),
+            ],
+            "loop",
+        )
+        .unwrap();
+        let expected = r * (1.0 - c) / (1.0 - r * c);
+        assert!((m.cheung_reliability().unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_based_underestimates_cyclic_models_under_truncation() {
+        let (r, c) = (0.95, 0.5);
+        let m = ComponentModel::new(
+            vec![Component {
+                name: "loop".into(),
+                reliability: r,
+            }],
+            vec![
+                ("loop".into(), "loop".into(), c),
+                ("loop".into(), END.into(), 1.0 - c),
+            ],
+            "loop",
+        )
+        .unwrap();
+        let exact = m.cheung_reliability().unwrap();
+        let truncated = m
+            .path_based_reliability(PathOptions {
+                min_probability: 1e-3,
+                max_depth: 64,
+                max_paths: 100_000,
+            })
+            .unwrap();
+        assert!(truncated < exact);
+        // Tightening the cutoff converges toward the exact value.
+        let tighter = m
+            .path_based_reliability(PathOptions {
+                min_probability: 1e-12,
+                max_depth: 256,
+                max_paths: 1_000_000,
+            })
+            .unwrap();
+        assert!((tighter - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(matches!(
+            ComponentModel::new(
+                vec![Component {
+                    name: "a".into(),
+                    reliability: 1.5
+                }],
+                vec![],
+                "a"
+            ),
+            Err(BaselineError::InvalidReliability { .. })
+        ));
+        assert!(matches!(
+            ComponentModel::new(vec![], vec![], "ghost"),
+            Err(BaselineError::UnknownComponent { .. })
+        ));
+        assert!(matches!(
+            ComponentModel::new(
+                vec![Component {
+                    name: "a".into(),
+                    reliability: 0.9
+                }],
+                vec![("a".into(), END.into(), 0.5)],
+                "a"
+            ),
+            Err(BaselineError::Malformed { .. })
+        ));
+        assert!(matches!(
+            ComponentModel::new(
+                vec![Component {
+                    name: "a".into(),
+                    reliability: 0.9
+                }],
+                vec![("a".into(), "ghost".into(), 1.0)],
+                "a"
+            ),
+            Err(BaselineError::UnknownComponent { .. })
+        ));
+    }
+}

@@ -1,0 +1,149 @@
+//! Lowering an `archrel` assembly into the baselines' component abstraction.
+//!
+//! The classical models know nothing about parametric dependencies, shared
+//! services, or connectors: they see *components with fixed reliabilities*
+//! and a control-flow matrix. This lowering therefore has to freeze exactly
+//! the information Grassi's model keeps symbolic:
+//!
+//! - each **flow state** of the target service becomes a component whose
+//!   reliability is `1 − p(i, Fail)` *at the given parameter bindings*
+//!   (changing the bindings requires re-lowering — the paper's §5 point that
+//!   "none of the models discussed above introduce explicitly the service
+//!   parameters");
+//! - the flow's transition probabilities (evaluated at the bindings) become
+//!   the control-flow matrix.
+//!
+//! On flows whose per-state failure model the baselines can represent, the
+//! lowered Cheung model reproduces the engine exactly (see tests); the gap
+//! appears as soon as sharing couples states or parameters change.
+
+use archrel_expr::Bindings;
+use archrel_model::{Service, ServiceId, StateId};
+
+use crate::component::{Component, ComponentModel, END};
+use crate::{BaselineError, Result};
+
+/// Lowers `service` (at fixed `env`) into a [`ComponentModel`].
+///
+/// # Errors
+///
+/// - [`BaselineError::NotComposite`] when the target is a simple service;
+/// - engine errors while resolving per-state failure probabilities.
+pub fn from_assembly(
+    assembly: &archrel_model::Assembly,
+    service: &ServiceId,
+    env: &Bindings,
+) -> Result<ComponentModel> {
+    let Service::Composite(composite) = assembly.require(service)? else {
+        return Err(BaselineError::NotComposite {
+            service: service.to_string(),
+        });
+    };
+
+    // Freeze per-state reliabilities with the reference engine.
+    let evaluator = archrel_core::Evaluator::new(assembly);
+    let report = evaluator.report(service, env)?;
+
+    let mut components = vec![Component {
+        name: "Start".to_string(),
+        reliability: 1.0, // Start carries no behavior (paper §3.2)
+    }];
+    for state in &report.states {
+        components.push(Component {
+            name: state.state.to_string(),
+            reliability: state.failure_probability.complement().value(),
+        });
+    }
+
+    let mut transitions = Vec::new();
+    for t in composite.flow().transitions() {
+        let p = t
+            .probability
+            .eval(env)
+            .map_err(archrel_model::ModelError::from)?;
+        if p == 0.0 {
+            continue;
+        }
+        let from = t.from.to_string();
+        let to = match &t.to {
+            StateId::End => END.to_string(),
+            other => other.to_string(),
+        };
+        transitions.push((from, to, p));
+    }
+
+    ComponentModel::new(components, transitions, "Start")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::PathOptions;
+    use archrel_core::Evaluator;
+    use archrel_model::paper;
+
+    /// On the paper's own example the lowered Cheung model reproduces the
+    /// engine exactly: the flow is acyclic and every state's failure has
+    /// been frozen at the same bindings.
+    #[test]
+    fn cheung_matches_engine_on_fixed_bindings() {
+        let params = paper::PaperParams::default();
+        let env = paper::search_bindings(4.0, 2048.0, 1.0);
+        for assembly in [
+            paper::local_assembly(&params).unwrap(),
+            paper::remote_assembly(&params).unwrap(),
+        ] {
+            let engine = Evaluator::new(&assembly)
+                .reliability(&paper::SEARCH.into(), &env)
+                .unwrap()
+                .value();
+            let lowered = from_assembly(&assembly, &paper::SEARCH.into(), &env).unwrap();
+            let cheung = lowered.cheung_reliability().unwrap();
+            assert!(
+                (engine - cheung).abs() < 1e-12,
+                "engine {engine} vs cheung {cheung}"
+            );
+            let path = lowered
+                .path_based_reliability(PathOptions::default())
+                .unwrap();
+            assert!((engine - path).abs() < 1e-12);
+        }
+    }
+
+    /// ... but the frozen model is *stale* for any other binding: the
+    /// baselines must be re-derived per parameter value, while the engine's
+    /// analytic interface stays parametric (§5's compositional-analysis
+    /// argument).
+    #[test]
+    fn lowered_model_is_stale_for_other_bindings() {
+        let params = paper::PaperParams::default();
+        let assembly = paper::local_assembly(&params).unwrap();
+        let env_small = paper::search_bindings(4.0, 64.0, 1.0);
+        let env_large = paper::search_bindings(4.0, 65536.0, 1.0);
+
+        let lowered_small = from_assembly(&assembly, &paper::SEARCH.into(), &env_small).unwrap();
+        let engine_large = Evaluator::new(&assembly)
+            .reliability(&paper::SEARCH.into(), &env_large)
+            .unwrap()
+            .value();
+        let stale = lowered_small.cheung_reliability().unwrap();
+        // The stale model noticeably overestimates the large-list reliability.
+        assert!(
+            stale > engine_large + 1e-6,
+            "stale {stale} vs {engine_large}"
+        );
+    }
+
+    #[test]
+    fn simple_service_cannot_be_lowered() {
+        let params = paper::PaperParams::default();
+        let assembly = paper::local_assembly(&params).unwrap();
+        let err = from_assembly(
+            &assembly,
+            &paper::CPU1.into(),
+            &archrel_expr::Bindings::new().with("n", 1.0),
+        )
+        .unwrap_err();
+        assert!(matches!(err, BaselineError::NotComposite { .. }));
+    }
+}

@@ -1,0 +1,109 @@
+use std::fmt;
+
+use archrel_core::CoreError;
+use archrel_markov::MarkovError;
+use archrel_model::ModelError;
+
+/// Errors produced by the baseline models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BaselineError {
+    /// A component reliability was outside `[0, 1]` or non-finite.
+    InvalidReliability {
+        /// Component name.
+        component: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// A transition references an undeclared component.
+    UnknownComponent {
+        /// The missing name.
+        name: String,
+    },
+    /// The model has no start component or no path to the end marker.
+    Malformed {
+        /// Explanation of the defect.
+        reason: String,
+    },
+    /// The target service must be composite to be lowered to a component
+    /// model.
+    NotComposite {
+        /// The offending service.
+        service: String,
+    },
+    /// An underlying Markov operation failed.
+    Markov(MarkovError),
+    /// An underlying model operation failed.
+    Model(ModelError),
+    /// An underlying engine operation failed.
+    Core(CoreError),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::InvalidReliability { component, value } => {
+                write!(f, "invalid reliability {value} for component `{component}`")
+            }
+            BaselineError::UnknownComponent { name } => {
+                write!(f, "unknown component `{name}`")
+            }
+            BaselineError::Malformed { reason } => write!(f, "malformed model: {reason}"),
+            BaselineError::NotComposite { service } => {
+                write!(f, "service `{service}` is not composite")
+            }
+            BaselineError::Markov(e) => write!(f, "markov error: {e}"),
+            BaselineError::Model(e) => write!(f, "model error: {e}"),
+            BaselineError::Core(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BaselineError::Markov(e) => Some(e),
+            BaselineError::Model(e) => Some(e),
+            BaselineError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MarkovError> for BaselineError {
+    fn from(e: MarkovError) -> Self {
+        BaselineError::Markov(e)
+    }
+}
+
+impl From<ModelError> for BaselineError {
+    fn from(e: ModelError) -> Self {
+        BaselineError::Model(e)
+    }
+}
+
+impl From<CoreError> for BaselineError {
+    fn from(e: CoreError) -> Self {
+        BaselineError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = BaselineError::InvalidReliability {
+            component: "sort".into(),
+            value: 1.5,
+        };
+        assert!(e.to_string().contains("sort"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BaselineError>();
+    }
+}

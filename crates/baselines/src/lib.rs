@@ -1,0 +1,37 @@
+//! Baseline architecture-based reliability models from the paper's related
+//! work (§5), implemented for head-to-head comparison with Grassi's model:
+//!
+//! - [`ComponentModel::cheung_reliability`]: the classic **state-based**
+//!   model (Cheung 1980, the basis of Wang–Wu–Chen \[19\] and Reussner \[15\]):
+//!   components with fixed reliabilities `R_i` and a probabilistic control
+//!   flow; system reliability is the probability of absorbing in the success
+//!   state of the chain whose transitions are `R_i · p_ij`.
+//! - [`ComponentModel::path_based_reliability`]: the **path-based** model of
+//!   Dolbec–Shepard \[5\]: enumerate execution paths, weight each path's
+//!   component-reliability product by its occurrence probability. Exact on
+//!   acyclic architectures, truncation-biased on cyclic ones.
+//! - [`evaluate_without_sharing`]: Grassi's own engine with every `Shared`
+//!   dependency downgraded to `Independent` — the implicit assumption of
+//!   \[15\] and \[19\], which §5 points out ("both models do not consider the
+//!   possible dependency between services caused by service sharing").
+//!
+//! [`from_assembly`] lowers an `archrel` assembly (at fixed parameter
+//! bindings) into a [`ComponentModel`], freezing each flow state's failure
+//! probability into a context-independent component reliability — exactly
+//! the information loss the baselines' abstraction imposes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod component;
+mod convert;
+mod error;
+mod nosharing;
+
+pub use component::{Component, ComponentModel, PathOptions, END};
+pub use convert::from_assembly;
+pub use error::BaselineError;
+pub use nosharing::evaluate_without_sharing;
+
+/// Convenience result alias for fallible baseline operations.
+pub type Result<T> = std::result::Result<T, BaselineError>;

@@ -1,0 +1,156 @@
+//! The "no sharing" baseline: Grassi's engine with every `Shared`
+//! dependency downgraded to `Independent`.
+//!
+//! This is the implicit assumption of the state-based related work
+//! (Reussner \[15\], Wang–Wu–Chen \[19\]): §5 notes that "both models do not
+//! consider the possible dependency between services caused by service
+//! sharing, thus implying that they implicitly assume a no sharing
+//! dependency model". Comparing this baseline against the full engine
+//! quantifies exactly what that assumption costs — nothing for AND
+//! completion (the paper's eq. 11 ≡ eq. 6+8 result) and an optimistic bias
+//! for OR completion (eq. 12 vs eq. 7).
+
+use archrel_expr::Bindings;
+use archrel_model::{
+    Assembly, AssemblyBuilder, CompositeService, DependencyModel, FlowBuilder, Probability,
+    Service, ServiceId,
+};
+
+use crate::Result;
+
+/// Evaluates `Pfail(service, env)` under the no-sharing assumption.
+///
+/// # Errors
+///
+/// Propagates model-reconstruction and engine errors.
+pub fn evaluate_without_sharing(
+    assembly: &Assembly,
+    service: &ServiceId,
+    env: &Bindings,
+) -> Result<Probability> {
+    let stripped = strip_sharing(assembly)?;
+    let evaluator = archrel_core::Evaluator::new(&stripped);
+    Ok(evaluator.failure_probability(service, env)?)
+}
+
+/// Rebuilds the assembly with every flow state's dependency model forced to
+/// [`DependencyModel::Independent`].
+///
+/// # Errors
+///
+/// Propagates validation errors (none in practice: removing sharing only
+/// relaxes constraints).
+pub fn strip_sharing(assembly: &Assembly) -> Result<Assembly> {
+    let mut builder = AssemblyBuilder::new();
+    for service in assembly.services() {
+        let rebuilt = match service {
+            Service::Simple(_) => service.clone(),
+            Service::Composite(c) => {
+                let mut flow = FlowBuilder::new();
+                for state in c.flow().states() {
+                    flow = flow.state(state.clone().with_dependency(DependencyModel::Independent));
+                }
+                for t in c.flow().transitions() {
+                    flow = flow.transition(t.from.clone(), t.to.clone(), t.probability.clone());
+                }
+                Service::Composite(CompositeService::new(
+                    c.id().clone(),
+                    c.formal_params().to_vec(),
+                    flow.build()?,
+                )?)
+            }
+        };
+        builder = builder.service(rebuilt);
+    }
+    Ok(builder.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archrel_core::Evaluator;
+    use archrel_expr::Expr;
+    use archrel_model::{catalog, CompletionModel, FlowState, ServiceCall, StateId};
+
+    fn replicated_assembly(
+        completion: CompletionModel,
+        dependency: DependencyModel,
+        replicas: usize,
+        pfail: f64,
+    ) -> Assembly {
+        let calls: Vec<ServiceCall> = (0..replicas)
+            .map(|_| ServiceCall::new("backend").with_param("x", Expr::num(1.0)))
+            .collect();
+        let flow = FlowBuilder::new()
+            .state(
+                FlowState::new("replicated", calls)
+                    .with_completion(completion)
+                    .with_dependency(dependency),
+            )
+            .transition(StateId::Start, "replicated", Expr::one())
+            .transition("replicated", StateId::End, Expr::one())
+            .build()
+            .unwrap();
+        AssemblyBuilder::new()
+            .service(catalog::blackbox_service("backend", "x", pfail))
+            .service(Service::Composite(
+                CompositeService::new("app", vec![], flow).unwrap(),
+            ))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn no_sharing_matches_engine_when_nothing_is_shared() {
+        let assembly =
+            replicated_assembly(CompletionModel::Or, DependencyModel::Independent, 3, 0.1);
+        let full = Evaluator::new(&assembly)
+            .failure_probability(&"app".into(), &Bindings::new())
+            .unwrap();
+        let baseline =
+            evaluate_without_sharing(&assembly, &"app".into(), &Bindings::new()).unwrap();
+        assert_eq!(full, baseline);
+    }
+
+    /// AND completion: sharing does not matter (paper's eq. 11 ≡ eq. 6+8),
+    /// so the baseline is exact.
+    #[test]
+    fn baseline_exact_for_and_completion_with_sharing() {
+        let assembly = replicated_assembly(CompletionModel::And, DependencyModel::Shared, 3, 0.1);
+        let full = Evaluator::new(&assembly)
+            .failure_probability(&"app".into(), &Bindings::new())
+            .unwrap();
+        let baseline =
+            evaluate_without_sharing(&assembly, &"app".into(), &Bindings::new()).unwrap();
+        assert!((full.value() - baseline.value()).abs() < 1e-15);
+    }
+
+    /// OR completion: the baseline is optimistic — it believes the replicas
+    /// are redundant although they share one backend.
+    #[test]
+    fn baseline_optimistic_for_or_completion_with_sharing() {
+        let assembly = replicated_assembly(CompletionModel::Or, DependencyModel::Shared, 3, 0.1);
+        let full = Evaluator::new(&assembly)
+            .failure_probability(&"app".into(), &Bindings::new())
+            .unwrap();
+        let baseline =
+            evaluate_without_sharing(&assembly, &"app".into(), &Bindings::new()).unwrap();
+        // Full model: 1 - (1-0.1)^3 external survival = 0.271; baseline: 0.1^3.
+        assert!((full.value() - (1.0 - 0.9f64.powi(3))).abs() < 1e-12);
+        assert!((baseline.value() - 0.001).abs() < 1e-12);
+        assert!(full.value() > baseline.value() * 100.0);
+    }
+
+    #[test]
+    fn strip_sharing_preserves_structure() {
+        let assembly = replicated_assembly(CompletionModel::Or, DependencyModel::Shared, 2, 0.1);
+        let stripped = strip_sharing(&assembly).unwrap();
+        assert_eq!(stripped.len(), assembly.len());
+        let app = stripped.require(&"app".into()).unwrap();
+        let flow = app.as_composite().unwrap().flow();
+        assert!(flow
+            .states()
+            .iter()
+            .all(|s| s.dependency == DependencyModel::Independent));
+    }
+}

@@ -1,0 +1,134 @@
+//! Textbook validation of the baseline models: architectures with known
+//! closed-form reliabilities from the architecture-based reliability
+//! literature.
+
+use archrel_baselines::{Component, ComponentModel, PathOptions, END};
+
+fn c(name: &str, reliability: f64) -> Component {
+    Component {
+        name: name.into(),
+        reliability,
+    }
+}
+
+/// Cheung's original 1980 example shape: three components, branch and merge.
+#[test]
+fn cheung_branch_and_merge() {
+    let model = ComponentModel::new(
+        vec![c("n1", 0.98), c("n2", 0.96), c("n3", 0.99)],
+        vec![
+            ("n1".into(), "n2".into(), 0.6),
+            ("n1".into(), "n3".into(), 0.4),
+            ("n2".into(), "n3".into(), 1.0),
+            ("n3".into(), END.into(), 1.0),
+        ],
+        "n1",
+    )
+    .unwrap();
+    // Hand computation:
+    //   via n2: 0.98 * 0.6 * 0.96 * 0.99
+    //   direct: 0.98 * 0.4 * 0.99
+    let expected = 0.98 * 0.6 * 0.96 * 0.99 + 0.98 * 0.4 * 0.99;
+    let r = model.cheung_reliability().unwrap();
+    assert!((r - expected).abs() < 1e-12, "{r} vs {expected}");
+    let p = model
+        .path_based_reliability(PathOptions::default())
+        .unwrap();
+    assert!((p - expected).abs() < 1e-12);
+}
+
+/// Nested loops: retry around a two-component body.
+#[test]
+fn cheung_nested_retry_loop() {
+    let (r1, r2, retry) = (0.9, 0.95, 0.3);
+    let model = ComponentModel::new(
+        vec![c("a", r1), c("b", r2)],
+        vec![
+            ("a".into(), "b".into(), 1.0),
+            ("b".into(), "a".into(), retry),
+            ("b".into(), END.into(), 1.0 - retry),
+        ],
+        "a",
+    )
+    .unwrap();
+    // Closed form: one pass succeeds with r1*r2; after a successful pass the
+    // loop repeats with probability `retry`. R = r1 r2 (1-retry) / (1 - r1 r2 retry).
+    let pass = r1 * r2;
+    let expected = pass * (1.0 - retry) / (1.0 - pass * retry);
+    let r = model.cheung_reliability().unwrap();
+    assert!((r - expected).abs() < 1e-12, "{r} vs {expected}");
+    // Path-based converges to the same value with tight cutoffs.
+    let p = model
+        .path_based_reliability(PathOptions {
+            min_probability: 1e-14,
+            max_depth: 512,
+            max_paths: 2_000_000,
+        })
+        .unwrap();
+    assert!((p - expected).abs() < 1e-8, "{p} vs {expected}");
+}
+
+/// A perfectly reliable architecture has reliability one regardless of the
+/// control structure.
+#[test]
+fn perfect_components_give_reliability_one() {
+    let model = ComponentModel::new(
+        vec![c("a", 1.0), c("b", 1.0)],
+        vec![
+            ("a".into(), "a".into(), 0.5),
+            ("a".into(), "b".into(), 0.5),
+            ("b".into(), END.into(), 1.0),
+        ],
+        "a",
+    )
+    .unwrap();
+    assert!((model.cheung_reliability().unwrap() - 1.0).abs() < 1e-12);
+}
+
+/// A component that never terminates (no path to END) drives Cheung's
+/// reliability to the probability of avoiding it entirely.
+#[test]
+fn absorbing_sink_component() {
+    let model = ComponentModel::new(
+        vec![c("start", 1.0), c("good", 0.99), c("stuck", 1.0)],
+        vec![
+            ("start".into(), "good".into(), 0.8),
+            ("start".into(), "stuck".into(), 0.2),
+            ("good".into(), END.into(), 1.0),
+            ("stuck".into(), "stuck".into(), 1.0),
+        ],
+        "start",
+    )
+    .unwrap();
+    let r = model.cheung_reliability().unwrap();
+    assert!((r - 0.8 * 0.99).abs() < 1e-12);
+}
+
+/// Path-based estimates are monotone in the cutoff: loosening the options
+/// can only recover more probability mass.
+#[test]
+fn path_based_monotone_in_cutoff() {
+    let model = ComponentModel::new(
+        vec![c("loop", 0.97)],
+        vec![
+            ("loop".into(), "loop".into(), 0.6),
+            ("loop".into(), END.into(), 0.4),
+        ],
+        "loop",
+    )
+    .unwrap();
+    let mut last = 0.0;
+    for depth in [1usize, 2, 4, 8, 16, 64] {
+        let p = model
+            .path_based_reliability(PathOptions {
+                min_probability: 0.0,
+                max_depth: depth,
+                max_paths: 1_000_000,
+            })
+            .unwrap();
+        assert!(p >= last - 1e-15, "depth {depth}: {p} < {last}");
+        last = p;
+    }
+    let exact = model.cheung_reliability().unwrap();
+    assert!(last <= exact + 1e-12);
+}

@@ -1,0 +1,137 @@
+//! Evaluator scaling: recursion depth and flow width.
+//!
+//! The paper argues the procedure "can be easily automated" and must run
+//! inside automatic service-selection loops; these benchmarks establish that
+//! the engine's cost grows linearly in assembly depth and roughly cubically
+//! in flow width (the dense absorbing-chain solve), and quantify what the
+//! memoization cache buys across repeated queries.
+
+use archrel_bench::scenarios::{chain_assembly, wide_flow_assembly};
+use archrel_core::Evaluator;
+use archrel_expr::Bindings;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval/depth");
+    group.sample_size(20);
+    for depth in [2usize, 8, 32, 128] {
+        let assembly = chain_assembly(depth, 2).expect("scenario builds");
+        let env = Bindings::new().with("work", 1e5);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| {
+                // Fresh evaluator per iteration: measures the uncached path.
+                let eval = Evaluator::new(&assembly);
+                eval.failure_probability(&"svc0".into(), &env)
+                    .expect("evaluation succeeds")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval/width");
+    group.sample_size(20);
+    for width in [4usize, 16, 64, 256] {
+        let assembly = wide_flow_assembly(width).expect("scenario builds");
+        let env = Bindings::new().with("work", 1e5);
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, _| {
+            b.iter(|| {
+                let eval = Evaluator::new(&assembly);
+                eval.failure_probability(&"svc0".into(), &env)
+                    .expect("evaluation succeeds")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval/cache");
+    group.sample_size(20);
+    let assembly = chain_assembly(32, 2).expect("scenario builds");
+    let env = Bindings::new().with("work", 1e5);
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            Evaluator::new(&assembly)
+                .failure_probability(&"svc0".into(), &env)
+                .expect("evaluation succeeds")
+        })
+    });
+    let warm = Evaluator::new(&assembly);
+    warm.failure_probability(&"svc0".into(), &env)
+        .expect("priming succeeds");
+    group.bench_function("warm", |b| {
+        b.iter(|| {
+            warm.failure_probability(&"svc0".into(), &env)
+                .expect("evaluation succeeds")
+        })
+    });
+    group.finish();
+}
+
+fn bench_paper_example(c: &mut Criterion) {
+    use archrel_model::paper;
+    let params = paper::PaperParams::default();
+    let local = paper::local_assembly(&params).expect("builds");
+    let remote = paper::remote_assembly(&params).expect("builds");
+    let env = paper::search_bindings(4.0, 4096.0, 1.0);
+    let mut group = c.benchmark_group("eval/paper");
+    group.sample_size(30);
+    group.bench_function("local", |b| {
+        b.iter(|| {
+            Evaluator::new(&local)
+                .failure_probability(&paper::SEARCH.into(), &env)
+                .expect("evaluation succeeds")
+        })
+    });
+    group.bench_function("remote", |b| {
+        b.iter(|| {
+            Evaluator::new(&remote)
+                .failure_probability(&paper::SEARCH.into(), &env)
+                .expect("evaluation succeeds")
+        })
+    });
+    group.finish();
+}
+
+fn bench_solver_comparison(c: &mut Criterion) {
+    use archrel_core::{EvalOptions, Solver};
+    let mut group = c.benchmark_group("eval/solver");
+    group.sample_size(15);
+    for width in [32usize, 128, 512] {
+        let assembly = wide_flow_assembly(width).expect("scenario builds");
+        let env = Bindings::new().with("work", 1e5);
+        group.bench_with_input(BenchmarkId::new("dense", width), &width, |b, _| {
+            b.iter(|| {
+                Evaluator::new(&assembly)
+                    .failure_probability(&"svc0".into(), &env)
+                    .expect("evaluation succeeds")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("iterative", width), &width, |b, _| {
+            b.iter(|| {
+                Evaluator::with_options(
+                    &assembly,
+                    EvalOptions {
+                        solver: Solver::Iterative,
+                        ..EvalOptions::default()
+                    },
+                )
+                .failure_probability(&"svc0".into(), &env)
+                .expect("evaluation succeeds")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_depth,
+    bench_width,
+    bench_cache,
+    bench_paper_example,
+    bench_solver_comparison
+);
+criterion_main!(benches);

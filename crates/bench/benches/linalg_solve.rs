@@ -1,0 +1,65 @@
+//! Linear-algebra substrate performance: LU vs iterative solvers on the
+//! `(I - Q) x = b` systems the absorbing-chain analysis produces.
+
+use archrel_linalg::{iterative, Matrix, Vector};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// A strictly diagonally dominant system resembling `I - Q` of a
+/// substochastic transient block: off-diagonal mass < 1 per row.
+fn markov_like_system(n: usize) -> (Matrix, Vector) {
+    let a = Matrix::from_fn(n, n, |i, j| {
+        if i == j {
+            1.0
+        } else {
+            // A banded substochastic pattern.
+            let d = i.abs_diff(j);
+            if d <= 3 {
+                -0.9 / (4.0 * (d as f64 + 1.0))
+            } else {
+                0.0
+            }
+        }
+    });
+    let b = Vector::filled(n, 1.0);
+    (a, b)
+}
+
+fn bench_lu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linalg/lu_solve");
+    group.sample_size(25);
+    for n in [16usize, 64, 128, 256] {
+        let (a, b) = markov_like_system(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| a.solve(&b).expect("system is well conditioned"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_iterative(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linalg/gauss_seidel");
+    group.sample_size(25);
+    for n in [16usize, 64, 128, 256] {
+        let (a, b) = markov_like_system(n);
+        let opts = iterative::IterOptions::default();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| iterative::gauss_seidel(&a, &b, opts).expect("converges"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_inverse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linalg/fundamental_matrix");
+    group.sample_size(15);
+    for n in [16usize, 64, 128] {
+        let (a, _) = markov_like_system(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| a.inverse().expect("invertible"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lu, bench_iterative, bench_inverse);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Latency-engine performance: the visit-count algebra vs the reliability
+//! engine on the same assemblies.
+
+use archrel_bench::scenarios::chain_assembly;
+use archrel_core::Evaluator;
+use archrel_expr::Bindings;
+use archrel_model::paper;
+use archrel_perf::{failure_aware_latency, LatencyEvaluator, PerfConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_latency_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf/depth");
+    group.sample_size(20);
+    for depth in [2usize, 8, 32] {
+        let assembly = chain_assembly(depth, 2).expect("scenario builds");
+        let env = Bindings::new().with("work", 1e5);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| {
+                LatencyEvaluator::new(&assembly, PerfConfig::default())
+                    .expected_latency(&"svc0".into(), &env)
+                    .expect("evaluation succeeds")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_qos_pair(c: &mut Criterion) {
+    // The realistic workload: both QoS numbers for one assembly.
+    let params = paper::PaperParams::default();
+    let remote = paper::remote_assembly(&params).expect("builds");
+    let env = paper::search_bindings(4.0, 4096.0, 1.0);
+    let mut group = c.benchmark_group("perf/qos_pair");
+    group.sample_size(20);
+    group.bench_function("reliability+latency", |b| {
+        b.iter(|| {
+            let r = Evaluator::new(&remote)
+                .reliability(&paper::SEARCH.into(), &env)
+                .expect("evaluation succeeds");
+            let t = LatencyEvaluator::new(&remote, PerfConfig::default())
+                .expected_latency(&paper::SEARCH.into(), &env)
+                .expect("evaluation succeeds");
+            (r, t)
+        })
+    });
+    group.bench_function("failure_aware_latency", |b| {
+        b.iter(|| {
+            failure_aware_latency(&remote, &paper::SEARCH.into(), &env, PerfConfig::default())
+                .expect("evaluation succeeds")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_latency_depth, bench_qos_pair);
+criterion_main!(benches);

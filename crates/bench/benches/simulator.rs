@@ -1,0 +1,41 @@
+//! Monte Carlo simulator throughput: trials per second on the paper's
+//! assemblies, single- vs multi-threaded.
+
+use archrel_model::paper;
+use archrel_sim::{estimate, SimulationOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_trials(c: &mut Criterion) {
+    let params = paper::PaperParams::default();
+    let assembly = paper::remote_assembly(&params).expect("builds");
+    let env = paper::search_bindings(4.0, 1024.0, 1.0);
+    let mut group = c.benchmark_group("sim/trials");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        let trials = 10_000u64;
+        group.throughput(Throughput::Elements(trials));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    estimate(
+                        &assembly,
+                        &paper::SEARCH.into(),
+                        &env,
+                        &SimulationOptions {
+                            trials,
+                            seed: 3,
+                            threads,
+                        },
+                    )
+                    .expect("simulation succeeds")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trials);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Symbolic-evaluation economics: building the closed-form formula once and
+//! re-evaluating it across a parameter sweep vs running the numeric engine
+//! per point — the trade the paper's §4 exploits by deriving eq. 22 by hand.
+//! Also measures the stack-machine compiler against the tree interpreter.
+
+use archrel_core::{symbolic, Evaluator};
+use archrel_model::paper;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_symbolic(c: &mut Criterion) {
+    let assembly = paper::remote_assembly(&paper::PaperParams::default()).expect("builds");
+    let lists: Vec<f64> = (6..=13).map(|e| f64::from(1 << e)).collect();
+    let formula =
+        symbolic::failure_expression(&assembly, &paper::SEARCH.into()).expect("acyclic assembly");
+
+    let mut group = c.benchmark_group("symbolic");
+    group.sample_size(30);
+
+    group.bench_function("build_formula", |b| {
+        b.iter(|| symbolic::failure_expression(&assembly, &paper::SEARCH.into()).expect("acyclic"))
+    });
+
+    group.bench_function("sweep_formula", |b| {
+        b.iter(|| {
+            lists
+                .iter()
+                .map(|&l| {
+                    formula
+                        .eval(&paper::search_bindings(4.0, l, 1.0))
+                        .expect("formula evaluates")
+                })
+                .sum::<f64>()
+        })
+    });
+
+    group.bench_function("sweep_numeric_cached", |b| {
+        b.iter(|| {
+            let eval = Evaluator::new(&assembly);
+            lists
+                .iter()
+                .map(|&l| {
+                    eval.failure_probability(
+                        &paper::SEARCH.into(),
+                        &paper::search_bindings(4.0, l, 1.0),
+                    )
+                    .expect("evaluation succeeds")
+                    .value()
+                })
+                .sum::<f64>()
+        })
+    });
+
+    group.bench_function("simplify", |b| b.iter(|| formula.simplify()));
+
+    // Tree-walking interpreter vs compiled stack machine on the same sweep.
+    let compiled = formula.compile();
+    let slot_of = |name: &str| {
+        compiled
+            .params()
+            .iter()
+            .position(|p| p == name)
+            .expect("parameter exists")
+    };
+    let (i_elem, i_list, i_res) = (slot_of("elem"), slot_of("list"), slot_of("res"));
+    group.bench_function("sweep_compiled", |b| {
+        let mut stack = Vec::new();
+        let mut values = vec![0.0; compiled.params().len()];
+        b.iter(|| {
+            lists
+                .iter()
+                .map(|&l| {
+                    values[i_elem] = 4.0;
+                    values[i_list] = l;
+                    values[i_res] = 1.0;
+                    compiled
+                        .eval_with_stack(&values, &mut stack)
+                        .expect("formula evaluates")
+                })
+                .sum::<f64>()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_symbolic);
+criterion_main!(benches);

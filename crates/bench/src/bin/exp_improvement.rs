@@ -1,0 +1,109 @@
+//! Design-space navigation: the improvement advisor and the
+//! reliability × latency Pareto frontier on the paper's example.
+//!
+//! Run with: `cargo run -p archrel-bench --bin exp_improvement`
+
+use archrel_core::improvement::{rank_levers, required_factor, Lever};
+use archrel_core::selection::{SelectionProblem, Slot};
+use archrel_core::Evaluator;
+use archrel_expr::{Bindings, Expr};
+use archrel_model::{paper, FailureModel, Probability, Service, SimpleService};
+use archrel_model::{CompositeService, FlowBuilder, FlowState, ServiceCall, StateId};
+use archrel_perf::pareto::qos_frontier;
+use archrel_perf::PerfConfig;
+
+fn main() {
+    // Part 1: the advisor on the paper's local assembly.
+    let params = paper::PaperParams::default().with_phi_sort1(5e-6);
+    let assembly = paper::local_assembly(&params).expect("assembly builds");
+    let env = paper::search_bindings(4.0, 8192.0, 1.0);
+    let baseline = Evaluator::new(&assembly)
+        .failure_probability(&paper::SEARCH.into(), &env)
+        .expect("evaluation succeeds")
+        .value();
+
+    println!("# Improvement advisor — local assembly, list = 8192");
+    println!("# baseline Pfail = {baseline:.6e}\n");
+    println!(
+        "{:<32} {:>14} {:>14}",
+        "lever (scale this mechanism)", "best_case", "head_room"
+    );
+    let ranked = rank_levers(&assembly, &paper::SEARCH.into(), &env).expect("ranking succeeds");
+    for a in &ranked {
+        let name = match &a.lever {
+            Lever::ServiceFailure(s) => format!("hardware/{s}"),
+            Lever::InternalFailure(s) => format!("software/{s}"),
+        };
+        println!(
+            "{name:<32} {:>14.6e} {:>14.6e}",
+            a.best_case_failure.value(),
+            a.head_room
+        );
+    }
+
+    // How much better must the dominant mechanism get to halve Pfail?
+    let target = Probability::new(baseline / 2.0).expect("valid probability");
+    let lever = &ranked[0].lever;
+    match required_factor(&assembly, &paper::SEARCH.into(), &env, lever, target)
+        .expect("bisection runs")
+    {
+        Some(factor) => println!(
+            "\n# to halve Pfail: scale {:?} by {factor:.4} (i.e. a {:.1}x improvement)",
+            lever,
+            1.0 / factor
+        ),
+        None => println!("\n# the dominant lever alone cannot halve Pfail"),
+    }
+
+    // Part 2: Pareto frontier over storage providers.
+    println!("\n# Reliability x latency frontier: choosing a storage backend");
+    let flow = FlowBuilder::new()
+        .state(FlowState::new(
+            "persist",
+            vec![ServiceCall::new("store").with_param("bytes", Expr::param("bytes"))],
+        ))
+        .transition(StateId::Start, "persist", Expr::one())
+        .transition("persist", StateId::End, Expr::one())
+        .build()
+        .expect("flow builds");
+    let app = Service::Composite(
+        CompositeService::new("writer", vec!["bytes".to_string()], flow).expect("service builds"),
+    );
+    let backend = |rate: f64, capacity: f64| {
+        Service::Simple(SimpleService::new(
+            "store",
+            "bytes",
+            FailureModel::ExponentialRate { rate, capacity },
+        ))
+    };
+    let problem = SelectionProblem::new(
+        vec![app],
+        vec![Slot::new(
+            "storage backend",
+            vec![
+                backend(1e-7, 5e8), // nvme: fast, decent
+                backend(1e-9, 5e7), // raid: slow, solid
+                backend(1e-6, 2e8), // consumer ssd
+                backend(1e-6, 4e7), // old disk: dominated
+            ],
+        )],
+        "writer",
+        Bindings::new().with("bytes", 1e7),
+    );
+    let labels = ["nvme", "raid", "ssd", "old-disk"];
+    let points = qos_frontier(&problem, &PerfConfig::default()).expect("frontier computes");
+    println!(
+        "{:>10} {:>14} {:>14} {:>10}",
+        "backend", "Pfail", "latency", "frontier"
+    );
+    for p in &points {
+        println!(
+            "{:>10} {:>14.6e} {:>14.6e} {:>10}",
+            labels[p.choices[0]],
+            p.failure_probability,
+            p.latency,
+            if p.on_frontier { "yes" } else { "no" }
+        );
+    }
+    println!("\n# Dominated backends drop out; the architect picks among the rest by SLO.");
+}

@@ -1,0 +1,71 @@
+//! The performance extension (paper §6): expected latency of the §4
+//! assemblies from the same analytic interfaces the reliability engine uses,
+//! cross-validated by path sampling, plus the failure-aware variant.
+//!
+//! Run with: `cargo run -p archrel-bench --bin exp_perf`
+
+use archrel_model::paper;
+use archrel_perf::{failure_aware_latency, sample_mean_latency, LatencyEvaluator, PerfConfig};
+
+fn main() {
+    // A fast remote node makes the performance story non-trivial.
+    let params = paper::PaperParams {
+        s2: 4e9,
+        ..paper::PaperParams::default()
+    };
+    let local = paper::local_assembly(&params).expect("local assembly builds");
+    let remote = paper::remote_assembly(&params).expect("remote assembly builds");
+
+    println!("# Expected search latency (time units), local vs remote assembly");
+    println!(
+        "# s1 = {:.0e}, s2 = {:.0e}, b = {} bytes/tu\n",
+        params.s1, params.s2, params.bandwidth
+    );
+    println!(
+        "{:>7} {:>14} {:>14} {:>14} {:>12}",
+        "list", "T_local", "T_remote", "sampled_rem", "samp_err"
+    );
+    for e in 6..=14 {
+        let list = f64::from(1 << e);
+        let env = paper::search_bindings(4.0, list, 1.0);
+        let t_local = LatencyEvaluator::new(&local, PerfConfig::default())
+            .expected_latency(&paper::SEARCH.into(), &env)
+            .expect("evaluation succeeds");
+        let t_remote = LatencyEvaluator::new(&remote, PerfConfig::default())
+            .expected_latency(&paper::SEARCH.into(), &env)
+            .expect("evaluation succeeds");
+        let (sampled, stderr) = sample_mean_latency(
+            &remote,
+            &paper::SEARCH.into(),
+            &env,
+            PerfConfig::default(),
+            20_000,
+            7,
+        )
+        .expect("sampling succeeds");
+        println!("{list:>7.0} {t_local:>14.6e} {t_remote:>14.6e} {sampled:>14.6e} {stderr:>12.2e}");
+    }
+
+    println!("\n# Failure-aware latency (inflated failure rates to make truncation visible)");
+    let harsh = paper::PaperParams {
+        phi_sort1: 1e-4,
+        ..params
+    };
+    let local = paper::local_assembly(&harsh).expect("builds");
+    println!(
+        "{:>7} {:>16} {:>16}",
+        "list", "failure-free", "until-absorption"
+    );
+    for list in [1024.0, 8192.0, 65536.0] {
+        let env = paper::search_bindings(4.0, list, 1.0);
+        let free = LatencyEvaluator::new(&local, PerfConfig::default())
+            .expected_latency(&paper::SEARCH.into(), &env)
+            .expect("evaluation succeeds");
+        let aware =
+            failure_aware_latency(&local, &paper::SEARCH.into(), &env, PerfConfig::default())
+                .expect("evaluation succeeds");
+        println!("{list:>7.0} {free:>16.6e} {aware:>16.6e}");
+    }
+    println!("\n# The remote assembly buys latency with reliability: the same analytic");
+    println!("# interfaces answer both questions, as the paper's SS6 extension promises.");
+}

@@ -1,0 +1,101 @@
+//! Usage-profile estimation quality (paper §5, the \[16\] citation): how many
+//! observed execution traces does it take to recover the usage-profile DTMC,
+//! and what does the estimation error do to the reliability prediction?
+//!
+//! Run with: `cargo run -p archrel-bench --bin exp_profile`
+
+use archrel_markov::{AbsorbingAnalysis, Dtmc, DtmcBuilder};
+use archrel_profile::estimate::{estimate_dtmc, max_transition_error, EstimatorOptions};
+use archrel_profile::hmm::Hmm;
+use archrel_profile::trace::sample_traces;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Ground-truth usage profile shaped like the paper's search flow with an
+/// added retry loop, plus a failure structure (the chain we would hand to
+/// the reliability engine).
+fn ground_truth() -> Dtmc<&'static str> {
+    DtmcBuilder::new()
+        .transition("Start", "sort", 0.9)
+        .transition("Start", "scan", 0.1)
+        .transition("sort", "scan", 0.98)
+        .transition("sort", "Fail", 0.02)
+        .transition("scan", "End", 0.989)
+        .transition("scan", "scan", 0.01)
+        .transition("scan", "Fail", 0.001)
+        .build()
+        .expect("chain builds")
+}
+
+fn reliability(chain: &Dtmc<&'static str>) -> f64 {
+    AbsorbingAnalysis::new(chain)
+        .expect("absorbing analysis succeeds")
+        .absorption_probability(&"Start", &"End")
+        .expect("states exist")
+}
+
+fn main() {
+    let truth = ground_truth();
+    let true_reliability = reliability(&truth);
+    println!("# Usage-profile estimation: transition error and induced reliability error");
+    println!("# ground-truth reliability = {true_reliability:.6}\n");
+    println!(
+        "{:>8} {:>16} {:>16} {:>16}",
+        "traces", "max_trans_err", "est_reliability", "reliability_err"
+    );
+    let mut rng = StdRng::seed_from_u64(2024);
+    for count in [10usize, 30, 100, 300, 1000, 3000, 10_000, 30_000] {
+        let traces =
+            sample_traces(&truth, &"Start", count, 200, &mut rng).expect("sampling succeeds");
+        let estimated =
+            estimate_dtmc(&traces, EstimatorOptions::default()).expect("estimation succeeds");
+        let err = max_transition_error(&truth, &estimated).expect("states align");
+        // The estimated chain may miss rare edges entirely on small samples;
+        // reliability is computed only when the absorbing analysis works.
+        let est_rel = AbsorbingAnalysis::new(&estimated)
+            .ok()
+            .and_then(|a| a.absorption_probability(&"Start", &"End").ok());
+        match est_rel {
+            Some(r) => println!(
+                "{count:>8} {err:>16.6} {r:>16.6} {:>16.2e}",
+                (r - true_reliability).abs()
+            ),
+            None => println!("{count:>8} {err:>16.6} {:>16} {:>16}", "n/a", "n/a"),
+        }
+    }
+
+    println!("\n# HMM fit under imperfect observability (2 hidden phases, noisy events)");
+    let hidden = Hmm::new(
+        vec![0.8, 0.2],
+        vec![vec![0.85, 0.15], vec![0.25, 0.75]],
+        vec![vec![0.9, 0.1], vec![0.15, 0.85]],
+    )
+    .expect("hmm is valid");
+    let mut rng = StdRng::seed_from_u64(7);
+    let sequences: Vec<Vec<usize>> = (0..200).map(|_| hidden.sample(80, &mut rng).1).collect();
+    let mut fitted = Hmm::new(
+        vec![0.5, 0.5],
+        vec![vec![0.6, 0.4], vec![0.4, 0.6]],
+        vec![vec![0.7, 0.3], vec![0.3, 0.7]],
+    )
+    .expect("hmm is valid");
+    let before: f64 = sequences
+        .iter()
+        .map(|s| fitted.log_likelihood(s).expect("valid observations"))
+        .sum();
+    let report = fitted
+        .baum_welch(&sequences, 300, 1e-7)
+        .expect("baum-welch runs");
+    let truth_ll: f64 = sequences
+        .iter()
+        .map(|s| hidden.log_likelihood(s).expect("valid observations"))
+        .sum();
+    println!("initial log-likelihood: {before:.1}");
+    println!(
+        "fitted  log-likelihood: {:.1} ({} EM iterations)",
+        report.log_likelihood, report.iterations
+    );
+    println!("truth   log-likelihood: {truth_ll:.1}");
+    println!("fitted transition matrix: {:?}", fitted.transition_matrix());
+    println!("true   transition matrix: {:?}", hidden.transition_matrix());
+}

@@ -1,0 +1,79 @@
+//! Rare-event estimation: plain Monte Carlo vs importance sampling on a
+//! well-engineered assembly whose failure probability sits below 1e-5 —
+//! where the analytic engine is the only practical tool and the importance
+//! sampler is the only practical *validator*.
+//!
+//! Run with: `cargo run --release -p archrel-bench --bin exp_rare`
+
+use archrel_core::Evaluator;
+use archrel_expr::Bindings;
+use archrel_model::paper;
+use archrel_sim::{estimate, estimate_rare, ImportanceOptions, SimulationOptions};
+
+fn main() {
+    // The paper's local assembly with production-grade parameters: tiny
+    // failure rates everywhere.
+    let params = paper::PaperParams::default().with_phi_sort1(1e-8);
+    let assembly = paper::local_assembly(&params).expect("assembly builds");
+    let env = paper::search_bindings(4.0, 1024.0, 1.0);
+    let analytic = Evaluator::new(&assembly)
+        .failure_probability(&paper::SEARCH.into(), &env)
+        .expect("evaluation succeeds")
+        .value();
+    println!("# Rare-event validation: analytic Pfail = {analytic:.6e}\n");
+
+    println!("## plain Monte Carlo");
+    println!(
+        "{:>10} {:>10} {:>14} {:>14}",
+        "trials", "failures", "estimate", "rel_err"
+    );
+    for trials in [10_000u64, 100_000, 1_000_000] {
+        let est = estimate(
+            &assembly,
+            &paper::SEARCH.into(),
+            &env,
+            &SimulationOptions {
+                trials,
+                seed: 1,
+                threads: 4,
+            },
+        )
+        .expect("simulation succeeds");
+        let rel = if analytic > 0.0 {
+            (est.failure_probability - analytic).abs() / analytic
+        } else {
+            f64::NAN
+        };
+        println!(
+            "{trials:>10} {:>10} {:>14.6e} {rel:>14.2}",
+            est.failures, est.failure_probability
+        );
+    }
+
+    println!("\n## importance sampling (boost = 1e5)");
+    println!(
+        "{:>10} {:>10} {:>14} {:>14} {:>12}",
+        "trials", "failures", "estimate", "rel_err", "std_err"
+    );
+    for trials in [10_000u64, 100_000, 1_000_000] {
+        let est = estimate_rare(
+            &assembly,
+            &paper::SEARCH.into(),
+            &env,
+            &ImportanceOptions {
+                trials,
+                seed: 1,
+                boost: 1e5,
+            },
+        )
+        .expect("simulation succeeds");
+        let rel = (est.failure_probability - analytic).abs() / analytic;
+        println!(
+            "{trials:>10} {:>10} {:>14.6e} {rel:>14.4} {:>12.2e}",
+            est.failures, est.failure_probability, est.std_error
+        );
+    }
+    println!("\n# Plain Monte Carlo sees (almost) no failures at these budgets; the");
+    println!("# boosted sampler resolves the same probability to a few percent.");
+    let _ = Bindings::new();
+}

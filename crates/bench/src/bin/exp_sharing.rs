@@ -1,0 +1,62 @@
+//! The sharing ablation (paper §3.2's analytical result): per-state failure
+//! probability of `n` replicated requests under every completion ×
+//! dependency combination.
+//!
+//! Demonstrates that AND completion is invariant under sharing
+//! (eq. 11 ≡ eq. 6+8) while OR completion silently loses its redundancy
+//! benefit when the replicas share a service (eq. 12 vs eq. 7), and where
+//! k-out-of-n quorums land in between.
+//!
+//! Run with: `cargo run -p archrel-bench --bin exp_sharing`
+
+use archrel_bench::scenarios::replicated_assembly;
+use archrel_core::Evaluator;
+use archrel_expr::Bindings;
+use archrel_model::{CompletionModel, DependencyModel};
+
+fn pfail(
+    replicas: usize,
+    backend_pfail: f64,
+    completion: CompletionModel,
+    dependency: DependencyModel,
+) -> f64 {
+    let assembly = replicated_assembly(replicas, backend_pfail, completion, dependency)
+        .expect("scenario builds");
+    Evaluator::new(&assembly)
+        .failure_probability(&"app".into(), &Bindings::new())
+        .expect("evaluation succeeds")
+        .value()
+}
+
+fn main() {
+    println!("# Sharing ablation: Pfail of a state with n replicated requests");
+    println!("# backend Pfail = 0.10 per request\n");
+    println!(
+        "{:>3} {:>16} {:>14} {:>14} {:>10}",
+        "n", "completion", "independent", "shared", "ratio"
+    );
+    let p = 0.10;
+    for n in [2usize, 3, 4, 6, 8] {
+        let mut rows: Vec<(String, CompletionModel)> = vec![
+            ("AND".into(), CompletionModel::And),
+            ("OR".into(), CompletionModel::Or),
+        ];
+        for k in 2..n {
+            rows.push((format!("{k}-out-of-{n}"), CompletionModel::KOutOfN { k }));
+        }
+        for (label, completion) in rows {
+            let independent = pfail(n, p, completion, DependencyModel::Independent);
+            let shared = pfail(n, p, completion, DependencyModel::Shared);
+            let ratio = if independent > 0.0 {
+                shared / independent
+            } else {
+                f64::NAN
+            };
+            println!("{n:>3} {label:>16} {independent:>14.6e} {shared:>14.6e} {ratio:>10.1}");
+        }
+        println!();
+    }
+    println!("# AND rows: ratio = 1.0 — sharing does not matter under fail-stop/no-repair.");
+    println!("# OR rows: sharing inflates Pfail by orders of magnitude — the redundancy is an");
+    println!("# illusion when every replica depends on the same shared service.");
+}

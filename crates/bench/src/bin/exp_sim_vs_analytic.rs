@@ -1,0 +1,105 @@
+//! Analytic-vs-simulation validation: for a spread of assemblies and
+//! parameter points, check that the engine's prediction falls inside the
+//! Monte Carlo 95% confidence interval.
+//!
+//! Run with: `cargo run --release -p archrel-bench --bin exp_sim_vs_analytic`
+
+use archrel_bench::scenarios::replicated_assembly;
+use archrel_core::Evaluator;
+use archrel_expr::Bindings;
+use archrel_model::{paper, Assembly, CompletionModel, DependencyModel, ServiceId};
+use archrel_sim::{estimate, SimulationOptions};
+
+struct Case {
+    label: String,
+    assembly: Assembly,
+    target: ServiceId,
+    env: Bindings,
+}
+
+fn main() {
+    let mut cases = Vec::new();
+
+    // The paper's assemblies at an inflated failure scale so moderate trial
+    // counts resolve the probabilities.
+    let params = paper::PaperParams::default()
+        .with_gamma(0.1)
+        .with_phi_sort1(5e-6);
+    cases.push(Case {
+        label: "paper/local list=8192".into(),
+        assembly: paper::local_assembly(&params).expect("builds"),
+        target: paper::SEARCH.into(),
+        env: paper::search_bindings(4.0, 8192.0, 1.0),
+    });
+    cases.push(Case {
+        label: "paper/remote list=8192".into(),
+        assembly: paper::remote_assembly(&params).expect("builds"),
+        target: paper::SEARCH.into(),
+        env: paper::search_bindings(4.0, 8192.0, 1.0),
+    });
+
+    // Sharing scenarios — the cases the related-work models get wrong.
+    for (label, completion, dependency) in [
+        (
+            "or/independent",
+            CompletionModel::Or,
+            DependencyModel::Independent,
+        ),
+        ("or/shared", CompletionModel::Or, DependencyModel::Shared),
+        ("and/shared", CompletionModel::And, DependencyModel::Shared),
+        (
+            "2-of-3/shared",
+            CompletionModel::KOutOfN { k: 2 },
+            DependencyModel::Shared,
+        ),
+    ] {
+        cases.push(Case {
+            label: format!("replicated n=3 {label}"),
+            assembly: replicated_assembly(3, 0.1, completion, dependency).expect("builds"),
+            target: "app".into(),
+            env: Bindings::new(),
+        });
+    }
+
+    let opts = SimulationOptions {
+        trials: 200_000,
+        seed: 0xF16_6E5,
+        threads: 4,
+    };
+    println!(
+        "# Analytic prediction vs Monte Carlo ({} trials, 95% Wilson CI)\n",
+        opts.trials
+    );
+    println!(
+        "{:<28} {:>12} {:>12} {:>12} {:>12} {:>8}",
+        "case", "analytic", "simulated", "ci_low", "ci_high", "inside"
+    );
+    let mut all_inside = true;
+    for case in &cases {
+        let predicted = Evaluator::new(&case.assembly)
+            .failure_probability(&case.target, &case.env)
+            .expect("evaluation succeeds")
+            .value();
+        let est =
+            estimate(&case.assembly, &case.target, &case.env, &opts).expect("simulation succeeds");
+        let inside = est.contains(predicted);
+        all_inside &= inside;
+        println!(
+            "{:<28} {:>12.6e} {:>12.6e} {:>12.6e} {:>12.6e} {:>8}",
+            case.label,
+            predicted,
+            est.failure_probability,
+            est.ci_low,
+            est.ci_high,
+            if inside { "yes" } else { "NO" }
+        );
+    }
+    println!(
+        "\n# {}",
+        if all_inside {
+            "every analytic prediction falls inside its simulation confidence interval"
+        } else {
+            "MISMATCH: some prediction left its confidence interval"
+        }
+    );
+}

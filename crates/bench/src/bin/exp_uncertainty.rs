@@ -1,0 +1,82 @@
+//! Epistemic uncertainty: what happens to the Figure 6 *decision* (local vs
+//! remote) when the published failure rates carry realistic error bars?
+//!
+//! Run with: `cargo run -p archrel-bench --bin exp_uncertainty`
+
+use archrel_core::improvement::Lever;
+use archrel_core::uncertainty::{interval, propagate, FactorDistribution, UncertainQuantity};
+use archrel_core::Evaluator;
+use archrel_model::paper;
+
+fn main() {
+    let gamma = 5e-3; // the regime where the paper says remote wins
+    let params = paper::PaperParams::default().with_gamma(gamma);
+    let env = paper::search_bindings(4.0, 8192.0, 1.0);
+
+    // Error bars: the network's failure rate is known within 3x, each sort
+    // implementation's software rate within 2x.
+    let remote_q = vec![
+        UncertainQuantity::rate_within_factor(paper::NET, 3.0).expect("valid factor"),
+        UncertainQuantity {
+            lever: Lever::InternalFailure(paper::SORT_REMOTE.into()),
+            distribution: FactorDistribution::LogUniform {
+                low: 0.5,
+                high: 2.0,
+            },
+        },
+    ];
+    let local_q = vec![UncertainQuantity {
+        lever: Lever::InternalFailure(paper::SORT_LOCAL.into()),
+        distribution: FactorDistribution::LogUniform {
+            low: 0.5,
+            high: 2.0,
+        },
+    }];
+
+    let local = paper::local_assembly(&params).expect("builds");
+    let remote = paper::remote_assembly(&params).expect("builds");
+
+    println!("# Uncertainty propagation at gamma = {gamma}, list = 8192");
+    println!("# net rate known within 3x, sort software rates within 2x\n");
+
+    for (label, assembly, qs) in [("local", &local, &local_q), ("remote", &remote, &remote_q)] {
+        let point = Evaluator::new(assembly)
+            .failure_probability(&paper::SEARCH.into(), &env)
+            .expect("evaluation succeeds")
+            .value();
+        let summary = propagate(assembly, &paper::SEARCH.into(), &env, qs, 1000, 99)
+            .expect("propagation succeeds");
+        let (lo, hi) =
+            interval(assembly, &paper::SEARCH.into(), &env, qs).expect("interval computes");
+        println!("{label} assembly:");
+        println!("  point prediction : Pfail = {point:.6e}");
+        println!(
+            "  Monte Carlo      : mean {:.6e}, p05 {:.6e}, p50 {:.6e}, p95 {:.6e}",
+            summary.mean, summary.p05, summary.p50, summary.p95
+        );
+        println!(
+            "  guaranteed bounds: [{:.6e}, {:.6e}]  (monotonicity)\n",
+            lo.value(),
+            hi.value()
+        );
+    }
+
+    // Does the decision survive the uncertainty?
+    let p_local = Evaluator::new(&local)
+        .failure_probability(&paper::SEARCH.into(), &env)
+        .expect("evaluation succeeds")
+        .value();
+    let (_, remote_hi) =
+        interval(&remote, &paper::SEARCH.into(), &env, &remote_q).expect("interval computes");
+    println!("# decision check: remote wins at the point estimates; worst-case remote Pfail");
+    println!(
+        "# ({:.3e}) vs local point estimate ({p_local:.3e}) -> the choice {} robust to",
+        remote_hi.value(),
+        if remote_hi.value() < p_local {
+            "IS"
+        } else {
+            "is NOT"
+        }
+    );
+    println!("# the stated error bars at this operating point.");
+}

@@ -1,0 +1,106 @@
+//! Reproduces **Figure 6** of the paper: reliability of the local
+//! (solid-line) vs remote (dashed-line) search assemblies as a function of
+//! list size, for ϕ₁ ∈ {1e-6, 5e-6} and γ ∈ {1e-1, 5e-2, 2.5e-2, 5e-3}.
+//!
+//! For every grid point the harness prints both the numeric engine's value
+//! and the paper's closed form (eq. 22), plus the crossover summary that the
+//! paper states in prose (§4, last paragraph).
+//!
+//! Run with: `cargo run -p archrel-bench --bin fig6`
+
+use archrel_bench::scenarios::fig6_grid;
+use archrel_core::{paper_closed, Evaluator};
+use archrel_model::paper;
+
+fn main() {
+    let (phis, gammas, lists) = fig6_grid();
+    let (elem, res) = (4.0, 1.0);
+
+    // Machine-readable artifact alongside the human-readable table.
+    std::fs::create_dir_all("results").expect("can create results directory");
+    let mut csv = String::from("phi1,gamma,list,pfail_local,pfail_remote\n");
+
+    println!("# Figure 6 reproduction: search-service reliability, local vs remote assembly");
+    println!("# elem = {elem} bytes, res = {res} byte; remaining constants: see EXPERIMENTS.md");
+    println!(
+        "{:>8} {:>9} {:>7} {:>14} {:>14} {:>9} {:>12}",
+        "phi1", "gamma", "list", "R_local", "R_remote", "winner", "closed_dev"
+    );
+
+    for &phi1 in &phis {
+        for &gamma in &gammas {
+            let params = paper::PaperParams::default()
+                .with_gamma(gamma)
+                .with_phi_sort1(phi1);
+            let local = paper::local_assembly(&params).expect("local assembly builds");
+            let remote = paper::remote_assembly(&params).expect("remote assembly builds");
+            let eval_local = Evaluator::new(&local);
+            let eval_remote = Evaluator::new(&remote);
+
+            let mut crossover: Option<f64> = None;
+            let mut last_winner: Option<&str> = None;
+            for &list in &lists {
+                let env = paper::search_bindings(elem, list, res);
+                let pf_local = eval_local
+                    .failure_probability(&paper::SEARCH.into(), &env)
+                    .expect("evaluation succeeds")
+                    .value();
+                let pf_remote = eval_remote
+                    .failure_probability(&paper::SEARCH.into(), &env)
+                    .expect("evaluation succeeds")
+                    .value();
+                // Validate against the paper's closed form (eq. 22).
+                let closed_local = paper_closed::pfail_search_local(&params, elem, list, res);
+                let closed_remote = paper_closed::pfail_search_remote(&params, elem, list, res);
+                let dev = (pf_local - closed_local)
+                    .abs()
+                    .max((pf_remote - closed_remote).abs());
+
+                let winner = if pf_local <= pf_remote {
+                    "local"
+                } else {
+                    "remote"
+                };
+                if let Some(prev) = last_winner {
+                    if prev != winner && crossover.is_none() {
+                        crossover = Some(list);
+                    }
+                }
+                last_winner = Some(winner);
+                csv.push_str(&format!(
+                    "{phi1:e},{gamma:e},{list},{pf_local:e},{pf_remote:e}\n"
+                ));
+
+                println!(
+                    "{:>8.0e} {:>9.1e} {:>7.0} {:>14.9} {:>14.9} {:>9} {:>12.2e}",
+                    phi1,
+                    gamma,
+                    list,
+                    1.0 - pf_local,
+                    1.0 - pf_remote,
+                    winner,
+                    dev
+                );
+            }
+            match crossover {
+                Some(at) => println!(
+                    "# phi1={phi1:.0e} gamma={gamma:.1e}: winner flips at list ~ {at} ({} wins at the large end)",
+                    last_winner.unwrap_or("?")
+                ),
+                None => println!(
+                    "# phi1={phi1:.0e} gamma={gamma:.1e}: {} wins across the whole range",
+                    last_winner.unwrap_or("?")
+                ),
+            }
+            println!();
+        }
+    }
+
+    std::fs::write("results/fig6.csv", csv).expect("can write results/fig6.csv");
+    println!("# wrote results/fig6.csv");
+
+    println!("# Paper's qualitative claims (§4):");
+    println!("#   - at phi1 = 1e-6 the remote assembly wins only for gamma = 5e-3;");
+    println!("#   - at phi1 = 5e-6 it also wins for gamma in (5e-3, 5e-2);");
+    println!("#   - for larger gamma the communication infrastructure dominates and local wins.");
+}

@@ -1,0 +1,84 @@
+//! Regenerates the paper's structural figures as Graphviz DOT files:
+//!
+//! - Figure 1: flows of the `search` and `sort` services;
+//! - Figure 2: flows of the LPC and RPC connectors;
+//! - Figure 3: the local assembly;
+//! - Figure 4: the remote assembly;
+//! - Figure 5: the `search` flow augmented with the failure structure.
+//!
+//! Files are written to `results/figures/`. Render with
+//! `dot -Tpng results/figures/fig1_search_flow.dot -o fig1.png`.
+//!
+//! Run with: `cargo run -p archrel-bench --bin figs_dot`
+
+use std::collections::BTreeMap;
+use std::fs;
+
+use archrel_core::{augmented_chain, Evaluator};
+use archrel_dsl::dot;
+use archrel_model::{paper, Probability, Service, StateId};
+
+fn main() {
+    let out_dir = "results/figures";
+    fs::create_dir_all(out_dir).expect("can create results directory");
+
+    let params = paper::PaperParams::default();
+    let local = paper::local_assembly(&params).expect("local assembly builds");
+    let remote = paper::remote_assembly(&params).expect("remote assembly builds");
+
+    // Figure 1: search and sort flows.
+    let mut files: Vec<(String, String)> = vec![(
+        "fig1_search_flow.dot".into(),
+        dot::service_flow_dot(&local, paper::SEARCH).expect("search is composite"),
+    )];
+    files.push((
+        "fig1_sort_flow.dot".into(),
+        dot::service_flow_dot(&local, paper::SORT_LOCAL).expect("sort1 is composite"),
+    ));
+
+    // Figure 2: LPC and RPC connector flows.
+    files.push((
+        "fig2_lpc_flow.dot".into(),
+        dot::service_flow_dot(&local, paper::LPC).expect("lpc is composite"),
+    ));
+    files.push((
+        "fig2_rpc_flow.dot".into(),
+        dot::service_flow_dot(&remote, paper::RPC).expect("rpc is composite"),
+    ));
+
+    // Figures 3-4: assemblies.
+    files.push((
+        "fig3_local_assembly.dot".into(),
+        dot::assembly_to_dot(&local, "local assembly (paper Fig. 3)"),
+    ));
+    files.push((
+        "fig4_remote_assembly.dot".into(),
+        dot::assembly_to_dot(&remote, "remote assembly (paper Fig. 4)"),
+    ));
+
+    // Figure 5: the failure-augmented search flow at a concrete binding.
+    let env = paper::search_bindings(4.0, 4096.0, 1.0);
+    let evaluator = Evaluator::new(&local);
+    let report = evaluator
+        .report(&paper::SEARCH.into(), &env)
+        .expect("report succeeds");
+    let failures: BTreeMap<StateId, Probability> = report
+        .states
+        .iter()
+        .map(|s| (s.state.clone(), s.failure_probability))
+        .collect();
+    let Service::Composite(search) = local.require(&paper::SEARCH.into()).expect("present") else {
+        unreachable!("search is composite");
+    };
+    let chain = augmented_chain(search, &env, &failures).expect("augmentation succeeds");
+    files.push((
+        "fig5_failure_structure.dot".into(),
+        dot::chain_to_dot(&chain, "search flow with failure structure (paper Fig. 5)"),
+    ));
+
+    for (name, contents) in files {
+        let path = format!("{out_dir}/{name}");
+        fs::write(&path, contents).expect("can write figure file");
+        println!("wrote {path}");
+    }
+}

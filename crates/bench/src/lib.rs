@@ -1,0 +1,7 @@
+//! Shared scenario builders for the `archrel` experiment harness and
+//! Criterion benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod scenarios;

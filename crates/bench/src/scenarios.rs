@@ -1,0 +1,158 @@
+//! Reusable synthetic scenarios for experiments and benchmarks.
+
+use archrel_expr::Expr;
+use archrel_model::{
+    catalog, Assembly, AssemblyBuilder, CompletionModel, CompositeService, DependencyModel,
+    FlowBuilder, FlowState, Result as ModelResult, Service, ServiceCall, StateId,
+};
+
+/// The Figure 6 sweep grid: `(ϕ₁ values, γ values, list sizes)`.
+///
+/// List sizes are powers of two from 2⁶ to 2¹³ — the plotted range the
+/// calibration in `EXPERIMENTS.md` targets.
+pub fn fig6_grid() -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let phis = vec![1e-6, 5e-6];
+    let gammas = vec![1e-1, 5e-2, 2.5e-2, 5e-3];
+    let lists: Vec<f64> = (6..=13).map(|e| f64::from(1 << e)).collect();
+    (phis, gammas, lists)
+}
+
+/// A linear chain of `depth` composite services, each with `width` states;
+/// every state calls a shared CPU and the next service in the chain. Used by
+/// the evaluator-scaling benchmarks.
+///
+/// # Errors
+///
+/// Propagates model-construction errors (none for valid inputs).
+pub fn chain_assembly(depth: usize, width: usize) -> ModelResult<Assembly> {
+    let mut builder = AssemblyBuilder::new().service(catalog::cpu_resource("cpu", 1e9, 1e-9));
+    for level in 0..depth {
+        let mut flow = FlowBuilder::new();
+        let mut previous = StateId::Start;
+        for s in 0..width {
+            let mut calls = vec![ServiceCall::new("cpu")
+                .with_param(catalog::CPU_PARAM, Expr::param("work") * Expr::num(10.0))];
+            // The last state of each level calls the next level down.
+            if s == width - 1 && level + 1 < depth {
+                calls.push(
+                    ServiceCall::new(format!("svc{}", level + 1))
+                        .with_param("work", Expr::param("work")),
+                );
+            }
+            let id = StateId::named(format!("s{s}"));
+            flow = flow.state(FlowState::new(id.clone(), calls)).transition(
+                previous,
+                id.clone(),
+                Expr::one(),
+            );
+            previous = id;
+        }
+        flow = flow.transition(previous, StateId::End, Expr::one());
+        builder = builder.service(Service::Composite(CompositeService::new(
+            format!("svc{level}"),
+            vec!["work".to_string()],
+            flow.build()?,
+        )?));
+    }
+    builder.build()
+}
+
+/// A single-state assembly with `replicas` requests to one backend, under a
+/// chosen completion and dependency model — the sharing ablation scenario.
+///
+/// # Errors
+///
+/// Propagates model-construction errors (none for valid inputs).
+pub fn replicated_assembly(
+    replicas: usize,
+    backend_pfail: f64,
+    completion: CompletionModel,
+    dependency: DependencyModel,
+) -> ModelResult<Assembly> {
+    let calls: Vec<ServiceCall> = (0..replicas)
+        .map(|_| ServiceCall::new("backend").with_param("x", Expr::num(1.0)))
+        .collect();
+    let flow = FlowBuilder::new()
+        .state(
+            FlowState::new("replicated", calls)
+                .with_completion(completion)
+                .with_dependency(dependency),
+        )
+        .transition(StateId::Start, "replicated", Expr::one())
+        .transition("replicated", StateId::End, Expr::one())
+        .build()?;
+    AssemblyBuilder::new()
+        .service(catalog::blackbox_service("backend", "x", backend_pfail))
+        .service(Service::Composite(CompositeService::new(
+            "app",
+            vec![],
+            flow,
+        )?))
+        .build()
+}
+
+/// A wide flow with `states` sequential states, each calling the shared CPU
+/// with a parametric cost — sized input for the augmentation/absorption
+/// benchmarks.
+///
+/// # Errors
+///
+/// Propagates model-construction errors (none for valid inputs).
+pub fn wide_flow_assembly(states: usize) -> ModelResult<Assembly> {
+    chain_assembly(1, states)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archrel_core::Evaluator;
+    use archrel_expr::Bindings;
+
+    #[test]
+    fn fig6_grid_shape() {
+        let (phis, gammas, lists) = fig6_grid();
+        assert_eq!(phis.len(), 2);
+        assert_eq!(gammas.len(), 4);
+        assert_eq!(lists.len(), 8);
+        assert_eq!(lists[0], 64.0);
+        assert_eq!(lists[7], 8192.0);
+    }
+
+    #[test]
+    fn chain_assembly_evaluates() {
+        let assembly = chain_assembly(4, 3).unwrap();
+        let p = Evaluator::new(&assembly)
+            .failure_probability(&"svc0".into(), &Bindings::new().with("work", 1e5))
+            .unwrap();
+        assert!(p.value() > 0.0 && p.value() < 1.0);
+    }
+
+    #[test]
+    fn deeper_chains_are_less_reliable() {
+        let env = Bindings::new().with("work", 1e5);
+        let shallow = chain_assembly(2, 2).unwrap();
+        let deep = chain_assembly(8, 2).unwrap();
+        let p_shallow = Evaluator::new(&shallow)
+            .failure_probability(&"svc0".into(), &env)
+            .unwrap();
+        let p_deep = Evaluator::new(&deep)
+            .failure_probability(&"svc0".into(), &env)
+            .unwrap();
+        assert!(p_deep.value() > p_shallow.value());
+    }
+
+    #[test]
+    fn replicated_assembly_or_vs_and() {
+        let or =
+            replicated_assembly(3, 0.1, CompletionModel::Or, DependencyModel::Independent).unwrap();
+        let and = replicated_assembly(3, 0.1, CompletionModel::And, DependencyModel::Independent)
+            .unwrap();
+        let p_or = Evaluator::new(&or)
+            .failure_probability(&"app".into(), &Bindings::new())
+            .unwrap();
+        let p_and = Evaluator::new(&and)
+            .failure_probability(&"app".into(), &Bindings::new())
+            .unwrap();
+        assert!(p_or.value() < p_and.value());
+    }
+}

@@ -1,0 +1,657 @@
+//! Argument parsing and command execution, factored for testability: every
+//! command writes to an injected `Write`, so tests drive [`run`] directly.
+
+use std::fmt;
+use std::io::Write;
+
+use archrel_core::{symbolic, Evaluator};
+use archrel_dsl::{dot, parse_assembly, print_assembly};
+use archrel_expr::Bindings;
+use archrel_model::{Assembly, Service, ServiceId};
+use archrel_perf::{failure_aware_latency, LatencyEvaluator, PerfConfig};
+use archrel_sim::{estimate, SimulationOptions};
+
+/// CLI error: a message for the user plus nothing else.
+#[derive(Debug)]
+pub struct CliError(String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl CliError {
+    fn new(msg: impl Into<String>) -> CliError {
+        CliError(msg.into())
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(format!("i/o error: {e}"))
+    }
+}
+
+macro_rules! from_error {
+    ($ty:ty) => {
+        impl From<$ty> for CliError {
+            fn from(e: $ty) -> Self {
+                CliError(e.to_string())
+            }
+        }
+    };
+}
+from_error!(archrel_dsl::DslError);
+from_error!(archrel_core::CoreError);
+from_error!(archrel_sim::SimError);
+from_error!(archrel_perf::PerfError);
+from_error!(archrel_expr::ExprError);
+from_error!(archrel_model::ModelError);
+
+const USAGE: &str = "usage: archrel <command> <file.arch> [options]
+
+commands:
+  validate   parse and validate an assembly
+  predict    failure probability of a service (--service, --bind k=v)
+  report     per-state breakdown (--service, --bind k=v)
+  symbolic   closed-form failure formula (--service, optional --diff PARAM)
+  simulate   Monte Carlo estimate (--service, --bind, --trials, --seed, --threads)
+  latency    expected latency, failure-free and failure-aware (--service, --bind)
+  sweep      sweep one parameter (--service, --param, --from, --to, --steps, --log)
+  improve    rank improvement levers; with --target, size the best one
+  dot        Graphviz export (--service for a flow, omit for the assembly)
+  fmt        canonical pretty-printed form of the document";
+
+/// Parsed common options.
+struct Options {
+    file: String,
+    service: Option<String>,
+    bindings: Bindings,
+    trials: u64,
+    seed: u64,
+    threads: usize,
+    diff: Option<String>,
+    param: Option<String>,
+    from: Option<f64>,
+    to: Option<f64>,
+    steps: usize,
+    log_scale: bool,
+    target: Option<f64>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, CliError> {
+    let mut opts = Options {
+        file: String::new(),
+        service: None,
+        bindings: Bindings::new(),
+        trials: 100_000,
+        seed: 0xA5CE_57A7,
+        threads: 4,
+        diff: None,
+        param: None,
+        from: None,
+        to: None,
+        steps: 10,
+        log_scale: false,
+        target: None,
+    };
+    let mut positional = Vec::new();
+    let mut i = 0;
+    let next_value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, CliError> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| CliError::new(format!("`{flag}` needs a value")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--service" => opts.service = Some(next_value(args, &mut i, "--service")?),
+            "--bind" => {
+                let kv = next_value(args, &mut i, "--bind")?;
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or_else(|| CliError::new(format!("`--bind {kv}`: expected k=v")))?;
+                let value: f64 = v
+                    .parse()
+                    .map_err(|_| CliError::new(format!("`--bind {kv}`: bad number `{v}`")))?;
+                opts.bindings.insert(k, value);
+            }
+            "--trials" => {
+                opts.trials = parse_num(&next_value(args, &mut i, "--trials")?, "--trials")?
+            }
+            "--seed" => opts.seed = parse_num(&next_value(args, &mut i, "--seed")?, "--seed")?,
+            "--threads" => {
+                opts.threads =
+                    parse_num::<usize>(&next_value(args, &mut i, "--threads")?, "--threads")?
+            }
+            "--diff" => opts.diff = Some(next_value(args, &mut i, "--diff")?),
+            "--param" => opts.param = Some(next_value(args, &mut i, "--param")?),
+            "--from" => {
+                opts.from = Some(parse_num(&next_value(args, &mut i, "--from")?, "--from")?)
+            }
+            "--to" => opts.to = Some(parse_num(&next_value(args, &mut i, "--to")?, "--to")?),
+            "--steps" => {
+                opts.steps = parse_num::<usize>(&next_value(args, &mut i, "--steps")?, "--steps")?
+            }
+            "--log" => opts.log_scale = true,
+            "--target" => {
+                opts.target = Some(parse_num(
+                    &next_value(args, &mut i, "--target")?,
+                    "--target",
+                )?)
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CliError::new(format!("unknown option `{flag}`")))
+            }
+            other => positional.push(other.to_string()),
+        }
+        i += 1;
+    }
+    match positional.len() {
+        0 => return Err(CliError::new("missing <file.arch> argument")),
+        1 => opts.file = positional.remove(0),
+        _ => {
+            return Err(CliError::new(format!(
+                "unexpected extra arguments: {positional:?}"
+            )))
+        }
+    }
+    Ok(opts)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, CliError> {
+    s.parse()
+        .map_err(|_| CliError::new(format!("`{flag}`: bad number `{s}`")))
+}
+
+fn load(opts: &Options) -> Result<Assembly, CliError> {
+    let source = std::fs::read_to_string(&opts.file)
+        .map_err(|e| CliError::new(format!("cannot read `{}`: {e}", opts.file)))?;
+    Ok(parse_assembly(&source)?)
+}
+
+fn required_service(opts: &Options) -> Result<ServiceId, CliError> {
+    opts.service
+        .as_deref()
+        .map(ServiceId::new)
+        .ok_or_else(|| CliError::new("missing required `--service NAME`"))
+}
+
+/// Entry point shared by `main` and the test suite.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] with a user-facing message on any failure.
+pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    let Some(command) = args.first() else {
+        return Err(CliError::new(USAGE));
+    };
+    if command == "--help" || command == "-h" || command == "help" {
+        writeln!(out, "{USAGE}")?;
+        return Ok(());
+    }
+    let opts = parse_options(&args[1..])?;
+    match command.as_str() {
+        "validate" => cmd_validate(&opts, out),
+        "predict" => cmd_predict(&opts, out),
+        "report" => cmd_report(&opts, out),
+        "symbolic" => cmd_symbolic(&opts, out),
+        "simulate" => cmd_simulate(&opts, out),
+        "latency" => cmd_latency(&opts, out),
+        "sweep" => cmd_sweep(&opts, out),
+        "improve" => cmd_improve(&opts, out),
+        "dot" => cmd_dot(&opts, out),
+        "fmt" => cmd_fmt(&opts, out),
+        other => Err(CliError::new(format!(
+            "unknown command `{other}`\n\n{USAGE}"
+        ))),
+    }
+}
+
+fn cmd_validate(opts: &Options, out: &mut impl Write) -> Result<(), CliError> {
+    let assembly = load(opts)?;
+    writeln!(out, "ok: {} services", assembly.len())?;
+    for service in assembly.services() {
+        let kind = match service {
+            Service::Simple(_) => "simple   ",
+            Service::Composite(_) => "composite",
+        };
+        writeln!(
+            out,
+            "  {kind} {}({})",
+            service.id(),
+            service.formal_params().join(", ")
+        )?;
+    }
+    match assembly.topological_order() {
+        Ok(_) => writeln!(out, "dependency graph: acyclic")?,
+        Err(_) => writeln!(out, "dependency graph: CYCLIC (use fixed-point evaluation)")?,
+    }
+    Ok(())
+}
+
+fn cmd_predict(opts: &Options, out: &mut impl Write) -> Result<(), CliError> {
+    let assembly = load(opts)?;
+    let service = required_service(opts)?;
+    let p = Evaluator::new(&assembly).failure_probability(&service, &opts.bindings)?;
+    writeln!(out, "Pfail({service}) = {:e}", p.value())?;
+    writeln!(out, "reliability      = {:.12}", p.complement().value())?;
+    Ok(())
+}
+
+fn cmd_report(opts: &Options, out: &mut impl Write) -> Result<(), CliError> {
+    let assembly = load(opts)?;
+    let service = required_service(opts)?;
+    let report = Evaluator::new(&assembly).report(&service, &opts.bindings)?;
+    writeln!(out, "{report}")?;
+    Ok(())
+}
+
+fn cmd_symbolic(opts: &Options, out: &mut impl Write) -> Result<(), CliError> {
+    let assembly = load(opts)?;
+    let service = required_service(opts)?;
+    let formula = symbolic::failure_expression(&assembly, &service)?;
+    writeln!(out, "Pfail({service}) = {formula}")?;
+    if let Some(param) = &opts.diff {
+        let derivative = formula.differentiate(param)?;
+        writeln!(out, "d/d{param} = {derivative}")?;
+    }
+    Ok(())
+}
+
+fn cmd_simulate(opts: &Options, out: &mut impl Write) -> Result<(), CliError> {
+    let assembly = load(opts)?;
+    let service = required_service(opts)?;
+    let est = estimate(
+        &assembly,
+        &service,
+        &opts.bindings,
+        &SimulationOptions {
+            trials: opts.trials,
+            seed: opts.seed,
+            threads: opts.threads,
+        },
+    )?;
+    writeln!(
+        out,
+        "Pfail({service}) ~ {:e}  (95% CI [{:e}, {:e}], {} trials, {} failures)",
+        est.failure_probability, est.ci_low, est.ci_high, est.trials, est.failures
+    )?;
+    let predicted = Evaluator::new(&assembly).failure_probability(&service, &opts.bindings)?;
+    writeln!(
+        out,
+        "analytic          = {:e}  ({})",
+        predicted.value(),
+        if est.contains(predicted.value()) {
+            "inside CI"
+        } else {
+            "OUTSIDE CI"
+        }
+    )?;
+    Ok(())
+}
+
+fn cmd_latency(opts: &Options, out: &mut impl Write) -> Result<(), CliError> {
+    let assembly = load(opts)?;
+    let service = required_service(opts)?;
+    let perf = LatencyEvaluator::new(&assembly, PerfConfig::default());
+    let free = perf.expected_latency(&service, &opts.bindings)?;
+    writeln!(out, "expected latency (failure-free profile): {free:e}")?;
+    let aware = failure_aware_latency(&assembly, &service, &opts.bindings, PerfConfig::default())?;
+    writeln!(out, "expected latency (until absorption)    : {aware:e}")?;
+    Ok(())
+}
+
+fn cmd_sweep(opts: &Options, out: &mut impl Write) -> Result<(), CliError> {
+    let assembly = load(opts)?;
+    let service = required_service(opts)?;
+    let param = opts
+        .param
+        .as_deref()
+        .ok_or_else(|| CliError::new("missing required `--param NAME`"))?;
+    let (from, to) = match (opts.from, opts.to) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return Err(CliError::new("sweep needs `--from A --to B`")),
+    };
+    if opts.steps < 2 {
+        return Err(CliError::new("`--steps` must be at least 2"));
+    }
+    if opts.log_scale && (from <= 0.0 || to <= 0.0) {
+        return Err(CliError::new("`--log` requires positive bounds"));
+    }
+    let evaluator = Evaluator::new(&assembly);
+    writeln!(out, "{:>16} {:>16} {:>16}", param, "Pfail", "reliability")?;
+    for i in 0..opts.steps {
+        let t = i as f64 / (opts.steps - 1) as f64;
+        let value = if opts.log_scale {
+            (from.ln() + t * (to.ln() - from.ln())).exp()
+        } else {
+            from + t * (to - from)
+        };
+        let mut env = opts.bindings.clone();
+        env.insert(param, value);
+        let p = evaluator.failure_probability(&service, &env)?;
+        writeln!(
+            out,
+            "{value:>16.6} {:>16.6e} {:>16.9}",
+            p.value(),
+            p.complement().value()
+        )?;
+    }
+    Ok(())
+}
+
+fn cmd_improve(opts: &Options, out: &mut impl Write) -> Result<(), CliError> {
+    use archrel_core::improvement::{rank_levers, required_factor, Lever};
+    let assembly = load(opts)?;
+    let service = required_service(opts)?;
+    let baseline = Evaluator::new(&assembly).failure_probability(&service, &opts.bindings)?;
+    writeln!(out, "baseline Pfail = {:e}", baseline.value())?;
+    let ranked = rank_levers(&assembly, &service, &opts.bindings)?;
+    if ranked.is_empty() {
+        writeln!(out, "no improvement levers (every mechanism is perfect)")?;
+        return Ok(());
+    }
+    writeln!(
+        out,
+        "{:<40} {:>14} {:>14}",
+        "lever", "best_case", "head_room"
+    )?;
+    for a in &ranked {
+        let label = match &a.lever {
+            Lever::ServiceFailure(s) => format!("service-failure {s}"),
+            Lever::InternalFailure(s) => format!("internal-failure {s}"),
+        };
+        writeln!(
+            out,
+            "{label:<40} {:>14.6e} {:>14.6e}",
+            a.best_case_failure.value(),
+            a.head_room
+        )?;
+    }
+    if let Some(target) = opts.target {
+        let target = archrel_model::Probability::new(target)?;
+        let lever = &ranked[0].lever;
+        match required_factor(&assembly, &service, &opts.bindings, lever, target)? {
+            Some(factor) => writeln!(
+                out,
+                "to reach Pfail <= {}: scale the top lever by {factor:.6} ({:.2}x better)",
+                target.value(),
+                1.0 / factor.max(f64::MIN_POSITIVE)
+            )?,
+            None => writeln!(
+                out,
+                "the top lever alone cannot reach Pfail <= {}",
+                target.value()
+            )?,
+        }
+    }
+    Ok(())
+}
+
+fn cmd_dot(opts: &Options, out: &mut impl Write) -> Result<(), CliError> {
+    let assembly = load(opts)?;
+    match &opts.service {
+        Some(name) => {
+            let rendered = dot::service_flow_dot(&assembly, name).ok_or_else(|| {
+                CliError::new(format!(
+                    "`{name}` is not a composite service in the assembly"
+                ))
+            })?;
+            write!(out, "{rendered}")?;
+        }
+        None => {
+            write!(out, "{}", dot::assembly_to_dot(&assembly, &opts.file))?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_fmt(opts: &Options, out: &mut impl Write) -> Result<(), CliError> {
+    let assembly = load(opts)?;
+    write!(out, "{}", print_assembly(&assembly)?)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOCUMENT: &str = r#"
+        blackbox dep(x) { pfail: 0.1; }
+        cpu node { speed: 1e9; failure_rate: 1e-9; }
+        service app(work) {
+          state s {
+            call dep(x: 1);
+            call node(n: work);
+          }
+          start -> s : 1;
+          s -> end : 1;
+        }
+    "#;
+
+    fn with_document(f: impl FnOnce(&str)) {
+        let dir =
+            std::env::temp_dir().join(format!("archrel-cli-{:?}", std::thread::current().id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.arch");
+        std::fs::write(&path, DOCUMENT).unwrap();
+        f(path.to_str().unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn run_capture(args: &[&str]) -> Result<String, CliError> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        run(&args, &mut buf)?;
+        Ok(String::from_utf8(buf).unwrap())
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_capture(&["--help"]).unwrap();
+        assert!(out.contains("usage: archrel"));
+    }
+
+    #[test]
+    fn missing_command_is_an_error() {
+        assert!(run_capture(&[]).is_err());
+        assert!(run_capture(&["frobnicate", "x.arch"]).is_err());
+    }
+
+    #[test]
+    fn validate_lists_services() {
+        with_document(|path| {
+            let out = run_capture(&["validate", path]).unwrap();
+            assert!(out.contains("ok: 3 services"));
+            assert!(out.contains("composite app(work)"));
+            assert!(out.contains("acyclic"));
+        });
+    }
+
+    #[test]
+    fn predict_computes_pfail() {
+        with_document(|path| {
+            let out =
+                run_capture(&["predict", path, "--service", "app", "--bind", "work=1e6"]).unwrap();
+            assert!(out.contains("Pfail(app)"));
+            assert!(out.contains("reliability"));
+        });
+    }
+
+    #[test]
+    fn predict_requires_service() {
+        with_document(|path| {
+            let err = run_capture(&["predict", path]).unwrap_err();
+            assert!(err.to_string().contains("--service"));
+        });
+    }
+
+    #[test]
+    fn report_and_symbolic_render() {
+        with_document(|path| {
+            let out =
+                run_capture(&["report", path, "--service", "app", "--bind", "work=1e6"]).unwrap();
+            assert!(out.contains("state `s`"));
+            let out = run_capture(&["symbolic", path, "--service", "app"]).unwrap();
+            assert!(out.contains("Pfail(app) ="));
+            let out =
+                run_capture(&["symbolic", path, "--service", "app", "--diff", "work"]).unwrap();
+            assert!(out.contains("d/dwork ="));
+        });
+    }
+
+    #[test]
+    fn simulate_reports_ci() {
+        with_document(|path| {
+            let out = run_capture(&[
+                "simulate",
+                path,
+                "--service",
+                "app",
+                "--bind",
+                "work=1e6",
+                "--trials",
+                "20000",
+                "--seed",
+                "7",
+                "--threads",
+                "2",
+            ])
+            .unwrap();
+            assert!(out.contains("95% CI"));
+            assert!(out.contains("inside CI"));
+        });
+    }
+
+    #[test]
+    fn latency_reports_both_views() {
+        with_document(|path| {
+            let out =
+                run_capture(&["latency", path, "--service", "app", "--bind", "work=1e6"]).unwrap();
+            assert!(out.contains("failure-free"));
+            assert!(out.contains("until absorption"));
+        });
+    }
+
+    #[test]
+    fn sweep_produces_table() {
+        with_document(|path| {
+            let out = run_capture(&[
+                "sweep",
+                path,
+                "--service",
+                "app",
+                "--param",
+                "work",
+                "--from",
+                "1e3",
+                "--to",
+                "1e9",
+                "--steps",
+                "4",
+                "--log",
+            ])
+            .unwrap();
+            assert_eq!(out.lines().count(), 5, "{out}");
+        });
+    }
+
+    #[test]
+    fn sweep_validates_arguments() {
+        with_document(|path| {
+            assert!(run_capture(&["sweep", path, "--service", "app"]).is_err());
+            assert!(run_capture(&[
+                "sweep",
+                path,
+                "--service",
+                "app",
+                "--param",
+                "work",
+                "--from",
+                "-1",
+                "--to",
+                "10",
+                "--log",
+            ])
+            .is_err());
+            assert!(run_capture(&[
+                "sweep",
+                path,
+                "--service",
+                "app",
+                "--param",
+                "work",
+                "--from",
+                "1",
+                "--to",
+                "10",
+                "--steps",
+                "1",
+            ])
+            .is_err());
+        });
+    }
+
+    #[test]
+    fn dot_for_flow_and_assembly() {
+        with_document(|path| {
+            let out = run_capture(&["dot", path, "--service", "app"]).unwrap();
+            assert!(out.starts_with("digraph"));
+            let out = run_capture(&["dot", path]).unwrap();
+            assert!(out.contains("shape=box"));
+            let err = run_capture(&["dot", path, "--service", "dep"]).unwrap_err();
+            assert!(err.to_string().contains("not a composite"));
+        });
+    }
+
+    #[test]
+    fn fmt_round_trips() {
+        with_document(|path| {
+            let out = run_capture(&["fmt", path]).unwrap();
+            let reparsed = archrel_dsl::parse_assembly(&out).unwrap();
+            assert_eq!(reparsed.len(), 3);
+        });
+    }
+
+    #[test]
+    fn improve_ranks_and_sizes() {
+        with_document(|path| {
+            let out =
+                run_capture(&["improve", path, "--service", "app", "--bind", "work=1e6"]).unwrap();
+            assert!(out.contains("baseline Pfail"));
+            assert!(out.contains("service-failure dep"));
+            let out = run_capture(&[
+                "improve",
+                path,
+                "--service",
+                "app",
+                "--bind",
+                "work=1e6",
+                "--target",
+                "0.05",
+            ])
+            .unwrap();
+            assert!(out.contains("scale the top lever") || out.contains("cannot reach"));
+        });
+    }
+
+    #[test]
+    fn bad_flags_are_reported() {
+        with_document(|path| {
+            assert!(run_capture(&["predict", path, "--wat"]).is_err());
+            assert!(run_capture(&["predict", path, "--bind", "broken"]).is_err());
+            assert!(run_capture(&["predict", path, "--bind", "x=abc"]).is_err());
+            assert!(run_capture(&["predict", path, "--service"]).is_err());
+        });
+    }
+
+    #[test]
+    fn missing_file_is_reported() {
+        let err = run_capture(&["validate", "/nonexistent/path.arch"]).unwrap_err();
+        assert!(err.to_string().contains("cannot read"));
+    }
+}

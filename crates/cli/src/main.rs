@@ -1,0 +1,34 @@
+//! `archrel` — command-line interface to the reliability prediction engine.
+//!
+//! ```text
+//! archrel validate  <file.arch>
+//! archrel predict   <file.arch> --service S [--bind k=v ...]
+//! archrel report    <file.arch> --service S [--bind k=v ...]
+//! archrel symbolic  <file.arch> --service S [--diff PARAM]
+//! archrel simulate  <file.arch> --service S [--bind k=v ...]
+//!                   [--trials N] [--seed N] [--threads N]
+//! archrel latency   <file.arch> --service S [--bind k=v ...]
+//! archrel sweep     <file.arch> --service S --param P --from A --to B
+//!                   [--steps N] [--log] [--bind k=v ...]
+//! archrel dot       <file.arch> [--service S]
+//! archrel fmt       <file.arch>
+//! ```
+//!
+//! Assemblies are written in the `archrel-dsl` description language; see the
+//! crate documentation or `examples/dsl_assembly.rs`.
+
+use std::process::ExitCode;
+
+mod cli;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    match cli::run(&args, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("archrel: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Failure-structure augmentation (paper §3.2, Fig. 5, and the loop of
+//! `Pfail_Alg` lines 8–12).
+//!
+//! Given a composite service's flow, concrete bindings for its formal
+//! parameters, and the already-computed per-state failure probabilities
+//! `p(i, Fail)`, this module produces the concrete absorbing DTMC: a new
+//! `Fail` absorbing state, a transition `i → Fail` with probability
+//! `p(i, Fail)` from every request-carrying state, and every pre-existing
+//! transition out of `i` reweighted by `1 − p(i, Fail)`. Transitions out of
+//! `Start` are left untouched — `Start` represents no real behavior, so no
+//! failure can occur in it.
+
+use std::collections::BTreeMap;
+
+use archrel_expr::Bindings;
+use archrel_markov::{Dtmc, DtmcBuilder};
+use archrel_model::{CompositeService, Probability, StateId};
+
+use crate::{CoreError, Result};
+
+/// A state of the failure-augmented chain: the flow's own states plus the
+/// added `Fail` absorbing state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AugmentedState {
+    /// A state of the original flow (`Start`, `End`, or named).
+    Flow(StateId),
+    /// The added absorbing failure state.
+    Fail,
+}
+
+impl std::fmt::Display for AugmentedState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AugmentedState::Flow(s) => write!(f, "{s}"),
+            AugmentedState::Fail => f.write_str("Fail"),
+        }
+    }
+}
+
+/// Builds the failure-augmented DTMC of `service` under `env`.
+///
+/// `state_failures` maps each named flow state to its `p(i, Fail)`; states
+/// absent from the map are treated as failure-free (pure routing states).
+///
+/// # Errors
+///
+/// - [`CoreError::Expr`] when a transition probability fails to evaluate;
+/// - [`CoreError::BadTransitions`] when a state's evaluated outgoing
+///   probabilities do not sum to one (within 1e-9) or leave `[0, 1]`;
+/// - [`CoreError::Markov`] when the resulting chain is malformed.
+pub fn augmented_chain(
+    service: &CompositeService,
+    env: &Bindings,
+    state_failures: &BTreeMap<StateId, Probability>,
+) -> Result<Dtmc<AugmentedState>> {
+    let flow = service.flow();
+
+    // Evaluate all transition probabilities and validate row sums first so
+    // the error messages speak flow language, not Markov language.
+    let mut evaluated: Vec<(StateId, StateId, f64)> = Vec::new();
+    let mut row_sums: BTreeMap<StateId, f64> = BTreeMap::new();
+    for t in flow.transitions() {
+        let p = t.probability.eval(env)?;
+        if !(0.0..=1.0 + 1e-9).contains(&p) {
+            return Err(CoreError::BadTransitions {
+                service: service.id().to_string(),
+                state: t.from.to_string(),
+                sum: p,
+            });
+        }
+        *row_sums.entry(t.from.clone()).or_insert(0.0) += p;
+        evaluated.push((t.from.clone(), t.to.clone(), p));
+    }
+    for (state, sum) in &row_sums {
+        if (sum - 1.0).abs() > 1e-9 {
+            return Err(CoreError::BadTransitions {
+                service: service.id().to_string(),
+                state: state.to_string(),
+                sum: *sum,
+            });
+        }
+    }
+
+    let mut builder = DtmcBuilder::new()
+        .state(AugmentedState::Flow(StateId::End))
+        .state(AugmentedState::Fail);
+
+    // Merge parallel edges (same from/to) before declaring them: distinct
+    // flow transitions may collapse after evaluation.
+    let mut merged: BTreeMap<(StateId, StateId), f64> = BTreeMap::new();
+    for (from, to, p) in evaluated {
+        *merged.entry((from, to)).or_insert(0.0) += p;
+    }
+
+    for ((from, to), p) in merged {
+        let failure = match &from {
+            StateId::Start => Probability::ZERO,
+            named => state_failures
+                .get(named)
+                .copied()
+                .unwrap_or(Probability::ZERO),
+        };
+        let scaled = p * failure.complement().value();
+        builder = builder.transition(AugmentedState::Flow(from), AugmentedState::Flow(to), scaled);
+    }
+    for (state, failure) in state_failures {
+        if failure.is_zero() {
+            continue;
+        }
+        builder = builder.transition(
+            AugmentedState::Flow(state.clone()),
+            AugmentedState::Fail,
+            failure.value(),
+        );
+    }
+
+    Ok(builder.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archrel_expr::Expr;
+    use archrel_markov::AbsorbingAnalysis;
+    use archrel_model::{FlowBuilder, FlowState};
+
+    fn two_state_service(q: f64) -> CompositeService {
+        let flow = FlowBuilder::new()
+            .state(FlowState::new("1", vec![]))
+            .state(FlowState::new("2", vec![]))
+            .transition(StateId::Start, "1", Expr::num(q))
+            .transition(StateId::Start, "2", Expr::num(1.0 - q))
+            .transition("1", "2", Expr::one())
+            .transition("2", StateId::End, Expr::one())
+            .build()
+            .unwrap();
+        CompositeService::new("svc", vec![], flow).unwrap()
+    }
+
+    fn failures(f1: f64, f2: f64) -> BTreeMap<StateId, Probability> {
+        BTreeMap::from([
+            (StateId::named("1"), Probability::new(f1).unwrap()),
+            (StateId::named("2"), Probability::new(f2).unwrap()),
+        ])
+    }
+
+    /// The search-flow shape of Fig. 5: Pfail = (1-q)·f2 + q·(1-(1-f1)(1-f2)).
+    #[test]
+    fn absorption_matches_hand_computation() {
+        let (q, f1, f2) = (0.9, 0.01, 0.002);
+        let svc = two_state_service(q);
+        let chain = augmented_chain(&svc, &Bindings::new(), &failures(f1, f2)).unwrap();
+        let analysis = AbsorbingAnalysis::new(&chain).unwrap();
+        let p_end = analysis
+            .absorption_probability(
+                &AugmentedState::Flow(StateId::Start),
+                &AugmentedState::Flow(StateId::End),
+            )
+            .unwrap();
+        let expected_success = q * (1.0 - f1) * (1.0 - f2) + (1.0 - q) * (1.0 - f2);
+        assert!((p_end - expected_success).abs() < 1e-12);
+        // Complement goes to Fail.
+        let p_fail = analysis
+            .absorption_probability(&AugmentedState::Flow(StateId::Start), &AugmentedState::Fail)
+            .unwrap();
+        assert!((p_end + p_fail - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_failures_reach_end_certainly() {
+        let svc = two_state_service(0.5);
+        let chain = augmented_chain(&svc, &Bindings::new(), &BTreeMap::new()).unwrap();
+        let analysis = AbsorbingAnalysis::new(&chain).unwrap();
+        let p_end = analysis
+            .absorption_probability(
+                &AugmentedState::Flow(StateId::Start),
+                &AugmentedState::Flow(StateId::End),
+            )
+            .unwrap();
+        assert!((p_end - 1.0).abs() < 1e-12);
+        // Fail state exists but is unreachable.
+        assert!(chain.index_of(&AugmentedState::Fail).is_some());
+    }
+
+    #[test]
+    fn certain_failure_absorbs_everything() {
+        let svc = two_state_service(1.0);
+        let chain = augmented_chain(&svc, &Bindings::new(), &failures(1.0, 1.0)).unwrap();
+        let analysis = AbsorbingAnalysis::new(&chain).unwrap();
+        let p_fail = analysis
+            .absorption_probability(&AugmentedState::Flow(StateId::Start), &AugmentedState::Fail)
+            .unwrap();
+        assert!((p_fail - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parametric_transitions_use_bindings() {
+        let flow = FlowBuilder::new()
+            .state(FlowState::new("1", vec![]))
+            .state(FlowState::new("2", vec![]))
+            .transition(StateId::Start, "1", Expr::param("q"))
+            .transition(StateId::Start, "2", Expr::one() - Expr::param("q"))
+            .transition("1", StateId::End, Expr::one())
+            .transition("2", StateId::End, Expr::one())
+            .build()
+            .unwrap();
+        let svc = CompositeService::new("svc", vec!["q".to_string()], flow).unwrap();
+        let env = Bindings::new().with("q", 0.25);
+        let chain = augmented_chain(&svc, &env, &failures(1.0, 0.0)).unwrap();
+        let analysis = AbsorbingAnalysis::new(&chain).unwrap();
+        let p_end = analysis
+            .absorption_probability(
+                &AugmentedState::Flow(StateId::Start),
+                &AugmentedState::Flow(StateId::End),
+            )
+            .unwrap();
+        // Only the 1-q branch survives (state 1 always fails).
+        assert!((p_end - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unbound_parameter_is_reported() {
+        let flow = FlowBuilder::new()
+            .state(FlowState::new("1", vec![]))
+            .transition(StateId::Start, "1", Expr::param("q"))
+            .transition("1", StateId::End, Expr::one())
+            .build()
+            .unwrap();
+        let svc = CompositeService::new("svc", vec!["q".to_string()], flow).unwrap();
+        let err = augmented_chain(&svc, &Bindings::new(), &BTreeMap::new()).unwrap_err();
+        assert!(matches!(err, CoreError::Expr(_)));
+    }
+
+    #[test]
+    fn bad_row_sum_is_reported() {
+        let flow = FlowBuilder::new()
+            .state(FlowState::new("1", vec![]))
+            .transition(StateId::Start, "1", Expr::param("q"))
+            .transition("1", StateId::End, Expr::one())
+            .build()
+            .unwrap();
+        let svc = CompositeService::new("svc", vec!["q".to_string()], flow).unwrap();
+        let env = Bindings::new().with("q", 0.5);
+        let err = augmented_chain(&svc, &env, &BTreeMap::new()).unwrap_err();
+        assert!(matches!(err, CoreError::BadTransitions { .. }));
+    }
+
+    #[test]
+    fn out_of_range_probability_is_reported() {
+        let flow = FlowBuilder::new()
+            .state(FlowState::new("1", vec![]))
+            .transition(StateId::Start, "1", Expr::param("q"))
+            .transition("1", StateId::End, Expr::one())
+            .build()
+            .unwrap();
+        let svc = CompositeService::new("svc", vec!["q".to_string()], flow).unwrap();
+        let env = Bindings::new().with("q", 1.5);
+        let err = augmented_chain(&svc, &env, &BTreeMap::new()).unwrap_err();
+        assert!(matches!(err, CoreError::BadTransitions { .. }));
+    }
+}

@@ -1,0 +1,165 @@
+use std::fmt;
+
+use archrel_expr::ExprError;
+use archrel_markov::MarkovError;
+use archrel_model::ModelError;
+
+/// Errors produced by the reliability engine.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The assembly contains a service-call cycle and the evaluator is in
+    /// [`crate::CycleMode::Error`] mode (the paper's recursive procedure
+    /// "does not work in the case of a service assembly where some services
+    /// recursively call each other", §3.3).
+    RecursiveAssembly {
+        /// The services on the detected cycle, in call order.
+        cycle: Vec<String>,
+    },
+    /// Fixed-point evaluation of a recursive assembly did not converge.
+    FixedPointDiverged {
+        /// Iterations performed.
+        iterations: usize,
+        /// Largest estimate change in the final sweep.
+        residual: f64,
+    },
+    /// Symbolic evaluation was requested for a construct it does not support
+    /// (cyclic flows or recursive assemblies need the numeric engine).
+    SymbolicUnsupported {
+        /// The offending service.
+        service: String,
+        /// Why the construct is unsupported.
+        reason: String,
+    },
+    /// The transition probabilities of a flow state, evaluated under the
+    /// given bindings, do not form a distribution.
+    BadTransitions {
+        /// The service owning the flow.
+        service: String,
+        /// The offending state.
+        state: String,
+        /// Evaluated row sum.
+        sum: f64,
+    },
+    /// The error-propagation extension was asked to analyze a construct it
+    /// does not model (it supports AND-completion, independent-dependency
+    /// states in the top-level flow).
+    PropagationUnsupported {
+        /// The offending service.
+        service: String,
+        /// Why the construct is unsupported.
+        reason: String,
+    },
+    /// The service-selection search space is larger than the configured cap.
+    SelectionSpaceTooLarge {
+        /// Number of candidate combinations.
+        combinations: u128,
+        /// Configured cap.
+        cap: u128,
+    },
+    /// An underlying model operation failed.
+    Model(ModelError),
+    /// An underlying Markov-chain operation failed.
+    Markov(MarkovError),
+    /// An underlying expression evaluation failed.
+    Expr(ExprError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::RecursiveAssembly { cycle } => {
+                write!(f, "recursive assembly: cycle {}", cycle.join(" -> "))
+            }
+            CoreError::FixedPointDiverged {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "fixed-point evaluation did not converge after {iterations} iterations (residual {residual:e})"
+            ),
+            CoreError::SymbolicUnsupported { service, reason } => {
+                write!(f, "symbolic evaluation unsupported for `{service}`: {reason}")
+            }
+            CoreError::PropagationUnsupported { service, reason } => {
+                write!(
+                    f,
+                    "error-propagation analysis unsupported for `{service}`: {reason}"
+                )
+            }
+            CoreError::BadTransitions {
+                service,
+                state,
+                sum,
+            } => write!(
+                f,
+                "transition probabilities of `{service}` state `{state}` sum to {sum}"
+            ),
+            CoreError::SelectionSpaceTooLarge { combinations, cap } => write!(
+                f,
+                "selection space of {combinations} combinations exceeds cap {cap}"
+            ),
+            CoreError::Model(e) => write!(f, "model error: {e}"),
+            CoreError::Markov(e) => write!(f, "markov error: {e}"),
+            CoreError::Expr(e) => write!(f, "expression error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Model(e) => Some(e),
+            CoreError::Markov(e) => Some(e),
+            CoreError::Expr(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for CoreError {
+    fn from(e: ModelError) -> Self {
+        CoreError::Model(e)
+    }
+}
+
+impl From<MarkovError> for CoreError {
+    fn from(e: MarkovError) -> Self {
+        CoreError::Markov(e)
+    }
+}
+
+impl From<ExprError> for CoreError {
+    fn from(e: ExprError) -> Self {
+        CoreError::Expr(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shows_cycle() {
+        let e = CoreError::RecursiveAssembly {
+            cycle: vec!["a".into(), "b".into(), "a".into()],
+        };
+        assert!(e.to_string().contains("a -> b -> a"));
+    }
+
+    #[test]
+    fn conversions_set_source() {
+        let e: CoreError = ModelError::InvalidDemand { value: -1.0 }.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: CoreError = MarkovError::EmptyChain.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: CoreError = ExprError::UnboundParameter { name: "x".into() }.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,708 @@
+//! The recursive evaluation procedure `Pfail_Alg` (paper §3.3).
+//!
+//! [`Evaluator`] walks the assembly from a target service down to its simple
+//! services, computing `Pfail(S, fp)` bottom-up. Results are memoized per
+//! `(service, resolved parameters)`. Recursive assemblies — which the paper
+//! notes its procedure cannot handle and "should be expressed by a fixed
+//! point equation" — are supported through [`CycleMode::FixedPoint`]:
+//! damped successive substitution starting from the optimistic estimate 0,
+//! which converges monotonically because `Pfail` is monotone in the
+//! estimates and bounded by 1.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use archrel_expr::Bindings;
+use archrel_markov::AbsorbingAnalysis;
+use archrel_model::{
+    Assembly, CompositeService, Probability, Service, ServiceCall, ServiceId, StateId,
+};
+use parking_lot::RwLock;
+
+use crate::augment::{augmented_chain, AugmentedState};
+use crate::failprob::{state_failure_probability, RequestFailure};
+use crate::{CoreError, Result};
+
+/// How the evaluator treats recursive assemblies (service-call cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum CycleMode {
+    /// Return [`CoreError::RecursiveAssembly`] — the paper's behavior.
+    #[default]
+    Error,
+    /// Solve the fixed-point equation by successive substitution.
+    FixedPoint {
+        /// Iteration budget.
+        max_iterations: usize,
+        /// Convergence threshold on the largest estimate change.
+        tolerance: f64,
+    },
+}
+
+/// Linear solver used for the absorbing-chain analysis of each flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Solver {
+    /// Dense LU on the fundamental matrix — exact, `O(states³)`; the right
+    /// choice for the paper-sized flows.
+    #[default]
+    Dense,
+    /// Sparse Gauss-Seidel on the absorption equations — `O(sweeps·edges)`,
+    /// for flows with thousands of states.
+    Iterative,
+}
+
+/// Options controlling an [`Evaluator`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EvalOptions {
+    /// Cycle handling (defaults to [`CycleMode::Error`]).
+    pub cycle_mode: CycleMode,
+    /// Absorption solver (defaults to [`Solver::Dense`]).
+    pub solver: Solver,
+}
+
+/// Hard cap on recursion depth, guarding against recursive assemblies whose
+/// parameters change on every call (so no `(service, params)` key repeats).
+const MAX_DEPTH: usize = 2048;
+
+type CacheKey = (ServiceId, String);
+
+/// Per-request resolution detail, reused by the report module.
+#[derive(Debug, Clone)]
+pub(crate) struct ResolvedRequest {
+    pub target: ServiceId,
+    pub internal: Probability,
+    pub external: Probability,
+}
+
+/// Per-state resolution detail, reused by the report module.
+#[derive(Debug, Clone)]
+pub(crate) struct ResolvedState {
+    pub state: StateId,
+    pub failure: Probability,
+    pub requests: Vec<ResolvedRequest>,
+}
+
+struct Ctx<'e> {
+    stack: Vec<CacheKey>,
+    /// Per-sweep memo (always consistent: estimates are fixed for a sweep).
+    memo: HashMap<CacheKey, Probability>,
+    /// Fixed-point estimates from the previous sweep; `None` in Error mode.
+    estimates: Option<&'e HashMap<CacheKey, f64>>,
+    /// Keys at which a cycle was broken this sweep.
+    cycle_keys: HashSet<CacheKey>,
+}
+
+/// The reliability-prediction engine for one assembly.
+///
+/// Cheap to construct; holds a memoization cache keyed by
+/// `(service, resolved parameters)` so parameter sweeps that share
+/// sub-invocations (e.g. Figure 6's per-γ curves) reuse work. The evaluator
+/// is `Sync`: the cache is behind a lock, so it can be shared across threads.
+///
+/// # Examples
+///
+/// ```
+/// use archrel_core::Evaluator;
+/// use archrel_model::paper;
+///
+/// # fn main() -> Result<(), archrel_core::CoreError> {
+/// let assembly = paper::remote_assembly(&paper::PaperParams::default()).unwrap();
+/// let eval = Evaluator::new(&assembly);
+/// let pfail = eval.failure_probability(
+///     &paper::SEARCH.into(),
+///     &paper::search_bindings(4.0, 512.0, 1.0),
+/// )?;
+/// assert!(pfail.value() < 0.05);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Evaluator<'a> {
+    assembly: &'a Assembly,
+    options: EvalOptions,
+    cache: RwLock<HashMap<CacheKey, Probability>>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator with default options (cycles are errors).
+    pub fn new(assembly: &'a Assembly) -> Self {
+        Evaluator::with_options(assembly, EvalOptions::default())
+    }
+
+    /// Creates an evaluator with explicit options.
+    pub fn with_options(assembly: &'a Assembly, options: EvalOptions) -> Self {
+        Evaluator {
+            assembly,
+            options,
+            cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The assembly under evaluation.
+    pub fn assembly(&self) -> &'a Assembly {
+        self.assembly
+    }
+
+    /// `Pfail(S, fp)`: probability that `service` fails to complete its task
+    /// when invoked with formal parameters bound by `env`.
+    ///
+    /// # Errors
+    ///
+    /// - [`CoreError::RecursiveAssembly`] in [`CycleMode::Error`] when the
+    ///   assembly has a call cycle (or recursion exceeds the depth cap);
+    /// - [`CoreError::FixedPointDiverged`] when fixed-point iteration does
+    ///   not converge;
+    /// - expression / model / Markov errors from malformed inputs.
+    pub fn failure_probability(&self, service: &ServiceId, env: &Bindings) -> Result<Probability> {
+        match self.options.cycle_mode {
+            CycleMode::Error => {
+                let mut ctx = Ctx {
+                    stack: Vec::new(),
+                    memo: HashMap::new(),
+                    estimates: None,
+                    cycle_keys: HashSet::new(),
+                };
+                let p = self.eval_rec(service, env, &mut ctx)?;
+                // All values computed without estimates are exact: persist.
+                self.cache.write().extend(ctx.memo);
+                Ok(p)
+            }
+            CycleMode::FixedPoint {
+                max_iterations,
+                tolerance,
+            } => self.eval_fixed_point(service, env, max_iterations, tolerance),
+        }
+    }
+
+    /// Reliability `1 − Pfail(S, fp)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Evaluator::failure_probability`].
+    pub fn reliability(&self, service: &ServiceId, env: &Bindings) -> Result<Probability> {
+        Ok(self.failure_probability(service, env)?.complement())
+    }
+
+    fn eval_fixed_point(
+        &self,
+        service: &ServiceId,
+        env: &Bindings,
+        max_iterations: usize,
+        tolerance: f64,
+    ) -> Result<Probability> {
+        let mut estimates: HashMap<CacheKey, f64> = HashMap::new();
+        let mut last_top = 0.0_f64;
+        for _ in 0..max_iterations {
+            let (top, cycle_keys, sweep_values) = {
+                let mut ctx = Ctx {
+                    stack: Vec::new(),
+                    memo: HashMap::new(),
+                    estimates: Some(&estimates),
+                    cycle_keys: HashSet::new(),
+                };
+                let top = self.eval_rec(service, env, &mut ctx)?;
+                (top, ctx.cycle_keys, ctx.memo)
+            };
+            if cycle_keys.is_empty() {
+                // No recursion anywhere below: the value is exact.
+                self.cache.write().extend(sweep_values);
+                return Ok(top);
+            }
+            let mut delta = (top.value() - last_top).abs();
+            for key in &cycle_keys {
+                if let Some(v) = sweep_values.get(key) {
+                    let old = estimates.get(key).copied().unwrap_or(0.0);
+                    delta = delta.max((v.value() - old).abs());
+                    estimates.insert(key.clone(), v.value());
+                }
+            }
+            last_top = top.value();
+            if delta < tolerance {
+                return Ok(top);
+            }
+        }
+        Err(CoreError::FixedPointDiverged {
+            iterations: max_iterations,
+            residual: last_top,
+        })
+    }
+
+    fn eval_rec(
+        &self,
+        service: &ServiceId,
+        env: &Bindings,
+        ctx: &mut Ctx<'_>,
+    ) -> Result<Probability> {
+        let key: CacheKey = (service.clone(), env.cache_key());
+        if let Some(p) = ctx.memo.get(&key) {
+            return Ok(*p);
+        }
+        if ctx.estimates.is_none() {
+            if let Some(p) = self.cache.read().get(&key) {
+                return Ok(*p);
+            }
+        }
+        if ctx.stack.contains(&key) || ctx.stack.len() >= MAX_DEPTH {
+            return match ctx.estimates {
+                None => Err(self.cycle_error(&ctx.stack, &key)),
+                Some(estimates) => {
+                    let estimate = estimates.get(&key).copied().unwrap_or(0.0);
+                    ctx.cycle_keys.insert(key);
+                    Ok(Probability::new(estimate)?)
+                }
+            };
+        }
+
+        ctx.stack.push(key.clone());
+        let result = self.eval_service(service, env, ctx);
+        ctx.stack.pop();
+
+        let p = result?;
+        ctx.memo.insert(key, p);
+        Ok(p)
+    }
+
+    fn cycle_error(&self, stack: &[CacheKey], repeated: &CacheKey) -> CoreError {
+        let start = stack
+            .iter()
+            .position(|k| k == repeated)
+            .unwrap_or_else(|| stack.len().saturating_sub(8));
+        let mut cycle: Vec<String> = stack[start..]
+            .iter()
+            .map(|(id, _)| id.to_string())
+            .collect();
+        cycle.push(repeated.0.to_string());
+        CoreError::RecursiveAssembly { cycle }
+    }
+
+    fn eval_service(
+        &self,
+        service: &ServiceId,
+        env: &Bindings,
+        ctx: &mut Ctx<'_>,
+    ) -> Result<Probability> {
+        match self.assembly.require(service)? {
+            Service::Simple(simple) => {
+                let demand = env.get(simple.formal_param()).ok_or_else(|| {
+                    CoreError::Expr(archrel_expr::ExprError::UnboundParameter {
+                        name: simple.formal_param().to_string(),
+                    })
+                })?;
+                Ok(simple.failure_probability(demand)?)
+            }
+            Service::Composite(composite) => {
+                let states = self.resolve_states(composite, env, ctx)?;
+                let failures: BTreeMap<StateId, Probability> = states
+                    .iter()
+                    .map(|s| (s.state.clone(), s.failure))
+                    .collect();
+                let chain = augmented_chain(composite, env, &failures)?;
+                let start = AugmentedState::Flow(StateId::Start);
+                let end = AugmentedState::Flow(StateId::End);
+                let success = match self.options.solver {
+                    Solver::Dense => {
+                        let analysis = AbsorbingAnalysis::new(&chain)?;
+                        analysis.absorption_probability(&start, &end)?
+                    }
+                    Solver::Iterative => {
+                        let x = archrel_markov::absorption_probabilities_iterative(
+                            &chain,
+                            &end,
+                            archrel_markov::AbsorptionIterOptions::default(),
+                        )?;
+                        x.get(&start).copied().unwrap_or(0.0)
+                    }
+                };
+                Ok(Probability::new(success)?.complement())
+            }
+        }
+    }
+
+    /// Resolves every state of a composite service's flow: evaluates actual
+    /// parameters, recursively obtains callee/connector failure
+    /// probabilities, and combines them per the state's completion and
+    /// dependency models.
+    fn resolve_states(
+        &self,
+        composite: &CompositeService,
+        env: &Bindings,
+        ctx: &mut Ctx<'_>,
+    ) -> Result<Vec<ResolvedState>> {
+        let mut out = Vec::with_capacity(composite.flow().states().len());
+        for state in composite.flow().states() {
+            let mut requests = Vec::with_capacity(state.calls.len());
+            for call in &state.calls {
+                requests.push(self.resolve_request(call, env, ctx)?);
+            }
+            let failures: Vec<RequestFailure> = requests
+                .iter()
+                .map(|r| RequestFailure::new(r.internal, r.external))
+                .collect();
+            let failure = state_failure_probability(state.completion, state.dependency, &failures)?;
+            out.push(ResolvedState {
+                state: state.id.clone(),
+                failure,
+                requests,
+            });
+        }
+        Ok(out)
+    }
+
+    fn resolve_request(
+        &self,
+        call: &ServiceCall,
+        env: &Bindings,
+        ctx: &mut Ctx<'_>,
+    ) -> Result<ResolvedRequest> {
+        // Resolve the callee's environment: ap_j(fp) evaluated under fp.
+        let mut callee_env = Bindings::new();
+        let mut first_demand = 0.0;
+        for (i, (name, expr)) in call.actual_params.iter().enumerate() {
+            let v = expr.eval(env)?;
+            if i == 0 {
+                first_demand = v;
+            }
+            callee_env.insert(name.clone(), v);
+        }
+        let target_fail = self.eval_rec(&call.target, &callee_env, ctx)?;
+
+        let connector_fail = match &call.connector {
+            None => Probability::ZERO,
+            Some(binding) => {
+                let mut conn_env = Bindings::new();
+                for (name, expr) in &binding.actual_params {
+                    conn_env.insert(name.clone(), expr.eval(env)?);
+                }
+                self.eval_rec(&binding.connector, &conn_env, ctx)?
+            }
+        };
+
+        // Internal failure: for the per-operation law (eq. 14) the demand is
+        // the evaluated value of the request's first actual parameter — for
+        // a `call(cpu, N)` that is exactly N.
+        let internal = call.internal_failure.failure_probability(first_demand)?;
+
+        Ok(ResolvedRequest {
+            target: call.target.clone(),
+            internal,
+            external: RequestFailure::external_of(target_fail, connector_fail),
+        })
+    }
+
+    /// Entry point used by the report module: resolve the target service's
+    /// states with a fresh context (Error cycle mode semantics).
+    pub(crate) fn resolve_states_fresh(
+        &self,
+        composite: &CompositeService,
+        env: &Bindings,
+    ) -> Result<Vec<ResolvedState>> {
+        let mut ctx = Ctx {
+            stack: Vec::new(),
+            memo: HashMap::new(),
+            estimates: None,
+            cycle_keys: HashSet::new(),
+        };
+        self.resolve_states(composite, env, &mut ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archrel_expr::Expr;
+    use archrel_model::{
+        catalog, AssemblyBuilder, CompletionModel, DependencyModel, FailureModel, FlowBuilder,
+        FlowState, InternalFailureModel, SimpleService,
+    };
+
+    fn constant_service(name: &str, pfail: f64) -> Service {
+        Service::Simple(SimpleService::new(
+            name,
+            "x",
+            FailureModel::Constant { probability: pfail },
+        ))
+    }
+
+    fn call(target: &str) -> ServiceCall {
+        ServiceCall::new(target).with_param("x", Expr::zero())
+    }
+
+    fn single_state_assembly(
+        pfails: &[f64],
+        completion: CompletionModel,
+        dependency: DependencyModel,
+    ) -> Assembly {
+        let mut builder = AssemblyBuilder::new();
+        let mut calls = Vec::new();
+        // In the Shared case all calls must target the same service.
+        if dependency == DependencyModel::Shared {
+            builder = builder.service(constant_service("s0", pfails[0]));
+            for _ in pfails {
+                calls.push(call("s0"));
+            }
+        } else {
+            for (i, p) in pfails.iter().enumerate() {
+                let name = format!("s{i}");
+                builder = builder.service(constant_service(&name, *p));
+                calls.push(call(&name));
+            }
+        }
+        let flow = FlowBuilder::new()
+            .state(
+                FlowState::new("1", calls)
+                    .with_completion(completion)
+                    .with_dependency(dependency),
+            )
+            .transition(StateId::Start, "1", Expr::one())
+            .transition("1", StateId::End, Expr::one())
+            .build()
+            .unwrap();
+        let top = Service::Composite(CompositeService::new("top", vec![], flow).unwrap());
+        builder.service(top).build().unwrap()
+    }
+
+    #[test]
+    fn and_of_independent_constants() {
+        let a = single_state_assembly(
+            &[0.1, 0.2],
+            CompletionModel::And,
+            DependencyModel::Independent,
+        );
+        let p = Evaluator::new(&a)
+            .failure_probability(&"top".into(), &Bindings::new())
+            .unwrap();
+        assert!((p.value() - (1.0 - 0.9 * 0.8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn or_of_independent_constants() {
+        let a = single_state_assembly(
+            &[0.1, 0.2],
+            CompletionModel::Or,
+            DependencyModel::Independent,
+        );
+        let p = Evaluator::new(&a)
+            .failure_probability(&"top".into(), &Bindings::new())
+            .unwrap();
+        assert!((p.value() - 0.1 * 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn or_of_shared_replicas_collapses() {
+        // Two OR replicas of the same service: sharing destroys redundancy.
+        let a = single_state_assembly(&[0.25, 0.25], CompletionModel::Or, DependencyModel::Shared);
+        let p = Evaluator::new(&a)
+            .failure_probability(&"top".into(), &Bindings::new())
+            .unwrap();
+        // eq. 12 with Pint = 0: 1 - (1-0.25)^2 * 1 = 0.4375.
+        assert!((p.value() - (1.0 - 0.75 * 0.75)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reliability_is_complement() {
+        let a = single_state_assembly(&[0.1], CompletionModel::And, DependencyModel::Independent);
+        let eval = Evaluator::new(&a);
+        let f = eval
+            .failure_probability(&"top".into(), &Bindings::new())
+            .unwrap();
+        let r = eval.reliability(&"top".into(), &Bindings::new()).unwrap();
+        assert!((f.value() + r.value() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn unknown_service_is_reported() {
+        let a = AssemblyBuilder::new()
+            .service(constant_service("s", 0.1))
+            .build()
+            .unwrap();
+        let err = Evaluator::new(&a)
+            .failure_probability(&"ghost".into(), &Bindings::new())
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Model(_)));
+    }
+
+    #[test]
+    fn simple_service_demands_its_parameter() {
+        let a = AssemblyBuilder::new()
+            .service(catalog::cpu_resource("cpu", 1e9, 1e-9))
+            .build()
+            .unwrap();
+        let eval = Evaluator::new(&a);
+        // Correct parameter name:
+        let p = eval
+            .failure_probability(
+                &"cpu".into(),
+                &Bindings::new().with(catalog::CPU_PARAM, 1e6),
+            )
+            .unwrap();
+        assert!(p.value() > 0.0);
+        // Missing parameter:
+        let err = eval
+            .failure_probability(&"cpu".into(), &Bindings::new())
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Expr(_)));
+    }
+
+    fn recursive_assembly(p_base: f64, p_recurse: f64) -> Assembly {
+        // svc: with prob p_recurse call itself again, else do a base call.
+        let flow = FlowBuilder::new()
+            .state(FlowState::new("again", vec![ServiceCall::new("svc")]))
+            .state(FlowState::new("base", vec![call("leaf")]))
+            .transition(StateId::Start, "again", Expr::num(p_recurse))
+            .transition(StateId::Start, "base", Expr::num(1.0 - p_recurse))
+            .transition("again", StateId::End, Expr::one())
+            .transition("base", StateId::End, Expr::one())
+            .build()
+            .unwrap();
+        AssemblyBuilder::new()
+            .service(constant_service("leaf", p_base))
+            .service(Service::Composite(
+                CompositeService::new("svc", vec![], flow).unwrap(),
+            ))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn recursion_is_an_error_by_default() {
+        let a = recursive_assembly(0.1, 0.5);
+        let err = Evaluator::new(&a)
+            .failure_probability(&"svc".into(), &Bindings::new())
+            .unwrap_err();
+        match err {
+            CoreError::RecursiveAssembly { cycle } => {
+                assert!(cycle.iter().filter(|s| s.as_str() == "svc").count() >= 2);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fixed_point_solves_recursion() {
+        // Pfail satisfies f = r*f + (1-r)*p  =>  f = (1-r)p / (1-r) = p.
+        let (p_base, r) = (0.2, 0.5);
+        let a = recursive_assembly(p_base, r);
+        let eval = Evaluator::with_options(
+            &a,
+            EvalOptions {
+                cycle_mode: CycleMode::FixedPoint {
+                    max_iterations: 200,
+                    tolerance: 1e-12,
+                },
+                ..EvalOptions::default()
+            },
+        );
+        let f = eval
+            .failure_probability(&"svc".into(), &Bindings::new())
+            .unwrap();
+        // Closed form: f = r f + (1-r) p_base  =>  f = p_base.
+        assert!((f.value() - p_base).abs() < 1e-9, "got {}", f.value());
+    }
+
+    #[test]
+    fn fixed_point_mode_matches_error_mode_on_acyclic_assemblies() {
+        let a = single_state_assembly(
+            &[0.1, 0.3],
+            CompletionModel::And,
+            DependencyModel::Independent,
+        );
+        let exact = Evaluator::new(&a)
+            .failure_probability(&"top".into(), &Bindings::new())
+            .unwrap();
+        let fp = Evaluator::with_options(
+            &a,
+            EvalOptions {
+                cycle_mode: CycleMode::FixedPoint {
+                    max_iterations: 50,
+                    tolerance: 1e-12,
+                },
+                ..EvalOptions::default()
+            },
+        )
+        .failure_probability(&"top".into(), &Bindings::new())
+        .unwrap();
+        assert!((exact.value() - fp.value()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cache_is_consistent_across_calls() {
+        let a = single_state_assembly(
+            &[0.1, 0.2],
+            CompletionModel::And,
+            DependencyModel::Independent,
+        );
+        let eval = Evaluator::new(&a);
+        let p1 = eval
+            .failure_probability(&"top".into(), &Bindings::new())
+            .unwrap();
+        let p2 = eval
+            .failure_probability(&"top".into(), &Bindings::new())
+            .unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn internal_failure_uses_first_actual_param() {
+        // A composite calling cpu(1000) with phi so that
+        // Pint = 1 - (1-phi)^1000.
+        let phi = 1e-3;
+        let flow = FlowBuilder::new()
+            .state(FlowState::new(
+                "1",
+                vec![ServiceCall::new("cpu")
+                    .with_param(catalog::CPU_PARAM, Expr::num(1000.0))
+                    .with_internal(InternalFailureModel::PerOperation { phi })],
+            ))
+            .transition(StateId::Start, "1", Expr::one())
+            .transition("1", StateId::End, Expr::one())
+            .build()
+            .unwrap();
+        let a = AssemblyBuilder::new()
+            // Perfect CPU isolates the internal term.
+            .service(Service::Simple(SimpleService::new(
+                "cpu",
+                catalog::CPU_PARAM,
+                FailureModel::Perfect,
+            )))
+            .service(Service::Composite(
+                CompositeService::new("top", vec![], flow).unwrap(),
+            ))
+            .build()
+            .unwrap();
+        let p = Evaluator::new(&a)
+            .failure_probability(&"top".into(), &Bindings::new())
+            .unwrap();
+        let expected = 1.0 - (1.0 - phi).powf(1000.0);
+        assert!((p.value() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iterative_solver_matches_dense() {
+        use archrel_model::paper;
+        let params = paper::PaperParams::default().with_gamma(2.5e-2);
+        let assembly = paper::remote_assembly(&params).unwrap();
+        let env = paper::search_bindings(4.0, 4096.0, 1.0);
+        let dense = Evaluator::new(&assembly)
+            .failure_probability(&paper::SEARCH.into(), &env)
+            .unwrap();
+        let iterative = Evaluator::with_options(
+            &assembly,
+            EvalOptions {
+                solver: Solver::Iterative,
+                ..EvalOptions::default()
+            },
+        )
+        .failure_probability(&paper::SEARCH.into(), &env)
+        .unwrap();
+        assert!(
+            (dense.value() - iterative.value()).abs() < 1e-10,
+            "dense {} vs iterative {}",
+            dense.value(),
+            iterative.value()
+        );
+    }
+
+    #[test]
+    fn evaluator_is_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<Evaluator<'static>>();
+    }
+}

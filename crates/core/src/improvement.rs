@@ -1,0 +1,393 @@
+//! Reliability-improvement advisor: *where* should the architect spend
+//! effort, and *how much* is needed to hit a target?
+//!
+//! Closes the loop the paper's §1 opens ("to appropriately drive the
+//! selection and assembly of services, in order to get some required
+//! dependability level"): given a target reliability, the advisor ranks the
+//! assembly's **improvement levers** — each a multiplicative scaling of one
+//! service's failure mechanism — by how much head-room they offer, and
+//! computes the minimal scaling of a chosen lever that meets the target
+//! (bisection over the monotone response).
+
+use archrel_expr::Bindings;
+use archrel_model::{
+    Assembly, AssemblyBuilder, CompositeService, FailureModel, FlowBuilder, InternalFailureModel,
+    Probability, Service, ServiceId, SimpleService,
+};
+
+use crate::{CoreError, Evaluator, Result};
+
+/// One improvement lever: scale a service's failure mechanism by `factor`
+/// (`0.0` = perfect, `1.0` = unchanged).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lever {
+    /// Scale the published failure law of a simple service (its `rate`,
+    /// constant probability, or per-unit probability).
+    ServiceFailure(ServiceId),
+    /// Scale the caller-side software failure rates (ϕ of eq. 14 and
+    /// constant internal failures) inside a composite service's flow.
+    InternalFailure(ServiceId),
+}
+
+impl Lever {
+    /// The service the lever acts on.
+    pub fn service(&self) -> &ServiceId {
+        match self {
+            Lever::ServiceFailure(s) | Lever::InternalFailure(s) => s,
+        }
+    }
+}
+
+/// Outcome of evaluating one lever at its extreme (`factor = 0`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeverAssessment {
+    /// The lever.
+    pub lever: Lever,
+    /// Assembly failure probability with the lever's mechanism removed
+    /// entirely — the *best case* this lever can reach alone.
+    pub best_case_failure: Probability,
+    /// Baseline minus best case: the probability mass this lever controls.
+    pub head_room: f64,
+}
+
+/// Applies `factor` to a lever, producing a rebuilt assembly.
+///
+/// # Errors
+///
+/// - [`CoreError::Model`] when the lever's service is absent or of the
+///   wrong kind, or when `factor` is negative/non-finite.
+pub fn apply_lever(assembly: &Assembly, lever: &Lever, factor: f64) -> Result<Assembly> {
+    if !factor.is_finite() || factor < 0.0 {
+        return Err(CoreError::Model(
+            archrel_model::ModelError::InvalidAttribute {
+                name: "factor",
+                value: factor,
+            },
+        ));
+    }
+    let mut builder = AssemblyBuilder::new();
+    for service in assembly.services() {
+        let rebuilt = match (lever, service) {
+            (Lever::ServiceFailure(id), Service::Simple(s)) if s.id() == id => {
+                Service::Simple(scale_simple(s, factor))
+            }
+            (Lever::InternalFailure(id), Service::Composite(c)) if c.id() == id => {
+                Service::Composite(scale_internal(c, factor)?)
+            }
+            _ => service.clone(),
+        };
+        builder = builder.service(rebuilt);
+    }
+    // Verify the lever matched something of the right kind.
+    match (lever, assembly.service(lever.service())) {
+        (_, None) => {
+            return Err(CoreError::Model(
+                archrel_model::ModelError::UnknownService {
+                    id: lever.service().to_string(),
+                    referenced_from: "<improvement lever>".to_string(),
+                },
+            ))
+        }
+        (Lever::ServiceFailure(_), Some(Service::Composite(_)))
+        | (Lever::InternalFailure(_), Some(Service::Simple(_))) => {
+            return Err(CoreError::Model(
+                archrel_model::ModelError::UnknownService {
+                    id: format!("{} (wrong service kind for this lever)", lever.service()),
+                    referenced_from: "<improvement lever>".to_string(),
+                },
+            ))
+        }
+        _ => {}
+    }
+    Ok(builder.build()?)
+}
+
+fn scale_simple(s: &SimpleService, factor: f64) -> SimpleService {
+    let model = match *s.model() {
+        FailureModel::ExponentialRate { rate, capacity } => FailureModel::ExponentialRate {
+            rate: rate * factor,
+            capacity,
+        },
+        FailureModel::Perfect => FailureModel::Perfect,
+        FailureModel::Constant { probability } => FailureModel::Constant {
+            probability: (probability * factor).min(1.0),
+        },
+        FailureModel::PerUnit { probability } => FailureModel::PerUnit {
+            probability: (probability * factor).min(1.0),
+        },
+    };
+    SimpleService::new(s.id().clone(), s.formal_param(), model)
+}
+
+fn scale_internal(c: &CompositeService, factor: f64) -> Result<CompositeService> {
+    let mut flow = FlowBuilder::new();
+    for state in c.flow().states() {
+        let mut scaled = state.clone();
+        for call in &mut scaled.calls {
+            call.internal_failure = match call.internal_failure {
+                InternalFailureModel::None => InternalFailureModel::None,
+                InternalFailureModel::Constant { probability } => InternalFailureModel::Constant {
+                    probability: (probability * factor).min(1.0),
+                },
+                InternalFailureModel::PerOperation { phi } => InternalFailureModel::PerOperation {
+                    phi: (phi * factor).min(1.0),
+                },
+            };
+        }
+        flow = flow.state(scaled);
+    }
+    for t in c.flow().transitions() {
+        flow = flow.transition(t.from.clone(), t.to.clone(), t.probability.clone());
+    }
+    Ok(CompositeService::new(
+        c.id().clone(),
+        c.formal_params().to_vec(),
+        flow.build()?,
+    )?)
+}
+
+/// Enumerates every lever of the assembly: one `ServiceFailure` per
+/// non-perfect simple service and one `InternalFailure` per composite with
+/// any internal failure model.
+pub fn levers(assembly: &Assembly) -> Vec<Lever> {
+    let mut out = Vec::new();
+    for service in assembly.services() {
+        match service {
+            Service::Simple(s) => {
+                if !matches!(s.model(), FailureModel::Perfect) {
+                    out.push(Lever::ServiceFailure(s.id().clone()));
+                }
+            }
+            Service::Composite(c) => {
+                let has_internal = c.flow().states().iter().any(|st| {
+                    st.calls
+                        .iter()
+                        .any(|call| call.internal_failure != InternalFailureModel::None)
+                });
+                if has_internal {
+                    out.push(Lever::InternalFailure(c.id().clone()));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Assesses every lever's head-room and ranks them (largest first): the
+/// levers whose complete removal lowers `Pfail(service, env)` the most.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn rank_levers(
+    assembly: &Assembly,
+    service: &ServiceId,
+    env: &Bindings,
+) -> Result<Vec<LeverAssessment>> {
+    let baseline = Evaluator::new(assembly)
+        .failure_probability(service, env)?
+        .value();
+    let mut out = Vec::new();
+    for lever in levers(assembly) {
+        let improved = apply_lever(assembly, &lever, 0.0)?;
+        let best_case = Evaluator::new(&improved).failure_probability(service, env)?;
+        out.push(LeverAssessment {
+            head_room: (baseline - best_case.value()).max(0.0),
+            best_case_failure: best_case,
+            lever,
+        });
+    }
+    out.sort_by(|a, b| {
+        b.head_room
+            .partial_cmp(&a.head_room)
+            .expect("head rooms are finite")
+    });
+    Ok(out)
+}
+
+/// Finds (by bisection) the largest factor `f ∈ [0, 1]` such that scaling
+/// `lever` by `f` achieves `Pfail(service, env) ≤ target` — i.e. the
+/// *least aggressive* improvement that meets the target. Returns `None`
+/// when even `f = 0` cannot reach the target (the lever alone is not
+/// enough).
+///
+/// # Errors
+///
+/// Propagates evaluation and lever errors.
+pub fn required_factor(
+    assembly: &Assembly,
+    service: &ServiceId,
+    env: &Bindings,
+    lever: &Lever,
+    target: Probability,
+) -> Result<Option<f64>> {
+    let pfail_at = |factor: f64| -> Result<f64> {
+        let improved = apply_lever(assembly, lever, factor)?;
+        Ok(Evaluator::new(&improved)
+            .failure_probability(service, env)?
+            .value())
+    };
+    if pfail_at(1.0)? <= target.value() {
+        return Ok(Some(1.0)); // already good
+    }
+    if pfail_at(0.0)? > target.value() {
+        return Ok(None); // unreachable with this lever alone
+    }
+    let (mut lo, mut hi) = (0.0_f64, 1.0_f64); // pfail(lo) <= target < pfail(hi)
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if pfail_at(mid)? <= target.value() {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(Some(lo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archrel_model::paper;
+
+    fn setup() -> (Assembly, Bindings) {
+        let params = paper::PaperParams::default().with_phi_sort1(5e-6);
+        (
+            paper::local_assembly(&params).unwrap(),
+            paper::search_bindings(4.0, 8192.0, 1.0),
+        )
+    }
+
+    #[test]
+    fn lever_enumeration_covers_the_paper_assembly() {
+        let (assembly, _) = setup();
+        let ls = levers(&assembly);
+        // cpu1 (simple, exponential), sort1 (internal phi), search (internal
+        // phi). The loc connectors are perfect and lpc has no internals.
+        let names: Vec<String> = ls.iter().map(|l| l.service().to_string()).collect();
+        assert!(names.contains(&"cpu1".to_string()));
+        assert!(names.contains(&paper::SORT_LOCAL.to_string()));
+        assert!(names.contains(&paper::SEARCH.to_string()));
+        assert_eq!(ls.len(), 3, "{names:?}");
+    }
+
+    #[test]
+    fn sort_software_dominates_the_ranking() {
+        let (assembly, env) = setup();
+        let ranked = rank_levers(&assembly, &paper::SEARCH.into(), &env).unwrap();
+        // With ϕ₁ = 5e-6 on list·log(list) operations, sort1's software
+        // failure is by far the dominant mechanism.
+        assert_eq!(
+            ranked[0].lever,
+            Lever::InternalFailure(paper::SORT_LOCAL.into())
+        );
+        assert!(ranked[0].head_room > ranked[1].head_room * 10.0);
+        // Ranking is sorted.
+        for w in ranked.windows(2) {
+            assert!(w[0].head_room >= w[1].head_room);
+        }
+    }
+
+    #[test]
+    fn apply_lever_scales_monotonically() {
+        let (assembly, env) = setup();
+        let lever = Lever::InternalFailure(paper::SORT_LOCAL.into());
+        let mut last = -1.0;
+        for factor in [0.0, 0.25, 0.5, 1.0] {
+            let improved = apply_lever(&assembly, &lever, factor).unwrap();
+            let p = Evaluator::new(&improved)
+                .failure_probability(&paper::SEARCH.into(), &env)
+                .unwrap()
+                .value();
+            assert!(p >= last, "factor {factor}: {p} < {last}");
+            last = p;
+        }
+        // factor = 1 reproduces the baseline exactly.
+        let baseline = Evaluator::new(&assembly)
+            .failure_probability(&paper::SEARCH.into(), &env)
+            .unwrap()
+            .value();
+        assert!((last - baseline).abs() < 1e-15);
+    }
+
+    #[test]
+    fn required_factor_meets_the_target() {
+        let (assembly, env) = setup();
+        let baseline = Evaluator::new(&assembly)
+            .failure_probability(&paper::SEARCH.into(), &env)
+            .unwrap()
+            .value();
+        let target = Probability::new(baseline / 2.0).unwrap();
+        let lever = Lever::InternalFailure(paper::SORT_LOCAL.into());
+        let factor = required_factor(&assembly, &paper::SEARCH.into(), &env, &lever, target)
+            .unwrap()
+            .expect("the dominant lever can reach half the baseline");
+        assert!(factor > 0.0 && factor < 1.0);
+        // Applying the factor achieves the target (within bisection slack).
+        let improved = apply_lever(&assembly, &lever, factor).unwrap();
+        let achieved = Evaluator::new(&improved)
+            .failure_probability(&paper::SEARCH.into(), &env)
+            .unwrap()
+            .value();
+        assert!(achieved <= target.value() * (1.0 + 1e-9), "{achieved}");
+        // The next representable factor above would overshoot: the answer is
+        // the least aggressive improvement (largest feasible factor).
+        let slack = apply_lever(&assembly, &lever, (factor + 1e-3).min(1.0)).unwrap();
+        let overshoot = Evaluator::new(&slack)
+            .failure_probability(&paper::SEARCH.into(), &env)
+            .unwrap()
+            .value();
+        assert!(overshoot > target.value());
+    }
+
+    #[test]
+    fn unreachable_target_returns_none() {
+        let (assembly, env) = setup();
+        // cpu1's hardware contribution is tiny: zeroing it cannot reach a
+        // near-zero target while sort software failures remain.
+        let lever = Lever::ServiceFailure("cpu1".into());
+        let result = required_factor(
+            &assembly,
+            &paper::SEARCH.into(),
+            &env,
+            &lever,
+            Probability::new(1e-9).unwrap(),
+        )
+        .unwrap();
+        assert!(result.is_none());
+    }
+
+    #[test]
+    fn already_met_target_returns_one() {
+        let (assembly, env) = setup();
+        let lever = Lever::ServiceFailure("cpu1".into());
+        let result = required_factor(
+            &assembly,
+            &paper::SEARCH.into(),
+            &env,
+            &lever,
+            Probability::new(0.999).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(result, Some(1.0));
+    }
+
+    #[test]
+    fn lever_errors() {
+        let (assembly, _) = setup();
+        assert!(apply_lever(&assembly, &Lever::ServiceFailure("ghost".into()), 0.5).is_err());
+        assert!(apply_lever(
+            &assembly,
+            &Lever::ServiceFailure(paper::SEARCH.into()), // composite: wrong kind
+            0.5
+        )
+        .is_err());
+        assert!(apply_lever(
+            &assembly,
+            &Lever::InternalFailure("cpu1".into()), // simple: wrong kind
+            0.5
+        )
+        .is_err());
+        assert!(apply_lever(&assembly, &Lever::ServiceFailure("cpu1".into()), -1.0).is_err());
+    }
+}

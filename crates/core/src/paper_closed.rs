@@ -1,0 +1,205 @@
+//! The paper's closed-form reliability expressions (§4, eqs. 15–22).
+//!
+//! These are the formulas Grassi derives *by hand* for the search/sort
+//! example; the test suite and the Figure 6 harness check that the numeric
+//! engine reproduces them to machine precision, which validates the whole
+//! pipeline (parametric composition → failure structure → absorption).
+//!
+//! All functions take the example's [`PaperParams`] plus the search service's
+//! actual parameters. `log` is base 2 throughout (the paper leaves the base
+//! unspecified; the choice only rescales the constants we calibrate anyway).
+
+use archrel_model::paper::PaperParams;
+
+/// Eq. 15/16 — `Pfail(cpux, N) = 1 − e^(−λx·N/sx)`.
+pub fn pfail_cpu(lambda: f64, speed: f64, n: f64) -> f64 {
+    1.0 - (-lambda * n / speed).exp()
+}
+
+/// Eq. 17 — `Pfail(net12, B) = 1 − e^(−γ·B/b)`.
+pub fn pfail_net(gamma: f64, bandwidth: f64, bytes: f64) -> f64 {
+    1.0 - (-gamma * bytes / bandwidth).exp()
+}
+
+/// Eq. 18 — `Pfail(sortx, list) = 1 − (1−ϕx)^(list·log list) ·
+/// e^(−λx·list·log list/sx)`.
+pub fn pfail_sort(phi: f64, lambda: f64, speed: f64, list: f64) -> f64 {
+    let ops = list * list.log2();
+    1.0 - (1.0 - phi).powf(ops) * (-lambda * ops / speed).exp()
+}
+
+/// Eq. 19 — `Pfail(lpc, ip, op) = 1 − e^(−λ₁·l/s₁)` (independent of ip/op).
+pub fn pfail_lpc(p: &PaperParams) -> f64 {
+    1.0 - (-p.lambda1 * p.l / p.s1).exp()
+}
+
+/// Eq. 20 — `Pfail(rpc, ip, op) = 1 − e^(−λ₁·c(ip+op)/s₁) ·
+/// e^(−γ·m(ip+op)/b) · e^(−λ₂·c(ip+op)/s₂)`.
+pub fn pfail_rpc(p: &PaperParams, ip: f64, op: f64) -> f64 {
+    let payload = ip + op;
+    1.0 - (-p.lambda1 * p.c * payload / p.s1).exp()
+        * (-p.gamma * p.m * payload / p.bandwidth).exp()
+        * (-p.lambda2 * p.c * payload / p.s2).exp()
+}
+
+/// The common part of eq. 22: `Pr{fail(call(cpu1, log list))}` — the search
+/// service's own scan step, software law ϕ on `log list` operations plus the
+/// hardware law of cpu1.
+fn pfail_scan(p: &PaperParams, list: f64) -> f64 {
+    let ops = list.log2();
+    1.0 - (1.0 - p.phi_search).powf(ops) * (-p.lambda1 * ops / p.s1).exp()
+}
+
+/// Eq. 22 specialized to the **local assembly** (connector = lpc, x = 1).
+pub fn pfail_search_local(p: &PaperParams, elem: f64, list: f64, _res: f64) -> f64 {
+    let _ = elem;
+    let scan = pfail_scan(p, list);
+    let sort_leg =
+        1.0 - (1.0 - pfail_lpc(p)) * (1.0 - pfail_sort(p.phi_sort1, p.lambda1, p.s1, list));
+    (1.0 - p.q) * scan + p.q * (1.0 - (1.0 - sort_leg) * (1.0 - scan))
+}
+
+/// Eq. 22 specialized to the **remote assembly** (connector = rpc, x = 2).
+pub fn pfail_search_remote(p: &PaperParams, elem: f64, list: f64, res: f64) -> f64 {
+    let scan = pfail_scan(p, list);
+    let ip = elem + list;
+    let op = res;
+    let sort_leg =
+        1.0 - (1.0 - pfail_rpc(p, ip, op)) * (1.0 - pfail_sort(p.phi_sort2, p.lambda2, p.s2, list));
+    (1.0 - p.q) * scan + p.q * (1.0 - (1.0 - sort_leg) * (1.0 - scan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Evaluator;
+    use archrel_model::paper;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn closed_form_cpu_and_net_bound() {
+        assert_eq!(pfail_cpu(0.0, 1.0, 100.0), 0.0);
+        assert!(pfail_cpu(1.0, 1.0, 1e9) > 0.999);
+        assert_eq!(pfail_net(0.0, 1.0, 100.0), 0.0);
+    }
+
+    /// The engine reproduces eq. 18 for the standalone sort service.
+    #[test]
+    fn engine_matches_eq18_sort() {
+        let params = paper::PaperParams::default();
+        let assembly = paper::local_assembly(&params).unwrap();
+        let eval = Evaluator::new(&assembly);
+        for list in [16.0, 256.0, 4096.0] {
+            let engine = eval
+                .failure_probability(
+                    &paper::SORT_LOCAL.into(),
+                    &archrel_expr::Bindings::new().with("list", list),
+                )
+                .unwrap()
+                .value();
+            let closed = pfail_sort(params.phi_sort1, params.lambda1, params.s1, list);
+            assert!(
+                (engine - closed).abs() < TOL,
+                "list={list}: engine {engine} vs closed {closed}"
+            );
+        }
+    }
+
+    /// The engine reproduces eq. 19 for the LPC connector.
+    #[test]
+    fn engine_matches_eq19_lpc() {
+        let params = paper::PaperParams::default();
+        let assembly = paper::local_assembly(&params).unwrap();
+        let eval = Evaluator::new(&assembly);
+        let env = archrel_expr::Bindings::new()
+            .with("ip", 100.0)
+            .with("op", 1.0);
+        let engine = eval
+            .failure_probability(&paper::LPC.into(), &env)
+            .unwrap()
+            .value();
+        assert!((engine - pfail_lpc(&params)).abs() < TOL);
+    }
+
+    /// The engine reproduces eq. 20 for the RPC connector.
+    #[test]
+    fn engine_matches_eq20_rpc() {
+        let params = paper::PaperParams::default().with_gamma(2.5e-2);
+        let assembly = paper::remote_assembly(&params).unwrap();
+        let eval = Evaluator::new(&assembly);
+        for (ip, op) in [(10.0, 1.0), (1000.0, 1.0), (5000.0, 16.0)] {
+            let env = archrel_expr::Bindings::new().with("ip", ip).with("op", op);
+            let engine = eval
+                .failure_probability(&paper::RPC.into(), &env)
+                .unwrap()
+                .value();
+            let closed = pfail_rpc(&params, ip, op);
+            assert!(
+                (engine - closed).abs() < TOL,
+                "ip={ip} op={op}: engine {engine} vs closed {closed}"
+            );
+        }
+    }
+
+    /// The engine reproduces eq. 22 end-to-end for both assemblies.
+    #[test]
+    fn engine_matches_eq22_search() {
+        for gamma in [1e-1, 5e-2, 2.5e-2, 5e-3] {
+            for phi1 in [1e-6, 5e-6] {
+                let params = paper::PaperParams::default()
+                    .with_gamma(gamma)
+                    .with_phi_sort1(phi1);
+                let (elem, res) = (4.0, 1.0);
+                for list in [64.0, 1024.0, 8192.0] {
+                    let env = paper::search_bindings(elem, list, res);
+
+                    let local = paper::local_assembly(&params).unwrap();
+                    let engine_local = Evaluator::new(&local)
+                        .failure_probability(&paper::SEARCH.into(), &env)
+                        .unwrap()
+                        .value();
+                    let closed_local = pfail_search_local(&params, elem, list, res);
+                    assert!(
+                        (engine_local - closed_local).abs() < TOL,
+                        "local γ={gamma} ϕ₁={phi1} list={list}: {engine_local} vs {closed_local}"
+                    );
+
+                    let remote = paper::remote_assembly(&params).unwrap();
+                    let engine_remote = Evaluator::new(&remote)
+                        .failure_probability(&paper::SEARCH.into(), &env)
+                        .unwrap()
+                        .value();
+                    let closed_remote = pfail_search_remote(&params, elem, list, res);
+                    assert!(
+                        (engine_remote - closed_remote).abs() < TOL,
+                        "remote γ={gamma} ϕ₁={phi1} list={list}: {engine_remote} vs {closed_remote}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Figure 6's qualitative claims hold under the documented calibration.
+    #[test]
+    fn figure6_crossover_structure() {
+        let (elem, res) = (4.0, 1.0);
+        let list = 8192.0; // large end of the plotted range
+        let wins_remote = |phi1: f64, gamma: f64| -> bool {
+            let p = paper::PaperParams::default()
+                .with_gamma(gamma)
+                .with_phi_sort1(phi1);
+            pfail_search_remote(&p, elem, list, res) < pfail_search_local(&p, elem, list, res)
+        };
+        // ϕ₁ = 1e-6: remote wins only for γ = 5e-3.
+        assert!(wins_remote(1e-6, 5e-3));
+        assert!(!wins_remote(1e-6, 2.5e-2));
+        assert!(!wins_remote(1e-6, 5e-2));
+        assert!(!wins_remote(1e-6, 1e-1));
+        // ϕ₁ = 5e-6: remote also wins for γ = 2.5e-2, still not above.
+        assert!(wins_remote(5e-6, 5e-3));
+        assert!(wins_remote(5e-6, 2.5e-2));
+        assert!(!wins_remote(5e-6, 5e-2));
+        assert!(!wins_remote(5e-6, 1e-1));
+    }
+}

@@ -1,0 +1,391 @@
+//! Error-propagation extension — releasing the fail-stop assumption.
+//!
+//! The paper's §6 names two future-work items; one is that "the fail-stop
+//! assumption ... should be released to deal also with error propagation
+//! aspects \[11\]". This module implements that extension for the top-level
+//! service's flow:
+//!
+//! - every request failure is **detected** with a per-service probability
+//!   `d` (detected ⇒ the classical fail-stop abort into `Fail`);
+//! - with probability `1 − d` the failure is **silent**: the request returns
+//!   an erroneous result, the flow continues, and the run completes with a
+//!   wrong answer (no repair ⇒ the taint never clears);
+//! - the outcome space therefore splits into *correct completion*,
+//!   *erroneous completion* (silent failure — completed but wrong), and
+//!   *detected failure*.
+//!
+//! `d = 1` for every service recovers the paper's fail-stop model exactly.
+//! The analysis runs on a two-layer (clean/tainted) copy of the flow chain.
+//! Scope: the top-level flow's states must use AND completion with
+//! independent requests (the combination for which the detected/silent split
+//! factorizes); nested services are evaluated with the base engine and
+//! contribute their total failure probability.
+
+use std::collections::BTreeMap;
+
+use archrel_expr::Bindings;
+use archrel_markov::{AbsorbingAnalysis, DtmcBuilder};
+use archrel_model::{
+    Assembly, CompletionModel, DependencyModel, Probability, Service, ServiceId, StateId,
+};
+
+use crate::failprob::RequestFailure;
+use crate::{CoreError, Evaluator, Result};
+
+/// Detection probabilities per requested service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropagationOptions {
+    /// Detection probability used for services not listed in `per_service`.
+    pub default_detection: f64,
+    /// Per-service overrides.
+    pub per_service: BTreeMap<ServiceId, f64>,
+}
+
+impl Default for PropagationOptions {
+    fn default() -> Self {
+        PropagationOptions {
+            default_detection: 1.0,
+            per_service: BTreeMap::new(),
+        }
+    }
+}
+
+impl PropagationOptions {
+    /// Uniform detection probability for every service.
+    ///
+    /// # Errors
+    ///
+    /// Returns a probability-validation error for out-of-range values.
+    pub fn uniform(detection: f64) -> Result<Self> {
+        Probability::new(detection)?;
+        Ok(PropagationOptions {
+            default_detection: detection,
+            per_service: BTreeMap::new(),
+        })
+    }
+
+    /// Overrides the detection probability of one service.
+    ///
+    /// # Errors
+    ///
+    /// Returns a probability-validation error for out-of-range values.
+    pub fn with_service(mut self, id: impl Into<ServiceId>, detection: f64) -> Result<Self> {
+        Probability::new(detection)?;
+        self.per_service.insert(id.into(), detection);
+        Ok(self)
+    }
+
+    fn detection_of(&self, id: &ServiceId) -> f64 {
+        self.per_service
+            .get(id)
+            .copied()
+            .unwrap_or(self.default_detection)
+    }
+}
+
+/// The three-way outcome distribution of a service invocation under error
+/// propagation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Outcome {
+    /// Completed with a correct result.
+    pub correct: Probability,
+    /// Completed, but with an erroneous (silently wrong) result.
+    pub erroneous: Probability,
+    /// Aborted on a detected failure (the classical fail-stop outcome).
+    pub detected_failure: Probability,
+}
+
+impl Outcome {
+    /// Total failure probability counting silent corruption as failure:
+    /// `1 − correct`.
+    pub fn total_failure(&self) -> Probability {
+        self.correct.complement()
+    }
+}
+
+/// Chain states of the two-layer analysis.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum PropState {
+    Clean(StateId),
+    Tainted(StateId),
+    Fail,
+}
+
+/// Evaluates the outcome distribution of `service` under `env` with the
+/// given detection model.
+///
+/// # Errors
+///
+/// - [`CoreError::PropagationUnsupported`] when the top-level service is
+///   simple, or a top-level flow state uses OR/k-out-of-n completion or
+///   shared dependency;
+/// - base-engine errors for nested evaluation.
+pub fn evaluate(
+    assembly: &Assembly,
+    service: &ServiceId,
+    env: &Bindings,
+    options: &PropagationOptions,
+) -> Result<Outcome> {
+    let Service::Composite(composite) = assembly.require(service)? else {
+        return Err(CoreError::PropagationUnsupported {
+            service: service.to_string(),
+            reason: "top-level service must be composite".to_string(),
+        });
+    };
+
+    let evaluator = Evaluator::new(assembly);
+
+    // Per-state: detected-abort probability and silent-error probability.
+    struct StateSplit {
+        detected: f64,
+        silent: f64,
+    }
+    let mut splits: BTreeMap<StateId, StateSplit> = BTreeMap::new();
+    for state in composite.flow().states() {
+        if state.completion != CompletionModel::And
+            || state.dependency != DependencyModel::Independent
+        {
+            return Err(CoreError::PropagationUnsupported {
+                service: service.to_string(),
+                reason: format!(
+                    "state `{}` uses a completion/dependency combination other than AND/independent",
+                    state.id
+                ),
+            });
+        }
+        let mut no_detected = 1.0_f64;
+        let mut all_clean = 1.0_f64;
+        for call in &state.calls {
+            // Resolve the request exactly as the base engine does.
+            let mut callee_env = Bindings::new();
+            let mut first_demand = 0.0;
+            for (i, (name, expr)) in call.actual_params.iter().enumerate() {
+                let v = expr.eval(env)?;
+                if i == 0 {
+                    first_demand = v;
+                }
+                callee_env.insert(name.clone(), v);
+            }
+            let target_fail = evaluator.failure_probability(&call.target, &callee_env)?;
+            let connector_fail = match &call.connector {
+                None => Probability::ZERO,
+                Some(binding) => {
+                    let mut conn_env = Bindings::new();
+                    for (name, expr) in &binding.actual_params {
+                        conn_env.insert(name.clone(), expr.eval(env)?);
+                    }
+                    evaluator.failure_probability(&binding.connector, &conn_env)?
+                }
+            };
+            let internal = call.internal_failure.failure_probability(first_demand)?;
+            let p = RequestFailure::new(
+                internal,
+                RequestFailure::external_of(target_fail, connector_fail),
+            )
+            .total()
+            .value();
+            let d = options.detection_of(&call.target);
+            no_detected *= 1.0 - p * d;
+            all_clean *= 1.0 - p;
+        }
+        splits.insert(
+            state.id.clone(),
+            StateSplit {
+                detected: 1.0 - no_detected,
+                silent: (no_detected - all_clean).max(0.0),
+            },
+        );
+    }
+
+    // Two-layer chain.
+    let mut builder = DtmcBuilder::new()
+        .state(PropState::Clean(StateId::End))
+        .state(PropState::Tainted(StateId::End))
+        .state(PropState::Fail);
+    for t in composite.flow().transitions() {
+        let p = t.probability.eval(env)?;
+        if p <= 0.0 {
+            continue;
+        }
+        let (detected, silent) = match &t.from {
+            StateId::Start => (0.0, 0.0),
+            named => splits
+                .get(named)
+                .map(|s| (s.detected, s.silent))
+                .unwrap_or((0.0, 0.0)),
+        };
+        let survive = 1.0 - detected; // mass not aborted
+        let clean_ok = survive - silent; // continue without new taint
+        builder = builder
+            .transition(
+                PropState::Clean(t.from.clone()),
+                PropState::Clean(t.to.clone()),
+                p * clean_ok,
+            )
+            .transition(
+                PropState::Clean(t.from.clone()),
+                PropState::Tainted(t.to.clone()),
+                p * silent,
+            )
+            .transition(
+                PropState::Tainted(t.from.clone()),
+                PropState::Tainted(t.to.clone()),
+                p * survive,
+            );
+    }
+    for (state, split) in &splits {
+        if split.detected > 0.0 {
+            builder = builder
+                .transition(
+                    PropState::Clean(state.clone()),
+                    PropState::Fail,
+                    split.detected,
+                )
+                .transition(
+                    PropState::Tainted(state.clone()),
+                    PropState::Fail,
+                    split.detected,
+                );
+        }
+    }
+    let chain = builder.build()?;
+    let analysis = AbsorbingAnalysis::new(&chain)?;
+    let start = PropState::Clean(StateId::Start);
+    let correct = analysis.absorption_probability(&start, &PropState::Clean(StateId::End))?;
+    let erroneous = analysis.absorption_probability(&start, &PropState::Tainted(StateId::End))?;
+    let failed = analysis
+        .absorption_probability(&start, &PropState::Fail)
+        .unwrap_or(0.0);
+    Ok(Outcome {
+        correct: Probability::new(correct)?,
+        erroneous: Probability::new(erroneous)?,
+        detected_failure: Probability::new(failed)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archrel_model::paper;
+
+    fn setup() -> (Assembly, Bindings) {
+        let params = paper::PaperParams::default();
+        let assembly = paper::local_assembly(&params).unwrap();
+        let env = paper::search_bindings(4.0, 4096.0, 1.0);
+        (assembly, env)
+    }
+
+    #[test]
+    fn full_detection_recovers_fail_stop() {
+        let (assembly, env) = setup();
+        let outcome = evaluate(
+            &assembly,
+            &paper::SEARCH.into(),
+            &env,
+            &PropagationOptions::default(),
+        )
+        .unwrap();
+        let base = Evaluator::new(&assembly)
+            .failure_probability(&paper::SEARCH.into(), &env)
+            .unwrap();
+        assert!(outcome.erroneous.is_zero());
+        assert!((outcome.detected_failure.value() - base.value()).abs() < 1e-12);
+        assert!((outcome.total_failure().value() - base.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_detection_turns_failures_silent() {
+        let (assembly, env) = setup();
+        let outcome = evaluate(
+            &assembly,
+            &paper::SEARCH.into(),
+            &env,
+            &PropagationOptions::uniform(0.0).unwrap(),
+        )
+        .unwrap();
+        let base = Evaluator::new(&assembly)
+            .failure_probability(&paper::SEARCH.into(), &env)
+            .unwrap();
+        assert!(outcome.detected_failure.is_zero());
+        assert!((outcome.erroneous.value() - base.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correct_probability_is_invariant_in_detection() {
+        // Detection only splits failure mass; the correct-completion mass is
+        // exactly the base model's success probability.
+        let (assembly, env) = setup();
+        let base_success = Evaluator::new(&assembly)
+            .reliability(&paper::SEARCH.into(), &env)
+            .unwrap()
+            .value();
+        for d in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            let outcome = evaluate(
+                &assembly,
+                &paper::SEARCH.into(),
+                &env,
+                &PropagationOptions::uniform(d).unwrap(),
+            )
+            .unwrap();
+            assert!(
+                (outcome.correct.value() - base_success).abs() < 1e-12,
+                "d = {d}"
+            );
+            // Outcome distribution is a partition.
+            let total = outcome.correct.value()
+                + outcome.erroneous.value()
+                + outcome.detected_failure.value();
+            assert!((total - 1.0).abs() < 1e-9, "d = {d}: total {total}");
+        }
+    }
+
+    #[test]
+    fn erroneous_mass_decreases_with_detection() {
+        let (assembly, env) = setup();
+        let mut last = f64::INFINITY;
+        for d in [0.0, 0.3, 0.7, 1.0] {
+            let outcome = evaluate(
+                &assembly,
+                &paper::SEARCH.into(),
+                &env,
+                &PropagationOptions::uniform(d).unwrap(),
+            )
+            .unwrap();
+            assert!(outcome.erroneous.value() <= last + 1e-12);
+            last = outcome.erroneous.value();
+        }
+    }
+
+    #[test]
+    fn per_service_override() {
+        let (assembly, env) = setup();
+        // Only the sort leg's failures go silent.
+        let opts = PropagationOptions::default()
+            .with_service(paper::SORT_LOCAL, 0.0)
+            .unwrap();
+        let outcome = evaluate(&assembly, &paper::SEARCH.into(), &env, &opts).unwrap();
+        assert!(outcome.erroneous.value() > 0.0);
+        assert!(outcome.detected_failure.value() > 0.0);
+    }
+
+    #[test]
+    fn simple_top_level_service_unsupported() {
+        let (assembly, _) = setup();
+        let err = evaluate(
+            &assembly,
+            &paper::CPU1.into(),
+            &archrel_expr::Bindings::new().with("n", 1.0),
+            &PropagationOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::PropagationUnsupported { .. }));
+    }
+
+    #[test]
+    fn invalid_detection_probability_rejected() {
+        assert!(PropagationOptions::uniform(1.5).is_err());
+        assert!(PropagationOptions::default()
+            .with_service("x", -0.1)
+            .is_err());
+    }
+}

@@ -1,0 +1,204 @@
+//! Human-readable evaluation reports: per-state and per-dependency
+//! breakdowns of a service's predicted unreliability.
+//!
+//! Reports answer the architect's question behind the paper's §1 motivation:
+//! *which* part of the assembly dominates the failure probability, and hence
+//! where a substitution (a faster CPU, a more reliable link, a better sort
+//! implementation) buys the most reliability.
+
+use std::fmt;
+
+use archrel_expr::Bindings;
+use archrel_model::{Probability, Service, ServiceId, StateId};
+
+use crate::{Evaluator, Result};
+
+/// Failure contribution of one request within a state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestLine {
+    /// The requested service.
+    pub target: ServiceId,
+    /// Caller-side internal failure probability of the request.
+    pub internal: Probability,
+    /// Combined connector + target external failure probability (eq. 13).
+    pub external: Probability,
+}
+
+/// Failure breakdown of one flow state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateBreakdown {
+    /// The flow state.
+    pub state: StateId,
+    /// `p(i, Fail)` after combining the requests under the state's
+    /// completion and dependency models.
+    pub failure_probability: Probability,
+    /// Per-request detail.
+    pub requests: Vec<RequestLine>,
+}
+
+/// Resolved failure probability of one direct dependency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceBreakdown {
+    /// The dependency.
+    pub service: ServiceId,
+    /// Its failure probability under the parameters the target service
+    /// actually passes it (averaged view: taken from the first request that
+    /// addresses it).
+    pub failure_probability: Probability,
+}
+
+/// Full evaluation report for one service invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluationReport {
+    /// The evaluated service.
+    pub service: ServiceId,
+    /// The bindings the report was computed under.
+    pub bindings: Bindings,
+    /// Overall `Pfail(S, fp)`.
+    pub failure_probability: Probability,
+    /// Per-state breakdown (empty for simple services).
+    pub states: Vec<StateBreakdown>,
+}
+
+impl EvaluationReport {
+    /// Overall reliability `1 − Pfail`.
+    pub fn reliability(&self) -> Probability {
+        self.failure_probability.complement()
+    }
+
+    /// The state contributing the largest `p(i, Fail)`, if any.
+    pub fn dominant_state(&self) -> Option<&StateBreakdown> {
+        self.states.iter().max_by(|a, b| {
+            a.failure_probability
+                .value()
+                .partial_cmp(&b.failure_probability.value())
+                .expect("probabilities are finite")
+        })
+    }
+}
+
+impl fmt::Display for EvaluationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "service `{}`", self.service)?;
+        writeln!(
+            f,
+            "  Pfail = {:.6e}   reliability = {:.9}",
+            self.failure_probability.value(),
+            self.reliability().value()
+        )?;
+        for state in &self.states {
+            writeln!(
+                f,
+                "  state `{}`: p(i, Fail) = {:.6e}",
+                state.state,
+                state.failure_probability.value()
+            )?;
+            for r in &state.requests {
+                writeln!(
+                    f,
+                    "    -> {}: internal {:.3e}, external {:.3e}",
+                    r.target,
+                    r.internal.value(),
+                    r.external.value()
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<'a> Evaluator<'a> {
+    /// Produces a detailed [`EvaluationReport`] for one invocation.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Evaluator::failure_probability`]. Recursive
+    /// assemblies are not supported by reports (use the plain evaluator in
+    /// fixed-point mode instead).
+    pub fn report(&self, service: &ServiceId, env: &Bindings) -> Result<EvaluationReport> {
+        let failure_probability = self.failure_probability(service, env)?;
+        let states = match self.assembly().require(service)? {
+            Service::Simple(_) => Vec::new(),
+            Service::Composite(c) => self
+                .resolve_states_fresh(c, env)?
+                .into_iter()
+                .map(|s| StateBreakdown {
+                    state: s.state,
+                    failure_probability: s.failure,
+                    requests: s
+                        .requests
+                        .into_iter()
+                        .map(|r| RequestLine {
+                            target: r.target,
+                            internal: r.internal,
+                            external: r.external,
+                        })
+                        .collect(),
+                })
+                .collect(),
+        };
+        Ok(EvaluationReport {
+            service: service.clone(),
+            bindings: env.clone(),
+            failure_probability,
+            states,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archrel_model::paper;
+
+    #[test]
+    fn report_on_paper_example() {
+        let params = paper::PaperParams::default();
+        let assembly = paper::local_assembly(&params).unwrap();
+        let eval = Evaluator::new(&assembly);
+        let env = paper::search_bindings(4.0, 4096.0, 1.0);
+        let report = eval.report(&paper::SEARCH.into(), &env).unwrap();
+
+        assert_eq!(report.service.as_str(), paper::SEARCH);
+        assert_eq!(report.states.len(), 2);
+        // The sort leg dominates: it runs list*log(list) operations vs the
+        // scan's log(list).
+        let dominant = report.dominant_state().unwrap();
+        assert_eq!(dominant.state, StateId::named("1"));
+        // Report's overall number agrees with the evaluator.
+        let direct = eval
+            .failure_probability(&paper::SEARCH.into(), &env)
+            .unwrap();
+        assert_eq!(report.failure_probability, direct);
+        assert!((report.reliability().value() + direct.value() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn report_on_simple_service_has_no_states() {
+        let params = paper::PaperParams::default();
+        let assembly = paper::local_assembly(&params).unwrap();
+        let eval = Evaluator::new(&assembly);
+        let env = archrel_expr::Bindings::new().with("n", 1e6);
+        let report = eval.report(&paper::CPU1.into(), &env).unwrap();
+        assert!(report.states.is_empty());
+        assert!(report.failure_probability.value() > 0.0);
+    }
+
+    #[test]
+    fn display_renders_all_states() {
+        let params = paper::PaperParams::default();
+        let assembly = paper::remote_assembly(&params).unwrap();
+        let eval = Evaluator::new(&assembly);
+        let report = eval
+            .report(
+                &paper::SEARCH.into(),
+                &paper::search_bindings(4.0, 512.0, 1.0),
+            )
+            .unwrap();
+        let text = report.to_string();
+        assert!(text.contains("search"));
+        assert!(text.contains("state `1`"));
+        assert!(text.contains("state `2`"));
+        assert!(text.contains("sort2"));
+    }
+}

@@ -1,0 +1,297 @@
+//! Reliability-driven service selection.
+//!
+//! The paper's §1 motivation: "the prediction of such characteristics is
+//! important to drive the **selection** of the services to be assembled".
+//! This module closes that loop: given an assembly with *slots* — positions
+//! for which several candidate services are available (different providers
+//! of the same interface) — it enumerates the candidate combinations, builds
+//! and validates each concrete assembly, predicts the target service's
+//! reliability, and ranks the combinations.
+
+use archrel_expr::Bindings;
+use archrel_model::{Assembly, AssemblyBuilder, Probability, Service, ServiceId};
+
+use crate::{CoreError, Evaluator, Result};
+
+/// One selectable position in the assembly: any of the `candidates` can fill
+/// it. Every candidate must offer the same service id and formal parameters
+/// (same abstract interface, different provider).
+#[derive(Debug, Clone)]
+pub struct Slot {
+    /// Human-readable slot label, used in results.
+    pub label: String,
+    /// Candidate services (all sharing one service id).
+    pub candidates: Vec<Service>,
+}
+
+impl Slot {
+    /// Creates a slot.
+    pub fn new(label: impl Into<String>, candidates: Vec<Service>) -> Self {
+        Slot {
+            label: label.into(),
+            candidates,
+        }
+    }
+}
+
+/// A service-selection problem.
+#[derive(Debug, Clone)]
+pub struct SelectionProblem {
+    /// Services common to every combination.
+    pub fixed: Vec<Service>,
+    /// Selectable slots.
+    pub slots: Vec<Slot>,
+    /// The service whose reliability is optimized.
+    pub target: ServiceId,
+    /// Formal-parameter bindings of the target invocation.
+    pub bindings: Bindings,
+    /// Cap on the number of combinations explored (guards against
+    /// combinatorial explosion); defaults to 100 000.
+    pub max_combinations: u128,
+}
+
+impl SelectionProblem {
+    /// Creates a problem with the default combination cap.
+    pub fn new(
+        fixed: Vec<Service>,
+        slots: Vec<Slot>,
+        target: impl Into<ServiceId>,
+        bindings: Bindings,
+    ) -> Self {
+        SelectionProblem {
+            fixed,
+            slots,
+            target: target.into(),
+            bindings,
+            max_combinations: 100_000,
+        }
+    }
+}
+
+/// One evaluated combination.
+#[derive(Debug, Clone)]
+pub struct SelectionResult {
+    /// Chosen candidate index per slot (parallel to `SelectionProblem::slots`).
+    pub choices: Vec<usize>,
+    /// Human-readable choice description: `(slot label, candidate index)`.
+    pub description: Vec<(String, usize)>,
+    /// Predicted failure probability of the target.
+    pub failure_probability: Probability,
+}
+
+impl SelectionResult {
+    /// Predicted reliability.
+    pub fn reliability(&self) -> Probability {
+        self.failure_probability.complement()
+    }
+}
+
+/// Enumerates all candidate combinations and returns them ranked by
+/// ascending failure probability (best first).
+///
+/// Combinations whose assembly fails validation (e.g. a candidate whose
+/// interface does not match the flow that calls it) are skipped, so the
+/// caller can mix partially compatible catalogs.
+///
+/// # Errors
+///
+/// - [`CoreError::SelectionSpaceTooLarge`] when the Cartesian product
+///   exceeds the cap;
+/// - evaluation errors for combinations that validate but fail to evaluate.
+pub fn select(problem: &SelectionProblem) -> Result<Vec<SelectionResult>> {
+    let combinations: u128 = problem
+        .slots
+        .iter()
+        .map(|s| s.candidates.len() as u128)
+        .product();
+    if combinations > problem.max_combinations {
+        return Err(CoreError::SelectionSpaceTooLarge {
+            combinations,
+            cap: problem.max_combinations,
+        });
+    }
+    if problem.slots.iter().any(|s| s.candidates.is_empty()) {
+        return Ok(Vec::new());
+    }
+
+    let mut results = Vec::new();
+    let mut choices = vec![0usize; problem.slots.len()];
+    loop {
+        if let Some(result) = evaluate_combination(problem, &choices)? {
+            results.push(result);
+        }
+        // Advance the mixed-radix counter.
+        let mut pos = 0;
+        loop {
+            if pos == problem.slots.len() {
+                results.sort_by(|a, b| {
+                    a.failure_probability
+                        .value()
+                        .partial_cmp(&b.failure_probability.value())
+                        .expect("probabilities are finite")
+                });
+                return Ok(results);
+            }
+            choices[pos] += 1;
+            if choices[pos] < problem.slots[pos].candidates.len() {
+                break;
+            }
+            choices[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+/// Returns the best combination, if any validates.
+///
+/// # Errors
+///
+/// See [`select`].
+pub fn select_best(problem: &SelectionProblem) -> Result<Option<SelectionResult>> {
+    Ok(select(problem)?.into_iter().next())
+}
+
+fn evaluate_combination(
+    problem: &SelectionProblem,
+    choices: &[usize],
+) -> Result<Option<SelectionResult>> {
+    let mut builder = AssemblyBuilder::new().services(problem.fixed.iter().cloned());
+    for (slot, &choice) in problem.slots.iter().zip(choices) {
+        builder = builder.service(slot.candidates[choice].clone());
+    }
+    let assembly: Assembly = match builder.build() {
+        Ok(a) => a,
+        Err(_) => return Ok(None), // incompatible combination: skip
+    };
+    let evaluator = Evaluator::new(&assembly);
+    let failure_probability = evaluator.failure_probability(&problem.target, &problem.bindings)?;
+    Ok(Some(SelectionResult {
+        choices: choices.to_vec(),
+        description: problem
+            .slots
+            .iter()
+            .zip(choices)
+            .map(|(s, &c)| (s.label.clone(), c))
+            .collect(),
+        failure_probability,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archrel_expr::Expr;
+    use archrel_model::{catalog, CompositeService, FlowBuilder, FlowState, ServiceCall, StateId};
+
+    fn app_calling(target: &str) -> Service {
+        let flow = FlowBuilder::new()
+            .state(FlowState::new(
+                "1",
+                vec![ServiceCall::new(target).with_param("x", Expr::num(1.0))],
+            ))
+            .transition(StateId::Start, "1", Expr::one())
+            .transition("1", StateId::End, Expr::one())
+            .build()
+            .unwrap();
+        Service::Composite(CompositeService::new("app", vec![], flow).unwrap())
+    }
+
+    fn provider(pfail: f64) -> Service {
+        catalog::blackbox_service("dep", "x", pfail)
+    }
+
+    #[test]
+    fn picks_the_most_reliable_provider() {
+        let problem = SelectionProblem::new(
+            vec![app_calling("dep")],
+            vec![Slot::new(
+                "dep-provider",
+                vec![provider(0.10), provider(0.01), provider(0.05)],
+            )],
+            "app",
+            Bindings::new(),
+        );
+        let results = select(&problem).unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].choices, vec![1]);
+        assert!((results[0].failure_probability.value() - 0.01).abs() < 1e-12);
+        assert!((results[0].reliability().value() - 0.99).abs() < 1e-12);
+        // Ranked ascending by failure probability.
+        assert!(results[1].failure_probability <= results[2].failure_probability);
+        let best = select_best(&problem).unwrap().unwrap();
+        assert_eq!(best.choices, vec![1]);
+    }
+
+    #[test]
+    fn multi_slot_cartesian_product() {
+        let flow = FlowBuilder::new()
+            .state(FlowState::new(
+                "1",
+                vec![
+                    ServiceCall::new("a").with_param("x", Expr::num(1.0)),
+                    ServiceCall::new("b").with_param("x", Expr::num(1.0)),
+                ],
+            ))
+            .transition(StateId::Start, "1", Expr::one())
+            .transition("1", StateId::End, Expr::one())
+            .build()
+            .unwrap();
+        let app = Service::Composite(CompositeService::new("app", vec![], flow).unwrap());
+        let cand = |name: &str, p: f64| catalog::blackbox_service(name, "x", p);
+        let problem = SelectionProblem::new(
+            vec![app],
+            vec![
+                Slot::new("a", vec![cand("a", 0.2), cand("a", 0.1)]),
+                Slot::new("b", vec![cand("b", 0.3), cand("b", 0.05)]),
+            ],
+            "app",
+            Bindings::new(),
+        );
+        let results = select(&problem).unwrap();
+        assert_eq!(results.len(), 4);
+        assert_eq!(results[0].choices, vec![1, 1]);
+        let expected = 1.0 - 0.9 * 0.95;
+        assert!((results[0].failure_probability.value() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incompatible_candidates_are_skipped() {
+        let wrong_interface = catalog::blackbox_service("dep", "y", 0.001);
+        let problem = SelectionProblem::new(
+            vec![app_calling("dep")],
+            vec![Slot::new("dep", vec![wrong_interface, provider(0.2)])],
+            "app",
+            Bindings::new(),
+        );
+        let results = select(&problem).unwrap();
+        // The y-parameter candidate fails assembly validation and is skipped.
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].choices, vec![1]);
+    }
+
+    #[test]
+    fn space_cap_enforced() {
+        let mut problem = SelectionProblem::new(
+            vec![app_calling("dep")],
+            vec![Slot::new("dep", vec![provider(0.1), provider(0.2)])],
+            "app",
+            Bindings::new(),
+        );
+        problem.max_combinations = 1;
+        assert!(matches!(
+            select(&problem),
+            Err(CoreError::SelectionSpaceTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_slot_yields_no_results() {
+        let problem = SelectionProblem::new(
+            vec![app_calling("dep")],
+            vec![Slot::new("dep", vec![])],
+            "app",
+            Bindings::new(),
+        );
+        assert!(select(&problem).unwrap().is_empty());
+    }
+}

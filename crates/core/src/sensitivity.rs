@@ -1,0 +1,264 @@
+//! Sensitivity analysis: how strongly the predicted unreliability reacts to
+//! each input.
+//!
+//! Two flavors:
+//!
+//! - [`binding_sensitivities`]: finite-difference derivatives and
+//!   elasticities of `Pfail` with respect to the **formal parameters** of the
+//!   invocation (e.g. the list size of the paper's search service);
+//! - [`finite_difference`]: a generic helper for sensitivities with respect
+//!   to **model attributes** (failure rates, speeds, bandwidths) — the caller
+//!   supplies a closure that rebuilds the assembly with a perturbed
+//!   attribute, which is how the Figure 6 harness explores γ and ϕ₁.
+
+use archrel_expr::Bindings;
+use archrel_model::{Assembly, ServiceId};
+
+use crate::{symbolic, Evaluator, Result};
+
+/// Sensitivity of `Pfail` with respect to one input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sensitivity {
+    /// Name of the input (binding name or caller-chosen attribute label).
+    pub name: String,
+    /// Value at which the derivative was taken.
+    pub at: f64,
+    /// Central finite-difference derivative `dPfail/dx`.
+    pub derivative: f64,
+    /// Elasticity `(dPfail/dx) · (x / Pfail)` — the unitless "% change in
+    /// unreliability per % change in input"; `0` when `Pfail` is zero.
+    pub elasticity: f64,
+}
+
+/// Relative step used for central differences.
+const REL_STEP: f64 = 1e-4;
+
+/// Central finite-difference derivative of an arbitrary scalar map, plus the
+/// elasticity at `x0`.
+///
+/// # Errors
+///
+/// Propagates errors from `f`.
+pub fn finite_difference(
+    name: impl Into<String>,
+    x0: f64,
+    mut f: impl FnMut(f64) -> Result<f64>,
+) -> Result<Sensitivity> {
+    let h = if x0 == 0.0 {
+        REL_STEP
+    } else {
+        x0.abs() * REL_STEP
+    };
+    let up = f(x0 + h)?;
+    let down = f(x0 - h)?;
+    let value = f(x0)?;
+    let derivative = (up - down) / (2.0 * h);
+    let elasticity = if value == 0.0 {
+        0.0
+    } else {
+        derivative * x0 / value
+    };
+    Ok(Sensitivity {
+        name: name.into(),
+        at: x0,
+        derivative,
+        elasticity,
+    })
+}
+
+/// Sensitivities of `Pfail(service, env)` with respect to every binding in
+/// `env`, sorted by descending absolute elasticity (most influential first).
+///
+/// # Errors
+///
+/// Propagates evaluation errors (e.g. a perturbed parameter leaving a
+/// function's domain).
+pub fn binding_sensitivities(
+    evaluator: &Evaluator<'_>,
+    service: &ServiceId,
+    env: &Bindings,
+) -> Result<Vec<Sensitivity>> {
+    let mut out = Vec::new();
+    for (name, x0) in env.iter() {
+        let s = finite_difference(name, x0, |x| {
+            let mut perturbed = env.clone();
+            perturbed.insert(name, x);
+            Ok(evaluator.failure_probability(service, &perturbed)?.value())
+        })?;
+        out.push(s);
+    }
+    out.sort_by(|a, b| {
+        b.elasticity
+            .abs()
+            .partial_cmp(&a.elasticity.abs())
+            .expect("elasticities are finite")
+    });
+    Ok(out)
+}
+
+/// **Exact** sensitivities of `Pfail(service, ·)` with respect to every
+/// formal parameter, obtained by symbolically differentiating the
+/// closed-form failure expression (no truncation error, unlike
+/// [`binding_sensitivities`]). Requires an acyclic assembly (symbolic
+/// evaluation's domain); results are sorted by descending absolute
+/// elasticity.
+///
+/// # Errors
+///
+/// - [`crate::CoreError::SymbolicUnsupported`] for recursive assemblies or
+///   cyclic flows;
+/// - expression errors when a derivative cannot be formed (`min`/`max`
+///   kinks) or evaluated at `env`.
+pub fn symbolic_sensitivities(
+    assembly: &Assembly,
+    service: &ServiceId,
+    env: &Bindings,
+) -> Result<Vec<Sensitivity>> {
+    let formula = symbolic::failure_expression(assembly, service)?;
+    let value = formula.eval(env)?;
+    let mut out = Vec::new();
+    for param in formula.free_params() {
+        let x0 = env.get(&param).ok_or_else(|| {
+            crate::CoreError::Expr(archrel_expr::ExprError::UnboundParameter {
+                name: param.clone(),
+            })
+        })?;
+        let derivative_expr = formula.differentiate(&param)?;
+        let derivative = derivative_expr.eval(env)?;
+        let elasticity = if value == 0.0 {
+            0.0
+        } else {
+            derivative * x0 / value
+        };
+        out.push(Sensitivity {
+            name: param,
+            at: x0,
+            derivative,
+            elasticity,
+        });
+    }
+    out.sort_by(|a, b| {
+        b.elasticity
+            .abs()
+            .partial_cmp(&a.elasticity.abs())
+            .expect("elasticities are finite")
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archrel_model::paper;
+
+    #[test]
+    fn finite_difference_of_quadratic() {
+        let s = finite_difference("x", 3.0, |x| Ok(x * x)).unwrap();
+        assert!((s.derivative - 6.0).abs() < 1e-6);
+        // elasticity of x^2 is 2 everywhere.
+        assert!((s.elasticity - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn finite_difference_at_zero_uses_absolute_step() {
+        let s = finite_difference("x", 0.0, |x| Ok(2.0 * x)).unwrap();
+        assert!((s.derivative - 2.0).abs() < 1e-9);
+        assert_eq!(s.elasticity, 0.0);
+    }
+
+    #[test]
+    fn list_size_dominates_search_sensitivity() {
+        let params = paper::PaperParams::default();
+        let assembly = paper::local_assembly(&params).unwrap();
+        let eval = Evaluator::new(&assembly);
+        let env = paper::search_bindings(4.0, 4096.0, 1.0);
+        let sens = binding_sensitivities(&eval, &paper::SEARCH.into(), &env).unwrap();
+        // The most influential parameter is the list size: the sort leg costs
+        // list·log(list) operations while elem/res only feed the connector.
+        assert_eq!(sens[0].name, "list");
+        assert!(
+            sens[0].derivative > 0.0,
+            "unreliability grows with list size"
+        );
+    }
+
+    #[test]
+    fn gamma_sensitivity_via_attribute_closure() {
+        // Sensitivity w.r.t. the network failure rate γ by rebuilding the
+        // remote assembly per probe.
+        let base = paper::PaperParams::default();
+        let env = paper::search_bindings(4.0, 2048.0, 1.0);
+        let s = finite_difference("gamma", base.gamma, |gamma| {
+            let params = base.clone().with_gamma(gamma);
+            let assembly = paper::remote_assembly(&params).unwrap();
+            Ok(Evaluator::new(&assembly)
+                .failure_probability(&paper::SEARCH.into(), &env)?
+                .value())
+        })
+        .unwrap();
+        assert!(s.derivative > 0.0, "unreliability grows with γ");
+        assert!(s.elasticity > 0.0);
+    }
+
+    #[test]
+    fn symbolic_sensitivities_match_finite_differences() {
+        let params = paper::PaperParams::default();
+        let assembly = paper::remote_assembly(&params).unwrap();
+        let env = paper::search_bindings(4.0, 2048.0, 1.0);
+        let exact = symbolic_sensitivities(&assembly, &paper::SEARCH.into(), &env).unwrap();
+        let eval = Evaluator::new(&assembly);
+        let approx = binding_sensitivities(&eval, &paper::SEARCH.into(), &env).unwrap();
+        for e in &exact {
+            let a = approx
+                .iter()
+                .find(|s| s.name == e.name)
+                .expect("same parameter set");
+            let scale = e.derivative.abs().max(1e-12);
+            assert!(
+                (e.derivative - a.derivative).abs() / scale < 1e-3,
+                "{}: exact {} vs finite-difference {}",
+                e.name,
+                e.derivative,
+                a.derivative
+            );
+        }
+        // list dominates, exactly as in the finite-difference ranking.
+        assert_eq!(exact[0].name, "list");
+    }
+
+    #[test]
+    fn symbolic_sensitivities_reject_recursive_assemblies() {
+        use archrel_expr::Expr;
+        use archrel_model::{
+            AssemblyBuilder, CompositeService, FlowBuilder, FlowState, Service, ServiceCall,
+            StateId,
+        };
+        let make = |name: &str, target: &str| {
+            let flow = FlowBuilder::new()
+                .state(FlowState::new("1", vec![ServiceCall::new(target)]))
+                .transition(StateId::Start, "1", Expr::one())
+                .transition("1", StateId::End, Expr::one())
+                .build()
+                .unwrap();
+            Service::Composite(CompositeService::new(name, vec![], flow).unwrap())
+        };
+        let assembly = AssemblyBuilder::new()
+            .service(make("a", "b"))
+            .service(make("b", "a"))
+            .build()
+            .unwrap();
+        assert!(symbolic_sensitivities(&assembly, &"a".into(), &Bindings::new()).is_err());
+    }
+
+    #[test]
+    fn sensitivities_sorted_by_elasticity() {
+        let params = paper::PaperParams::default();
+        let assembly = paper::remote_assembly(&params).unwrap();
+        let eval = Evaluator::new(&assembly);
+        let env = paper::search_bindings(4.0, 1024.0, 1.0);
+        let sens = binding_sensitivities(&eval, &paper::SEARCH.into(), &env).unwrap();
+        for w in sens.windows(2) {
+            assert!(w[0].elasticity.abs() >= w[1].elasticity.abs());
+        }
+    }
+}

@@ -1,0 +1,473 @@
+//! Symbolic reliability evaluation — the paper's §4 style.
+//!
+//! For acyclic assemblies with acyclic flows, the engine can produce the
+//! failure probability of a service as a **closed-form expression over its
+//! formal parameters** (like the paper's eqs. 15–22), by substituting each
+//! callee's symbolic formula with the caller's actual-parameter expressions
+//! (`ap_j(fp)`). The result can be printed, simplified, differentiated by
+//! sweeping, and re-evaluated cheaply across parameter sweeps.
+//!
+//! Cyclic flows and recursive assemblies need the numeric engine
+//! ([`crate::Evaluator`]); requesting a symbolic formula for them yields
+//! [`CoreError::SymbolicUnsupported`].
+
+use std::collections::{BTreeMap, HashMap};
+
+use archrel_expr::Expr;
+use archrel_model::{
+    Assembly, CompletionModel, DependencyModel, FailureModel, InternalFailureModel, Service,
+    ServiceCall, ServiceId, StateId,
+};
+
+use crate::{CoreError, Result};
+
+/// Maximum number of requests in a state for which the symbolic k-out-of-n
+/// expansion (a sum over subsets) is attempted.
+const MAX_SYMBOLIC_QUORUM_REQUESTS: usize = 12;
+
+/// Produces the symbolic failure probability `Pfail(S, fp)` of `service` as
+/// an expression over its formal parameters.
+///
+/// # Errors
+///
+/// - [`CoreError::SymbolicUnsupported`] for recursive assemblies, cyclic
+///   flows, or oversized k-out-of-n states;
+/// - model errors for dangling references.
+///
+/// # Examples
+///
+/// ```
+/// use archrel_core::symbolic;
+/// use archrel_model::paper;
+///
+/// # fn main() -> Result<(), archrel_core::CoreError> {
+/// let assembly = paper::local_assembly(&paper::PaperParams::default()).unwrap();
+/// let formula = symbolic::failure_expression(&assembly, &paper::SORT_LOCAL.into())?;
+/// // Same shape as eq. 18: depends only on `list`.
+/// assert_eq!(formula.free_params().into_iter().collect::<Vec<_>>(), vec!["list"]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn failure_expression(assembly: &Assembly, service: &ServiceId) -> Result<Expr> {
+    let mut ctx = SymbolicCtx {
+        assembly,
+        stack: Vec::new(),
+        memo: HashMap::new(),
+    };
+    Ok(ctx.service_failure(service)?.simplify())
+}
+
+struct SymbolicCtx<'a> {
+    assembly: &'a Assembly,
+    stack: Vec<ServiceId>,
+    memo: HashMap<ServiceId, Expr>,
+}
+
+impl SymbolicCtx<'_> {
+    fn service_failure(&mut self, id: &ServiceId) -> Result<Expr> {
+        if let Some(e) = self.memo.get(id) {
+            return Ok(e.clone());
+        }
+        if self.stack.contains(id) {
+            return Err(CoreError::SymbolicUnsupported {
+                service: id.to_string(),
+                reason: "recursive assembly; use the numeric fixed-point evaluator".to_string(),
+            });
+        }
+        self.stack.push(id.clone());
+        let result = self.service_failure_inner(id);
+        self.stack.pop();
+        let e = result?;
+        self.memo.insert(id.clone(), e.clone());
+        Ok(e)
+    }
+
+    fn service_failure_inner(&mut self, id: &ServiceId) -> Result<Expr> {
+        match self.assembly.require(id)? {
+            Service::Simple(simple) => {
+                let d = Expr::param(simple.formal_param());
+                Ok(match *simple.model() {
+                    FailureModel::ExponentialRate { rate, capacity } => {
+                        Expr::one() - (-(Expr::num(rate / capacity) * d)).exp()
+                    }
+                    FailureModel::Perfect => Expr::zero(),
+                    FailureModel::Constant { probability } => Expr::num(probability),
+                    FailureModel::PerUnit { probability } => {
+                        Expr::one() - Expr::num(1.0 - probability).pow(d)
+                    }
+                })
+            }
+            Service::Composite(composite) => {
+                // Per-state failure expressions in the *caller's* formals.
+                let mut state_failures: BTreeMap<StateId, Expr> = BTreeMap::new();
+                for state in composite.flow().states() {
+                    let mut request_failures: Vec<(Expr, Expr)> = Vec::new(); // (int, ext)
+                    for call in &state.calls {
+                        request_failures.push(self.request_failure(call)?);
+                    }
+                    let f = state_failure_expr(
+                        state.completion,
+                        state.dependency,
+                        &request_failures,
+                        composite.id(),
+                    )?;
+                    state_failures.insert(state.id.clone(), f);
+                }
+                flow_failure_expr(composite, &state_failures)
+            }
+        }
+    }
+
+    /// Returns `(Pfail_int, Pfail_ext)` of one request, both as expressions
+    /// over the caller's formal parameters.
+    fn request_failure(&mut self, call: &ServiceCall) -> Result<(Expr, Expr)> {
+        // Callee formula in callee formals, substituted with ap_j(fp).
+        let substitute = |formula: &Expr, actuals: &[(String, Expr)]| -> Expr {
+            let pairs: Vec<(&str, &Expr)> = actuals.iter().map(|(n, e)| (n.as_str(), e)).collect();
+            formula.substitute_all(&pairs)
+        };
+
+        let target_formula = self.service_failure(&call.target)?;
+        let target = substitute(&target_formula, &call.actual_params);
+
+        let connector = match &call.connector {
+            None => Expr::zero(),
+            Some(binding) => {
+                let f = self.service_failure(&binding.connector)?;
+                substitute(&f, &binding.actual_params)
+            }
+        };
+        // eq. 13: ext = 1 - (1 - target)(1 - connector).
+        let external = Expr::one() - (Expr::one() - target) * (Expr::one() - connector);
+
+        let internal = match call.internal_failure {
+            InternalFailureModel::None => Expr::zero(),
+            InternalFailureModel::Constant { probability } => Expr::num(probability),
+            InternalFailureModel::PerOperation { phi } => {
+                // eq. 14 with N = the request's first actual parameter.
+                let demand = call
+                    .actual_params
+                    .first()
+                    .map(|(_, e)| e.clone())
+                    .unwrap_or_else(Expr::zero);
+                Expr::one() - Expr::num(1.0 - phi).pow(demand)
+            }
+        };
+        Ok((internal, external))
+    }
+}
+
+/// Product of `1 - e` over expressions.
+fn product_of_complements<'e>(exprs: impl Iterator<Item = &'e Expr>) -> Expr {
+    exprs.fold(Expr::one(), |acc, e| acc * (Expr::one() - e.clone()))
+}
+
+/// Product of the expressions themselves.
+fn product<'e>(exprs: impl Iterator<Item = &'e Expr>) -> Expr {
+    exprs.fold(Expr::one(), |acc, e| acc * e.clone())
+}
+
+/// Symbolic `p(i, Fail)` per the paper's equations (mirrors
+/// [`crate::state_failure_probability`]).
+fn state_failure_expr(
+    completion: CompletionModel,
+    dependency: DependencyModel,
+    requests: &[(Expr, Expr)],
+    service: &ServiceId,
+) -> Result<Expr> {
+    if requests.is_empty() {
+        return Ok(Expr::zero());
+    }
+    let n = requests.len();
+    let total_failures: Vec<Expr> = requests
+        .iter()
+        // eq. 8: 1 - (1-int)(1-ext)
+        .map(|(int, ext)| Expr::one() - (Expr::one() - int.clone()) * (Expr::one() - ext.clone()))
+        .collect();
+
+    let expr = match (completion, dependency) {
+        (CompletionModel::And, DependencyModel::Independent) => {
+            // eq. 6: 1 - prod(1 - Pr{fail}).
+            Expr::one() - product_of_complements(total_failures.iter())
+        }
+        (CompletionModel::Or, DependencyModel::Independent) => {
+            // eq. 7: prod Pr{fail}.
+            product(total_failures.iter())
+        }
+        (CompletionModel::And, DependencyModel::Shared) => {
+            // eq. 11: 1 - prod(1-int) * prod(1-ext).
+            Expr::one()
+                - product_of_complements(requests.iter().map(|(i, _)| i))
+                    * product_of_complements(requests.iter().map(|(_, e)| e))
+        }
+        (CompletionModel::Or, DependencyModel::Shared) => {
+            // eq. 12: 1 - prod(1-ext) * (1 - prod(int)).
+            Expr::one()
+                - product_of_complements(requests.iter().map(|(_, e)| e))
+                    * (Expr::one() - product(requests.iter().map(|(i, _)| i)))
+        }
+        (CompletionModel::KOutOfN { k }, dep) => {
+            if n > MAX_SYMBOLIC_QUORUM_REQUESTS {
+                return Err(CoreError::SymbolicUnsupported {
+                    service: service.to_string(),
+                    reason: format!(
+                        "symbolic k-out-of-n expansion over {n} requests exceeds the cap of {MAX_SYMBOLIC_QUORUM_REQUESTS}"
+                    ),
+                });
+            }
+            let successes: Vec<Expr> = match dep {
+                DependencyModel::Independent => total_failures
+                    .iter()
+                    .map(|f| Expr::one() - f.clone())
+                    .collect(),
+                DependencyModel::Shared => requests
+                    .iter()
+                    .map(|(i, _)| Expr::one() - i.clone())
+                    .collect(),
+            };
+            let at_least_k = subset_at_least(k, &successes);
+            match dep {
+                DependencyModel::Independent => Expr::one() - at_least_k,
+                DependencyModel::Shared => {
+                    let no_ext = product_of_complements(requests.iter().map(|(_, e)| e));
+                    Expr::one() - no_ext * at_least_k
+                }
+            }
+        }
+    };
+    Ok(expr)
+}
+
+/// Symbolic Poisson-binomial tail: probability that at least `k` of the
+/// independent events with success expressions `s` occur, as a sum over
+/// outcome subsets.
+fn subset_at_least(k: usize, s: &[Expr]) -> Expr {
+    let n = s.len();
+    let mut total = Expr::zero();
+    for mask in 0u32..(1 << n) {
+        if (mask.count_ones() as usize) < k {
+            continue;
+        }
+        let mut term = Expr::one();
+        for (i, si) in s.iter().enumerate() {
+            term = if mask & (1 << i) != 0 {
+                term * si.clone()
+            } else {
+                term * (Expr::one() - si.clone())
+            };
+        }
+        total = total + term;
+    }
+    total
+}
+
+/// Success probability `p*(Start → End)` of an acyclic flow, symbolically:
+/// `success(i) = (1 − f_i) · Σ_j p(i, j) · success(j)` with `success(End) = 1`
+/// (and no failure in `Start`). Returns `Pfail = 1 − success(Start)`.
+fn flow_failure_expr(
+    composite: &archrel_model::CompositeService,
+    state_failures: &BTreeMap<StateId, Expr>,
+) -> Result<Expr> {
+    let flow = composite.flow();
+
+    // Memoized DFS with cycle detection over flow states.
+    fn success(
+        flow: &archrel_model::Flow,
+        state: &StateId,
+        failures: &BTreeMap<StateId, Expr>,
+        memo: &mut HashMap<StateId, Expr>,
+        visiting: &mut Vec<StateId>,
+        service: &ServiceId,
+    ) -> Result<Expr> {
+        if *state == StateId::End {
+            return Ok(Expr::one());
+        }
+        if let Some(e) = memo.get(state) {
+            return Ok(e.clone());
+        }
+        if visiting.contains(state) {
+            return Err(CoreError::SymbolicUnsupported {
+                service: service.to_string(),
+                reason: format!(
+                    "flow contains a cycle through state `{state}`; use the numeric evaluator"
+                ),
+            });
+        }
+        visiting.push(state.clone());
+        let mut continuation = Expr::zero();
+        for t in flow.outgoing(state) {
+            let succ = success(flow, &t.to, failures, memo, visiting, service)?;
+            continuation = continuation + t.probability.clone() * succ;
+        }
+        visiting.pop();
+        let result = match state {
+            StateId::Start => continuation, // no failure in Start
+            other => {
+                let f = failures.get(other).cloned().unwrap_or_else(Expr::zero);
+                (Expr::one() - f) * continuation
+            }
+        };
+        memo.insert(state.clone(), result.clone());
+        Ok(result)
+    }
+
+    let mut memo = HashMap::new();
+    let mut visiting = Vec::new();
+    let s = success(
+        flow,
+        &StateId::Start,
+        state_failures,
+        &mut memo,
+        &mut visiting,
+        composite.id(),
+    )?;
+    Ok(Expr::one() - s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Evaluator;
+    use archrel_expr::Bindings;
+    use archrel_model::{paper, AssemblyBuilder, CompositeService, FlowBuilder, FlowState};
+
+    /// Symbolic and numeric evaluation agree on the full paper example.
+    #[test]
+    fn symbolic_matches_numeric_on_paper_example() {
+        for (gamma, phi1) in [(5e-3, 1e-6), (2.5e-2, 5e-6)] {
+            let params = paper::PaperParams::default()
+                .with_gamma(gamma)
+                .with_phi_sort1(phi1);
+            for assembly in [
+                paper::local_assembly(&params).unwrap(),
+                paper::remote_assembly(&params).unwrap(),
+            ] {
+                let formula = failure_expression(&assembly, &paper::SEARCH.into()).unwrap();
+                let eval = Evaluator::new(&assembly);
+                for list in [64.0, 1024.0, 8192.0] {
+                    let env = paper::search_bindings(4.0, list, 1.0);
+                    let symbolic = formula.eval(&env).unwrap();
+                    let numeric = eval
+                        .failure_probability(&paper::SEARCH.into(), &env)
+                        .unwrap()
+                        .value();
+                    assert!(
+                        (symbolic - numeric).abs() < 1e-12,
+                        "γ={gamma} ϕ₁={phi1} list={list}: {symbolic} vs {numeric}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simple_service_formulas() {
+        let assembly = paper::remote_assembly(&paper::PaperParams::default()).unwrap();
+        let cpu = failure_expression(&assembly, &paper::CPU1.into()).unwrap();
+        assert_eq!(cpu.free_params().into_iter().collect::<Vec<_>>(), vec!["n"]);
+        let net = failure_expression(&assembly, &paper::NET.into()).unwrap();
+        assert_eq!(net.free_params().into_iter().collect::<Vec<_>>(), vec!["b"]);
+        // Perfect connectors collapse to the constant zero.
+        let loc = failure_expression(&assembly, &paper::LOC1.into()).unwrap();
+        assert_eq!(loc, Expr::zero());
+    }
+
+    #[test]
+    fn search_formula_mentions_only_search_formals() {
+        let assembly = paper::remote_assembly(&paper::PaperParams::default()).unwrap();
+        let formula = failure_expression(&assembly, &paper::SEARCH.into()).unwrap();
+        let free = formula.free_params();
+        for p in &free {
+            assert!(
+                ["elem", "list", "res"].contains(&p.as_str()),
+                "unexpected free parameter {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn recursive_assembly_is_unsupported() {
+        let make = |name: &str, target: &str| {
+            let flow = FlowBuilder::new()
+                .state(FlowState::new(
+                    "1",
+                    vec![archrel_model::ServiceCall::new(target)],
+                ))
+                .transition(StateId::Start, "1", Expr::one())
+                .transition("1", StateId::End, Expr::one())
+                .build()
+                .unwrap();
+            Service::Composite(CompositeService::new(name, vec![], flow).unwrap())
+        };
+        let assembly = AssemblyBuilder::new()
+            .service(make("a", "b"))
+            .service(make("b", "a"))
+            .build()
+            .unwrap();
+        let err = failure_expression(&assembly, &"a".into()).unwrap_err();
+        assert!(matches!(err, CoreError::SymbolicUnsupported { .. }));
+    }
+
+    #[test]
+    fn cyclic_flow_is_unsupported() {
+        let flow = FlowBuilder::new()
+            .state(FlowState::new("a", vec![]))
+            .transition(StateId::Start, "a", Expr::one())
+            .transition("a", "a", Expr::num(0.5))
+            .transition("a", StateId::End, Expr::num(0.5))
+            .build()
+            .unwrap();
+        let assembly = AssemblyBuilder::new()
+            .service(Service::Composite(
+                CompositeService::new("looper", vec![], flow).unwrap(),
+            ))
+            .build()
+            .unwrap();
+        let err = failure_expression(&assembly, &"looper".into()).unwrap_err();
+        assert!(matches!(err, CoreError::SymbolicUnsupported { .. }));
+    }
+
+    #[test]
+    fn k_out_of_n_symbolic_matches_numeric() {
+        use archrel_model::{catalog, CompletionModel, DependencyModel, ServiceCall};
+        let calls: Vec<ServiceCall> = (0..3)
+            .map(|i| ServiceCall::new(format!("s{i}")).with_param("x", Expr::num(1.0)))
+            .collect();
+        let flow = FlowBuilder::new()
+            .state(
+                FlowState::new("q", calls)
+                    .with_completion(CompletionModel::KOutOfN { k: 2 })
+                    .with_dependency(DependencyModel::Independent),
+            )
+            .transition(StateId::Start, "q", Expr::one())
+            .transition("q", StateId::End, Expr::one())
+            .build()
+            .unwrap();
+        let mut builder = AssemblyBuilder::new();
+        for (i, p) in [0.1, 0.2, 0.3].iter().enumerate() {
+            builder = builder.service(catalog::blackbox_service(format!("s{i}"), "x", *p));
+        }
+        let assembly = builder
+            .service(Service::Composite(
+                CompositeService::new("quorum", vec![], flow).unwrap(),
+            ))
+            .build()
+            .unwrap();
+        let formula = failure_expression(&assembly, &"quorum".into()).unwrap();
+        let symbolic = formula.eval(&Bindings::new()).unwrap();
+        let numeric = Evaluator::new(&assembly)
+            .failure_probability(&"quorum".into(), &Bindings::new())
+            .unwrap()
+            .value();
+        assert!((symbolic - numeric).abs() < 1e-12);
+    }
+
+    #[test]
+    fn formula_reuse_is_cheaper_than_it_looks() {
+        // The memo ensures shared services are expanded once.
+        let assembly = paper::remote_assembly(&paper::PaperParams::default()).unwrap();
+        let formula = failure_expression(&assembly, &paper::SEARCH.into()).unwrap();
+        // A formula of sane size (simplification keeps it bounded).
+        assert!(formula.node_count() < 2000, "{}", formula.node_count());
+    }
+}

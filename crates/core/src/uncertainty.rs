@@ -1,0 +1,366 @@
+//! Epistemic-uncertainty propagation: how confident is the prediction when
+//! the *published* failure rates are themselves uncertain?
+//!
+//! A SOC marketplace fills the analytic interfaces of §2 with numbers the
+//! providers measured — estimates with error bars, not ground truth. This
+//! module propagates that uncertainty through the assembly:
+//!
+//! - each uncertain quantity is an improvement [`Lever`] (a service's failure
+//!   law or a composite's internal software rates) with a *factor
+//!   distribution* describing the multiplicative error of its published
+//!   value;
+//! - Monte Carlo over the factors yields the distribution of `Pfail`,
+//!   summarized by mean and percentiles;
+//! - [`interval`] gives guaranteed bounds instead: because `Pfail` is
+//!   monotone in every failure mechanism (a property-tested invariant),
+//!   evaluating with all factors at their lower/upper ends brackets the
+//!   true value — no sampling error.
+
+use archrel_expr::Bindings;
+use archrel_model::{Assembly, Probability, ServiceId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::improvement::{apply_lever, Lever};
+use crate::{CoreError, Evaluator, Result};
+
+/// Distribution of the multiplicative error on a published failure quantity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FactorDistribution {
+    /// The published value is exact.
+    Point,
+    /// Uniform on `[low, high]` (both ≥ 0).
+    Uniform {
+        /// Smallest factor.
+        low: f64,
+        /// Largest factor.
+        high: f64,
+    },
+    /// Log-uniform on `[low, high]` — the natural choice for rates known
+    /// "within a factor of k": `LogUniform { low: 1.0/k, high: k }`.
+    LogUniform {
+        /// Smallest factor (must be > 0).
+        low: f64,
+        /// Largest factor.
+        high: f64,
+    },
+}
+
+impl FactorDistribution {
+    fn validate(&self) -> Result<()> {
+        let (low, high, positive) = match *self {
+            FactorDistribution::Point => return Ok(()),
+            FactorDistribution::Uniform { low, high } => (low, high, false),
+            FactorDistribution::LogUniform { low, high } => (low, high, true),
+        };
+        if !low.is_finite()
+            || !high.is_finite()
+            || low > high
+            || low < 0.0
+            || (positive && low <= 0.0)
+        {
+            return Err(CoreError::Model(
+                archrel_model::ModelError::InvalidAttribute {
+                    name: "factor distribution bounds",
+                    value: low,
+                },
+            ));
+        }
+        Ok(())
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            FactorDistribution::Point => 1.0,
+            FactorDistribution::Uniform { low, high } => low + rng.gen::<f64>() * (high - low),
+            FactorDistribution::LogUniform { low, high } => {
+                (low.ln() + rng.gen::<f64>() * (high.ln() - low.ln())).exp()
+            }
+        }
+    }
+
+    fn bounds(&self) -> (f64, f64) {
+        match *self {
+            FactorDistribution::Point => (1.0, 1.0),
+            FactorDistribution::Uniform { low, high }
+            | FactorDistribution::LogUniform { low, high } => (low, high),
+        }
+    }
+}
+
+/// One uncertain quantity: a lever plus its factor distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UncertainQuantity {
+    /// The mechanism whose published value is uncertain.
+    pub lever: Lever,
+    /// Distribution of the multiplicative error.
+    pub distribution: FactorDistribution,
+}
+
+impl UncertainQuantity {
+    /// Convenience constructor for a simple service's failure law known
+    /// within a factor of `k` (log-uniform).
+    ///
+    /// # Errors
+    ///
+    /// Returns a validation error for `k < 1` or non-finite `k`.
+    pub fn rate_within_factor(service: impl Into<ServiceId>, k: f64) -> Result<Self> {
+        if !k.is_finite() || k < 1.0 {
+            return Err(CoreError::Model(
+                archrel_model::ModelError::InvalidAttribute {
+                    name: "uncertainty factor",
+                    value: k,
+                },
+            ));
+        }
+        Ok(UncertainQuantity {
+            lever: Lever::ServiceFailure(service.into()),
+            distribution: FactorDistribution::LogUniform {
+                low: 1.0 / k,
+                high: k,
+            },
+        })
+    }
+}
+
+/// Summary of the propagated `Pfail` distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UncertaintySummary {
+    /// Number of Monte Carlo samples.
+    pub samples: usize,
+    /// Sample mean of `Pfail`.
+    pub mean: f64,
+    /// 5th percentile.
+    pub p05: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+}
+
+fn apply_all(assembly: &Assembly, factors: &[(&Lever, f64)]) -> Result<Assembly> {
+    let mut current = assembly.clone();
+    for (lever, factor) in factors {
+        current = apply_lever(&current, lever, *factor)?;
+    }
+    Ok(current)
+}
+
+/// Monte Carlo propagation: samples factor vectors, evaluates `Pfail` for
+/// each, and summarizes the resulting distribution.
+///
+/// # Errors
+///
+/// - validation errors for malformed distributions or a zero sample count;
+/// - evaluation/lever errors from the underlying engine.
+pub fn propagate(
+    assembly: &Assembly,
+    service: &ServiceId,
+    env: &Bindings,
+    quantities: &[UncertainQuantity],
+    samples: usize,
+    seed: u64,
+) -> Result<UncertaintySummary> {
+    if samples == 0 {
+        return Err(CoreError::Model(
+            archrel_model::ModelError::InvalidAttribute {
+                name: "samples",
+                value: 0.0,
+            },
+        ));
+    }
+    for q in quantities {
+        q.distribution.validate()?;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut values = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let factors: Vec<(&Lever, f64)> = quantities
+            .iter()
+            .map(|q| (&q.lever, q.distribution.sample(&mut rng)))
+            .collect();
+        let perturbed = apply_all(assembly, &factors)?;
+        let p = Evaluator::new(&perturbed)
+            .failure_probability(service, env)?
+            .value();
+        values.push(p);
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("probabilities are finite"));
+    let pct = |q: f64| -> f64 {
+        let idx = ((values.len() as f64 - 1.0) * q).round() as usize;
+        values[idx]
+    };
+    Ok(UncertaintySummary {
+        samples,
+        mean: values.iter().sum::<f64>() / samples as f64,
+        p05: pct(0.05),
+        p50: pct(0.50),
+        p95: pct(0.95),
+    })
+}
+
+/// Guaranteed interval: evaluates with every factor at its lower bound and
+/// at its upper bound. By monotonicity of `Pfail` in every failure
+/// mechanism, the true value (for any factor vector inside the bounds) lies
+/// in the returned `[low, high]`.
+///
+/// # Errors
+///
+/// Validation and evaluation errors as in [`propagate`].
+pub fn interval(
+    assembly: &Assembly,
+    service: &ServiceId,
+    env: &Bindings,
+    quantities: &[UncertainQuantity],
+) -> Result<(Probability, Probability)> {
+    for q in quantities {
+        q.distribution.validate()?;
+    }
+    let lows: Vec<(&Lever, f64)> = quantities
+        .iter()
+        .map(|q| (&q.lever, q.distribution.bounds().0))
+        .collect();
+    let highs: Vec<(&Lever, f64)> = quantities
+        .iter()
+        .map(|q| (&q.lever, q.distribution.bounds().1))
+        .collect();
+    let low = Evaluator::new(&apply_all(assembly, &lows)?).failure_probability(service, env)?;
+    let high = Evaluator::new(&apply_all(assembly, &highs)?).failure_probability(service, env)?;
+    Ok((low, high))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archrel_model::paper;
+
+    fn setup() -> (Assembly, Bindings) {
+        let params = paper::PaperParams::default()
+            .with_gamma(5e-2)
+            .with_phi_sort1(5e-6);
+        (
+            paper::remote_assembly(&params).unwrap(),
+            paper::search_bindings(4.0, 4096.0, 1.0),
+        )
+    }
+
+    fn quantities() -> Vec<UncertainQuantity> {
+        vec![
+            UncertainQuantity::rate_within_factor(paper::NET, 3.0).unwrap(),
+            UncertainQuantity {
+                lever: Lever::InternalFailure(paper::SORT_REMOTE.into()),
+                distribution: FactorDistribution::Uniform {
+                    low: 0.5,
+                    high: 2.0,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn point_distributions_reproduce_baseline() {
+        let (assembly, env) = setup();
+        let baseline = Evaluator::new(&assembly)
+            .failure_probability(&paper::SEARCH.into(), &env)
+            .unwrap()
+            .value();
+        let qs = vec![UncertainQuantity {
+            lever: Lever::ServiceFailure(paper::NET.into()),
+            distribution: FactorDistribution::Point,
+        }];
+        let summary = propagate(&assembly, &paper::SEARCH.into(), &env, &qs, 50, 1).unwrap();
+        assert!((summary.mean - baseline).abs() < 1e-12);
+        assert!((summary.p05 - summary.p95).abs() < 1e-15);
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_bracket_the_baseline() {
+        let (assembly, env) = setup();
+        let baseline = Evaluator::new(&assembly)
+            .failure_probability(&paper::SEARCH.into(), &env)
+            .unwrap()
+            .value();
+        let summary = propagate(
+            &assembly,
+            &paper::SEARCH.into(),
+            &env,
+            &quantities(),
+            400,
+            7,
+        )
+        .unwrap();
+        assert!(summary.p05 <= summary.p50 && summary.p50 <= summary.p95);
+        assert!(summary.p05 < baseline && baseline < summary.p95);
+        assert!(summary.samples == 400);
+    }
+
+    #[test]
+    fn interval_brackets_every_sample() {
+        let (assembly, env) = setup();
+        let qs = quantities();
+        let (low, high) = interval(&assembly, &paper::SEARCH.into(), &env, &qs).unwrap();
+        assert!(low.value() < high.value());
+        let summary = propagate(&assembly, &paper::SEARCH.into(), &env, &qs, 200, 3).unwrap();
+        assert!(low.value() <= summary.p05 + 1e-15);
+        assert!(summary.p95 <= high.value() + 1e-15);
+    }
+
+    #[test]
+    fn wider_uncertainty_widens_the_interval() {
+        let (assembly, env) = setup();
+        let narrow = vec![UncertainQuantity::rate_within_factor(paper::NET, 1.5).unwrap()];
+        let wide = vec![UncertainQuantity::rate_within_factor(paper::NET, 10.0).unwrap()];
+        let (nl, nh) = interval(&assembly, &paper::SEARCH.into(), &env, &narrow).unwrap();
+        let (wl, wh) = interval(&assembly, &paper::SEARCH.into(), &env, &wide).unwrap();
+        assert!(wl.value() <= nl.value());
+        assert!(wh.value() >= nh.value());
+        assert!(wh.value() - wl.value() > nh.value() - nl.value());
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (assembly, env) = setup();
+        assert!(UncertainQuantity::rate_within_factor("x", 0.5).is_err());
+        let bad = vec![UncertainQuantity {
+            lever: Lever::ServiceFailure(paper::NET.into()),
+            distribution: FactorDistribution::Uniform {
+                low: 2.0,
+                high: 1.0,
+            },
+        }];
+        assert!(interval(&assembly, &paper::SEARCH.into(), &env, &bad).is_err());
+        assert!(propagate(&assembly, &paper::SEARCH.into(), &env, &[], 0, 1).is_err());
+        let bad = vec![UncertainQuantity {
+            lever: Lever::ServiceFailure(paper::NET.into()),
+            distribution: FactorDistribution::LogUniform {
+                low: 0.0,
+                high: 1.0,
+            },
+        }];
+        assert!(propagate(&assembly, &paper::SEARCH.into(), &env, &bad, 10, 1).is_err());
+    }
+
+    #[test]
+    fn reproducible_for_fixed_seed() {
+        let (assembly, env) = setup();
+        let a = propagate(
+            &assembly,
+            &paper::SEARCH.into(),
+            &env,
+            &quantities(),
+            100,
+            42,
+        )
+        .unwrap();
+        let b = propagate(
+            &assembly,
+            &paper::SEARCH.into(),
+            &env,
+            &quantities(),
+            100,
+            42,
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+}

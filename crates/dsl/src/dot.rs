@@ -1,0 +1,265 @@
+//! Graphviz DOT exporters.
+//!
+//! These regenerate the paper's structural figures:
+//!
+//! - [`flow_to_dot`]: a composite service's flow with its request sets and
+//!   transition probabilities (Figures 1–2);
+//! - [`assembly_to_dot`]: the component/connector wiring of an assembly
+//!   (Figures 3–4);
+//! - [`chain_to_dot`]: any concrete DTMC — in particular the
+//!   failure-augmented chain produced by `archrel-core` (Figure 5).
+
+use std::fmt::Write as _;
+
+use archrel_markov::{Dtmc, StateLabel};
+use archrel_model::{Assembly, CompositeService, Service};
+
+/// Escapes a string for use inside a double-quoted DOT label.
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders a composite service's flow as a DOT digraph (paper Fig. 1–2
+/// style): `Start`/`End` as circles, request states as boxes listing their
+/// calls, edges labeled with (possibly parametric) probabilities.
+pub fn flow_to_dot(service: &CompositeService) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(service.id().as_str()));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(
+        out,
+        "  label=\"flow of {}({})\";",
+        escape(service.id().as_str()),
+        escape(&service.formal_params().join(", "))
+    );
+    let _ = writeln!(out, "  Start [shape=circle];");
+    let _ = writeln!(out, "  End [shape=doublecircle];");
+    for state in service.flow().states() {
+        let mut label = format!("{}", state.id);
+        if !state.calls.is_empty() {
+            let _ = write!(label, "\\n[{:?}", state.completion);
+            if state.dependency != archrel_model::DependencyModel::Independent {
+                let _ = write!(label, ", {:?}", state.dependency);
+            }
+            let _ = write!(label, "]");
+        }
+        for call in &state.calls {
+            let params: Vec<String> = call
+                .actual_params
+                .iter()
+                .map(|(n, e)| format!("{n}: {e}"))
+                .collect();
+            let _ = write!(label, "\\n{}({})", call.target, params.join(", "));
+            if let Some(c) = &call.connector {
+                let _ = write!(label, " via {}", c.connector);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape=box, label=\"{}\"];",
+            escape(&state.id.to_string()),
+            escape(&label).replace("\\\\n", "\\n")
+        );
+    }
+    for t in service.flow().transitions() {
+        let _ = writeln!(
+            out,
+            "  \"{}\" -> \"{}\" [label=\"{}\"];",
+            escape(&t.from.to_string()),
+            escape(&t.to.to_string()),
+            escape(&t.probability.to_string())
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders an assembly's service wiring as a DOT digraph (paper Fig. 3–4
+/// style): composite services as boxes, simple resources as ellipses,
+/// connectors as diamonds; solid edges for direct requests, dashed edges
+/// through connectors.
+pub fn assembly_to_dot(assembly: &Assembly, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(title));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  label=\"{}\";", escape(title));
+
+    // Classify nodes: a service that appears as some call's connector is a
+    // connector node.
+    let mut connector_ids = std::collections::BTreeSet::new();
+    for service in assembly.services() {
+        if let Service::Composite(c) = service {
+            for state in c.flow().states() {
+                for call in &state.calls {
+                    if let Some(b) = &call.connector {
+                        connector_ids.insert(b.connector.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    for service in assembly.services() {
+        let id = service.id();
+        let shape = if connector_ids.contains(id) {
+            "diamond"
+        } else {
+            match service {
+                Service::Composite(_) => "box",
+                Service::Simple(_) => "ellipse",
+            }
+        };
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape={shape}, label=\"{}({})\"];",
+            escape(id.as_str()),
+            escape(id.as_str()),
+            escape(&service.formal_params().join(", "))
+        );
+    }
+
+    for service in assembly.services() {
+        let Service::Composite(c) = service else {
+            continue;
+        };
+        let from = c.id();
+        let mut seen = std::collections::BTreeSet::new();
+        for state in c.flow().states() {
+            for call in &state.calls {
+                match &call.connector {
+                    Some(binding) => {
+                        if seen.insert((binding.connector.clone(), call.target.clone())) {
+                            let _ = writeln!(
+                                out,
+                                "  \"{}\" -> \"{}\" [style=dashed];",
+                                escape(from.as_str()),
+                                escape(binding.connector.as_str())
+                            );
+                            let _ = writeln!(
+                                out,
+                                "  \"{}\" -> \"{}\" [style=dashed];",
+                                escape(binding.connector.as_str()),
+                                escape(call.target.as_str())
+                            );
+                        }
+                    }
+                    None => {
+                        if seen.insert((from.clone(), call.target.clone())) {
+                            let _ = writeln!(
+                                out,
+                                "  \"{}\" -> \"{}\";",
+                                escape(from.as_str()),
+                                escape(call.target.as_str())
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders any DTMC as a DOT digraph with probabilities on the edges —
+/// used for the failure-augmented chain of Figure 5 (the `Fail` state
+/// renders as a red octagon, `End` as a double circle).
+pub fn chain_to_dot<S: StateLabel + std::fmt::Display>(chain: &Dtmc<S>, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(title));
+    let _ = writeln!(out, "  label=\"{}\";", escape(title));
+    for s in chain.states() {
+        let name = s.to_string();
+        let attrs = if name == "Fail" {
+            "shape=octagon, color=red"
+        } else if name == "End" {
+            "shape=doublecircle"
+        } else if name == "Start" {
+            "shape=circle"
+        } else {
+            "shape=box"
+        };
+        let _ = writeln!(out, "  \"{}\" [{attrs}];", escape(&name));
+    }
+    for s in chain.states() {
+        let absorbing = chain.is_absorbing(s).expect("state comes from the chain");
+        if absorbing {
+            continue; // skip the implicit self-loop
+        }
+        for (t, p) in chain.successors(s).expect("state comes from the chain") {
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\" [label=\"{p:.4}\"];",
+                escape(&s.to_string()),
+                escape(&t.to_string())
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Convenience: the flow DOT of a named service in an assembly, or `None`
+/// when the service is simple/absent.
+pub fn service_flow_dot(assembly: &Assembly, name: &str) -> Option<String> {
+    match assembly.service(&name.into())? {
+        Service::Composite(c) => Some(flow_to_dot(c)),
+        Service::Simple(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archrel_markov::DtmcBuilder;
+    use archrel_model::paper;
+
+    #[test]
+    fn flow_dot_contains_states_and_probabilities() {
+        let assembly = paper::local_assembly(&paper::PaperParams::default()).unwrap();
+        let dot = service_flow_dot(&assembly, paper::SEARCH).unwrap();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("Start"));
+        assert!(dot.contains("End"));
+        assert!(dot.contains("0.9"));
+        assert!(dot.contains("sort1"));
+        assert!(dot.contains("via lpc"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn assembly_dot_classifies_nodes() {
+        let assembly = paper::remote_assembly(&paper::PaperParams::default()).unwrap();
+        let dot = assembly_to_dot(&assembly, "remote assembly");
+        // Connectors are diamonds, resources ellipses, components boxes.
+        assert!(dot.contains("\"rpc\" [shape=diamond"));
+        assert!(dot.contains("\"cpu1\" [shape=ellipse"));
+        assert!(dot.contains("\"search\" [shape=box"));
+        // Dashed connector routing.
+        assert!(dot.contains("\"search\" -> \"rpc\" [style=dashed];"));
+        assert!(dot.contains("\"rpc\" -> \"sort2\" [style=dashed];"));
+    }
+
+    #[test]
+    fn chain_dot_marks_fail_and_end() {
+        let chain = DtmcBuilder::new()
+            .transition("Start", "work", 1.0)
+            .transition("work", "End", 0.9)
+            .transition("work", "Fail", 0.1)
+            .build()
+            .unwrap();
+        let dot = chain_to_dot(&chain, "augmented");
+        assert!(dot.contains("\"Fail\" [shape=octagon, color=red];"));
+        assert!(dot.contains("\"End\" [shape=doublecircle];"));
+        assert!(dot.contains("label=\"0.9000\""));
+        // Absorbing self-loops are not rendered.
+        assert!(!dot.contains("\"End\" -> \"End\""));
+    }
+
+    #[test]
+    fn simple_service_has_no_flow_dot() {
+        let assembly = paper::local_assembly(&paper::PaperParams::default()).unwrap();
+        assert!(service_flow_dot(&assembly, paper::CPU1).is_none());
+        assert!(service_flow_dot(&assembly, "ghost").is_none());
+    }
+}

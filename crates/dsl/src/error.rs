@@ -1,0 +1,99 @@
+use std::fmt;
+
+use archrel_expr::ExprError;
+use archrel_model::ModelError;
+
+/// Errors produced while parsing or lowering DSL documents.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DslError {
+    /// Syntax error in the document.
+    Parse {
+        /// 1-based line of the failure.
+        line: usize,
+        /// 1-based column of the failure.
+        column: usize,
+        /// What the parser expected.
+        message: String,
+    },
+    /// A declaration attribute is missing or duplicated.
+    Attribute {
+        /// The declaration (e.g. `cpu cpu1`).
+        declaration: String,
+        /// Explanation.
+        message: String,
+    },
+    /// An assembly cannot be rendered as DSL source (names that are not
+    /// valid identifiers, or constructs without a surface syntax).
+    Unprintable {
+        /// Explanation of the obstacle.
+        reason: String,
+    },
+    /// An embedded expression failed to parse.
+    Expr(ExprError),
+    /// Lowering produced an invalid model (dangling references, parameter
+    /// mismatches, malformed flows...).
+    Model(ModelError),
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DslError::Parse {
+                line,
+                column,
+                message,
+            } => write!(f, "parse error at {line}:{column}: {message}"),
+            DslError::Attribute {
+                declaration,
+                message,
+            } => write!(f, "in `{declaration}`: {message}"),
+            DslError::Unprintable { reason } => write!(f, "cannot print assembly: {reason}"),
+            DslError::Expr(e) => write!(f, "expression error: {e}"),
+            DslError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DslError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DslError::Expr(e) => Some(e),
+            DslError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ExprError> for DslError {
+    fn from(e: ExprError) -> Self {
+        DslError::Expr(e)
+    }
+}
+
+impl From<ModelError> for DslError {
+    fn from(e: ModelError) -> Self {
+        DslError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = DslError::Parse {
+            line: 3,
+            column: 14,
+            message: "expected `{`".into(),
+        };
+        assert!(e.to_string().contains("3:14"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DslError>();
+    }
+}

@@ -1,0 +1,71 @@
+//! Assembly description language and Graphviz export for `archrel`.
+//!
+//! The paper's §5/§6 argue that true SOC-style automation needs the analytic
+//! interface embedded in a *machine-processable* service description
+//! language (an OWL-S / BPEL4WS analogue) bound to a "reliability prediction
+//! engine". This crate is that binding for `archrel`: a small declarative
+//! language whose documents lower directly to validated
+//! [`archrel_model::Assembly`] values, plus Graphviz DOT exporters that
+//! regenerate the paper's Figures 1–5.
+//!
+//! # Language
+//!
+//! ```text
+//! // resources (paper §3.1)
+//! cpu cpu1 { speed: 1e9; failure_rate: 1e-12; }
+//! network net12 { bandwidth: 625; failure_rate: 5e-3; }
+//! local loc1;
+//! blackbox pay(amount) { pfail: 0.01; }
+//!
+//! // connectors (paper Fig. 2)
+//! lpc lpc1 { cpu: cpu1; ops: 100; }
+//! rpc rpc1 { client: cpu1; server: cpu2; network: net12;
+//!            ops_per_byte: 50; bytes_per_byte: 1; }
+//!
+//! // composite services (paper Fig. 1)
+//! service search(elem, list, res) {
+//!   state sort_leg {
+//!     call sort1(list: list) via lpc1(ip: elem + list, op: res);
+//!   }
+//!   state scan {
+//!     call cpu1(n: log2(list)) via loc1 internal phi 1e-7;
+//!   }
+//!   start -> sort_leg : 0.9;
+//!   start -> scan : 0.1;
+//!   sort_leg -> scan : 1;
+//!   scan -> end : 1;
+//! }
+//! ```
+//!
+//! State headers accept completion/dependency modifiers:
+//! `state replicas or shared { ... }`, `state quorum kofn(2) { ... }`.
+//!
+//! # Examples
+//!
+//! ```
+//! let source = r#"
+//!     blackbox dep(x) { pfail: 0.1; }
+//!     service app() {
+//!       state work { call dep(x: 1); }
+//!       start -> work : 1;
+//!       work -> end : 1;
+//!     }
+//! "#;
+//! let assembly = archrel_dsl::parse_assembly(source).unwrap();
+//! assert_eq!(assembly.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dot;
+mod error;
+mod parser;
+mod printer;
+
+pub use error::DslError;
+pub use parser::parse_assembly;
+pub use printer::print_assembly;
+
+/// Convenience result alias for fallible DSL operations.
+pub type Result<T> = std::result::Result<T, DslError>;

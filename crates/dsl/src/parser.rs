@@ -1,0 +1,726 @@
+//! Recursive-descent parser and lowering for the assembly DSL.
+
+use archrel_expr::{Bindings, Expr};
+use archrel_model::{
+    catalog, connector, Assembly, AssemblyBuilder, CompletionModel, CompositeService,
+    ConnectorBinding, DependencyModel, FlowBuilder, FlowState, InternalFailureModel, ServiceCall,
+    StateId,
+};
+
+use crate::{DslError, Result};
+
+/// Parses a DSL document into a validated [`Assembly`].
+///
+/// # Errors
+///
+/// Returns [`DslError::Parse`] with line/column on syntax errors,
+/// [`DslError::Expr`] for malformed embedded expressions, and
+/// [`DslError::Model`] when the assembled model fails validation.
+pub fn parse_assembly(source: &str) -> Result<Assembly> {
+    let mut parser = Parser {
+        source,
+        bytes: source.as_bytes(),
+        pos: 0,
+    };
+    let mut builder = AssemblyBuilder::new();
+    loop {
+        parser.skip_trivia();
+        if parser.at_end() {
+            break;
+        }
+        let keyword = parser.ident("declaration keyword")?;
+        let service = match keyword.as_str() {
+            "cpu" => parser.cpu_decl()?,
+            "network" => parser.network_decl()?,
+            "local" => parser.local_decl()?,
+            "blackbox" => parser.blackbox_decl()?,
+            "lpc" => parser.lpc_decl()?,
+            "rpc" => parser.rpc_decl()?,
+            "service" => parser.service_decl()?,
+            other => {
+                return Err(parser.error(format!(
+                    "unknown declaration `{other}` (expected cpu, network, local, blackbox, lpc, rpc, or service)"
+                )))
+            }
+        };
+        builder = builder.service(service);
+    }
+    Ok(builder.build()?)
+}
+
+struct Parser<'a> {
+    source: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> DslError {
+        let consumed = &self.source[..self.pos.min(self.source.len())];
+        let line = consumed.matches('\n').count() + 1;
+        let column = consumed
+            .rsplit('\n')
+            .next()
+            .map(|l| l.chars().count() + 1)
+            .unwrap_or(1);
+        DslError::Parse {
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            while self.peek().is_some_and(|c| c.is_ascii_whitespace()) {
+                self.pos += 1;
+            }
+            if self.source[self.pos..].starts_with("//") || self.peek() == Some(b'#') {
+                while self.peek().is_some_and(|c| c != b'\n') {
+                    self.pos += 1;
+                }
+                continue;
+            }
+            break;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        self.skip_trivia();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<()> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        self.skip_trivia();
+        let rest = &self.source[self.pos..];
+        if rest.starts_with(kw) {
+            let after = rest.as_bytes().get(kw.len()).copied();
+            if !after.is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
+                self.pos += kw.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        self.skip_trivia();
+        let start = self.pos;
+        if !self
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == b'_')
+        {
+            return Err(self.error(format!("expected {what}")));
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            self.pos += 1;
+        }
+        Ok(self.source[start..self.pos].to_string())
+    }
+
+    /// Captures raw text until one of `stops` at parenthesis depth 0, then
+    /// parses it as an expression. Does not consume the stop character.
+    fn expr_until(&mut self, stops: &[u8]) -> Result<Expr> {
+        self.skip_trivia();
+        let start = self.pos;
+        let mut depth = 0usize;
+        while let Some(c) = self.peek() {
+            if depth == 0 && stops.contains(&c) {
+                break;
+            }
+            match c {
+                b'(' => depth += 1,
+                b')' => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        let raw = self.source[start..self.pos].trim();
+        if raw.is_empty() {
+            return Err(self.error("expected an expression"));
+        }
+        Ok(archrel_expr::parse(raw)?)
+    }
+
+    /// Parses a constant-valued expression attribute.
+    fn const_until(&mut self, stops: &[u8]) -> Result<f64> {
+        let e = self.expr_until(stops)?;
+        Ok(e.eval(&Bindings::new())?)
+    }
+
+    /// `{ name: <const>; ... }` attribute blocks for resource declarations.
+    fn attr_block(&mut self, declaration: &str, names: &[&str]) -> Result<Vec<f64>> {
+        self.expect(b'{')?;
+        let mut values: Vec<Option<f64>> = vec![None; names.len()];
+        loop {
+            self.skip_trivia();
+            if self.eat(b'}') {
+                break;
+            }
+            let key = self.ident("attribute name")?;
+            self.expect(b':')?;
+            let value = self.const_until(b";")?;
+            self.expect(b';')?;
+            match names.iter().position(|n| *n == key) {
+                Some(i) => {
+                    if values[i].replace(value).is_some() {
+                        return Err(DslError::Attribute {
+                            declaration: declaration.to_string(),
+                            message: format!("duplicate attribute `{key}`"),
+                        });
+                    }
+                }
+                None => {
+                    return Err(DslError::Attribute {
+                        declaration: declaration.to_string(),
+                        message: format!("unknown attribute `{key}` (expected {names:?})"),
+                    })
+                }
+            }
+        }
+        names
+            .iter()
+            .zip(values)
+            .map(|(name, v)| {
+                v.ok_or_else(|| DslError::Attribute {
+                    declaration: declaration.to_string(),
+                    message: format!("missing attribute `{name}`"),
+                })
+            })
+            .collect()
+    }
+
+    /// Ident-valued attribute block: `{ name: ident; ... }` mixed with
+    /// constants, driven by a spec of (name, is_ident).
+    fn mixed_attr_block(
+        &mut self,
+        declaration: &str,
+        spec: &[(&str, bool)],
+    ) -> Result<(Vec<String>, Vec<f64>)> {
+        self.expect(b'{')?;
+        let mut idents: Vec<Option<String>> = vec![None; spec.len()];
+        let mut consts: Vec<Option<f64>> = vec![None; spec.len()];
+        loop {
+            self.skip_trivia();
+            if self.eat(b'}') {
+                break;
+            }
+            let key = self.ident("attribute name")?;
+            self.expect(b':')?;
+            let Some(i) = spec.iter().position(|(n, _)| *n == key) else {
+                return Err(DslError::Attribute {
+                    declaration: declaration.to_string(),
+                    message: format!("unknown attribute `{key}`"),
+                });
+            };
+            if spec[i].1 {
+                let v = self.ident("identifier value")?;
+                self.expect(b';')?;
+                if idents[i].replace(v).is_some() {
+                    return Err(DslError::Attribute {
+                        declaration: declaration.to_string(),
+                        message: format!("duplicate attribute `{key}`"),
+                    });
+                }
+            } else {
+                let v = self.const_until(b";")?;
+                self.expect(b';')?;
+                if consts[i].replace(v).is_some() {
+                    return Err(DslError::Attribute {
+                        declaration: declaration.to_string(),
+                        message: format!("duplicate attribute `{key}`"),
+                    });
+                }
+            }
+        }
+        let mut out_idents = Vec::new();
+        let mut out_consts = Vec::new();
+        for (i, (name, is_ident)) in spec.iter().enumerate() {
+            if *is_ident {
+                out_idents.push(idents[i].take().ok_or_else(|| DslError::Attribute {
+                    declaration: declaration.to_string(),
+                    message: format!("missing attribute `{name}`"),
+                })?);
+            } else {
+                out_consts.push(consts[i].take().ok_or_else(|| DslError::Attribute {
+                    declaration: declaration.to_string(),
+                    message: format!("missing attribute `{name}`"),
+                })?);
+            }
+        }
+        Ok((out_idents, out_consts))
+    }
+
+    fn cpu_decl(&mut self) -> Result<archrel_model::Service> {
+        let name = self.ident("cpu name")?;
+        let values = self.attr_block(&format!("cpu {name}"), &["speed", "failure_rate"])?;
+        Ok(catalog::cpu_resource(name.as_str(), values[0], values[1]))
+    }
+
+    fn network_decl(&mut self) -> Result<archrel_model::Service> {
+        let name = self.ident("network name")?;
+        let values = self.attr_block(&format!("network {name}"), &["bandwidth", "failure_rate"])?;
+        Ok(catalog::network_resource(
+            name.as_str(),
+            values[0],
+            values[1],
+        ))
+    }
+
+    fn local_decl(&mut self) -> Result<archrel_model::Service> {
+        let name = self.ident("local connector name")?;
+        self.expect(b';')?;
+        Ok(catalog::local_connector(name.as_str()))
+    }
+
+    fn blackbox_decl(&mut self) -> Result<archrel_model::Service> {
+        let name = self.ident("blackbox name")?;
+        self.expect(b'(')?;
+        let param = self.ident("parameter name")?;
+        self.expect(b')')?;
+        // Exactly one of `pfail` (per-invocation) or `pfail_per_unit`.
+        self.expect(b'{')?;
+        let key = self.ident("attribute name")?;
+        self.expect(b':')?;
+        let value = self.const_until(b";")?;
+        self.expect(b';')?;
+        self.expect(b'}')?;
+        let model = match key.as_str() {
+            "pfail" => archrel_model::FailureModel::Constant { probability: value },
+            "pfail_per_unit" => archrel_model::FailureModel::PerUnit { probability: value },
+            other => {
+                return Err(DslError::Attribute {
+                    declaration: format!("blackbox {name}"),
+                    message: format!(
+                        "unknown attribute `{other}` (expected `pfail` or `pfail_per_unit`)"
+                    ),
+                })
+            }
+        };
+        Ok(archrel_model::Service::Simple(
+            archrel_model::SimpleService::new(name.as_str(), param, model),
+        ))
+    }
+
+    fn lpc_decl(&mut self) -> Result<archrel_model::Service> {
+        let name = self.ident("lpc name")?;
+        let (idents, consts) =
+            self.mixed_attr_block(&format!("lpc {name}"), &[("cpu", true), ("ops", false)])?;
+        Ok(connector::lpc_connector(
+            name.as_str(),
+            idents[0].as_str(),
+            consts[0],
+        )?)
+    }
+
+    fn rpc_decl(&mut self) -> Result<archrel_model::Service> {
+        let name = self.ident("rpc name")?;
+        let (idents, consts) = self.mixed_attr_block(
+            &format!("rpc {name}"),
+            &[
+                ("client", true),
+                ("server", true),
+                ("network", true),
+                ("ops_per_byte", false),
+                ("bytes_per_byte", false),
+            ],
+        )?;
+        Ok(connector::rpc_connector(&connector::RpcConfig {
+            name: name.as_str().into(),
+            client_cpu: idents[0].as_str().into(),
+            server_cpu: idents[1].as_str().into(),
+            network: idents[2].as_str().into(),
+            marshal_ops_per_byte: consts[0],
+            bytes_per_byte: consts[1],
+        })?)
+    }
+
+    fn service_decl(&mut self) -> Result<archrel_model::Service> {
+        let name = self.ident("service name")?;
+        self.expect(b'(')?;
+        let mut params = Vec::new();
+        self.skip_trivia();
+        if self.peek() != Some(b')') {
+            loop {
+                params.push(self.ident("formal parameter")?);
+                if !self.eat(b',') {
+                    break;
+                }
+            }
+        }
+        self.expect(b')')?;
+        self.expect(b'{')?;
+
+        let mut flow = FlowBuilder::new();
+        loop {
+            self.skip_trivia();
+            if self.eat(b'}') {
+                break;
+            }
+            if self.eat_keyword("state") {
+                flow = flow.state(self.state_decl()?);
+                continue;
+            }
+            // Otherwise: a transition `FROM -> TO : expr ;`
+            let from = self.endpoint()?;
+            self.skip_trivia();
+            if !self.source[self.pos..].starts_with("->") {
+                return Err(self.error("expected `->` in transition"));
+            }
+            self.pos += 2;
+            let to = self.endpoint()?;
+            self.expect(b':')?;
+            let probability = self.expr_until(b";")?;
+            self.expect(b';')?;
+            flow = flow.transition(from, to, probability);
+        }
+
+        Ok(archrel_model::Service::Composite(CompositeService::new(
+            name.as_str(),
+            params,
+            flow.build()?,
+        )?))
+    }
+
+    fn endpoint(&mut self) -> Result<StateId> {
+        let name = self.ident("state name")?;
+        Ok(match name.as_str() {
+            "start" => StateId::Start,
+            "end" => StateId::End,
+            other => StateId::named(other),
+        })
+    }
+
+    fn state_decl(&mut self) -> Result<FlowState> {
+        let name = self.ident("state name")?;
+        if name == "start" || name == "end" {
+            return Err(self.error("`start` and `end` are reserved state names"));
+        }
+        let mut completion = CompletionModel::And;
+        let mut dependency = DependencyModel::Independent;
+        loop {
+            if self.eat_keyword("and") {
+                completion = CompletionModel::And;
+            } else if self.eat_keyword("or") {
+                completion = CompletionModel::Or;
+            } else if self.eat_keyword("kofn") {
+                self.expect(b'(')?;
+                let k = self.const_until(b")")?;
+                self.expect(b')')?;
+                if k < 1.0 || k.fract() != 0.0 {
+                    return Err(
+                        self.error(format!("kofn quorum must be a positive integer, got {k}"))
+                    );
+                }
+                completion = CompletionModel::KOutOfN { k: k as usize };
+            } else if self.eat_keyword("shared") {
+                dependency = DependencyModel::Shared;
+            } else if self.eat_keyword("independent") {
+                dependency = DependencyModel::Independent;
+            } else {
+                break;
+            }
+        }
+        self.expect(b'{')?;
+        let mut calls = Vec::new();
+        loop {
+            self.skip_trivia();
+            if self.eat(b'}') {
+                break;
+            }
+            if !self.eat_keyword("call") {
+                return Err(self.error("expected `call` or `}` in state body"));
+            }
+            calls.push(self.call_decl()?);
+        }
+        Ok(FlowState::new(name.as_str(), calls)
+            .with_completion(completion)
+            .with_dependency(dependency))
+    }
+
+    fn param_list(&mut self) -> Result<Vec<(String, Expr)>> {
+        let mut out = Vec::new();
+        self.expect(b'(')?;
+        self.skip_trivia();
+        if self.peek() == Some(b')') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            let name = self.ident("parameter name")?;
+            self.expect(b':')?;
+            let value = self.expr_until(b",)")?;
+            out.push((name, value));
+            if self.eat(b',') {
+                continue;
+            }
+            self.expect(b')')?;
+            return Ok(out);
+        }
+    }
+
+    fn call_decl(&mut self) -> Result<ServiceCall> {
+        let target = self.ident("call target")?;
+        let params = self.param_list()?;
+        let mut call = ServiceCall::new(target.as_str());
+        for (n, e) in params {
+            call = call.with_param(n, e);
+        }
+        if self.eat_keyword("via") {
+            let connector_name = self.ident("connector name")?;
+            self.skip_trivia();
+            let binding = if self.peek() == Some(b'(') {
+                let params = self.param_list()?;
+                let mut b = ConnectorBinding::new(connector_name.as_str());
+                for (n, e) in params {
+                    b = b.with_param(n, e);
+                }
+                b
+            } else {
+                // Parenthesis-free `via` is the shorthand for the zero-cost
+                // local-processing connectors.
+                catalog::local_binding(connector_name.as_str())
+            };
+            call = call.via(binding);
+        }
+        if self.eat_keyword("internal") {
+            if self.eat_keyword("phi") {
+                let phi = self.const_until(b";")?;
+                call = call.with_internal(InternalFailureModel::PerOperation { phi });
+            } else if self.eat_keyword("const") {
+                let p = self.const_until(b";")?;
+                call = call.with_internal(InternalFailureModel::Constant { probability: p });
+            } else {
+                return Err(self.error("expected `phi` or `const` after `internal`"));
+            }
+        }
+        self.expect(b';')?;
+        Ok(call)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archrel_model::Service;
+
+    const PAPER_LOCAL: &str = r#"
+        // paper Fig. 3: the local assembly
+        cpu cpu1 { speed: 1e9; failure_rate: 1e-12; }
+        local loc1;
+        local loc2;
+        lpc lpc { cpu: cpu1; ops: 100; }
+
+        service sort1(list) {
+          state sorting {
+            call cpu1(n: list * log2(list)) via loc2 internal phi 1e-6;
+          }
+          start -> sorting : 1;
+          sorting -> end : 1;
+        }
+
+        service search(elem, list, res) {
+          state sort_leg {
+            call sort1(list: list) via lpc(ip: elem + list, op: res);
+          }
+          state scan {
+            call cpu1(n: log2(list)) via loc1 internal phi 1e-7;
+          }
+          start -> sort_leg : 0.9;
+          start -> scan : 0.1;
+          sort_leg -> scan : 1;
+          scan -> end : 1;
+        }
+    "#;
+
+    #[test]
+    fn parses_the_paper_local_assembly() {
+        let assembly = parse_assembly(PAPER_LOCAL).unwrap();
+        assert_eq!(assembly.len(), 6);
+        let search = assembly.require(&"search".into()).unwrap();
+        let Service::Composite(c) = search else {
+            panic!("search is composite");
+        };
+        assert_eq!(c.formal_params(), &["elem", "list", "res"]);
+        assert_eq!(c.flow().states().len(), 2);
+    }
+
+    #[test]
+    fn dsl_matches_builder_construction() {
+        use archrel_model::paper;
+        // The DSL document above mirrors paper::local_assembly with default
+        // parameters except the hand-coded ones; check reliabilities agree.
+        let dsl = parse_assembly(PAPER_LOCAL).unwrap();
+        let params = paper::PaperParams {
+            q: 0.9,
+            phi_search: 1e-7,
+            phi_sort1: 1e-6,
+            lambda1: 1e-12,
+            s1: 1e9,
+            l: 100.0,
+            ..paper::PaperParams::default()
+        };
+        let built = paper::local_assembly(&params).unwrap();
+        let env = paper::search_bindings(4.0, 2048.0, 1.0);
+        let from_dsl = archrel_core::Evaluator::new(&dsl)
+            .failure_probability(&"search".into(), &env)
+            .unwrap();
+        let from_builder = archrel_core::Evaluator::new(&built)
+            .failure_probability(&paper::SEARCH.into(), &env)
+            .unwrap();
+        assert!((from_dsl.value() - from_builder.value()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn modifiers_and_blackboxes() {
+        let source = r#"
+            blackbox replica(x) { pfail: 0.2; }
+            service app() {
+              state redundant or shared {
+                call replica(x: 1);
+                call replica(x: 2);
+              }
+              state quorum kofn(2) {
+                call replica(x: 1);
+                call replica(x: 2);
+                call replica(x: 3);
+              }
+              start -> redundant : 1;
+              redundant -> quorum : 1;
+              quorum -> end : 1;
+            }
+        "#;
+        let assembly = parse_assembly(source).unwrap();
+        let app = assembly.require(&"app".into()).unwrap();
+        let flow = app.as_composite().unwrap().flow();
+        assert_eq!(flow.states()[0].completion, CompletionModel::Or);
+        assert_eq!(flow.states()[0].dependency, DependencyModel::Shared);
+        assert_eq!(
+            flow.states()[1].completion,
+            CompletionModel::KOutOfN { k: 2 }
+        );
+    }
+
+    #[test]
+    fn comments_both_styles() {
+        let source = "
+            # hash comment
+            // slash comment
+            blackbox d(x) { pfail: 0.1; } // trailing
+            service a() {
+              state s { call d(x: 1); }
+              start -> s : 1;
+              s -> end : 1;
+            }
+        ";
+        assert!(parse_assembly(source).is_ok());
+    }
+
+    #[test]
+    fn network_declaration() {
+        let source = r#"
+            network net { bandwidth: 625; failure_rate: 5e-3; }
+            cpu c1 { speed: 1e9; failure_rate: 0; }
+            cpu c2 { speed: 1e9; failure_rate: 0; }
+            rpc r { client: c1; server: c2; network: net;
+                    ops_per_byte: 50; bytes_per_byte: 1; }
+            blackbox remote(y) { pfail: 0.01; }
+            service app(size) {
+              state go { call remote(y: size) via r(ip: size, op: 1); }
+              start -> go : 1;
+              go -> end : 1;
+            }
+        "#;
+        let assembly = parse_assembly(source).unwrap();
+        assert_eq!(assembly.len(), 6);
+    }
+
+    #[test]
+    fn syntax_errors_carry_positions() {
+        let err = parse_assembly("cpu {").unwrap_err();
+        match err {
+            DslError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        let err = parse_assembly("widget w;").unwrap_err();
+        assert!(err.to_string().contains("unknown declaration"));
+    }
+
+    #[test]
+    fn attribute_errors() {
+        let err = parse_assembly("cpu c { speed: 1; }").unwrap_err();
+        assert!(matches!(err, DslError::Attribute { .. }));
+        let err = parse_assembly("cpu c { speed: 1; speed: 2; failure_rate: 0; }").unwrap_err();
+        assert!(matches!(err, DslError::Attribute { .. }));
+        let err = parse_assembly("cpu c { speeed: 1; }").unwrap_err();
+        assert!(matches!(err, DslError::Attribute { .. }));
+    }
+
+    #[test]
+    fn model_errors_surface() {
+        // Dangling call target.
+        let source = r#"
+            service app() {
+              state s { call ghost(x: 1); }
+              start -> s : 1;
+              s -> end : 1;
+            }
+        "#;
+        let err = parse_assembly(source).unwrap_err();
+        assert!(matches!(err, DslError::Model(_)));
+    }
+
+    #[test]
+    fn reserved_state_names_rejected() {
+        let source = r#"
+            service app() {
+              state start { }
+              start -> end : 1;
+            }
+        "#;
+        let err = parse_assembly(source).unwrap_err();
+        assert!(matches!(err, DslError::Parse { .. }));
+    }
+
+    #[test]
+    fn bad_kofn_value_rejected() {
+        let source = r#"
+            blackbox d(x) { pfail: 0.1; }
+            service app() {
+              state s kofn(0) { call d(x: 1); }
+              start -> s : 1;
+              s -> end : 1;
+            }
+        "#;
+        assert!(parse_assembly(source).is_err());
+    }
+}

@@ -1,0 +1,78 @@
+//! Parser robustness: arbitrary input must never panic — every outcome is
+//! `Ok` or a typed error.
+
+use archrel_dsl::parse_assembly;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn arbitrary_strings_never_panic(input in "\\PC{0,256}") {
+        let _ = parse_assembly(&input);
+    }
+
+    #[test]
+    fn structured_noise_never_panics(
+        input in "(cpu|network|service|state|call|via|\\{|\\}|\\(|\\)|;|:|->|[a-z]{1,8}|[0-9]{1,4}| |\n){0,64}"
+    ) {
+        let _ = parse_assembly(&input);
+    }
+
+    #[test]
+    fn mutated_valid_documents_never_panic(cut in 0usize..400, insert in "\\PC{0,8}") {
+        let valid = r#"
+            cpu c { speed: 1e9; failure_rate: 1e-12; }
+            blackbox d(x) { pfail: 0.1; }
+            service app(n) {
+              state s { call d(x: n); }
+              start -> s : 1;
+              s -> end : 1;
+            }
+        "#;
+        let mut mutated = String::new();
+        let cut = cut.min(valid.len());
+        // Cut at a char boundary.
+        let boundary = (0..=cut).rev().find(|&i| valid.is_char_boundary(i)).unwrap_or(0);
+        mutated.push_str(&valid[..boundary]);
+        mutated.push_str(&insert);
+        mutated.push_str(&valid[boundary..]);
+        let _ = parse_assembly(&mutated);
+    }
+}
+
+#[test]
+fn deeply_nested_expressions_do_not_overflow() {
+    // 64 nested parens in an actual-parameter expression.
+    let depth = 64;
+    let mut expr = String::from("1");
+    for _ in 0..depth {
+        expr = format!("({expr} + 1)");
+    }
+    let doc = format!(
+        r#"
+        blackbox d(x) {{ pfail: 0.1; }}
+        service app() {{
+          state s {{ call d(x: {expr}); }}
+          start -> s : 1;
+          s -> end : 1;
+        }}
+        "#
+    );
+    assert!(parse_assembly(&doc).is_ok());
+}
+
+#[test]
+fn pathological_but_valid_inputs() {
+    // Unicode in comments, mixed whitespace, trailing newline salad.
+    let doc = "\
+        // ценности ☃ unicode comment\n\
+        # another — with em-dash\n\
+        blackbox d(x) { pfail: 0.25; }\n\r\n\t\
+        service app() {\n\
+          state s { call d(x: 1); }\n\
+          start -> s : 1;\n\
+          s -> end : 1;\n\
+        }\n\n";
+    assert!(parse_assembly(doc).is_ok());
+}

@@ -1,0 +1,138 @@
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// An environment mapping parameter names to numeric values.
+///
+/// Used when a symbolic expression — e.g. an actual-parameter function
+/// `ap_j(fp)` — is evaluated for a concrete service invocation.
+///
+/// # Examples
+///
+/// ```
+/// use archrel_expr::Bindings;
+///
+/// let env = Bindings::new().with("list", 100.0).with("elem", 4.0);
+/// assert_eq!(env.get("list"), Some(100.0));
+/// assert_eq!(env.get("missing"), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Bindings {
+    values: BTreeMap<String, f64>,
+}
+
+impl Bindings {
+    /// Creates an empty environment.
+    pub fn new() -> Self {
+        Bindings::default()
+    }
+
+    /// Builder-style insertion.
+    #[must_use]
+    pub fn with(mut self, name: impl Into<String>, value: f64) -> Self {
+        self.values.insert(name.into(), value);
+        self
+    }
+
+    /// Inserts a binding, returning the previous value if any.
+    pub fn insert(&mut self, name: impl Into<String>, value: f64) -> Option<f64> {
+        self.values.insert(name.into(), value)
+    }
+
+    /// Looks up a parameter.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.values.get(name).copied()
+    }
+
+    /// Whether the environment binds `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.values.contains_key(name)
+    }
+
+    /// Number of bound parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the environment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Merges `other` into `self`; `other` wins on conflicts.
+    pub fn extend(&mut self, other: &Bindings) {
+        for (k, v) in &other.values {
+            self.values.insert(k.clone(), *v);
+        }
+    }
+
+    /// A stable fingerprint of the environment, used by the evaluation cache
+    /// in `archrel-core` to memoize per-(service, parameters) results.
+    ///
+    /// Two environments with identical contents produce identical keys.
+    pub fn cache_key(&self) -> String {
+        let mut s = String::new();
+        for (k, v) in &self.values {
+            s.push_str(k);
+            s.push('=');
+            // Bit-exact formatting so 0.1 and 0.1000000001 never collide.
+            s.push_str(&format!("{:x}", v.to_bits()));
+            s.push(';');
+        }
+        s
+    }
+}
+
+impl FromIterator<(String, f64)> for Bindings {
+    fn from_iter<I: IntoIterator<Item = (String, f64)>>(iter: I) -> Self {
+        Bindings {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get() {
+        let mut b = Bindings::new();
+        assert!(b.is_empty());
+        assert_eq!(b.insert("x", 1.0), None);
+        assert_eq!(b.insert("x", 2.0), Some(1.0));
+        assert_eq!(b.get("x"), Some(2.0));
+        assert_eq!(b.len(), 1);
+        assert!(b.contains("x"));
+    }
+
+    #[test]
+    fn extend_overwrites() {
+        let mut a = Bindings::new().with("x", 1.0).with("y", 2.0);
+        let b = Bindings::new().with("y", 9.0).with("z", 3.0);
+        a.extend(&b);
+        assert_eq!(a.get("y"), Some(9.0));
+        assert_eq!(a.get("z"), Some(3.0));
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn cache_key_is_order_independent_and_exact() {
+        let a = Bindings::new().with("x", 0.1).with("y", 2.0);
+        let b = Bindings::new().with("y", 2.0).with("x", 0.1);
+        assert_eq!(a.cache_key(), b.cache_key());
+        let c = Bindings::new().with("x", 0.1 + 1e-12).with("y", 2.0);
+        assert_ne!(a.cache_key(), c.cache_key());
+    }
+
+    #[test]
+    fn from_iterator() {
+        let b: Bindings = vec![("a".to_string(), 1.0)].into_iter().collect();
+        assert_eq!(b.get("a"), Some(1.0));
+    }
+}

@@ -1,0 +1,332 @@
+//! Compilation of expressions to a flat stack-machine program.
+//!
+//! Parameter sweeps (Figure 6 runs 64 grid points; selection and sensitivity
+//! loops run thousands) re-evaluate the same closed-form formula with
+//! different bindings. Walking the [`Expr`] tree costs a pointer chase per
+//! node and a name lookup per parameter; [`CompiledExpr`] replaces that with
+//! a linear instruction array and positional parameter slots.
+//!
+//! ```
+//! use archrel_expr::{parse, Bindings};
+//!
+//! # fn main() -> Result<(), archrel_expr::ExprError> {
+//! let formula = parse("1 - exp(-(x * log2(x)) / 1e9)")?;
+//! let compiled = formula.compile();
+//! assert_eq!(compiled.params(), ["x"]);
+//! let fast = compiled.eval(&[4096.0])?;
+//! let slow = formula.eval(&Bindings::new().with("x", 4096.0))?;
+//! assert!((fast - slow).abs() < 1e-15);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{BinaryOp, Expr, ExprError, Result, UnaryOp};
+
+/// One stack-machine instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Instr {
+    /// Push a constant.
+    Push(f64),
+    /// Push parameter slot `i`.
+    Load(usize),
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Pow,
+    Min,
+    Max,
+    Neg,
+    Ln,
+    Log2,
+    Exp,
+    Sqrt,
+}
+
+/// A compiled expression: flat instructions plus a positional parameter
+/// table (sorted by first occurrence in a left-to-right walk).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledExpr {
+    instrs: Vec<Instr>,
+    params: Vec<String>,
+    max_stack: usize,
+}
+
+impl Expr {
+    /// Compiles the expression for repeated evaluation.
+    pub fn compile(&self) -> CompiledExpr {
+        let mut instrs = Vec::new();
+        let mut params: Vec<String> = Vec::new();
+        fn emit(e: &Expr, instrs: &mut Vec<Instr>, params: &mut Vec<String>) {
+            match e {
+                Expr::Num(v) => instrs.push(Instr::Push(*v)),
+                Expr::Param(name) => {
+                    let slot = match params.iter().position(|p| p == name.as_ref()) {
+                        Some(i) => i,
+                        None => {
+                            params.push(name.to_string());
+                            params.len() - 1
+                        }
+                    };
+                    instrs.push(Instr::Load(slot));
+                }
+                Expr::Unary { op, operand } => {
+                    emit(operand, instrs, params);
+                    instrs.push(match op {
+                        UnaryOp::Neg => Instr::Neg,
+                        UnaryOp::Ln => Instr::Ln,
+                        UnaryOp::Log2 => Instr::Log2,
+                        UnaryOp::Exp => Instr::Exp,
+                        UnaryOp::Sqrt => Instr::Sqrt,
+                    });
+                }
+                Expr::Binary { op, left, right } => {
+                    emit(left, instrs, params);
+                    emit(right, instrs, params);
+                    instrs.push(match op {
+                        BinaryOp::Add => Instr::Add,
+                        BinaryOp::Sub => Instr::Sub,
+                        BinaryOp::Mul => Instr::Mul,
+                        BinaryOp::Div => Instr::Div,
+                        BinaryOp::Pow => Instr::Pow,
+                        BinaryOp::Min => Instr::Min,
+                        BinaryOp::Max => Instr::Max,
+                    });
+                }
+            }
+        }
+        emit(self, &mut instrs, &mut params);
+        // Static stack-depth analysis.
+        let mut depth = 0usize;
+        let mut max_stack = 0usize;
+        for i in &instrs {
+            match i {
+                Instr::Push(_) | Instr::Load(_) => depth += 1,
+                Instr::Add
+                | Instr::Sub
+                | Instr::Mul
+                | Instr::Div
+                | Instr::Pow
+                | Instr::Min
+                | Instr::Max => depth -= 1,
+                _ => {}
+            }
+            max_stack = max_stack.max(depth);
+        }
+        CompiledExpr {
+            instrs,
+            params,
+            max_stack,
+        }
+    }
+}
+
+impl CompiledExpr {
+    /// Parameter names, in slot order; [`CompiledExpr::eval`] takes values
+    /// in exactly this order.
+    pub fn params(&self) -> &[String] {
+        &self.params
+    }
+
+    /// Evaluates with positional parameter values.
+    ///
+    /// # Errors
+    ///
+    /// - [`ExprError::UnboundParameter`] when `values.len()` differs from
+    ///   the parameter count;
+    /// - [`ExprError::NonFinite`] when the result (or any intermediate) is
+    ///   NaN/∞ — the same contract as [`Expr::eval`].
+    pub fn eval(&self, values: &[f64]) -> Result<f64> {
+        let mut stack = Vec::with_capacity(self.max_stack);
+        self.eval_with_stack(values, &mut stack)
+    }
+
+    /// Evaluates reusing a caller-owned stack buffer (zero allocations in
+    /// steady state — the inner loop of sweeps).
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledExpr::eval`].
+    pub fn eval_with_stack(&self, values: &[f64], stack: &mut Vec<f64>) -> Result<f64> {
+        if values.len() != self.params.len() {
+            return Err(ExprError::UnboundParameter {
+                name: format!(
+                    "expected {} positional values, got {}",
+                    self.params.len(),
+                    values.len()
+                ),
+            });
+        }
+        stack.clear();
+        stack.reserve(self.max_stack);
+        for instr in &self.instrs {
+            match *instr {
+                Instr::Push(v) => stack.push(v),
+                Instr::Load(slot) => stack.push(values[slot]),
+                Instr::Neg => {
+                    let a = stack.last_mut().expect("compiler emitted valid program");
+                    *a = -*a;
+                }
+                Instr::Ln => {
+                    let a = stack.last_mut().expect("compiler emitted valid program");
+                    *a = a.ln();
+                }
+                Instr::Log2 => {
+                    let a = stack.last_mut().expect("compiler emitted valid program");
+                    *a = a.log2();
+                }
+                Instr::Exp => {
+                    let a = stack.last_mut().expect("compiler emitted valid program");
+                    *a = a.exp();
+                }
+                Instr::Sqrt => {
+                    let a = stack.last_mut().expect("compiler emitted valid program");
+                    *a = a.sqrt();
+                }
+                binary => {
+                    let b = stack.pop().expect("compiler emitted valid program");
+                    let a = stack.last_mut().expect("compiler emitted valid program");
+                    *a = match binary {
+                        Instr::Add => *a + b,
+                        Instr::Sub => *a - b,
+                        Instr::Mul => *a * b,
+                        Instr::Div => *a / b,
+                        Instr::Pow => a.powf(b),
+                        Instr::Min => a.min(b),
+                        Instr::Max => a.max(b),
+                        _ => unreachable!("unary ops handled above"),
+                    };
+                }
+            }
+        }
+        let result = stack.pop().expect("program leaves one value");
+        if result.is_finite() {
+            Ok(result)
+        } else {
+            Err(ExprError::NonFinite {
+                operation: "compiled expression".to_string(),
+            })
+        }
+    }
+
+    /// Evaluates against a [`crate::Bindings`] environment (convenience,
+    /// slower than positional).
+    ///
+    /// # Errors
+    ///
+    /// [`ExprError::UnboundParameter`] for missing names, plus the
+    /// conditions of [`CompiledExpr::eval`].
+    pub fn eval_bindings(&self, env: &crate::Bindings) -> Result<f64> {
+        let values: Vec<f64> = self
+            .params
+            .iter()
+            .map(|p| {
+                env.get(p)
+                    .ok_or_else(|| ExprError::UnboundParameter { name: p.clone() })
+            })
+            .collect::<Result<_>>()?;
+        self.eval(&values)
+    }
+
+    /// Number of instructions — a size metric for benchmarks.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program is empty (never true for compiled expressions).
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Bindings;
+
+    #[test]
+    fn compiles_and_evaluates_basic_arithmetic() {
+        let e = crate::parse("2 + 3 * x - y / 2").unwrap();
+        let c = e.compile();
+        assert_eq!(c.params(), ["x", "y"]);
+        assert_eq!(c.eval(&[4.0, 6.0]).unwrap(), 11.0);
+    }
+
+    #[test]
+    fn parameter_slots_deduplicate() {
+        let e = crate::parse("x * x + x").unwrap();
+        let c = e.compile();
+        assert_eq!(c.params(), ["x"]);
+        assert_eq!(c.eval(&[3.0]).unwrap(), 12.0);
+    }
+
+    #[test]
+    fn functions_match_interpreter() {
+        let sources = [
+            "ln(x) + log2(y)",
+            "exp(-(x / 1000))",
+            "sqrt(x * y)",
+            "min(x, y) * max(x, 2)",
+            "x ^ y",
+            "1 - (1 - 0.001) ^ (x * log2(x))",
+        ];
+        let env = Bindings::new().with("x", 37.5).with("y", 4.25);
+        for src in sources {
+            let e = crate::parse(src).unwrap();
+            let interpreted = e.eval(&env).unwrap();
+            let compiled = e.compile().eval_bindings(&env).unwrap();
+            assert!(
+                (interpreted - compiled).abs() < 1e-12,
+                "`{src}`: {interpreted} vs {compiled}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let c = crate::parse("x + y").unwrap().compile();
+        assert!(matches!(
+            c.eval(&[1.0]),
+            Err(ExprError::UnboundParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_binding_rejected() {
+        let c = crate::parse("x + y").unwrap().compile();
+        let env = Bindings::new().with("x", 1.0);
+        assert!(matches!(
+            c.eval_bindings(&env),
+            Err(ExprError::UnboundParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_detected() {
+        let c = crate::parse("1 / x").unwrap().compile();
+        assert!(matches!(c.eval(&[0.0]), Err(ExprError::NonFinite { .. })));
+        let c = crate::parse("ln(x)").unwrap().compile();
+        assert!(matches!(c.eval(&[-1.0]), Err(ExprError::NonFinite { .. })));
+    }
+
+    #[test]
+    fn reusable_stack_buffer() {
+        let c = crate::parse("x * log2(x) + sqrt(x)").unwrap().compile();
+        let mut stack = Vec::new();
+        for x in [2.0, 64.0, 4096.0] {
+            let fast = c.eval_with_stack(&[x], &mut stack).unwrap();
+            let slow = crate::parse("x * log2(x) + sqrt(x)")
+                .unwrap()
+                .eval(&Bindings::new().with("x", x))
+                .unwrap();
+            assert!((fast - slow).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn program_metrics() {
+        let c = crate::parse("x + 1").unwrap().compile();
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+    }
+}

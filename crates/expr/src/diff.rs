@@ -1,0 +1,238 @@
+//! Symbolic differentiation.
+//!
+//! The reliability formulas produced by `archrel-core`'s symbolic engine are
+//! compositions of `+ − × ÷`, `exp`, `ln`, `log2`, `sqrt`, and powers —
+//! all smooth wherever they are defined — so exact parameter sensitivities
+//! (`∂Pfail/∂list`, `∂Pfail/∂γ`, ...) come from straightforward recursive
+//! differentiation instead of finite differences. `min`/`max` are only
+//! piecewise differentiable; differentiating them is a typed error.
+
+use crate::{BinaryOp, Expr, ExprError, Result, UnaryOp};
+
+impl Expr {
+    /// Returns `∂self/∂param` as a new (simplified) expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExprError::NonDifferentiable`] when the expression contains
+    /// `min`/`max` nodes whose value depends on `param` (kink points have no
+    /// derivative).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use archrel_expr::{Bindings, Expr};
+    ///
+    /// # fn main() -> Result<(), archrel_expr::ExprError> {
+    /// // d/dn [n * log2(n)] = log2(n) + 1/ln(2)
+    /// let cost = Expr::param("n") * Expr::param("n").log2();
+    /// let d = cost.differentiate("n")?;
+    /// let at8 = d.eval(&Bindings::new().with("n", 8.0))?;
+    /// assert!((at8 - (3.0 + 1.0 / 2f64.ln())).abs() < 1e-12);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn differentiate(&self, param: &str) -> Result<Expr> {
+        Ok(self.diff_inner(param)?.simplify())
+    }
+
+    fn diff_inner(&self, param: &str) -> Result<Expr> {
+        match self {
+            Expr::Num(_) => Ok(Expr::zero()),
+            Expr::Param(name) => Ok(if name.as_ref() == param {
+                Expr::one()
+            } else {
+                Expr::zero()
+            }),
+            Expr::Unary { op, operand } => {
+                let u = (**operand).clone();
+                let du = operand.diff_inner(param)?;
+                Ok(match op {
+                    UnaryOp::Neg => -du,
+                    // d exp(u) = exp(u) du
+                    UnaryOp::Exp => u.exp() * du,
+                    // d ln(u) = du / u
+                    UnaryOp::Ln => du / u,
+                    // d log2(u) = du / (u ln 2)
+                    UnaryOp::Log2 => du / (u * Expr::num(std::f64::consts::LN_2)),
+                    // d sqrt(u) = du / (2 sqrt(u))
+                    UnaryOp::Sqrt => du / (Expr::num(2.0) * u.sqrt()),
+                })
+            }
+            Expr::Binary { op, left, right } => {
+                let f = (**left).clone();
+                let g = (**right).clone();
+                match op {
+                    BinaryOp::Add => Ok(left.diff_inner(param)? + right.diff_inner(param)?),
+                    BinaryOp::Sub => Ok(left.diff_inner(param)? - right.diff_inner(param)?),
+                    BinaryOp::Mul => {
+                        let df = left.diff_inner(param)?;
+                        let dg = right.diff_inner(param)?;
+                        Ok(df * g + f * dg)
+                    }
+                    BinaryOp::Div => {
+                        let df = left.diff_inner(param)?;
+                        let dg = right.diff_inner(param)?;
+                        Ok((df * g.clone() - f * dg) / (g.clone() * g))
+                    }
+                    BinaryOp::Pow => {
+                        let df = left.diff_inner(param)?;
+                        let dg = right.diff_inner(param)?;
+                        // Constant exponent: power rule (valid for f < 0 too).
+                        if dg.is_const(0.0) {
+                            // d f^c = c f^(c-1) df
+                            return Ok(g.clone() * f.pow(g - Expr::one()) * df);
+                        }
+                        // Constant base: d c^g = c^g ln(c) dg.
+                        if df.is_const(0.0) {
+                            return Ok(f.clone().pow(g) * f.ln() * dg);
+                        }
+                        // General case: f^g = exp(g ln f), requires f > 0 at
+                        // evaluation time (ln errors otherwise, matching the
+                        // domain of the rewrite).
+                        Ok(f.clone().pow(g.clone()) * (dg * f.clone().ln() + g * df / f))
+                    }
+                    BinaryOp::Min | BinaryOp::Max => {
+                        // Only an error when the kink can actually move with
+                        // the parameter.
+                        let f_dep = f.free_params().contains(param);
+                        let g_dep = g.free_params().contains(param);
+                        if !f_dep && !g_dep {
+                            return Ok(Expr::zero());
+                        }
+                        Err(ExprError::NonDifferentiable {
+                            operation: self.to_string(),
+                            param: param.to_string(),
+                        })
+                    }
+                }
+            }
+        }
+    }
+}
+
+// Dedicated module so the helper stays close to the implementation.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Bindings;
+
+    fn x() -> Expr {
+        Expr::param("x")
+    }
+
+    fn check_at(expr: &Expr, param: &str, at: f64, expected: f64) {
+        let d = expr.differentiate(param).unwrap();
+        let v = d
+            .eval(&Bindings::new().with("x", at).with("y", 2.0))
+            .unwrap();
+        assert!(
+            (v - expected).abs() < 1e-9 * expected.abs().max(1.0),
+            "d/d{param} {expr} at {at}: got {v}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn polynomial_rules() {
+        // d/dx (x^2 + 3x + 7) = 2x + 3
+        let e = x().pow(Expr::num(2.0)) + Expr::num(3.0) * x() + Expr::num(7.0);
+        check_at(&e, "x", 5.0, 13.0);
+    }
+
+    #[test]
+    fn product_and_quotient_rules() {
+        // d/dx (x * ln x) = ln x + 1
+        let e = x() * x().ln();
+        check_at(&e, "x", std::f64::consts::E, 2.0);
+        // d/dx (1 / x) = -1/x^2
+        let e = Expr::one() / x();
+        check_at(&e, "x", 2.0, -0.25);
+    }
+
+    #[test]
+    fn chain_rule_through_unaries() {
+        // d/dx exp(-2x) = -2 exp(-2x)
+        let e = (-(Expr::num(2.0) * x())).exp();
+        check_at(&e, "x", 0.5, -2.0 * (-1.0f64).exp());
+        // d/dx sqrt(x^2 + 1) = x / sqrt(x^2 + 1)
+        let e = (x().pow(Expr::num(2.0)) + Expr::one()).sqrt();
+        check_at(&e, "x", 3.0, 3.0 / 10f64.sqrt());
+        // d/dx log2(x) = 1 / (x ln 2)
+        let e = x().log2();
+        check_at(&e, "x", 4.0, 1.0 / (4.0 * 2f64.ln()));
+    }
+
+    #[test]
+    fn constant_base_power() {
+        // d/dx 0.999^x = 0.999^x ln(0.999) — the eq. 14 software law shape.
+        let e = Expr::num(0.999).pow(x());
+        let expected = 0.999f64.powf(10.0) * 0.999f64.ln();
+        check_at(&e, "x", 10.0, expected);
+    }
+
+    #[test]
+    fn general_power() {
+        // d/dx x^x = x^x (ln x + 1)
+        let e = x().pow(x());
+        let expected = 27.0 * (3f64.ln() + 1.0);
+        check_at(&e, "x", 3.0, expected);
+    }
+
+    #[test]
+    fn other_params_are_constants() {
+        let e = Expr::param("y") * x();
+        check_at(&e, "x", 1.0, 2.0); // y bound to 2.0 in check_at
+        let d = e.differentiate("z").unwrap();
+        assert_eq!(d, Expr::zero());
+    }
+
+    #[test]
+    fn min_max_independent_of_param_is_zero() {
+        let e = Expr::param("y").min(Expr::num(4.0)) + x();
+        let d = e.differentiate("x").unwrap();
+        assert_eq!(
+            d.eval(&Bindings::new().with("x", 1.0).with("y", 9.0))
+                .unwrap(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn min_max_depending_on_param_is_an_error() {
+        let e = x().min(Expr::num(4.0));
+        assert!(matches!(
+            e.differentiate("x"),
+            Err(ExprError::NonDifferentiable { .. })
+        ));
+    }
+
+    #[test]
+    fn reliability_shaped_formula() {
+        // d/dx [1 - (1-phi)^(x log2 x) * exp(-l*x/s)] — the eq. 18 shape —
+        // cross-checked against finite differences.
+        let phi = 1e-4;
+        let lam_over_s = 1e-6;
+        let ops = x() * x().log2();
+        let e = Expr::one()
+            - Expr::num(1.0 - phi).pow(ops.clone()) * (-(Expr::num(lam_over_s) * ops)).exp();
+        let d = e.differentiate("x").unwrap();
+        let at = 1000.0;
+        let h = 1e-3;
+        let f = |v: f64| e.eval(&Bindings::new().with("x", v)).unwrap();
+        let fd = (f(at + h) - f(at - h)) / (2.0 * h);
+        let exact = d.eval(&Bindings::new().with("x", at)).unwrap();
+        assert!(
+            (fd - exact).abs() < 1e-6 * exact.abs().max(1e-12),
+            "finite diff {fd} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn derivative_of_derivative() {
+        // d²/dx² x³ = 6x
+        let e = x().pow(Expr::num(3.0));
+        let d2 = e.differentiate("x").unwrap().differentiate("x").unwrap();
+        let v = d2.eval(&Bindings::new().with("x", 4.0)).unwrap();
+        assert!((v - 24.0).abs() < 1e-9);
+    }
+}

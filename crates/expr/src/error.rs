@@ -1,0 +1,71 @@
+use std::fmt;
+
+/// Errors produced while parsing or evaluating expressions.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ExprError {
+    /// A parameter had no value in the supplied [`crate::Bindings`].
+    UnboundParameter {
+        /// Name of the missing parameter.
+        name: String,
+    },
+    /// Evaluation produced a non-finite value (division by zero, `ln` of a
+    /// non-positive number, overflow, ...).
+    NonFinite {
+        /// The operation that produced the non-finite value.
+        operation: String,
+    },
+    /// Differentiation hit a `min`/`max` node whose value depends on the
+    /// differentiation parameter (no derivative at the kink).
+    NonDifferentiable {
+        /// Display form of the offending subexpression.
+        operation: String,
+        /// The differentiation parameter.
+        param: String,
+    },
+    /// The parser rejected the input.
+    Parse {
+        /// Byte offset of the failure in the input.
+        position: usize,
+        /// Explanation of what was expected.
+        message: String,
+    },
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::UnboundParameter { name } => write!(f, "unbound parameter `{name}`"),
+            ExprError::NonFinite { operation } => {
+                write!(f, "non-finite result in {operation}")
+            }
+            ExprError::NonDifferentiable { operation, param } => {
+                write!(f, "`{operation}` is not differentiable in `{param}`")
+            }
+            ExprError::Parse { position, message } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_parameter() {
+        let e = ExprError::UnboundParameter {
+            name: "list".to_string(),
+        };
+        assert!(e.to_string().contains("list"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ExprError>();
+    }
+}

@@ -1,0 +1,51 @@
+//! Symbolic parametric expressions for `archrel`.
+//!
+//! Grassi's model (§2) requires that the *actual parameters* of the cascading
+//! requests a service issues, and the transition probabilities of its flow,
+//! be expressible as **functions of the formal parameters** of the service
+//! (`ap_j = ap_j(fp)`). The paper's own evaluation (§4, eqs. 15–22) is carried
+//! out symbolically. This crate provides that machinery:
+//!
+//! - [`Expr`]: an expression AST over named parameters with arithmetic,
+//!   `ln`/`log2`/`exp`/`sqrt`/`pow`, and `min`/`max`.
+//! - [`Bindings`]: parameter environments for numeric evaluation.
+//! - [`parse`]: a parser for the surface syntax used by the `archrel-dsl`
+//!   crate (e.g. `list * log2(list)`).
+//! - [`Expr::simplify`]: constant folding and algebraic identities, used to
+//!   keep the symbolic reliability formulas produced by `archrel-core`
+//!   readable.
+//!
+//! # Examples
+//!
+//! The cost expression of the paper's `sort` service, `list · log₂(list)`:
+//!
+//! ```
+//! use archrel_expr::{Bindings, Expr};
+//!
+//! # fn main() -> Result<(), archrel_expr::ExprError> {
+//! let cost = Expr::param("list") * Expr::param("list").log2();
+//! let env = Bindings::new().with("list", 1024.0);
+//! assert_eq!(cost.eval(&env)?, 1024.0 * 10.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod bindings;
+mod compile;
+mod diff;
+mod error;
+mod parser;
+mod simplify;
+
+pub use ast::{BinaryOp, Expr, UnaryOp};
+pub use bindings::Bindings;
+pub use compile::CompiledExpr;
+pub use error::ExprError;
+pub use parser::parse;
+
+/// Convenience result alias for fallible expression operations.
+pub type Result<T> = std::result::Result<T, ExprError>;

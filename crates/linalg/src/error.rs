@@ -1,0 +1,102 @@
+use std::fmt;
+
+/// Errors produced by linear-algebra operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left/first operand, `(rows, cols)`.
+        left: (usize, usize),
+        /// Shape of the right/second operand, `(rows, cols)`.
+        right: (usize, usize),
+    },
+    /// The matrix is singular (or numerically singular) and cannot be
+    /// factored or inverted.
+    Singular {
+        /// Pivot column at which factorization broke down.
+        pivot: usize,
+    },
+    /// A square matrix was required but a rectangular one was supplied.
+    NotSquare {
+        /// Actual shape, `(rows, cols)`.
+        shape: (usize, usize),
+    },
+    /// Construction input was ragged or empty where a rectangular,
+    /// non-empty layout was required.
+    InvalidShape {
+        /// Explanation of what was malformed.
+        reason: String,
+    },
+    /// An iterative method failed to converge within its iteration budget.
+    NoConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Residual norm at the final iteration.
+        residual: f64,
+    },
+    /// An index was out of bounds.
+    IndexOutOfBounds {
+        /// Offending index, `(row, col)`.
+        index: (usize, usize),
+        /// Shape of the matrix, `(rows, cols)`.
+        shape: (usize, usize),
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, left, right } => write!(
+                f,
+                "dimension mismatch in {op}: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot column {pivot}")
+            }
+            LinalgError::NotSquare { shape } => {
+                write!(f, "square matrix required, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::InvalidShape { reason } => write!(f, "invalid shape: {reason}"),
+            LinalgError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iterative method did not converge after {iterations} iterations (residual {residual:e})"
+            ),
+            LinalgError::IndexOutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for {}x{} matrix",
+                index.0, index.1, shape.0, shape.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LinalgError::DimensionMismatch {
+            op: "mul",
+            left: (2, 3),
+            right: (4, 5),
+        };
+        assert!(e.to_string().contains("mul"));
+        assert!(e.to_string().contains("2x3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

@@ -1,0 +1,280 @@
+//! Iterative solvers and eigen-utilities.
+//!
+//! Direct LU solves are exact but cubic; for large chains (the scaling
+//! benchmarks drive flows with thousands of states) the Jacobi and
+//! Gauss–Seidel methods here converge quickly because `I - Q` of a
+//! substochastic matrix is strictly diagonally dominant whenever every state
+//! leaks probability toward absorption. Power iteration supports stationary
+//! distributions of ergodic chains in `archrel-markov`.
+
+use crate::{LinalgError, Matrix, Result, Vector};
+
+/// Options controlling iterative solvers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterOptions {
+    /// Maximum number of sweeps before giving up.
+    pub max_iterations: usize,
+    /// Convergence threshold on the infinity norm of the update.
+    pub tolerance: f64,
+}
+
+impl Default for IterOptions {
+    fn default() -> Self {
+        IterOptions {
+            max_iterations: 10_000,
+            tolerance: 1e-12,
+        }
+    }
+}
+
+fn check_square_system(a: &Matrix, b: &Vector, op: &'static str) -> Result<()> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    if a.rows() != b.len() {
+        return Err(LinalgError::DimensionMismatch {
+            op,
+            left: a.shape(),
+            right: (b.len(), 1),
+        });
+    }
+    Ok(())
+}
+
+/// Solves `A x = b` with the Jacobi method.
+///
+/// Convergence is guaranteed for strictly diagonally dominant `A` (which
+/// includes `I - Q` for the substochastic transient blocks produced by the
+/// reliability engine, whenever every transient state has a path to an
+/// absorbing state).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotSquare`] / [`LinalgError::DimensionMismatch`]
+/// on malformed input, [`LinalgError::Singular`] when a diagonal entry is
+/// zero, and [`LinalgError::NoConvergence`] when the iteration budget is
+/// exhausted.
+pub fn jacobi(a: &Matrix, b: &Vector, opts: IterOptions) -> Result<Vector> {
+    check_square_system(a, b, "jacobi")?;
+    let n = a.rows();
+    for i in 0..n {
+        if a.get(i, i) == 0.0 {
+            return Err(LinalgError::Singular { pivot: i });
+        }
+    }
+    let mut x = Vector::zeros(n);
+    let mut next = Vector::zeros(n);
+    for it in 0..opts.max_iterations {
+        for i in 0..n {
+            let mut s = b[i];
+            let row = a.row(i);
+            for (j, &aij) in row.iter().enumerate() {
+                if j != i {
+                    s -= aij * x[j];
+                }
+            }
+            next[i] = s / a.get(i, i);
+        }
+        let delta = x.max_abs_diff(&next);
+        std::mem::swap(&mut x, &mut next);
+        if delta <= opts.tolerance {
+            return Ok(x);
+        }
+        let _ = it;
+    }
+    let residual = (&a.mul_vector(&x)? - b).norm_inf();
+    Err(LinalgError::NoConvergence {
+        iterations: opts.max_iterations,
+        residual,
+    })
+}
+
+/// Solves `A x = b` with the Gauss–Seidel method (in-place sweeps).
+///
+/// Typically converges about twice as fast as Jacobi on diagonally dominant
+/// systems; same guarantees and error conditions as [`jacobi`].
+///
+/// # Errors
+///
+/// See [`jacobi`].
+pub fn gauss_seidel(a: &Matrix, b: &Vector, opts: IterOptions) -> Result<Vector> {
+    check_square_system(a, b, "gauss-seidel")?;
+    let n = a.rows();
+    for i in 0..n {
+        if a.get(i, i) == 0.0 {
+            return Err(LinalgError::Singular { pivot: i });
+        }
+    }
+    let mut x = Vector::zeros(n);
+    for _ in 0..opts.max_iterations {
+        let mut delta = 0.0_f64;
+        for i in 0..n {
+            let mut s = b[i];
+            let row = a.row(i);
+            for (j, &aij) in row.iter().enumerate() {
+                if j != i {
+                    s -= aij * x[j];
+                }
+            }
+            let new = s / a.get(i, i);
+            delta = delta.max((new - x[i]).abs());
+            x[i] = new;
+        }
+        if delta <= opts.tolerance {
+            return Ok(x);
+        }
+    }
+    let residual = (&a.mul_vector(&x)? - b).norm_inf();
+    Err(LinalgError::NoConvergence {
+        iterations: opts.max_iterations,
+        residual,
+    })
+}
+
+/// Result of a power-iteration run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerIteration {
+    /// Dominant eigenvalue estimate (Rayleigh quotient).
+    pub eigenvalue: f64,
+    /// Corresponding eigenvector, normalized to unit L1 norm.
+    pub eigenvector: Vector,
+    /// Iterations performed.
+    pub iterations: usize,
+}
+
+/// Power iteration for the dominant eigenpair of `a`.
+///
+/// Starts from the uniform vector; used by the Markov substrate to compute
+/// stationary distributions (iterating `π ← π P`) and spectral radii.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotSquare`] for rectangular input and
+/// [`LinalgError::NoConvergence`] when the vector does not settle.
+pub fn power_iteration(a: &Matrix, opts: IterOptions) -> Result<PowerIteration> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Err(LinalgError::InvalidShape {
+            reason: "power iteration on empty matrix".to_string(),
+        });
+    }
+    let mut v = Vector::filled(n, 1.0 / n as f64);
+    let mut eigenvalue = 0.0;
+    for it in 1..=opts.max_iterations {
+        let mut w = a.mul_vector(&v)?;
+        let norm = w.norm_1();
+        if norm == 0.0 {
+            // a annihilates v: eigenvalue 0.
+            return Ok(PowerIteration {
+                eigenvalue: 0.0,
+                eigenvector: v,
+                iterations: it,
+            });
+        }
+        w.scale_mut(1.0 / norm);
+        let delta = v.max_abs_diff(&w);
+        // Rayleigh-like estimate using L1 normalization.
+        eigenvalue = norm;
+        v = w;
+        if delta <= opts.tolerance {
+            return Ok(PowerIteration {
+                eigenvalue,
+                eigenvector: v,
+                iterations: it,
+            });
+        }
+    }
+    Err(LinalgError::NoConvergence {
+        iterations: opts.max_iterations,
+        residual: eigenvalue,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dominant_system() -> (Matrix, Vector) {
+        let a =
+            Matrix::from_rows(&[&[4.0, -1.0, 0.0], &[-1.0, 4.0, -1.0], &[0.0, -1.0, 4.0]]).unwrap();
+        let b = Vector::from_slice(&[2.0, 4.0, 10.0]);
+        (a, b)
+    }
+
+    #[test]
+    fn jacobi_matches_lu() {
+        let (a, b) = dominant_system();
+        let exact = a.solve(&b).unwrap();
+        let x = jacobi(&a, &b, IterOptions::default()).unwrap();
+        assert!(x.max_abs_diff(&exact) < 1e-10);
+    }
+
+    #[test]
+    fn gauss_seidel_matches_lu() {
+        let (a, b) = dominant_system();
+        let exact = a.solve(&b).unwrap();
+        let x = gauss_seidel(&a, &b, IterOptions::default()).unwrap();
+        assert!(x.max_abs_diff(&exact) < 1e-10);
+    }
+
+    #[test]
+    fn zero_diagonal_is_singular() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let b = Vector::from_slice(&[1.0, 1.0]);
+        assert!(matches!(
+            jacobi(&a, &b, IterOptions::default()),
+            Err(LinalgError::Singular { .. })
+        ));
+        assert!(matches!(
+            gauss_seidel(&a, &b, IterOptions::default()),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn non_convergent_reports_error() {
+        // Not diagonally dominant; Jacobi diverges.
+        let a = Matrix::from_rows(&[&[1.0, 3.0], &[4.0, 1.0]]).unwrap();
+        let b = Vector::from_slice(&[1.0, 1.0]);
+        let opts = IterOptions {
+            max_iterations: 50,
+            tolerance: 1e-14,
+        };
+        assert!(matches!(
+            jacobi(&a, &b, opts),
+            Err(LinalgError::NoConvergence { .. })
+        ));
+    }
+
+    #[test]
+    fn power_iteration_finds_dominant_eigenvalue() {
+        // Eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let r = power_iteration(&a, IterOptions::default()).unwrap();
+        assert!((r.eigenvalue - 3.0).abs() < 1e-9);
+        // Eigenvector proportional to (1, 1).
+        assert!((r.eigenvector[0] - r.eigenvector[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_iteration_on_stochastic_matrix_gives_one() {
+        let p = Matrix::from_rows(&[&[0.9, 0.1], &[0.4, 0.6]]).unwrap();
+        let r = power_iteration(&p.transpose(), IterOptions::default()).unwrap();
+        assert!((r.eigenvalue - 1.0).abs() < 1e-9);
+        // Stationary distribution of this chain is (0.8, 0.2).
+        assert!((r.eigenvector[0] - 0.8).abs() < 1e-6);
+        assert!((r.eigenvector[1] - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let a = Matrix::zeros(2, 3);
+        let b = Vector::zeros(2);
+        assert!(jacobi(&a, &b, IterOptions::default()).is_err());
+        let a = Matrix::identity(3);
+        assert!(gauss_seidel(&a, &b, IterOptions::default()).is_err());
+    }
+}

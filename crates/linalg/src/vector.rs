@@ -1,0 +1,343 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// A dense vector of `f64` values.
+///
+/// `Vector` is the right-hand-side / solution type for the solvers in this
+/// crate and the probability-distribution type for the Markov substrate.
+///
+/// # Examples
+///
+/// ```
+/// use archrel_linalg::Vector;
+///
+/// let v = Vector::from_slice(&[3.0, 4.0]);
+/// assert_eq!(v.norm_2(), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Vector {
+    data: Vec<f64>,
+}
+
+impl Vector {
+    /// Creates a zero vector of length `n`.
+    pub fn zeros(n: usize) -> Self {
+        Vector { data: vec![0.0; n] }
+    }
+
+    /// Creates a vector of length `n` filled with `value`.
+    pub fn filled(n: usize, value: f64) -> Self {
+        Vector {
+            data: vec![value; n],
+        }
+    }
+
+    /// Creates a vector by copying a slice.
+    pub fn from_slice(values: &[f64]) -> Self {
+        Vector {
+            data: values.to_vec(),
+        }
+    }
+
+    /// Creates a standard basis vector `e_i` of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    pub fn basis(n: usize, i: usize) -> Self {
+        assert!(i < n, "basis index {i} out of bounds for length {n}");
+        let mut v = Vector::zeros(n);
+        v.data[i] = 1.0;
+        v
+    }
+
+    /// Length of the vector.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the vector has length zero.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the underlying storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume the vector, returning its storage.
+    pub fn into_inner(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Dot product with another vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ; this is a programmer error, not a data error.
+    pub fn dot(&self, other: &Vector) -> f64 {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "dot product of vectors with different lengths"
+        );
+        self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
+    }
+
+    /// Euclidean (L2) norm.
+    pub fn norm_2(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// L1 norm (sum of absolute values).
+    pub fn norm_1(&self) -> f64 {
+        self.data.iter().map(|x| x.abs()).sum()
+    }
+
+    /// Infinity norm (largest absolute value), `0.0` for the empty vector.
+    pub fn norm_inf(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, x| m.max(x.abs()))
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Scale all entries in place.
+    pub fn scale_mut(&mut self, factor: f64) {
+        for x in &mut self.data {
+            *x *= factor;
+        }
+    }
+
+    /// Returns a scaled copy.
+    pub fn scaled(&self, factor: f64) -> Vector {
+        let mut v = self.clone();
+        v.scale_mut(factor);
+        v
+    }
+
+    /// Normalizes the vector in place so its entries sum to one, returning
+    /// `false` (and leaving the vector untouched) when the sum is zero or
+    /// non-finite.
+    pub fn normalize_sum(&mut self) -> bool {
+        let s = self.sum();
+        if s == 0.0 || !s.is_finite() {
+            return false;
+        }
+        self.scale_mut(1.0 / s);
+        true
+    }
+
+    /// Iterates over entries.
+    pub fn iter(&self) -> std::slice::Iter<'_, f64> {
+        self.data.iter()
+    }
+
+    /// Maximum absolute difference between two vectors of the same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn max_abs_diff(&self, other: &Vector) -> f64 {
+        assert_eq!(self.len(), other.len(), "max_abs_diff length mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()))
+    }
+}
+
+impl From<Vec<f64>> for Vector {
+    fn from(data: Vec<f64>) -> Self {
+        Vector { data }
+    }
+}
+
+impl FromIterator<f64> for Vector {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Vector {
+            data: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Index<usize> for Vector {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for Vector {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.data[i]
+    }
+}
+
+impl Add for &Vector {
+    type Output = Vector;
+    fn add(self, rhs: &Vector) -> Vector {
+        assert_eq!(self.len(), rhs.len(), "vector addition length mismatch");
+        self.data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect()
+    }
+}
+
+impl Sub for &Vector {
+    type Output = Vector;
+    fn sub(self, rhs: &Vector) -> Vector {
+        assert_eq!(self.len(), rhs.len(), "vector subtraction length mismatch");
+        self.data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect()
+    }
+}
+
+impl AddAssign<&Vector> for Vector {
+    fn add_assign(&mut self, rhs: &Vector) {
+        assert_eq!(self.len(), rhs.len(), "vector += length mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+}
+
+impl SubAssign<&Vector> for Vector {
+    fn sub_assign(&mut self, rhs: &Vector) {
+        assert_eq!(self.len(), rhs.len(), "vector -= length mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a -= b;
+        }
+    }
+}
+
+impl Mul<f64> for &Vector {
+    type Output = Vector;
+    fn mul(self, rhs: f64) -> Vector {
+        self.scaled(rhs)
+    }
+}
+
+impl Neg for &Vector {
+    type Output = Vector;
+    fn neg(self) -> Vector {
+        self.scaled(-1.0)
+    }
+}
+
+impl fmt::Display for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, x) in self.data.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{x:.6}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let mut v = Vector::zeros(3);
+        assert_eq!(v.len(), 3);
+        v[1] = 2.5;
+        assert_eq!(v[1], 2.5);
+        assert_eq!(v.sum(), 2.5);
+    }
+
+    #[test]
+    fn basis_vector() {
+        let e1 = Vector::basis(4, 1);
+        assert_eq!(e1.as_slice(), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn basis_out_of_bounds_panics() {
+        let _ = Vector::basis(2, 2);
+    }
+
+    #[test]
+    fn norms() {
+        let v = Vector::from_slice(&[3.0, -4.0]);
+        assert_eq!(v.norm_2(), 5.0);
+        assert_eq!(v.norm_1(), 7.0);
+        assert_eq!(v.norm_inf(), 4.0);
+    }
+
+    #[test]
+    fn empty_norms_are_zero() {
+        let v = Vector::zeros(0);
+        assert!(v.is_empty());
+        assert_eq!(v.norm_inf(), 0.0);
+        assert_eq!(v.norm_2(), 0.0);
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Vector::from_slice(&[1.0, 2.0, 3.0]);
+        let b = Vector::from_slice(&[4.0, 5.0, 6.0]);
+        assert_eq!(a.dot(&b), 32.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Vector::from_slice(&[1.0, 2.0]);
+        let b = Vector::from_slice(&[3.0, 5.0]);
+        assert_eq!((&a + &b).as_slice(), &[4.0, 7.0]);
+        assert_eq!((&b - &a).as_slice(), &[2.0, 3.0]);
+        assert_eq!((&a * 2.0).as_slice(), &[2.0, 4.0]);
+        assert_eq!((-&a).as_slice(), &[-1.0, -2.0]);
+        let mut c = a.clone();
+        c += &b;
+        assert_eq!(c.as_slice(), &[4.0, 7.0]);
+        c -= &b;
+        assert_eq!(c.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn normalize_sum_ok() {
+        let mut v = Vector::from_slice(&[1.0, 3.0]);
+        assert!(v.normalize_sum());
+        assert_eq!(v.as_slice(), &[0.25, 0.75]);
+    }
+
+    #[test]
+    fn normalize_sum_zero_is_rejected() {
+        let mut v = Vector::zeros(2);
+        assert!(!v.normalize_sum());
+        assert_eq!(v.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn max_abs_diff() {
+        let a = Vector::from_slice(&[1.0, 2.0]);
+        let b = Vector::from_slice(&[1.5, 1.0]);
+        assert_eq!(a.max_abs_diff(&b), 1.0);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let v: Vector = (0..3).map(|i| i as f64).collect();
+        assert_eq!(v.as_slice(), &[0.0, 1.0, 2.0]);
+    }
+}

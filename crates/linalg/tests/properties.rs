@@ -1,0 +1,88 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use archrel_linalg::{iterative, Matrix, Vector};
+use proptest::prelude::*;
+
+/// Strategy: well-conditioned square matrices built as `D + E` where `D` is a
+/// strongly dominant diagonal and `E` a small perturbation. This guarantees
+/// invertibility and keeps iterative solvers convergent, matching the class of
+/// systems the Markov engine actually produces.
+fn dominant_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-1.0..1.0f64, n * n).prop_map(move |vals| {
+        let mut m = Matrix::from_vec(n, n, vals).expect("shape is consistent");
+        for i in 0..n {
+            let row_sum: f64 = m.row(i).iter().map(|x| x.abs()).sum();
+            m.set(i, i, row_sum + 1.0);
+        }
+        m
+    })
+}
+
+fn vector(n: usize) -> impl Strategy<Value = Vector> {
+    proptest::collection::vec(-10.0..10.0f64, n).prop_map(Vector::from)
+}
+
+proptest! {
+    #[test]
+    fn lu_solve_has_small_residual((a, b) in (2usize..8).prop_flat_map(|n| (dominant_matrix(n), vector(n)))) {
+        let x = a.solve(&b).unwrap();
+        let r = (&a.mul_vector(&x).unwrap() - &b).norm_inf();
+        prop_assert!(r < 1e-8, "residual {r}");
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity(a in (2usize..7).prop_flat_map(dominant_matrix)) {
+        let inv = a.inverse().unwrap();
+        let prod = a.mul_matrix(&inv).unwrap();
+        prop_assert!(prod.max_abs_diff(&Matrix::identity(a.rows())) < 1e-8);
+    }
+
+    #[test]
+    fn transpose_is_involution(a in (1usize..6).prop_flat_map(dominant_matrix)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn determinant_of_product_is_product_of_determinants(
+        (a, b) in (2usize..6).prop_flat_map(|n| (dominant_matrix(n), dominant_matrix(n)))
+    ) {
+        let da = a.determinant().unwrap();
+        let db = b.determinant().unwrap();
+        let dab = a.mul_matrix(&b).unwrap().determinant().unwrap();
+        let scale = da.abs().max(db.abs()).max(1.0);
+        prop_assert!((dab - da * db).abs() / (scale * scale) < 1e-6);
+    }
+
+    #[test]
+    fn iterative_solvers_agree_with_lu(
+        (a, b) in (2usize..7).prop_flat_map(|n| (dominant_matrix(n), vector(n)))
+    ) {
+        let exact = a.solve(&b).unwrap();
+        let opts = iterative::IterOptions::default();
+        let xj = iterative::jacobi(&a, &b, opts).unwrap();
+        let xg = iterative::gauss_seidel(&a, &b, opts).unwrap();
+        prop_assert!(xj.max_abs_diff(&exact) < 1e-7);
+        prop_assert!(xg.max_abs_diff(&exact) < 1e-7);
+    }
+
+    #[test]
+    fn matrix_vector_distributes_over_addition(
+        (a, u, v) in (2usize..6).prop_flat_map(|n| (dominant_matrix(n), vector(n), vector(n)))
+    ) {
+        let lhs = a.mul_vector(&(&u + &v)).unwrap();
+        let rhs = &a.mul_vector(&u).unwrap() + &a.mul_vector(&v).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-9);
+    }
+
+    #[test]
+    fn dot_is_symmetric((u, v) in (1usize..8).prop_flat_map(|n| (vector(n), vector(n)))) {
+        prop_assert!((u.dot(&v) - v.dot(&u)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norms_satisfy_triangle_inequality((u, v) in (1usize..8).prop_flat_map(|n| (vector(n), vector(n)))) {
+        prop_assert!((&u + &v).norm_2() <= u.norm_2() + v.norm_2() + 1e-12);
+        prop_assert!((&u + &v).norm_1() <= u.norm_1() + v.norm_1() + 1e-12);
+        prop_assert!((&u + &v).norm_inf() <= u.norm_inf() + v.norm_inf() + 1e-12);
+    }
+}

@@ -1,0 +1,382 @@
+use archrel_linalg::{Matrix, Vector};
+
+use crate::{Dtmc, MarkovError, Result, StateLabel};
+
+/// Absorbing-chain analysis in canonical form.
+///
+/// For a chain with transient states `T` and absorbing states `A`, the
+/// transition matrix in canonical form is
+///
+/// ```text
+///     | Q  R |
+/// P = |      |
+///     | 0  I |
+/// ```
+///
+/// and this type computes the *fundamental matrix* `N = (I − Q)⁻¹`, the
+/// absorption probabilities `B = N · R`, expected visit counts `N[i][j]`, and
+/// expected steps to absorption `t = N · 1`.
+///
+/// In Grassi's model the reliability of a composite service is exactly
+/// `B[Start][End]` of the failure-augmented flow (eq. 3):
+/// `Pfail(S, fp) = 1 − p*(Start → End)`.
+///
+/// # Examples
+///
+/// ```
+/// use archrel_markov::{AbsorbingAnalysis, DtmcBuilder};
+///
+/// # fn main() -> Result<(), archrel_markov::MarkovError> {
+/// let chain = DtmcBuilder::new()
+///     .transition("Start", "Work", 1.0)
+///     .transition("Work", "End", 0.9)
+///     .transition("Work", "Fail", 0.1)
+///     .build()?;
+/// let analysis = AbsorbingAnalysis::new(&chain)?;
+/// let p = analysis.absorption_probability(&"Start", &"End")?;
+/// assert!((p - 0.9).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AbsorbingAnalysis<S: StateLabel> {
+    transient: Vec<S>,
+    absorbing: Vec<S>,
+    transient_pos: std::collections::HashMap<S, usize>,
+    absorbing_pos: std::collections::HashMap<S, usize>,
+    /// Fundamental matrix `N = (I − Q)⁻¹` (transient × transient).
+    fundamental: Matrix,
+    /// Absorption probabilities `B = N · R` (transient × absorbing).
+    absorption: Matrix,
+    /// Expected steps to absorption from each transient state.
+    expected_steps: Vector,
+}
+
+impl<S: StateLabel> AbsorbingAnalysis<S> {
+    /// Runs the analysis on a chain.
+    ///
+    /// # Errors
+    ///
+    /// - [`MarkovError::NoAbsorbingStates`] / [`MarkovError::NoTransientStates`]
+    ///   when the chain is not a proper absorbing chain;
+    /// - [`MarkovError::TrappedMass`] when some transient state cannot reach
+    ///   any absorbing state (then `I − Q` is singular);
+    /// - [`MarkovError::Linalg`] on numerical failure.
+    pub fn new(chain: &Dtmc<S>) -> Result<Self> {
+        let t_idx = chain.transient_indices();
+        let a_idx = chain.absorbing_indices();
+        if a_idx.is_empty() {
+            return Err(MarkovError::NoAbsorbingStates);
+        }
+        if t_idx.is_empty() {
+            return Err(MarkovError::NoTransientStates);
+        }
+
+        // Check reachability of the absorbing set from every transient state;
+        // otherwise I - Q is singular and the analysis is meaningless.
+        Self::check_reachability(chain, &t_idx, &a_idx)?;
+
+        let nt = t_idx.len();
+        let na = a_idx.len();
+        let pos_of_state: std::collections::HashMap<usize, usize> =
+            t_idx.iter().enumerate().map(|(k, &i)| (i, k)).collect();
+        let apos_of_state: std::collections::HashMap<usize, usize> =
+            a_idx.iter().enumerate().map(|(k, &i)| (i, k)).collect();
+
+        let mut q = Matrix::zeros(nt, nt);
+        let mut r = Matrix::zeros(nt, na);
+        for (k, &i) in t_idx.iter().enumerate() {
+            for &(j, p) in &chain.adjacency()[i] {
+                if let Some(&kj) = pos_of_state.get(&j) {
+                    q.set(k, kj, q.get(k, kj) + p);
+                } else if let Some(&aj) = apos_of_state.get(&j) {
+                    r.set(k, aj, r.get(k, aj) + p);
+                }
+            }
+        }
+
+        let i_minus_q = &Matrix::identity(nt) - &q;
+        let lu = i_minus_q.lu().map_err(|e| match e {
+            archrel_linalg::LinalgError::Singular { pivot } => MarkovError::TrappedMass {
+                state: format!("{:?}", chain.state_at(t_idx[pivot.min(nt - 1)])),
+            },
+            other => MarkovError::Linalg(other),
+        })?;
+        let fundamental = lu.inverse()?;
+        let absorption = fundamental.mul_matrix(&r)?;
+        let expected_steps = fundamental.mul_vector(&Vector::filled(nt, 1.0))?;
+
+        let transient: Vec<S> = t_idx.iter().map(|&i| chain.state_at(i).clone()).collect();
+        let absorbing: Vec<S> = a_idx.iter().map(|&i| chain.state_at(i).clone()).collect();
+        let transient_pos = transient
+            .iter()
+            .enumerate()
+            .map(|(k, s)| (s.clone(), k))
+            .collect();
+        let absorbing_pos = absorbing
+            .iter()
+            .enumerate()
+            .map(|(k, s)| (s.clone(), k))
+            .collect();
+
+        Ok(AbsorbingAnalysis {
+            transient,
+            absorbing,
+            transient_pos,
+            absorbing_pos,
+            fundamental,
+            absorption,
+            expected_steps,
+        })
+    }
+
+    /// Breadth-first check that every transient state reaches the absorbing set.
+    fn check_reachability(chain: &Dtmc<S>, t_idx: &[usize], a_idx: &[usize]) -> Result<()> {
+        let n = chain.len();
+        // Reverse reachability from absorbing states.
+        let mut reaches = vec![false; n];
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, out) in chain.adjacency().iter().enumerate() {
+            for &(j, p) in out {
+                if p > 0.0 {
+                    preds[j].push(i);
+                }
+            }
+        }
+        let mut queue: std::collections::VecDeque<usize> = a_idx.iter().copied().collect();
+        for &a in a_idx {
+            reaches[a] = true;
+        }
+        while let Some(v) = queue.pop_front() {
+            for &p in &preds[v] {
+                if !reaches[p] {
+                    reaches[p] = true;
+                    queue.push_back(p);
+                }
+            }
+        }
+        for &t in t_idx {
+            if !reaches[t] {
+                return Err(MarkovError::TrappedMass {
+                    state: format!("{:?}", chain.state_at(t)),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Transient states in analysis order.
+    pub fn transient_states(&self) -> &[S] {
+        &self.transient
+    }
+
+    /// Absorbing states in analysis order.
+    pub fn absorbing_states(&self) -> &[S] {
+        &self.absorbing
+    }
+
+    fn transient_index(&self, s: &S) -> Result<usize> {
+        self.transient_pos
+            .get(s)
+            .copied()
+            .ok_or_else(|| MarkovError::UnknownState {
+                state: format!("{s:?} (not a transient state)"),
+            })
+    }
+
+    fn absorbing_index(&self, s: &S) -> Result<usize> {
+        self.absorbing_pos
+            .get(s)
+            .copied()
+            .ok_or_else(|| MarkovError::UnknownState {
+                state: format!("{s:?} (not an absorbing state)"),
+            })
+    }
+
+    /// Probability of eventually being absorbed in `target` when starting
+    /// from transient state `from`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::UnknownState`] when `from` is not transient or
+    /// `target` not absorbing.
+    pub fn absorption_probability(&self, from: &S, target: &S) -> Result<f64> {
+        let i = self.transient_index(from)?;
+        let j = self.absorbing_index(target)?;
+        Ok(self.absorption.get(i, j))
+    }
+
+    /// Expected number of visits to transient state `to` before absorption,
+    /// starting from transient state `from` (entry of the fundamental matrix).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::UnknownState`] when either state is not transient.
+    pub fn expected_visits(&self, from: &S, to: &S) -> Result<f64> {
+        let i = self.transient_index(from)?;
+        let j = self.transient_index(to)?;
+        Ok(self.fundamental.get(i, j))
+    }
+
+    /// Expected number of steps before absorption, starting from `from`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::UnknownState`] when `from` is not transient.
+    pub fn expected_steps(&self, from: &S) -> Result<f64> {
+        let i = self.transient_index(from)?;
+        Ok(self.expected_steps[i])
+    }
+
+    /// Full absorption-probability row for a transient state, as
+    /// `(absorbing_state, probability)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::UnknownState`] when `from` is not transient.
+    pub fn absorption_distribution(&self, from: &S) -> Result<Vec<(&S, f64)>> {
+        let i = self.transient_index(from)?;
+        Ok(self
+            .absorbing
+            .iter()
+            .enumerate()
+            .map(|(j, s)| (s, self.absorption.get(i, j)))
+            .collect())
+    }
+
+    /// The fundamental matrix `N = (I − Q)⁻¹`.
+    pub fn fundamental_matrix(&self) -> &Matrix {
+        &self.fundamental
+    }
+
+    /// The absorption-probability matrix `B = N · R`.
+    pub fn absorption_matrix(&self) -> &Matrix {
+        &self.absorption
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DtmcBuilder;
+
+    /// Gambler's ruin on {0..4} with p=0.5: absorption at 4 from i is i/4.
+    #[test]
+    fn gamblers_ruin_fair_coin() {
+        let mut b = DtmcBuilder::new();
+        for i in 1..4u32 {
+            b = b.transition(i, i - 1, 0.5).transition(i, i + 1, 0.5);
+        }
+        let chain = b.state(0).state(4).build().unwrap();
+        let a = AbsorbingAnalysis::new(&chain).unwrap();
+        for i in 1..4u32 {
+            let p = a.absorption_probability(&i, &4).unwrap();
+            assert!((p - i as f64 / 4.0).abs() < 1e-12, "state {i}: {p}");
+        }
+    }
+
+    /// Unfair gambler's ruin: closed form ((q/p)^i - 1)/((q/p)^N - 1).
+    #[test]
+    fn gamblers_ruin_biased_coin() {
+        let p = 0.6;
+        let q = 0.4;
+        let n = 5u32;
+        let mut b = DtmcBuilder::new();
+        for i in 1..n {
+            b = b.transition(i, i - 1, q).transition(i, i + 1, p);
+        }
+        let chain = b.state(0).state(n).build().unwrap();
+        let a = AbsorbingAnalysis::new(&chain).unwrap();
+        let r = q / p;
+        for i in 1..n {
+            let expected = (r.powi(i as i32) - 1.0) / (r.powi(n as i32) - 1.0);
+            let actual = a.absorption_probability(&i, &n).unwrap();
+            assert!((actual - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn absorption_probabilities_sum_to_one() {
+        let chain = DtmcBuilder::new()
+            .transition("s", "a", 0.25)
+            .transition("s", "b", 0.25)
+            .transition("s", "t", 0.5)
+            .transition("t", "a", 0.7)
+            .transition("t", "b", 0.3)
+            .build()
+            .unwrap();
+        let analysis = AbsorbingAnalysis::new(&chain).unwrap();
+        for s in ["s", "t"] {
+            let total: f64 = analysis
+                .absorption_distribution(&s)
+                .unwrap()
+                .iter()
+                .map(|(_, p)| p)
+                .sum();
+            assert!((total - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn expected_steps_of_geometric_loop() {
+        // Stay with prob 0.75, leave with 0.25: expected steps = 4.
+        let chain = DtmcBuilder::new()
+            .transition("loop", "loop", 0.75)
+            .transition("loop", "done", 0.25)
+            .build()
+            .unwrap();
+        let a = AbsorbingAnalysis::new(&chain).unwrap();
+        assert!((a.expected_steps(&"loop").unwrap() - 4.0).abs() < 1e-12);
+        assert!((a.expected_visits(&"loop", &"loop").unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_absorbing_states_is_an_error() {
+        let chain = DtmcBuilder::new()
+            .transition("a", "b", 1.0)
+            .transition("b", "a", 1.0)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            AbsorbingAnalysis::new(&chain),
+            Err(MarkovError::NoAbsorbingStates)
+        ));
+    }
+
+    #[test]
+    fn no_transient_states_is_an_error() {
+        let chain = DtmcBuilder::new().state("a").state("b").build().unwrap();
+        assert!(matches!(
+            AbsorbingAnalysis::new(&chain),
+            Err(MarkovError::NoTransientStates)
+        ));
+    }
+
+    #[test]
+    fn trapped_mass_detected() {
+        // {a, b} cycle cannot reach the absorbing state "end"; only "s" can.
+        let chain = DtmcBuilder::new()
+            .transition("s", "end", 0.5)
+            .transition("s", "a", 0.5)
+            .transition("a", "b", 1.0)
+            .transition("b", "a", 1.0)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            AbsorbingAnalysis::new(&chain),
+            Err(MarkovError::TrappedMass { .. })
+        ));
+    }
+
+    #[test]
+    fn querying_wrong_kind_of_state_errors() {
+        let chain = DtmcBuilder::new()
+            .transition("s", "end", 1.0)
+            .build()
+            .unwrap();
+        let a = AbsorbingAnalysis::new(&chain).unwrap();
+        assert!(a.absorption_probability(&"end", &"end").is_err());
+        assert!(a.absorption_probability(&"s", &"s").is_err());
+        assert!(a.expected_steps(&"end").is_err());
+    }
+}

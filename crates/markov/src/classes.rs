@@ -1,0 +1,244 @@
+//! Structural classification of chain states: strongly connected
+//! components, communicating classes, and recurrence/transience.
+//!
+//! The reliability engine uses this as a *diagnostic* layer: a flow whose
+//! failure-augmented chain has a recurrent class other than `{End}`/`{Fail}`
+//! traps probability mass, and the class report names exactly which states
+//! form the trap — far more actionable than a bare singular-matrix error.
+
+use std::collections::HashMap;
+
+use crate::{Dtmc, StateLabel};
+
+/// A communicating class of a chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommunicatingClass<S> {
+    /// The states of the class (in first-discovery order).
+    pub states: Vec<S>,
+    /// Whether the class is closed (no transition leaves it) — closed
+    /// classes are exactly the recurrent ones in a finite chain.
+    pub closed: bool,
+}
+
+/// Computes the communicating classes (strongly connected components of the
+/// positive-probability transition graph) via Tarjan's algorithm, iterative
+/// to survive deep chains.
+///
+/// Classes are returned in reverse topological order (every class appears
+/// before any class that can reach it).
+pub fn communicating_classes<S: StateLabel>(chain: &Dtmc<S>) -> Vec<CommunicatingClass<S>> {
+    let n = chain.len();
+    // Build successor lists over indices, including implicit self-loops of
+    // absorbing states (harmless for SCC).
+    let successors: Vec<Vec<usize>> = (0..n)
+        .map(|i| {
+            chain.adjacency()[i]
+                .iter()
+                .filter(|(_, p)| *p > 0.0)
+                .map(|(j, _)| *j)
+                .collect()
+        })
+        .collect();
+
+    // Iterative Tarjan.
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components: Vec<Vec<usize>> = Vec::new();
+
+    // Work stack of (node, child-iterator position).
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        let mut work: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut child_pos)) = work.last_mut() {
+            if *child_pos == 0 {
+                index[v] = next_index;
+                lowlink[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if *child_pos < successors[v].len() {
+                let w = successors[v][*child_pos];
+                *child_pos += 1;
+                if index[w] == UNVISITED {
+                    work.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                // All children processed.
+                if lowlink[v] == index[v] {
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("stack holds the component");
+                        on_stack[w] = false;
+                        component.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    component.reverse();
+                    components.push(component);
+                }
+                let finished = work.pop().expect("work stack is non-empty");
+                if let Some(&mut (parent, _)) = work.last_mut() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[finished.0]);
+                }
+            }
+        }
+    }
+
+    // Classify closedness: a class is closed iff no positive edge leaves it.
+    let mut component_of: HashMap<usize, usize> = HashMap::new();
+    for (c, comp) in components.iter().enumerate() {
+        for &v in comp {
+            component_of.insert(v, c);
+        }
+    }
+    components
+        .into_iter()
+        .enumerate()
+        .map(|(c, comp)| {
+            let closed = comp
+                .iter()
+                .all(|&v| successors[v].iter().all(|&w| component_of[&w] == c));
+            CommunicatingClass {
+                states: comp.iter().map(|&v| chain.state_at(v).clone()).collect(),
+                closed,
+            }
+        })
+        .collect()
+}
+
+/// States belonging to some closed (recurrent) class that is **not** a
+/// singleton absorbing state — i.e. genuine probability traps in a chain
+/// that was supposed to be absorbing.
+pub fn probability_traps<S: StateLabel>(chain: &Dtmc<S>) -> Vec<Vec<S>> {
+    communicating_classes(chain)
+        .into_iter()
+        .filter(|class| {
+            class.closed
+                && !(class.states.len() == 1
+                    && chain
+                        .is_absorbing(&class.states[0])
+                        .expect("state comes from the chain"))
+        })
+        .map(|class| class.states)
+        .collect()
+}
+
+/// Whether the chain is irreducible (a single communicating class).
+pub fn is_irreducible<S: StateLabel>(chain: &Dtmc<S>) -> bool {
+    communicating_classes(chain).len() == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DtmcBuilder;
+
+    #[test]
+    fn absorbing_chain_classes() {
+        let chain = DtmcBuilder::new()
+            .transition("s", "a", 0.5)
+            .transition("s", "b", 0.5)
+            .transition("a", "end", 1.0)
+            .transition("b", "end", 1.0)
+            .build()
+            .unwrap();
+        let classes = communicating_classes(&chain);
+        // Four singleton classes; only {end} is closed.
+        assert_eq!(classes.len(), 4);
+        let closed: Vec<_> = classes.iter().filter(|c| c.closed).collect();
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].states, vec!["end"]);
+        assert!(probability_traps(&chain).is_empty());
+    }
+
+    #[test]
+    fn cycle_is_one_class() {
+        let chain = DtmcBuilder::new()
+            .transition("a", "b", 1.0)
+            .transition("b", "c", 1.0)
+            .transition("c", "a", 1.0)
+            .build()
+            .unwrap();
+        let classes = communicating_classes(&chain);
+        assert_eq!(classes.len(), 1);
+        assert!(classes[0].closed);
+        assert!(is_irreducible(&chain));
+        // A 3-cycle is a trap (closed, not a singleton absorber).
+        let traps = probability_traps(&chain);
+        assert_eq!(traps.len(), 1);
+        assert_eq!(traps[0].len(), 3);
+    }
+
+    #[test]
+    fn trap_detected_next_to_absorbing_state() {
+        // s -> end (0.5) and s -> {a <-> b} (0.5): the 2-cycle is a trap.
+        let chain = DtmcBuilder::new()
+            .transition("s", "end", 0.5)
+            .transition("s", "a", 0.5)
+            .transition("a", "b", 1.0)
+            .transition("b", "a", 1.0)
+            .build()
+            .unwrap();
+        let traps = probability_traps(&chain);
+        assert_eq!(traps.len(), 1);
+        let mut trap = traps[0].clone();
+        trap.sort_unstable();
+        assert_eq!(trap, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn open_cycle_is_not_a_trap() {
+        // a <-> b but with an escape to end: the class is open.
+        let chain = DtmcBuilder::new()
+            .transition("a", "b", 1.0)
+            .transition("b", "a", 0.9)
+            .transition("b", "end", 0.1)
+            .build()
+            .unwrap();
+        assert!(probability_traps(&chain).is_empty());
+        let classes = communicating_classes(&chain);
+        let ab = classes.iter().find(|c| c.states.len() == 2).unwrap();
+        assert!(!ab.closed);
+    }
+
+    #[test]
+    fn reverse_topological_order() {
+        let chain = DtmcBuilder::new()
+            .transition("top", "mid", 1.0)
+            .transition("mid", "bottom", 1.0)
+            .build()
+            .unwrap();
+        let classes = communicating_classes(&chain);
+        let pos = |name: &str| {
+            classes
+                .iter()
+                .position(|c| c.states.contains(&name))
+                .unwrap()
+        };
+        // Every class appears before any class that can reach it.
+        assert!(pos("bottom") < pos("mid"));
+        assert!(pos("mid") < pos("top"));
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // 20k-state linear chain: the iterative Tarjan must survive.
+        let mut b = DtmcBuilder::new();
+        for i in 0..20_000u32 {
+            b = b.transition(i, i + 1, 1.0);
+        }
+        let chain = b.build().unwrap();
+        let classes = communicating_classes(&chain);
+        assert_eq!(classes.len(), 20_001);
+    }
+}

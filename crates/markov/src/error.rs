@@ -1,0 +1,127 @@
+use std::fmt;
+
+use archrel_linalg::LinalgError;
+
+/// Errors produced when constructing or analyzing a Markov chain.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MarkovError {
+    /// A transition probability was outside `[0, 1]` or non-finite.
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+        /// Human-readable location, e.g. `"Start -> Sort"`.
+        context: String,
+    },
+    /// A state's outgoing probabilities do not sum to one.
+    NotStochastic {
+        /// Display form of the state.
+        state: String,
+        /// The actual row sum.
+        sum: f64,
+    },
+    /// A duplicate transition between the same pair of states was declared.
+    DuplicateTransition {
+        /// Display form of the source state.
+        from: String,
+        /// Display form of the target state.
+        to: String,
+    },
+    /// A referenced state does not exist in the chain.
+    UnknownState {
+        /// Display form of the missing state.
+        state: String,
+    },
+    /// The chain has no transient states; absorbing-chain analysis is trivial
+    /// and the caller almost certainly built the wrong chain.
+    NoTransientStates,
+    /// The chain has no absorbing states, so absorption probabilities are
+    /// undefined.
+    NoAbsorbingStates,
+    /// A transient state cannot reach any absorbing state, so the fundamental
+    /// matrix does not exist (probability mass is trapped).
+    TrappedMass {
+        /// Display form of a trapped state.
+        state: String,
+    },
+    /// Stationary analysis was requested on a chain that is not ergodic
+    /// (reducible or periodic in a way that prevented convergence).
+    NotErgodic {
+        /// Explanation of what failed.
+        reason: String,
+    },
+    /// The chain is empty.
+    EmptyChain,
+    /// An underlying linear-algebra operation failed.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for MarkovError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarkovError::InvalidProbability { value, context } => {
+                write!(f, "invalid probability {value} at {context}")
+            }
+            MarkovError::NotStochastic { state, sum } => write!(
+                f,
+                "outgoing probabilities of state {state} sum to {sum}, expected 1"
+            ),
+            MarkovError::DuplicateTransition { from, to } => {
+                write!(f, "duplicate transition {from} -> {to}")
+            }
+            MarkovError::UnknownState { state } => write!(f, "unknown state {state}"),
+            MarkovError::NoTransientStates => write!(f, "chain has no transient states"),
+            MarkovError::NoAbsorbingStates => write!(f, "chain has no absorbing states"),
+            MarkovError::TrappedMass { state } => write!(
+                f,
+                "transient state {state} cannot reach any absorbing state"
+            ),
+            MarkovError::NotErgodic { reason } => write!(f, "chain is not ergodic: {reason}"),
+            MarkovError::EmptyChain => write!(f, "chain has no states"),
+            MarkovError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MarkovError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MarkovError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for MarkovError {
+    fn from(e: LinalgError) -> Self {
+        MarkovError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_state() {
+        let e = MarkovError::NotStochastic {
+            state: "Start".to_string(),
+            sum: 0.5,
+        };
+        assert!(e.to_string().contains("Start"));
+        assert!(e.to_string().contains("0.5"));
+    }
+
+    #[test]
+    fn linalg_errors_convert() {
+        let e: MarkovError = LinalgError::Singular { pivot: 3 }.into();
+        assert!(matches!(e, MarkovError::Linalg(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MarkovError>();
+    }
+}

@@ -1,0 +1,185 @@
+//! Matrix-free absorption analysis for large chains.
+//!
+//! The dense fundamental-matrix route of [`crate::AbsorbingAnalysis`] costs
+//! `O(t³)` for `t` transient states. When only a few absorption
+//! probabilities are needed — the reliability engine wants exactly one,
+//! `Start → End` — a Gauss–Seidel sweep over the *sparse* adjacency solves
+//! `x = Q x + r` in `O(iterations · edges)` without ever forming a matrix.
+
+use std::collections::HashMap;
+
+use crate::{Dtmc, MarkovError, Result, StateLabel};
+
+/// Options for the iterative absorption solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbsorptionIterOptions {
+    /// Maximum Gauss–Seidel sweeps.
+    pub max_iterations: usize,
+    /// Convergence threshold on the largest per-state update.
+    pub tolerance: f64,
+}
+
+impl Default for AbsorptionIterOptions {
+    fn default() -> Self {
+        AbsorptionIterOptions {
+            max_iterations: 100_000,
+            tolerance: 1e-13,
+        }
+    }
+}
+
+/// Computes the probability of eventual absorption in `target`, for every
+/// state, by sparse Gauss–Seidel on the absorption equations
+/// `x_i = Σ_j p_ij x_j` with `x_target = 1` and `x_a = 0` for other
+/// absorbing states.
+///
+/// Returns a map from state to absorption probability (absorbing states
+/// included).
+///
+/// # Errors
+///
+/// - [`MarkovError::UnknownState`] when `target` is absent;
+/// - [`MarkovError::NotErgodic`]-style misuse is impossible here, but a
+///   chain whose transient states cannot reach any absorbing state makes
+///   the iteration converge to the correct sub-probabilities (trapped
+///   states get 0), so no reachability error is raised;
+/// - [`MarkovError::Linalg`]-wrapped no-convergence when the sweep budget
+///   is exhausted.
+pub fn absorption_probabilities_iterative<S: StateLabel>(
+    chain: &Dtmc<S>,
+    target: &S,
+    opts: AbsorptionIterOptions,
+) -> Result<HashMap<S, f64>> {
+    let t = chain.require_index(target)?;
+    if !chain.is_absorbing_index(t) {
+        return Err(MarkovError::UnknownState {
+            state: format!("{target:?} (not an absorbing state)"),
+        });
+    }
+    let n = chain.len();
+    let mut x = vec![0.0_f64; n];
+    x[t] = 1.0;
+    let transient: Vec<usize> = chain.transient_indices();
+
+    for _ in 0..opts.max_iterations {
+        let mut delta = 0.0_f64;
+        for &i in &transient {
+            let mut value = 0.0;
+            for &(j, p) in &chain.adjacency()[i] {
+                value += p * x[j];
+            }
+            delta = delta.max((value - x[i]).abs());
+            x[i] = value;
+        }
+        if delta <= opts.tolerance {
+            return Ok(chain
+                .states()
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (s.clone(), x[i]))
+                .collect());
+        }
+    }
+    Err(MarkovError::Linalg(
+        archrel_linalg::LinalgError::NoConvergence {
+            iterations: opts.max_iterations,
+            residual: f64::NAN,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AbsorbingAnalysis, DtmcBuilder};
+
+    #[test]
+    fn matches_dense_analysis_on_small_chain() {
+        let chain = DtmcBuilder::new()
+            .transition("s", "a", 0.6)
+            .transition("s", "b", 0.4)
+            .transition("a", "a", 0.5)
+            .transition("a", "end", 0.3)
+            .transition("a", "fail", 0.2)
+            .transition("b", "end", 0.9)
+            .transition("b", "fail", 0.1)
+            .build()
+            .unwrap();
+        let dense = AbsorbingAnalysis::new(&chain).unwrap();
+        let sparse =
+            absorption_probabilities_iterative(&chain, &"end", AbsorptionIterOptions::default())
+                .unwrap();
+        for s in ["s", "a", "b"] {
+            let d = dense.absorption_probability(&s, &"end").unwrap();
+            assert!((sparse[&s] - d).abs() < 1e-10, "{s}: {} vs {d}", sparse[&s]);
+        }
+        assert_eq!(sparse[&"end"], 1.0);
+        assert_eq!(sparse[&"fail"], 0.0);
+    }
+
+    #[test]
+    fn gamblers_ruin_closed_form() {
+        let n = 50u32;
+        let mut b = DtmcBuilder::new();
+        for i in 1..n {
+            b = b.transition(i, i - 1, 0.5).transition(i, i + 1, 0.5);
+        }
+        let chain = b.state(0).state(n).build().unwrap();
+        let x = absorption_probabilities_iterative(&chain, &n, AbsorptionIterOptions::default())
+            .unwrap();
+        for i in (1..n).step_by(7) {
+            let expected = i as f64 / n as f64;
+            assert!((x[&i] - expected).abs() < 1e-8, "state {i}");
+        }
+    }
+
+    #[test]
+    fn large_chain_is_fast_and_correct() {
+        // 5000-state forward chain with a failure leak per state.
+        let n = 5000u32;
+        let mut b = DtmcBuilder::new().state(u32::MAX).state(u32::MAX - 1);
+        for i in 0..n {
+            let next = if i + 1 == n { u32::MAX } else { i + 1 };
+            b = b
+                .transition(i, next, 0.999)
+                .transition(i, u32::MAX - 1, 0.001);
+        }
+        let chain = b.build().unwrap();
+        let x =
+            absorption_probabilities_iterative(&chain, &u32::MAX, AbsorptionIterOptions::default())
+                .unwrap();
+        let expected = 0.999f64.powi(n as i32);
+        assert!((x[&0] - expected).abs() < 1e-9, "{} vs {expected}", x[&0]);
+    }
+
+    #[test]
+    fn trapped_states_get_zero() {
+        let chain = DtmcBuilder::new()
+            .transition("s", "end", 0.5)
+            .transition("s", "a", 0.5)
+            .transition("a", "b", 1.0)
+            .transition("b", "a", 1.0)
+            .build()
+            .unwrap();
+        // Dense analysis refuses (singular); the sparse solver converges to
+        // the meaningful sub-probabilities.
+        let x =
+            absorption_probabilities_iterative(&chain, &"end", AbsorptionIterOptions::default())
+                .unwrap();
+        assert!((x[&"s"] - 0.5).abs() < 1e-12);
+        assert_eq!(x[&"a"], 0.0);
+        assert_eq!(x[&"b"], 0.0);
+    }
+
+    #[test]
+    fn non_absorbing_target_rejected() {
+        let chain = DtmcBuilder::new()
+            .transition("s", "end", 1.0)
+            .build()
+            .unwrap();
+        assert!(
+            absorption_probabilities_iterative(&chain, &"s", AbsorptionIterOptions::default(),)
+                .is_err()
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Discrete-time Markov chain (DTMC) engine for `archrel`.
+//!
+//! Grassi's reliability model (§2–§3 of the paper) represents every composite
+//! service's usage profile as a DTMC whose `Start → End` absorption
+//! probability, after a failure structure has been grafted on, yields the
+//! service reliability (eq. 3). This crate is that substrate:
+//!
+//! - [`Dtmc`] / [`DtmcBuilder`]: a validated DTMC over arbitrary state labels.
+//! - [`AbsorbingAnalysis`]: canonical-form absorbing-chain analysis — the
+//!   fundamental matrix `N = (I − Q)⁻¹`, absorption probabilities `B = N·R`,
+//!   expected visit counts, and expected time to absorption.
+//! - [`transient`]: n-step distributions and reachability.
+//! - [`stationary`]: stationary distributions of ergodic chains.
+//! - [`paths`]: probability-weighted path enumeration (feeds the path-based
+//!   baseline model of Dolbec–Shepard implemented in `archrel-baselines`).
+//!
+//! # Examples
+//!
+//! A two-state "weather" chain and its stationary distribution:
+//!
+//! ```
+//! use archrel_markov::{DtmcBuilder, stationary};
+//!
+//! # fn main() -> Result<(), archrel_markov::MarkovError> {
+//! let chain = DtmcBuilder::new()
+//!     .transition("sunny", "sunny", 0.9)
+//!     .transition("sunny", "rainy", 0.1)
+//!     .transition("rainy", "sunny", 0.4)
+//!     .transition("rainy", "rainy", 0.6)
+//!     .build()?;
+//! let pi = stationary::stationary_distribution(&chain)?;
+//! assert!((pi[&"sunny"] - 0.8).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod absorbing;
+mod chain;
+pub mod classes;
+mod error;
+mod iterative_absorption;
+pub mod paths;
+pub mod stationary;
+pub mod transient;
+
+pub use absorbing::AbsorbingAnalysis;
+pub use chain::{Dtmc, DtmcBuilder, StateLabel};
+pub use error::MarkovError;
+pub use iterative_absorption::{absorption_probabilities_iterative, AbsorptionIterOptions};
+
+/// Convenience result alias for fallible Markov-chain operations.
+pub type Result<T> = std::result::Result<T, MarkovError>;
+
+/// Tolerance used when validating that outgoing probabilities sum to one.
+pub const STOCHASTIC_TOLERANCE: f64 = 1e-9;

@@ -1,0 +1,219 @@
+//! Probability-weighted path enumeration.
+//!
+//! Path-based reliability models (Dolbec–Shepard, implemented in
+//! `archrel-baselines`) approximate assembly reliability from the most likely
+//! execution paths. This module enumerates paths of a DTMC from a start state
+//! into a target set, pruned by a probability cutoff and a depth bound so
+//! cyclic chains stay tractable.
+
+use crate::{Dtmc, Result, StateLabel};
+
+/// A single path through a chain with its occurrence probability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path<S> {
+    /// Visited states, starting at the enumeration start state and ending at
+    /// a target state.
+    pub states: Vec<S>,
+    /// Product of transition probabilities along the path.
+    pub probability: f64,
+}
+
+impl<S> Path<S> {
+    /// Number of transitions in the path.
+    pub fn len(&self) -> usize {
+        self.states.len().saturating_sub(1)
+    }
+
+    /// Whether the path has no transitions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Options bounding the enumeration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathOptions {
+    /// Paths with probability below this value are pruned.
+    pub min_probability: f64,
+    /// Maximum number of transitions per path.
+    pub max_depth: usize,
+    /// Hard cap on the number of returned paths.
+    pub max_paths: usize,
+}
+
+impl Default for PathOptions {
+    fn default() -> Self {
+        PathOptions {
+            min_probability: 1e-9,
+            max_depth: 64,
+            max_paths: 100_000,
+        }
+    }
+}
+
+/// Enumerates paths from `start` to any state in `targets`, most probable
+/// first.
+///
+/// Cycles are allowed; the cutoffs in [`PathOptions`] guarantee termination.
+/// The sum of returned path probabilities is a lower bound on the total
+/// reach probability, converging to it as the cutoffs loosen.
+///
+/// # Errors
+///
+/// Returns [`crate::MarkovError::UnknownState`] when `start` or a target is
+/// absent from the chain.
+pub fn enumerate_paths<S: StateLabel>(
+    chain: &Dtmc<S>,
+    start: &S,
+    targets: &[S],
+    opts: PathOptions,
+) -> Result<Vec<Path<S>>> {
+    let start_idx = chain.require_index(start)?;
+    let mut target_mask = vec![false; chain.len()];
+    for t in targets {
+        target_mask[chain.require_index(t)?] = true;
+    }
+
+    let mut result: Vec<Path<S>> = Vec::new();
+    // Depth-first with explicit stack of (state, path-so-far, probability).
+    let mut stack: Vec<(usize, Vec<usize>, f64)> = vec![(start_idx, vec![start_idx], 1.0)];
+    while let Some((state, path, prob)) = stack.pop() {
+        if result.len() >= opts.max_paths {
+            break;
+        }
+        if target_mask[state] && path.len() > 1 {
+            result.push(Path {
+                states: path.iter().map(|&i| chain.state_at(i).clone()).collect(),
+                probability: prob,
+            });
+            continue;
+        }
+        if target_mask[state] && path.len() == 1 {
+            // Start state itself is a target: the empty path.
+            result.push(Path {
+                states: vec![chain.state_at(state).clone()],
+                probability: prob,
+            });
+            continue;
+        }
+        if path.len() > opts.max_depth {
+            continue;
+        }
+        for &(next, p) in &chain.adjacency()[state] {
+            let next_prob = prob * p;
+            if next_prob < opts.min_probability {
+                continue;
+            }
+            if next == state && chain.is_absorbing_index(state) {
+                continue; // don't walk absorbing self-loops
+            }
+            let mut next_path = path.clone();
+            next_path.push(next);
+            stack.push((next, next_path, next_prob));
+        }
+    }
+    result.sort_by(|a, b| {
+        b.probability
+            .partial_cmp(&a.probability)
+            .expect("path probabilities are finite")
+    });
+    Ok(result)
+}
+
+/// Sum of the probabilities of the enumerated paths — a lower bound on the
+/// probability of ever reaching the target set.
+pub fn total_path_probability<S>(paths: &[Path<S>]) -> f64 {
+    paths.iter().map(|p| p.probability).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DtmcBuilder;
+
+    fn diamond() -> Dtmc<&'static str> {
+        DtmcBuilder::new()
+            .transition("s", "a", 0.6)
+            .transition("s", "b", 0.4)
+            .transition("a", "t", 1.0)
+            .transition("b", "t", 1.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn enumerates_both_branches() {
+        let paths = enumerate_paths(&diamond(), &"s", &["t"], PathOptions::default()).unwrap();
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].states, vec!["s", "a", "t"]);
+        assert!((paths[0].probability - 0.6).abs() < 1e-12);
+        assert!((paths[1].probability - 0.4).abs() < 1e-12);
+        assert!((total_path_probability(&paths) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cyclic_chain_terminates_with_cutoff() {
+        let chain = DtmcBuilder::new()
+            .transition("s", "s", 0.5)
+            .transition("s", "t", 0.5)
+            .build()
+            .unwrap();
+        let opts = PathOptions {
+            min_probability: 1e-6,
+            max_depth: 64,
+            max_paths: 1000,
+        };
+        let paths = enumerate_paths(&chain, &"s", &["t"], opts).unwrap();
+        // Geometric series: 0.5 + 0.25 + ... -> close to 1.
+        let total = total_path_probability(&paths);
+        assert!(total > 0.999 && total <= 1.0 + 1e-12, "total {total}");
+        // Longest path respects the probability cutoff.
+        assert!(paths.iter().all(|p| p.probability >= 1e-6));
+    }
+
+    #[test]
+    fn max_depth_truncates() {
+        let chain = DtmcBuilder::new()
+            .transition("s", "s", 0.9)
+            .transition("s", "t", 0.1)
+            .build()
+            .unwrap();
+        let opts = PathOptions {
+            min_probability: 0.0,
+            max_depth: 3,
+            max_paths: 1000,
+        };
+        let paths = enumerate_paths(&chain, &"s", &["t"], opts).unwrap();
+        assert!(paths.iter().all(|p| p.len() <= 3));
+    }
+
+    #[test]
+    fn start_equals_target() {
+        let chain = diamond();
+        let paths = enumerate_paths(&chain, &"t", &["t"], PathOptions::default()).unwrap();
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].states, vec!["t"]);
+        assert_eq!(paths[0].probability, 1.0);
+        assert!(paths[0].is_empty());
+    }
+
+    #[test]
+    fn unknown_states_error() {
+        let chain = diamond();
+        assert!(enumerate_paths(&chain, &"zzz", &["t"], PathOptions::default()).is_err());
+        assert!(enumerate_paths(&chain, &"s", &["zzz"], PathOptions::default()).is_err());
+    }
+
+    #[test]
+    fn paths_sorted_by_probability() {
+        let chain = DtmcBuilder::new()
+            .transition("s", "a", 0.1)
+            .transition("s", "b", 0.9)
+            .transition("a", "t", 1.0)
+            .transition("b", "t", 1.0)
+            .build()
+            .unwrap();
+        let paths = enumerate_paths(&chain, &"s", &["t"], PathOptions::default()).unwrap();
+        assert!(paths[0].probability >= paths[1].probability);
+    }
+}

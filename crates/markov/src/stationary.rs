@@ -1,0 +1,229 @@
+//! Stationary distributions of ergodic chains.
+//!
+//! Not needed for the absorbing analysis at the heart of the paper, but used
+//! by the usage-profile estimator to characterize long-run service demand
+//! (e.g. how often a shared CPU service is hit in steady state) and by tests
+//! as an independent cross-check on the linear-algebra substrate.
+
+use std::collections::HashMap;
+
+use archrel_linalg::{iterative, Matrix, Vector};
+
+use crate::{Dtmc, MarkovError, Result, StateLabel};
+
+/// Computes the stationary distribution `π` with `π P = π`, `Σ π = 1` by a
+/// direct linear solve (replacing one balance equation with the normalization
+/// constraint).
+///
+/// # Errors
+///
+/// - [`MarkovError::NotErgodic`] when the chain has absorbing states, is
+///   reducible, or the solve produces an invalid distribution;
+/// - [`MarkovError::Linalg`] on numerical failure.
+pub fn stationary_distribution<S: StateLabel>(chain: &Dtmc<S>) -> Result<HashMap<S, f64>> {
+    let n = chain.len();
+    if n == 0 {
+        return Err(MarkovError::EmptyChain);
+    }
+    if !chain.absorbing_indices().is_empty() && n > 1 {
+        return Err(MarkovError::NotErgodic {
+            reason: "chain has absorbing states".to_string(),
+        });
+    }
+    // Build (P^T - I) with the last row replaced by the normalization row.
+    let p = chain.transition_matrix();
+    let mut a = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            a.set(i, j, p.get(j, i) - if i == j { 1.0 } else { 0.0 });
+        }
+    }
+    for j in 0..n {
+        a.set(n - 1, j, 1.0);
+    }
+    let mut b = Vector::zeros(n);
+    b[n - 1] = 1.0;
+    let pi = a.solve(&b).map_err(|e| match e {
+        archrel_linalg::LinalgError::Singular { .. } => MarkovError::NotErgodic {
+            reason: "balance equations are singular (reducible chain)".to_string(),
+        },
+        other => MarkovError::Linalg(other),
+    })?;
+    // Validate: all entries must be (numerically) non-negative.
+    for i in 0..n {
+        if pi[i] < -1e-9 {
+            return Err(MarkovError::NotErgodic {
+                reason: format!(
+                    "negative stationary mass {} at state {:?}",
+                    pi[i],
+                    chain.state_at(i)
+                ),
+            });
+        }
+    }
+    Ok(chain
+        .states()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.clone(), pi[i].max(0.0)))
+        .collect())
+}
+
+/// Computes the stationary distribution by power iteration on `πP = π`.
+///
+/// Slower convergence than the direct solve but O(edges) per sweep; used for
+/// large chains and as an independent cross-check.
+///
+/// # Errors
+///
+/// - [`MarkovError::NotErgodic`] when the iteration does not converge
+///   (periodic or reducible chain);
+/// - [`MarkovError::Linalg`] on numerical failure.
+pub fn stationary_by_power_iteration<S: StateLabel>(
+    chain: &Dtmc<S>,
+    opts: iterative::IterOptions,
+) -> Result<HashMap<S, f64>> {
+    let p = chain.transition_matrix();
+    let result = iterative::power_iteration(&p.transpose(), opts).map_err(|e| match e {
+        archrel_linalg::LinalgError::NoConvergence { iterations, .. } => MarkovError::NotErgodic {
+            reason: format!("power iteration did not converge in {iterations} sweeps"),
+        },
+        other => MarkovError::Linalg(other),
+    })?;
+    if (result.eigenvalue - 1.0).abs() > 1e-6 {
+        return Err(MarkovError::NotErgodic {
+            reason: format!(
+                "dominant eigenvalue {} is not 1; chain is not stochastic/ergodic",
+                result.eigenvalue
+            ),
+        });
+    }
+    let mut v = result.eigenvector;
+    if !v.normalize_sum() {
+        return Err(MarkovError::NotErgodic {
+            reason: "stationary vector has zero mass".to_string(),
+        });
+    }
+    Ok(chain
+        .states()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.clone(), v[i]))
+        .collect())
+}
+
+/// Total-variation distance between two distributions over the same states.
+///
+/// States missing from one map are treated as probability zero.
+pub fn total_variation<S: StateLabel>(a: &HashMap<S, f64>, b: &HashMap<S, f64>) -> f64 {
+    let mut keys: Vec<&S> = a.keys().collect();
+    for k in b.keys() {
+        if !a.contains_key(k) {
+            keys.push(k);
+        }
+    }
+    0.5 * keys
+        .into_iter()
+        .map(|k| (a.get(k).copied().unwrap_or(0.0) - b.get(k).copied().unwrap_or(0.0)).abs())
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DtmcBuilder;
+
+    fn two_state() -> Dtmc<&'static str> {
+        DtmcBuilder::new()
+            .transition("sunny", "sunny", 0.9)
+            .transition("sunny", "rainy", 0.1)
+            .transition("rainy", "sunny", 0.4)
+            .transition("rainy", "rainy", 0.6)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn direct_solve_two_state() {
+        let pi = stationary_distribution(&two_state()).unwrap();
+        assert!((pi[&"sunny"] - 0.8).abs() < 1e-12);
+        assert!((pi[&"rainy"] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_iteration_agrees_with_direct_solve() {
+        let chain = DtmcBuilder::new()
+            .transition("a", "a", 0.5)
+            .transition("a", "b", 0.3)
+            .transition("a", "c", 0.2)
+            .transition("b", "a", 0.2)
+            .transition("b", "b", 0.5)
+            .transition("b", "c", 0.3)
+            .transition("c", "a", 0.1)
+            .transition("c", "b", 0.4)
+            .transition("c", "c", 0.5)
+            .build()
+            .unwrap();
+        let direct = stationary_distribution(&chain).unwrap();
+        let power =
+            stationary_by_power_iteration(&chain, iterative::IterOptions::default()).unwrap();
+        assert!(total_variation(&direct, &power) < 1e-6);
+    }
+
+    #[test]
+    fn stationary_is_invariant_under_step() {
+        let chain = two_state();
+        let pi = stationary_distribution(&chain).unwrap();
+        let init: Vec<(&str, f64)> = pi.iter().map(|(s, p)| (*s, *p)).collect();
+        let stepped = crate::transient::distribution_after(&chain, &init, 1).unwrap();
+        for (s, p) in pi {
+            assert!((stepped.probability(&s) - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn absorbing_chain_is_rejected() {
+        let chain = DtmcBuilder::new()
+            .transition("a", "end", 1.0)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            stationary_distribution(&chain),
+            Err(MarkovError::NotErgodic { .. })
+        ));
+    }
+
+    #[test]
+    fn reducible_chain_is_rejected() {
+        // Two disconnected recurrent classes: balance system is singular.
+        let chain = DtmcBuilder::new()
+            .transition("a", "b", 1.0)
+            .transition("b", "a", 1.0)
+            .transition("c", "d", 1.0)
+            .transition("d", "c", 1.0)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            stationary_distribution(&chain),
+            Err(MarkovError::NotErgodic { .. })
+        ));
+    }
+
+    #[test]
+    fn single_absorbing_state_chain() {
+        // Degenerate single-state chain: stationary distribution is trivial.
+        let chain = DtmcBuilder::new().state("only").build().unwrap();
+        let pi = stationary_distribution(&chain).unwrap();
+        assert_eq!(pi[&"only"], 1.0);
+    }
+
+    #[test]
+    fn total_variation_bounds() {
+        let mut a = HashMap::new();
+        a.insert("x", 1.0);
+        let mut b = HashMap::new();
+        b.insert("y", 1.0);
+        assert!((total_variation(&a, &b) - 1.0).abs() < 1e-12);
+        assert_eq!(total_variation(&a, &a), 0.0);
+    }
+}

@@ -1,0 +1,285 @@
+//! Transient (finite-horizon) analysis of DTMCs.
+//!
+//! Used by the profile-estimation crate to compare fitted chains against
+//! ground truth, and by the reliability engine's diagnostics to show how
+//! probability mass drains into `End`/`Fail` over flow steps.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use archrel_linalg::Vector;
+
+use crate::{Dtmc, MarkovError, Result, StateLabel};
+
+/// A probability distribution over the states of a chain.
+///
+/// Thin wrapper that keeps the state ordering of its chain of origin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Distribution<S: StateLabel> {
+    states: Vec<S>,
+    probabilities: Vector,
+}
+
+impl<S: StateLabel> Distribution<S> {
+    /// Probability assigned to `state` (0.0 when the state is unknown).
+    pub fn probability(&self, state: &S) -> f64 {
+        self.states
+            .iter()
+            .position(|s| s == state)
+            .map(|i| self.probabilities[i])
+            .unwrap_or(0.0)
+    }
+
+    /// Iterates over `(state, probability)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&S, f64)> {
+        self.states.iter().zip(self.probabilities.iter().copied())
+    }
+
+    /// Total probability mass (should be 1 within numerical error).
+    pub fn total_mass(&self) -> f64 {
+        self.probabilities.sum()
+    }
+
+    /// The most likely state and its probability.
+    ///
+    /// Returns `None` for an empty distribution.
+    pub fn mode(&self) -> Option<(&S, f64)> {
+        self.iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("probabilities are finite"))
+    }
+}
+
+/// Computes the state distribution after exactly `steps` steps, starting from
+/// the distribution given by `initial` (pairs of state and probability).
+///
+/// # Errors
+///
+/// - [`MarkovError::UnknownState`] when an initial state is absent;
+/// - [`MarkovError::InvalidProbability`] when the initial distribution has
+///   negative entries or does not sum to one.
+pub fn distribution_after<S: StateLabel>(
+    chain: &Dtmc<S>,
+    initial: &[(S, f64)],
+    steps: usize,
+) -> Result<Distribution<S>> {
+    let n = chain.len();
+    let mut v = Vector::zeros(n);
+    let mut mass = 0.0;
+    for (s, p) in initial {
+        if !p.is_finite() || *p < 0.0 {
+            return Err(MarkovError::InvalidProbability {
+                value: *p,
+                context: format!("initial distribution entry {s:?}"),
+            });
+        }
+        let i = chain.require_index(s)?;
+        v[i] += *p;
+        mass += *p;
+    }
+    if (mass - 1.0).abs() > crate::STOCHASTIC_TOLERANCE {
+        return Err(MarkovError::InvalidProbability {
+            value: mass,
+            context: "initial distribution total mass".to_string(),
+        });
+    }
+    let p = chain.transition_matrix();
+    for _ in 0..steps {
+        v = p.vector_mul(&v)?;
+    }
+    Ok(Distribution {
+        states: chain.states().to_vec(),
+        probabilities: v,
+    })
+}
+
+/// States reachable from `start` through positive-probability transitions
+/// (including `start` itself).
+///
+/// # Errors
+///
+/// Returns [`MarkovError::UnknownState`] when `start` is absent.
+pub fn reachable_from<S: StateLabel>(chain: &Dtmc<S>, start: &S) -> Result<Vec<S>> {
+    let s = chain.require_index(start)?;
+    let mut seen: HashSet<usize> = HashSet::new();
+    let mut queue = VecDeque::new();
+    seen.insert(s);
+    queue.push_back(s);
+    while let Some(v) = queue.pop_front() {
+        for &(j, p) in &chain.adjacency()[v] {
+            if p > 0.0 && seen.insert(j) {
+                queue.push_back(j);
+            }
+        }
+    }
+    let mut order: Vec<usize> = seen.into_iter().collect();
+    order.sort_unstable();
+    Ok(order
+        .into_iter()
+        .map(|i| chain.state_at(i).clone())
+        .collect())
+}
+
+/// Probability that the chain started in `start` occupies `target` at step
+/// `steps` (a convenience over [`distribution_after`]).
+///
+/// # Errors
+///
+/// Returns [`MarkovError::UnknownState`] when either state is absent.
+pub fn hit_probability_at<S: StateLabel>(
+    chain: &Dtmc<S>,
+    start: &S,
+    target: &S,
+    steps: usize,
+) -> Result<f64> {
+    chain.require_index(target)?;
+    let d = distribution_after(chain, &[(start.clone(), 1.0)], steps)?;
+    Ok(d.probability(target))
+}
+
+/// First-passage probabilities: for each step `k` in `1..=horizon`, the
+/// probability that `target` is reached *for the first time* at step `k`
+/// starting from `start`.
+///
+/// # Errors
+///
+/// Returns [`MarkovError::UnknownState`] when either state is absent.
+pub fn first_passage<S: StateLabel>(
+    chain: &Dtmc<S>,
+    start: &S,
+    target: &S,
+    horizon: usize,
+) -> Result<Vec<f64>> {
+    let t = chain.require_index(target)?;
+    let s = chain.require_index(start)?;
+    let n = chain.len();
+    // Make target absorbing by redirecting its outflow to itself.
+    let mut v = Vector::zeros(n);
+    v[s] = 1.0;
+    let mut result = Vec::with_capacity(horizon);
+    let mut absorbed_prev = if s == t { 1.0 } else { 0.0 };
+    let p = chain.transition_matrix();
+    // Modified step: rows of target become self-loop.
+    let mut pm = p.clone();
+    for j in 0..n {
+        pm.set(t, j, if j == t { 1.0 } else { 0.0 });
+    }
+    for _ in 0..horizon {
+        v = pm.vector_mul(&v)?;
+        let absorbed_now = v[t];
+        result.push((absorbed_now - absorbed_prev).max(0.0));
+        absorbed_prev = absorbed_now;
+    }
+    Ok(result)
+}
+
+/// Lookup table from state to index, useful when repeatedly addressing chain
+/// states from outer code.
+pub fn index_map<S: StateLabel>(chain: &Dtmc<S>) -> HashMap<S, usize> {
+    chain
+        .states()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.clone(), i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DtmcBuilder;
+
+    fn chain() -> Dtmc<&'static str> {
+        DtmcBuilder::new()
+            .transition("a", "b", 0.5)
+            .transition("a", "a", 0.5)
+            .transition("b", "c", 1.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn zero_steps_is_initial_distribution() {
+        let d = distribution_after(&chain(), &[("a", 1.0)], 0).unwrap();
+        assert_eq!(d.probability(&"a"), 1.0);
+        assert_eq!(d.probability(&"b"), 0.0);
+    }
+
+    #[test]
+    fn one_step_splits_mass() {
+        let d = distribution_after(&chain(), &[("a", 1.0)], 1).unwrap();
+        assert!((d.probability(&"a") - 0.5).abs() < 1e-12);
+        assert!((d.probability(&"b") - 0.5).abs() < 1e-12);
+        assert!((d.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn long_horizon_absorbs_everything() {
+        let d = distribution_after(&chain(), &[("a", 1.0)], 200).unwrap();
+        assert!((d.probability(&"c") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_initial_distribution() {
+        let d = distribution_after(&chain(), &[("a", 0.5), ("b", 0.5)], 1).unwrap();
+        assert!((d.probability(&"c") - 0.5).abs() < 1e-12);
+        assert!((d.probability(&"b") - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_initial_distribution() {
+        assert!(distribution_after(&chain(), &[("a", 0.7)], 1).is_err());
+        assert!(distribution_after(&chain(), &[("a", -0.5), ("b", 1.5)], 1).is_err());
+        assert!(distribution_after(&chain(), &[("zzz", 1.0)], 1).is_err());
+    }
+
+    #[test]
+    fn mode_of_distribution() {
+        let d = distribution_after(&chain(), &[("a", 1.0)], 200).unwrap();
+        let (s, p) = d.mode().unwrap();
+        assert_eq!(*s, "c");
+        assert!(p > 0.99);
+    }
+
+    #[test]
+    fn reachability() {
+        let c = DtmcBuilder::new()
+            .transition("a", "b", 1.0)
+            .state("isolated")
+            .build()
+            .unwrap();
+        let r = reachable_from(&c, &"a").unwrap();
+        assert_eq!(r, vec!["a", "b"]);
+        let r = reachable_from(&c, &"isolated").unwrap();
+        assert_eq!(r, vec!["isolated"]);
+    }
+
+    #[test]
+    fn hit_probability() {
+        let p = hit_probability_at(&chain(), &"a", &"b", 1).unwrap();
+        assert!((p - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_passage_distribution_sums_to_reach_probability() {
+        let fp = first_passage(&chain(), &"a", &"c", 100).unwrap();
+        let total: f64 = fp.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // First passage to c needs at least 2 steps.
+        assert_eq!(fp[0], 0.0);
+        assert!((fp[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_passage_from_target_is_zero() {
+        let fp = first_passage(&chain(), &"c", &"c", 5).unwrap();
+        assert!(fp.iter().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    fn index_map_matches_chain() {
+        let c = chain();
+        let m = index_map(&c);
+        for (i, s) in c.states().iter().enumerate() {
+            assert_eq!(m[s], i);
+        }
+    }
+}

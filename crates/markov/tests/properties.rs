@@ -1,0 +1,145 @@
+//! Property-based tests for the Markov substrate.
+
+use archrel_markov::{paths, transient, AbsorbingAnalysis, Dtmc, DtmcBuilder};
+use proptest::prelude::*;
+
+/// Strategy: a random "flow-shaped" absorbing chain over states
+/// `0..n` (transient) plus `End = n` and `Fail = n + 1`.
+///
+/// Every transient state i distributes its mass over {i+1, ..., n-1, End,
+/// Fail}; forward-only edges keep the chain acyclic and guarantee absorption,
+/// mirroring the structure the reliability engine produces.
+fn flow_chain(max_states: usize) -> impl Strategy<Value = Dtmc<u32>> {
+    (2usize..max_states)
+        .prop_flat_map(|n| {
+            let weights =
+                proptest::collection::vec(proptest::collection::vec(0.01..1.0f64, 2..=n + 1), n);
+            (Just(n), weights)
+        })
+        .prop_map(|(n, weights)| {
+            let end = n as u32;
+            let fail = n as u32 + 1;
+            let mut b = DtmcBuilder::new().state(end).state(fail);
+            for (i, w) in weights.into_iter().enumerate() {
+                let total: f64 = w.iter().sum();
+                // Targets: successors i+1..n, then End, then Fail (cycled).
+                let mut targets: Vec<u32> = ((i as u32 + 1)..n as u32).collect();
+                targets.push(end);
+                targets.push(fail);
+                // Sum weights per target so no duplicate edges are declared.
+                let mut acc: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+                for (k, wk) in w.iter().enumerate() {
+                    *acc.entry(targets[k % targets.len()]).or_insert(0.0) += wk / total;
+                }
+                for (t, p) in acc {
+                    b = b.transition(i as u32, t, p);
+                }
+            }
+            b.build().expect("generated chain is valid")
+        })
+}
+
+proptest! {
+    #[test]
+    fn absorption_rows_sum_to_one(chain in flow_chain(8)) {
+        let analysis = AbsorbingAnalysis::new(&chain).unwrap();
+        for s in analysis.transient_states() {
+            let total: f64 = analysis
+                .absorption_distribution(s)
+                .unwrap()
+                .iter()
+                .map(|(_, p)| *p)
+                .sum();
+            prop_assert!((total - 1.0).abs() < 1e-9, "state {s:?} total {total}");
+        }
+    }
+
+    #[test]
+    fn absorption_probabilities_in_unit_interval(chain in flow_chain(8)) {
+        let analysis = AbsorbingAnalysis::new(&chain).unwrap();
+        let end = chain.states().iter().find(|s| chain.is_absorbing(s).unwrap()).unwrap();
+        for s in analysis.transient_states() {
+            let p = analysis.absorption_probability(s, end).unwrap();
+            prop_assert!((-1e-12..=1.0 + 1e-12).contains(&p), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn expected_steps_are_positive(chain in flow_chain(8)) {
+        let analysis = AbsorbingAnalysis::new(&chain).unwrap();
+        for s in analysis.transient_states() {
+            prop_assert!(analysis.expected_steps(s).unwrap() >= 1.0 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn transient_evolution_conserves_mass(chain in flow_chain(8), steps in 0usize..30) {
+        let start = chain.states().iter().find(|s| !chain.is_absorbing(s).unwrap()).unwrap();
+        let d = transient::distribution_after(&chain, &[(*start, 1.0)], steps).unwrap();
+        prop_assert!((d.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn long_horizon_matches_absorption_probability(chain in flow_chain(7)) {
+        // After many steps, the probability of sitting in End equals the
+        // absorption probability into End (acyclic flow: depth <= n).
+        let analysis = AbsorbingAnalysis::new(&chain).unwrap();
+        let end = *chain.states().iter().find(|s| chain.is_absorbing(s).unwrap()).unwrap();
+        let start = *chain.states().iter().find(|s| !chain.is_absorbing(s).unwrap()).unwrap();
+        let horizon = chain.len() + 2;
+        let d = transient::distribution_after(&chain, &[(start, 1.0)], horizon).unwrap();
+        let b = analysis.absorption_probability(&start, &end).unwrap();
+        prop_assert!((d.probability(&end) - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iterative_absorption_matches_dense(chain in flow_chain(8)) {
+        let analysis = AbsorbingAnalysis::new(&chain).unwrap();
+        let end = *chain.states().iter().find(|s| chain.is_absorbing(s).unwrap()).unwrap();
+        let sparse = archrel_markov::absorption_probabilities_iterative(
+            &chain,
+            &end,
+            archrel_markov::AbsorptionIterOptions::default(),
+        )
+        .unwrap();
+        for s in analysis.transient_states() {
+            let dense = analysis.absorption_probability(s, &end).unwrap();
+            prop_assert!(
+                (sparse[s] - dense).abs() < 1e-9,
+                "state {s:?}: sparse {} vs dense {dense}",
+                sparse[s]
+            );
+        }
+    }
+
+    #[test]
+    fn generated_absorbing_chains_have_no_traps(chain in flow_chain(8)) {
+        use archrel_markov::classes;
+        prop_assert!(classes::probability_traps(&chain).is_empty());
+        // Every closed class is a singleton absorbing state.
+        for class in classes::communicating_classes(&chain) {
+            if class.closed {
+                prop_assert_eq!(class.states.len(), 1);
+                prop_assert!(chain.is_absorbing(&class.states[0]).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn path_enumeration_matches_absorption_on_acyclic_chains(chain in flow_chain(7)) {
+        // Acyclic: exhaustive enumeration (no cutoffs) recovers the exact
+        // absorption probability into End.
+        let analysis = AbsorbingAnalysis::new(&chain).unwrap();
+        let end = *chain.states().iter().find(|s| chain.is_absorbing(s).unwrap()).unwrap();
+        let start = *chain.states().iter().find(|s| !chain.is_absorbing(s).unwrap()).unwrap();
+        let opts = paths::PathOptions {
+            min_probability: 0.0,
+            max_depth: chain.len() + 1,
+            max_paths: 1_000_000,
+        };
+        let ps = paths::enumerate_paths(&chain, &start, &[end], opts).unwrap();
+        let total = paths::total_path_probability(&ps);
+        let b = analysis.absorption_probability(&start, &end).unwrap();
+        prop_assert!((total - b).abs() < 1e-9, "paths {total} vs absorption {b}");
+    }
+}

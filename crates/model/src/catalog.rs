@@ -1,0 +1,134 @@
+//! Convenience constructors for the stock resources of the paper: CPU
+//! ("process") services, network ("transmit") services, and the pure-modeling
+//! "local processing" connectors of §3.1.
+
+use archrel_expr::Expr;
+
+use crate::{ConnectorBinding, FailureModel, Service, ServiceId, SimpleService};
+
+/// Name of the abstract demand parameter of CPU services: the number of
+/// operations to execute.
+pub const CPU_PARAM: &str = "n";
+
+/// Name of the abstract demand parameter of network services: the number of
+/// bytes to transmit.
+pub const NET_PARAM: &str = "b";
+
+/// Name of the (unused) formal parameter of local-processing connectors.
+pub const LOCAL_PARAM: &str = "x";
+
+/// A CPU resource offering a processing service (paper eq. 1):
+/// `Pfail(cpu, N) = 1 − e^(−λ·N/s)` with speed `s` (operations/time-unit)
+/// and failure rate `λ` (failures/time-unit).
+///
+/// # Examples
+///
+/// ```
+/// use archrel_model::catalog;
+///
+/// let cpu = catalog::cpu_resource("cpu1", 1e9, 1e-12);
+/// assert_eq!(cpu.id().as_str(), "cpu1");
+/// ```
+pub fn cpu_resource(name: impl Into<ServiceId>, speed: f64, failure_rate: f64) -> Service {
+    Service::Simple(SimpleService::new(
+        name,
+        CPU_PARAM,
+        FailureModel::ExponentialRate {
+            rate: failure_rate,
+            capacity: speed,
+        },
+    ))
+}
+
+/// A network resource offering a communication service (paper eq. 2):
+/// `Pfail(net, B) = 1 − e^(−β·B/b)` with bandwidth `b` (bytes/time-unit) and
+/// failure rate `β`.
+pub fn network_resource(name: impl Into<ServiceId>, bandwidth: f64, failure_rate: f64) -> Service {
+    Service::Simple(SimpleService::new(
+        name,
+        NET_PARAM,
+        FailureModel::ExponentialRate {
+            rate: failure_rate,
+            capacity: bandwidth,
+        },
+    ))
+}
+
+/// A "local processing" connector (paper §3.1): a pure modeling artifact
+/// associating a software service with the processing resource of its node.
+/// It uses no resources and its failure probability is zero.
+pub fn local_connector(name: impl Into<ServiceId>) -> Service {
+    Service::Simple(SimpleService::new(name, LOCAL_PARAM, FailureModel::Perfect))
+}
+
+/// A [`ConnectorBinding`] routing a call through a [`local_connector`]
+/// (supplies the connector's dummy parameter).
+pub fn local_binding(name: impl Into<ServiceId>) -> ConnectorBinding {
+    ConnectorBinding::new(name).with_param(LOCAL_PARAM, Expr::zero())
+}
+
+/// A black-box service with a fixed per-invocation failure probability —
+/// handy for third-party services that publish a single reliability number.
+pub fn blackbox_service(
+    name: impl Into<ServiceId>,
+    param: impl Into<String>,
+    failure_probability: f64,
+) -> Service {
+    Service::Simple(SimpleService::new(
+        name,
+        param,
+        FailureModel::Constant {
+            probability: failure_probability,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_resource_matches_eq1() {
+        let Service::Simple(s) = cpu_resource("cpu", 2e9, 1e-9) else {
+            panic!("cpu is simple");
+        };
+        let p = s.failure_probability(1e6).unwrap().value();
+        assert!((p - (1.0 - (-1e-9f64 * 1e6 / 2e9).exp())).abs() < 1e-18);
+        assert_eq!(s.formal_param(), CPU_PARAM);
+    }
+
+    #[test]
+    fn network_resource_matches_eq2() {
+        let Service::Simple(s) = network_resource("net", 1e6, 1e-3) else {
+            panic!("net is simple");
+        };
+        let p = s.failure_probability(5000.0).unwrap().value();
+        assert!((p - (1.0 - (-1e-3f64 * 5000.0 / 1e6).exp())).abs() < 1e-18);
+        assert_eq!(s.formal_param(), NET_PARAM);
+    }
+
+    #[test]
+    fn local_connector_never_fails() {
+        let Service::Simple(s) = local_connector("loc1") else {
+            panic!("loc is simple");
+        };
+        assert!(s.failure_probability(1e12).unwrap().is_zero());
+    }
+
+    #[test]
+    fn local_binding_covers_the_dummy_param() {
+        let b = local_binding("loc1");
+        assert_eq!(b.connector.as_str(), "loc1");
+        assert_eq!(b.actual_params.len(), 1);
+        assert_eq!(b.actual_params[0].0, LOCAL_PARAM);
+    }
+
+    #[test]
+    fn blackbox_constant_failure() {
+        let Service::Simple(s) = blackbox_service("pay", "amount", 0.01) else {
+            panic!("blackbox is simple");
+        };
+        assert_eq!(s.failure_probability(1.0).unwrap().value(), 0.01);
+        assert_eq!(s.failure_probability(1e9).unwrap().value(), 0.01);
+    }
+}

@@ -1,0 +1,192 @@
+//! Ready-made interaction connectors with the flows of the paper's Figure 2.
+//!
+//! Connectors are first-class services in the unified model: an RPC connector
+//! *offers* a connection service (implicitly invoked around a remote call)
+//! and *requires* processing and communication services to
+//! marshal/transmit/unmarshal the request and response. Both connectors here
+//! expose the formal parameters `ip` (client→server payload bytes) and `op`
+//! (server→client payload bytes).
+
+use archrel_expr::Expr;
+
+use crate::{
+    catalog, CompositeService, FlowBuilder, FlowState, Result, Service, ServiceCall, ServiceId,
+    StateId,
+};
+
+/// Formal parameter: size of the data transmitted client → server.
+pub const IP_PARAM: &str = "ip";
+
+/// Formal parameter: size of the data transmitted server → client.
+pub const OP_PARAM: &str = "op";
+
+/// A "local procedure call" connector (paper Fig. 2, left).
+///
+/// Shared-memory communication: only a constant number `control_ops` of
+/// processing operations on `cpu` is needed for the control transfer,
+/// independent of `ip`/`op`. The connector's own software failure rate is
+/// assumed zero (the paper's assumption), so requests carry no internal
+/// failure.
+///
+/// # Errors
+///
+/// Propagates flow-construction errors (none for valid inputs).
+pub fn lpc_connector(
+    name: impl Into<ServiceId>,
+    cpu: impl Into<ServiceId>,
+    control_ops: f64,
+) -> Result<Service> {
+    let flow = FlowBuilder::new()
+        .state(FlowState::new(
+            "transfer",
+            vec![ServiceCall::new(cpu).with_param(catalog::CPU_PARAM, Expr::num(control_ops))],
+        ))
+        .transition(StateId::Start, "transfer", Expr::one())
+        .transition("transfer", StateId::End, Expr::one())
+        .build()?;
+    Ok(Service::Composite(CompositeService::new(
+        name,
+        vec![IP_PARAM.to_string(), OP_PARAM.to_string()],
+        flow,
+    )?))
+}
+
+/// Configuration of an RPC connector (paper Fig. 2, right).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RpcConfig {
+    /// Connector service name.
+    pub name: ServiceId,
+    /// Processing service of the client node (marshals `ip`, unmarshals `op`).
+    pub client_cpu: ServiceId,
+    /// Processing service of the server node (unmarshals `ip`, marshals `op`).
+    pub server_cpu: ServiceId,
+    /// Communication service between the nodes.
+    pub network: ServiceId,
+    /// Marshalling/unmarshalling cost `c` in operations per payload byte.
+    pub marshal_ops_per_byte: f64,
+    /// Wire expansion `m`: bytes transmitted per payload byte.
+    pub bytes_per_byte: f64,
+}
+
+/// A "remote procedure call" connector (paper Fig. 2, right).
+///
+/// Two AND-completion states:
+///
+/// 1. request leg — `cpu_client(c·ip)` marshal, `net(m·ip)` transmit,
+///    `cpu_server(c·ip)` unmarshal;
+/// 2. response leg — `cpu_server(c·op)` marshal, `net(m·op)` transmit,
+///    `cpu_client(c·op)` unmarshal.
+///
+/// The connector's software failure rate is assumed zero, so the requests
+/// carry no internal failure; its unreliability comes entirely from the
+/// resources it uses (yielding the paper's eq. 20).
+///
+/// # Errors
+///
+/// Propagates flow-construction errors (none for valid inputs).
+pub fn rpc_connector(config: &RpcConfig) -> Result<Service> {
+    let c = Expr::num(config.marshal_ops_per_byte);
+    let m = Expr::num(config.bytes_per_byte);
+    let ip = Expr::param(IP_PARAM);
+    let op = Expr::param(OP_PARAM);
+
+    let request_leg = FlowState::new(
+        "request",
+        vec![
+            ServiceCall::new(config.client_cpu.clone())
+                .with_param(catalog::CPU_PARAM, c.clone() * ip.clone()),
+            ServiceCall::new(config.network.clone())
+                .with_param(catalog::NET_PARAM, m.clone() * ip.clone()),
+            ServiceCall::new(config.server_cpu.clone())
+                .with_param(catalog::CPU_PARAM, c.clone() * ip),
+        ],
+    );
+    let response_leg = FlowState::new(
+        "response",
+        vec![
+            ServiceCall::new(config.server_cpu.clone())
+                .with_param(catalog::CPU_PARAM, c.clone() * op.clone()),
+            ServiceCall::new(config.network.clone()).with_param(catalog::NET_PARAM, m * op.clone()),
+            ServiceCall::new(config.client_cpu.clone()).with_param(catalog::CPU_PARAM, c * op),
+        ],
+    );
+
+    let flow = FlowBuilder::new()
+        .state(request_leg)
+        .state(response_leg)
+        .transition(StateId::Start, "request", Expr::one())
+        .transition("request", "response", Expr::one())
+        .transition("response", StateId::End, Expr::one())
+        .build()?;
+    Ok(Service::Composite(CompositeService::new(
+        config.name.clone(),
+        vec![IP_PARAM.to_string(), OP_PARAM.to_string()],
+        flow,
+    )?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Service;
+
+    #[test]
+    fn lpc_has_single_constant_state() {
+        let svc = lpc_connector("lpc", "cpu1", 100.0).unwrap();
+        let Service::Composite(c) = &svc else {
+            panic!("lpc is composite");
+        };
+        assert_eq!(c.formal_params(), &[IP_PARAM, OP_PARAM]);
+        assert_eq!(c.flow().states().len(), 1);
+        let state = &c.flow().states()[0];
+        assert_eq!(state.calls.len(), 1);
+        // Cost is the constant l, independent of ip/op.
+        assert_eq!(state.calls[0].actual_params[0].1.as_const(), Some(100.0));
+    }
+
+    #[test]
+    fn rpc_has_request_and_response_legs() {
+        let svc = rpc_connector(&RpcConfig {
+            name: "rpc".into(),
+            client_cpu: "cpu1".into(),
+            server_cpu: "cpu2".into(),
+            network: "net12".into(),
+            marshal_ops_per_byte: 50.0,
+            bytes_per_byte: 1.0,
+        })
+        .unwrap();
+        let Service::Composite(c) = &svc else {
+            panic!("rpc is composite");
+        };
+        assert_eq!(c.flow().states().len(), 2);
+        for state in c.flow().states() {
+            assert_eq!(state.calls.len(), 3, "each leg touches cpu, net, cpu");
+        }
+        // Request leg costs depend on ip only.
+        let req = &c.flow().states()[0];
+        for call in &req.calls {
+            let free = call.actual_params[0].1.free_params();
+            assert!(free.contains("ip") && !free.contains("op"));
+        }
+        let resp = &c.flow().states()[1];
+        for call in &resp.calls {
+            let free = call.actual_params[0].1.free_params();
+            assert!(free.contains("op") && !free.contains("ip"));
+        }
+    }
+
+    #[test]
+    fn rpc_references_its_three_resources() {
+        let svc = rpc_connector(&RpcConfig {
+            name: "rpc".into(),
+            client_cpu: "cpu1".into(),
+            server_cpu: "cpu2".into(),
+            network: "net12".into(),
+            marshal_ops_per_byte: 1.0,
+            bytes_per_byte: 1.0,
+        })
+        .unwrap();
+        let refs = svc.as_composite().unwrap().flow().referenced_services();
+        assert_eq!(refs.len(), 3);
+    }
+}

@@ -1,0 +1,167 @@
+use std::fmt;
+
+use archrel_expr::ExprError;
+
+/// Errors produced while constructing or validating service models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A probability-valued input was outside `[0, 1]` or non-finite.
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+        /// Where it appeared.
+        context: String,
+    },
+    /// A rate, speed, or bandwidth attribute was invalid (negative,
+    /// non-finite, or a zero capacity).
+    InvalidAttribute {
+        /// Attribute name, e.g. `"speed"`.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A negative demand (operations / bytes) was requested from a simple
+    /// service.
+    InvalidDemand {
+        /// The offending value.
+        value: f64,
+    },
+    /// Two services with the same identifier were registered.
+    DuplicateService {
+        /// The duplicated identifier.
+        id: String,
+    },
+    /// A call references a service absent from the assembly.
+    UnknownService {
+        /// The missing identifier.
+        id: String,
+        /// The service whose flow contains the dangling call.
+        referenced_from: String,
+    },
+    /// A call's actual parameters do not cover the callee's formal
+    /// parameters exactly.
+    ParameterMismatch {
+        /// The caller service.
+        caller: String,
+        /// The callee service.
+        callee: String,
+        /// Formal parameters that received no actual expression.
+        missing: Vec<String>,
+        /// Actual parameters that match no formal parameter.
+        extraneous: Vec<String>,
+    },
+    /// A flow is structurally malformed.
+    MalformedFlow {
+        /// The service owning the flow.
+        service: String,
+        /// Explanation of the defect.
+        reason: String,
+    },
+    /// A `Shared`-dependency state does not actually share a single service
+    /// through a single connector (paper §3.2 restricts sharing to that case).
+    InvalidSharing {
+        /// The service owning the flow.
+        service: String,
+        /// The offending state.
+        state: String,
+        /// Explanation of the defect.
+        reason: String,
+    },
+    /// A `k`-out-of-`n` completion model with `k` outside `1..=n`.
+    InvalidKOutOfN {
+        /// Requested quorum.
+        k: usize,
+        /// Number of requests in the state.
+        n: usize,
+    },
+    /// An expression failed to parse or evaluate.
+    Expr(ExprError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidProbability { value, context } => {
+                write!(f, "invalid probability {value} in {context}")
+            }
+            ModelError::InvalidAttribute { name, value } => {
+                write!(f, "invalid attribute {name} = {value}")
+            }
+            ModelError::InvalidDemand { value } => write!(f, "invalid demand {value}"),
+            ModelError::DuplicateService { id } => write!(f, "duplicate service `{id}`"),
+            ModelError::UnknownService {
+                id,
+                referenced_from,
+            } => write!(f, "unknown service `{id}` referenced from `{referenced_from}`"),
+            ModelError::ParameterMismatch {
+                caller,
+                callee,
+                missing,
+                extraneous,
+            } => write!(
+                f,
+                "parameter mismatch calling `{callee}` from `{caller}`: missing {missing:?}, extraneous {extraneous:?}"
+            ),
+            ModelError::MalformedFlow { service, reason } => {
+                write!(f, "malformed flow in `{service}`: {reason}")
+            }
+            ModelError::InvalidSharing {
+                service,
+                state,
+                reason,
+            } => write!(
+                f,
+                "invalid sharing declaration in `{service}` state `{state}`: {reason}"
+            ),
+            ModelError::InvalidKOutOfN { k, n } => {
+                write!(f, "k-out-of-n completion with k = {k}, n = {n}")
+            }
+            ModelError::Expr(e) => write!(f, "expression error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Expr(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ExprError> for ModelError {
+    fn from(e: ExprError) -> Self {
+        ModelError::Expr(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::ParameterMismatch {
+            caller: "search".into(),
+            callee: "sort".into(),
+            missing: vec!["list".into()],
+            extraneous: vec![],
+        };
+        let s = e.to_string();
+        assert!(s.contains("search") && s.contains("sort") && s.contains("list"));
+    }
+
+    #[test]
+    fn expr_error_converts() {
+        let e: ModelError = ExprError::UnboundParameter { name: "x".into() }.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

@@ -1,0 +1,272 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{ModelError, Probability, Result};
+
+/// Published failure law of a *simple service* (paper §3.1).
+///
+/// Simple services do not require other services; their reliability is a
+/// known closed-form function of the abstract demand parameter (number of
+/// operations for CPUs, bytes for networks).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FailureModel {
+    /// Exponential failure law with a service capacity (eqs. 1–2):
+    /// `Pfail(demand) = 1 − e^(−rate · demand / capacity)`.
+    ///
+    /// For a CPU, `rate` is λ (failures/time-unit) and `capacity` is the
+    /// speed `s` (operations/time-unit); for a network, `rate` is the link
+    /// failure rate and `capacity` the bandwidth (bytes/time-unit).
+    ExponentialRate {
+        /// Failure rate per time unit.
+        rate: f64,
+        /// Work units served per time unit (must be positive).
+        capacity: f64,
+    },
+    /// A perfectly reliable service, used for pure-modeling connectors such
+    /// as the paper's "local processing" deployment links (§3.1: "their
+    /// failure probability is equal to zero").
+    Perfect,
+    /// A demand-independent failure probability, useful for black-box
+    /// services that publish a single reliability number.
+    Constant {
+        /// Failure probability per invocation.
+        probability: f64,
+    },
+    /// Per-unit failure probability: `Pfail(demand) = 1 − (1 − p)^demand`.
+    ///
+    /// The discrete analogue of [`FailureModel::ExponentialRate`]; also the
+    /// software-failure law of eq. 14 lifted to a simple service.
+    PerUnit {
+        /// Failure probability per unit of demand.
+        probability: f64,
+    },
+}
+
+impl FailureModel {
+    /// Validates the model's attributes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidAttribute`] or
+    /// [`ModelError::InvalidProbability`] on out-of-range values.
+    pub fn validate(&self) -> Result<()> {
+        match *self {
+            FailureModel::ExponentialRate { rate, capacity } => {
+                if !rate.is_finite() || rate < 0.0 {
+                    return Err(ModelError::InvalidAttribute {
+                        name: "rate",
+                        value: rate,
+                    });
+                }
+                if !capacity.is_finite() || capacity <= 0.0 {
+                    return Err(ModelError::InvalidAttribute {
+                        name: "capacity",
+                        value: capacity,
+                    });
+                }
+                Ok(())
+            }
+            FailureModel::Perfect => Ok(()),
+            FailureModel::Constant { probability } | FailureModel::PerUnit { probability } => {
+                Probability::new(probability).map(|_| ())
+            }
+        }
+    }
+
+    /// Failure probability when serving `demand` abstract work units.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidDemand`] for negative or non-finite
+    /// demand, and attribute errors as in [`FailureModel::validate`].
+    pub fn failure_probability(&self, demand: f64) -> Result<Probability> {
+        if !demand.is_finite() || demand < 0.0 {
+            return Err(ModelError::InvalidDemand { value: demand });
+        }
+        self.validate()?;
+        match *self {
+            FailureModel::ExponentialRate { rate, capacity } => {
+                Probability::new(1.0 - (-rate * demand / capacity).exp())
+            }
+            FailureModel::Perfect => Ok(Probability::ZERO),
+            FailureModel::Constant { probability } => Probability::new(probability),
+            FailureModel::PerUnit { probability } => {
+                Probability::new(1.0 - (1.0 - probability).powf(demand))
+            }
+        }
+    }
+}
+
+/// Internal-failure law of a service *request* (paper §3.2, discussion of
+/// `Pfail_int(Aij)` and eq. 14).
+///
+/// When a composite service issues a request, the request can fail for
+/// reasons internal to the *caller*: for a plain method call this is usually
+/// negligible (case a), while for a `call(cpu, N)` that runs the caller's own
+/// code it is the probability that the code's software faults manifest
+/// (case b, eq. 14).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub enum InternalFailureModel {
+    /// The call operation itself is perfectly reliable (the paper's default
+    /// for method calls).
+    #[default]
+    None,
+    /// A fixed per-request internal failure probability.
+    Constant {
+        /// Failure probability per request.
+        probability: f64,
+    },
+    /// Software-reliability law of eq. 14:
+    /// `Pfail_int = 1 − (1 − ϕ)^N`, with `N` the evaluated demand of the
+    /// request (the same expression used as the actual parameter).
+    PerOperation {
+        /// Software failure rate ϕ (probability of failure per operation).
+        phi: f64,
+    },
+}
+
+impl InternalFailureModel {
+    /// Validates the model's attributes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidProbability`] when ϕ or the constant is
+    /// out of range.
+    pub fn validate(&self) -> Result<()> {
+        match *self {
+            InternalFailureModel::None => Ok(()),
+            InternalFailureModel::Constant { probability } => {
+                Probability::new(probability).map(|_| ())
+            }
+            InternalFailureModel::PerOperation { phi } => Probability::new(phi).map(|_| ()),
+        }
+    }
+
+    /// Internal failure probability for a request whose evaluated demand is
+    /// `operations` (ignored by the demand-independent variants).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidDemand`] for negative or non-finite
+    /// demand and probability errors as in
+    /// [`InternalFailureModel::validate`].
+    pub fn failure_probability(&self, operations: f64) -> Result<Probability> {
+        self.validate()?;
+        match *self {
+            InternalFailureModel::None => Ok(Probability::ZERO),
+            InternalFailureModel::Constant { probability } => Probability::new(probability),
+            InternalFailureModel::PerOperation { phi } => {
+                if !operations.is_finite() || operations < 0.0 {
+                    return Err(ModelError::InvalidDemand { value: operations });
+                }
+                Probability::new(1.0 - (1.0 - phi).powf(operations))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_rate_matches_eq1() {
+        // Pfail(cpu, N) = 1 - e^(-λN/s)
+        let m = FailureModel::ExponentialRate {
+            rate: 1e-9,
+            capacity: 2e9,
+        };
+        let p = m.failure_probability(1e6).unwrap().value();
+        let expected = 1.0 - (-1e-9 * 1e6 / 2e9f64).exp();
+        assert!((p - expected).abs() < 1e-18);
+    }
+
+    #[test]
+    fn zero_demand_never_fails() {
+        let m = FailureModel::ExponentialRate {
+            rate: 0.5,
+            capacity: 1.0,
+        };
+        assert_eq!(m.failure_probability(0.0).unwrap(), Probability::ZERO);
+        let m = FailureModel::PerUnit { probability: 0.3 };
+        assert_eq!(m.failure_probability(0.0).unwrap(), Probability::ZERO);
+    }
+
+    #[test]
+    fn perfect_service() {
+        assert_eq!(
+            FailureModel::Perfect.failure_probability(1e12).unwrap(),
+            Probability::ZERO
+        );
+    }
+
+    #[test]
+    fn constant_ignores_demand() {
+        let m = FailureModel::Constant { probability: 0.25 };
+        assert_eq!(m.failure_probability(1.0).unwrap().value(), 0.25);
+        assert_eq!(m.failure_probability(1e9).unwrap().value(), 0.25);
+    }
+
+    #[test]
+    fn per_unit_is_monotone_in_demand() {
+        let m = FailureModel::PerUnit { probability: 1e-3 };
+        let p10 = m.failure_probability(10.0).unwrap().value();
+        let p100 = m.failure_probability(100.0).unwrap().value();
+        assert!(p10 < p100);
+        assert!((p10 - (1.0 - 0.999f64.powi(10))).abs() < 1e-15);
+    }
+
+    #[test]
+    fn invalid_attributes_rejected() {
+        assert!(FailureModel::ExponentialRate {
+            rate: -1.0,
+            capacity: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(FailureModel::ExponentialRate {
+            rate: 1.0,
+            capacity: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(FailureModel::Constant { probability: 1.5 }
+            .validate()
+            .is_err());
+        assert!(FailureModel::PerUnit { probability: -0.1 }
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn negative_demand_rejected() {
+        let m = FailureModel::Perfect;
+        assert!(matches!(
+            m.failure_probability(-1.0),
+            Err(ModelError::InvalidDemand { .. })
+        ));
+    }
+
+    #[test]
+    fn internal_per_operation_matches_eq14() {
+        // Pfail_int = 1 - (1-ϕ)^N
+        let m = InternalFailureModel::PerOperation { phi: 1e-6 };
+        let p = m.failure_probability(1000.0).unwrap().value();
+        let expected = 1.0 - (1.0 - 1e-6f64).powf(1000.0);
+        assert!((p - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn internal_none_is_zero() {
+        assert_eq!(
+            InternalFailureModel::None.failure_probability(1e9).unwrap(),
+            Probability::ZERO
+        );
+    }
+
+    #[test]
+    fn internal_invalid_phi_rejected() {
+        assert!(InternalFailureModel::PerOperation { phi: 2.0 }
+            .failure_probability(10.0)
+            .is_err());
+    }
+}

@@ -1,0 +1,89 @@
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a service (or of the resource/connector offering it — the
+/// paper identifies single-service resources with their service, §3.1).
+///
+/// Cheap to clone; compares and hashes by name.
+///
+/// # Examples
+///
+/// ```
+/// use archrel_model::ServiceId;
+///
+/// let a = ServiceId::new("cpu1");
+/// let b: ServiceId = "cpu1".into();
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "cpu1");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ServiceId(Arc<str>);
+
+impl ServiceId {
+    /// Creates an identifier from a name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        ServiceId(Arc::from(name.as_ref()))
+    }
+
+    /// The identifier as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ServiceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ServiceId {
+    fn from(s: &str) -> Self {
+        ServiceId::new(s)
+    }
+}
+
+impl From<String> for ServiceId {
+    fn from(s: String) -> Self {
+        ServiceId::new(&s)
+    }
+}
+
+impl AsRef<str> for ServiceId {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Borrow<str> for ServiceId {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn equality_and_ordering() {
+        assert_eq!(ServiceId::new("a"), ServiceId::new("a"));
+        assert!(ServiceId::new("a") < ServiceId::new("b"));
+    }
+
+    #[test]
+    fn usable_as_map_key_via_str_borrow() {
+        let mut m: BTreeMap<ServiceId, u32> = BTreeMap::new();
+        m.insert("cpu1".into(), 7);
+        assert_eq!(m.get("cpu1"), Some(&7));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ServiceId::new("net12").to_string(), "net12");
+    }
+}

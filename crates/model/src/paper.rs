@@ -1,0 +1,312 @@
+//! The paper's §4 example: a `search` service assembled with a `sort`
+//! service, either **locally** (same node, LPC connector) or **remotely**
+//! (two nodes, RPC connector over a network).
+//!
+//! Every constant the paper leaves unspecified (speeds, hardware failure
+//! rates, marshalling cost, bandwidth, ...) is a field of [`PaperParams`];
+//! the defaults are the calibration documented in `EXPERIMENTS.md`, chosen so
+//! Figure 6's qualitative claims hold. The same builders feed the unit tests,
+//! the integration tests, the Monte Carlo simulator, and the Figure 6
+//! reproduction binary.
+//!
+//! # Examples
+//!
+//! ```
+//! use archrel_model::paper;
+//!
+//! let params = paper::PaperParams::default();
+//! let local = paper::local_assembly(&params).unwrap();
+//! let remote = paper::remote_assembly(&params).unwrap();
+//! assert!(local.service(&paper::LPC.into()).is_some());
+//! assert!(remote.service(&paper::RPC.into()).is_some());
+//! ```
+
+use archrel_expr::{Bindings, Expr};
+
+use crate::{
+    catalog, connector, Assembly, AssemblyBuilder, CompositeService, ConnectorBinding, FlowBuilder,
+    FlowState, InternalFailureModel, Result, Service, ServiceCall, StateId,
+};
+
+/// Service id of the top-level search service.
+pub const SEARCH: &str = "search";
+/// Service id of the co-located sort service (local assembly).
+pub const SORT_LOCAL: &str = "sort1";
+/// Service id of the remote sort service (remote assembly).
+pub const SORT_REMOTE: &str = "sort2";
+/// Service id of the client node's CPU.
+pub const CPU1: &str = "cpu1";
+/// Service id of the server node's CPU (remote assembly only).
+pub const CPU2: &str = "cpu2";
+/// Service id of the network between the nodes (remote assembly only).
+pub const NET: &str = "net12";
+/// Service id of the local-procedure-call connector (local assembly).
+pub const LPC: &str = "lpc";
+/// Service id of the remote-procedure-call connector (remote assembly).
+pub const RPC: &str = "rpc";
+/// Local-processing connector: search → cpu1.
+pub const LOC1: &str = "loc1";
+/// Local-processing connector: sort → its node's CPU.
+pub const LOC2: &str = "loc2";
+
+/// All parameters of the §4 example.
+///
+/// Fields named after the paper's symbols. The paper fixes ϕ₂ = 1e-7 and
+/// sweeps ϕ₁ ∈ {1e-6, 5e-6} and γ ∈ {1e-1, 5e-2, 2.5e-2, 5e-3}; everything
+/// else is our documented calibration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PaperParams {
+    /// Probability that the list is not already sorted (the flow branches to
+    /// the sort request with this probability).
+    pub q: f64,
+    /// Software failure rate ϕ of the search service's own code.
+    pub phi_search: f64,
+    /// Software failure rate ϕ₁ of the local sort service.
+    pub phi_sort1: f64,
+    /// Software failure rate ϕ₂ of the remote sort service.
+    pub phi_sort2: f64,
+    /// Hardware failure rate λ₁ of the client node's CPU.
+    pub lambda1: f64,
+    /// Hardware failure rate λ₂ of the server node's CPU.
+    pub lambda2: f64,
+    /// Speed s₁ (operations/time-unit) of the client node's CPU.
+    pub s1: f64,
+    /// Speed s₂ of the server node's CPU.
+    pub s2: f64,
+    /// Failure rate γ of the network.
+    pub gamma: f64,
+    /// Bandwidth b (bytes/time-unit) of the network.
+    pub bandwidth: f64,
+    /// Marshalling cost c (operations per payload byte) of the RPC connector.
+    pub c: f64,
+    /// Wire expansion m (bytes per payload byte) of the RPC connector.
+    pub m: f64,
+    /// Control-transfer cost l (operations) of the LPC connector.
+    pub l: f64,
+}
+
+impl Default for PaperParams {
+    fn default() -> Self {
+        PaperParams {
+            q: 0.9,
+            phi_search: 1e-7,
+            phi_sort1: 1e-6,
+            phi_sort2: 1e-7,
+            lambda1: 1e-12,
+            lambda2: 1e-12,
+            s1: 1e9,
+            s2: 1e9,
+            gamma: 5e-3,
+            bandwidth: 625.0,
+            c: 50.0,
+            m: 1.0,
+            l: 100.0,
+        }
+    }
+}
+
+impl PaperParams {
+    /// Returns a copy with a different network failure rate γ (the Figure 6
+    /// sweep axis).
+    #[must_use]
+    pub fn with_gamma(mut self, gamma: f64) -> Self {
+        self.gamma = gamma;
+        self
+    }
+
+    /// Returns a copy with a different local-sort software failure rate ϕ₁.
+    #[must_use]
+    pub fn with_phi_sort1(mut self, phi: f64) -> Self {
+        self.phi_sort1 = phi;
+        self
+    }
+}
+
+/// Bindings for one invocation of the search service: `elem` (size of the
+/// searched element), `list` (list size), `res` (size of the returned
+/// result).
+pub fn search_bindings(elem: f64, list: f64, res: f64) -> Bindings {
+    Bindings::new()
+        .with("elem", elem)
+        .with("list", list)
+        .with("res", res)
+}
+
+/// The `sortx` service (paper Fig. 1 right): one state requesting
+/// `cpu(list · log₂ list)` through a local-processing connector, with the
+/// software failure law of eq. 14 (rate ϕₓ) as internal failure.
+fn sort_service(name: &str, cpu: &str, phi: f64) -> Result<Service> {
+    let cost = Expr::param("list") * Expr::param("list").log2();
+    let flow = FlowBuilder::new()
+        .state(FlowState::new(
+            "sorting",
+            vec![ServiceCall::new(cpu)
+                .with_param(catalog::CPU_PARAM, cost)
+                .via(catalog::local_binding(LOC2))
+                .with_internal(InternalFailureModel::PerOperation { phi })],
+        ))
+        .transition(StateId::Start, "sorting", Expr::one())
+        .transition("sorting", StateId::End, Expr::one())
+        .build()?;
+    Ok(Service::Composite(CompositeService::new(
+        name,
+        vec!["list".to_string()],
+        flow,
+    )?))
+}
+
+/// The `search` service (paper Fig. 1 left / Fig. 5): with probability `q`
+/// the list must first be sorted (state 1: request to `sort` through the
+/// given connector), then the search itself runs `log₂ list` operations on
+/// `cpu1` (state 2), with the search code's software failure law attached.
+fn search_service(params: &PaperParams, sort_id: &str, connector_id: &str) -> Result<Service> {
+    let list = Expr::param("list");
+    let ip = Expr::param("elem") + list.clone();
+    let op = Expr::param("res");
+
+    let sort_state = FlowState::new(
+        "1",
+        vec![ServiceCall::new(sort_id)
+            .with_param("list", list.clone())
+            .via(
+                ConnectorBinding::new(connector_id)
+                    .with_param(connector::IP_PARAM, ip)
+                    .with_param(connector::OP_PARAM, op),
+            )
+            // The paper assumes the method call itself is perfectly reliable
+            // (Pfail_int(call(sortx, list)) = 0, below eq. 21).
+            .with_internal(InternalFailureModel::None)],
+    );
+    let scan_state = FlowState::new(
+        "2",
+        vec![ServiceCall::new(CPU1)
+            .with_param(catalog::CPU_PARAM, list.log2())
+            .via(catalog::local_binding(LOC1))
+            .with_internal(InternalFailureModel::PerOperation {
+                phi: params.phi_search,
+            })],
+    );
+
+    let flow = FlowBuilder::new()
+        .state(sort_state)
+        .state(scan_state)
+        .transition(StateId::Start, "1", Expr::num(params.q))
+        .transition(StateId::Start, "2", Expr::num(1.0 - params.q))
+        .transition("1", "2", Expr::one())
+        .transition("2", StateId::End, Expr::one())
+        .build()?;
+    Ok(Service::Composite(CompositeService::new(
+        SEARCH,
+        vec!["elem".to_string(), "list".to_string(), "res".to_string()],
+        flow,
+    )?))
+}
+
+/// The **local assembly** (paper Fig. 3): `search` and `sort1` on the same
+/// node `cpu1`, connected by an LPC connector.
+///
+/// # Errors
+///
+/// Propagates model-construction errors (none for valid parameters).
+pub fn local_assembly(params: &PaperParams) -> Result<Assembly> {
+    AssemblyBuilder::new()
+        .service(catalog::cpu_resource(CPU1, params.s1, params.lambda1))
+        .service(catalog::local_connector(LOC1))
+        .service(catalog::local_connector(LOC2))
+        .service(connector::lpc_connector(LPC, CPU1, params.l)?)
+        .service(sort_service(SORT_LOCAL, CPU1, params.phi_sort1)?)
+        .service(search_service(params, SORT_LOCAL, LPC)?)
+        .build()
+}
+
+/// The **remote assembly** (paper Fig. 4): `search` on `cpu1`, `sort2` on
+/// `cpu2`, connected by an RPC connector over `net12`.
+///
+/// # Errors
+///
+/// Propagates model-construction errors (none for valid parameters).
+pub fn remote_assembly(params: &PaperParams) -> Result<Assembly> {
+    AssemblyBuilder::new()
+        .service(catalog::cpu_resource(CPU1, params.s1, params.lambda1))
+        .service(catalog::cpu_resource(CPU2, params.s2, params.lambda2))
+        .service(catalog::network_resource(
+            NET,
+            params.bandwidth,
+            params.gamma,
+        ))
+        .service(catalog::local_connector(LOC1))
+        .service(catalog::local_connector(LOC2))
+        .service(connector::rpc_connector(&connector::RpcConfig {
+            name: RPC.into(),
+            client_cpu: CPU1.into(),
+            server_cpu: CPU2.into(),
+            network: NET.into(),
+            marshal_ops_per_byte: params.c,
+            bytes_per_byte: params.m,
+        })?)
+        .service(sort_service(SORT_REMOTE, CPU2, params.phi_sort2)?)
+        .service(search_service(params, SORT_REMOTE, RPC)?)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_assembly_validates() {
+        let a = local_assembly(&PaperParams::default()).unwrap();
+        assert_eq!(a.len(), 6);
+        // Recursion levels of §4: simple services at the bottom.
+        let order = a.topological_order().unwrap();
+        let pos = |name: &str| order.iter().position(|s| s.as_str() == name).unwrap();
+        assert!(pos(CPU1) < pos(LPC));
+        assert!(pos(LPC) < pos(SEARCH));
+        assert!(pos(SORT_LOCAL) < pos(SEARCH));
+    }
+
+    #[test]
+    fn remote_assembly_validates() {
+        let a = remote_assembly(&PaperParams::default()).unwrap();
+        assert_eq!(a.len(), 8);
+        assert!(a.service(&NET.into()).is_some());
+        assert!(a.service(&CPU2.into()).is_some());
+        let order = a.topological_order().unwrap();
+        let pos = |name: &str| order.iter().position(|s| s.as_str() == name).unwrap();
+        assert!(pos(NET) < pos(RPC));
+        assert!(pos(RPC) < pos(SEARCH));
+    }
+
+    #[test]
+    fn search_flow_matches_fig1() {
+        let a = local_assembly(&PaperParams::default()).unwrap();
+        let search = a.service(&SEARCH.into()).unwrap().as_composite().unwrap();
+        assert_eq!(search.formal_params(), &["elem", "list", "res"]);
+        assert_eq!(search.flow().states().len(), 2);
+        // Start branches with q / 1-q.
+        let starts: Vec<f64> = search
+            .flow()
+            .outgoing(&StateId::Start)
+            .map(|t| t.probability.as_const().unwrap())
+            .collect();
+        let sum: f64 = starts.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_helpers() {
+        let p = PaperParams::default().with_gamma(0.1).with_phi_sort1(5e-6);
+        assert_eq!(p.gamma, 0.1);
+        assert_eq!(p.phi_sort1, 5e-6);
+        // Untouched fields keep their defaults.
+        assert_eq!(p.phi_sort2, 1e-7);
+    }
+
+    #[test]
+    fn bindings_cover_search_formals() {
+        let b = search_bindings(4.0, 1000.0, 1.0);
+        assert_eq!(b.get("elem"), Some(4.0));
+        assert_eq!(b.get("list"), Some(1000.0));
+        assert_eq!(b.get("res"), Some(1.0));
+    }
+}

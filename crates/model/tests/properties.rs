@@ -1,0 +1,136 @@
+//! Property-based tests for the model crate's probability algebra and
+//! failure laws.
+
+use archrel_model::{CompletionModel, DependencyModel, FailureModel, Probability};
+use proptest::prelude::*;
+
+fn prob() -> impl Strategy<Value = Probability> {
+    (0.0..=1.0f64).prop_map(|v| Probability::new(v).expect("in range"))
+}
+
+proptest! {
+    #[test]
+    fn complement_is_involutive(p in prob()) {
+        let twice = p.complement().complement();
+        prop_assert!((twice.value() - p.value()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn both_and_either_are_commutative((p, q) in (prob(), prob())) {
+        prop_assert!((p.both(q).value() - q.both(p).value()).abs() < 1e-15);
+        prop_assert!((p.either(q).value() - q.either(p).value()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn de_morgan_for_independent_events((p, q) in (prob(), prob())) {
+        // P(A or B) = 1 - P(!A and !B)
+        let lhs = p.either(q).value();
+        let rhs = 1.0 - p.complement().both(q.complement()).value();
+        prop_assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn at_least_is_monotone_decreasing_in_k(ps in proptest::collection::vec(prob(), 1..8)) {
+        let mut last = f64::INFINITY;
+        for k in 0..=ps.len() {
+            let v = Probability::at_least(k, &ps).value();
+            prop_assert!(v <= last + 1e-12, "k={k}: {v} > {last}");
+            prop_assert!((0.0..=1.0).contains(&v));
+            last = v;
+        }
+    }
+
+    #[test]
+    fn at_least_matches_exhaustive_enumeration(
+        ps in proptest::collection::vec(prob(), 1..6),
+        k in 0usize..6,
+    ) {
+        let k = k.min(ps.len());
+        let mut total = 0.0;
+        for mask in 0u32..(1 << ps.len()) {
+            if (mask.count_ones() as usize) < k {
+                continue;
+            }
+            let mut prob_mass = 1.0;
+            for (i, p) in ps.iter().enumerate() {
+                prob_mass *= if mask & (1 << i) != 0 {
+                    p.value()
+                } else {
+                    1.0 - p.value()
+                };
+            }
+            total += prob_mass;
+        }
+        let fast = Probability::at_least(k, &ps).value();
+        prop_assert!((fast - total).abs() < 1e-10, "k={k}: {fast} vs {total}");
+    }
+
+    #[test]
+    fn failure_laws_are_monotone_in_demand(
+        rate in 0.0..1.0f64,
+        capacity in 0.1..1e6f64,
+        d1 in 0.0..1e6f64,
+        d2 in 0.0..1e6f64,
+    ) {
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        for model in [
+            FailureModel::ExponentialRate { rate, capacity },
+            FailureModel::PerUnit { probability: rate.min(0.999) },
+        ] {
+            let p_lo = model.failure_probability(lo).unwrap().value();
+            let p_hi = model.failure_probability(hi).unwrap().value();
+            prop_assert!(p_lo <= p_hi + 1e-12, "{model:?}: {p_lo} > {p_hi}");
+        }
+    }
+
+    #[test]
+    fn failure_laws_stay_in_unit_interval(
+        rate in 0.0..100.0f64,
+        capacity in 0.001..1e9f64,
+        demand in 0.0..1e12f64,
+    ) {
+        let p = FailureModel::ExponentialRate { rate, capacity }
+            .failure_probability(demand)
+            .unwrap()
+            .value();
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn state_failure_bounds_under_all_models(
+        ints in proptest::collection::vec(0.0..1.0f64, 1..5),
+        exts in proptest::collection::vec(0.0..1.0f64, 1..5),
+    ) {
+        use archrel_core::{state_failure_probability, RequestFailure};
+        let n = ints.len().min(exts.len());
+        let requests: Vec<RequestFailure> = (0..n)
+            .map(|i| {
+                RequestFailure::new(
+                    Probability::new(ints[i]).unwrap(),
+                    Probability::new(exts[i]).unwrap(),
+                )
+            })
+            .collect();
+        for completion in [
+            CompletionModel::And,
+            CompletionModel::Or,
+            CompletionModel::KOutOfN { k: 1.max(n / 2) },
+        ] {
+            for dependency in [DependencyModel::Independent, DependencyModel::Shared] {
+                let f = state_failure_probability(completion, dependency, &requests)
+                    .unwrap()
+                    .value();
+                prop_assert!((0.0..=1.0).contains(&f));
+                // OR is never harder to satisfy than AND.
+                let f_and = state_failure_probability(CompletionModel::And, dependency, &requests)
+                    .unwrap()
+                    .value();
+                let f_or = state_failure_probability(CompletionModel::Or, dependency, &requests)
+                    .unwrap()
+                    .value();
+                prop_assert!(f_or <= f_and + 1e-12);
+                prop_assert!(f_or <= f + 1e-12 || f <= f_and + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,109 @@
+use std::fmt;
+
+use archrel_core::CoreError;
+use archrel_expr::ExprError;
+use archrel_markov::MarkovError;
+use archrel_model::ModelError;
+
+/// Errors produced by the performance engine.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PerfError {
+    /// A latency attribute was invalid (negative or non-finite).
+    InvalidLatency {
+        /// Offending value.
+        value: f64,
+        /// Where it appeared.
+        context: String,
+    },
+    /// Latency evaluation hit a recursive assembly (a fixed-point latency
+    /// semantics is not defined; restructure or bound the recursion).
+    RecursiveAssembly {
+        /// Services on the detected cycle.
+        cycle: Vec<String>,
+    },
+    /// An underlying model operation failed.
+    Model(ModelError),
+    /// An underlying Markov operation failed.
+    Markov(MarkovError),
+    /// An underlying expression evaluation failed.
+    Expr(ExprError),
+    /// An underlying reliability-engine operation failed (failure-aware
+    /// latency reuses the reliability engine).
+    Core(CoreError),
+}
+
+impl fmt::Display for PerfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PerfError::InvalidLatency { value, context } => {
+                write!(f, "invalid latency {value} in {context}")
+            }
+            PerfError::RecursiveAssembly { cycle } => {
+                write!(f, "recursive assembly: cycle {}", cycle.join(" -> "))
+            }
+            PerfError::Model(e) => write!(f, "model error: {e}"),
+            PerfError::Markov(e) => write!(f, "markov error: {e}"),
+            PerfError::Expr(e) => write!(f, "expression error: {e}"),
+            PerfError::Core(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PerfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PerfError::Model(e) => Some(e),
+            PerfError::Markov(e) => Some(e),
+            PerfError::Expr(e) => Some(e),
+            PerfError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for PerfError {
+    fn from(e: ModelError) -> Self {
+        PerfError::Model(e)
+    }
+}
+
+impl From<MarkovError> for PerfError {
+    fn from(e: MarkovError) -> Self {
+        PerfError::Markov(e)
+    }
+}
+
+impl From<ExprError> for PerfError {
+    fn from(e: ExprError) -> Self {
+        PerfError::Expr(e)
+    }
+}
+
+impl From<CoreError> for PerfError {
+    fn from(e: CoreError) -> Self {
+        PerfError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = PerfError::InvalidLatency {
+            value: -1.0,
+            context: "cpu".into(),
+        };
+        assert!(e.to_string().contains("cpu"));
+        let e: PerfError = ModelError::InvalidDemand { value: -1.0 }.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PerfError>();
+    }
+}

@@ -1,0 +1,471 @@
+//! The compositional latency evaluator.
+
+use std::collections::BTreeMap;
+
+use archrel_core::augmented_chain;
+use archrel_expr::Bindings;
+use archrel_markov::{AbsorbingAnalysis, DtmcBuilder};
+use archrel_model::{
+    Assembly, CompositeService, Probability, Service, ServiceCall, ServiceId, StateId,
+};
+
+use crate::{LatencyModel, PerfError, Result};
+
+/// How the request times within one flow state combine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimeComposition {
+    /// Requests execute one after another: state time = Σ request times.
+    /// The right default for the paper's flows (e.g. the RPC connector's
+    /// marshal → transmit → unmarshal legs).
+    #[default]
+    Sequential,
+    /// Requests execute concurrently: state time = max request time
+    /// (exact here because per-request times are deterministic given the
+    /// demands).
+    Parallel,
+}
+
+/// Configuration of the latency evaluator.
+#[derive(Debug, Clone, Default)]
+pub struct PerfConfig {
+    /// Latency-law overrides per simple service; services not listed derive
+    /// their law from their failure model
+    /// ([`LatencyModel::from_failure_model`]).
+    pub latency_overrides: BTreeMap<ServiceId, LatencyModel>,
+    /// Per-state composition overrides, keyed by `(service, state)`.
+    pub composition_overrides: BTreeMap<(ServiceId, StateId), TimeComposition>,
+    /// Composition used when no override matches.
+    pub default_composition: TimeComposition,
+}
+
+impl PerfConfig {
+    /// Builder-style latency override.
+    #[must_use]
+    pub fn with_latency(mut self, service: impl Into<ServiceId>, model: LatencyModel) -> Self {
+        self.latency_overrides.insert(service.into(), model);
+        self
+    }
+
+    /// Builder-style composition override.
+    #[must_use]
+    pub fn with_composition(
+        mut self,
+        service: impl Into<ServiceId>,
+        state: impl Into<StateId>,
+        composition: TimeComposition,
+    ) -> Self {
+        self.composition_overrides
+            .insert((service.into(), state.into()), composition);
+        self
+    }
+}
+
+/// The compositional expected-latency engine (mirror image of
+/// [`archrel_core::Evaluator`]).
+#[derive(Debug)]
+pub struct LatencyEvaluator<'a> {
+    assembly: &'a Assembly,
+    config: PerfConfig,
+}
+
+impl<'a> LatencyEvaluator<'a> {
+    /// Creates an evaluator over an assembly.
+    pub fn new(assembly: &'a Assembly, config: PerfConfig) -> Self {
+        LatencyEvaluator { assembly, config }
+    }
+
+    /// The assembly under evaluation.
+    pub fn assembly(&self) -> &'a Assembly {
+        self.assembly
+    }
+
+    /// Expected end-to-end latency of one invocation of `service` under
+    /// `env`, over the failure-free usage profile:
+    /// `E[T] = Σ_i E[visits to i] · E[time in i]`.
+    ///
+    /// # Errors
+    ///
+    /// - [`PerfError::RecursiveAssembly`] for service-call cycles;
+    /// - model / expression / Markov errors for malformed inputs.
+    pub fn expected_latency(&self, service: &ServiceId, env: &Bindings) -> Result<f64> {
+        let mut stack = Vec::new();
+        self.latency_rec(service, env, &mut stack)
+    }
+
+    fn latency_rec(
+        &self,
+        service: &ServiceId,
+        env: &Bindings,
+        stack: &mut Vec<ServiceId>,
+    ) -> Result<f64> {
+        if stack.contains(service) {
+            let mut cycle: Vec<String> = stack.iter().map(|s| s.to_string()).collect();
+            cycle.push(service.to_string());
+            return Err(PerfError::RecursiveAssembly { cycle });
+        }
+        match self.assembly.require(service)? {
+            Service::Simple(simple) => {
+                let demand = env.get(simple.formal_param()).ok_or_else(|| {
+                    PerfError::Expr(archrel_expr::ExprError::UnboundParameter {
+                        name: simple.formal_param().to_string(),
+                    })
+                })?;
+                let law = self
+                    .config
+                    .latency_overrides
+                    .get(service)
+                    .copied()
+                    .unwrap_or_else(|| LatencyModel::from_failure_model(simple.model()));
+                law.latency(demand)
+            }
+            Service::Composite(composite) => {
+                stack.push(service.clone());
+                let result = self.composite_latency(composite, env, stack);
+                stack.pop();
+                result
+            }
+        }
+    }
+
+    fn composite_latency(
+        &self,
+        composite: &CompositeService,
+        env: &Bindings,
+        stack: &mut Vec<ServiceId>,
+    ) -> Result<f64> {
+        // Per-state expected times.
+        let mut times: BTreeMap<StateId, f64> = BTreeMap::new();
+        for state in composite.flow().states() {
+            let t = self.state_time(composite.id(), state, env, stack)?;
+            times.insert(state.id.clone(), t);
+        }
+        // Expected visits from the flow chain (End absorbing, no failures).
+        let visits = flow_visit_counts(composite, env)?;
+        let mut total = 0.0;
+        for (state, t) in &times {
+            total += visits.get(state).copied().unwrap_or(0.0) * t;
+        }
+        Ok(total)
+    }
+
+    /// Crate-internal entry point used by the sampling validator.
+    pub(crate) fn state_time_internal(
+        &self,
+        owner: &ServiceId,
+        state: &archrel_model::FlowState,
+        env: &Bindings,
+        stack: &mut Vec<ServiceId>,
+    ) -> Result<f64> {
+        self.state_time(owner, state, env, stack)
+    }
+
+    fn state_time(
+        &self,
+        owner: &ServiceId,
+        state: &archrel_model::FlowState,
+        env: &Bindings,
+        stack: &mut Vec<ServiceId>,
+    ) -> Result<f64> {
+        let mut request_times = Vec::with_capacity(state.calls.len());
+        for call in &state.calls {
+            request_times.push(self.request_time(call, env, stack)?);
+        }
+        let composition = self
+            .config
+            .composition_overrides
+            .get(&(owner.clone(), state.id.clone()))
+            .copied()
+            .unwrap_or(self.config.default_composition);
+        Ok(match composition {
+            TimeComposition::Sequential => request_times.iter().sum(),
+            TimeComposition::Parallel => request_times.iter().fold(0.0_f64, |m, t| m.max(*t)),
+        })
+    }
+
+    /// Time of one request: connector transport plus target execution
+    /// (sequential — the connector wraps the call).
+    fn request_time(
+        &self,
+        call: &ServiceCall,
+        env: &Bindings,
+        stack: &mut Vec<ServiceId>,
+    ) -> Result<f64> {
+        let mut callee_env = Bindings::new();
+        for (name, expr) in &call.actual_params {
+            callee_env.insert(name.clone(), expr.eval(env)?);
+        }
+        let target_time = self.latency_rec(&call.target, &callee_env, stack)?;
+        let connector_time = match &call.connector {
+            None => 0.0,
+            Some(binding) => {
+                let mut conn_env = Bindings::new();
+                for (name, expr) in &binding.actual_params {
+                    conn_env.insert(name.clone(), expr.eval(env)?);
+                }
+                self.latency_rec(&binding.connector, &conn_env, stack)?
+            }
+        };
+        Ok(target_time + connector_time)
+    }
+}
+
+/// Expected visit counts of each named state, starting from `Start`, on the
+/// failure-free flow chain.
+fn flow_visit_counts(
+    composite: &CompositeService,
+    env: &Bindings,
+) -> Result<BTreeMap<StateId, f64>> {
+    let mut builder = DtmcBuilder::new().state(StateId::End);
+    let mut merged: BTreeMap<(StateId, StateId), f64> = BTreeMap::new();
+    for t in composite.flow().transitions() {
+        let p = t.probability.eval(env)?;
+        if !(0.0..=1.0 + 1e-9).contains(&p) {
+            return Err(PerfError::Model(
+                archrel_model::ModelError::InvalidProbability {
+                    value: p,
+                    context: format!("transition `{}` -> `{}`", t.from, t.to),
+                },
+            ));
+        }
+        *merged.entry((t.from.clone(), t.to.clone())).or_insert(0.0) += p;
+    }
+    for ((from, to), p) in merged {
+        if p > 0.0 {
+            builder = builder.transition(from, to, p);
+        }
+    }
+    let chain = builder.build()?;
+    let analysis = AbsorbingAnalysis::new(&chain)?;
+    let mut out = BTreeMap::new();
+    for state in composite.flow().states() {
+        let visits = analysis.expected_visits(&StateId::Start, &state.id)?;
+        out.insert(state.id.clone(), visits);
+    }
+    Ok(out)
+}
+
+/// Expected latency **until absorption** (success *or* fail-stop) on the
+/// failure-augmented chain: the same per-state times weighted by the
+/// augmented chain's expected visit counts. Failures truncate executions,
+/// so this is never larger than the failure-free expectation.
+///
+/// # Errors
+///
+/// Same conditions as [`LatencyEvaluator::expected_latency`], plus
+/// reliability-engine errors while resolving the failure structure.
+pub fn failure_aware_latency(
+    assembly: &Assembly,
+    service: &ServiceId,
+    env: &Bindings,
+    config: PerfConfig,
+) -> Result<f64> {
+    let Service::Composite(composite) = assembly.require(service)? else {
+        // Simple service: its whole execution is one shot; expected time is
+        // its latency (failures are not time-resolved below this level).
+        let perf = LatencyEvaluator::new(assembly, config);
+        return perf.expected_latency(service, env);
+    };
+
+    // State failure probabilities from the reliability engine.
+    let evaluator = archrel_core::Evaluator::new(assembly);
+    let report = evaluator.report(service, env)?;
+    let failures: BTreeMap<StateId, Probability> = report
+        .states
+        .iter()
+        .map(|s| (s.state.clone(), s.failure_probability))
+        .collect();
+    let chain = augmented_chain(composite, env, &failures)?;
+    let analysis = AbsorbingAnalysis::new(&chain)?;
+
+    let perf = LatencyEvaluator::new(assembly, config);
+    let mut stack = vec![service.clone()];
+    let mut total = 0.0;
+    for state in composite.flow().states() {
+        let time = perf.state_time(composite.id(), state, env, &mut stack)?;
+        let visits = analysis.expected_visits(
+            &archrel_core::AugmentedState::Flow(StateId::Start),
+            &archrel_core::AugmentedState::Flow(state.id.clone()),
+        )?;
+        total += time * visits;
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archrel_expr::Expr;
+    use archrel_model::{
+        catalog, paper, AssemblyBuilder, FlowBuilder, FlowState, Service, StateId,
+    };
+
+    #[test]
+    fn simple_service_latency() {
+        let assembly = AssemblyBuilder::new()
+            .service(catalog::cpu_resource("cpu", 2e9, 1e-12))
+            .build()
+            .unwrap();
+        let perf = LatencyEvaluator::new(&assembly, PerfConfig::default());
+        let t = perf
+            .expected_latency(&"cpu".into(), &Bindings::new().with("n", 4e9))
+            .unwrap();
+        assert!((t - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rpc_latency_matches_hand_computation() {
+        // RPC over the paper's remote assembly: sequential legs.
+        let params = paper::PaperParams::default();
+        let assembly = paper::remote_assembly(&params).unwrap();
+        let perf = LatencyEvaluator::new(&assembly, PerfConfig::default());
+        let (ip, op) = (1000.0, 10.0);
+        let t = perf
+            .expected_latency(
+                &paper::RPC.into(),
+                &Bindings::new().with("ip", ip).with("op", op),
+            )
+            .unwrap();
+        let expected = params.c * (ip + op) / params.s1
+            + params.m * (ip + op) / params.bandwidth
+            + params.c * (ip + op) / params.s2;
+        assert!((t - expected).abs() < 1e-12, "{t} vs {expected}");
+    }
+
+    #[test]
+    fn search_latency_weights_branches() {
+        let params = paper::PaperParams::default();
+        let assembly = paper::local_assembly(&params).unwrap();
+        let perf = LatencyEvaluator::new(&assembly, PerfConfig::default());
+        let list = 1024.0;
+        let env = paper::search_bindings(4.0, list, 1.0);
+        let t = perf.expected_latency(&paper::SEARCH.into(), &env).unwrap();
+        // Hand computation: scan state always runs (log2 list ops on cpu1);
+        // sort leg with probability q: lpc (l ops) + sort (list log2 list).
+        let scan = list.log2() / params.s1;
+        let sort = params.l / params.s1 + list * list.log2() / params.s1;
+        let expected = scan + params.q * sort;
+        assert!((t - expected).abs() < 1e-12, "{t} vs {expected}");
+    }
+
+    #[test]
+    fn loops_multiply_visits() {
+        // A state retried with probability 0.5 runs twice in expectation.
+        let flow = FlowBuilder::new()
+            .state(FlowState::new(
+                "work",
+                vec![archrel_model::ServiceCall::new("cpu")
+                    .with_param(catalog::CPU_PARAM, Expr::num(1e9))],
+            ))
+            .transition(StateId::Start, "work", Expr::one())
+            .transition("work", "work", Expr::num(0.5))
+            .transition("work", StateId::End, Expr::num(0.5))
+            .build()
+            .unwrap();
+        let assembly = AssemblyBuilder::new()
+            .service(catalog::cpu_resource("cpu", 1e9, 0.0))
+            .service(Service::Composite(
+                archrel_model::CompositeService::new("svc", vec![], flow).unwrap(),
+            ))
+            .build()
+            .unwrap();
+        let perf = LatencyEvaluator::new(&assembly, PerfConfig::default());
+        let t = perf
+            .expected_latency(&"svc".into(), &Bindings::new())
+            .unwrap();
+        assert!((t - 2.0).abs() < 1e-12, "expected 2 visits x 1s, got {t}");
+    }
+
+    #[test]
+    fn parallel_composition_takes_the_max() {
+        let calls = vec![
+            archrel_model::ServiceCall::new("cpu").with_param(catalog::CPU_PARAM, Expr::num(1e9)),
+            archrel_model::ServiceCall::new("cpu").with_param(catalog::CPU_PARAM, Expr::num(3e9)),
+        ];
+        let flow = FlowBuilder::new()
+            .state(FlowState::new("par", calls))
+            .transition(StateId::Start, "par", Expr::one())
+            .transition("par", StateId::End, Expr::one())
+            .build()
+            .unwrap();
+        let assembly = AssemblyBuilder::new()
+            .service(catalog::cpu_resource("cpu", 1e9, 0.0))
+            .service(Service::Composite(
+                archrel_model::CompositeService::new("svc", vec![], flow).unwrap(),
+            ))
+            .build()
+            .unwrap();
+
+        let seq = LatencyEvaluator::new(&assembly, PerfConfig::default())
+            .expected_latency(&"svc".into(), &Bindings::new())
+            .unwrap();
+        assert!((seq - 4.0).abs() < 1e-12);
+
+        let par_cfg =
+            PerfConfig::default().with_composition("svc", "par", TimeComposition::Parallel);
+        let par = LatencyEvaluator::new(&assembly, par_cfg)
+            .expected_latency(&"svc".into(), &Bindings::new())
+            .unwrap();
+        assert!((par - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_override_wins() {
+        let assembly = AssemblyBuilder::new()
+            .service(catalog::blackbox_service("api", "x", 0.01))
+            .build()
+            .unwrap();
+        // Default: blackbox derives Zero latency.
+        let t0 = LatencyEvaluator::new(&assembly, PerfConfig::default())
+            .expected_latency(&"api".into(), &Bindings::new().with("x", 1.0))
+            .unwrap();
+        assert_eq!(t0, 0.0);
+        let cfg = PerfConfig::default().with_latency("api", LatencyModel::Constant { time: 0.25 });
+        let t1 = LatencyEvaluator::new(&assembly, cfg)
+            .expected_latency(&"api".into(), &Bindings::new().with("x", 1.0))
+            .unwrap();
+        assert_eq!(t1, 0.25);
+    }
+
+    #[test]
+    fn recursive_assembly_is_an_error() {
+        let flow = FlowBuilder::new()
+            .state(FlowState::new(
+                "again",
+                vec![archrel_model::ServiceCall::new("svc")],
+            ))
+            .transition(StateId::Start, "again", Expr::one())
+            .transition("again", StateId::End, Expr::one())
+            .build()
+            .unwrap();
+        let assembly = AssemblyBuilder::new()
+            .service(Service::Composite(
+                archrel_model::CompositeService::new("svc", vec![], flow).unwrap(),
+            ))
+            .build()
+            .unwrap();
+        let err = LatencyEvaluator::new(&assembly, PerfConfig::default())
+            .expected_latency(&"svc".into(), &Bindings::new())
+            .unwrap_err();
+        assert!(matches!(err, PerfError::RecursiveAssembly { .. }));
+    }
+
+    #[test]
+    fn failure_aware_latency_is_shorter() {
+        // Inflate failure rates so truncation is visible.
+        let params = paper::PaperParams::default().with_phi_sort1(1e-4);
+        let assembly = paper::local_assembly(&params).unwrap();
+        let env = paper::search_bindings(4.0, 8192.0, 1.0);
+        let free = LatencyEvaluator::new(&assembly, PerfConfig::default())
+            .expected_latency(&paper::SEARCH.into(), &env)
+            .unwrap();
+        let aware = failure_aware_latency(
+            &assembly,
+            &paper::SEARCH.into(),
+            &env,
+            PerfConfig::default(),
+        )
+        .unwrap();
+        assert!(aware < free, "aware {aware} !< free {free}");
+        assert!(aware > 0.0);
+    }
+}

@@ -1,0 +1,138 @@
+use archrel_model::FailureModel;
+
+use crate::{PerfError, Result};
+
+/// Published latency law of a simple service, as a function of its abstract
+/// demand parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LatencyModel {
+    /// `time = demand / capacity` — the natural law for the paper's CPU
+    /// (capacity = speed `s`) and network (capacity = bandwidth `b`)
+    /// resources, using the same attributes their failure laws use.
+    Throughput {
+        /// Work units served per time unit (must be positive).
+        capacity: f64,
+    },
+    /// A demand-independent constant service time.
+    Constant {
+        /// Time units per invocation.
+        time: f64,
+    },
+    /// Instantaneous (the pure-modeling connectors).
+    Zero,
+}
+
+impl LatencyModel {
+    /// Validates the model's attributes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PerfError::InvalidLatency`] for non-finite or non-positive
+    /// capacities / negative constants.
+    pub fn validate(&self) -> Result<()> {
+        match *self {
+            LatencyModel::Throughput { capacity } => {
+                if !capacity.is_finite() || capacity <= 0.0 {
+                    return Err(PerfError::InvalidLatency {
+                        value: capacity,
+                        context: "throughput capacity".to_string(),
+                    });
+                }
+                Ok(())
+            }
+            LatencyModel::Constant { time } => {
+                if !time.is_finite() || time < 0.0 {
+                    return Err(PerfError::InvalidLatency {
+                        value: time,
+                        context: "constant latency".to_string(),
+                    });
+                }
+                Ok(())
+            }
+            LatencyModel::Zero => Ok(()),
+        }
+    }
+
+    /// Service time for `demand` work units.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PerfError::InvalidLatency`] for invalid attributes or
+    /// negative/non-finite demand.
+    pub fn latency(&self, demand: f64) -> Result<f64> {
+        self.validate()?;
+        if !demand.is_finite() || demand < 0.0 {
+            return Err(PerfError::InvalidLatency {
+                value: demand,
+                context: "demand".to_string(),
+            });
+        }
+        Ok(match *self {
+            LatencyModel::Throughput { capacity } => demand / capacity,
+            LatencyModel::Constant { time } => time,
+            LatencyModel::Zero => 0.0,
+        })
+    }
+
+    /// The default latency law implied by a failure law: exponential-rate
+    /// resources expose their capacity (`time = demand / capacity`);
+    /// everything else defaults to instantaneous and can be overridden
+    /// through [`crate::PerfConfig`].
+    pub fn from_failure_model(model: &FailureModel) -> LatencyModel {
+        match *model {
+            FailureModel::ExponentialRate { capacity, .. } => LatencyModel::Throughput { capacity },
+            FailureModel::Perfect
+            | FailureModel::Constant { .. }
+            | FailureModel::PerUnit { .. } => LatencyModel::Zero,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_law() {
+        let m = LatencyModel::Throughput { capacity: 1e9 };
+        assert_eq!(m.latency(2e9).unwrap(), 2.0);
+        assert_eq!(m.latency(0.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn constant_and_zero() {
+        assert_eq!(
+            LatencyModel::Constant { time: 0.5 }.latency(1e12).unwrap(),
+            0.5
+        );
+        assert_eq!(LatencyModel::Zero.latency(1e12).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(LatencyModel::Throughput { capacity: 0.0 }
+            .validate()
+            .is_err());
+        assert!(LatencyModel::Constant { time: -1.0 }.validate().is_err());
+        assert!(LatencyModel::Throughput { capacity: 1.0 }
+            .latency(-1.0)
+            .is_err());
+    }
+
+    #[test]
+    fn derived_from_failure_models() {
+        let m = LatencyModel::from_failure_model(&FailureModel::ExponentialRate {
+            rate: 1e-9,
+            capacity: 2e9,
+        });
+        assert_eq!(m, LatencyModel::Throughput { capacity: 2e9 });
+        assert_eq!(
+            LatencyModel::from_failure_model(&FailureModel::Perfect),
+            LatencyModel::Zero
+        );
+        assert_eq!(
+            LatencyModel::from_failure_model(&FailureModel::Constant { probability: 0.1 }),
+            LatencyModel::Zero
+        );
+    }
+}

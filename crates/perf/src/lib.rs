@@ -1,0 +1,58 @@
+//! Compositional performance prediction — the QoS extension the paper's §6
+//! sketches: "the presented ideas can also be extended, with appropriate
+//! modifications, to other QoS aspects (e.g. performance)".
+//!
+//! The machinery mirrors the reliability engine one-for-one:
+//!
+//! - simple services publish a **latency law** ([`LatencyModel`]) of their
+//!   abstract demand parameter — for the stock CPU/network resources the law
+//!   falls out of the same attributes the failure law uses
+//!   (`time = demand / capacity`);
+//! - a composite service's expected latency is obtained from its flow:
+//!   `E[T] = Σ_i  E[visits to state i] · E[time in state i]`, with expected
+//!   visit counts from the fundamental matrix of the very same DTMC the
+//!   reliability engine solves, and per-state times composed from the
+//!   (recursively evaluated) request latencies under a sequential or
+//!   parallel [`TimeComposition`];
+//! - [`failure_aware_latency`] runs the same sum on the
+//!   **failure-augmented** chain instead, giving the expected time until the
+//!   invocation either completes or fail-stops — shorter than the
+//!   failure-free latency when failures truncate long paths.
+//!
+//! A path-sampling validator ([`sample_mean_latency`]) plays the same role
+//! the Monte Carlo simulator plays for reliability.
+//!
+//! # Examples
+//!
+//! ```
+//! use archrel_model::paper;
+//! use archrel_perf::{LatencyEvaluator, PerfConfig};
+//!
+//! # fn main() -> Result<(), archrel_perf::PerfError> {
+//! let assembly = paper::remote_assembly(&paper::PaperParams::default()).unwrap();
+//! let perf = LatencyEvaluator::new(&assembly, PerfConfig::default());
+//! let t = perf.expected_latency(
+//!     &paper::SEARCH.into(),
+//!     &paper::search_bindings(4.0, 4096.0, 1.0),
+//! )?;
+//! assert!(t > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod eval;
+mod latency;
+pub mod pareto;
+mod sampling;
+
+pub use error::PerfError;
+pub use eval::{failure_aware_latency, LatencyEvaluator, PerfConfig, TimeComposition};
+pub use latency::LatencyModel;
+pub use sampling::sample_mean_latency;
+
+/// Convenience result alias for fallible performance operations.
+pub type Result<T> = std::result::Result<T, PerfError>;

@@ -1,0 +1,95 @@
+use std::fmt;
+
+use archrel_markov::MarkovError;
+
+/// Errors produced by usage-profile estimation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ProfileError {
+    /// No traces (or only empty traces) were supplied.
+    NoData,
+    /// A trace contains a state that the estimator was not told about.
+    UnknownState {
+        /// Display form of the state.
+        state: String,
+    },
+    /// An observation index is outside the model's alphabet.
+    InvalidObservation {
+        /// The offending symbol.
+        symbol: usize,
+        /// Alphabet size.
+        alphabet: usize,
+    },
+    /// HMM dimensions are inconsistent (empty state set, ragged matrices, or
+    /// rows that do not sum to one).
+    InvalidHmm {
+        /// Explanation of the defect.
+        reason: String,
+    },
+    /// Baum–Welch failed to improve the likelihood within its budget.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+    },
+    /// An underlying Markov operation failed.
+    Markov(MarkovError),
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::NoData => write!(f, "no trace data supplied"),
+            ProfileError::UnknownState { state } => write!(f, "unknown state {state}"),
+            ProfileError::InvalidObservation { symbol, alphabet } => {
+                write!(
+                    f,
+                    "observation {symbol} outside alphabet of size {alphabet}"
+                )
+            }
+            ProfileError::InvalidHmm { reason } => write!(f, "invalid HMM: {reason}"),
+            ProfileError::NoConvergence { iterations } => {
+                write!(
+                    f,
+                    "Baum-Welch did not converge after {iterations} iterations"
+                )
+            }
+            ProfileError::Markov(e) => write!(f, "markov error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProfileError::Markov(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MarkovError> for ProfileError {
+    fn from(e: MarkovError) -> Self {
+        ProfileError::Markov(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(ProfileError::NoData.to_string().contains("no trace data"));
+        let e = ProfileError::InvalidObservation {
+            symbol: 9,
+            alphabet: 4,
+        };
+        assert!(e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ProfileError>();
+    }
+}

@@ -1,0 +1,177 @@
+//! Maximum-likelihood estimation of usage-profile transition probabilities
+//! from execution traces.
+
+use std::collections::HashMap;
+
+use archrel_markov::{Dtmc, DtmcBuilder, StateLabel};
+
+use crate::{ProfileError, Result};
+
+/// Options controlling the estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimatorOptions {
+    /// Laplace smoothing pseudo-count added to every *observed-state* pair;
+    /// `0.0` gives the pure MLE. Smoothing keeps the estimated chain
+    /// strictly positive on observed support and stabilizes small samples.
+    pub smoothing: f64,
+}
+
+impl Default for EstimatorOptions {
+    fn default() -> Self {
+        EstimatorOptions { smoothing: 0.0 }
+    }
+}
+
+/// Estimates a DTMC from traces.
+///
+/// States are taken from the traces themselves; the estimated chain contains
+/// every state that occurs, with transition probabilities proportional to
+/// observed transition counts (plus smoothing over the *observed* successor
+/// sets). Terminal states with no observed outgoing transitions become
+/// absorbing.
+///
+/// # Errors
+///
+/// Returns [`ProfileError::NoData`] when no transition was observed at all.
+pub fn estimate_dtmc<S: StateLabel>(traces: &[Vec<S>], opts: EstimatorOptions) -> Result<Dtmc<S>> {
+    let mut counts: HashMap<S, HashMap<S, f64>> = HashMap::new();
+    let mut any = false;
+    for trace in traces {
+        for w in trace.windows(2) {
+            any = true;
+            *counts
+                .entry(w[0].clone())
+                .or_default()
+                .entry(w[1].clone())
+                .or_insert(0.0) += 1.0;
+        }
+    }
+    if !any {
+        return Err(ProfileError::NoData);
+    }
+    let mut builder = DtmcBuilder::new();
+    // Declare all states (including pure sinks) first for stable presence.
+    for trace in traces {
+        for s in trace {
+            builder = builder.state(s.clone());
+        }
+    }
+    for (from, successors) in counts {
+        let total: f64 =
+            successors.values().sum::<f64>() + opts.smoothing * successors.len() as f64;
+        for (to, c) in successors {
+            builder = builder.transition(from.clone(), to, (c + opts.smoothing) / total);
+        }
+    }
+    Ok(builder.build()?)
+}
+
+/// Largest absolute difference between the transition probabilities of two
+/// chains over the union of `reference`'s edges (missing edges count as 0).
+///
+/// # Errors
+///
+/// Propagates state-lookup failures.
+pub fn max_transition_error<S: StateLabel>(
+    reference: &Dtmc<S>,
+    estimated: &Dtmc<S>,
+) -> Result<f64> {
+    let mut worst = 0.0_f64;
+    for from in reference.states() {
+        if reference.is_absorbing(from)? {
+            continue;
+        }
+        for (to, p_ref) in reference.successors(from)? {
+            let p_est = match estimated.index_of(from).and(estimated.index_of(to)) {
+                Some(_) => estimated.transition_probability(from, to)?,
+                None => 0.0,
+            };
+            worst = worst.max((p_ref - p_est).abs());
+        }
+    }
+    Ok(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::sample_traces;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ground_truth() -> Dtmc<&'static str> {
+        DtmcBuilder::new()
+            .transition("s", "a", 0.7)
+            .transition("s", "b", 0.3)
+            .transition("a", "s", 0.2)
+            .transition("a", "end", 0.8)
+            .transition("b", "end", 1.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn recovers_known_chain_with_enough_data() {
+        let truth = ground_truth();
+        let mut rng = StdRng::seed_from_u64(11);
+        let traces = sample_traces(&truth, &"s", 20_000, 100, &mut rng).unwrap();
+        let est = estimate_dtmc(&traces, EstimatorOptions::default()).unwrap();
+        let err = max_transition_error(&truth, &est).unwrap();
+        assert!(err < 0.02, "max error {err}");
+    }
+
+    #[test]
+    fn error_shrinks_with_more_data() {
+        let truth = ground_truth();
+        let mut rng = StdRng::seed_from_u64(12);
+        let small = sample_traces(&truth, &"s", 50, 100, &mut rng).unwrap();
+        let large = sample_traces(&truth, &"s", 50_000, 100, &mut rng).unwrap();
+        let e_small = max_transition_error(
+            &truth,
+            &estimate_dtmc(&small, EstimatorOptions::default()).unwrap(),
+        )
+        .unwrap();
+        let e_large = max_transition_error(
+            &truth,
+            &estimate_dtmc(&large, EstimatorOptions::default()).unwrap(),
+        )
+        .unwrap();
+        assert!(e_large < e_small, "{e_large} !< {e_small}");
+    }
+
+    #[test]
+    fn exact_counts_small_example() {
+        // s->a twice, s->b once.
+        let traces = vec![vec!["s", "a"], vec!["s", "a"], vec!["s", "b"]];
+        let est = estimate_dtmc(&traces, EstimatorOptions::default()).unwrap();
+        assert!((est.transition_probability(&"s", &"a").unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((est.transition_probability(&"s", &"b").unwrap() - 1.0 / 3.0).abs() < 1e-12);
+        // a and b become absorbing.
+        assert!(est.is_absorbing(&"a").unwrap());
+    }
+
+    #[test]
+    fn smoothing_flattens_small_samples() {
+        let traces = vec![vec!["s", "a"], vec!["s", "a"], vec!["s", "b"]];
+        let plain = estimate_dtmc(&traces, EstimatorOptions::default()).unwrap();
+        let smooth = estimate_dtmc(&traces, EstimatorOptions { smoothing: 10.0 }).unwrap();
+        let pa_plain = plain.transition_probability(&"s", &"a").unwrap();
+        let pa_smooth = smooth.transition_probability(&"s", &"a").unwrap();
+        assert!(pa_smooth < pa_plain);
+        assert!(pa_smooth > 0.5); // still leaning toward "a"
+    }
+
+    #[test]
+    fn no_data_rejected() {
+        let empty: Vec<Vec<&str>> = vec![];
+        assert!(matches!(
+            estimate_dtmc(&empty, EstimatorOptions::default()),
+            Err(ProfileError::NoData)
+        ));
+        let single: Vec<Vec<&str>> = vec![vec!["only"]];
+        assert!(matches!(
+            estimate_dtmc(&single, EstimatorOptions::default()),
+            Err(ProfileError::NoData)
+        ));
+    }
+}

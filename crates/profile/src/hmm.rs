@@ -1,0 +1,583 @@
+//! A discrete hidden Markov model with scaled forward/backward, Viterbi
+//! decoding, and Baum–Welch re-estimation.
+//!
+//! This is the imperfect-knowledge tool the paper's §5 cites from \[16\]:
+//! when flow states cannot be observed directly (only noisy events — log
+//! lines, message types — are visible), the usage profile is fitted as an
+//! HMM and its transition structure then feeds the reliability model.
+
+#![allow(clippy::needless_range_loop)] // index loops mirror the textbook HMM formulas
+
+use rand::Rng;
+
+use crate::{ProfileError, Result};
+
+/// A discrete HMM with `n` hidden states and an observation alphabet of `m`
+/// symbols.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hmm {
+    /// Initial state distribution π (length n).
+    initial: Vec<f64>,
+    /// Transition matrix A (n × n, row-stochastic).
+    transition: Vec<Vec<f64>>,
+    /// Emission matrix B (n × m, row-stochastic).
+    emission: Vec<Vec<f64>>,
+}
+
+/// Result of a Baum–Welch fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitReport {
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final total log-likelihood of the training sequences.
+    pub log_likelihood: f64,
+}
+
+fn is_distribution(row: &[f64]) -> bool {
+    row.iter().all(|p| p.is_finite() && *p >= 0.0) && (row.iter().sum::<f64>() - 1.0).abs() < 1e-9
+}
+
+impl Hmm {
+    /// Creates and validates an HMM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::InvalidHmm`] for empty or ragged inputs or
+    /// rows that are not probability distributions.
+    pub fn new(
+        initial: Vec<f64>,
+        transition: Vec<Vec<f64>>,
+        emission: Vec<Vec<f64>>,
+    ) -> Result<Self> {
+        let n = initial.len();
+        if n == 0 {
+            return Err(ProfileError::InvalidHmm {
+                reason: "no states".to_string(),
+            });
+        }
+        if transition.len() != n || emission.len() != n {
+            return Err(ProfileError::InvalidHmm {
+                reason: "matrix row counts disagree with the state count".to_string(),
+            });
+        }
+        let m = emission[0].len();
+        if m == 0 {
+            return Err(ProfileError::InvalidHmm {
+                reason: "empty observation alphabet".to_string(),
+            });
+        }
+        if !is_distribution(&initial) {
+            return Err(ProfileError::InvalidHmm {
+                reason: "initial vector is not a distribution".to_string(),
+            });
+        }
+        for (i, row) in transition.iter().enumerate() {
+            if row.len() != n || !is_distribution(row) {
+                return Err(ProfileError::InvalidHmm {
+                    reason: format!("transition row {i} is not a distribution over {n} states"),
+                });
+            }
+        }
+        for (i, row) in emission.iter().enumerate() {
+            if row.len() != m || !is_distribution(row) {
+                return Err(ProfileError::InvalidHmm {
+                    reason: format!("emission row {i} is not a distribution over {m} symbols"),
+                });
+            }
+        }
+        Ok(Hmm {
+            initial,
+            transition,
+            emission,
+        })
+    }
+
+    /// Number of hidden states.
+    pub fn n_states(&self) -> usize {
+        self.initial.len()
+    }
+
+    /// Size of the observation alphabet.
+    pub fn n_symbols(&self) -> usize {
+        self.emission[0].len()
+    }
+
+    /// The transition matrix (row-stochastic, n × n).
+    pub fn transition_matrix(&self) -> &[Vec<f64>] {
+        &self.transition
+    }
+
+    /// The emission matrix (row-stochastic, n × m).
+    pub fn emission_matrix(&self) -> &[Vec<f64>] {
+        &self.emission
+    }
+
+    fn check_observations(&self, obs: &[usize]) -> Result<()> {
+        if obs.is_empty() {
+            return Err(ProfileError::NoData);
+        }
+        let m = self.n_symbols();
+        for &o in obs {
+            if o >= m {
+                return Err(ProfileError::InvalidObservation {
+                    symbol: o,
+                    alphabet: m,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Scaled forward pass. Returns per-step scaled α vectors and the
+    /// scaling factors `c_t` with `Σ_t ln c_t = log-likelihood`.
+    fn forward_scaled(&self, obs: &[usize]) -> Result<(Vec<Vec<f64>>, Vec<f64>)> {
+        self.check_observations(obs)?;
+        let n = self.n_states();
+        let mut alphas = Vec::with_capacity(obs.len());
+        let mut scales = Vec::with_capacity(obs.len());
+
+        let mut alpha: Vec<f64> = (0..n)
+            .map(|i| self.initial[i] * self.emission[i][obs[0]])
+            .collect();
+        let c0: f64 = alpha.iter().sum();
+        let c0 = if c0 > 0.0 { c0 } else { f64::MIN_POSITIVE };
+        for a in &mut alpha {
+            *a /= c0;
+        }
+        scales.push(c0);
+        alphas.push(alpha.clone());
+
+        for &o in &obs[1..] {
+            let mut next = vec![0.0; n];
+            for (j, nj) in next.iter_mut().enumerate() {
+                let mut s = 0.0;
+                for i in 0..n {
+                    s += alpha[i] * self.transition[i][j];
+                }
+                *nj = s * self.emission[j][o];
+            }
+            let c: f64 = next.iter().sum();
+            let c = if c > 0.0 { c } else { f64::MIN_POSITIVE };
+            for x in &mut next {
+                *x /= c;
+            }
+            scales.push(c);
+            alphas.push(next.clone());
+            alpha = next;
+        }
+        Ok((alphas, scales))
+    }
+
+    /// Scaled backward pass using the forward scaling factors.
+    fn backward_scaled(&self, obs: &[usize], scales: &[f64]) -> Vec<Vec<f64>> {
+        let n = self.n_states();
+        let t_max = obs.len();
+        let mut betas = vec![vec![0.0; n]; t_max];
+        for b in &mut betas[t_max - 1] {
+            *b = 1.0 / scales[t_max - 1];
+        }
+        for t in (0..t_max - 1).rev() {
+            for i in 0..n {
+                let mut s = 0.0;
+                for j in 0..n {
+                    s += self.transition[i][j] * self.emission[j][obs[t + 1]] * betas[t + 1][j];
+                }
+                betas[t][i] = s / scales[t];
+            }
+        }
+        betas
+    }
+
+    /// Log-likelihood of an observation sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::NoData`] for empty input and
+    /// [`ProfileError::InvalidObservation`] for out-of-alphabet symbols.
+    pub fn log_likelihood(&self, obs: &[usize]) -> Result<f64> {
+        let (_, scales) = self.forward_scaled(obs)?;
+        Ok(scales.iter().map(|c| c.ln()).sum())
+    }
+
+    /// Most likely hidden state sequence (Viterbi decoding, in log space).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Hmm::log_likelihood`].
+    pub fn viterbi(&self, obs: &[usize]) -> Result<Vec<usize>> {
+        self.check_observations(obs)?;
+        let n = self.n_states();
+        let t_max = obs.len();
+        let ln = |p: f64| {
+            if p > 0.0 {
+                p.ln()
+            } else {
+                f64::NEG_INFINITY
+            }
+        };
+
+        let mut delta: Vec<f64> = (0..n)
+            .map(|i| ln(self.initial[i]) + ln(self.emission[i][obs[0]]))
+            .collect();
+        let mut backpointers: Vec<Vec<usize>> = Vec::with_capacity(t_max);
+        backpointers.push(vec![0; n]);
+
+        for &o in &obs[1..] {
+            let mut next = vec![f64::NEG_INFINITY; n];
+            let mut bp = vec![0; n];
+            for j in 0..n {
+                for i in 0..n {
+                    let cand = delta[i] + ln(self.transition[i][j]);
+                    if cand > next[j] {
+                        next[j] = cand;
+                        bp[j] = i;
+                    }
+                }
+                next[j] += ln(self.emission[j][o]);
+            }
+            backpointers.push(bp);
+            delta = next;
+        }
+
+        let mut best = 0;
+        for i in 1..n {
+            if delta[i] > delta[best] {
+                best = i;
+            }
+        }
+        let mut path = vec![best; t_max];
+        for t in (1..t_max).rev() {
+            path[t - 1] = backpointers[t][path[t]];
+        }
+        Ok(path)
+    }
+
+    /// Baum–Welch re-estimation over multiple sequences.
+    ///
+    /// Runs until the total log-likelihood improves by less than `tolerance`
+    /// or `max_iterations` is reached; returns the final likelihood. The
+    /// likelihood is guaranteed non-decreasing per EM iteration, which the
+    /// tests assert.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::NoData`] when no sequence is usable, plus
+    /// observation-validation errors.
+    pub fn baum_welch(
+        &mut self,
+        sequences: &[Vec<usize>],
+        max_iterations: usize,
+        tolerance: f64,
+    ) -> Result<FitReport> {
+        let usable: Vec<&Vec<usize>> = sequences.iter().filter(|s| !s.is_empty()).collect();
+        if usable.is_empty() {
+            return Err(ProfileError::NoData);
+        }
+        let n = self.n_states();
+        let m = self.n_symbols();
+        let mut last_ll = f64::NEG_INFINITY;
+        let mut iterations = 0;
+
+        for it in 1..=max_iterations {
+            iterations = it;
+            let mut new_initial = vec![0.0; n];
+            let mut trans_num = vec![vec![0.0; n]; n];
+            let mut trans_den = vec![0.0; n];
+            let mut emit_num = vec![vec![0.0; m]; n];
+            let mut emit_den = vec![0.0; n];
+            let mut total_ll = 0.0;
+
+            for obs in &usable {
+                let (alphas, scales) = self.forward_scaled(obs)?;
+                let betas = self.backward_scaled(obs, &scales);
+                total_ll += scales.iter().map(|c| c.ln()).sum::<f64>();
+                let t_max = obs.len();
+
+                // γ_t(i) ∝ α_t(i) β_t(i); with this scaling the product needs
+                // renormalization per t.
+                for t in 0..t_max {
+                    let mut gamma: Vec<f64> = (0..n).map(|i| alphas[t][i] * betas[t][i]).collect();
+                    let norm: f64 = gamma.iter().sum();
+                    if norm > 0.0 {
+                        for g in &mut gamma {
+                            *g /= norm;
+                        }
+                    }
+                    if t == 0 {
+                        for i in 0..n {
+                            new_initial[i] += gamma[i];
+                        }
+                    }
+                    for i in 0..n {
+                        emit_num[i][obs[t]] += gamma[i];
+                        emit_den[i] += gamma[i];
+                        if t + 1 < t_max {
+                            trans_den[i] += gamma[i];
+                        }
+                    }
+                }
+                // ξ_t(i, j) accumulation.
+                for t in 0..t_max - 1 {
+                    let mut xi = vec![vec![0.0; n]; n];
+                    let mut norm = 0.0;
+                    for (i, xi_i) in xi.iter_mut().enumerate() {
+                        for (j, x) in xi_i.iter_mut().enumerate() {
+                            *x = alphas[t][i]
+                                * self.transition[i][j]
+                                * self.emission[j][obs[t + 1]]
+                                * betas[t + 1][j];
+                            norm += *x;
+                        }
+                    }
+                    if norm > 0.0 {
+                        for (i, xi_i) in xi.iter().enumerate() {
+                            for (j, x) in xi_i.iter().enumerate() {
+                                trans_num[i][j] += x / norm;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // M-step with guards for unvisited states.
+            let seqs = usable.len() as f64;
+            for i in 0..n {
+                self.initial[i] = new_initial[i] / seqs;
+                if trans_den[i] > 0.0 {
+                    for j in 0..n {
+                        self.transition[i][j] = trans_num[i][j] / trans_den[i];
+                    }
+                }
+                if emit_den[i] > 0.0 {
+                    for k in 0..m {
+                        self.emission[i][k] = emit_num[i][k] / emit_den[i];
+                    }
+                }
+            }
+            // Renormalize against accumulated float drift.
+            normalize_rows(std::slice::from_mut(&mut self.initial));
+            normalize_rows(&mut self.transition);
+            normalize_rows(&mut self.emission);
+
+            if (total_ll - last_ll).abs() < tolerance {
+                return Ok(FitReport {
+                    iterations,
+                    log_likelihood: total_ll,
+                });
+            }
+            last_ll = total_ll;
+        }
+        Ok(FitReport {
+            iterations,
+            log_likelihood: last_ll,
+        })
+    }
+
+    /// Samples a `(states, observations)` pair of the given length.
+    pub fn sample<R: Rng + ?Sized>(&self, len: usize, rng: &mut R) -> (Vec<usize>, Vec<usize>) {
+        let mut states = Vec::with_capacity(len);
+        let mut observations = Vec::with_capacity(len);
+        if len == 0 {
+            return (states, observations);
+        }
+        let mut state = sample_index(&self.initial, rng);
+        for _ in 0..len {
+            states.push(state);
+            observations.push(sample_index(&self.emission[state], rng));
+            state = sample_index(&self.transition[state], rng);
+        }
+        (states, observations)
+    }
+}
+
+fn sample_index<R: Rng + ?Sized>(dist: &[f64], rng: &mut R) -> usize {
+    let mut draw = rng.gen::<f64>();
+    for (i, p) in dist.iter().enumerate() {
+        if draw < *p {
+            return i;
+        }
+        draw -= p;
+    }
+    dist.len() - 1
+}
+
+fn normalize_rows(rows: &mut [Vec<f64>]) {
+    for row in rows {
+        let s: f64 = row.iter().sum();
+        if s > 0.0 {
+            for x in row.iter_mut() {
+                *x /= s;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A well-separated two-state model: state 0 mostly emits symbol 0,
+    /// state 1 mostly emits symbol 1.
+    fn two_state() -> Hmm {
+        Hmm::new(
+            vec![0.6, 0.4],
+            vec![vec![0.7, 0.3], vec![0.4, 0.6]],
+            vec![vec![0.9, 0.1], vec![0.2, 0.8]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Hmm::new(vec![], vec![], vec![]).is_err());
+        assert!(Hmm::new(vec![0.5, 0.4], vec![vec![1.0, 0.0]; 2], vec![vec![1.0]; 2]).is_err());
+        assert!(Hmm::new(vec![1.0], vec![vec![0.9]], vec![vec![1.0]]).is_err());
+        assert!(two_state().n_states() == 2 && two_state().n_symbols() == 2);
+    }
+
+    #[test]
+    fn forward_likelihood_matches_hand_computation() {
+        let hmm = two_state();
+        // P(obs = [0]) = 0.6*0.9 + 0.4*0.2 = 0.62.
+        let ll = hmm.log_likelihood(&[0]).unwrap();
+        assert!((ll - 0.62f64.ln()).abs() < 1e-12);
+        // P(obs = [0, 1]):
+        // alpha1(0) = 0.54, alpha1(1) = 0.08
+        // alpha2(0) = (0.54*0.7 + 0.08*0.4) * 0.1 = 0.041
+        // alpha2(1) = (0.54*0.3 + 0.08*0.6) * 0.8 = 0.168
+        let ll = hmm.log_likelihood(&[0, 1]).unwrap();
+        assert!((ll - (0.041f64 + 0.168).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_observation_rejected() {
+        let hmm = two_state();
+        assert!(matches!(
+            hmm.log_likelihood(&[0, 5]),
+            Err(ProfileError::InvalidObservation { .. })
+        ));
+        assert!(matches!(hmm.log_likelihood(&[]), Err(ProfileError::NoData)));
+    }
+
+    #[test]
+    fn viterbi_tracks_clear_emissions() {
+        let hmm = Hmm::new(
+            vec![0.5, 0.5],
+            vec![vec![0.9, 0.1], vec![0.1, 0.9]],
+            // Nearly deterministic emissions.
+            vec![vec![0.99, 0.01], vec![0.01, 0.99]],
+        )
+        .unwrap();
+        let path = hmm.viterbi(&[0, 0, 1, 1, 1, 0]).unwrap();
+        assert_eq!(path, vec![0, 0, 1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn baum_welch_increases_likelihood() {
+        let truth = two_state();
+        let mut rng = StdRng::seed_from_u64(21);
+        let sequences: Vec<Vec<usize>> = (0..40).map(|_| truth.sample(60, &mut rng).1).collect();
+
+        // Start from a perturbed model.
+        let mut fitted = Hmm::new(
+            vec![0.5, 0.5],
+            vec![vec![0.5, 0.5], vec![0.5, 0.5]],
+            vec![vec![0.6, 0.4], vec![0.4, 0.6]],
+        )
+        .unwrap();
+        let before: f64 = sequences
+            .iter()
+            .map(|s| fitted.log_likelihood(s).unwrap())
+            .sum();
+        let report = fitted.baum_welch(&sequences, 100, 1e-6).unwrap();
+        let after: f64 = sequences
+            .iter()
+            .map(|s| fitted.log_likelihood(s).unwrap())
+            .sum();
+        assert!(after >= before, "{after} < {before}");
+        assert!(report.iterations >= 1);
+        // Rows stay stochastic.
+        for row in fitted.transition_matrix() {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        for row in fitted.emission_matrix() {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn baum_welch_monotone_across_iterations() {
+        let truth = two_state();
+        let mut rng = StdRng::seed_from_u64(33);
+        let sequences: Vec<Vec<usize>> = (0..20).map(|_| truth.sample(40, &mut rng).1).collect();
+        let mut model = Hmm::new(
+            vec![0.7, 0.3],
+            vec![vec![0.6, 0.4], vec![0.3, 0.7]],
+            vec![vec![0.55, 0.45], vec![0.45, 0.55]],
+        )
+        .unwrap();
+        let mut last: f64 = sequences
+            .iter()
+            .map(|s| model.log_likelihood(s).unwrap())
+            .sum();
+        for _ in 0..10 {
+            model.baum_welch(&sequences, 1, 0.0).unwrap();
+            let ll: f64 = sequences
+                .iter()
+                .map(|s| model.log_likelihood(s).unwrap())
+                .sum();
+            assert!(ll >= last - 1e-9, "likelihood decreased: {ll} < {last}");
+            last = ll;
+        }
+    }
+
+    #[test]
+    fn fitted_model_beats_uniform_on_heldout_data() {
+        let truth = two_state();
+        let mut rng = StdRng::seed_from_u64(55);
+        let train: Vec<Vec<usize>> = (0..60).map(|_| truth.sample(50, &mut rng).1).collect();
+        let heldout: Vec<Vec<usize>> = (0..10).map(|_| truth.sample(50, &mut rng).1).collect();
+
+        let uniform = Hmm::new(
+            vec![0.5, 0.5],
+            vec![vec![0.5, 0.5]; 2],
+            vec![vec![0.5, 0.5]; 2],
+        )
+        .unwrap();
+        let mut fitted = Hmm::new(
+            vec![0.5, 0.5],
+            vec![vec![0.55, 0.45], vec![0.45, 0.55]],
+            vec![vec![0.7, 0.3], vec![0.3, 0.7]],
+        )
+        .unwrap();
+        fitted.baum_welch(&train, 200, 1e-8).unwrap();
+
+        let score = |m: &Hmm| -> f64 { heldout.iter().map(|s| m.log_likelihood(s).unwrap()).sum() };
+        assert!(score(&fitted) > score(&uniform));
+    }
+
+    #[test]
+    fn sample_shapes() {
+        let hmm = two_state();
+        let mut rng = StdRng::seed_from_u64(2);
+        let (states, obs) = hmm.sample(25, &mut rng);
+        assert_eq!(states.len(), 25);
+        assert_eq!(obs.len(), 25);
+        assert!(states.iter().all(|&s| s < 2));
+        assert!(obs.iter().all(|&o| o < 2));
+        let (s0, o0) = hmm.sample(0, &mut rng);
+        assert!(s0.is_empty() && o0.is_empty());
+    }
+
+    #[test]
+    fn baum_welch_rejects_empty_input() {
+        let mut hmm = two_state();
+        let empty: Vec<Vec<usize>> = vec![vec![]];
+        assert!(matches!(
+            hmm.baum_welch(&empty, 10, 1e-6),
+            Err(ProfileError::NoData)
+        ));
+    }
+}

@@ -1,0 +1,29 @@
+//! Usage-profile estimation for `archrel`.
+//!
+//! Grassi's model assumes "that the Markov model specifying the service
+//! usage profile is completely known", and points (§5) at Roshandel &
+//! Medvidovic \[16\] for how such a model is obtained in practice — from
+//! observed executions, possibly with imperfect knowledge handled by a
+//! **hidden Markov model**. This crate supplies that tooling:
+//!
+//! - [`trace`]: execution-trace generation from a known DTMC (the synthetic
+//!   stand-in for production monitoring logs);
+//! - [`estimate`]: maximum-likelihood estimation of transition
+//!   probabilities from traces, with Laplace smoothing;
+//! - [`hmm`]: a discrete hidden Markov model with forward/backward,
+//!   Viterbi, and Baum–Welch re-estimation, for the imperfect-observability
+//!   case where flow states are only seen through noisy observations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod estimate;
+pub mod hmm;
+pub mod trace;
+
+mod error;
+
+pub use error::ProfileError;
+
+/// Convenience result alias for fallible profile operations.
+pub type Result<T> = std::result::Result<T, ProfileError>;

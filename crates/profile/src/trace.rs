@@ -1,0 +1,132 @@
+//! Execution-trace generation from a known DTMC.
+//!
+//! Stands in for the monitoring logs a deployed SOC platform would produce:
+//! the experiments sample traces from a ground-truth usage profile and then
+//! check how much data the estimator needs to recover it.
+
+use archrel_markov::{Dtmc, StateLabel};
+use rand::Rng;
+
+use crate::{ProfileError, Result};
+
+/// A single execution trace: the sequence of visited states, starting at the
+/// start state and ending when an absorbing state is entered (or the length
+/// cap is hit).
+pub type Trace<S> = Vec<S>;
+
+/// Samples one trace from `chain` starting at `start`.
+///
+/// The walk stops after entering an absorbing state, or after `max_len`
+/// states.
+///
+/// # Errors
+///
+/// Returns [`ProfileError::UnknownState`] when `start` is absent and
+/// propagates chain access errors.
+pub fn sample_trace<S: StateLabel, R: Rng + ?Sized>(
+    chain: &Dtmc<S>,
+    start: &S,
+    max_len: usize,
+    rng: &mut R,
+) -> Result<Trace<S>> {
+    chain.require_index(start).map_err(ProfileError::from)?;
+    let mut trace = vec![start.clone()];
+    let mut current = start.clone();
+    while trace.len() < max_len {
+        if chain.is_absorbing(&current)? {
+            break;
+        }
+        let successors = chain.successors(&current)?;
+        let mut draw = rng.gen::<f64>();
+        let mut next = successors
+            .last()
+            .map(|(s, _)| (*s).clone())
+            .expect("non-absorbing state has successors");
+        for (s, p) in successors {
+            if draw < p {
+                next = s.clone();
+                break;
+            }
+            draw -= p;
+        }
+        trace.push(next.clone());
+        current = next;
+    }
+    Ok(trace)
+}
+
+/// Samples `count` independent traces.
+///
+/// # Errors
+///
+/// See [`sample_trace`].
+pub fn sample_traces<S: StateLabel, R: Rng + ?Sized>(
+    chain: &Dtmc<S>,
+    start: &S,
+    count: usize,
+    max_len: usize,
+    rng: &mut R,
+) -> Result<Vec<Trace<S>>> {
+    (0..count)
+        .map(|_| sample_trace(chain, start, max_len, rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archrel_markov::DtmcBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chain() -> Dtmc<&'static str> {
+        DtmcBuilder::new()
+            .transition("s", "a", 0.5)
+            .transition("s", "b", 0.5)
+            .transition("a", "end", 1.0)
+            .transition("b", "end", 1.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn traces_start_at_start_and_end_absorbed() {
+        let c = chain();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let t = sample_trace(&c, &"s", 100, &mut rng).unwrap();
+            assert_eq!(t[0], "s");
+            assert_eq!(*t.last().unwrap(), "end");
+            assert_eq!(t.len(), 3);
+        }
+    }
+
+    #[test]
+    fn branch_frequencies_match_probabilities() {
+        let c = chain();
+        let mut rng = StdRng::seed_from_u64(4);
+        let traces = sample_traces(&c, &"s", 10_000, 10, &mut rng).unwrap();
+        let via_a = traces.iter().filter(|t| t[1] == "a").count() as f64;
+        let frac = via_a / traces.len() as f64;
+        assert!((frac - 0.5).abs() < 0.02, "fraction {frac}");
+    }
+
+    #[test]
+    fn length_cap_stops_nonabsorbing_walks() {
+        let c = DtmcBuilder::new()
+            .transition("x", "y", 1.0)
+            .transition("y", "x", 1.0)
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = sample_trace(&c, &"x", 7, &mut rng).unwrap();
+        assert_eq!(t.len(), 7);
+    }
+
+    #[test]
+    fn unknown_start_rejected() {
+        let c = chain();
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(sample_trace(&c, &"ghost", 10, &mut rng).is_err());
+    }
+}

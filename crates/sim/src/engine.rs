@@ -1,0 +1,341 @@
+//! One sampled execution of a service invocation.
+//!
+//! The sampler follows the paper's stochastic model literally:
+//!
+//! - a composite service's flow is walked from `Start`, choosing successors
+//!   by the (parameter-evaluated) transition probabilities;
+//! - in each state, every request samples an *internal* failure
+//!   (caller-side, eq. 14) and an *external* failure — a fresh recursive
+//!   execution of the connector and of the target service;
+//! - under `Shared` dependency, **one external failure fails every request
+//!   in the state** (no repair, §3.2); under `Independent` they are
+//!   separate;
+//! - the state succeeds per its completion model (AND / OR / k-out-of-n);
+//!   a failed state aborts the invocation (fail-stop);
+//! - reaching `End` is success.
+
+use archrel_expr::Bindings;
+use archrel_model::{Assembly, CompletionModel, DependencyModel, Service, ServiceId, StateId};
+use rand::Rng;
+
+use crate::{Result, SimError};
+
+/// Recursion cap for nested/recursive service executions.
+///
+/// Kept conservative because each level is a real stack frame: realistic
+/// assemblies nest a handful of levels; anything deeper is almost always a
+/// recursive assembly that should be analyzed with the fixed-point engine.
+pub const MAX_SIMULATION_DEPTH: usize = 256;
+
+/// Simulates a single invocation of `service` under `env`.
+///
+/// Returns `true` when the invocation completes successfully.
+///
+/// # Errors
+///
+/// - [`SimError::DepthExceeded`] for runaway recursion;
+/// - [`SimError::BadTransitions`] when evaluated transition probabilities do
+///   not form a distribution;
+/// - model / expression errors for malformed inputs.
+pub fn simulate_invocation<R: Rng + ?Sized>(
+    assembly: &Assembly,
+    service: &ServiceId,
+    env: &Bindings,
+    rng: &mut R,
+) -> Result<bool> {
+    let mut sampler = PlainSampler(rng);
+    simulate_at_depth(assembly, service, env, &mut sampler, 0)
+}
+
+/// Source of randomness for the walk, factored so the importance-sampling
+/// estimator can bias *failure* draws (and reweight) while leaving the
+/// *transition* draws untouched.
+pub(crate) trait Sampler {
+    /// Uniform draw in `[0, 1)` for transition selection.
+    fn uniform(&mut self) -> f64;
+    /// Draws the failure event of probability `p`.
+    fn failure(&mut self, p: f64) -> bool;
+}
+
+/// Unbiased sampler over any RNG.
+pub(crate) struct PlainSampler<'r, R: Rng + ?Sized>(pub &'r mut R);
+
+impl<R: Rng + ?Sized> Sampler for PlainSampler<'_, R> {
+    fn uniform(&mut self) -> f64 {
+        self.0.gen::<f64>()
+    }
+
+    fn failure(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.0.gen::<f64>() < p
+        }
+    }
+}
+
+pub(crate) fn simulate_at_depth(
+    assembly: &Assembly,
+    service: &ServiceId,
+    env: &Bindings,
+    sampler: &mut dyn Sampler,
+    depth: usize,
+) -> Result<bool> {
+    if depth >= MAX_SIMULATION_DEPTH {
+        return Err(SimError::DepthExceeded {
+            service: service.to_string(),
+        });
+    }
+    match assembly.require(service)? {
+        Service::Simple(simple) => {
+            let demand = env.get(simple.formal_param()).ok_or_else(|| {
+                SimError::Expr(archrel_expr::ExprError::UnboundParameter {
+                    name: simple.formal_param().to_string(),
+                })
+            })?;
+            let p = simple.failure_probability(demand)?.value();
+            Ok(!sampler.failure(p))
+        }
+        Service::Composite(composite) => {
+            let flow = composite.flow();
+            let mut current = StateId::Start;
+            loop {
+                // Sample the next state.
+                let mut total = 0.0;
+                let mut choices: Vec<(&StateId, f64)> = Vec::new();
+                for t in flow.outgoing(&current) {
+                    let p = t.probability.eval(env)?;
+                    if !(0.0..=1.0 + 1e-9).contains(&p) {
+                        return Err(SimError::BadTransitions {
+                            service: service.to_string(),
+                            state: current.to_string(),
+                            sum: p,
+                        });
+                    }
+                    total += p;
+                    choices.push((&t.to, p));
+                }
+                if (total - 1.0).abs() > 1e-9 {
+                    return Err(SimError::BadTransitions {
+                        service: service.to_string(),
+                        state: current.to_string(),
+                        sum: total,
+                    });
+                }
+                let mut draw = sampler.uniform() * total;
+                let mut next = choices
+                    .last()
+                    .map(|(s, _)| (*s).clone())
+                    .expect("validated flows have outgoing transitions");
+                for (s, p) in choices {
+                    if draw < p {
+                        next = s.clone();
+                        break;
+                    }
+                    draw -= p;
+                }
+
+                if next == StateId::End {
+                    return Ok(true);
+                }
+                // Execute the state's requests.
+                let state = flow
+                    .state(&next)
+                    .expect("validated flows only reference declared states");
+                if !execute_state(assembly, state, env, sampler, depth)? {
+                    return Ok(false); // fail-stop
+                }
+                current = next;
+            }
+        }
+    }
+}
+
+fn execute_state(
+    assembly: &Assembly,
+    state: &archrel_model::FlowState,
+    env: &Bindings,
+    sampler: &mut dyn Sampler,
+    depth: usize,
+) -> Result<bool> {
+    if state.calls.is_empty() {
+        return Ok(true);
+    }
+    // Sample each request's internal and external failure.
+    let mut internal_ok = Vec::with_capacity(state.calls.len());
+    let mut external_ok = Vec::with_capacity(state.calls.len());
+    for call in &state.calls {
+        let mut callee_env = Bindings::new();
+        let mut first_demand = 0.0;
+        for (i, (name, expr)) in call.actual_params.iter().enumerate() {
+            let v = expr.eval(env)?;
+            if i == 0 {
+                first_demand = v;
+            }
+            callee_env.insert(name.clone(), v);
+        }
+        let p_int = call
+            .internal_failure
+            .failure_probability(first_demand)?
+            .value();
+        internal_ok.push(!sampler.failure(p_int));
+
+        let target_ok = simulate_at_depth(assembly, &call.target, &callee_env, sampler, depth + 1)?;
+        let connector_ok = match &call.connector {
+            None => true,
+            Some(binding) => {
+                let mut conn_env = Bindings::new();
+                for (name, expr) in &binding.actual_params {
+                    conn_env.insert(name.clone(), expr.eval(env)?);
+                }
+                simulate_at_depth(assembly, &binding.connector, &conn_env, sampler, depth + 1)?
+            }
+        };
+        external_ok.push(target_ok && connector_ok);
+    }
+
+    // Combine request outcomes per the dependency model.
+    let request_ok: Vec<bool> = match state.dependency {
+        DependencyModel::Independent => internal_ok
+            .iter()
+            .zip(&external_ok)
+            .map(|(&i, &e)| i && e)
+            .collect(),
+        DependencyModel::Shared => {
+            // One external failure takes down every request (§3.2).
+            let any_external_failure = external_ok.iter().any(|&ok| !ok);
+            if any_external_failure {
+                vec![false; state.calls.len()]
+            } else {
+                internal_ok.clone()
+            }
+        }
+    };
+
+    let successes = request_ok.iter().filter(|&&ok| ok).count();
+    Ok(match state.completion {
+        CompletionModel::And => successes == request_ok.len(),
+        CompletionModel::Or => successes >= 1,
+        CompletionModel::KOutOfN { k } => successes >= k,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archrel_expr::Expr;
+    use archrel_model::{
+        catalog, AssemblyBuilder, CompositeService, FlowBuilder, FlowState, ServiceCall,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn perfect_assembly_always_succeeds() {
+        let flow = FlowBuilder::new()
+            .state(FlowState::new(
+                "1",
+                vec![ServiceCall::new("dep").with_param("x", Expr::num(1.0))],
+            ))
+            .transition(StateId::Start, "1", Expr::one())
+            .transition("1", StateId::End, Expr::one())
+            .build()
+            .unwrap();
+        let assembly = AssemblyBuilder::new()
+            .service(catalog::blackbox_service("dep", "x", 0.0))
+            .service(Service::Composite(
+                CompositeService::new("app", vec![], flow).unwrap(),
+            ))
+            .build()
+            .unwrap();
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(
+                simulate_invocation(&assembly, &"app".into(), &Bindings::new(), &mut r).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn certain_failure_always_fails() {
+        let flow = FlowBuilder::new()
+            .state(FlowState::new(
+                "1",
+                vec![ServiceCall::new("dep").with_param("x", Expr::num(1.0))],
+            ))
+            .transition(StateId::Start, "1", Expr::one())
+            .transition("1", StateId::End, Expr::one())
+            .build()
+            .unwrap();
+        let assembly = AssemblyBuilder::new()
+            .service(catalog::blackbox_service("dep", "x", 1.0))
+            .service(Service::Composite(
+                CompositeService::new("app", vec![], flow).unwrap(),
+            ))
+            .build()
+            .unwrap();
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(
+                !simulate_invocation(&assembly, &"app".into(), &Bindings::new(), &mut r).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn recursive_assembly_with_certain_recursion_hits_depth_cap() {
+        let flow = FlowBuilder::new()
+            .state(FlowState::new("again", vec![ServiceCall::new("svc")]))
+            .transition(StateId::Start, "again", Expr::one())
+            .transition("again", StateId::End, Expr::one())
+            .build()
+            .unwrap();
+        let assembly = AssemblyBuilder::new()
+            .service(Service::Composite(
+                CompositeService::new("svc", vec![], flow).unwrap(),
+            ))
+            .build()
+            .unwrap();
+        let mut r = rng();
+        let err =
+            simulate_invocation(&assembly, &"svc".into(), &Bindings::new(), &mut r).unwrap_err();
+        assert!(matches!(err, SimError::DepthExceeded { .. }));
+    }
+
+    #[test]
+    fn unbound_parameter_is_reported() {
+        let assembly = AssemblyBuilder::new()
+            .service(catalog::cpu_resource("cpu", 1e9, 1e-9))
+            .build()
+            .unwrap();
+        let mut r = rng();
+        let err =
+            simulate_invocation(&assembly, &"cpu".into(), &Bindings::new(), &mut r).unwrap_err();
+        assert!(matches!(err, SimError::Expr(_)));
+    }
+
+    #[test]
+    fn simple_service_sampling_matches_probability() {
+        let assembly = AssemblyBuilder::new()
+            .service(catalog::blackbox_service("dep", "x", 0.25))
+            .build()
+            .unwrap();
+        let mut r = rng();
+        let env = Bindings::new().with("x", 1.0);
+        let trials = 40_000;
+        let mut failures = 0;
+        for _ in 0..trials {
+            if !simulate_invocation(&assembly, &"dep".into(), &env, &mut r).unwrap() {
+                failures += 1;
+            }
+        }
+        let rate = failures as f64 / trials as f64;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+    }
+}

@@ -1,0 +1,98 @@
+use std::fmt;
+
+use archrel_expr::ExprError;
+use archrel_model::ModelError;
+
+/// Errors produced by the simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// Simulation recursion exceeded [`crate::MAX_SIMULATION_DEPTH`] —
+    /// almost certainly a recursive assembly (which the sampler supports
+    /// only when recursion terminates with probability one and reasonable
+    /// depth).
+    DepthExceeded {
+        /// The service at which the cap was hit.
+        service: String,
+    },
+    /// Transition probabilities of a flow state, evaluated under the given
+    /// bindings, do not form a distribution.
+    BadTransitions {
+        /// The service owning the flow.
+        service: String,
+        /// The offending state.
+        state: String,
+        /// Evaluated row sum.
+        sum: f64,
+    },
+    /// Zero trials were requested.
+    NoTrials,
+    /// An underlying model operation failed.
+    Model(ModelError),
+    /// An underlying expression evaluation failed.
+    Expr(ExprError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::DepthExceeded { service } => {
+                write!(f, "simulation depth cap exceeded at `{service}`")
+            }
+            SimError::BadTransitions {
+                service,
+                state,
+                sum,
+            } => write!(
+                f,
+                "transition probabilities of `{service}` state `{state}` sum to {sum}"
+            ),
+            SimError::NoTrials => write!(f, "at least one trial is required"),
+            SimError::Model(e) => write!(f, "model error: {e}"),
+            SimError::Expr(e) => write!(f, "expression error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Model(e) => Some(e),
+            SimError::Expr(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for SimError {
+    fn from(e: ModelError) -> Self {
+        SimError::Model(e)
+    }
+}
+
+impl From<ExprError> for SimError {
+    fn from(e: ExprError) -> Self {
+        SimError::Expr(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SimError::DepthExceeded {
+            service: "svc".into(),
+        };
+        assert!(e.to_string().contains("svc"));
+        let e: SimError = ModelError::InvalidDemand { value: -1.0 }.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,51 @@
+//! Monte Carlo validation of the analytical reliability model.
+//!
+//! The paper's §6 notes that prediction is only one side of reliability
+//! assessment, the other being *monitoring* of the running assembly. Lacking
+//! a production deployment, this crate stands in for monitoring: it executes
+//! the **same stochastic model** the analytical engine solves — flow
+//! traversal, per-request internal/external failures, connector failures,
+//! completion models, and the shared-service coupling of §3.2 — by direct
+//! sampling, and checks that the analytic prediction falls inside tight
+//! confidence intervals.
+//!
+//! - [`simulate_invocation`]: one sampled execution of a service.
+//! - [`estimate`]: an N-trial (optionally multi-threaded) reliability
+//!   estimate with a Wilson 95% confidence interval.
+//!
+//! # Examples
+//!
+//! ```
+//! use archrel_model::paper;
+//! use archrel_sim::{estimate, SimulationOptions};
+//!
+//! # fn main() -> Result<(), archrel_sim::SimError> {
+//! let assembly = paper::local_assembly(&paper::PaperParams::default()).unwrap();
+//! let opts = SimulationOptions { trials: 20_000, seed: 42, threads: 2 };
+//! let est = estimate(
+//!     &assembly,
+//!     &paper::SEARCH.into(),
+//!     &paper::search_bindings(4.0, 1024.0, 1.0),
+//!     &opts,
+//! )?;
+//! assert!(est.failure_probability < 0.05);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod error;
+mod importance;
+mod runner;
+pub mod stats;
+
+pub use engine::{simulate_invocation, MAX_SIMULATION_DEPTH};
+pub use error::SimError;
+pub use importance::{estimate_rare, ImportanceOptions, RareEstimate};
+pub use runner::{estimate, Estimate, SimulationOptions};
+
+/// Convenience result alias for fallible simulation operations.
+pub type Result<T> = std::result::Result<T, SimError>;

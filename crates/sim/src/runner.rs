@@ -1,0 +1,246 @@
+//! Multi-trial (and multi-threaded) reliability estimation.
+
+use archrel_expr::Bindings;
+use archrel_model::{Assembly, ServiceId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::engine::simulate_invocation;
+use crate::stats::{wilson_interval, Z_95};
+use crate::{Result, SimError};
+
+/// Options for a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimulationOptions {
+    /// Number of independent invocation trials.
+    pub trials: u64,
+    /// Base seed; every run with the same seed, trial count, and thread
+    /// count is reproducible.
+    pub seed: u64,
+    /// Worker threads (clamped to at least 1).
+    pub threads: usize,
+}
+
+impl Default for SimulationOptions {
+    fn default() -> Self {
+        SimulationOptions {
+            trials: 100_000,
+            seed: 0xA5CE_57A7,
+            threads: 4,
+        }
+    }
+}
+
+/// A reliability estimate with its 95% Wilson confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Trials performed.
+    pub trials: u64,
+    /// Trials that ended in failure.
+    pub failures: u64,
+    /// Point estimate of the failure probability.
+    pub failure_probability: f64,
+    /// Lower 95% confidence bound on the failure probability.
+    pub ci_low: f64,
+    /// Upper 95% confidence bound on the failure probability.
+    pub ci_high: f64,
+}
+
+impl Estimate {
+    /// Point estimate of the reliability.
+    pub fn reliability(&self) -> f64 {
+        1.0 - self.failure_probability
+    }
+
+    /// Whether a predicted failure probability falls inside the interval.
+    pub fn contains(&self, predicted: f64) -> bool {
+        (self.ci_low..=self.ci_high).contains(&predicted)
+    }
+}
+
+/// Runs `opts.trials` independent invocations of `service` and estimates its
+/// failure probability.
+///
+/// Trials are split across `opts.threads` workers, each with an
+/// independently seeded RNG, so results are reproducible for a fixed
+/// `(seed, trials, threads)` triple.
+///
+/// # Errors
+///
+/// - [`SimError::NoTrials`] when `opts.trials == 0`;
+/// - any simulation error from the first failing worker.
+pub fn estimate(
+    assembly: &Assembly,
+    service: &ServiceId,
+    env: &Bindings,
+    opts: &SimulationOptions,
+) -> Result<Estimate> {
+    if opts.trials == 0 {
+        return Err(SimError::NoTrials);
+    }
+    let threads = opts.threads.max(1).min(opts.trials as usize).max(1);
+    let per_thread = opts.trials / threads as u64;
+    let remainder = opts.trials % threads as u64;
+
+    let mut failures_total = 0u64;
+    let results: Vec<Result<u64>> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for worker in 0..threads {
+            let worker_trials = per_thread + u64::from((worker as u64) < remainder);
+            let worker_seed = opts
+                .seed
+                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(worker as u64 + 1));
+            handles.push(scope.spawn(move |_| -> Result<u64> {
+                let mut rng = StdRng::seed_from_u64(worker_seed);
+                let mut failures = 0u64;
+                for _ in 0..worker_trials {
+                    if !simulate_invocation(assembly, service, env, &mut rng)? {
+                        failures += 1;
+                    }
+                }
+                Ok(failures)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("simulation worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope panicked");
+
+    for r in results {
+        failures_total += r?;
+    }
+
+    let p = failures_total as f64 / opts.trials as f64;
+    let (lo, hi) = wilson_interval(failures_total, opts.trials, Z_95);
+    Ok(Estimate {
+        trials: opts.trials,
+        failures: failures_total,
+        failure_probability: p,
+        ci_low: lo,
+        ci_high: hi,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archrel_core::Evaluator;
+    use archrel_model::paper;
+
+    #[test]
+    fn zero_trials_rejected() {
+        let assembly = paper::local_assembly(&paper::PaperParams::default()).unwrap();
+        let opts = SimulationOptions {
+            trials: 0,
+            ..SimulationOptions::default()
+        };
+        assert!(matches!(
+            estimate(
+                &assembly,
+                &paper::SEARCH.into(),
+                &paper::search_bindings(4.0, 64.0, 1.0),
+                &opts
+            ),
+            Err(SimError::NoTrials)
+        ));
+    }
+
+    #[test]
+    fn reproducible_for_fixed_seed() {
+        let assembly = paper::local_assembly(&paper::PaperParams::default()).unwrap();
+        let env = paper::search_bindings(4.0, 1024.0, 1.0);
+        let opts = SimulationOptions {
+            trials: 5000,
+            seed: 99,
+            threads: 3,
+        };
+        let a = estimate(&assembly, &paper::SEARCH.into(), &env, &opts).unwrap();
+        let b = estimate(&assembly, &paper::SEARCH.into(), &env, &opts).unwrap();
+        assert_eq!(a.failures, b.failures);
+    }
+
+    /// The headline validation: the analytic prediction falls inside the
+    /// simulator's confidence interval on the paper's own example. The
+    /// default parameters give Pfail ~ 1e-2 at list = 65536 with an inflated
+    /// γ, so a moderate trial count resolves it.
+    #[test]
+    fn analytic_prediction_inside_simulation_ci() {
+        let params = paper::PaperParams::default()
+            .with_gamma(0.1)
+            .with_phi_sort1(5e-6);
+        let env = paper::search_bindings(4.0, 8192.0, 1.0);
+        for assembly in [
+            paper::local_assembly(&params).unwrap(),
+            paper::remote_assembly(&params).unwrap(),
+        ] {
+            let predicted = Evaluator::new(&assembly)
+                .failure_probability(&paper::SEARCH.into(), &env)
+                .unwrap()
+                .value();
+            let est = estimate(
+                &assembly,
+                &paper::SEARCH.into(),
+                &env,
+                &SimulationOptions {
+                    trials: 60_000,
+                    seed: 7,
+                    threads: 4,
+                },
+            )
+            .unwrap();
+            assert!(
+                est.contains(predicted),
+                "predicted {predicted} outside [{}, {}]",
+                est.ci_low,
+                est.ci_high
+            );
+        }
+    }
+
+    #[test]
+    fn estimate_accessors() {
+        let e = Estimate {
+            trials: 100,
+            failures: 10,
+            failure_probability: 0.1,
+            ci_low: 0.05,
+            ci_high: 0.18,
+        };
+        assert_eq!(e.reliability(), 0.9);
+        assert!(e.contains(0.1));
+        assert!(!e.contains(0.5));
+    }
+
+    #[test]
+    fn single_thread_and_many_threads_agree_statistically() {
+        let assembly =
+            paper::local_assembly(&paper::PaperParams::default().with_phi_sort1(5e-6)).unwrap();
+        let env = paper::search_bindings(4.0, 4096.0, 1.0);
+        let one = estimate(
+            &assembly,
+            &paper::SEARCH.into(),
+            &env,
+            &SimulationOptions {
+                trials: 30_000,
+                seed: 1,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        let many = estimate(
+            &assembly,
+            &paper::SEARCH.into(),
+            &env,
+            &SimulationOptions {
+                trials: 30_000,
+                seed: 1,
+                threads: 8,
+            },
+        )
+        .unwrap();
+        // Different partitioning, same distribution: intervals overlap.
+        assert!(one.ci_low <= many.ci_high && many.ci_low <= one.ci_high);
+    }
+}

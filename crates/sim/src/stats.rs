@@ -1,0 +1,96 @@
+//! Small statistics helpers for simulation estimates.
+
+/// Wilson score interval for a binomial proportion.
+///
+/// Returns `(low, high)` bounds for the underlying probability given
+/// `successes` out of `trials`, at confidence level determined by the
+/// standard-normal quantile `z` (1.96 for 95%).
+///
+/// The Wilson interval behaves well for proportions near 0 and 1 — exactly
+/// where reliability estimates live.
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or `successes > trials` (programmer error).
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    assert!(trials > 0, "wilson interval of zero trials");
+    assert!(successes <= trials, "more successes than trials");
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * ((p * (1.0 - p) / n) + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// The 97.5% standard-normal quantile (two-sided 95% confidence).
+pub const Z_95: f64 = 1.959_963_984_540_054;
+
+/// Sample mean of a slice (0.0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample standard deviation (0.0 for fewer than two samples).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wilson_contains_point_estimate() {
+        let (lo, hi) = wilson_interval(80, 100, Z_95);
+        assert!(lo < 0.8 && 0.8 < hi);
+        assert!(lo > 0.70 && hi < 0.90);
+    }
+
+    #[test]
+    fn wilson_bounds_stay_in_unit_interval() {
+        let (lo, hi) = wilson_interval(0, 100, Z_95);
+        assert!(lo.abs() < 1e-12 && hi < 0.1);
+        let (lo, hi) = wilson_interval(100, 100, Z_95);
+        assert!(lo > 0.9 && hi <= 1.0 && (1.0 - hi) < 1e-12);
+    }
+
+    #[test]
+    fn wilson_narrows_with_more_trials() {
+        let (lo1, hi1) = wilson_interval(50, 100, Z_95);
+        let (lo2, hi2) = wilson_interval(5000, 10_000, Z_95);
+        assert!(hi2 - lo2 < hi1 - lo1);
+    }
+
+    #[test]
+    fn wilson_handles_extremes_sanely() {
+        // Even at 0 successes the upper bound is positive (rule-of-three).
+        let (lo, hi) = wilson_interval(0, 1000, Z_95);
+        assert!(lo.abs() < 1e-12);
+        assert!(hi > 0.0 && hi < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero trials")]
+    fn wilson_rejects_zero_trials() {
+        let _ = wilson_interval(0, 0, Z_95);
+    }
+
+    #[test]
+    fn mean_and_std_dev() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+}

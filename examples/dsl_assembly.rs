@@ -1,0 +1,81 @@
+//! Define an assembly in the `archrel` description language (the paper's
+//! §5/§6 "machine-processable language" bound to the prediction engine),
+//! predict its reliability, and export its structure to Graphviz.
+//!
+//! Run with: `cargo run --example dsl_assembly`
+
+use archrel::core::Evaluator;
+use archrel::dsl::{dot, parse_assembly};
+use archrel::expr::Bindings;
+
+const DOCUMENT: &str = r#"
+// Two-node deployment: an API node and a database node.
+cpu api_cpu { speed: 2e9; failure_rate: 1e-11; }
+cpu db_cpu  { speed: 4e9; failure_rate: 1e-11; }
+network lan { bandwidth: 1e5; failure_rate: 1e-4; }
+local loc_api;
+local loc_db;
+
+rpc db_link { client: api_cpu; server: db_cpu; network: lan;
+              ops_per_byte: 20; bytes_per_byte: 1.1; }
+
+// The database query service, deployed on the db node.
+service query(rows) {
+  state scan {
+    call db_cpu(n: rows * log2(rows + 1)) via loc_db internal phi 2e-8;
+  }
+  start -> scan : 1;
+  scan -> end : 1;
+}
+
+// The API endpoint: parse the request, query the database over RPC,
+// render the response. With probability 0.25 the result is cached and
+// the database is skipped.
+service endpoint(size, rows) {
+  state parse {
+    call api_cpu(n: 50 * size) via loc_api internal phi 1e-8;
+  }
+  state fetch {
+    call query(rows: rows) via db_link(ip: size, op: 80 * rows);
+  }
+  state render {
+    call api_cpu(n: 30 * rows) via loc_api internal phi 1e-8;
+  }
+  start -> parse : 1;
+  parse -> fetch : 0.75;
+  parse -> render : 0.25;
+  fetch -> render : 1;
+  render -> end : 1;
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let assembly = parse_assembly(DOCUMENT)?;
+    println!("parsed assembly with {} services\n", assembly.len());
+
+    let evaluator = Evaluator::new(&assembly);
+    println!(
+        "{:>8} {:>8} {:>14} {:>14}",
+        "size", "rows", "Pfail", "reliability"
+    );
+    for (size, rows) in [(512.0, 10.0), (2048.0, 100.0), (8192.0, 1000.0)] {
+        let env = Bindings::new().with("size", size).with("rows", rows);
+        let p = evaluator.failure_probability(&"endpoint".into(), &env)?;
+        println!(
+            "{size:>8.0} {rows:>8.0} {:>14.6e} {:>14.9}",
+            p.value(),
+            p.complement().value()
+        );
+    }
+
+    let env = Bindings::new().with("size", 2048.0).with("rows", 100.0);
+    let report = evaluator.report(&"endpoint".into(), &env)?;
+    println!("\n{report}");
+
+    println!("--- Graphviz (endpoint flow) ---");
+    println!(
+        "{}",
+        dot::service_flow_dot(&assembly, "endpoint").expect("endpoint is composite")
+    );
+    Ok(())
+}

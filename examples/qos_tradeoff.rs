@@ -1,0 +1,76 @@
+//! The reliability/performance trade-off the paper's §6 gestures at: the
+//! same local-vs-remote decision of §4, analyzed on **both** QoS axes with
+//! the same analytic interfaces.
+//!
+//! The remote sort runs on a ten-times-faster node behind a fast LAN, so it
+//! wins on latency — but its implementation is buggier (ϕ₂ ≫ ϕ₁), so it
+//! loses on reliability. Neither assembly dominates: the architect has to
+//! pick a point on the frontier, and both coordinates come from the same
+//! published analytic interfaces.
+//!
+//! Run with: `cargo run --example qos_tradeoff`
+
+use archrel::core::Evaluator;
+use archrel::model::paper;
+use archrel::perf::{failure_aware_latency, LatencyEvaluator, PerfConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Fast-but-buggy remote sort on a 10x node behind a gigabyte LAN.
+    let params = paper::PaperParams {
+        s2: 1e10,       // remote CPU: 10x faster
+        bandwidth: 1e9, // fast LAN: transfer no longer dominates
+        c: 1.0,         // lean marshalling
+        gamma: 1e-3,
+        phi_sort1: 1e-7, // local sort: mature code
+        phi_sort2: 1e-5, // remote sort: fast but buggy
+        ..paper::PaperParams::default()
+    };
+    let local = paper::local_assembly(&params)?;
+    let remote = paper::remote_assembly(&params)?;
+
+    println!(
+        "local vs remote sort: s1 = {:.0e} op/s, s2 = {:.0e} op/s, gamma = {}\n",
+        params.s1, params.s2, params.gamma
+    );
+    println!(
+        "{:>7} {:>14} {:>14} {:>14} {:>14} {:>10}",
+        "list", "R_local", "R_remote", "T_local", "T_remote", "dominant"
+    );
+
+    for e in 6..=14 {
+        let list = f64::from(1 << e);
+        let env = paper::search_bindings(4.0, list, 1.0);
+
+        let r_local = Evaluator::new(&local)
+            .reliability(&paper::SEARCH.into(), &env)?
+            .value();
+        let r_remote = Evaluator::new(&remote)
+            .reliability(&paper::SEARCH.into(), &env)?
+            .value();
+        let t_local = LatencyEvaluator::new(&local, PerfConfig::default())
+            .expected_latency(&paper::SEARCH.into(), &env)?;
+        let t_remote = LatencyEvaluator::new(&remote, PerfConfig::default())
+            .expected_latency(&paper::SEARCH.into(), &env)?;
+
+        let dominant = match (r_remote > r_local, t_remote < t_local) {
+            (true, true) => "remote",
+            (false, false) => "local",
+            _ => "trade-off",
+        };
+        println!(
+            "{list:>7.0} {r_local:>14.9} {r_remote:>14.9} {t_local:>14.6e} {t_remote:>14.6e} {dominant:>10}"
+        );
+    }
+
+    // Failure-aware latency: what response time does a client actually see
+    // per attempt, counting runs that abort early?
+    let env = paper::search_bindings(4.0, 8192.0, 1.0);
+    let free = LatencyEvaluator::new(&remote, PerfConfig::default())
+        .expected_latency(&paper::SEARCH.into(), &env)?;
+    let aware = failure_aware_latency(&remote, &paper::SEARCH.into(), &env, PerfConfig::default())?;
+    println!("\nremote @ list=8192:");
+    println!("  expected latency, failure-free profile : {free:.6e}");
+    println!("  expected latency until absorption      : {aware:.6e}");
+    println!("  (failures truncate executions, so the second is smaller)");
+    Ok(())
+}

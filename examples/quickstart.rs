@@ -1,0 +1,74 @@
+//! Quickstart: model a tiny service assembly and predict its reliability.
+//!
+//! A `thumbnail` service runs on one node: it calls the node's CPU for its
+//! own image-decoding work and a third-party `storage` service to fetch the
+//! image. We predict the probability that one invocation completes.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use archrel::core::Evaluator;
+use archrel::expr::{Bindings, Expr};
+use archrel::model::{
+    catalog, AssemblyBuilder, CompositeService, FlowBuilder, FlowState, InternalFailureModel,
+    Service, ServiceCall, StateId,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Resources: a CPU (eq. 1 failure law) and a black-box storage
+    //    service that publishes a flat per-call failure probability.
+    let cpu = catalog::cpu_resource("cpu", 2e9, 1e-9);
+    let storage = catalog::blackbox_service("storage", "bytes", 1e-4);
+
+    // 2. The thumbnail service's analytic interface: fetch the image, then
+    //    decode it. Costs are functions of the formal parameter `size`
+    //    (bytes) — the parametric dependency at the heart of the paper.
+    let flow = FlowBuilder::new()
+        .state(FlowState::new(
+            "fetch",
+            vec![ServiceCall::new("storage").with_param("bytes", Expr::param("size"))],
+        ))
+        .state(FlowState::new(
+            "decode",
+            vec![ServiceCall::new("cpu")
+                .with_param("n", Expr::num(200.0) * Expr::param("size"))
+                .with_internal(InternalFailureModel::PerOperation { phi: 1e-9 })],
+        ))
+        .transition(StateId::Start, "fetch", Expr::one())
+        .transition("fetch", "decode", Expr::one())
+        .transition("decode", StateId::End, Expr::one())
+        .build()?;
+    let thumbnail = Service::Composite(CompositeService::new(
+        "thumbnail",
+        vec!["size".to_string()],
+        flow,
+    )?);
+
+    // 3. Assemble and validate.
+    let assembly = AssemblyBuilder::new()
+        .service(cpu)
+        .service(storage)
+        .service(thumbnail)
+        .build()?;
+
+    // 4. Predict for a few image sizes.
+    let evaluator = Evaluator::new(&assembly);
+    println!(
+        "{:>12} {:>16} {:>14}",
+        "size (bytes)", "Pfail", "reliability"
+    );
+    for size in [10e3, 100e3, 1e6, 10e6] {
+        let env = Bindings::new().with("size", size);
+        let pfail = evaluator.failure_probability(&"thumbnail".into(), &env)?;
+        println!(
+            "{:>12.0} {:>16.6e} {:>14.9}",
+            size,
+            pfail.value(),
+            pfail.complement().value()
+        );
+    }
+
+    // 5. Ask where the unreliability comes from.
+    let report = evaluator.report(&"thumbnail".into(), &Bindings::new().with("size", 1e6))?;
+    println!("\n{report}");
+    Ok(())
+}

@@ -1,0 +1,114 @@
+//! Reliability-driven service selection: rank candidate providers for two
+//! slots of a document-processing assembly by predicted whole-assembly
+//! reliability (the paper's §1 motivation for automated prediction).
+//!
+//! Run with: `cargo run --example service_selection`
+
+use archrel::core::selection::{select, SelectionProblem, Slot};
+use archrel::core::sensitivity::binding_sensitivities;
+use archrel::core::Evaluator;
+use archrel::expr::{Bindings, Expr};
+use archrel::model::{
+    catalog, AssemblyBuilder, CompositeService, FlowBuilder, FlowState, Service, ServiceCall,
+    StateId,
+};
+
+fn pipeline() -> Result<Service, Box<dyn std::error::Error>> {
+    // OCR the document, then translate it; costs scale with page count.
+    let flow = FlowBuilder::new()
+        .state(FlowState::new(
+            "ocr",
+            vec![ServiceCall::new("ocr").with_param("pages", Expr::param("pages"))],
+        ))
+        .state(FlowState::new(
+            "translate",
+            vec![ServiceCall::new("translate")
+                .with_param("words", Expr::num(350.0) * Expr::param("pages"))],
+        ))
+        .transition(StateId::Start, "ocr", Expr::one())
+        .transition("ocr", "translate", Expr::one())
+        .transition("translate", StateId::End, Expr::one())
+        .build()?;
+    Ok(Service::Composite(CompositeService::new(
+        "pipeline",
+        vec!["pages".to_string()],
+        flow,
+    )?))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Candidate providers publish per-unit failure laws: cheap providers
+    // fail more per word/page.
+    let ocr_pool = Slot::new(
+        "ocr provider",
+        vec![
+            Service::Simple(archrel::model::SimpleService::new(
+                "ocr",
+                "pages",
+                archrel::model::FailureModel::PerUnit { probability: 2e-4 },
+            )),
+            Service::Simple(archrel::model::SimpleService::new(
+                "ocr",
+                "pages",
+                archrel::model::FailureModel::PerUnit { probability: 5e-5 },
+            )),
+        ],
+    );
+    let translate_pool = Slot::new(
+        "translation provider",
+        vec![
+            catalog::blackbox_service("translate", "words", 3e-3),
+            Service::Simple(archrel::model::SimpleService::new(
+                "translate",
+                "words",
+                archrel::model::FailureModel::PerUnit { probability: 1e-6 },
+            )),
+        ],
+    );
+
+    let problem = SelectionProblem::new(
+        vec![pipeline()?],
+        vec![ocr_pool, translate_pool],
+        "pipeline",
+        Bindings::new().with("pages", 40.0),
+    );
+    let ranking = select(&problem)?;
+
+    println!("document pipeline, 40 pages: provider ranking\n");
+    println!(
+        "{:>5} {:>6} {:>12} {:>14} {:>14}",
+        "rank", "ocr", "translate", "Pfail", "reliability"
+    );
+    for (i, r) in ranking.iter().enumerate() {
+        println!(
+            "{:>5} {:>6} {:>12} {:>14.6e} {:>14.9}",
+            i + 1,
+            ["cheap", "good"][r.choices[0]],
+            ["flat-3e-3", "per-word"][r.choices[1]],
+            r.failure_probability.value(),
+            r.reliability().value()
+        );
+    }
+
+    // For the winning assembly, which invocation parameter matters most?
+    let best = &ranking[0];
+    let mut builder = AssemblyBuilder::new().service(pipeline()?);
+    for (slot, &choice) in problem.slots.iter().zip(&best.choices) {
+        builder = builder.service(slot.candidates[choice].clone());
+    }
+    let assembly = builder.build()?;
+    let evaluator = Evaluator::new(&assembly);
+    let sens = binding_sensitivities(
+        &evaluator,
+        &"pipeline".into(),
+        &Bindings::new().with("pages", 40.0),
+    )?;
+    println!("\nsensitivities of the winning assembly:");
+    for s in sens {
+        println!(
+            "  {}: dPfail/d{} = {:.3e}, elasticity = {:.3}",
+            s.name, s.name, s.derivative, s.elasticity
+        );
+    }
+    Ok(())
+}

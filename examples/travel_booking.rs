@@ -1,0 +1,143 @@
+//! A SOC scenario in the spirit of the paper's §1 motivation: a travel
+//! booking service composed from independently provided flight, hotel, and
+//! payment services — with a twist the paper's §3.2 is all about.
+//!
+//! Two architectures are compared:
+//!
+//! - **design A** pays through two *different* payment gateways (true OR
+//!   redundancy);
+//! - **design B** pays through two replicas that both resolve to the *same*
+//!   gateway (OR redundancy on paper, shared service in reality).
+//!
+//! The no-sharing models of the related work rate A and B identically;
+//! Grassi's model exposes B's redundancy as an illusion, and a Monte Carlo
+//! simulation confirms the prediction.
+//!
+//! Run with: `cargo run --release --example travel_booking`
+
+use archrel::core::Evaluator;
+use archrel::expr::{Bindings, Expr};
+use archrel::model::{
+    catalog, Assembly, AssemblyBuilder, CompletionModel, CompositeService, DependencyModel,
+    FlowBuilder, FlowState, Service, ServiceCall, StateId,
+};
+use archrel::sim::{estimate, SimulationOptions};
+
+const GATEWAY_PFAIL: f64 = 0.02;
+
+/// Builds the travel service; `shared_payment` selects design B.
+fn travel_assembly(shared_payment: bool) -> Result<Assembly, Box<dyn std::error::Error>> {
+    let mut builder = AssemblyBuilder::new()
+        .service(catalog::blackbox_service("flight", "pax", 5e-3))
+        .service(catalog::blackbox_service("hotel", "nights", 8e-3))
+        .service(catalog::blackbox_service(
+            "gateway_a",
+            "amount",
+            GATEWAY_PFAIL,
+        ));
+    if !shared_payment {
+        builder = builder.service(catalog::blackbox_service(
+            "gateway_b",
+            "amount",
+            GATEWAY_PFAIL,
+        ));
+    }
+
+    // Book flight and hotel in one AND state (both must succeed), then pay
+    // through an OR state with two gateway requests.
+    let second_gateway = if shared_payment {
+        "gateway_a"
+    } else {
+        "gateway_b"
+    };
+    let pay_state = FlowState::new(
+        "pay",
+        vec![
+            ServiceCall::new("gateway_a").with_param("amount", Expr::param("amount")),
+            ServiceCall::new(second_gateway).with_param("amount", Expr::param("amount")),
+        ],
+    )
+    .with_completion(CompletionModel::Or)
+    .with_dependency(if shared_payment {
+        DependencyModel::Shared
+    } else {
+        DependencyModel::Independent
+    });
+
+    let flow = FlowBuilder::new()
+        .state(FlowState::new(
+            "book",
+            vec![
+                ServiceCall::new("flight").with_param("pax", Expr::param("pax")),
+                ServiceCall::new("hotel").with_param("nights", Expr::param("nights")),
+            ],
+        ))
+        .state(pay_state)
+        .transition(StateId::Start, "book", Expr::one())
+        .transition("book", "pay", Expr::one())
+        .transition("pay", StateId::End, Expr::one())
+        .build()?;
+
+    Ok(builder
+        .service(Service::Composite(CompositeService::new(
+            "travel",
+            vec![
+                "pax".to_string(),
+                "nights".to_string(),
+                "amount".to_string(),
+            ],
+            flow,
+        )?))
+        .build()?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let env = Bindings::new()
+        .with("pax", 2.0)
+        .with("nights", 5.0)
+        .with("amount", 1800.0);
+
+    println!("travel booking: OR-redundant payment, gateway Pfail = {GATEWAY_PFAIL}\n");
+    for (label, shared) in [
+        ("design A: two distinct gateways", false),
+        ("design B: two replicas, one shared gateway", true),
+    ] {
+        let assembly = travel_assembly(shared)?;
+        let predicted = Evaluator::new(&assembly)
+            .failure_probability(&"travel".into(), &env)?
+            .value();
+        let sim = estimate(
+            &assembly,
+            &"travel".into(),
+            &env,
+            &SimulationOptions {
+                trials: 300_000,
+                seed: 5,
+                threads: 4,
+            },
+        )?;
+        println!("{label}");
+        println!("  predicted Pfail : {predicted:.6e}");
+        println!(
+            "  simulated Pfail : {:.6e}  (95% CI [{:.3e}, {:.3e}])",
+            sim.failure_probability, sim.ci_low, sim.ci_high
+        );
+        println!(
+            "  prediction inside CI: {}\n",
+            if sim.contains(predicted) { "yes" } else { "NO" }
+        );
+    }
+
+    println!("# A no-sharing model scores both designs like design A, where the payment");
+    println!(
+        "# step fails with ~{:.0e} (both gateways must fail). Under sharing the",
+        GATEWAY_PFAIL * GATEWAY_PFAIL
+    );
+    println!("# redundancy inverts: either replica's failure poisons the shared gateway");
+    println!(
+        "# (no repair), so design B's payment step fails with ~{:.1e} — worse than",
+        1.0 - (1.0 - GATEWAY_PFAIL) * (1.0 - GATEWAY_PFAIL)
+    );
+    println!("# a single un-replicated call.");
+    Ok(())
+}

@@ -1,0 +1,116 @@
+//! Trusting a prediction built from third-party numbers: epistemic
+//! uncertainty propagation and the improvement advisor on one model.
+//!
+//! A checkout service depends on an inventory lookup, a payment gateway, and
+//! a fraud check. The published failure rates carry error bars (the
+//! providers measured them). We ask three questions the paper's §1 implies
+//! an architect must answer:
+//!
+//! 1. What is the predicted reliability, and how wide is its uncertainty?
+//! 2. Which dependency dominates the risk (where to spend effort)?
+//! 3. How much must that dependency improve to hit an SLO?
+//!
+//! Run with: `cargo run --example uncertainty_analysis`
+
+use archrel::core::improvement::{rank_levers, required_factor, Lever};
+use archrel::core::uncertainty::{interval, propagate, FactorDistribution, UncertainQuantity};
+use archrel::core::Evaluator;
+use archrel::expr::{Bindings, Expr};
+use archrel::model::{
+    catalog, Assembly, AssemblyBuilder, CompositeService, FlowBuilder, FlowState, Probability,
+    Service, ServiceCall, StateId,
+};
+
+fn checkout_assembly() -> Result<Assembly, Box<dyn std::error::Error>> {
+    let flow = FlowBuilder::new()
+        .state(FlowState::new(
+            "reserve",
+            vec![ServiceCall::new("inventory").with_param("items", Expr::param("items"))],
+        ))
+        .state(FlowState::new(
+            "screen",
+            vec![ServiceCall::new("fraud").with_param("amount", Expr::param("amount"))],
+        ))
+        .state(FlowState::new(
+            "charge",
+            vec![ServiceCall::new("payment").with_param("amount", Expr::param("amount"))],
+        ))
+        .transition(StateId::Start, "reserve", Expr::one())
+        .transition("reserve", "screen", Expr::one())
+        // 10% of orders skip fraud screening (trusted customers).
+        .transition("screen", "charge", Expr::one())
+        .transition("charge", StateId::End, Expr::one())
+        .build()?;
+    Ok(AssemblyBuilder::new()
+        .service(catalog::blackbox_service("inventory", "items", 2e-4))
+        .service(catalog::blackbox_service("fraud", "amount", 1.5e-3))
+        .service(catalog::blackbox_service("payment", "amount", 8e-4))
+        .service(Service::Composite(CompositeService::new(
+            "checkout",
+            vec!["items".to_string(), "amount".to_string()],
+            flow,
+        )?))
+        .build()?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let assembly = checkout_assembly()?;
+    let env = Bindings::new().with("items", 3.0).with("amount", 120.0);
+    let target = &"checkout".into();
+
+    // 1. Point prediction and its uncertainty.
+    let point = Evaluator::new(&assembly).failure_probability(target, &env)?;
+    println!("point prediction: Pfail = {:.6e}\n", point.value());
+
+    let quantities = vec![
+        UncertainQuantity::rate_within_factor("inventory", 2.0)?,
+        UncertainQuantity::rate_within_factor("payment", 3.0)?,
+        UncertainQuantity {
+            lever: Lever::ServiceFailure("fraud".into()),
+            distribution: FactorDistribution::Uniform {
+                low: 0.8,
+                high: 1.5,
+            },
+        },
+    ];
+    let summary = propagate(&assembly, target, &env, &quantities, 2000, 11)?;
+    let (lo, hi) = interval(&assembly, target, &env, &quantities)?;
+    println!("with published error bars (inventory 2x, payment 3x, fraud +50%/-20%):");
+    println!(
+        "  Monte Carlo (n = {}): mean {:.3e}, p05 {:.3e}, p50 {:.3e}, p95 {:.3e}",
+        summary.samples, summary.mean, summary.p05, summary.p50, summary.p95
+    );
+    println!(
+        "  guaranteed bounds   : [{:.3e}, {:.3e}]\n",
+        lo.value(),
+        hi.value()
+    );
+
+    // 2. Where does the risk live?
+    println!("improvement levers, ranked by head-room:");
+    for a in rank_levers(&assembly, target, &env)? {
+        println!(
+            "  {:<24} head-room {:.3e}",
+            a.lever.service().to_string(),
+            a.head_room
+        );
+    }
+
+    // 3. Sizing the fix for a 10x-better SLO.
+    let slo = Probability::new(point.value() / 10.0)?;
+    println!("\nSLO: Pfail <= {:.3e}", slo.value());
+    for name in ["fraud", "payment", "inventory"] {
+        let lever = Lever::ServiceFailure(name.into());
+        match required_factor(&assembly, target, &env, &lever, slo)? {
+            Some(f) if f < 1.0 => {
+                println!(
+                    "  improving {name} alone: needs a {:.1}x better rate",
+                    1.0 / f
+                )
+            }
+            Some(_) => println!("  {name}: already sufficient"),
+            None => println!("  improving {name} alone: cannot reach the SLO"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! # archrel — Architecture-Based Reliability Prediction for Service-Oriented Computing
+//!
+//! A complete implementation of Grassi's compositional reliability model
+//! (Architecting Dependable Systems III, LNCS 3549, 2005): services —
+//! software components, CPUs, networks, and the connectors wiring them —
+//! publish *analytic interfaces* (closed-form failure laws or parametric
+//! request flows), and the engine predicts the failure probability of any
+//! assembled service from them.
+//!
+//! This facade re-exports the whole workspace:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`model`] | the unified service model: resources, connectors, flows, assemblies |
+//! | [`core`] | the prediction engine: numeric, symbolic, selection, sensitivities, improvement, uncertainty, error propagation |
+//! | [`sim`] | Monte Carlo validation (Wilson CIs, importance sampling) |
+//! | [`perf`] | the performance extension: expected latency, Pareto frontiers |
+//! | [`baselines`] | Cheung / path-based / no-sharing comparison models |
+//! | [`profile`] | usage-profile estimation (MLE, HMM) |
+//! | [`dsl`] | the assembly description language and Graphviz export |
+//! | [`markov`], [`linalg`], [`expr`] | the DTMC, linear-algebra, and symbolic-expression substrates |
+//!
+//! # Example
+//!
+//! The paper's own evaluation scenario, in four lines:
+//!
+//! ```
+//! use archrel::core::Evaluator;
+//! use archrel::model::paper;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let assembly = paper::local_assembly(&paper::PaperParams::default())?;
+//! let reliability = Evaluator::new(&assembly)
+//!     .reliability(&paper::SEARCH.into(), &paper::search_bindings(4.0, 1024.0, 1.0))?;
+//! assert!(reliability.value() > 0.98);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See the `examples/` directory for eight runnable scenarios, `DESIGN.md`
+//! for the system inventory, and `EXPERIMENTS.md` for the paper-vs-measured
+//! reproduction record.
+
+#![forbid(unsafe_code)]
+
+pub use archrel_baselines as baselines;
+pub use archrel_core as core;
+pub use archrel_dsl as dsl;
+pub use archrel_expr as expr;
+pub use archrel_linalg as linalg;
+pub use archrel_markov as markov;
+pub use archrel_model as model;
+pub use archrel_perf as perf;
+pub use archrel_profile as profile;
+pub use archrel_sim as sim;

@@ -1,0 +1,154 @@
+//! Integration tests spanning the engine, the related-work baselines, and
+//! the Monte Carlo simulator.
+
+use archrel::baselines::{evaluate_without_sharing, from_assembly, PathOptions};
+use archrel::core::Evaluator;
+use archrel::expr::{Bindings, Expr};
+use archrel::model::{
+    catalog, paper, AssemblyBuilder, CompletionModel, CompositeService, DependencyModel,
+    FlowBuilder, FlowState, Service, ServiceCall, StateId,
+};
+use archrel::sim::{estimate, SimulationOptions};
+
+fn replicated(
+    n: usize,
+    pfail: f64,
+    completion: CompletionModel,
+    dependency: DependencyModel,
+) -> archrel::model::Assembly {
+    let calls: Vec<ServiceCall> = (0..n)
+        .map(|_| ServiceCall::new("backend").with_param("x", Expr::num(1.0)))
+        .collect();
+    let flow = FlowBuilder::new()
+        .state(
+            FlowState::new("r", calls)
+                .with_completion(completion)
+                .with_dependency(dependency),
+        )
+        .transition(StateId::Start, "r", Expr::one())
+        .transition("r", StateId::End, Expr::one())
+        .build()
+        .unwrap();
+    AssemblyBuilder::new()
+        .service(catalog::blackbox_service("backend", "x", pfail))
+        .service(Service::Composite(
+            CompositeService::new("app", vec![], flow).unwrap(),
+        ))
+        .build()
+        .unwrap()
+}
+
+/// The sharing result (§3.2), checked through all three lenses at once:
+/// engine, no-sharing baseline, and simulation.
+#[test]
+fn sharing_result_consistent_across_engine_baseline_and_simulation() {
+    let opts = SimulationOptions {
+        trials: 120_000,
+        seed: 1234,
+        threads: 4,
+    };
+    // AND: sharing irrelevant, everything agrees.
+    let and_shared = replicated(3, 0.1, CompletionModel::And, DependencyModel::Shared);
+    let engine = Evaluator::new(&and_shared)
+        .failure_probability(&"app".into(), &Bindings::new())
+        .unwrap()
+        .value();
+    let baseline = evaluate_without_sharing(&and_shared, &"app".into(), &Bindings::new())
+        .unwrap()
+        .value();
+    assert!((engine - baseline).abs() < 1e-12);
+    let sim = estimate(&and_shared, &"app".into(), &Bindings::new(), &opts).unwrap();
+    assert!(sim.contains(engine));
+
+    // OR: sharing catastrophic; engine and simulation agree with each other
+    // and expose the baseline's optimism.
+    let or_shared = replicated(3, 0.1, CompletionModel::Or, DependencyModel::Shared);
+    let engine = Evaluator::new(&or_shared)
+        .failure_probability(&"app".into(), &Bindings::new())
+        .unwrap()
+        .value();
+    let baseline = evaluate_without_sharing(&or_shared, &"app".into(), &Bindings::new())
+        .unwrap()
+        .value();
+    let sim = estimate(&or_shared, &"app".into(), &Bindings::new(), &opts).unwrap();
+    assert!(sim.contains(engine), "simulation validates the full model");
+    assert!(
+        !sim.contains(baseline),
+        "simulation rejects the no-sharing baseline ({baseline} in [{}, {}])",
+        sim.ci_low,
+        sim.ci_high
+    );
+    assert!(engine > baseline * 50.0);
+}
+
+#[test]
+fn cheung_and_path_based_match_engine_on_frozen_bindings() {
+    let params = paper::PaperParams::default().with_gamma(2.5e-2);
+    let assembly = paper::remote_assembly(&params).unwrap();
+    for list in [128.0, 2048.0, 16384.0] {
+        let env = paper::search_bindings(4.0, list, 1.0);
+        let engine = Evaluator::new(&assembly)
+            .reliability(&paper::SEARCH.into(), &env)
+            .unwrap()
+            .value();
+        let lowered = from_assembly(&assembly, &paper::SEARCH.into(), &env).unwrap();
+        let cheung = lowered.cheung_reliability().unwrap();
+        let path = lowered
+            .path_based_reliability(PathOptions::default())
+            .unwrap();
+        assert!((engine - cheung).abs() < 1e-12, "list {list}");
+        assert!((engine - path).abs() < 1e-12, "list {list}");
+    }
+}
+
+#[test]
+fn k_out_of_n_quorum_validated_by_simulation() {
+    let opts = SimulationOptions {
+        trials: 120_000,
+        seed: 77,
+        threads: 4,
+    };
+    for k in [1usize, 2, 3, 4] {
+        let assembly = replicated(
+            4,
+            0.15,
+            CompletionModel::KOutOfN { k },
+            DependencyModel::Independent,
+        );
+        let predicted = Evaluator::new(&assembly)
+            .failure_probability(&"app".into(), &Bindings::new())
+            .unwrap()
+            .value();
+        let sim = estimate(&assembly, &"app".into(), &Bindings::new(), &opts).unwrap();
+        assert!(
+            sim.contains(predicted),
+            "k={k}: {predicted} outside [{}, {}]",
+            sim.ci_low,
+            sim.ci_high
+        );
+    }
+}
+
+#[test]
+fn paper_example_validated_by_simulation_on_both_assemblies() {
+    let params = paper::PaperParams::default()
+        .with_gamma(5e-2)
+        .with_phi_sort1(5e-6);
+    let env = paper::search_bindings(4.0, 8192.0, 1.0);
+    let opts = SimulationOptions {
+        trials: 120_000,
+        seed: 4242,
+        threads: 4,
+    };
+    for assembly in [
+        paper::local_assembly(&params).unwrap(),
+        paper::remote_assembly(&params).unwrap(),
+    ] {
+        let predicted = Evaluator::new(&assembly)
+            .failure_probability(&paper::SEARCH.into(), &env)
+            .unwrap()
+            .value();
+        let sim = estimate(&assembly, &paper::SEARCH.into(), &env, &opts).unwrap();
+        assert!(sim.contains(predicted));
+    }
+}

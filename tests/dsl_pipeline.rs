@@ -1,0 +1,127 @@
+//! Cross-crate pipeline tests: DSL document → validated assembly → numeric
+//! engine → symbolic engine → Monte Carlo simulation, all agreeing.
+
+use archrel::core::{symbolic, Evaluator};
+use archrel::dsl::{dot, parse_assembly, DslError};
+use archrel::expr::Bindings;
+use archrel::sim::{estimate, SimulationOptions};
+
+const DOCUMENT: &str = r#"
+    cpu node { speed: 1e9; failure_rate: 1e-10; }
+    local loc;
+    blackbox auth(tokens) { pfail: 2e-3; }
+    blackbox store(bytes) { pfail: 1e-3; }
+
+    service upload(size) {
+      state check {
+        call auth(tokens: 1);
+      }
+      state write or {
+        call store(bytes: size);
+        call store(bytes: size);
+      }
+      state index {
+        call node(n: 100 * size) via loc internal phi 1e-9;
+      }
+      start -> check : 1;
+      check -> write : 1;
+      write -> index : 0.95;
+      write -> end : 0.05;
+      index -> end : 1;
+    }
+"#;
+
+#[test]
+fn dsl_to_engine_to_simulation() {
+    let assembly = parse_assembly(DOCUMENT).unwrap();
+    let env = Bindings::new().with("size", 2048.0);
+    let predicted = Evaluator::new(&assembly)
+        .failure_probability(&"upload".into(), &env)
+        .unwrap()
+        .value();
+    assert!(predicted > 0.0 && predicted < 0.05);
+
+    // Symbolic agrees with numeric.
+    let formula = symbolic::failure_expression(&assembly, &"upload".into()).unwrap();
+    let s = formula.eval(&env).unwrap();
+    assert!((predicted - s).abs() < 1e-12);
+
+    // Simulation covers the prediction.
+    let est = estimate(
+        &assembly,
+        &"upload".into(),
+        &env,
+        &SimulationOptions {
+            trials: 150_000,
+            seed: 99,
+            threads: 4,
+        },
+    )
+    .unwrap();
+    assert!(
+        est.contains(predicted),
+        "predicted {predicted} outside [{}, {}]",
+        est.ci_low,
+        est.ci_high
+    );
+}
+
+#[test]
+fn dsl_document_round_trips_through_dot() {
+    let assembly = parse_assembly(DOCUMENT).unwrap();
+    let flow_dot = dot::service_flow_dot(&assembly, "upload").unwrap();
+    assert!(flow_dot.contains("digraph"));
+    assert!(flow_dot.contains("auth"));
+    assert!(flow_dot.contains("0.95"));
+    let assembly_dot = dot::assembly_to_dot(&assembly, "upload assembly");
+    assert!(assembly_dot.contains("\"upload\" [shape=box"));
+    assert!(assembly_dot.contains("\"loc\" [shape=diamond"));
+}
+
+#[test]
+fn dsl_reports_model_errors_with_context() {
+    // `store` requires `bytes`, the call passes `size` (wrong name).
+    let bad = r#"
+        blackbox store(bytes) { pfail: 1e-3; }
+        service app() {
+          state s { call store(size: 10); }
+          start -> s : 1;
+          s -> end : 1;
+        }
+    "#;
+    let err = parse_assembly(bad).unwrap_err();
+    match err {
+        DslError::Model(inner) => {
+            let text = inner.to_string();
+            assert!(text.contains("store") && text.contains("bytes"));
+        }
+        other => panic!("expected model error, got {other:?}"),
+    }
+}
+
+#[test]
+fn dsl_expression_errors_surface() {
+    let bad = r#"
+        cpu c { speed: 1e9 +; failure_rate: 0; }
+    "#;
+    assert!(matches!(
+        parse_assembly(bad),
+        Err(DslError::Expr(_) | DslError::Parse { .. })
+    ));
+}
+
+#[test]
+fn or_state_gives_redundancy_benefit() {
+    // Same document but with an AND write state: Pfail must be higher.
+    let and_doc = DOCUMENT.replace("state write or {", "state write and {");
+    let or_assembly = parse_assembly(DOCUMENT).unwrap();
+    let and_assembly = parse_assembly(&and_doc).unwrap();
+    let env = Bindings::new().with("size", 2048.0);
+    let p_or = Evaluator::new(&or_assembly)
+        .failure_probability(&"upload".into(), &env)
+        .unwrap();
+    let p_and = Evaluator::new(&and_assembly)
+        .failure_probability(&"upload".into(), &env)
+        .unwrap();
+    assert!(p_or.value() < p_and.value());
+}

@@ -1,0 +1,231 @@
+//! Failure-injection tests: every malformed input must surface as a typed
+//! error — the library never panics on user data.
+
+use archrel::core::{CoreError, CycleMode, EvalOptions, Evaluator};
+use archrel::expr::{Bindings, Expr};
+use archrel::model::{
+    catalog, AssemblyBuilder, CompositeService, FlowBuilder, FlowState, ModelError, Service,
+    ServiceCall, StateId,
+};
+
+fn composite(name: &str, target: &str) -> Service {
+    let flow = FlowBuilder::new()
+        .state(FlowState::new("1", vec![ServiceCall::new(target)]))
+        .transition(StateId::Start, "1", Expr::one())
+        .transition("1", StateId::End, Expr::one())
+        .build()
+        .unwrap();
+    Service::Composite(CompositeService::new(name, vec![], flow).unwrap())
+}
+
+#[test]
+fn mutually_recursive_assembly_is_a_typed_error() {
+    let assembly = AssemblyBuilder::new()
+        .service(composite("a", "b"))
+        .service(composite("b", "c"))
+        .service(composite("c", "a"))
+        .build()
+        .unwrap();
+    let err = Evaluator::new(&assembly)
+        .failure_probability(&"a".into(), &Bindings::new())
+        .unwrap_err();
+    match err {
+        CoreError::RecursiveAssembly { cycle } => {
+            assert!(cycle.len() >= 4, "cycle {cycle:?}");
+            assert_eq!(cycle.first(), cycle.last());
+        }
+        other => panic!("expected RecursiveAssembly, got {other:?}"),
+    }
+}
+
+#[test]
+fn mutually_recursive_assembly_fixed_point_converges() {
+    // a -> b -> c -> a with no escape would have Pfail 1 (never terminates);
+    // add an escape branch so the recursion terminates with probability one.
+    let make = |name: &str, target: &str, p_recurse: f64| {
+        let flow = FlowBuilder::new()
+            .state(FlowState::new("next", vec![ServiceCall::new(target)]))
+            .state(FlowState::new(
+                "leaf",
+                vec![ServiceCall::new("base").with_param("x", Expr::num(1.0))],
+            ))
+            .transition(StateId::Start, "next", Expr::num(p_recurse))
+            .transition(StateId::Start, "leaf", Expr::num(1.0 - p_recurse))
+            .transition("next", StateId::End, Expr::one())
+            .transition("leaf", StateId::End, Expr::one())
+            .build()
+            .unwrap();
+        Service::Composite(CompositeService::new(name, vec![], flow).unwrap())
+    };
+    let assembly = AssemblyBuilder::new()
+        .service(catalog::blackbox_service("base", "x", 0.1))
+        .service(make("a", "b", 0.5))
+        .service(make("b", "a", 0.5))
+        .build()
+        .unwrap();
+    let eval = Evaluator::with_options(
+        &assembly,
+        EvalOptions {
+            cycle_mode: CycleMode::FixedPoint {
+                max_iterations: 500,
+                tolerance: 1e-12,
+            },
+            ..EvalOptions::default()
+        },
+    );
+    let f = eval
+        .failure_probability(&"a".into(), &Bindings::new())
+        .unwrap()
+        .value();
+    // Fixed point: f = 0.5 f + 0.5 * 0.1  =>  f = 0.1.
+    assert!((f - 0.1).abs() < 1e-9, "fixed point {f}");
+}
+
+#[test]
+fn unknown_target_service() {
+    let assembly = AssemblyBuilder::new()
+        .service(catalog::blackbox_service("x", "p", 0.1))
+        .build()
+        .unwrap();
+    let err = Evaluator::new(&assembly)
+        .failure_probability(&"nope".into(), &Bindings::new())
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        CoreError::Model(ModelError::UnknownService { .. })
+    ));
+}
+
+#[test]
+fn unbound_formal_parameter() {
+    let assembly = AssemblyBuilder::new()
+        .service(catalog::cpu_resource("cpu", 1e9, 1e-9))
+        .build()
+        .unwrap();
+    let err = Evaluator::new(&assembly)
+        .failure_probability(&"cpu".into(), &Bindings::new().with("wrong", 1.0))
+        .unwrap_err();
+    assert!(matches!(err, CoreError::Expr(_)));
+}
+
+#[test]
+fn parametric_transition_leaving_unit_interval() {
+    let flow = FlowBuilder::new()
+        .state(FlowState::new("1", vec![]))
+        .state(FlowState::new("2", vec![]))
+        .transition(StateId::Start, "1", Expr::param("q"))
+        .transition(StateId::Start, "2", Expr::one() - Expr::param("q"))
+        .transition("1", StateId::End, Expr::one())
+        .transition("2", StateId::End, Expr::one())
+        .build()
+        .unwrap();
+    let assembly = AssemblyBuilder::new()
+        .service(Service::Composite(
+            CompositeService::new("svc", vec!["q".to_string()], flow).unwrap(),
+        ))
+        .build()
+        .unwrap();
+    let err = Evaluator::new(&assembly)
+        .failure_probability(&"svc".into(), &Bindings::new().with("q", 1.7))
+        .unwrap_err();
+    assert!(matches!(err, CoreError::BadTransitions { .. }));
+}
+
+#[test]
+fn negative_demand_from_actual_parameter() {
+    let flow = FlowBuilder::new()
+        .state(FlowState::new(
+            "1",
+            vec![ServiceCall::new("cpu").with_param("n", Expr::param("w") - Expr::num(10.0))],
+        ))
+        .transition(StateId::Start, "1", Expr::one())
+        .transition("1", StateId::End, Expr::one())
+        .build()
+        .unwrap();
+    let assembly = AssemblyBuilder::new()
+        .service(catalog::cpu_resource("cpu", 1e9, 1e-9))
+        .service(Service::Composite(
+            CompositeService::new("svc", vec!["w".to_string()], flow).unwrap(),
+        ))
+        .build()
+        .unwrap();
+    let err = Evaluator::new(&assembly)
+        .failure_probability(&"svc".into(), &Bindings::new().with("w", 3.0))
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        CoreError::Model(ModelError::InvalidDemand { .. })
+    ));
+}
+
+#[test]
+fn simulation_rejects_what_the_engine_rejects() {
+    use archrel::sim::{estimate, SimError, SimulationOptions};
+    let assembly = AssemblyBuilder::new()
+        .service(composite("a", "a"))
+        .build()
+        .unwrap();
+    let err = estimate(
+        &assembly,
+        &"a".into(),
+        &Bindings::new(),
+        &SimulationOptions {
+            trials: 10,
+            seed: 1,
+            threads: 1,
+        },
+    )
+    .unwrap_err();
+    assert!(matches!(err, SimError::DepthExceeded { .. }));
+}
+
+#[test]
+fn selection_cap_is_enforced() {
+    use archrel::core::selection::{select, SelectionProblem, Slot};
+    let candidates: Vec<Service> = (0..20)
+        .map(|_| catalog::blackbox_service("dep", "x", 0.1))
+        .collect();
+    let mut problem = SelectionProblem::new(
+        vec![{
+            let flow = FlowBuilder::new()
+                .state(FlowState::new(
+                    "1",
+                    vec![ServiceCall::new("dep").with_param("x", Expr::num(1.0))],
+                ))
+                .transition(StateId::Start, "1", Expr::one())
+                .transition("1", StateId::End, Expr::one())
+                .build()
+                .unwrap();
+            Service::Composite(CompositeService::new("app", vec![], flow).unwrap())
+        }],
+        vec![
+            Slot::new("a", candidates.clone()),
+            Slot::new("b", candidates.clone()),
+            Slot::new("c", candidates),
+        ],
+        "app",
+        Bindings::new(),
+    );
+    problem.max_combinations = 100;
+    assert!(matches!(
+        select(&problem),
+        Err(CoreError::SelectionSpaceTooLarge { .. })
+    ));
+}
+
+#[test]
+fn symbolic_rejects_cycles_with_context() {
+    use archrel::core::symbolic;
+    let assembly = AssemblyBuilder::new()
+        .service(composite("a", "b"))
+        .service(composite("b", "a"))
+        .build()
+        .unwrap();
+    let err = symbolic::failure_expression(&assembly, &"a".into()).unwrap_err();
+    match err {
+        CoreError::SymbolicUnsupported { reason, .. } => {
+            assert!(reason.contains("recursive"));
+        }
+        other => panic!("expected SymbolicUnsupported, got {other:?}"),
+    }
+}

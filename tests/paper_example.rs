@@ -1,0 +1,152 @@
+//! End-to-end reproduction tests for the paper's §4 example: the numeric
+//! engine, the symbolic engine, and the paper's hand-derived closed forms
+//! (eqs. 15–22) must agree to machine precision over the full Figure 6 grid,
+//! and the figure's qualitative claims must hold.
+
+use archrel::core::{paper_closed, symbolic, Evaluator};
+use archrel::model::paper;
+
+const TOL: f64 = 1e-12;
+
+fn grid() -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    (
+        vec![1e-6, 5e-6],
+        vec![1e-1, 5e-2, 2.5e-2, 5e-3],
+        (6..=13).map(|e| f64::from(1 << e)).collect(),
+    )
+}
+
+#[test]
+fn numeric_symbolic_and_closed_forms_agree_on_full_grid() {
+    let (phis, gammas, lists) = grid();
+    let (elem, res) = (4.0, 1.0);
+    for &phi1 in &phis {
+        for &gamma in &gammas {
+            let params = paper::PaperParams::default()
+                .with_gamma(gamma)
+                .with_phi_sort1(phi1);
+            let local = paper::local_assembly(&params).unwrap();
+            let remote = paper::remote_assembly(&params).unwrap();
+            let eval_local = Evaluator::new(&local);
+            let eval_remote = Evaluator::new(&remote);
+            let formula_local =
+                symbolic::failure_expression(&local, &paper::SEARCH.into()).unwrap();
+            let formula_remote =
+                symbolic::failure_expression(&remote, &paper::SEARCH.into()).unwrap();
+
+            for &list in &lists {
+                let env = paper::search_bindings(elem, list, res);
+
+                let n_local = eval_local
+                    .failure_probability(&paper::SEARCH.into(), &env)
+                    .unwrap()
+                    .value();
+                let s_local = formula_local.eval(&env).unwrap();
+                let c_local = paper_closed::pfail_search_local(&params, elem, list, res);
+                assert!((n_local - s_local).abs() < TOL, "local numeric vs symbolic");
+                assert!((n_local - c_local).abs() < TOL, "local numeric vs closed");
+
+                let n_remote = eval_remote
+                    .failure_probability(&paper::SEARCH.into(), &env)
+                    .unwrap()
+                    .value();
+                let s_remote = formula_remote.eval(&env).unwrap();
+                let c_remote = paper_closed::pfail_search_remote(&params, elem, list, res);
+                assert!(
+                    (n_remote - s_remote).abs() < TOL,
+                    "remote numeric vs symbolic"
+                );
+                assert!(
+                    (n_remote - c_remote).abs() < TOL,
+                    "remote numeric vs closed"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn figure6_qualitative_claims() {
+    // §4, last paragraph: who wins at the large end of the plotted range.
+    let list = 8192.0;
+    let wins_remote = |phi1: f64, gamma: f64| -> bool {
+        let params = paper::PaperParams::default()
+            .with_gamma(gamma)
+            .with_phi_sort1(phi1);
+        let env = paper::search_bindings(4.0, list, 1.0);
+        let local = paper::local_assembly(&params).unwrap();
+        let remote = paper::remote_assembly(&params).unwrap();
+        let p_local = Evaluator::new(&local)
+            .failure_probability(&paper::SEARCH.into(), &env)
+            .unwrap();
+        let p_remote = Evaluator::new(&remote)
+            .failure_probability(&paper::SEARCH.into(), &env)
+            .unwrap();
+        p_remote < p_local
+    };
+
+    assert!(wins_remote(1e-6, 5e-3));
+    assert!(!wins_remote(1e-6, 2.5e-2));
+    assert!(!wins_remote(1e-6, 5e-2));
+    assert!(!wins_remote(1e-6, 1e-1));
+    assert!(wins_remote(5e-6, 5e-3));
+    assert!(wins_remote(5e-6, 2.5e-2));
+    assert!(!wins_remote(5e-6, 5e-2));
+    assert!(!wins_remote(5e-6, 1e-1));
+}
+
+#[test]
+fn reliability_is_monotone_in_list_size() {
+    let params = paper::PaperParams::default();
+    let assembly = paper::local_assembly(&params).unwrap();
+    let eval = Evaluator::new(&assembly);
+    let mut last = -1.0;
+    for list in [16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0] {
+        let p = eval
+            .failure_probability(
+                &paper::SEARCH.into(),
+                &paper::search_bindings(4.0, list, 1.0),
+            )
+            .unwrap()
+            .value();
+        assert!(p > last, "Pfail must grow with list size");
+        last = p;
+    }
+}
+
+#[test]
+fn report_identifies_the_sort_leg_as_dominant() {
+    let params = paper::PaperParams::default();
+    let assembly = paper::remote_assembly(&params).unwrap();
+    let eval = Evaluator::new(&assembly);
+    let report = eval
+        .report(
+            &paper::SEARCH.into(),
+            &paper::search_bindings(4.0, 8192.0, 1.0),
+        )
+        .unwrap();
+    let dominant = report.dominant_state().unwrap();
+    assert_eq!(dominant.state.to_string(), "1");
+    // The sort leg's requests include the RPC-routed sort call.
+    assert!(dominant
+        .requests
+        .iter()
+        .any(|r| r.target.as_str() == paper::SORT_REMOTE));
+}
+
+#[test]
+fn recursion_levels_match_paper_structure() {
+    // §4 lists three recursion levels; the topological order respects them.
+    let params = paper::PaperParams::default();
+    let assembly = paper::remote_assembly(&params).unwrap();
+    let order = assembly.topological_order().unwrap();
+    let pos = |name: &str| order.iter().position(|s| s.as_str() == name).unwrap();
+    // level 0 before level 1:
+    assert!(pos(paper::CPU1) < pos(paper::RPC));
+    assert!(pos(paper::CPU2) < pos(paper::RPC));
+    assert!(pos(paper::NET) < pos(paper::RPC));
+    assert!(pos(paper::CPU2) < pos(paper::SORT_REMOTE));
+    // level 1 before level 2:
+    assert!(pos(paper::RPC) < pos(paper::SEARCH));
+    assert!(pos(paper::SORT_REMOTE) < pos(paper::SEARCH));
+}

@@ -1,0 +1,103 @@
+//! Cross-crate integration of the performance extension: the latency
+//! evaluator, the reliability engine, the sampler, and the DSL front end
+//! working on one model.
+
+use archrel::core::Evaluator;
+use archrel::dsl::parse_assembly;
+use archrel::expr::Bindings;
+use archrel::model::paper;
+use archrel::perf::{
+    failure_aware_latency, sample_mean_latency, LatencyEvaluator, LatencyModel, PerfConfig,
+};
+
+#[test]
+fn paper_assemblies_have_consistent_qos() {
+    let params = paper::PaperParams::default();
+    let local = paper::local_assembly(&params).unwrap();
+    let remote = paper::remote_assembly(&params).unwrap();
+    let env = paper::search_bindings(4.0, 4096.0, 1.0);
+
+    let t_local = LatencyEvaluator::new(&local, PerfConfig::default())
+        .expected_latency(&paper::SEARCH.into(), &env)
+        .unwrap();
+    let t_remote = LatencyEvaluator::new(&remote, PerfConfig::default())
+        .expected_latency(&paper::SEARCH.into(), &env)
+        .unwrap();
+    // Same CPU speeds, but the remote assembly adds marshalling and a slow
+    // network: it must be slower.
+    assert!(t_remote > t_local);
+    assert!(t_local > 0.0);
+
+    // Latency grows with the list size on both assemblies.
+    let env_big = paper::search_bindings(4.0, 16384.0, 1.0);
+    assert!(
+        LatencyEvaluator::new(&local, PerfConfig::default())
+            .expected_latency(&paper::SEARCH.into(), &env_big)
+            .unwrap()
+            > t_local
+    );
+}
+
+#[test]
+fn failure_aware_latency_bounded_by_failure_free() {
+    let params = paper::PaperParams::default()
+        .with_gamma(0.1)
+        .with_phi_sort1(1e-4);
+    let remote = paper::remote_assembly(&params).unwrap();
+    for list in [256.0, 4096.0, 65536.0] {
+        let env = paper::search_bindings(4.0, list, 1.0);
+        let free = LatencyEvaluator::new(&remote, PerfConfig::default())
+            .expected_latency(&paper::SEARCH.into(), &env)
+            .unwrap();
+        let aware =
+            failure_aware_latency(&remote, &paper::SEARCH.into(), &env, PerfConfig::default())
+                .unwrap();
+        assert!(aware <= free + 1e-15, "list {list}: {aware} > {free}");
+        assert!(aware > 0.0);
+    }
+}
+
+#[test]
+fn sampled_latency_validates_analytic_on_dsl_model() {
+    let source = r#"
+        cpu node { speed: 1e9; failure_rate: 1e-12; }
+        local loc;
+        blackbox cache(keys) { pfail: 0.001; }
+        service lookup(keys) {
+          state try_cache {
+            call cache(keys: keys);
+          }
+          state compute {
+            call node(n: 5000 * keys) via loc;
+          }
+          start -> try_cache : 1;
+          try_cache -> end : 0.7;
+          try_cache -> compute : 0.3;
+          compute -> end : 1;
+        }
+    "#;
+    let assembly = parse_assembly(source).unwrap();
+    let env = Bindings::new().with("keys", 100.0);
+    // Give the cache a constant latency so both states contribute.
+    let config = PerfConfig::default().with_latency("cache", LatencyModel::Constant { time: 1e-4 });
+    let analytic = LatencyEvaluator::new(&assembly, config.clone())
+        .expected_latency(&"lookup".into(), &env)
+        .unwrap();
+    // Hand computation: cache always (1e-4), compute with prob 0.3
+    // (5000 * 100 / 1e9 = 5e-4).
+    let expected = 1e-4 + 0.3 * 5e-4;
+    assert!((analytic - expected).abs() < 1e-12);
+
+    let (sampled, stderr) =
+        sample_mean_latency(&assembly, &"lookup".into(), &env, config, 30_000, 3).unwrap();
+    assert!(
+        (sampled - analytic).abs() < 4.0 * stderr.max(1e-12),
+        "sampled {sampled} vs analytic {analytic}"
+    );
+
+    // And the reliability engine runs on the very same model.
+    let p = Evaluator::new(&assembly)
+        .failure_probability(&"lookup".into(), &env)
+        .unwrap();
+    assert!(p.value() > 0.0 && p.value() < 0.01);
+}
