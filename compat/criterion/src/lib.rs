@@ -1,0 +1,332 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses:
+//! `criterion_group!` / `criterion_main!`, benchmark groups with
+//! `sample_size` / `throughput` / `bench_function` / `bench_with_input`, and
+//! a `Bencher` whose `iter` measures wall-clock time.
+//!
+//! Statistics are deliberately simple: after a short warm-up each sample
+//! times a batch of iterations, and the median per-iteration time (plus
+//! throughput, when declared) is printed. Good enough to compare code paths
+//! and to detect order-of-magnitude regressions; not a substitute for
+//! upstream criterion's analysis.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock budget per benchmark (all samples together).
+const MEASURE_BUDGET: Duration = Duration::from_millis(400);
+/// Warm-up budget before sampling.
+const WARMUP_BUDGET: Duration = Duration::from_millis(60);
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+/// Throughput declaration for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Identifier that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion of the various id types accepted by `bench_function`.
+pub trait IntoBenchmarkId {
+    /// The rendered identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        run_benchmark(&id, 100, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares the work per iteration, enabling throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into_id());
+        run_benchmark(&id, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Benchmarks a closure over one input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.into_id());
+        run_benchmark(&id, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    /// Iterations per timed batch.
+    batch: u64,
+    /// Per-sample durations of the last run.
+    samples: Vec<Duration>,
+    sample_size: usize,
+    mode: Mode,
+}
+
+enum Mode {
+    Warmup { spent: Duration, iters: u64 },
+    Measure,
+}
+
+impl Bencher {
+    /// Times `f`, first calibrating a batch size during warm-up and then
+    /// collecting `sample_size` timed batches.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::Warmup {
+                ref mut spent,
+                ref mut iters,
+            } => {
+                let start = Instant::now();
+                black_box(f());
+                *spent += start.elapsed();
+                *iters += 1;
+            }
+            Mode::Measure => {
+                self.samples.clear();
+                for _ in 0..self.sample_size {
+                    let start = Instant::now();
+                    for _ in 0..self.batch {
+                        black_box(f());
+                    }
+                    self.samples.push(start.elapsed());
+                }
+            }
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    // Warm-up: run the closure until the budget is spent to estimate cost.
+    let mut bencher = Bencher {
+        batch: 1,
+        samples: Vec::new(),
+        sample_size,
+        mode: Mode::Warmup {
+            spent: Duration::ZERO,
+            iters: 0,
+        },
+    };
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < WARMUP_BUDGET {
+        f(&mut bencher);
+        warm_iters += 1;
+        if let Mode::Warmup { iters, .. } = bencher.mode {
+            if iters == 0 && warm_iters > 3 {
+                break; // closure never called iter(); nothing to calibrate
+            }
+        }
+    }
+    let per_iter = match bencher.mode {
+        Mode::Warmup { spent, iters } if iters > 0 => spent / iters as u32,
+        _ => Duration::from_micros(1),
+    };
+
+    // Choose a batch size so that all samples fit the measurement budget.
+    let total_iters =
+        (MEASURE_BUDGET.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 5_000_000) as u64;
+    let batch = (total_iters / sample_size as u64).max(1);
+
+    bencher.batch = batch;
+    bencher.mode = Mode::Measure;
+    f(&mut bencher);
+
+    if bencher.samples.is_empty() {
+        println!("{id:<48} (no measurement: closure never called iter())");
+        return;
+    }
+    let mut per_iter_times: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() / batch as f64)
+        .collect();
+    per_iter_times.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let median = per_iter_times[per_iter_times.len() / 2];
+    let lo = per_iter_times[0];
+    let hi = per_iter_times[per_iter_times.len() - 1];
+
+    let mut line = format!(
+        "{id:<48} time: [{} {} {}]",
+        format_time(lo),
+        format_time(median),
+        format_time(hi)
+    );
+    if let Some(tp) = throughput {
+        let (count, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        let rate = count as f64 / median;
+        line.push_str(&format!("  thrpt: {rate:.3e} {unit}/s"));
+    }
+    println!("{line}");
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("compat-test");
+        group.sample_size(5);
+        group.throughput(Throughput::Elements(64));
+        group.bench_function("sum", |b| b.iter(|| (0..64u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum-n", 128), &128u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn ids_render_as_expected() {
+        assert_eq!(BenchmarkId::new("depth", 4).into_id(), "depth/4");
+        assert_eq!(BenchmarkId::from_parameter(16).into_id(), "16");
+    }
+}

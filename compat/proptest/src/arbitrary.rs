@@ -1,0 +1,63 @@
+//! `any::<T>()` for the primitive types the workspace might reach for.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for an arbitrary value of `T`.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Creates an [`Any`] strategy for `T`.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any(std::marker::PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.bits() & 1 == 1
+    }
+}
+
+impl Strategy for Any<u64> {
+    type Value = u64;
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        rng.bits()
+    }
+}
+
+impl Strategy for Any<u32> {
+    type Value = u32;
+    fn generate(&self, rng: &mut TestRng) -> u32 {
+        (rng.bits() >> 32) as u32
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, wide dynamic range.
+        let mag = (rng.unit_f64() * 600.0 - 300.0).exp2();
+        if rng.bits() & 1 == 1 {
+            mag
+        } else {
+            -mag
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_f64_is_finite() {
+        let mut rng = TestRng::from_seed(17);
+        for _ in 0..1000 {
+            assert!(any::<f64>().generate(&mut rng).is_finite());
+        }
+    }
+}

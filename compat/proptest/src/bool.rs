@@ -1,0 +1,35 @@
+//! Boolean strategies (`proptest::bool::ANY`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for a uniformly random `bool`.
+#[derive(Debug, Clone, Copy)]
+pub struct BoolAny;
+
+/// Generates `true` or `false` with equal probability.
+pub const ANY: BoolAny = BoolAny;
+
+impl Strategy for BoolAny {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.bits() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_values() {
+        let mut rng = TestRng::from_seed(11);
+        let mut trues = 0;
+        for _ in 0..1000 {
+            if ANY.generate(&mut rng) {
+                trues += 1;
+            }
+        }
+        assert!((300..700).contains(&trues), "{trues} trues out of 1000");
+    }
+}

@@ -1,0 +1,118 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! Differences from upstream:
+//!
+//! - **No shrinking.** A failing case panics immediately; the runner prints
+//!   the case number and the deterministic seed (override with
+//!   `PROPTEST_SEED=<u64>`) so the failure reproduces exactly.
+//! - Strategies are plain value generators (`Strategy::generate`), not
+//!   `ValueTree`s.
+//! - String strategies support the regex subset the workspace's tests use:
+//!   literals, escapes, `(...)` groups, `|` alternation, `[a-z0-9]` classes,
+//!   `\PC` (any printable char), and `{m,n}` / `*` / `+` / `?` quantifiers.
+//!
+//! The number of cases per test defaults to 256 (like upstream) and can be
+//! overridden globally with `PROPTEST_CASES=<n>` or per block with
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod bool;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything a test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property test (panics on failure, like
+/// `assert!` — this stand-in has no shrinking phase to return into).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_ne!($left, $right, $($fmt)*) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let cases = config.resolved_cases();
+                let strategies = ($($strat,)+);
+                let (seed, mut rng) = $crate::test_runner::TestRng::for_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for case in 0..cases {
+                    let guard = $crate::test_runner::CaseGuard::new(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                        seed,
+                    );
+                    let ($($pat,)+) =
+                        $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                    // The body runs in a closure returning `Result` so that
+                    // upstream-style `return Ok(())` early exits work.
+                    let outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    outcome.expect("property test case rejected");
+                    guard.disarm();
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,359 @@
+//! String strategies from regex-like patterns: `impl Strategy for &str`.
+//!
+//! Supports the generation-side subset the workspace's tests use:
+//! literal characters, `(...)` groups, `|` alternation, `[a-z0-9]` classes,
+//! escapes (`\n`, `\t`, `\d`, `\w`, `\{`, `\PC`, ...), and the quantifiers
+//! `{m}`, `{m,n}`, `*`, `+`, `?`. Patterns are parsed on first use per
+//! generation; they are tiny, so this is not a bottleneck.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Upper repetition bound substituted for the open-ended `*` and `+`.
+const UNBOUNDED_MAX: u32 = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// Alternatives (split on `|`); generation picks one uniformly.
+    Alt(Vec<Node>),
+    /// Concatenation of repeated atoms.
+    Seq(Vec<Repeat>),
+}
+
+#[derive(Debug, Clone)]
+struct Repeat {
+    atom: Atom,
+    min: u32,
+    max: u32, // inclusive
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// Inclusive character ranges, e.g. `[a-z0-9_]`.
+    Class(Vec<(char, char)>),
+    /// `\PC`: any printable (non-control) character, including multibyte.
+    AnyPrintable,
+    Group(Box<Node>),
+}
+
+/// Printable pool sampled by `\PC`: ASCII plus a few multibyte characters so
+/// generated strings exercise UTF-8 char-boundary handling.
+const EXOTIC: &[char] = &['é', 'ß', 'λ', 'Ж', '中', '🦀', '∑', '¤'];
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    pattern: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Self {
+        Parser {
+            chars: pattern.chars().peekable(),
+            pattern,
+        }
+    }
+
+    fn fail(&self, what: &str) -> ! {
+        panic!("unsupported regex pattern {:?}: {what}", self.pattern);
+    }
+
+    fn parse_alt(&mut self) -> Node {
+        let mut alts = vec![self.parse_seq()];
+        while self.chars.peek() == Some(&'|') {
+            self.chars.next();
+            alts.push(self.parse_seq());
+        }
+        if alts.len() == 1 {
+            alts.pop().expect("one alternative")
+        } else {
+            Node::Alt(alts)
+        }
+    }
+
+    fn parse_seq(&mut self) -> Node {
+        let mut items = Vec::new();
+        while let Some(&c) = self.chars.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom();
+            let (min, max) = self.parse_quantifier();
+            items.push(Repeat { atom, min, max });
+        }
+        Node::Seq(items)
+    }
+
+    fn parse_atom(&mut self) -> Atom {
+        match self.chars.next() {
+            Some('(') => {
+                let inner = self.parse_alt();
+                if self.chars.next() != Some(')') {
+                    self.fail("unclosed group");
+                }
+                Atom::Group(Box::new(inner))
+            }
+            Some('[') => self.parse_class(),
+            Some('\\') => self.parse_escape(),
+            Some('.') => Atom::AnyPrintable,
+            Some(c) => Atom::Literal(c),
+            None => self.fail("dangling atom"),
+        }
+    }
+
+    fn parse_class(&mut self) -> Atom {
+        let mut ranges = Vec::new();
+        loop {
+            let lo = match self.chars.next() {
+                Some(']') => break,
+                Some('\\') => match self.chars.next() {
+                    Some(e) => unescape_char(e),
+                    None => self.fail("dangling class escape"),
+                },
+                Some(c) => c,
+                None => self.fail("unclosed class"),
+            };
+            if self.chars.peek() == Some(&'-') {
+                self.chars.next();
+                match self.chars.next() {
+                    Some(']') => {
+                        // Trailing '-' is a literal.
+                        ranges.push((lo, lo));
+                        ranges.push(('-', '-'));
+                        break;
+                    }
+                    Some(hi) => ranges.push((lo, hi)),
+                    None => self.fail("unclosed class range"),
+                }
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        if ranges.is_empty() {
+            self.fail("empty character class");
+        }
+        Atom::Class(ranges)
+    }
+
+    fn parse_escape(&mut self) -> Atom {
+        match self.chars.next() {
+            Some('P') | Some('p') => {
+                // Only `\PC` (printable: not in Unicode category C) is
+                // supported — consume the category name.
+                match self.chars.next() {
+                    Some('C') => Atom::AnyPrintable,
+                    Some('{') => {
+                        for c in self.chars.by_ref() {
+                            if c == '}' {
+                                break;
+                            }
+                        }
+                        Atom::AnyPrintable
+                    }
+                    _ => self.fail("unsupported \\P category"),
+                }
+            }
+            Some('d') => Atom::Class(vec![('0', '9')]),
+            Some('w') => Atom::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+            Some('s') => Atom::Class(vec![(' ', ' '), ('\t', '\t'), ('\n', '\n')]),
+            Some(c) => Atom::Literal(unescape_char(c)),
+            None => self.fail("dangling escape"),
+        }
+    }
+
+    fn parse_quantifier(&mut self) -> (u32, u32) {
+        match self.chars.peek() {
+            Some('*') => {
+                self.chars.next();
+                (0, UNBOUNDED_MAX)
+            }
+            Some('+') => {
+                self.chars.next();
+                (1, UNBOUNDED_MAX)
+            }
+            Some('?') => {
+                self.chars.next();
+                (0, 1)
+            }
+            Some('{') => {
+                self.chars.next();
+                let min = self.parse_number();
+                match self.chars.next() {
+                    Some('}') => (min, min),
+                    Some(',') => {
+                        let max = self.parse_number();
+                        if self.chars.next() != Some('}') {
+                            self.fail("unclosed quantifier");
+                        }
+                        (min, max)
+                    }
+                    _ => self.fail("malformed quantifier"),
+                }
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn parse_number(&mut self) -> u32 {
+        let mut n = 0u32;
+        let mut any = false;
+        while let Some(c) = self.chars.peek().copied() {
+            if let Some(d) = c.to_digit(10) {
+                self.chars.next();
+                n = n * 10 + d;
+                any = true;
+            } else {
+                break;
+            }
+        }
+        if !any {
+            self.fail("quantifier needs a number");
+        }
+        n
+    }
+}
+
+fn unescape_char(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn generate_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Alt(alts) => {
+            let i = rng.index(alts.len());
+            generate_node(&alts[i], rng, out);
+        }
+        Node::Seq(items) => {
+            for item in items {
+                let count = if item.max <= item.min {
+                    item.min
+                } else {
+                    item.min + rng.u64_in(0, u64::from(item.max - item.min) + 1) as u32
+                };
+                for _ in 0..count {
+                    generate_atom(&item.atom, rng, out);
+                }
+            }
+        }
+    }
+}
+
+fn generate_atom(atom: &Atom, rng: &mut TestRng, out: &mut String) {
+    match atom {
+        Atom::Literal(c) => out.push(*c),
+        Atom::Class(ranges) => {
+            let (lo, hi) = ranges[rng.index(ranges.len())];
+            let span = (hi as u32).saturating_sub(lo as u32) + 1;
+            let code = lo as u32 + rng.u64_in(0, u64::from(span)) as u32;
+            out.push(char::from_u32(code).unwrap_or(lo));
+        }
+        Atom::AnyPrintable => {
+            // Mostly ASCII printable, occasionally multibyte.
+            if rng.unit_f64() < 0.9 {
+                let code = 0x20 + rng.u64_in(0, 0x7F - 0x20) as u32;
+                out.push(char::from_u32(code).expect("ASCII printable"));
+            } else {
+                out.push(EXOTIC[rng.index(EXOTIC.len())]);
+            }
+        }
+        Atom::Group(inner) => generate_node(inner, rng, out),
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let node = Parser::new(self).parse_alt();
+        let mut out = String::new();
+        generate_node(&node, rng, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(7)
+    }
+
+    #[test]
+    fn literal_patterns_reproduce_themselves() {
+        let mut r = rng();
+        assert_eq!("abc".generate(&mut r), "abc");
+    }
+
+    #[test]
+    fn printable_any_respects_length_bounds() {
+        let mut r = rng();
+        for _ in 0..300 {
+            let s = "\\PC{0,16}".generate(&mut r);
+            let n = s.chars().count();
+            assert!(n <= 16);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn alternation_and_classes() {
+        let mut r = rng();
+        for _ in 0..300 {
+            let s = "(foo|[a-c]{2}|\\{|;){1,4}".generate(&mut r);
+            assert!(!s.is_empty());
+            let mut rest = s.as_str();
+            while !rest.is_empty() {
+                if let Some(r2) = rest.strip_prefix("foo") {
+                    rest = r2;
+                } else {
+                    let c = rest.chars().next().unwrap();
+                    assert!(
+                        ('a'..='c').contains(&c) || c == '{' || c == ';',
+                        "unexpected {c:?} in {s:?}"
+                    );
+                    rest = &rest[c.len_utf8()..];
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantifiers_star_plus_question() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "a*b+c?".generate(&mut r);
+            let a = s.chars().take_while(|&c| c == 'a').count();
+            let bc: String = s.chars().skip(a).collect();
+            assert!(a <= 8);
+            assert!(bc.starts_with('b'));
+        }
+    }
+
+    #[test]
+    fn structured_noise_pattern_from_dsl_tests_parses() {
+        let mut r = rng();
+        let pattern =
+            "(cpu|network|service|state|call|via|\\{|\\}|\\(|\\)|;|:|->|[a-z]{1,8}|[0-9]{1,4}| |\n){0,64}";
+        for _ in 0..100 {
+            let _ = pattern.generate(&mut r);
+        }
+    }
+
+    #[test]
+    fn multibyte_output_appears_eventually() {
+        let mut r = rng();
+        let any_exotic = (0..500).any(|_| {
+            "\\PC{0,32}"
+                .generate(&mut r)
+                .chars()
+                .any(|c| c.len_utf8() > 1)
+        });
+        assert!(any_exotic, "\\PC never produced a multibyte char");
+    }
+}

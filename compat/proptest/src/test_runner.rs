@@ -1,0 +1,164 @@
+//! Deterministic test runner support: per-test seeding, case-count
+//! configuration, and failure context reporting.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Per-block configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// The case count after applying the `PROPTEST_CASES` env override.
+    pub fn resolved_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
+/// The generator driving all strategies for one test.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Deterministic RNG for a named test: seeded from a stable hash of the
+    /// test path, or from `PROPTEST_SEED` when set (for reproducing a
+    /// reported failure). Returns the seed alongside the generator.
+    pub fn for_test(name: &str) -> (u64, TestRng) {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| fnv1a(name.as_bytes()));
+        (seed, TestRng::from_seed(seed))
+    }
+
+    /// Deterministic RNG from an explicit seed.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn bits(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform index in `[0, len)`; `len` must be nonzero.
+    pub fn index(&mut self, len: usize) -> usize {
+        debug_assert!(len > 0);
+        // Multiply-shift avoids modulo bias well enough for test generation.
+        ((self.unit_f64() * len as f64) as usize).min(len - 1)
+    }
+
+    /// Uniform integer in `[lo, hi)`; `lo < hi`.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi);
+        lo + ((self.unit_f64() * (hi - lo) as f64) as u64).min(hi - lo - 1)
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Prints the failing case's coordinates if the test body panics, so a
+/// failure is reproducible without shrinking: re-run with
+/// `PROPTEST_SEED=<seed>` and the same case count.
+pub struct CaseGuard {
+    name: &'static str,
+    case: u32,
+    seed: u64,
+    armed: bool,
+}
+
+impl CaseGuard {
+    /// Arms a guard for one case.
+    pub fn new(name: &'static str, case: u32, seed: u64) -> CaseGuard {
+        CaseGuard {
+            name,
+            case,
+            seed,
+            armed: true,
+        }
+    }
+
+    /// Disarms the guard: the case passed.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!(
+                "proptest: {} failed at case {} (reproduce with PROPTEST_SEED={})",
+                self.name, self.case, self.seed
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_is_stable() {
+        let (seed_a, mut a) = TestRng::for_test("x::y");
+        let (seed_b, mut b) = TestRng::for_test("x::y");
+        assert_eq!(seed_a, seed_b);
+        assert_eq!(a.bits(), b.bits());
+    }
+
+    #[test]
+    fn index_is_in_range() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..1000 {
+            assert!(rng.index(7) < 7);
+        }
+    }
+
+    #[test]
+    fn u64_in_respects_bounds() {
+        let mut rng = TestRng::from_seed(2);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let v = rng.u64_in(3, 6);
+            assert!((3..6).contains(&v));
+            seen_lo |= v == 3;
+            seen_hi |= v == 5;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for the subset of `serde` this workspace uses: the
+//! `Serialize` / `Deserialize` names resolve both as (empty) traits and as
+//! no-op derive macros, which is all the decorative `#[derive(...)]`
+//! annotations in the model crates need. The `derive` and `rc` features are
+//! accepted and ignored.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}

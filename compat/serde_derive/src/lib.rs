@@ -1,0 +1,18 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline `serde`
+//! stand-in. The workspace uses the derives decoratively (no serialization
+//! format is wired up), so expanding to nothing is sufficient — the
+//! `#[serde(...)]` helper attributes are registered and ignored.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,100 @@
+//! Batch-evaluation throughput: sequential vs multi-threaded sweeps.
+//!
+//! The tentpole claim of the batch engine is that a 1k-query sweep over one
+//! assembly runs at least 2× faster with the shared-cache worker pool than
+//! the same queries evaluated one by one against a fresh evaluator. The
+//! `batch/sweep-1k` group measures exactly that; `batch/workers` shows how
+//! the speedup scales with the worker count.
+
+use archrel_bench::scenarios::chain_assembly;
+use archrel_core::batch::{BatchEvaluator, Query};
+use archrel_core::Evaluator;
+use archrel_expr::Bindings;
+use archrel_model::Assembly;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+/// The 1k-query sweep: 64 distinct demand points revisited 16 times — the
+/// shape of a Figure-6-style grid crossed with repeated what-if probes.
+fn sweep_queries(points: usize, revisits: usize) -> Vec<Query> {
+    (0..points * revisits)
+        .map(|i| {
+            let point = i % points;
+            Query::new(
+                "svc0",
+                Bindings::new().with("work", 1e4 * (1 + point) as f64),
+            )
+        })
+        .collect()
+}
+
+fn scenario() -> Assembly {
+    chain_assembly(24, 3).expect("scenario builds")
+}
+
+fn bench_sweep_1k(c: &mut Criterion) {
+    let assembly = scenario();
+    let queries = sweep_queries(64, 16);
+    assert_eq!(queries.len(), 1024);
+
+    let mut group = c.benchmark_group("batch/sweep-1k");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(queries.len() as u64));
+
+    group.bench_function("sequential-fresh", |b| {
+        b.iter(|| {
+            // The pre-batch baseline: one evaluator per query, no sharing.
+            queries
+                .iter()
+                .map(|q| {
+                    Evaluator::new(&assembly)
+                        .failure_probability(&q.service, &q.env)
+                        .expect("evaluation succeeds")
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+
+    group.bench_function("sequential-shared-cache", |b| {
+        b.iter(|| {
+            let eval = Evaluator::new(&assembly);
+            queries
+                .iter()
+                .map(|q| {
+                    eval.failure_probability(&q.service, &q.env)
+                        .expect("evaluation succeeds")
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+
+    group.bench_function("batch", |b| {
+        b.iter(|| {
+            // Fresh batch evaluator per iteration: the sweep pays its own
+            // cache warming, exactly like a cold CLI invocation.
+            BatchEvaluator::new(&assembly).evaluate_all(&queries)
+        })
+    });
+    group.finish();
+}
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    let assembly = scenario();
+    let queries = sweep_queries(256, 1);
+
+    let mut group = c.benchmark_group("batch/workers");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(queries.len() as u64));
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| {
+                BatchEvaluator::new(&assembly)
+                    .with_workers(w)
+                    .evaluate_all(&queries)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_1k, bench_worker_scaling);
+criterion_main!(benches);

@@ -4,6 +4,7 @@
 use std::fmt;
 use std::io::Write;
 
+use archrel_core::batch::{BatchEvaluator, Query};
 use archrel_core::{symbolic, Evaluator};
 use archrel_dsl::{dot, parse_assembly, print_assembly};
 use archrel_expr::Bindings;
@@ -61,6 +62,8 @@ commands:
   simulate   Monte Carlo estimate (--service, --bind, --trials, --seed, --threads)
   latency    expected latency, failure-free and failure-aware (--service, --bind)
   sweep      sweep one parameter (--service, --param, --from, --to, --steps, --log)
+  batch      multi-threaded sweep with a shared solve cache (sweep options,
+             --threads, --repeat; prints cache hit/miss/solve statistics)
   improve    rank improvement levers; with --target, size the best one
   dot        Graphviz export (--service for a flow, omit for the assembly)
   fmt        canonical pretty-printed form of the document";
@@ -80,6 +83,7 @@ struct Options {
     steps: usize,
     log_scale: bool,
     target: Option<f64>,
+    repeat: usize,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, CliError> {
@@ -97,6 +101,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         steps: 10,
         log_scale: false,
         target: None,
+        repeat: 1,
     };
     let mut positional = Vec::new();
     let mut i = 0;
@@ -137,6 +142,10 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 opts.steps = parse_num::<usize>(&next_value(args, &mut i, "--steps")?, "--steps")?
             }
             "--log" => opts.log_scale = true,
+            "--repeat" => {
+                opts.repeat =
+                    parse_num::<usize>(&next_value(args, &mut i, "--repeat")?, "--repeat")?
+            }
             "--target" => {
                 opts.target = Some(parse_num(
                     &next_value(args, &mut i, "--target")?,
@@ -202,6 +211,7 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         "simulate" => cmd_simulate(&opts, out),
         "latency" => cmd_latency(&opts, out),
         "sweep" => cmd_sweep(&opts, out),
+        "batch" => cmd_batch(&opts, out),
         "improve" => cmd_improve(&opts, out),
         "dot" => cmd_dot(&opts, out),
         "fmt" => cmd_fmt(&opts, out),
@@ -308,6 +318,25 @@ fn cmd_latency(opts: &Options, out: &mut impl Write) -> Result<(), CliError> {
 fn cmd_sweep(opts: &Options, out: &mut impl Write) -> Result<(), CliError> {
     let assembly = load(opts)?;
     let service = required_service(opts)?;
+    let (param, values) = sweep_grid(opts)?;
+    let evaluator = Evaluator::new(&assembly);
+    writeln!(out, "{:>16} {:>16} {:>16}", param, "Pfail", "reliability")?;
+    for value in values {
+        let mut env = opts.bindings.clone();
+        env.insert(&param, value);
+        let p = evaluator.failure_probability(&service, &env)?;
+        writeln!(
+            out,
+            "{value:>16.6} {:>16.6e} {:>16.9}",
+            p.value(),
+            p.complement().value()
+        )?;
+    }
+    Ok(())
+}
+
+/// Grid of parameter values shared by `sweep` and `batch`.
+fn sweep_grid(opts: &Options) -> Result<(String, Vec<f64>), CliError> {
     let param = opts
         .param
         .as_deref()
@@ -322,25 +351,51 @@ fn cmd_sweep(opts: &Options, out: &mut impl Write) -> Result<(), CliError> {
     if opts.log_scale && (from <= 0.0 || to <= 0.0) {
         return Err(CliError::new("`--log` requires positive bounds"));
     }
-    let evaluator = Evaluator::new(&assembly);
+    let values = (0..opts.steps)
+        .map(|i| {
+            let t = i as f64 / (opts.steps - 1) as f64;
+            if opts.log_scale {
+                (from.ln() + t * (to.ln() - from.ln())).exp()
+            } else {
+                from + t * (to - from)
+            }
+        })
+        .collect();
+    Ok((param.to_string(), values))
+}
+
+fn cmd_batch(opts: &Options, out: &mut impl Write) -> Result<(), CliError> {
+    let assembly = load(opts)?;
+    let service = required_service(opts)?;
+    let (param, values) = sweep_grid(opts)?;
+    if opts.repeat == 0 {
+        return Err(CliError::new("`--repeat` must be at least 1"));
+    }
+    // `--repeat N` replays the sweep N times; replays are pure cache hits,
+    // which makes the shared-cache effect visible in the printed statistics.
+    let queries: Vec<Query> = (0..opts.repeat)
+        .flat_map(|_| {
+            values.iter().map(|&value| {
+                let mut env = opts.bindings.clone();
+                env.insert(&param, value);
+                Query::new(service.clone(), env)
+            })
+        })
+        .collect();
+    let batch = BatchEvaluator::new(&assembly).with_workers(opts.threads);
+    let (results, summary) = batch.evaluate_all_summarized(&queries);
     writeln!(out, "{:>16} {:>16} {:>16}", param, "Pfail", "reliability")?;
-    for i in 0..opts.steps {
-        let t = i as f64 / (opts.steps - 1) as f64;
-        let value = if opts.log_scale {
-            (from.ln() + t * (to.ln() - from.ln())).exp()
-        } else {
-            from + t * (to - from)
-        };
-        let mut env = opts.bindings.clone();
-        env.insert(param, value);
-        let p = evaluator.failure_probability(&service, &env)?;
+    for (query, result) in queries.iter().zip(&results).take(values.len()) {
+        let p = result.as_ref().map_err(|e| CliError::new(e.to_string()))?;
         writeln!(
             out,
-            "{value:>16.6} {:>16.6e} {:>16.9}",
+            "{:>16.6} {:>16.6e} {:>16.9}",
+            query.env.get(&param).unwrap_or(f64::NAN),
             p.value(),
             p.complement().value()
         )?;
     }
+    writeln!(out, "{summary}")?;
     Ok(())
 }
 
@@ -557,6 +612,61 @@ mod tests {
             ])
             .unwrap();
             assert_eq!(out.lines().count(), 5, "{out}");
+        });
+    }
+
+    #[test]
+    fn batch_matches_sweep_and_reports_cache_stats() {
+        with_document(|path| {
+            let sweep_args = [
+                "sweep",
+                path,
+                "--service",
+                "app",
+                "--param",
+                "work",
+                "--from",
+                "1e3",
+                "--to",
+                "1e9",
+                "--steps",
+                "4",
+                "--log",
+            ];
+            let sweep_out = run_capture(&sweep_args).unwrap();
+            let mut batch_args = sweep_args.to_vec();
+            batch_args[0] = "batch";
+            batch_args.extend_from_slice(&["--threads", "3", "--repeat", "5"]);
+            let batch_out = run_capture(&batch_args).unwrap();
+            // Same table (batch prints one extra summary line).
+            let sweep_lines: Vec<&str> = sweep_out.lines().collect();
+            let batch_lines: Vec<&str> = batch_out.lines().collect();
+            assert_eq!(batch_lines.len(), sweep_lines.len() + 1, "{batch_out}");
+            assert_eq!(&batch_lines[..sweep_lines.len()], &sweep_lines[..]);
+            let summary = batch_lines.last().unwrap();
+            assert!(summary.contains("20 queries on 3 workers"), "{summary}");
+            assert!(summary.contains("hits"), "{summary}");
+        });
+    }
+
+    #[test]
+    fn batch_validates_repeat() {
+        with_document(|path| {
+            assert!(run_capture(&[
+                "batch",
+                path,
+                "--service",
+                "app",
+                "--param",
+                "work",
+                "--from",
+                "1",
+                "--to",
+                "10",
+                "--repeat",
+                "0",
+            ])
+            .is_err());
         });
     }
 

@@ -10,9 +10,10 @@
 //! estimates and bounded by 1.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use archrel_expr::Bindings;
-use archrel_markov::AbsorbingAnalysis;
 use archrel_model::{
     Assembly, CompositeService, Probability, Service, ServiceCall, ServiceId, StateId,
 };
@@ -62,7 +63,66 @@ pub struct EvalOptions {
 /// parameters change on every call (so no `(service, params)` key repeats).
 const MAX_DEPTH: usize = 2048;
 
-type CacheKey = (ServiceId, String);
+pub(crate) type CacheKey = (ServiceId, String);
+
+/// Snapshot of an evaluator's solve-cache activity.
+///
+/// Counters cover the **shared** cross-invocation cache: a *hit* means a
+/// `(service, resolved-parameter fingerprint)` lookup was answered without
+/// re-solving; a *miss* means the absorbing-chain pipeline ran. `solves` and
+/// `solve_time` measure the linear-algebra kernel itself (per composite
+/// flow), so `misses ≥ solves` never holds in general — one miss at the top
+/// can trigger several solves below it, and per-sweep memo hits avoid
+/// re-solves without touching the shared cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Shared-cache lookups answered without evaluation.
+    pub hits: u64,
+    /// Shared-cache lookups that had to evaluate.
+    pub misses: u64,
+    /// Absorbing-chain solves performed.
+    pub solves: u64,
+    /// Total nanoseconds spent inside absorbing-chain solves.
+    pub solve_nanos: u64,
+}
+
+impl CacheStats {
+    /// Total wall-clock time spent in absorbing-chain solves.
+    pub fn solve_time(&self) -> Duration {
+        Duration::from_nanos(self.solve_nanos)
+    }
+
+    /// Hit fraction of all shared-cache lookups (0 when none were made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Internal atomic counters behind [`CacheStats`]; relaxed ordering is
+/// enough because the counters carry no synchronization duty.
+#[derive(Debug, Default)]
+struct CacheCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    solves: AtomicU64,
+    solve_nanos: AtomicU64,
+}
+
+impl CacheCounters {
+    fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            solves: self.solves.load(Ordering::Relaxed),
+            solve_nanos: self.solve_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
 
 /// Per-request resolution detail, reused by the report module.
 #[derive(Debug, Clone)]
@@ -119,6 +179,7 @@ pub struct Evaluator<'a> {
     assembly: &'a Assembly,
     options: EvalOptions,
     cache: RwLock<HashMap<CacheKey, Probability>>,
+    counters: CacheCounters,
 }
 
 impl<'a> Evaluator<'a> {
@@ -133,12 +194,29 @@ impl<'a> Evaluator<'a> {
             assembly,
             options,
             cache: RwLock::new(HashMap::new()),
+            counters: CacheCounters::default(),
         }
     }
 
     /// The assembly under evaluation.
     pub fn assembly(&self) -> &'a Assembly {
         self.assembly
+    }
+
+    /// The evaluator's options.
+    pub fn options(&self) -> EvalOptions {
+        self.options
+    }
+
+    /// A snapshot of the shared solve cache's hit/miss/solve counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.counters.snapshot()
+    }
+
+    /// Number of `(service, parameter-fingerprint)` results currently held
+    /// by the shared cache.
+    pub fn cache_len(&self) -> usize {
+        self.cache.read().len()
     }
 
     /// `Pfail(S, fp)`: probability that `service` fails to complete its task
@@ -237,8 +315,10 @@ impl<'a> Evaluator<'a> {
         }
         if ctx.estimates.is_none() {
             if let Some(p) = self.cache.read().get(&key) {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(*p);
             }
+            self.counters.misses.fetch_add(1, Ordering::Relaxed);
         }
         if ctx.stack.contains(&key) || ctx.stack.len() >= MAX_DEPTH {
             return match ctx.estimates {
@@ -297,10 +377,12 @@ impl<'a> Evaluator<'a> {
                 let chain = augmented_chain(composite, env, &failures)?;
                 let start = AugmentedState::Flow(StateId::Start);
                 let end = AugmentedState::Flow(StateId::End);
+                let solve_started = Instant::now();
                 let success = match self.options.solver {
                     Solver::Dense => {
-                        let analysis = AbsorbingAnalysis::new(&chain)?;
-                        analysis.absorption_probability(&start, &end)?
+                        // Single-column solve: only p*(· → End) is needed, so
+                        // skip the full fundamental-matrix inversion.
+                        archrel_markov::absorption_probability_to(&chain, &start, &end)?
                     }
                     Solver::Iterative => {
                         let x = archrel_markov::absorption_probabilities_iterative(
@@ -311,6 +393,11 @@ impl<'a> Evaluator<'a> {
                         x.get(&start).copied().unwrap_or(0.0)
                     }
                 };
+                self.counters.solves.fetch_add(1, Ordering::Relaxed);
+                self.counters.solve_nanos.fetch_add(
+                    u64::try_from(solve_started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    Ordering::Relaxed,
+                );
                 Ok(Probability::new(success)?.complement())
             }
         }

@@ -19,6 +19,8 @@
 //! Entry point: [`Evaluator`]. Beyond the paper's algorithm the crate
 //! provides:
 //!
+//! - [`batch`]: multi-threaded batch evaluation of query sweeps over one
+//!   assembly, sharing a content-addressed solve cache across workers;
 //! - [`symbolic`]: closed-form symbolic evaluation (the paper's §4 style,
 //!   eqs. 15–22) for acyclic flows;
 //! - fixed-point evaluation of **recursive assemblies** ([`CycleMode`]),
@@ -52,6 +54,7 @@
 #![warn(missing_docs)]
 
 mod augment;
+pub mod batch;
 mod error;
 mod eval;
 mod failprob;
@@ -65,8 +68,9 @@ pub mod symbolic;
 pub mod uncertainty;
 
 pub use augment::{augmented_chain, AugmentedState};
+pub use batch::{BatchEvaluator, BatchSummary, Query};
 pub use error::CoreError;
-pub use eval::{CycleMode, EvalOptions, Evaluator, Solver};
+pub use eval::{CacheStats, CycleMode, EvalOptions, Evaluator, Solver};
 pub use failprob::{state_failure_probability, RequestFailure};
 pub use report::{EvaluationReport, ServiceBreakdown, StateBreakdown};
 

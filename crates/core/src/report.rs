@@ -11,7 +11,33 @@ use std::fmt;
 use archrel_expr::Bindings;
 use archrel_model::{Probability, Service, ServiceId, StateId};
 
+use crate::batch::BatchSummary;
+use crate::eval::CacheStats;
 use crate::{Evaluator, Result};
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cache: {} hits / {} misses ({:.1}% hit rate), {} solves in {:.3} ms",
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0,
+            self.solves,
+            self.solve_time().as_secs_f64() * 1e3
+        )
+    }
+}
+
+impl fmt::Display for BatchSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "batch: {} queries on {} workers; {}",
+            self.queries, self.workers, self.cache
+        )
+    }
+}
 
 /// Failure contribution of one request within a state.
 #[derive(Debug, Clone, PartialEq)]
@@ -182,6 +208,43 @@ mod tests {
         let report = eval.report(&paper::CPU1.into(), &env).unwrap();
         assert!(report.states.is_empty());
         assert!(report.failure_probability.value() > 0.0);
+    }
+
+    #[test]
+    fn cache_stats_render_hits_and_solve_time() {
+        let params = paper::PaperParams::default();
+        let assembly = paper::local_assembly(&params).unwrap();
+        let eval = Evaluator::new(&assembly);
+        let env = paper::search_bindings(4.0, 1024.0, 1.0);
+        eval.failure_probability(&paper::SEARCH.into(), &env)
+            .unwrap();
+        eval.failure_probability(&paper::SEARCH.into(), &env)
+            .unwrap();
+        let stats = eval.cache_stats();
+        assert!(stats.hits >= 1, "{stats:?}");
+        assert!(stats.solves >= 1, "{stats:?}");
+        let text = stats.to_string();
+        assert!(text.contains("hits"), "{text}");
+        assert!(text.contains("solves"), "{text}");
+    }
+
+    #[test]
+    fn batch_summary_renders() {
+        use crate::batch::{BatchEvaluator, Query};
+        let params = paper::PaperParams::default();
+        let assembly = paper::local_assembly(&params).unwrap();
+        let batch = BatchEvaluator::new(&assembly).with_workers(2);
+        let queries: Vec<Query> = (1..=8)
+            .map(|i| {
+                Query::new(
+                    paper::SEARCH,
+                    paper::search_bindings(4.0, 256.0 * i as f64, 1.0),
+                )
+            })
+            .collect();
+        let (_, summary) = batch.evaluate_all_summarized(&queries);
+        let text = summary.to_string();
+        assert!(text.contains("8 queries on 2 workers"), "{text}");
     }
 
     #[test]

@@ -11,6 +11,8 @@
 use archrel_expr::Bindings;
 use archrel_model::{Assembly, AssemblyBuilder, Probability, Service, ServiceId};
 
+use crate::batch::parallel_map_indexed;
+use crate::sensitivity::default_workers;
 use crate::{CoreError, Evaluator, Result};
 
 /// One selectable position in the assembly: any of the `candidates` can fill
@@ -93,12 +95,30 @@ impl SelectionResult {
 /// interface does not match the flow that calls it) are skipped, so the
 /// caller can mix partially compatible catalogs.
 ///
+/// Runs on the batch path: the Cartesian product is enumerated up front and
+/// the per-combination builds/evaluations are spread across worker threads.
+/// Each combination is its **own** assembly, so combinations cannot share
+/// the solve cache — the parallelism, not caching, is what the batch path
+/// buys here.
+///
 /// # Errors
 ///
 /// - [`CoreError::SelectionSpaceTooLarge`] when the Cartesian product
 ///   exceeds the cap;
 /// - evaluation errors for combinations that validate but fail to evaluate.
 pub fn select(problem: &SelectionProblem) -> Result<Vec<SelectionResult>> {
+    select_with_workers(problem, default_workers())
+}
+
+/// [`select`] with an explicit worker-thread count.
+///
+/// # Errors
+///
+/// See [`select`].
+pub fn select_with_workers(
+    problem: &SelectionProblem,
+    workers: usize,
+) -> Result<Vec<SelectionResult>> {
     let combinations: u128 = problem
         .slots
         .iter()
@@ -114,23 +134,15 @@ pub fn select(problem: &SelectionProblem) -> Result<Vec<SelectionResult>> {
         return Ok(Vec::new());
     }
 
-    let mut results = Vec::new();
+    // Enumerate the mixed-radix counter up front (the cap above bounds it).
+    let mut all_choices: Vec<Vec<usize>> = Vec::with_capacity(combinations as usize);
     let mut choices = vec![0usize; problem.slots.len()];
-    loop {
-        if let Some(result) = evaluate_combination(problem, &choices)? {
-            results.push(result);
-        }
-        // Advance the mixed-radix counter.
+    'enumerate: loop {
+        all_choices.push(choices.clone());
         let mut pos = 0;
         loop {
             if pos == problem.slots.len() {
-                results.sort_by(|a, b| {
-                    a.failure_probability
-                        .value()
-                        .partial_cmp(&b.failure_probability.value())
-                        .expect("probabilities are finite")
-                });
-                return Ok(results);
+                break 'enumerate;
             }
             choices[pos] += 1;
             if choices[pos] < problem.slots[pos].candidates.len() {
@@ -140,6 +152,24 @@ pub fn select(problem: &SelectionProblem) -> Result<Vec<SelectionResult>> {
             pos += 1;
         }
     }
+
+    let evaluated = parallel_map_indexed(workers, &all_choices, |_, combination| {
+        evaluate_combination(problem, combination)
+    });
+    let mut results = Vec::with_capacity(all_choices.len());
+    for r in evaluated {
+        if let Some(result) = r? {
+            results.push(result);
+        }
+    }
+    // Stable sort: ties keep enumeration order, independent of `workers`.
+    results.sort_by(|a, b| {
+        a.failure_probability
+            .value()
+            .partial_cmp(&b.failure_probability.value())
+            .expect("probabilities are finite")
+    });
+    Ok(results)
 }
 
 /// Returns the best combination, if any validates.
@@ -267,6 +297,51 @@ mod tests {
         // The y-parameter candidate fails assembly validation and is skipped.
         assert_eq!(results.len(), 1);
         assert_eq!(results[0].choices, vec![1]);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_ranking() {
+        let cand = |name: &str, p: f64| catalog::blackbox_service(name, "x", p);
+        let flow = FlowBuilder::new()
+            .state(FlowState::new(
+                "1",
+                vec![
+                    ServiceCall::new("a").with_param("x", Expr::num(1.0)),
+                    ServiceCall::new("b").with_param("x", Expr::num(1.0)),
+                ],
+            ))
+            .transition(StateId::Start, "1", Expr::one())
+            .transition("1", StateId::End, Expr::one())
+            .build()
+            .unwrap();
+        let app = Service::Composite(CompositeService::new("app", vec![], flow).unwrap());
+        let problem = SelectionProblem::new(
+            vec![app],
+            vec![
+                Slot::new(
+                    "a",
+                    (0..5).map(|i| cand("a", 0.01 * (i + 1) as f64)).collect(),
+                ),
+                Slot::new(
+                    "b",
+                    (0..4).map(|i| cand("b", 0.02 * (i + 1) as f64)).collect(),
+                ),
+            ],
+            "app",
+            Bindings::new(),
+        );
+        let reference = select_with_workers(&problem, 1).unwrap();
+        for workers in [2, 8] {
+            let got = select_with_workers(&problem, workers).unwrap();
+            assert_eq!(reference.len(), got.len());
+            for (r, g) in reference.iter().zip(&got) {
+                assert_eq!(r.choices, g.choices, "{workers} workers");
+                assert_eq!(
+                    r.failure_probability.value().to_bits(),
+                    g.failure_probability.value().to_bits()
+                );
+            }
+        }
     }
 
     #[test]

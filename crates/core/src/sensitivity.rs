@@ -14,6 +14,7 @@
 use archrel_expr::Bindings;
 use archrel_model::{Assembly, ServiceId};
 
+use crate::batch::parallel_map_indexed;
 use crate::{symbolic, Evaluator, Result};
 
 /// Sensitivity of `Pfail` with respect to one input.
@@ -44,11 +45,7 @@ pub fn finite_difference(
     x0: f64,
     mut f: impl FnMut(f64) -> Result<f64>,
 ) -> Result<Sensitivity> {
-    let h = if x0 == 0.0 {
-        REL_STEP
-    } else {
-        x0.abs() * REL_STEP
-    };
+    let h = step(x0);
     let up = f(x0 + h)?;
     let down = f(x0 - h)?;
     let value = f(x0)?;
@@ -69,6 +66,12 @@ pub fn finite_difference(
 /// Sensitivities of `Pfail(service, env)` with respect to every binding in
 /// `env`, sorted by descending absolute elasticity (most influential first).
 ///
+/// Runs on the batch path: the finite-difference stencil (two perturbed
+/// probes per binding plus the shared center point) is expanded up front and
+/// evaluated across worker threads against one shared evaluator, so probes
+/// that resolve to the same `(service, parameters)` fingerprint — notably
+/// every binding's center probe — are solved once.
+///
 /// # Errors
 ///
 /// Propagates evaluation errors (e.g. a perturbed parameter leaving a
@@ -78,14 +81,67 @@ pub fn binding_sensitivities(
     service: &ServiceId,
     env: &Bindings,
 ) -> Result<Vec<Sensitivity>> {
-    let mut out = Vec::new();
-    for (name, x0) in env.iter() {
-        let s = finite_difference(name, x0, |x| {
-            let mut perturbed = env.clone();
-            perturbed.insert(name, x);
-            Ok(evaluator.failure_probability(service, &perturbed)?.value())
-        })?;
-        out.push(s);
+    binding_sensitivities_with_workers(evaluator, service, env, default_workers())
+}
+
+/// [`binding_sensitivities`] with an explicit worker-thread count.
+///
+/// # Errors
+///
+/// See [`binding_sensitivities`].
+pub fn binding_sensitivities_with_workers(
+    evaluator: &Evaluator<'_>,
+    service: &ServiceId,
+    env: &Bindings,
+    workers: usize,
+) -> Result<Vec<Sensitivity>> {
+    struct Probe {
+        name: String,
+        x0: f64,
+        h: f64,
+        // Probe value for each stencil point: [x0 + h, x0 - h, x0].
+        envs: [Bindings; 3],
+    }
+    let probes: Vec<Probe> = env
+        .iter()
+        .map(|(name, x0)| {
+            let h = step(x0);
+            let at = |x: f64| {
+                let mut perturbed = env.clone();
+                perturbed.insert(name, x);
+                perturbed
+            };
+            Probe {
+                name: name.to_string(),
+                x0,
+                h,
+                envs: [at(x0 + h), at(x0 - h), at(x0)],
+            }
+        })
+        .collect();
+
+    let flat: Vec<&Bindings> = probes.iter().flat_map(|p| p.envs.iter()).collect();
+    let values = parallel_map_indexed(workers, &flat, |_, probe_env| {
+        Ok::<f64, crate::CoreError>(evaluator.failure_probability(service, probe_env)?.value())
+    });
+    let mut values = values.into_iter();
+    let mut out = Vec::with_capacity(probes.len());
+    for probe in &probes {
+        let up = values.next().expect("one value per probe")?;
+        let down = values.next().expect("one value per probe")?;
+        let value = values.next().expect("one value per probe")?;
+        let derivative = (up - down) / (2.0 * probe.h);
+        let elasticity = if value == 0.0 {
+            0.0
+        } else {
+            derivative * probe.x0 / value
+        };
+        out.push(Sensitivity {
+            name: probe.name.clone(),
+            at: probe.x0,
+            derivative,
+            elasticity,
+        });
     }
     out.sort_by(|a, b| {
         b.elasticity
@@ -94,6 +150,20 @@ pub fn binding_sensitivities(
             .expect("elasticities are finite")
     });
     Ok(out)
+}
+
+fn step(x0: f64) -> f64 {
+    if x0 == 0.0 {
+        REL_STEP
+    } else {
+        x0.abs() * REL_STEP
+    }
+}
+
+pub(crate) fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// **Exact** sensitivities of `Pfail(service, ·)` with respect to every
@@ -248,6 +318,29 @@ mod tests {
             .build()
             .unwrap();
         assert!(symbolic_sensitivities(&assembly, &"a".into(), &Bindings::new()).is_err());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_sensitivities() {
+        let params = paper::PaperParams::default();
+        let assembly = paper::remote_assembly(&params).unwrap();
+        let env = paper::search_bindings(4.0, 2048.0, 1.0);
+        let reference = {
+            let eval = Evaluator::new(&assembly);
+            binding_sensitivities_with_workers(&eval, &paper::SEARCH.into(), &env, 1).unwrap()
+        };
+        for workers in [2, 8] {
+            let eval = Evaluator::new(&assembly);
+            let got =
+                binding_sensitivities_with_workers(&eval, &paper::SEARCH.into(), &env, workers)
+                    .unwrap();
+            assert_eq!(reference.len(), got.len());
+            for (r, g) in reference.iter().zip(&got) {
+                assert_eq!(r.name, g.name);
+                assert_eq!(r.derivative.to_bits(), g.derivative.to_bits());
+                assert_eq!(r.elasticity.to_bits(), g.elasticity.to_bits());
+            }
+        }
     }
 
     #[test]

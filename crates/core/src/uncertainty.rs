@@ -21,7 +21,9 @@ use archrel_model::{Assembly, Probability, ServiceId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::batch::parallel_map_indexed;
 use crate::improvement::{apply_lever, Lever};
+use crate::sensitivity::default_workers;
 use crate::{CoreError, Evaluator, Result};
 
 /// Distribution of the multiplicative error on a published failure quantity.
@@ -149,6 +151,14 @@ fn apply_all(assembly: &Assembly, factors: &[(&Lever, f64)]) -> Result<Assembly>
 /// Monte Carlo propagation: samples factor vectors, evaluates `Pfail` for
 /// each, and summarizes the resulting distribution.
 ///
+/// Runs on the batch path: the factor vectors are drawn **sequentially**
+/// from the seeded generator — so a fixed seed reproduces the same samples
+/// no matter how many threads evaluate them — and the per-sample
+/// evaluations are then spread across worker threads. Each sample perturbs
+/// the assembly itself, so per-sample results cannot share the solve cache
+/// (the cache is keyed by parameters over one fixed assembly, and a
+/// perturbed assembly invalidates it wholesale).
+///
 /// # Errors
 ///
 /// - validation errors for malformed distributions or a zero sample count;
@@ -161,6 +171,32 @@ pub fn propagate(
     samples: usize,
     seed: u64,
 ) -> Result<UncertaintySummary> {
+    propagate_with_workers(
+        assembly,
+        service,
+        env,
+        quantities,
+        samples,
+        seed,
+        default_workers(),
+    )
+}
+
+/// [`propagate`] with an explicit worker-thread count.
+///
+/// # Errors
+///
+/// See [`propagate`].
+#[allow(clippy::too_many_arguments)]
+pub fn propagate_with_workers(
+    assembly: &Assembly,
+    service: &ServiceId,
+    env: &Bindings,
+    quantities: &[UncertainQuantity],
+    samples: usize,
+    seed: u64,
+    workers: usize,
+) -> Result<UncertaintySummary> {
     if samples == 0 {
         return Err(CoreError::Model(
             archrel_model::ModelError::InvalidAttribute {
@@ -172,18 +208,34 @@ pub fn propagate(
     for q in quantities {
         q.distribution.validate()?;
     }
+    // Draw every factor vector up front, sequentially, from the one seeded
+    // generator: reproducibility must not depend on worker scheduling.
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut values = Vec::with_capacity(samples);
-    for _ in 0..samples {
+    let factor_vectors: Vec<Vec<f64>> = (0..samples)
+        .map(|_| {
+            quantities
+                .iter()
+                .map(|q| q.distribution.sample(&mut rng))
+                .collect()
+        })
+        .collect();
+
+    let evaluated = parallel_map_indexed(workers, &factor_vectors, |_, sample_factors| {
         let factors: Vec<(&Lever, f64)> = quantities
             .iter()
-            .map(|q| (&q.lever, q.distribution.sample(&mut rng)))
+            .zip(sample_factors.iter())
+            .map(|(q, &f)| (&q.lever, f))
             .collect();
         let perturbed = apply_all(assembly, &factors)?;
-        let p = Evaluator::new(&perturbed)
-            .failure_probability(service, env)?
-            .value();
-        values.push(p);
+        Ok::<f64, CoreError>(
+            Evaluator::new(&perturbed)
+                .failure_probability(service, env)?
+                .value(),
+        )
+    });
+    let mut values = Vec::with_capacity(samples);
+    for v in evaluated {
+        values.push(v?);
     }
     values.sort_by(|a, b| a.partial_cmp(b).expect("probabilities are finite"));
     let pct = |q: f64| -> f64 {
@@ -338,6 +390,34 @@ mod tests {
             },
         }];
         assert!(propagate(&assembly, &paper::SEARCH.into(), &env, &bad, 10, 1).is_err());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_summary() {
+        let (assembly, env) = setup();
+        let reference = propagate_with_workers(
+            &assembly,
+            &paper::SEARCH.into(),
+            &env,
+            &quantities(),
+            100,
+            42,
+            1,
+        )
+        .unwrap();
+        for workers in [2, 8] {
+            let got = propagate_with_workers(
+                &assembly,
+                &paper::SEARCH.into(),
+                &env,
+                &quantities(),
+                100,
+                42,
+                workers,
+            )
+            .unwrap();
+            assert_eq!(reference, got, "{workers} workers");
+        }
     }
 
     #[test]

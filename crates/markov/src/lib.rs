@@ -46,7 +46,7 @@ pub mod paths;
 pub mod stationary;
 pub mod transient;
 
-pub use absorbing::AbsorbingAnalysis;
+pub use absorbing::{absorption_probability_to, AbsorbingAnalysis};
 pub use chain::{Dtmc, DtmcBuilder, StateLabel};
 pub use error::MarkovError;
 pub use iterative_absorption::{absorption_probabilities_iterative, AbsorptionIterOptions};

@@ -1,0 +1,148 @@
+//! Property and concurrency tests for the batch evaluation engine.
+//!
+//! The batch engine's contract: `BatchEvaluator::evaluate_all` returns
+//! exactly what a sequential evaluator returns, bit for bit, in query
+//! order, no matter how many worker threads it uses or how the shared
+//! solve cache interleaves — and a single evaluator survives being
+//! hammered from many threads at once.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use archrel::core::batch::{BatchEvaluator, Query};
+use archrel::core::Evaluator;
+use archrel::expr::Bindings;
+use archrel::model::paper;
+use proptest::prelude::*;
+
+/// Strategy: one random query against the paper's local assembly — the
+/// search service, the local sort, or one of the plain resources, with
+/// random demand parameters.
+fn query_strategy() -> impl Strategy<Value = Query> {
+    (0usize..4, 1.0..64.0f64, 2.0..8192.0f64, 1.0..16.0f64).prop_map(|(which, elem, list, res)| {
+        match which {
+            0 => Query::new(paper::SEARCH, paper::search_bindings(elem, list, res)),
+            1 => Query::new(paper::SORT_LOCAL, Bindings::new().with("list", list)),
+            2 => Query::new(paper::CPU1, Bindings::new().with("n", list * 100.0)),
+            _ => Query::new(
+                paper::LPC,
+                Bindings::new().with("ip", elem + list).with("op", res),
+            ),
+        }
+    })
+}
+
+proptest! {
+    /// ≥256 random query mixes: the cached, multi-threaded batch result is
+    /// bitwise-identical to a plain sequential evaluation, and invariant
+    /// under worker counts 1, 2, and 8.
+    #[test]
+    fn batch_is_bitwise_equal_to_sequential_at_any_worker_count(
+        queries in proptest::collection::vec(query_strategy(), 1..24),
+    ) {
+        let assembly = paper::local_assembly(&paper::PaperParams::default()).unwrap();
+
+        // Reference: one sequential evaluator, queries in order.
+        let sequential = Evaluator::new(&assembly);
+        let expected: Vec<f64> = queries
+            .iter()
+            .map(|q| {
+                sequential
+                    .failure_probability(&q.service, &q.env)
+                    .unwrap()
+                    .value()
+            })
+            .collect();
+
+        for workers in [1usize, 2, 8] {
+            let batch = BatchEvaluator::new(&assembly).with_workers(workers);
+            let got = batch.evaluate_all(&queries);
+            prop_assert_eq!(got.len(), expected.len());
+            for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+                let g = g.as_ref().unwrap().value();
+                prop_assert_eq!(
+                    g.to_bits(),
+                    e.to_bits(),
+                    "query {} with {} workers: batch {} vs sequential {}",
+                    i, workers, g, e
+                );
+            }
+        }
+    }
+}
+
+/// Concurrency smoke test: many OS threads hammer one `BatchEvaluator`
+/// (which itself spawns worker threads) over the same shared cache. No
+/// panics, no poisoned locks, every result correct, and the cache-hit
+/// counter is monotone across concurrent snapshots.
+#[test]
+fn concurrent_hammering_is_safe_and_counters_are_monotone() {
+    let assembly = paper::local_assembly(&paper::PaperParams::default()).unwrap();
+    let batch = BatchEvaluator::new(&assembly).with_workers(4);
+
+    let queries: Vec<Query> = (0..40)
+        .map(|i| {
+            Query::new(
+                paper::SEARCH,
+                paper::search_bindings(4.0, f64::from(64 + 32 * (i % 8)), 1.0),
+            )
+        })
+        .collect();
+    let expected: Vec<f64> = {
+        let eval = Evaluator::new(&assembly);
+        queries
+            .iter()
+            .map(|q| {
+                eval.failure_probability(&q.service, &q.env)
+                    .unwrap()
+                    .value()
+            })
+            .collect()
+    };
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        // A watcher thread asserts the hit counter never goes backwards
+        // while evaluation threads run.
+        let watcher = s.spawn(|| {
+            let mut last = batch.cache_stats().hits;
+            while !stop.load(Ordering::Relaxed) {
+                let now = batch.cache_stats().hits;
+                assert!(
+                    now >= last,
+                    "cache-hit counter went backwards: {last} -> {now}"
+                );
+                last = now;
+                std::thread::yield_now();
+            }
+        });
+
+        let hammers: Vec<_> = (0..6)
+            .map(|_| {
+                s.spawn(|| {
+                    for _ in 0..5 {
+                        let results = batch.evaluate_all(&queries);
+                        for (r, e) in results.iter().zip(&expected) {
+                            let v = r.as_ref().unwrap().value();
+                            assert_eq!(v.to_bits(), e.to_bits());
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in hammers {
+            h.join().expect("hammer thread panicked");
+        }
+        stop.store(true, Ordering::Relaxed);
+        watcher.join().expect("watcher thread panicked");
+    });
+
+    // 6 threads × 5 rounds × 40 queries over 8 distinct fingerprints: almost
+    // everything must have been served from the shared cache.
+    let stats = batch.cache_stats();
+    assert!(
+        stats.hits >= 1000,
+        "expected heavy cache reuse, saw {} hits / {} misses",
+        stats.hits,
+        stats.misses
+    );
+}

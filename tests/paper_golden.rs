@@ -1,0 +1,199 @@
+//! Golden-value tests for the paper's basic failure laws (eqs. 1–3).
+//!
+//! Each test pins the engine's output to a hard literal computed from the
+//! paper's formula with IEEE-754 double arithmetic, *and* cross-checks it
+//! against the corresponding closed form in `core/src/paper_closed.rs`.
+//! A regression in the expression evaluator, the failure models, or the
+//! absorbing-chain solver moves these numbers and fails loudly.
+
+use archrel::core::{paper_closed, Evaluator};
+use archrel::expr::{Bindings, Expr};
+use archrel::markov::{absorption_probability_to, DtmcBuilder};
+use archrel::model::{
+    catalog, paper, AssemblyBuilder, CompositeService, FlowBuilder, FlowState, Service,
+    ServiceCall, StateId,
+};
+
+const TOL: f64 = 1e-15;
+
+fn failure_of(assembly: &archrel::model::Assembly, service: &str, env: &Bindings) -> f64 {
+    Evaluator::new(assembly)
+        .failure_probability(&service.into(), env)
+        .unwrap()
+        .value()
+}
+
+/// Eq. 1 — `Pfail(cpu, N) = 1 − e^(−λ·N/s)`, pinned at three golden points.
+#[test]
+fn eq1_cpu_failure_law_golden() {
+    // (λ, s, N, golden value of 1 − e^(−λN/s))
+    let golden = [
+        (1e-9, 1e9, 1e6, 9.999_778_782_798_785e-13),
+        (1e-9, 1e9, 1e9, 9.999_999_717_180_685e-10),
+        (2.5e-8, 2e9, 5e8, 6.249_999_962_015_806_4e-9),
+    ];
+    for (lambda, speed, n, expected) in golden {
+        let assembly = AssemblyBuilder::new()
+            .service(catalog::cpu_resource("cpu", speed, lambda))
+            .build()
+            .unwrap();
+        let engine = failure_of(
+            &assembly,
+            "cpu",
+            &Bindings::new().with(catalog::CPU_PARAM, n),
+        );
+        assert!(
+            (engine - expected).abs() < TOL,
+            "λ={lambda} s={speed} N={n}: engine {engine} vs golden {expected}"
+        );
+        // Cross-check against the closed form in core::paper_closed.
+        let closed = paper_closed::pfail_cpu(lambda, speed, n);
+        assert_eq!(engine.to_bits(), closed.to_bits(), "engine vs closed form");
+    }
+}
+
+/// Eq. 2 — `Pfail(net, B) = 1 − e^(−β·B/b)`, pinned at golden points.
+#[test]
+fn eq2_network_failure_law_golden() {
+    let golden = [
+        (5e-3, 625.0, 1000.0, 7.968_085_162_939_342e-3),
+        (1e-1, 625.0, 5000.0, 5.506_710_358_827_784e-1),
+    ];
+    for (beta, bandwidth, bytes, expected) in golden {
+        let assembly = AssemblyBuilder::new()
+            .service(catalog::network_resource("net", bandwidth, beta))
+            .build()
+            .unwrap();
+        let engine = failure_of(
+            &assembly,
+            "net",
+            &Bindings::new().with(catalog::NET_PARAM, bytes),
+        );
+        assert!(
+            (engine - expected).abs() < TOL,
+            "β={beta} b={bandwidth} B={bytes}: engine {engine} vs golden {expected}"
+        );
+        let closed = paper_closed::pfail_net(beta, bandwidth, bytes);
+        assert_eq!(engine.to_bits(), closed.to_bits(), "engine vs closed form");
+    }
+}
+
+/// §3.1 — local-processing connectors are pure modeling artifacts with
+/// failure probability exactly zero, at any demand.
+#[test]
+fn local_connectors_never_fail() {
+    let assembly = AssemblyBuilder::new()
+        .service(catalog::local_connector("loc"))
+        .build()
+        .unwrap();
+    for demand in [0.0, 1.0, 1e6, 1e308] {
+        let engine = failure_of(
+            &assembly,
+            "loc",
+            &Bindings::new().with(catalog::LOCAL_PARAM, demand),
+        );
+        assert_eq!(engine.to_bits(), 0.0f64.to_bits(), "demand={demand}");
+    }
+    // In the paper's calibration the LPC connector is *numerically* perfect
+    // too: λ₁·l/s₁ = 1e-19 underflows the failure law to exactly zero.
+    let params = paper::PaperParams::default();
+    assert_eq!(paper_closed::pfail_lpc(&params).to_bits(), 0.0f64.to_bits());
+    let local = paper::local_assembly(&params).unwrap();
+    let env = Bindings::new().with("ip", 1028.0).with("op", 1.0);
+    assert_eq!(failure_of(&local, paper::LPC, &env).to_bits(), 0);
+}
+
+/// Eq. 3 — a composite service fails iff its flow's absorbing failure
+/// structure does not reach End: `Pfail = 1 − p*(Start→End)`.
+///
+/// The engine's result for a small two-state flow is checked against a
+/// hand-built absorbing DTMC solved independently by the markov crate.
+#[test]
+fn eq3_composite_pfail_is_one_minus_absorption_to_end() {
+    // Flow: Start → A (always). A calls dep1 (Pfail 0.1), then branches
+    // 0.4 → B, 0.6 → End. B calls dep2 (Pfail 0.2), then → End.
+    let flow = FlowBuilder::new()
+        .state(FlowState::new(
+            "A",
+            vec![ServiceCall::new("dep1").with_param("x", Expr::num(1.0))],
+        ))
+        .state(FlowState::new(
+            "B",
+            vec![ServiceCall::new("dep2").with_param("x", Expr::num(1.0))],
+        ))
+        .transition(StateId::Start, "A", Expr::one())
+        .transition("A", "B", Expr::num(0.4))
+        .transition("A", StateId::End, Expr::num(0.6))
+        .transition("B", StateId::End, Expr::one())
+        .build()
+        .unwrap();
+    let assembly = AssemblyBuilder::new()
+        .service(Service::Composite(
+            CompositeService::new("app", vec![], flow).unwrap(),
+        ))
+        .service(catalog::blackbox_service("dep1", "x", 0.1))
+        .service(catalog::blackbox_service("dep2", "x", 0.2))
+        .build()
+        .unwrap();
+    let engine = failure_of(&assembly, "app", &Bindings::new());
+
+    // The same failure structure, built by hand: from each transient state,
+    // mass pfail(state) flows to Fail and the rest follows the flow.
+    let chain = DtmcBuilder::new()
+        .transition("Start", "A", 1.0)
+        .transition("A", "Fail", 0.1)
+        .transition("A", "B", 0.9 * 0.4)
+        .transition("A", "End", 0.9 * 0.6)
+        .transition("B", "Fail", 0.2)
+        .transition("B", "End", 0.8)
+        .transition("End", "End", 1.0)
+        .transition("Fail", "Fail", 1.0)
+        .build()
+        .unwrap();
+    let p_end = absorption_probability_to(&chain, &"Start", &"End").unwrap();
+    assert!(
+        (engine - (1.0 - p_end)).abs() < TOL,
+        "engine {engine} vs hand-built chain {}",
+        1.0 - p_end
+    );
+    // And the arithmetic golden value: p*(Start→End) = 0.54 + 0.36·0.8.
+    assert!((engine - (1.0 - 0.828)).abs() < TOL);
+}
+
+/// Eqs. 15–22 composed end-to-end: the engine's prediction for the paper's
+/// search service, pinned to golden literals for the default calibration at
+/// `elem = 4`, `list = 1024`, `res = 1`.
+#[test]
+fn search_example_golden_values() {
+    let params = paper::PaperParams::default();
+    let env = paper::search_bindings(4.0, 1024.0, 1.0);
+
+    let local = paper::local_assembly(&params).unwrap();
+    let engine_local = failure_of(&local, paper::SEARCH, &env);
+    let golden_local = 9.169_970_121_694_227e-3;
+    assert!(
+        (engine_local - golden_local).abs() < TOL,
+        "local: engine {engine_local} vs golden {golden_local}"
+    );
+    let closed_local = paper_closed::pfail_search_local(&params, 4.0, 1024.0, 1.0);
+    assert!((engine_local - closed_local).abs() < TOL);
+
+    let remote = paper::remote_assembly(&params).unwrap();
+    let engine_remote = failure_of(&remote, paper::SEARCH, &env);
+    let golden_remote = 8.292_957_335_960_206e-3;
+    assert!(
+        (engine_remote - golden_remote).abs() < TOL,
+        "remote: engine {engine_remote} vs golden {golden_remote}"
+    );
+    let closed_remote = paper_closed::pfail_search_remote(&params, 4.0, 1024.0, 1.0);
+    assert!((engine_remote - closed_remote).abs() < TOL);
+
+    // The RPC connector alone, golden-pinned (eq. 20 at ip = 1028, op = 1).
+    let engine_rpc = failure_of(
+        &remote,
+        paper::RPC,
+        &Bindings::new().with("ip", 1028.0).with("op", 1.0),
+    );
+    let golden_rpc = 8.198_209_871_683_182e-3;
+    assert!((engine_rpc - golden_rpc).abs() < TOL);
+}
