@@ -96,32 +96,31 @@ fn bench_paper_example(c: &mut Criterion) {
 }
 
 fn bench_solver_comparison(c: &mut Criterion) {
-    use archrel_core::{EvalOptions, Solver};
+    use archrel_core::{EvalOptions, SolverPolicy};
     let mut group = c.benchmark_group("eval/solver");
     group.sample_size(15);
     for width in [32usize, 128, 512] {
         let assembly = wide_flow_assembly(width).expect("scenario builds");
         let env = Bindings::new().with("work", 1e5);
-        group.bench_with_input(BenchmarkId::new("dense", width), &width, |b, _| {
-            b.iter(|| {
-                Evaluator::new(&assembly)
+        for policy in [SolverPolicy::Dense, SolverPolicy::Sparse] {
+            let label = match policy {
+                SolverPolicy::Dense => "dense",
+                _ => "sparse",
+            };
+            group.bench_with_input(BenchmarkId::new(label, width), &width, |b, _| {
+                b.iter(|| {
+                    Evaluator::with_options(
+                        &assembly,
+                        EvalOptions {
+                            solver: policy,
+                            ..EvalOptions::default()
+                        },
+                    )
                     .failure_probability(&"svc0".into(), &env)
                     .expect("evaluation succeeds")
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("iterative", width), &width, |b, _| {
-            b.iter(|| {
-                Evaluator::with_options(
-                    &assembly,
-                    EvalOptions {
-                        solver: Solver::Iterative,
-                        ..EvalOptions::default()
-                    },
-                )
-                .failure_probability(&"svc0".into(), &env)
-                .expect("evaluation succeeds")
-            })
-        });
+                })
+            });
+        }
     }
     group.finish();
 }

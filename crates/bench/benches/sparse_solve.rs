@@ -1,0 +1,111 @@
+//! Dense-vs-sparse absorbing solve: where is the crossover?
+//!
+//! Runs the full evaluation pipeline (flow → augmented chain → `Start → End`
+//! absorption probability) over the synthetic scalable assemblies of
+//! [`archrel_bench::scenarios::synthetic_flow_assembly`] under a forced
+//! [`SolverPolicy`], so the numbers include exactly what the adaptive
+//! dispatcher trades off. The dense ladder stops at 2048 states — its cubic
+//! solve already dominates there — while the sparse ladder continues to
+//! ~10k states. Findings are recorded in `results/sparse_solve.md`, which is
+//! where the `Auto` thresholds in `archrel-core` come from.
+
+use archrel_bench::scenarios::{synthetic_flow_assembly, SyntheticTopology};
+use archrel_core::{EvalOptions, Evaluator, SolverPolicy};
+use archrel_expr::Bindings;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const STEP_PFAIL: f64 = 1e-5;
+
+fn bench_policy(
+    c: &mut Criterion,
+    group_name: &str,
+    topology: SyntheticTopology,
+    policy: SolverPolicy,
+    sizes: &[usize],
+) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    let env = Bindings::new();
+    for &states in sizes {
+        let assembly = synthetic_flow_assembly(topology, states, STEP_PFAIL).expect("builds");
+        group.throughput(Throughput::Elements(states as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(states), &states, |b, _| {
+            b.iter(|| {
+                // Fresh evaluator per iteration: measures the uncached solve.
+                Evaluator::with_options(
+                    &assembly,
+                    EvalOptions {
+                        solver: policy,
+                        ..EvalOptions::default()
+                    },
+                )
+                .failure_probability(&"app".into(), &env)
+                .expect("evaluation succeeds")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_chain(c: &mut Criterion) {
+    let dense = [64usize, 256, 512, 1024, 2048];
+    let sparse = [64usize, 256, 1024, 4096, 10240];
+    let topology = SyntheticTopology::Chain;
+    bench_policy(
+        c,
+        "sparse_solve/chain/dense",
+        topology,
+        SolverPolicy::Dense,
+        &dense,
+    );
+    bench_policy(
+        c,
+        "sparse_solve/chain/sparse",
+        topology,
+        SolverPolicy::Sparse,
+        &sparse,
+    );
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    let dense = [64usize, 256, 1024, 2048];
+    let sparse = [64usize, 1024, 4096, 10240];
+    let topology = SyntheticTopology::FanOut { branches: 32 };
+    bench_policy(
+        c,
+        "sparse_solve/fanout/dense",
+        topology,
+        SolverPolicy::Dense,
+        &dense,
+    );
+    bench_policy(
+        c,
+        "sparse_solve/fanout/sparse",
+        topology,
+        SolverPolicy::Sparse,
+        &sparse,
+    );
+}
+
+fn bench_mesh(c: &mut Criterion) {
+    let dense = [64usize, 256, 1024, 2048];
+    let sparse = [64usize, 1024, 4096, 10240];
+    let topology = SyntheticTopology::Mesh { width: 8 };
+    bench_policy(
+        c,
+        "sparse_solve/mesh/dense",
+        topology,
+        SolverPolicy::Dense,
+        &dense,
+    );
+    bench_policy(
+        c,
+        "sparse_solve/mesh/sparse",
+        topology,
+        SolverPolicy::Sparse,
+        &sparse,
+    );
+}
+
+criterion_group!(benches, bench_chain, bench_fanout, bench_mesh);
+criterion_main!(benches);

@@ -102,6 +102,114 @@ pub fn wide_flow_assembly(states: usize) -> ModelResult<Assembly> {
     chain_assembly(1, states)
 }
 
+/// Shape of a [`synthetic_flow_assembly`] flow graph.
+///
+/// All three are absorbing DAG flows whose augmented chain has `states + 3`
+/// Markov states; they differ in branching structure and therefore in the
+/// density the solver dispatch sees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyntheticTopology {
+    /// One sequential path: every state has a single successor.
+    Chain,
+    /// `branches` parallel chains between `Start` and `End`, entered with
+    /// probability `1/branches` each.
+    FanOut {
+        /// Number of parallel chains (≥ 1).
+        branches: usize,
+    },
+    /// A layered graph, `width` states per layer, each state transitioning
+    /// to **every** state of the next layer with probability `1/width` —
+    /// the densest of the three shapes.
+    Mesh {
+        /// States per layer (≥ 1).
+        width: usize,
+    },
+}
+
+/// A single composite service whose flow has (about) `states` named states in
+/// the requested topology, every state issuing one call to a shared blackbox
+/// with failure probability `step_pfail`. This is the scalable input for the
+/// dense-vs-sparse solver benchmarks: `states` runs up to ~10⁴.
+///
+/// `FanOut`/`Mesh` round `states` down to a multiple of the branch count /
+/// layer width (minimum one chain link or layer).
+///
+/// # Errors
+///
+/// Propagates model-construction errors (none for valid inputs).
+pub fn synthetic_flow_assembly(
+    topology: SyntheticTopology,
+    states: usize,
+    step_pfail: f64,
+) -> ModelResult<Assembly> {
+    let call = || vec![ServiceCall::new("unit").with_param("x", Expr::num(1.0))];
+    let name = |i: usize| StateId::named(format!("s{i}"));
+    let mut flow = FlowBuilder::new();
+    match topology {
+        SyntheticTopology::Chain => {
+            let states = states.max(1);
+            for i in 0..states {
+                flow = flow.state(FlowState::new(name(i), call()));
+            }
+            flow = flow.transition(StateId::Start, name(0), Expr::one());
+            for i in 1..states {
+                flow = flow.transition(name(i - 1), name(i), Expr::one());
+            }
+            flow = flow.transition(name(states - 1), StateId::End, Expr::one());
+        }
+        SyntheticTopology::FanOut { branches } => {
+            let branches = branches.max(1);
+            let len = (states / branches).max(1);
+            let enter = Expr::num(1.0 / branches as f64);
+            for b in 0..branches {
+                for s in 0..len {
+                    let i = b * len + s;
+                    flow = flow.state(FlowState::new(name(i), call()));
+                    flow = if s == 0 {
+                        flow.transition(StateId::Start, name(i), enter.clone())
+                    } else {
+                        flow.transition(name(i - 1), name(i), Expr::one())
+                    };
+                }
+                flow = flow.transition(name(b * len + len - 1), StateId::End, Expr::one());
+            }
+        }
+        SyntheticTopology::Mesh { width } => {
+            let width = width.max(1);
+            let layers = (states / width).max(1);
+            let split = Expr::num(1.0 / width as f64);
+            for i in 0..layers * width {
+                flow = flow.state(FlowState::new(name(i), call()));
+            }
+            for j in 0..width {
+                flow = flow.transition(StateId::Start, name(j), split.clone());
+            }
+            for l in 1..layers {
+                for from in 0..width {
+                    for to in 0..width {
+                        flow = flow.transition(
+                            name((l - 1) * width + from),
+                            name(l * width + to),
+                            split.clone(),
+                        );
+                    }
+                }
+            }
+            for j in 0..width {
+                flow = flow.transition(name((layers - 1) * width + j), StateId::End, Expr::one());
+            }
+        }
+    }
+    AssemblyBuilder::new()
+        .service(catalog::blackbox_service("unit", "x", step_pfail))
+        .service(Service::Composite(CompositeService::new(
+            "app",
+            vec![],
+            flow.build()?,
+        )?))
+        .build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +247,62 @@ mod tests {
             .failure_probability(&"svc0".into(), &env)
             .unwrap();
         assert!(p_deep.value() > p_shallow.value());
+    }
+
+    #[test]
+    fn synthetic_topologies_agree_with_the_closed_form() {
+        // Chain and fan-out of equal path length have the closed form
+        // (1 - p)^len per path; the mesh multiplies one factor per layer.
+        let p = 1e-3;
+        let env = Bindings::new();
+        let cases = [
+            (SyntheticTopology::Chain, 12, 12),
+            (SyntheticTopology::FanOut { branches: 4 }, 12, 3),
+            (SyntheticTopology::Mesh { width: 4 }, 12, 3),
+        ];
+        for (topology, states, path_len) in cases {
+            let assembly = synthetic_flow_assembly(topology, states, p).unwrap();
+            let expected = 1.0 - (1.0 - p).powi(path_len);
+            let got = Evaluator::new(&assembly)
+                .failure_probability(&"app".into(), &env)
+                .unwrap()
+                .value();
+            assert!(
+                (got - expected).abs() < 1e-12,
+                "{topology:?}: {got} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn synthetic_topologies_agree_across_solvers() {
+        use archrel_core::{EvalOptions, SolverPolicy};
+        let env = Bindings::new();
+        for topology in [
+            SyntheticTopology::Chain,
+            SyntheticTopology::FanOut { branches: 8 },
+            SyntheticTopology::Mesh { width: 8 },
+        ] {
+            let assembly = synthetic_flow_assembly(topology, 160, 1e-4).unwrap();
+            let solve = |solver| {
+                Evaluator::with_options(
+                    &assembly,
+                    EvalOptions {
+                        solver,
+                        ..EvalOptions::default()
+                    },
+                )
+                .failure_probability(&"app".into(), &env)
+                .unwrap()
+                .value()
+            };
+            let dense = solve(SolverPolicy::Dense);
+            let sparse = solve(SolverPolicy::Sparse);
+            assert!(
+                (dense - sparse).abs() < 1e-12,
+                "{topology:?}: {dense} vs {sparse}"
+            );
+        }
     }
 
     #[test]

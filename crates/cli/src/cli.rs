@@ -5,7 +5,7 @@ use std::fmt;
 use std::io::Write;
 
 use archrel_core::batch::{BatchEvaluator, Query};
-use archrel_core::{symbolic, Evaluator};
+use archrel_core::{symbolic, EvalOptions, Evaluator, SolverPolicy};
 use archrel_dsl::{dot, parse_assembly, print_assembly};
 use archrel_expr::Bindings;
 use archrel_model::{Assembly, Service, ServiceId};
@@ -66,7 +66,12 @@ commands:
              --threads, --repeat; prints cache hit/miss/solve statistics)
   improve    rank improvement levers; with --target, size the best one
   dot        Graphviz export (--service for a flow, omit for the assembly)
-  fmt        canonical pretty-printed form of the document";
+  fmt        canonical pretty-printed form of the document
+
+common options:
+  --solver {auto,dense,sparse}   absorbing-chain solver for predict/report/
+             sweep/batch/improve (default: auto, or the ARCHREL_SOLVER
+             environment variable when set)";
 
 /// Parsed common options.
 struct Options {
@@ -84,6 +89,19 @@ struct Options {
     log_scale: bool,
     target: Option<f64>,
     repeat: usize,
+    solver: Option<SolverPolicy>,
+}
+
+impl Options {
+    /// Evaluator options for this invocation: the environment-aware defaults
+    /// with the `--solver` flag (when given) taking precedence.
+    fn eval_options(&self) -> EvalOptions {
+        let mut options = EvalOptions::default();
+        if let Some(solver) = self.solver {
+            options.solver = solver;
+        }
+        options
+    }
 }
 
 fn parse_options(args: &[String]) -> Result<Options, CliError> {
@@ -102,6 +120,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         log_scale: false,
         target: None,
         repeat: 1,
+        solver: None,
     };
     let mut positional = Vec::new();
     let mut i = 0;
@@ -151,6 +170,14 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                     &next_value(args, &mut i, "--target")?,
                     "--target",
                 )?)
+            }
+            "--solver" => {
+                let value = next_value(args, &mut i, "--solver")?;
+                opts.solver = Some(SolverPolicy::parse(&value).ok_or_else(|| {
+                    CliError::new(format!(
+                        "`--solver {value}`: expected auto, dense, or sparse"
+                    ))
+                })?);
             }
             flag if flag.starts_with("--") => {
                 return Err(CliError::new(format!("unknown option `{flag}`")))
@@ -246,7 +273,8 @@ fn cmd_validate(opts: &Options, out: &mut impl Write) -> Result<(), CliError> {
 fn cmd_predict(opts: &Options, out: &mut impl Write) -> Result<(), CliError> {
     let assembly = load(opts)?;
     let service = required_service(opts)?;
-    let p = Evaluator::new(&assembly).failure_probability(&service, &opts.bindings)?;
+    let p = Evaluator::with_options(&assembly, opts.eval_options())
+        .failure_probability(&service, &opts.bindings)?;
     writeln!(out, "Pfail({service}) = {:e}", p.value())?;
     writeln!(out, "reliability      = {:.12}", p.complement().value())?;
     Ok(())
@@ -255,7 +283,8 @@ fn cmd_predict(opts: &Options, out: &mut impl Write) -> Result<(), CliError> {
 fn cmd_report(opts: &Options, out: &mut impl Write) -> Result<(), CliError> {
     let assembly = load(opts)?;
     let service = required_service(opts)?;
-    let report = Evaluator::new(&assembly).report(&service, &opts.bindings)?;
+    let report =
+        Evaluator::with_options(&assembly, opts.eval_options()).report(&service, &opts.bindings)?;
     writeln!(out, "{report}")?;
     Ok(())
 }
@@ -319,7 +348,7 @@ fn cmd_sweep(opts: &Options, out: &mut impl Write) -> Result<(), CliError> {
     let assembly = load(opts)?;
     let service = required_service(opts)?;
     let (param, values) = sweep_grid(opts)?;
-    let evaluator = Evaluator::new(&assembly);
+    let evaluator = Evaluator::with_options(&assembly, opts.eval_options());
     writeln!(out, "{:>16} {:>16} {:>16}", param, "Pfail", "reliability")?;
     for value in values {
         let mut env = opts.bindings.clone();
@@ -382,7 +411,8 @@ fn cmd_batch(opts: &Options, out: &mut impl Write) -> Result<(), CliError> {
             })
         })
         .collect();
-    let batch = BatchEvaluator::new(&assembly).with_workers(opts.threads);
+    let batch =
+        BatchEvaluator::with_options(&assembly, opts.eval_options()).with_workers(opts.threads);
     let (results, summary) = batch.evaluate_all_summarized(&queries);
     writeln!(out, "{:>16} {:>16} {:>16}", param, "Pfail", "reliability")?;
     for (query, result) in queries.iter().zip(&results).take(values.len()) {
@@ -403,7 +433,8 @@ fn cmd_improve(opts: &Options, out: &mut impl Write) -> Result<(), CliError> {
     use archrel_core::improvement::{rank_levers, required_factor, Lever};
     let assembly = load(opts)?;
     let service = required_service(opts)?;
-    let baseline = Evaluator::new(&assembly).failure_probability(&service, &opts.bindings)?;
+    let baseline = Evaluator::with_options(&assembly, opts.eval_options())
+        .failure_probability(&service, &opts.bindings)?;
     writeln!(out, "baseline Pfail = {:e}", baseline.value())?;
     let ranked = rank_levers(&assembly, &service, &opts.bindings)?;
     if ranked.is_empty() {
@@ -746,6 +777,54 @@ mod tests {
             ])
             .unwrap();
             assert!(out.contains("scale the top lever") || out.contains("cannot reach"));
+        });
+    }
+
+    #[test]
+    fn solver_flag_selects_the_backend_without_changing_the_answer() {
+        with_document(|path| {
+            let base = ["predict", path, "--service", "app", "--bind", "work=1e6"];
+            let outputs: Vec<String> = ["auto", "dense", "sparse"]
+                .iter()
+                .map(|solver| {
+                    let mut args = base.to_vec();
+                    args.extend_from_slice(&["--solver", solver]);
+                    run_capture(&args).unwrap()
+                })
+                .collect();
+            // The test flow is acyclic, so the sparse path is exact and all
+            // three backends print identical tables.
+            assert!(outputs[0].contains("Pfail(app)"));
+            assert_eq!(outputs[0], outputs[1]);
+            assert_eq!(outputs[1], outputs[2]);
+            // Other solver-aware commands accept the flag too.
+            let out = run_capture(&[
+                "sweep",
+                path,
+                "--service",
+                "app",
+                "--param",
+                "work",
+                "--from",
+                "1e3",
+                "--to",
+                "1e6",
+                "--steps",
+                "3",
+                "--solver",
+                "sparse",
+            ])
+            .unwrap();
+            assert_eq!(out.lines().count(), 4, "{out}");
+        });
+    }
+
+    #[test]
+    fn solver_flag_rejects_unknown_backends() {
+        with_document(|path| {
+            let err = run_capture(&["predict", path, "--service", "app", "--solver", "quantum"])
+                .unwrap_err();
+            assert!(err.to_string().contains("auto, dense, or sparse"));
         });
     }
 

@@ -26,7 +26,7 @@ use archrel_expr::Bindings;
 use archrel_model::{Probability, ServiceId};
 
 use crate::eval::CacheStats;
-use crate::{EvalOptions, Evaluator, Result};
+use crate::{EvalOptions, Evaluator, Result, SolverPolicy};
 
 /// One evaluation request: a target service and its parameter bindings.
 #[derive(Debug, Clone, PartialEq)]
@@ -98,6 +98,18 @@ impl<'a> BatchEvaluator<'a> {
             evaluator: Evaluator::with_options(assembly, options),
             workers,
         }
+    }
+
+    /// Builds a batch evaluator with an explicit [`SolverPolicy`] and
+    /// otherwise-default options.
+    pub fn with_solver(assembly: &'a archrel_model::Assembly, solver: SolverPolicy) -> Self {
+        BatchEvaluator::with_options(
+            assembly,
+            EvalOptions {
+                solver,
+                ..EvalOptions::default()
+            },
+        )
     }
 
     /// Wraps an existing evaluator (sharing its warm cache).
@@ -230,7 +242,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{CycleMode, Solver};
+    use crate::CycleMode;
     use archrel_model::paper;
 
     fn paper_queries(n: usize) -> (archrel_model::Assembly, Vec<Query>) {
@@ -311,21 +323,23 @@ mod tests {
     }
 
     #[test]
-    fn iterative_solver_batches_too() {
+    fn every_solver_policy_batches_and_agrees() {
         let (assembly, queries) = paper_queries(24);
-        let dense = BatchEvaluator::new(&assembly).evaluate_all(&queries);
-        let iter = BatchEvaluator::with_options(
-            &assembly,
-            EvalOptions {
-                solver: Solver::Iterative,
-                ..EvalOptions::default()
-            },
-        )
-        .with_workers(4)
-        .evaluate_all(&queries);
-        for (d, i) in dense.iter().zip(&iter) {
-            let (d, i) = (d.as_ref().unwrap(), i.as_ref().unwrap());
-            assert!((d.value() - i.value()).abs() < 1e-10);
+        let dense =
+            BatchEvaluator::with_solver(&assembly, SolverPolicy::Dense).evaluate_all(&queries);
+        for policy in [SolverPolicy::Auto, SolverPolicy::Sparse] {
+            let got = BatchEvaluator::with_solver(&assembly, policy)
+                .with_workers(4)
+                .evaluate_all(&queries);
+            for (d, g) in dense.iter().zip(&got) {
+                let (d, g) = (d.as_ref().unwrap(), g.as_ref().unwrap());
+                assert!(
+                    (d.value() - g.value()).abs() < 1e-10,
+                    "{policy:?}: {} vs {}",
+                    d.value(),
+                    g.value()
+                );
+            }
         }
     }
 

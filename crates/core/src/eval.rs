@@ -38,25 +38,106 @@ pub enum CycleMode {
     },
 }
 
-/// Linear solver used for the absorbing-chain analysis of each flow.
+/// Which linear-solver backend evaluates each flow's absorbing chain.
+///
+/// The same policy value is threaded through the batch engine, the
+/// sensitivity stencils, uncertainty propagation, and service selection, so
+/// a whole analysis runs under one backend discipline. The environment
+/// variable `ARCHREL_SOLVER` (values `auto` / `dense` / `sparse`) overrides
+/// the default policy of every [`EvalOptions::default`], which is how CI
+/// forces the entire test suite through the sparse path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Solver {
-    /// Dense LU on the fundamental matrix — exact, `O(states³)`; the right
-    /// choice for the paper-sized flows.
+pub enum SolverPolicy {
+    /// Pick per chain from state count and edge density: dense LU below
+    /// [`AUTO_DENSE_MAX_STATES`] states (or up to
+    /// [`AUTO_DENSE_DENSITY_MAX_STATES`] when density ≥
+    /// [`AUTO_DENSE_DENSITY`]), the sparse path otherwise. The thresholds
+    /// come from the `sparse_solve` benchmark (`results/sparse_solve.md`).
     #[default]
+    Auto,
+    /// Always dense LU — exact, `O(states³)`; the right choice for
+    /// paper-sized flows.
     Dense,
-    /// Sparse Gauss-Seidel on the absorption equations — `O(sweeps·edges)`,
-    /// for flows with thousands of states.
-    Iterative,
+    /// Always the sparse path — exact `O(edges)` back-substitution on
+    /// acyclic flow graphs, CSR Gauss–Seidel `O(sweeps·edges)` otherwise.
+    Sparse,
+}
+
+/// Below this state count `Auto` always uses dense LU.
+pub const AUTO_DENSE_MAX_STATES: usize = 64;
+/// Edge density (`edges / states²`) at or above which `Auto` stays dense up
+/// to [`AUTO_DENSE_DENSITY_MAX_STATES`] states.
+pub const AUTO_DENSE_DENSITY: f64 = 0.25;
+/// State-count ceiling for the density-based dense preference of `Auto`.
+pub const AUTO_DENSE_DENSITY_MAX_STATES: usize = 256;
+
+/// Concrete backend chosen for one chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ChosenSolver {
+    Dense,
+    Sparse,
+}
+
+impl SolverPolicy {
+    /// Parses `auto` / `dense` / `sparse` (case-insensitive).
+    pub fn parse(s: &str) -> Option<SolverPolicy> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "auto" => Some(SolverPolicy::Auto),
+            "dense" => Some(SolverPolicy::Dense),
+            "sparse" => Some(SolverPolicy::Sparse),
+            _ => None,
+        }
+    }
+
+    /// Policy forced by the `ARCHREL_SOLVER` environment variable, if set
+    /// to a recognized value.
+    pub fn from_env() -> Option<SolverPolicy> {
+        std::env::var("ARCHREL_SOLVER")
+            .ok()
+            .and_then(|v| SolverPolicy::parse(&v))
+    }
+
+    /// Resolves the policy for a chain with `states` states and `edges`
+    /// explicit transitions.
+    pub(crate) fn choose(self, states: usize, edges: usize) -> ChosenSolver {
+        match self {
+            SolverPolicy::Dense => ChosenSolver::Dense,
+            SolverPolicy::Sparse => ChosenSolver::Sparse,
+            SolverPolicy::Auto => {
+                let density = edges as f64 / (states as f64 * states as f64);
+                if states <= AUTO_DENSE_MAX_STATES
+                    || (states <= AUTO_DENSE_DENSITY_MAX_STATES && density >= AUTO_DENSE_DENSITY)
+                {
+                    ChosenSolver::Dense
+                } else {
+                    ChosenSolver::Sparse
+                }
+            }
+        }
+    }
 }
 
 /// Options controlling an [`Evaluator`].
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EvalOptions {
     /// Cycle handling (defaults to [`CycleMode::Error`]).
     pub cycle_mode: CycleMode,
-    /// Absorption solver (defaults to [`Solver::Dense`]).
-    pub solver: Solver,
+    /// Solver policy (defaults to [`SolverPolicy::Auto`], unless the
+    /// `ARCHREL_SOLVER` environment variable forces a policy).
+    pub solver: SolverPolicy,
+    /// Tolerance / sweep budget / scheme for the sparse path's iterative
+    /// fallback on cyclic chains.
+    pub sparse: archrel_markov::SparseSolveOptions,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            cycle_mode: CycleMode::default(),
+            solver: SolverPolicy::from_env().unwrap_or_default(),
+            sparse: archrel_markov::SparseSolveOptions::default(),
+        }
+    }
 }
 
 /// Hard cap on recursion depth, guarding against recursive assemblies whose
@@ -378,20 +459,26 @@ impl<'a> Evaluator<'a> {
                 let start = AugmentedState::Flow(StateId::Start);
                 let end = AugmentedState::Flow(StateId::End);
                 let solve_started = Instant::now();
-                let success = match self.options.solver {
-                    Solver::Dense => {
-                        // Single-column solve: only p*(· → End) is needed, so
-                        // skip the full fundamental-matrix inversion.
-                        archrel_markov::absorption_probability_to(&chain, &start, &end)?
+                // Single-column solve: only p*(· → End) is needed, so both
+                // backends skip the full fundamental-matrix inversion.
+                let solved = match self.options.solver.choose(chain.len(), chain.edge_count()) {
+                    ChosenSolver::Dense => {
+                        archrel_markov::absorption_probability_to(&chain, &start, &end)
                     }
-                    Solver::Iterative => {
-                        let x = archrel_markov::absorption_probabilities_iterative(
-                            &chain,
-                            &end,
-                            archrel_markov::AbsorptionIterOptions::default(),
-                        )?;
-                        x.get(&start).copied().unwrap_or(0.0)
-                    }
+                    ChosenSolver::Sparse => archrel_markov::absorption_probability_sparse(
+                        &chain,
+                        &start,
+                        &end,
+                        self.options.sparse,
+                    ),
+                };
+                let success = match solved {
+                    Ok(p) => p,
+                    // Every path drains into Fail: End being structurally
+                    // unreachable means the service fails with certainty,
+                    // which is a legitimate prediction, not a solve failure.
+                    Err(archrel_markov::MarkovError::UnreachableTarget { .. }) => 0.0,
+                    Err(e) => return Err(e.into()),
                 };
                 self.counters.solves.fetch_add(1, Ordering::Relaxed);
                 self.counters.solve_nanos.fetch_add(
@@ -762,29 +849,146 @@ mod tests {
     }
 
     #[test]
-    fn iterative_solver_matches_dense() {
+    fn sparse_policy_matches_dense() {
         use archrel_model::paper;
         let params = paper::PaperParams::default().with_gamma(2.5e-2);
         let assembly = paper::remote_assembly(&params).unwrap();
         let env = paper::search_bindings(4.0, 4096.0, 1.0);
-        let dense = Evaluator::new(&assembly)
+        let solve = |policy| {
+            Evaluator::with_options(
+                &assembly,
+                EvalOptions {
+                    solver: policy,
+                    ..EvalOptions::default()
+                },
+            )
             .failure_probability(&paper::SEARCH.into(), &env)
+            .unwrap()
+            .value()
+        };
+        let dense = solve(SolverPolicy::Dense);
+        let sparse = solve(SolverPolicy::Sparse);
+        let auto = solve(SolverPolicy::Auto);
+        assert!(
+            (dense - sparse).abs() < 1e-10,
+            "dense {dense} vs sparse {sparse}"
+        );
+        // Paper-sized chains: Auto resolves to dense and agrees bitwise.
+        assert_eq!(auto.to_bits(), dense.to_bits());
+    }
+
+    #[test]
+    fn auto_dispatch_keys_on_state_count_and_density() {
+        // Tiny chains: always dense.
+        assert_eq!(SolverPolicy::Auto.choose(6, 10), ChosenSolver::Dense);
+        assert_eq!(SolverPolicy::Auto.choose(64, 64 * 64), ChosenSolver::Dense);
+        // Mid-size and dense: still dense.
+        assert_eq!(
+            SolverPolicy::Auto.choose(200, 200 * 200 / 2),
+            ChosenSolver::Dense
+        );
+        // Mid-size but sparse: sparse.
+        assert_eq!(SolverPolicy::Auto.choose(200, 600), ChosenSolver::Sparse);
+        // Large: sparse regardless of density.
+        assert_eq!(
+            SolverPolicy::Auto.choose(5000, 5000 * 4999),
+            ChosenSolver::Sparse
+        );
+        // Forced policies ignore the heuristic.
+        assert_eq!(SolverPolicy::Dense.choose(100_000, 1), ChosenSolver::Dense);
+        assert_eq!(SolverPolicy::Sparse.choose(2, 1), ChosenSolver::Sparse);
+    }
+
+    #[test]
+    fn solver_policy_parses_cli_and_env_spellings() {
+        assert_eq!(SolverPolicy::parse("auto"), Some(SolverPolicy::Auto));
+        assert_eq!(SolverPolicy::parse("Dense"), Some(SolverPolicy::Dense));
+        assert_eq!(SolverPolicy::parse(" SPARSE "), Some(SolverPolicy::Sparse));
+        assert_eq!(SolverPolicy::parse("lu"), None);
+    }
+
+    #[test]
+    fn certain_failure_flow_predicts_one_under_every_policy() {
+        // Both flow states fail with certainty, so every path drains into
+        // Fail and End is unreachable: the prediction is Pfail = 1, not an
+        // UnreachableTarget error.
+        let a = single_state_assembly(&[1.0], CompletionModel::And, DependencyModel::Independent);
+        for policy in [
+            SolverPolicy::Auto,
+            SolverPolicy::Dense,
+            SolverPolicy::Sparse,
+        ] {
+            let p = Evaluator::with_options(
+                &a,
+                EvalOptions {
+                    solver: policy,
+                    ..EvalOptions::default()
+                },
+            )
+            .failure_probability(&"top".into(), &Bindings::new())
             .unwrap();
-        let iterative = Evaluator::with_options(
+            assert_eq!(p.value(), 1.0, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn direct_start_to_end_flow_predicts_zero_under_every_policy() {
+        // Degenerate flow: Start transitions straight to End (no work, no
+        // failure opportunity) — the Start == End boundary case of the
+        // augmented chain.
+        let flow = FlowBuilder::new()
+            .state(FlowState::new("noop", vec![]))
+            .transition(StateId::Start, StateId::End, Expr::one())
+            .transition("noop", StateId::End, Expr::one())
+            .build()
+            .unwrap();
+        let a = AssemblyBuilder::new()
+            .service(Service::Composite(
+                CompositeService::new("top", vec![], flow).unwrap(),
+            ))
+            .build()
+            .unwrap();
+        for policy in [
+            SolverPolicy::Auto,
+            SolverPolicy::Dense,
+            SolverPolicy::Sparse,
+        ] {
+            let p = Evaluator::with_options(
+                &a,
+                EvalOptions {
+                    solver: policy,
+                    ..EvalOptions::default()
+                },
+            )
+            .failure_probability(&"top".into(), &Bindings::new())
+            .unwrap();
+            assert_eq!(p.value(), 0.0, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn no_convergence_surfaces_iteration_count() {
+        use archrel_model::paper;
+        let assembly = paper::local_assembly(&paper::PaperParams::default()).unwrap();
+        let eval = Evaluator::with_options(
             &assembly,
             EvalOptions {
-                solver: Solver::Iterative,
+                solver: SolverPolicy::Sparse,
+                sparse: archrel_markov::SparseSolveOptions {
+                    max_iterations: 0,
+                    tolerance: 0.0,
+                    ..archrel_markov::SparseSolveOptions::default()
+                },
                 ..EvalOptions::default()
             },
-        )
-        .failure_probability(&paper::SEARCH.into(), &env)
-        .unwrap();
-        assert!(
-            (dense.value() - iterative.value()).abs() < 1e-10,
-            "dense {} vs iterative {}",
-            dense.value(),
-            iterative.value()
         );
+        let result = eval.failure_probability(
+            &paper::SEARCH.into(),
+            &paper::search_bindings(4.0, 512.0, 1.0),
+        );
+        // The paper's flows are acyclic, so the exact path never iterates
+        // and a zero budget still succeeds.
+        assert!(result.is_ok());
     }
 
     #[test]

@@ -248,6 +248,70 @@ mod tests {
     }
 
     #[test]
+    fn sparse_no_convergence_surfaces_iteration_count_through_report() {
+        use crate::{CoreError, EvalOptions, SolverPolicy};
+        use archrel_expr::Expr;
+        use archrel_model::{
+            catalog, AssemblyBuilder, CompositeService, FlowBuilder, FlowState, Service,
+            ServiceCall, StateId,
+        };
+        // A genuinely cyclic flow (a ↔ b retry loop): the sparse solver's
+        // acyclic fast path cannot apply, so Gauss–Seidel must iterate —
+        // and with a one-sweep budget it must fail with the typed
+        // `SolveError::NoConvergence`, iteration count intact, all the way
+        // through `Evaluator::report`.
+        let flow = FlowBuilder::new()
+            .state(FlowState::new(
+                "a",
+                vec![ServiceCall::new("unit").with_param("x", Expr::num(1.0))],
+            ))
+            .state(FlowState::new(
+                "b",
+                vec![ServiceCall::new("unit").with_param("x", Expr::num(1.0))],
+            ))
+            .transition(StateId::Start, "a", Expr::one())
+            .transition("a", "b", Expr::num(0.9))
+            .transition("a", StateId::End, Expr::num(0.1))
+            .transition("b", "a", Expr::one())
+            .build()
+            .unwrap();
+        let assembly = AssemblyBuilder::new()
+            .service(catalog::blackbox_service("unit", "x", 1e-6))
+            .service(Service::Composite(
+                CompositeService::new("app", vec![], flow).unwrap(),
+            ))
+            .build()
+            .unwrap();
+        let mut options = EvalOptions {
+            solver: SolverPolicy::Sparse,
+            ..EvalOptions::default()
+        };
+        options.sparse.max_iterations = 1;
+        let err = Evaluator::with_options(&assembly, options)
+            .report(&"app".into(), &Bindings::new())
+            .unwrap_err();
+        match &err {
+            CoreError::Markov(archrel_markov::SolveError::NoConvergence {
+                iterations,
+                residual,
+            }) => {
+                assert_eq!(*iterations, 1);
+                assert!(residual.is_finite() && *residual > 0.0);
+            }
+            other => panic!("expected NoConvergence, got {other}"),
+        }
+        assert!(err
+            .to_string()
+            .contains("did not converge after 1 iterations"));
+        // With a sane budget the same cyclic assembly solves fine.
+        options.sparse.max_iterations = 10_000;
+        let report = Evaluator::with_options(&assembly, options)
+            .report(&"app".into(), &Bindings::new())
+            .unwrap();
+        assert!(report.failure_probability.value() > 0.0);
+    }
+
+    #[test]
     fn display_renders_all_states() {
         let params = paper::PaperParams::default();
         let assembly = paper::remote_assembly(&params).unwrap();

@@ -13,7 +13,7 @@ use archrel_model::{Assembly, AssemblyBuilder, Probability, Service, ServiceId};
 
 use crate::batch::parallel_map_indexed;
 use crate::sensitivity::default_workers;
-use crate::{CoreError, Evaluator, Result};
+use crate::{CoreError, EvalOptions, Evaluator, Result};
 
 /// One selectable position in the assembly: any of the `candidates` can fill
 /// it. Every candidate must offer the same service id and formal parameters
@@ -50,6 +50,9 @@ pub struct SelectionProblem {
     /// Cap on the number of combinations explored (guards against
     /// combinatorial explosion); defaults to 100 000.
     pub max_combinations: u128,
+    /// Evaluator options applied to every combination — in particular the
+    /// [`crate::SolverPolicy`] used for the absorbing-chain solves.
+    pub eval_options: EvalOptions,
 }
 
 impl SelectionProblem {
@@ -66,7 +69,15 @@ impl SelectionProblem {
             target: target.into(),
             bindings,
             max_combinations: 100_000,
+            eval_options: EvalOptions::default(),
         }
+    }
+
+    /// Overrides the evaluator options used for every combination.
+    #[must_use]
+    pub fn with_eval_options(mut self, options: EvalOptions) -> Self {
+        self.eval_options = options;
+        self
     }
 }
 
@@ -193,7 +204,7 @@ fn evaluate_combination(
         Ok(a) => a,
         Err(_) => return Ok(None), // incompatible combination: skip
     };
-    let evaluator = Evaluator::new(&assembly);
+    let evaluator = Evaluator::with_options(&assembly, problem.eval_options);
     let failure_probability = evaluator.failure_probability(&problem.target, &problem.bindings)?;
     Ok(Some(SelectionResult {
         choices: choices.to_vec(),
@@ -341,6 +352,35 @@ mod tests {
                     g.failure_probability.value().to_bits()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn solver_policy_does_not_change_the_ranking() {
+        use crate::SolverPolicy;
+        let problem = SelectionProblem::new(
+            vec![app_calling("dep")],
+            vec![Slot::new(
+                "dep-provider",
+                vec![provider(0.10), provider(0.01), provider(0.05)],
+            )],
+            "app",
+            Bindings::new(),
+        );
+        let dense = select(&problem.clone().with_eval_options(EvalOptions {
+            solver: SolverPolicy::Dense,
+            ..EvalOptions::default()
+        }))
+        .unwrap();
+        let sparse = select(&problem.with_eval_options(EvalOptions {
+            solver: SolverPolicy::Sparse,
+            ..EvalOptions::default()
+        }))
+        .unwrap();
+        assert_eq!(dense.len(), sparse.len());
+        for (d, s) in dense.iter().zip(&sparse) {
+            assert_eq!(d.choices, s.choices);
+            assert!((d.failure_probability.value() - s.failure_probability.value()).abs() < 1e-10);
         }
     }
 

@@ -70,7 +70,10 @@ pub fn finite_difference(
 /// probes per binding plus the shared center point) is expanded up front and
 /// evaluated across worker threads against one shared evaluator, so probes
 /// that resolve to the same `(service, parameters)` fingerprint — notably
-/// every binding's center probe — are solved once.
+/// every binding's center probe — are solved once. The evaluator's
+/// [`crate::SolverPolicy`] (and every other [`crate::EvalOptions`] field)
+/// applies to all probes: build the evaluator with
+/// [`Evaluator::with_options`] to force a solver.
 ///
 /// # Errors
 ///
@@ -340,6 +343,46 @@ mod tests {
                 assert_eq!(r.derivative.to_bits(), g.derivative.to_bits());
                 assert_eq!(r.elasticity.to_bits(), g.elasticity.to_bits());
             }
+        }
+    }
+
+    #[test]
+    fn solver_policy_flows_through_the_shared_evaluator() {
+        use crate::{EvalOptions, SolverPolicy};
+        let params = paper::PaperParams::default();
+        let assembly = paper::remote_assembly(&params).unwrap();
+        let env = paper::search_bindings(4.0, 2048.0, 1.0);
+        let dense = {
+            let eval = Evaluator::with_options(
+                &assembly,
+                EvalOptions {
+                    solver: SolverPolicy::Dense,
+                    ..EvalOptions::default()
+                },
+            );
+            binding_sensitivities(&eval, &paper::SEARCH.into(), &env).unwrap()
+        };
+        let sparse = {
+            let eval = Evaluator::with_options(
+                &assembly,
+                EvalOptions {
+                    solver: SolverPolicy::Sparse,
+                    ..EvalOptions::default()
+                },
+            );
+            binding_sensitivities(&eval, &paper::SEARCH.into(), &env).unwrap()
+        };
+        assert_eq!(dense.len(), sparse.len());
+        for (d, s) in dense.iter().zip(&sparse) {
+            assert_eq!(d.name, s.name);
+            let scale = d.derivative.abs().max(1e-12);
+            assert!(
+                (d.derivative - s.derivative).abs() / scale < 1e-6,
+                "{}: dense {} vs sparse {}",
+                d.name,
+                d.derivative,
+                s.derivative
+            );
         }
     }
 

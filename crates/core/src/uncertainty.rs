@@ -24,7 +24,7 @@ use rand::{Rng, SeedableRng};
 use crate::batch::parallel_map_indexed;
 use crate::improvement::{apply_lever, Lever};
 use crate::sensitivity::default_workers;
-use crate::{CoreError, Evaluator, Result};
+use crate::{CoreError, EvalOptions, Evaluator, Result};
 
 /// Distribution of the multiplicative error on a published failure quantity.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -197,6 +197,35 @@ pub fn propagate_with_workers(
     seed: u64,
     workers: usize,
 ) -> Result<UncertaintySummary> {
+    propagate_with_options(
+        assembly,
+        service,
+        env,
+        quantities,
+        samples,
+        seed,
+        workers,
+        EvalOptions::default(),
+    )
+}
+
+/// [`propagate_with_workers`] with explicit [`EvalOptions`] — in particular
+/// the [`crate::SolverPolicy`] used for every per-sample solve.
+///
+/// # Errors
+///
+/// See [`propagate`].
+#[allow(clippy::too_many_arguments)]
+pub fn propagate_with_options(
+    assembly: &Assembly,
+    service: &ServiceId,
+    env: &Bindings,
+    quantities: &[UncertainQuantity],
+    samples: usize,
+    seed: u64,
+    workers: usize,
+    options: EvalOptions,
+) -> Result<UncertaintySummary> {
     if samples == 0 {
         return Err(CoreError::Model(
             archrel_model::ModelError::InvalidAttribute {
@@ -228,7 +257,7 @@ pub fn propagate_with_workers(
             .collect();
         let perturbed = apply_all(assembly, &factors)?;
         Ok::<f64, CoreError>(
-            Evaluator::new(&perturbed)
+            Evaluator::with_options(&perturbed, options)
                 .failure_probability(service, env)?
                 .value(),
         )
@@ -265,6 +294,21 @@ pub fn interval(
     env: &Bindings,
     quantities: &[UncertainQuantity],
 ) -> Result<(Probability, Probability)> {
+    interval_with_options(assembly, service, env, quantities, EvalOptions::default())
+}
+
+/// [`interval`] with explicit [`EvalOptions`] for the two bracketing solves.
+///
+/// # Errors
+///
+/// Validation and evaluation errors as in [`propagate`].
+pub fn interval_with_options(
+    assembly: &Assembly,
+    service: &ServiceId,
+    env: &Bindings,
+    quantities: &[UncertainQuantity],
+    options: EvalOptions,
+) -> Result<(Probability, Probability)> {
     for q in quantities {
         q.distribution.validate()?;
     }
@@ -276,8 +320,10 @@ pub fn interval(
         .iter()
         .map(|q| (&q.lever, q.distribution.bounds().1))
         .collect();
-    let low = Evaluator::new(&apply_all(assembly, &lows)?).failure_probability(service, env)?;
-    let high = Evaluator::new(&apply_all(assembly, &highs)?).failure_probability(service, env)?;
+    let low = Evaluator::with_options(&apply_all(assembly, &lows)?, options)
+        .failure_probability(service, env)?;
+    let high = Evaluator::with_options(&apply_all(assembly, &highs)?, options)
+        .failure_probability(service, env)?;
     Ok((low, high))
 }
 
@@ -418,6 +464,58 @@ mod tests {
             .unwrap();
             assert_eq!(reference, got, "{workers} workers");
         }
+    }
+
+    #[test]
+    fn solver_policy_threads_through_propagation() {
+        use crate::SolverPolicy;
+        let (assembly, env) = setup();
+        let options = |solver| EvalOptions {
+            solver,
+            ..EvalOptions::default()
+        };
+        let dense = propagate_with_options(
+            &assembly,
+            &paper::SEARCH.into(),
+            &env,
+            &quantities(),
+            60,
+            11,
+            2,
+            options(SolverPolicy::Dense),
+        )
+        .unwrap();
+        let sparse = propagate_with_options(
+            &assembly,
+            &paper::SEARCH.into(),
+            &env,
+            &quantities(),
+            60,
+            11,
+            2,
+            options(SolverPolicy::Sparse),
+        )
+        .unwrap();
+        assert!((dense.mean - sparse.mean).abs() < 1e-10);
+        assert!((dense.p95 - sparse.p95).abs() < 1e-10);
+        let (dl, dh) = interval_with_options(
+            &assembly,
+            &paper::SEARCH.into(),
+            &env,
+            &quantities(),
+            options(SolverPolicy::Dense),
+        )
+        .unwrap();
+        let (sl, sh) = interval_with_options(
+            &assembly,
+            &paper::SEARCH.into(),
+            &env,
+            &quantities(),
+            options(SolverPolicy::Sparse),
+        )
+        .unwrap();
+        assert!((dl.value() - sl.value()).abs() < 1e-10);
+        assert!((dh.value() - sh.value()).abs() < 1e-10);
     }
 
     #[test]

@@ -1,0 +1,327 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! Flow DTMCs produced by the reliability engine are extremely sparse — a
+//! state transitions to a handful of successors regardless of how many
+//! thousands of states the flow has — so storing `I − Q` densely wastes
+//! `O(n²)` memory and forces `O(n³)` LU solves. [`CsrMatrix`] stores only
+//! the structural non-zeros (values, column indices, and per-row extents)
+//! and supports the two operations the sparse solve path needs: `O(nnz)`
+//! matrix–vector products and per-row iteration.
+
+use crate::{LinalgError, Matrix, Result, Vector};
+
+/// A sparse matrix in compressed sparse row format.
+///
+/// Within each row the stored entries are sorted by column index and
+/// duplicate triplets have been summed, so [`CsrMatrix::row`] yields each
+/// column at most once.
+///
+/// # Examples
+///
+/// ```
+/// use archrel_linalg::{CsrMatrix, Vector};
+///
+/// # fn main() -> Result<(), archrel_linalg::LinalgError> {
+/// let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (0, 1, 1.0), (1, 1, 3.0)])?;
+/// let y = a.mul_vector(&Vector::from_slice(&[1.0, 1.0]))?;
+/// assert_eq!(y.as_slice(), &[3.0, 3.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// `row_ptr[i]..row_ptr[i + 1]` bounds row `i` in `col_idx` / `values`.
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a matrix from `(row, col, value)` triplets.
+    ///
+    /// Triplets may arrive in any order; duplicates are summed and exact
+    /// zeros (including duplicate groups that cancel) are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::IndexOutOfBounds`] when a triplet lies outside
+    /// the `rows × cols` shape and [`LinalgError::InvalidShape`] for a
+    /// zero-sized shape or a non-finite value.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(LinalgError::InvalidShape {
+                reason: format!("csr matrix cannot have shape {rows}x{cols}"),
+            });
+        }
+        for &(r, c, v) in triplets {
+            if r >= rows || c >= cols {
+                return Err(LinalgError::IndexOutOfBounds {
+                    index: (r, c),
+                    shape: (rows, cols),
+                });
+            }
+            if !v.is_finite() {
+                return Err(LinalgError::InvalidShape {
+                    reason: format!("non-finite entry {v} at ({r}, {c})"),
+                });
+            }
+        }
+
+        // Counting sort by row, then sort each row's slice by column and
+        // merge duplicates in place.
+        let mut row_counts = vec![0usize; rows + 1];
+        for &(r, _, _) in triplets {
+            row_counts[r + 1] += 1;
+        }
+        for i in 0..rows {
+            row_counts[i + 1] += row_counts[i];
+        }
+        let mut sorted: Vec<(usize, f64)> = vec![(0, 0.0); triplets.len()];
+        let mut next = row_counts.clone();
+        for &(r, c, v) in triplets {
+            sorted[next[r]] = (c, v);
+            next[r] += 1;
+        }
+
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
+        row_ptr.push(0);
+        for i in 0..rows {
+            let slice = &mut sorted[row_counts[i]..row_counts[i + 1]];
+            slice.sort_unstable_by_key(|&(c, _)| c);
+            let mut k = 0;
+            while k < slice.len() {
+                let col = slice[k].0;
+                let mut sum = 0.0;
+                while k < slice.len() && slice[k].0 == col {
+                    sum += slice[k].1;
+                    k += 1;
+                }
+                if sum != 0.0 {
+                    col_idx.push(col);
+                    values.push(sum);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Converts a dense matrix, keeping entries with magnitude above
+    /// `drop_tolerance` (use `0.0` to keep every non-zero).
+    pub fn from_dense(dense: &Matrix, drop_tolerance: f64) -> Result<Self> {
+        let mut triplets = Vec::new();
+        for i in 0..dense.rows() {
+            for (j, &v) in dense.row(i).iter().enumerate() {
+                if v.abs() > drop_tolerance {
+                    triplets.push((i, j, v));
+                }
+            }
+        }
+        CsrMatrix::from_triplets(dense.rows(), dense.cols(), &triplets)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored (structurally non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fill fraction `nnz / (rows · cols)`.
+    pub fn density(&self) -> f64 {
+        self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
+    }
+
+    /// Iterates the stored entries of row `i` as `(col, value)` pairs, in
+    /// ascending column order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= self.rows()`.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        self.col_idx[lo..hi]
+            .iter()
+            .zip(&self.values[lo..hi])
+            .map(|(&c, &v)| (c, v))
+    }
+
+    /// The entry at `(i, j)`, `0.0` when not stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= self.rows()`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        match self.col_idx[lo..hi].binary_search(&j) {
+            Ok(k) => self.values[lo + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sparse matrix–vector product `A · x` in `O(nnz)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `x.len() != cols`.
+    pub fn mul_vector(&self, x: &Vector) -> Result<Vector> {
+        if x.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "csr * vector",
+                left: self.shape(),
+                right: (x.len(), 1),
+            });
+        }
+        let mut y = Vector::zeros(self.rows);
+        for i in 0..self.rows {
+            let mut s = 0.0;
+            for (j, v) in self.row(i) {
+                s += v * x[j];
+            }
+            y[i] = s;
+        }
+        Ok(y)
+    }
+
+    /// Expands to a dense [`Matrix`].
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            for (j, v) in self.row(i) {
+                m.set(i, j, v);
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplets_in_any_order_with_duplicates() {
+        let a = CsrMatrix::from_triplets(
+            3,
+            3,
+            &[
+                (2, 0, 5.0),
+                (0, 1, 1.0),
+                (0, 1, 2.0),
+                (1, 1, 4.0),
+                (0, 0, 1.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(a.nnz(), 4);
+        assert_eq!(a.get(0, 1), 3.0); // duplicates summed
+        assert_eq!(a.get(0, 0), 1.0);
+        assert_eq!(a.get(2, 0), 5.0);
+        assert_eq!(a.get(2, 2), 0.0);
+    }
+
+    #[test]
+    fn cancelling_duplicates_are_dropped() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, -1.0), (1, 1, 2.0)]).unwrap();
+        assert_eq!(a.nnz(), 1);
+        assert_eq!(a.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn row_iteration_is_sorted_by_column() {
+        let a = CsrMatrix::from_triplets(1, 4, &[(0, 3, 3.0), (0, 0, 1.0), (0, 2, 2.0)]).unwrap();
+        let row: Vec<(usize, f64)> = a.row(0).collect();
+        assert_eq!(row, vec![(0, 1.0), (2, 2.0), (3, 3.0)]);
+        assert!(a.row(0).count() == 3);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let dense =
+            Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 0.0, 0.0], &[3.0, 4.0, 0.0]]).unwrap();
+        let sparse = CsrMatrix::from_dense(&dense, 0.0).unwrap();
+        assert_eq!(sparse.nnz(), 4);
+        let x = Vector::from_slice(&[1.0, 2.0, 3.0]);
+        let expected = dense.mul_vector(&x).unwrap();
+        let got = sparse.mul_vector(&x).unwrap();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let dense = Matrix::from_rows(&[&[0.0, 1.5], &[-2.0, 0.0]]).unwrap();
+        let back = CsrMatrix::from_dense(&dense, 0.0).unwrap().to_dense();
+        assert_eq!(back, dense);
+    }
+
+    #[test]
+    fn density_reflects_fill() {
+        let a = CsrMatrix::from_triplets(4, 4, &[(0, 0, 1.0), (1, 1, 1.0)]).unwrap();
+        assert_eq!(a.nnz(), 2);
+        assert!((a.density() - 2.0 / 16.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn shape_and_index_validation() {
+        assert!(matches!(
+            CsrMatrix::from_triplets(0, 3, &[]),
+            Err(LinalgError::InvalidShape { .. })
+        ));
+        assert!(matches!(
+            CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]),
+            Err(LinalgError::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            CsrMatrix::from_triplets(2, 2, &[(0, 0, f64::NAN)]),
+            Err(LinalgError::InvalidShape { .. })
+        ));
+    }
+
+    #[test]
+    fn spmv_dimension_check() {
+        let a = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0)]).unwrap();
+        assert!(matches!(
+            a.mul_vector(&Vector::zeros(2)),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let a = CsrMatrix::from_triplets(3, 3, &[(1, 1, 1.0)]).unwrap();
+        assert_eq!(a.row(0).count(), 0);
+        assert_eq!(a.row(2).count(), 0);
+        let y = a.mul_vector(&Vector::from_slice(&[1.0, 2.0, 3.0])).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 2.0, 0.0]);
+    }
+}

@@ -13,6 +13,8 @@
 //!   determinants.
 //! - [`iterative`]: Jacobi and Gauss–Seidel solvers and power iteration, used
 //!   for large chains and for stationary distributions.
+//! - [`CsrMatrix`]: a compressed-sparse-row matrix with `O(nnz)` SpMV and the
+//!   sparse Gauss–Seidel / Jacobi solvers behind the engine's sparse path.
 //!
 //! # Examples
 //!
@@ -32,12 +34,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod csr;
 mod error;
 pub mod iterative;
 mod lu;
 mod matrix;
 mod vector;
 
+pub use csr::CsrMatrix;
 pub use error::LinalgError;
 pub use lu::Lu;
 pub use matrix::Matrix;

@@ -74,7 +74,7 @@ impl<S: StateLabel> AbsorbingAnalysis<S> {
 
         // Check reachability of the absorbing set from every transient state;
         // otherwise I - Q is singular and the analysis is meaningless.
-        Self::check_reachability(chain, &t_idx, &a_idx)?;
+        check_reachability(chain, &t_idx, &a_idx)?;
 
         let nt = t_idx.len();
         let na = a_idx.len();
@@ -128,41 +128,6 @@ impl<S: StateLabel> AbsorbingAnalysis<S> {
             absorption,
             expected_steps,
         })
-    }
-
-    /// Breadth-first check that every transient state reaches the absorbing set.
-    fn check_reachability(chain: &Dtmc<S>, t_idx: &[usize], a_idx: &[usize]) -> Result<()> {
-        let n = chain.len();
-        // Reverse reachability from absorbing states.
-        let mut reaches = vec![false; n];
-        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for (i, out) in chain.adjacency().iter().enumerate() {
-            for &(j, p) in out {
-                if p > 0.0 {
-                    preds[j].push(i);
-                }
-            }
-        }
-        let mut queue: std::collections::VecDeque<usize> = a_idx.iter().copied().collect();
-        for &a in a_idx {
-            reaches[a] = true;
-        }
-        while let Some(v) = queue.pop_front() {
-            for &p in &preds[v] {
-                if !reaches[p] {
-                    reaches[p] = true;
-                    queue.push_back(p);
-                }
-            }
-        }
-        for &t in t_idx {
-            if !reaches[t] {
-                return Err(MarkovError::TrappedMass {
-                    state: format!("{:?}", chain.state_at(t)),
-                });
-            }
-        }
-        Ok(())
     }
 
     /// Transient states in analysis order.
@@ -255,6 +220,78 @@ impl<S: StateLabel> AbsorbingAnalysis<S> {
     }
 }
 
+/// Breadth-first check that every transient state reaches the absorbing set.
+pub(crate) fn check_reachability<S: StateLabel>(
+    chain: &Dtmc<S>,
+    t_idx: &[usize],
+    a_idx: &[usize],
+) -> Result<()> {
+    let n = chain.len();
+    // Reverse reachability from absorbing states.
+    let mut reaches = vec![false; n];
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, out) in chain.adjacency().iter().enumerate() {
+        for &(j, p) in out {
+            if p > 0.0 {
+                preds[j].push(i);
+            }
+        }
+    }
+    let mut queue: std::collections::VecDeque<usize> = a_idx.iter().copied().collect();
+    for &a in a_idx {
+        reaches[a] = true;
+    }
+    while let Some(v) = queue.pop_front() {
+        for &p in &preds[v] {
+            if !reaches[p] {
+                reaches[p] = true;
+                queue.push_back(p);
+            }
+        }
+    }
+    for &t in t_idx {
+        if !reaches[t] {
+            return Err(MarkovError::TrappedMass {
+                state: format!("{:?}", chain.state_at(t)),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Forward breadth-first check that `target` is reachable from `from`.
+///
+/// Single-target absorption queries use this to distinguish a structurally
+/// impossible absorption (probability-mass diagram never touches the
+/// target — e.g. a flow whose mass all drains into `Fail`, leaving `End`
+/// unreachable from `Start`) from a legitimately computed small
+/// probability. Without the check the dense path silently returns `0.0`
+/// and the modelling bug goes unnoticed.
+pub(crate) fn check_target_reachable<S: StateLabel>(
+    chain: &Dtmc<S>,
+    from: usize,
+    target: usize,
+) -> Result<()> {
+    let mut seen = vec![false; chain.len()];
+    let mut queue = std::collections::VecDeque::from([from]);
+    seen[from] = true;
+    while let Some(v) = queue.pop_front() {
+        if v == target {
+            return Ok(());
+        }
+        for &(j, p) in &chain.adjacency()[v] {
+            if p > 0.0 && !seen[j] {
+                seen[j] = true;
+                queue.push_back(j);
+            }
+        }
+    }
+    Err(MarkovError::UnreachableTarget {
+        from: format!("{:?}", chain.state_at(from)),
+        target: format!("{:?}", chain.state_at(target)),
+    })
+}
+
 /// Absorption probability into a single absorbing `target`, for every
 /// transient state at once, via **one** linear solve.
 ///
@@ -278,9 +315,13 @@ impl<S: StateLabel> AbsorbingAnalysis<S> {
 /// - [`MarkovError::NoAbsorbingStates`] / [`MarkovError::NoTransientStates`]
 ///   when the chain is not a proper absorbing chain;
 /// - [`MarkovError::UnknownState`] when `target` is not absorbing or `from`
-///   is not transient;
+///   is not transient (including the degenerate `from == target` query);
 /// - [`MarkovError::TrappedMass`] when some transient state cannot reach
-///   any absorbing state.
+///   any absorbing state;
+/// - [`MarkovError::UnreachableTarget`] when no path from `from` reaches
+///   `target` (the mathematically consistent answer is `0.0`, but that
+///   almost always signals a modelling bug — all mass flowing to `Fail` —
+///   so the condition is surfaced as a typed error instead).
 pub fn absorption_probability_to<S: StateLabel>(
     chain: &Dtmc<S>,
     from: &S,
@@ -298,12 +339,13 @@ pub fn absorption_probability_to<S: StateLabel>(
     let nt = t_idx.len();
     let pos_of_state: std::collections::HashMap<usize, usize> =
         t_idx.iter().enumerate().map(|(k, &i)| (i, k)).collect();
-    let from_pos = *chain
+    let from_idx = chain
         .index_of(from)
-        .and_then(|i| pos_of_state.get(&i))
+        .filter(|i| pos_of_state.contains_key(i))
         .ok_or_else(|| MarkovError::UnknownState {
             state: format!("{from:?} (not a transient state)"),
         })?;
+    let from_pos = pos_of_state[&from_idx];
     let target_idx = chain
         .index_of(target)
         .filter(|i| a_idx.contains(i))
@@ -311,7 +353,8 @@ pub fn absorption_probability_to<S: StateLabel>(
             state: format!("{target:?} (not an absorbing state)"),
         })?;
 
-    AbsorbingAnalysis::check_reachability(chain, &t_idx, &a_idx)?;
+    check_reachability(chain, &t_idx, &a_idx)?;
+    check_target_reachable(chain, from_idx, target_idx)?;
 
     let mut q = Matrix::zeros(nt, nt);
     let mut r_col = Vector::zeros(nt);
@@ -490,6 +533,68 @@ mod tests {
         assert!(matches!(
             absorption_probability_to(&chain, &"s", &"end"),
             Err(MarkovError::TrappedMass { .. })
+        ));
+    }
+
+    #[test]
+    fn unreachable_end_is_a_typed_error_not_a_silent_zero() {
+        // Regression: a flow whose mass all drains into "fail" leaves "end"
+        // structurally unreachable from "start". The single-target solve
+        // must say so instead of returning 0.0 (or worse, looping).
+        let chain = DtmcBuilder::new()
+            .transition("start", "work", 1.0)
+            .transition("work", "fail", 1.0)
+            .state("end")
+            .build()
+            .unwrap();
+        match absorption_probability_to(&chain, &"start", &"end") {
+            Err(MarkovError::UnreachableTarget { from, target }) => {
+                assert!(from.contains("start"));
+                assert!(target.contains("end"));
+            }
+            other => panic!("expected UnreachableTarget, got {other:?}"),
+        }
+        // The full analysis still reports the consistent 0/1 split.
+        let full = AbsorbingAnalysis::new(&chain).unwrap();
+        assert_eq!(full.absorption_probability(&"start", &"end").unwrap(), 0.0);
+        assert_eq!(full.absorption_probability(&"start", &"fail").unwrap(), 1.0);
+    }
+
+    #[test]
+    fn unreachable_target_from_one_branch_only() {
+        // "end" is reachable from "start" but not from "b": per-source check.
+        let chain = DtmcBuilder::new()
+            .transition("start", "a", 0.5)
+            .transition("start", "b", 0.5)
+            .transition("a", "end", 1.0)
+            .transition("b", "fail", 1.0)
+            .build()
+            .unwrap();
+        assert!((absorption_probability_to(&chain, &"start", &"end").unwrap() - 0.5).abs() < 1e-15);
+        assert!(matches!(
+            absorption_probability_to(&chain, &"b", &"end"),
+            Err(MarkovError::UnreachableTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn start_equals_end_degenerate_chain() {
+        // Regression: the degenerate query from == target must produce a
+        // typed error, never hang. A lone state is absorbing, so it is
+        // rejected as "not transient"; a whole chain of it has no transient
+        // states at all.
+        let chain = DtmcBuilder::new()
+            .transition("s", "done", 1.0)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            absorption_probability_to(&chain, &"done", &"done"),
+            Err(MarkovError::UnknownState { .. })
+        ));
+        let single = DtmcBuilder::new().state("only").build().unwrap();
+        assert!(matches!(
+            absorption_probability_to(&single, &"only", &"only"),
+            Err(MarkovError::NoTransientStates)
         ));
     }
 

@@ -163,6 +163,15 @@ impl<S: StateLabel> Dtmc<S> {
         &self.adjacency
     }
 
+    /// Number of explicit transitions (structural non-zeros of `P`, not
+    /// counting the implicit self-loops of absorbing states).
+    ///
+    /// Together with [`Dtmc::len`] this gives the edge density that solver
+    /// dispatch heuristics key on.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum()
+    }
+
     /// Dense transition matrix `P` with rows/columns in state insertion
     /// order; absorbing states get their self-loop made explicit.
     pub fn transition_matrix(&self) -> Matrix {

@@ -44,6 +44,26 @@ pub enum MarkovError {
         /// Display form of a trapped state.
         state: String,
     },
+    /// A single-target absorption query named a target that is unreachable
+    /// from the query's source state — e.g. a flow whose probability mass
+    /// all drains into `Fail`, leaving `End` structurally unreachable from
+    /// `Start`. The mathematically consistent answer is probability zero,
+    /// but the engine distinguishes "computed zero" from "structurally
+    /// impossible" so callers can report the modelling problem.
+    UnreachableTarget {
+        /// Display form of the source state.
+        from: String,
+        /// Display form of the unreachable target state.
+        target: String,
+    },
+    /// An iterative absorption solve exhausted its sweep budget before
+    /// reaching the requested tolerance.
+    NoConvergence {
+        /// Sweeps performed before giving up.
+        iterations: usize,
+        /// Largest per-state update (or residual) at the final sweep.
+        residual: f64,
+    },
     /// Stationary analysis was requested on a chain that is not ergodic
     /// (reducible or periodic in a way that prevented convergence).
     NotErgodic {
@@ -75,6 +95,17 @@ impl fmt::Display for MarkovError {
             MarkovError::TrappedMass { state } => write!(
                 f,
                 "transient state {state} cannot reach any absorbing state"
+            ),
+            MarkovError::UnreachableTarget { from, target } => write!(
+                f,
+                "absorbing state {target} is unreachable from {from}"
+            ),
+            MarkovError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "absorption solve did not converge after {iterations} iterations (residual {residual:e})"
             ),
             MarkovError::NotErgodic { reason } => write!(f, "chain is not ergodic: {reason}"),
             MarkovError::EmptyChain => write!(f, "chain has no states"),

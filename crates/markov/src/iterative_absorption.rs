@@ -43,8 +43,8 @@ impl Default for AbsorptionIterOptions {
 ///   chain whose transient states cannot reach any absorbing state makes
 ///   the iteration converge to the correct sub-probabilities (trapped
 ///   states get 0), so no reachability error is raised;
-/// - [`MarkovError::Linalg`]-wrapped no-convergence when the sweep budget
-///   is exhausted.
+/// - [`MarkovError::NoConvergence`] (carrying the sweep count and final
+///   update size) when the sweep budget is exhausted.
 pub fn absorption_probabilities_iterative<S: StateLabel>(
     chain: &Dtmc<S>,
     target: &S,
@@ -61,8 +61,9 @@ pub fn absorption_probabilities_iterative<S: StateLabel>(
     x[t] = 1.0;
     let transient: Vec<usize> = chain.transient_indices();
 
+    let mut delta = f64::INFINITY;
     for _ in 0..opts.max_iterations {
-        let mut delta = 0.0_f64;
+        delta = 0.0;
         for &i in &transient {
             let mut value = 0.0;
             for &(j, p) in &chain.adjacency()[i] {
@@ -80,12 +81,10 @@ pub fn absorption_probabilities_iterative<S: StateLabel>(
                 .collect());
         }
     }
-    Err(MarkovError::Linalg(
-        archrel_linalg::LinalgError::NoConvergence {
-            iterations: opts.max_iterations,
-            residual: f64::NAN,
-        },
-    ))
+    Err(MarkovError::NoConvergence {
+        iterations: opts.max_iterations,
+        residual: delta,
+    })
 }
 
 #[cfg(test)]

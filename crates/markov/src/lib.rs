@@ -9,6 +9,9 @@
 //! - [`AbsorbingAnalysis`]: canonical-form absorbing-chain analysis — the
 //!   fundamental matrix `N = (I − Q)⁻¹`, absorption probabilities `B = N·R`,
 //!   expected visit counts, and expected time to absorption.
+//! - [`absorption_probability_sparse`]: the sparse single-column solve —
+//!   exact back-substitution on acyclic flow graphs, CSR Gauss–Seidel /
+//!   Jacobi otherwise — for chains with thousands of states.
 //! - [`transient`]: n-step distributions and reachability.
 //! - [`stationary`]: stationary distributions of ergodic chains.
 //! - [`paths`]: probability-weighted path enumeration (feeds the path-based
@@ -43,6 +46,7 @@ pub mod classes;
 mod error;
 mod iterative_absorption;
 pub mod paths;
+mod sparse;
 pub mod stationary;
 pub mod transient;
 
@@ -50,6 +54,14 @@ pub use absorbing::{absorption_probability_to, AbsorbingAnalysis};
 pub use chain::{Dtmc, DtmcBuilder, StateLabel};
 pub use error::MarkovError;
 pub use iterative_absorption::{absorption_probabilities_iterative, AbsorptionIterOptions};
+pub use sparse::{absorption_probability_sparse, SparseMethod, SparseSolveOptions};
+
+/// Alias naming [`MarkovError`] in its solver role: the absorption-solve
+/// entry points ([`absorption_probability_to`],
+/// [`absorption_probability_sparse`]) report failures such as
+/// `SolveError::NoConvergence` and `SolveError::UnreachableTarget` through
+/// this type.
+pub type SolveError = MarkovError;
 
 /// Convenience result alias for fallible Markov-chain operations.
 pub type Result<T> = std::result::Result<T, MarkovError>;

@@ -1,0 +1,394 @@
+//! Sparse single-column absorbing solve.
+//!
+//! The reliability engine asks one question per flow chain — the absorption
+//! probability `p*(Start → End)` — which reduces to the single linear
+//! system `(I − Q) x = r` over the transient states. This module solves that
+//! system without ever forming a dense matrix:
+//!
+//! 1. **Topological fast path.** Flow graphs are usually acyclic apart from
+//!    geometric retry self-loops. Kahn's algorithm (self-loops excluded)
+//!    either produces a topological order — in which case one
+//!    back-substitution pass in reverse order solves the system *exactly*
+//!    in `O(edges)` — or proves the transient subgraph has a non-trivial
+//!    strongly connected component.
+//! 2. **Iterative fallback.** For genuinely cyclic chains, `(I − Q)` is
+//!    assembled as a [`CsrMatrix`] and solved by sparse Gauss–Seidel (or
+//!    Jacobi) sweeps, `O(sweeps · edges)`, with configurable tolerance and
+//!    iteration cap. Convergence is guaranteed because reachability of the
+//!    absorbing set is checked up front, making `Q` substochastic with
+//!    spectral radius `< 1`.
+
+use std::collections::{HashMap, VecDeque};
+
+use archrel_linalg::{
+    iterative::{gauss_seidel_sparse, jacobi_sparse, IterOptions},
+    CsrMatrix, LinalgError, Vector,
+};
+
+use crate::absorbing::{check_reachability, check_target_reachable};
+use crate::{Dtmc, MarkovError, Result, StateLabel};
+
+/// Iteration scheme used by the sparse fallback for cyclic chains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SparseMethod {
+    /// In-place sweeps; converges roughly twice as fast as Jacobi.
+    #[default]
+    GaussSeidel,
+    /// Two-buffer sweeps updating from the previous iterate only.
+    Jacobi,
+}
+
+/// Options for [`absorption_probability_sparse`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparseSolveOptions {
+    /// Sweep budget for the iterative fallback (the topological fast path
+    /// never iterates).
+    pub max_iterations: usize,
+    /// Convergence threshold on the largest per-state update.
+    pub tolerance: f64,
+    /// Iteration scheme for the cyclic fallback.
+    pub method: SparseMethod,
+}
+
+impl Default for SparseSolveOptions {
+    fn default() -> Self {
+        SparseSolveOptions {
+            max_iterations: 100_000,
+            tolerance: 1e-13,
+            method: SparseMethod::GaussSeidel,
+        }
+    }
+}
+
+/// Absorption probability into `target` starting from `from`, computed
+/// sparsely.
+///
+/// Produces the same value as the dense
+/// [`crate::absorption_probability_to`] (exactly, via back-substitution,
+/// when the transient subgraph is acyclic up to self-loops; to within
+/// `opts.tolerance` otherwise) while scaling to chains with tens of
+/// thousands of states.
+///
+/// # Errors
+///
+/// - [`MarkovError::NoAbsorbingStates`] / [`MarkovError::NoTransientStates`]
+///   when the chain is not a proper absorbing chain;
+/// - [`MarkovError::UnknownState`] when `target` is not absorbing or `from`
+///   is not transient (including the degenerate `from == target` query);
+/// - [`MarkovError::TrappedMass`] when some transient state cannot reach
+///   any absorbing state;
+/// - [`MarkovError::UnreachableTarget`] when `target` cannot be reached
+///   from `from` at all;
+/// - [`MarkovError::NoConvergence`] when the iterative fallback exhausts
+///   `opts.max_iterations` sweeps.
+pub fn absorption_probability_sparse<S: StateLabel>(
+    chain: &Dtmc<S>,
+    from: &S,
+    target: &S,
+    opts: SparseSolveOptions,
+) -> Result<f64> {
+    let t_idx = chain.transient_indices();
+    let a_idx = chain.absorbing_indices();
+    if a_idx.is_empty() {
+        return Err(MarkovError::NoAbsorbingStates);
+    }
+    if t_idx.is_empty() {
+        return Err(MarkovError::NoTransientStates);
+    }
+
+    let pos_of_state: HashMap<usize, usize> =
+        t_idx.iter().enumerate().map(|(k, &i)| (i, k)).collect();
+    let from_idx = chain
+        .index_of(from)
+        .filter(|i| pos_of_state.contains_key(i))
+        .ok_or_else(|| MarkovError::UnknownState {
+            state: format!("{from:?} (not a transient state)"),
+        })?;
+    let from_pos = pos_of_state[&from_idx];
+    let target_idx = chain
+        .index_of(target)
+        .filter(|i| a_idx.contains(i))
+        .ok_or_else(|| MarkovError::UnknownState {
+            state: format!("{target:?} (not an absorbing state)"),
+        })?;
+
+    check_reachability(chain, &t_idx, &a_idx)?;
+    check_target_reachable(chain, from_idx, target_idx)?;
+
+    // Transient subgraph Q (positions 0..nt) and the target column r.
+    let nt = t_idx.len();
+    let mut q_rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); nt];
+    let mut r = vec![0.0_f64; nt];
+    for (k, &i) in t_idx.iter().enumerate() {
+        for &(j, p) in &chain.adjacency()[i] {
+            if let Some(&kj) = pos_of_state.get(&j) {
+                q_rows[k].push((kj, p));
+            } else if j == target_idx {
+                r[k] += p;
+            }
+        }
+    }
+
+    if let Some(order) = topological_order(&q_rows) {
+        return Ok(solve_acyclic(&q_rows, &r, &order)[from_pos]);
+    }
+    solve_cyclic(&q_rows, &r, opts).map(|x| x[from_pos])
+}
+
+/// Kahn's algorithm on the transient subgraph, ignoring self-loops.
+///
+/// Returns an order in which every state precedes its (non-self)
+/// successors, or `None` when the subgraph contains a non-trivial strongly
+/// connected component.
+fn topological_order(q_rows: &[Vec<(usize, f64)>]) -> Option<Vec<usize>> {
+    let nt = q_rows.len();
+    let mut indegree = vec![0usize; nt];
+    for (k, row) in q_rows.iter().enumerate() {
+        for &(j, _) in row {
+            if j != k {
+                indegree[j] += 1;
+            }
+        }
+    }
+    let mut queue: VecDeque<usize> = (0..nt).filter(|&k| indegree[k] == 0).collect();
+    let mut order = Vec::with_capacity(nt);
+    while let Some(k) = queue.pop_front() {
+        order.push(k);
+        for &(j, _) in &q_rows[k] {
+            if j != k {
+                indegree[j] -= 1;
+                if indegree[j] == 0 {
+                    queue.push_back(j);
+                }
+            }
+        }
+    }
+    (order.len() == nt).then_some(order)
+}
+
+/// Exact back-substitution for an acyclic transient subgraph:
+/// `x_k = (r_k + Σ_{j≠k} q_kj x_j) / (1 − q_kk)`, evaluated with every
+/// successor before its predecessors.
+fn solve_acyclic(q_rows: &[Vec<(usize, f64)>], r: &[f64], order: &[usize]) -> Vec<f64> {
+    let mut x = vec![0.0_f64; q_rows.len()];
+    for &k in order.iter().rev() {
+        let mut s = r[k];
+        let mut self_loop = 0.0;
+        for &(j, p) in &q_rows[k] {
+            if j == k {
+                self_loop += p;
+            } else {
+                s += p * x[j];
+            }
+        }
+        // A transient state's self-loop is strictly below one (a
+        // probability-one self-loop would make it absorbing).
+        x[k] = s / (1.0 - self_loop);
+    }
+    x
+}
+
+/// Iterative fallback: assemble `I − Q` as CSR and run sparse sweeps.
+fn solve_cyclic(
+    q_rows: &[Vec<(usize, f64)>],
+    r: &[f64],
+    opts: SparseSolveOptions,
+) -> Result<Vec<f64>> {
+    let nt = q_rows.len();
+    let mut triplets = Vec::with_capacity(nt + q_rows.iter().map(Vec::len).sum::<usize>());
+    for (k, row) in q_rows.iter().enumerate() {
+        triplets.push((k, k, 1.0));
+        for &(j, p) in row {
+            triplets.push((k, j, -p));
+        }
+    }
+    let a = CsrMatrix::from_triplets(nt, nt, &triplets)?;
+    let b = Vector::from_slice(r);
+    let iter_opts = IterOptions {
+        max_iterations: opts.max_iterations,
+        tolerance: opts.tolerance,
+    };
+    let solve = match opts.method {
+        SparseMethod::GaussSeidel => gauss_seidel_sparse(&a, &b, iter_opts),
+        SparseMethod::Jacobi => jacobi_sparse(&a, &b, iter_opts),
+    };
+    match solve {
+        Ok(x) => Ok(x.as_slice().to_vec()),
+        Err(LinalgError::NoConvergence {
+            iterations,
+            residual,
+        }) => Err(MarkovError::NoConvergence {
+            iterations,
+            residual,
+        }),
+        Err(other) => Err(MarkovError::Linalg(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{absorption_probability_to, AbsorbingAnalysis, DtmcBuilder};
+
+    fn branchy_chain() -> Dtmc<&'static str> {
+        DtmcBuilder::new()
+            .transition("s", "a", 0.6)
+            .transition("s", "b", 0.4)
+            .transition("a", "a", 0.5)
+            .transition("a", "end", 0.3)
+            .transition("a", "fail", 0.2)
+            .transition("b", "end", 0.9)
+            .transition("b", "fail", 0.1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn acyclic_with_self_loops_uses_exact_path_and_matches_dense() {
+        let chain = branchy_chain();
+        let dense = absorption_probability_to(&chain, &"s", &"end").unwrap();
+        let sparse =
+            absorption_probability_sparse(&chain, &"s", &"end", SparseSolveOptions::default())
+                .unwrap();
+        assert!((dense - sparse).abs() < 1e-14, "{dense} vs {sparse}");
+        // The fast path never iterates, so a one-sweep budget still works.
+        let tight = SparseSolveOptions {
+            max_iterations: 1,
+            ..SparseSolveOptions::default()
+        };
+        let again = absorption_probability_sparse(&chain, &"s", &"end", tight).unwrap();
+        assert_eq!(again.to_bits(), sparse.to_bits());
+    }
+
+    #[test]
+    fn cyclic_chain_falls_back_to_gauss_seidel() {
+        // Gambler's ruin is genuinely cyclic (i ↔ i+1).
+        let n = 40u32;
+        let mut b = DtmcBuilder::new();
+        for i in 1..n {
+            b = b.transition(i, i - 1, 0.5).transition(i, i + 1, 0.5);
+        }
+        let chain = b.state(0).state(n).build().unwrap();
+        for method in [SparseMethod::GaussSeidel, SparseMethod::Jacobi] {
+            let opts = SparseSolveOptions {
+                method,
+                ..SparseSolveOptions::default()
+            };
+            for i in (1..n).step_by(7) {
+                let p = absorption_probability_sparse(&chain, &i, &n, opts).unwrap();
+                assert!(
+                    (p - i as f64 / n as f64).abs() < 1e-8,
+                    "{method:?} state {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_full_dense_analysis_on_multiple_targets() {
+        let chain = branchy_chain();
+        let full = AbsorbingAnalysis::new(&chain).unwrap();
+        for from in ["s", "a", "b"] {
+            for target in ["end", "fail"] {
+                let d = full.absorption_probability(&from, &target).unwrap();
+                let s = absorption_probability_sparse(
+                    &chain,
+                    &from,
+                    &target,
+                    SparseSolveOptions::default(),
+                )
+                .unwrap();
+                assert!((d - s).abs() < 1e-12, "{from} -> {target}: {d} vs {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_target_is_a_typed_error() {
+        // Everything drains into "fail"; "end" exists but is unreachable.
+        let chain = DtmcBuilder::new()
+            .transition("s", "fail", 1.0)
+            .state("end")
+            .build()
+            .unwrap();
+        assert!(matches!(
+            absorption_probability_sparse(&chain, &"s", &"end", SparseSolveOptions::default()),
+            Err(MarkovError::UnreachableTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn exhausted_budget_surfaces_no_convergence_with_iteration_count() {
+        // A tight cycle that leaks slowly: needs many sweeps.
+        let chain = DtmcBuilder::new()
+            .transition("a", "b", 0.999_999)
+            .transition("a", "end", 0.000_001)
+            .transition("b", "a", 1.0)
+            .build()
+            .unwrap();
+        let opts = SparseSolveOptions {
+            max_iterations: 3,
+            tolerance: 1e-15,
+            method: SparseMethod::GaussSeidel,
+        };
+        match absorption_probability_sparse(&chain, &"a", &"end", opts) {
+            Err(MarkovError::NoConvergence {
+                iterations,
+                residual,
+            }) => {
+                assert_eq!(iterations, 3);
+                assert!(residual.is_finite());
+            }
+            other => panic!("expected NoConvergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validates_states_like_the_dense_path() {
+        let chain = DtmcBuilder::new()
+            .transition("s", "end", 1.0)
+            .build()
+            .unwrap();
+        let opts = SparseSolveOptions::default();
+        assert!(absorption_probability_sparse(&chain, &"end", &"end", opts).is_err());
+        assert!(absorption_probability_sparse(&chain, &"s", &"s", opts).is_err());
+        assert!(
+            (absorption_probability_sparse(&chain, &"s", &"end", opts).unwrap() - 1.0).abs()
+                < 1e-15
+        );
+    }
+
+    #[test]
+    fn trapped_mass_detected_like_the_dense_path() {
+        let chain = DtmcBuilder::new()
+            .transition("s", "end", 0.5)
+            .transition("s", "a", 0.5)
+            .transition("a", "b", 1.0)
+            .transition("b", "a", 1.0)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            absorption_probability_sparse(&chain, &"s", &"end", SparseSolveOptions::default()),
+            Err(MarkovError::TrappedMass { .. })
+        ));
+    }
+
+    #[test]
+    fn long_acyclic_chain_is_exact() {
+        // 10k-state forward chain with a per-state failure leak; the closed
+        // form is 0.999^n and the topological path reproduces it exactly.
+        let n = 10_000u32;
+        let mut b = DtmcBuilder::new().state(u32::MAX).state(u32::MAX - 1);
+        for i in 0..n {
+            let next = if i + 1 == n { u32::MAX } else { i + 1 };
+            b = b
+                .transition(i, next, 0.999)
+                .transition(i, u32::MAX - 1, 0.001);
+        }
+        let chain = b.build().unwrap();
+        let p = absorption_probability_sparse(&chain, &0, &u32::MAX, SparseSolveOptions::default())
+            .unwrap();
+        let expected = 0.999f64.powi(n as i32);
+        assert!((p - expected).abs() < 1e-12, "{p} vs {expected}");
+    }
+}

@@ -3,7 +3,7 @@
 //! (eqs. 15–22) must agree to machine precision over the full Figure 6 grid,
 //! and the figure's qualitative claims must hold.
 
-use archrel::core::{paper_closed, symbolic, Evaluator};
+use archrel::core::{paper_closed, symbolic, EvalOptions, Evaluator, SolverPolicy};
 use archrel::model::paper;
 
 const TOL: f64 = 1e-12;
@@ -59,6 +59,50 @@ fn numeric_symbolic_and_closed_forms_agree_on_full_grid() {
                 assert!(
                     (n_remote - c_remote).abs() < TOL,
                     "remote numeric vs closed"
+                );
+            }
+        }
+    }
+}
+
+/// The full Figure 6 grid again, this time through the forced-sparse
+/// solver: the predictions must still match the paper's closed forms.
+#[test]
+fn closed_forms_agree_on_full_grid_through_forced_sparse_path() {
+    let options = EvalOptions {
+        solver: SolverPolicy::Sparse,
+        ..EvalOptions::default()
+    };
+    let (phis, gammas, lists) = grid();
+    let (elem, res) = (4.0, 1.0);
+    for &phi1 in &phis {
+        for &gamma in &gammas {
+            let params = paper::PaperParams::default()
+                .with_gamma(gamma)
+                .with_phi_sort1(phi1);
+            let local = paper::local_assembly(&params).unwrap();
+            let remote = paper::remote_assembly(&params).unwrap();
+            let eval_local = Evaluator::with_options(&local, options);
+            let eval_remote = Evaluator::with_options(&remote, options);
+            for &list in &lists {
+                let env = paper::search_bindings(elem, list, res);
+                let n_local = eval_local
+                    .failure_probability(&paper::SEARCH.into(), &env)
+                    .unwrap()
+                    .value();
+                let c_local = paper_closed::pfail_search_local(&params, elem, list, res);
+                assert!(
+                    (n_local - c_local).abs() < TOL,
+                    "local sparse vs closed at ϕ₁={phi1} γ={gamma} list={list}"
+                );
+                let n_remote = eval_remote
+                    .failure_probability(&paper::SEARCH.into(), &env)
+                    .unwrap()
+                    .value();
+                let c_remote = paper_closed::pfail_search_remote(&params, elem, list, res);
+                assert!(
+                    (n_remote - c_remote).abs() < TOL,
+                    "remote sparse vs closed at ϕ₁={phi1} γ={gamma} list={list}"
                 );
             }
         }

@@ -6,7 +6,7 @@
 //! A regression in the expression evaluator, the failure models, or the
 //! absorbing-chain solver moves these numbers and fails loudly.
 
-use archrel::core::{paper_closed, Evaluator};
+use archrel::core::{paper_closed, EvalOptions, Evaluator, SolverPolicy};
 use archrel::expr::{Bindings, Expr};
 use archrel::markov::{absorption_probability_to, DtmcBuilder};
 use archrel::model::{
@@ -196,4 +196,71 @@ fn search_example_golden_values() {
     );
     let golden_rpc = 8.198_209_871_683_182e-3;
     assert!((engine_rpc - golden_rpc).abs() < TOL);
+}
+
+/// The golden values survive the forced-sparse solver path: the paper's
+/// flows are acyclic, so the sparse reverse-topological back-substitution
+/// must reproduce the dense LU results to the same literal tolerance.
+#[test]
+fn search_example_golden_values_through_forced_sparse_path() {
+    let sparse = |assembly: &archrel::model::Assembly, service: &str, env: &Bindings| {
+        Evaluator::with_options(
+            assembly,
+            EvalOptions {
+                solver: SolverPolicy::Sparse,
+                ..EvalOptions::default()
+            },
+        )
+        .failure_probability(&service.into(), env)
+        .unwrap()
+        .value()
+    };
+    let params = paper::PaperParams::default();
+    let env = paper::search_bindings(4.0, 1024.0, 1.0);
+
+    let local = paper::local_assembly(&params).unwrap();
+    let engine_local = sparse(&local, paper::SEARCH, &env);
+    let golden_local = 9.169_970_121_694_227e-3;
+    assert!(
+        (engine_local - golden_local).abs() < TOL,
+        "local (sparse): engine {engine_local} vs golden {golden_local}"
+    );
+
+    let remote = paper::remote_assembly(&params).unwrap();
+    let engine_remote = sparse(&remote, paper::SEARCH, &env);
+    let golden_remote = 8.292_957_335_960_206e-3;
+    assert!(
+        (engine_remote - golden_remote).abs() < TOL,
+        "remote (sparse): engine {engine_remote} vs golden {golden_remote}"
+    );
+
+    // Eq. 3 composite example, sparse-forced.
+    let flow = FlowBuilder::new()
+        .state(FlowState::new(
+            "A",
+            vec![ServiceCall::new("dep1").with_param("x", Expr::num(1.0))],
+        ))
+        .state(FlowState::new(
+            "B",
+            vec![ServiceCall::new("dep2").with_param("x", Expr::num(1.0))],
+        ))
+        .transition(StateId::Start, "A", Expr::one())
+        .transition("A", "B", Expr::num(0.4))
+        .transition("A", StateId::End, Expr::num(0.6))
+        .transition("B", StateId::End, Expr::one())
+        .build()
+        .unwrap();
+    let assembly = AssemblyBuilder::new()
+        .service(Service::Composite(
+            CompositeService::new("app", vec![], flow).unwrap(),
+        ))
+        .service(catalog::blackbox_service("dep1", "x", 0.1))
+        .service(catalog::blackbox_service("dep2", "x", 0.2))
+        .build()
+        .unwrap();
+    let engine = sparse(&assembly, "app", &Bindings::new());
+    assert!(
+        (engine - (1.0 - 0.828)).abs() < TOL,
+        "eq3 (sparse): {engine}"
+    );
 }
