@@ -22,14 +22,9 @@ const MEASURE_BUDGET: Duration = Duration::from_millis(400);
 const WARMUP_BUDGET: Duration = Duration::from_millis(60);
 
 /// Top-level benchmark driver.
+#[derive(Default)]
 pub struct Criterion {
     _private: (),
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion { _private: () }
-    }
 }
 
 /// Throughput declaration for a benchmark.

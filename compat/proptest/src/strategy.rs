@@ -290,7 +290,10 @@ mod tests {
         }
         fn depth_of(t: &Tree) -> u32 {
             match t {
-                Tree::Leaf(_) => 0,
+                Tree::Leaf(v) => {
+                    assert!(*v < 255, "leaf values come from 0u8..255");
+                    0
+                }
                 Tree::Node(a, b) => 1 + depth_of(a).max(depth_of(b)),
             }
         }

@@ -1,0 +1,81 @@
+//! Compiled-plan compile/evaluate costs vs the direct sparse solve: where
+//! is the crossover that justifies `SolverPolicy::Compiled` and the `Auto`
+//! promotion after `AUTO_PLAN_MIN_SEEN` sightings?
+//!
+//! Three groups over [`synthetic_absorbing_chain`] (the augmented-chain
+//! shape of a chain-topology synthetic assembly):
+//!
+//! - `plan_compile`: one-time structural elimination (`SolvePlan::compile`);
+//! - `plan_eval`: parameter re-extraction + tape replay per re-solve;
+//! - `sparse_solve`: the direct sparse solve the plan replaces per re-solve.
+//!
+//! Findings are recorded in `results/compiled_plan.md`; the acceptance
+//! sweep itself lives in `src/bin/exp_compiled_plan.rs`.
+
+use archrel_bench::scenarios::{synthetic_absorbing_chain, CHAIN_END};
+use archrel_markov::{absorption_probability_sparse, SolvePlan, SparseSolveOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const STEP_PFAIL: f64 = 1e-5;
+const SIZES: [usize; 4] = [64, 256, 1024, 4096];
+
+fn bench_plan_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_eval/compile");
+    group.sample_size(10);
+    for &states in &SIZES {
+        let chain = synthetic_absorbing_chain(&vec![STEP_PFAIL; states]);
+        group.throughput(Throughput::Elements(states as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(states), &states, |b, _| {
+            b.iter(|| SolvePlan::compile(&chain, &0u32, &CHAIN_END).expect("compiles"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_plan_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_eval/evaluate");
+    group.sample_size(10);
+    for &states in &SIZES {
+        let chain = synthetic_absorbing_chain(&vec![STEP_PFAIL; states]);
+        let plan = SolvePlan::compile(&chain, &0u32, &CHAIN_END).expect("compiles");
+        group.throughput(Throughput::Elements(states as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(states), &states, |b, _| {
+            b.iter(|| {
+                // Re-extraction + tape replay: the steady-state cost of one
+                // sweep point once the structure's plan is cached.
+                let params = plan.parameters(&chain).expect("same structure");
+                plan.evaluate(&params).expect("evaluates")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparse_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_eval/sparse");
+    group.sample_size(10);
+    for &states in &SIZES {
+        let chain = synthetic_absorbing_chain(&vec![STEP_PFAIL; states]);
+        group.throughput(Throughput::Elements(states as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(states), &states, |b, _| {
+            b.iter(|| {
+                absorption_probability_sparse(
+                    &chain,
+                    &0u32,
+                    &CHAIN_END,
+                    SparseSolveOptions::default(),
+                )
+                .expect("solves")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_plan_compile,
+    bench_plan_eval,
+    bench_sparse_solve
+);
+criterion_main!(benches);

@@ -4,4 +4,5 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod record;
 pub mod scenarios;

@@ -1,0 +1,218 @@
+//! Machine-readable benchmark records.
+//!
+//! Every experiment binary that writes a human-readable markdown report to
+//! `results/` also writes a `results/BENCH_<scenario>.json` companion through
+//! this module, so the performance trajectory can be tracked across PRs by
+//! diffing structured records instead of re-parsing prose. The workspace
+//! vendors no serializer, so the JSON is emitted by hand; the value model
+//! below covers exactly what benchmark records need (numbers, strings,
+//! booleans, arrays, flat objects).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// A JSON value as used by benchmark records.
+#[derive(Debug, Clone)]
+pub enum JsonValue {
+    /// A floating-point measurement (rendered with Rust's shortest
+    /// round-trip formatting).
+    Num(f64),
+    /// An integer count (states, perturbations, nanoseconds, ...).
+    Int(u128),
+    /// A string label (solver policy, scope, date).
+    Str(String),
+    /// A boolean verdict (acceptance met?).
+    Bool(bool),
+    /// An ordered list, e.g. one entry per (scope, solver) measurement.
+    Array(Vec<JsonValue>),
+    /// A nested object of named fields.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Convenience constructor for an object value.
+    pub fn object(fields: Vec<(&str, JsonValue)>) -> Self {
+        JsonValue::Object(
+            fields
+                .into_iter()
+                .map(|(name, value)| (name.to_owned(), value))
+                .collect(),
+        )
+    }
+
+    fn render(&self, out: &mut String, indent: usize) {
+        match self {
+            JsonValue::Num(v) => {
+                if v.is_finite() {
+                    let rendered = format!("{v}");
+                    out.push_str(&rendered);
+                    // Bare integral floats like `3` are valid JSON numbers,
+                    // but keep the fractional marker so readers that infer
+                    // types from the literal see a float.
+                    if !rendered.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    // JSON has no NaN/inf; null is the conventional stand-in.
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    for _ in 0..indent + 2 {
+                        out.push(' ');
+                    }
+                    item.render(out, indent + 2);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                for _ in 0..indent {
+                    out.push(' ');
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (name, value)) in fields.iter().enumerate() {
+                    for _ in 0..indent + 2 {
+                        out.push(' ');
+                    }
+                    let _ = write!(out, "\"{name}\": ");
+                    value.render(out, indent + 2);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                for _ in 0..indent {
+                    out.push(' ');
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Builder for one benchmark scenario's machine-readable record.
+///
+/// ```
+/// use archrel_bench::record::{BenchRecord, JsonValue};
+///
+/// let json = BenchRecord::new("example", "2026-08-06")
+///     .field("states", JsonValue::Int(1024))
+///     .field("median_ns", JsonValue::Int(14_700))
+///     .to_json();
+/// assert!(json.starts_with("{\n  \"scenario\": \"example\""));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    scenario: String,
+    fields: Vec<(String, JsonValue)>,
+}
+
+impl BenchRecord {
+    /// Starts a record for `scenario`, stamped with the (caller-supplied)
+    /// recording date.
+    pub fn new(scenario: &str, recorded: &str) -> Self {
+        BenchRecord {
+            scenario: scenario.to_owned(),
+            fields: vec![
+                ("scenario".to_owned(), JsonValue::Str(scenario.to_owned())),
+                ("recorded".to_owned(), JsonValue::Str(recorded.to_owned())),
+            ],
+        }
+    }
+
+    /// Appends a named field (insertion order is preserved in the output).
+    pub fn field(mut self, name: &str, value: JsonValue) -> Self {
+        self.fields.push((name.to_owned(), value));
+        self
+    }
+
+    /// Renders the record as pretty-printed JSON with a trailing newline.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        JsonValue::Object(self.fields.clone()).render(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    /// Writes `results/BENCH_<scenario>.json` (creating `results/` if
+    /// needed) and returns the path written.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let path = PathBuf::from(format!("results/BENCH_{}.json", self.scenario));
+        std::fs::create_dir_all("results")?;
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_renders_fields_in_insertion_order() {
+        let json = BenchRecord::new("demo", "2026-08-06")
+            .field("states", JsonValue::Int(1024))
+            .field("speedup", JsonValue::Num(11.5))
+            .field("acceptance_met", JsonValue::Bool(true))
+            .to_json();
+        let expected = "{\n  \"scenario\": \"demo\",\n  \"recorded\": \"2026-08-06\",\n  \
+\"states\": 1024,\n  \"speedup\": 11.5,\n  \"acceptance_met\": true\n}\n";
+        assert_eq!(json, expected);
+    }
+
+    #[test]
+    fn arrays_of_objects_nest_with_two_space_indentation() {
+        let json = BenchRecord::new("demo", "2026-08-06")
+            .field(
+                "results",
+                JsonValue::Array(vec![JsonValue::object(vec![
+                    ("solver", JsonValue::Str("sparse".into())),
+                    ("median_ns", JsonValue::Int(168_600)),
+                ])]),
+            )
+            .to_json();
+        assert!(json.contains(
+            "\"results\": [\n    {\n      \"solver\": \"sparse\",\n      \
+\"median_ns\": 168600\n    }\n  ]"
+        ));
+    }
+
+    #[test]
+    fn strings_are_escaped_and_integral_floats_keep_a_fraction() {
+        let json = BenchRecord::new("demo", "2026-08-06")
+            .field("label", JsonValue::Str("a \"quoted\"\nline".into()))
+            .field("ratio", JsonValue::Num(3.0))
+            .field("bad", JsonValue::Num(f64::NAN))
+            .to_json();
+        assert!(json.contains("\"label\": \"a \\\"quoted\\\"\\nline\""));
+        assert!(json.contains("\"ratio\": 3.0"));
+        assert!(json.contains("\"bad\": null"));
+    }
+}

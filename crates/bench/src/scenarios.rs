@@ -1,10 +1,44 @@
 //! Reusable synthetic scenarios for experiments and benchmarks.
 
 use archrel_expr::Expr;
+use archrel_markov::{Dtmc, DtmcBuilder};
 use archrel_model::{
     catalog, Assembly, AssemblyBuilder, CompletionModel, CompositeService, DependencyModel,
     FlowBuilder, FlowState, Result as ModelResult, Service, ServiceCall, StateId,
 };
+
+/// `End` state of a [`synthetic_absorbing_chain`].
+pub const CHAIN_END: u32 = u32::MAX - 1;
+/// `Fail` state of a [`synthetic_absorbing_chain`].
+pub const CHAIN_FAIL: u32 = u32::MAX;
+
+/// A synthetic absorbing chain built directly at the Markov layer — the
+/// shape the augmented chain of a [`SyntheticTopology::Chain`] assembly
+/// takes: transient states `0..pfails.len()`, state `i` stepping to its
+/// successor (or to [`CHAIN_END`] from the last state) with probability
+/// `1 − pfails[i]` and leaking `pfails[i]` to [`CHAIN_FAIL`].
+///
+/// Varying one entry of `pfails` at a time produces the one-parameter
+/// perturbation family of the compiled-plan benchmarks: every member shares
+/// the chain *structure* (as long as `0 < pfails[i] < 1`), so a single
+/// compiled plan evaluates them all.
+///
+/// # Panics
+///
+/// Panics when `pfails` is empty or any entry leaves `(0, 1)`.
+pub fn synthetic_absorbing_chain(pfails: &[f64]) -> Dtmc<u32> {
+    assert!(!pfails.is_empty(), "need at least one transient state");
+    let n = pfails.len();
+    let mut b = DtmcBuilder::new();
+    for (i, &p) in pfails.iter().enumerate() {
+        assert!(p > 0.0 && p < 1.0, "step pfail must lie strictly in (0, 1)");
+        let next = if i + 1 < n { i as u32 + 1 } else { CHAIN_END };
+        b = b
+            .transition(i as u32, next, 1.0 - p)
+            .transition(i as u32, CHAIN_FAIL, p);
+    }
+    b.build().expect("rows sum to one")
+}
 
 /// The Figure 6 sweep grid: `(ϕ₁ values, γ values, list sizes)`.
 ///

@@ -69,9 +69,11 @@ commands:
   fmt        canonical pretty-printed form of the document
 
 common options:
-  --solver {auto,dense,sparse}   absorbing-chain solver for predict/report/
-             sweep/batch/improve (default: auto, or the ARCHREL_SOLVER
-             environment variable when set)";
+  --solver {auto,dense,sparse,compiled}   absorbing-chain solver for predict/
+             report/sweep/batch/improve (default: auto, or the ARCHREL_SOLVER
+             environment variable when set; compiled builds each flow
+             structure's evaluation plan once and replays it per solve --
+             fastest for sweeps)";
 
 /// Parsed common options.
 struct Options {
@@ -175,7 +177,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 let value = next_value(args, &mut i, "--solver")?;
                 opts.solver = Some(SolverPolicy::parse(&value).ok_or_else(|| {
                     CliError::new(format!(
-                        "`--solver {value}`: expected auto, dense, or sparse"
+                        "`--solver {value}`: expected auto, dense, sparse, or compiled"
                     ))
                 })?);
             }
@@ -228,6 +230,16 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     if command == "--help" || command == "-h" || command == "help" {
         writeln!(out, "{USAGE}")?;
         return Ok(());
+    }
+    // Pre-validate ARCHREL_SOLVER so a typo'd value surfaces as a normal
+    // CLI error instead of the library's hard panic deep inside evaluation.
+    if let Ok(raw) = std::env::var("ARCHREL_SOLVER") {
+        if SolverPolicy::parse(&raw).is_none() {
+            return Err(CliError::new(format!(
+                "unrecognized ARCHREL_SOLVER value `{raw}`: \
+                 expected one of auto, dense, sparse, compiled"
+            )));
+        }
     }
     let opts = parse_options(&args[1..])?;
     match command.as_str() {
@@ -430,13 +442,16 @@ fn cmd_batch(opts: &Options, out: &mut impl Write) -> Result<(), CliError> {
 }
 
 fn cmd_improve(opts: &Options, out: &mut impl Write) -> Result<(), CliError> {
-    use archrel_core::improvement::{rank_levers, required_factor, Lever};
+    use archrel_core::improvement::{
+        rank_levers_with_options, required_factor_with_options, Lever,
+    };
     let assembly = load(opts)?;
     let service = required_service(opts)?;
     let baseline = Evaluator::with_options(&assembly, opts.eval_options())
         .failure_probability(&service, &opts.bindings)?;
     writeln!(out, "baseline Pfail = {:e}", baseline.value())?;
-    let ranked = rank_levers(&assembly, &service, &opts.bindings)?;
+    let ranked =
+        rank_levers_with_options(&assembly, &service, &opts.bindings, opts.eval_options())?;
     if ranked.is_empty() {
         writeln!(out, "no improvement levers (every mechanism is perfect)")?;
         return Ok(());
@@ -461,7 +476,14 @@ fn cmd_improve(opts: &Options, out: &mut impl Write) -> Result<(), CliError> {
     if let Some(target) = opts.target {
         let target = archrel_model::Probability::new(target)?;
         let lever = &ranked[0].lever;
-        match required_factor(&assembly, &service, &opts.bindings, lever, target)? {
+        match required_factor_with_options(
+            &assembly,
+            &service,
+            &opts.bindings,
+            lever,
+            target,
+            opts.eval_options(),
+        )? {
             Some(factor) => writeln!(
                 out,
                 "to reach Pfail <= {}: scale the top lever by {factor:.6} ({:.2}x better)",
@@ -784,7 +806,7 @@ mod tests {
     fn solver_flag_selects_the_backend_without_changing_the_answer() {
         with_document(|path| {
             let base = ["predict", path, "--service", "app", "--bind", "work=1e6"];
-            let outputs: Vec<String> = ["auto", "dense", "sparse"]
+            let outputs: Vec<String> = ["auto", "dense", "sparse", "compiled"]
                 .iter()
                 .map(|solver| {
                     let mut args = base.to_vec();
@@ -797,6 +819,7 @@ mod tests {
             assert!(outputs[0].contains("Pfail(app)"));
             assert_eq!(outputs[0], outputs[1]);
             assert_eq!(outputs[1], outputs[2]);
+            assert_eq!(outputs[2], outputs[3]);
             // Other solver-aware commands accept the flag too.
             let out = run_capture(&[
                 "sweep",
@@ -824,7 +847,7 @@ mod tests {
         with_document(|path| {
             let err = run_capture(&["predict", path, "--service", "app", "--solver", "quantum"])
                 .unwrap_err();
-            assert!(err.to_string().contains("auto, dense, or sparse"));
+            assert!(err.to_string().contains("auto, dense, sparse, or compiled"));
         });
     }
 

@@ -177,6 +177,10 @@ impl<'a> BatchEvaluator<'a> {
                 misses: after.misses - before.misses,
                 solves: after.solves - before.solves,
                 solve_nanos: after.solve_nanos - before.solve_nanos,
+                plan_hits: after.plan_hits - before.plan_hits,
+                plan_misses: after.plan_misses - before.plan_misses,
+                rank1_solves: after.rank1_solves - before.rank1_solves,
+                full_solves: after.full_solves - before.full_solves,
             },
         };
         (results, summary)

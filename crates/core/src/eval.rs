@@ -11,9 +11,11 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use archrel_expr::Bindings;
+use archrel_markov::{structure_fingerprint, PlanSolveKind, SolvePlan};
 use archrel_model::{
     Assembly, CompositeService, Probability, Service, ServiceCall, ServiceId, StateId,
 };
@@ -43,9 +45,10 @@ pub enum CycleMode {
 /// The same policy value is threaded through the batch engine, the
 /// sensitivity stencils, uncertainty propagation, and service selection, so
 /// a whole analysis runs under one backend discipline. The environment
-/// variable `ARCHREL_SOLVER` (values `auto` / `dense` / `sparse`) overrides
-/// the default policy of every [`EvalOptions::default`], which is how CI
-/// forces the entire test suite through the sparse path.
+/// variable `ARCHREL_SOLVER` (values `auto` / `dense` / `sparse` /
+/// `compiled`) overrides the default policy of every
+/// [`EvalOptions::default`], which is how CI forces the entire test suite
+/// through the sparse and compiled paths.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SolverPolicy {
     /// Pick per chain from state count and edge density: dense LU below
@@ -53,6 +56,9 @@ pub enum SolverPolicy {
     /// [`AUTO_DENSE_DENSITY_MAX_STATES`] when density ≥
     /// [`AUTO_DENSE_DENSITY`]), the sparse path otherwise. The thresholds
     /// come from the `sparse_solve` benchmark (`results/sparse_solve.md`).
+    /// In the sparse regime, a flow *structure* solved at least
+    /// [`AUTO_PLAN_MIN_SEEN`] times is promoted to a compiled acyclic plan
+    /// (a tape replay that is bitwise-identical to the sparse fast path).
     #[default]
     Auto,
     /// Always dense LU — exact, `O(states³)`; the right choice for
@@ -61,6 +67,14 @@ pub enum SolverPolicy {
     /// Always the sparse path — exact `O(edges)` back-substitution on
     /// acyclic flow graphs, CSR Gauss–Seidel `O(sweeps·edges)` otherwise.
     Sparse,
+    /// Compile-once, evaluate-many plans ([`archrel_markov::SolvePlan`]):
+    /// every flow structure is compiled on first sight and re-evaluated
+    /// from a straight-line tape (acyclic flows) or via Sherman–Morrison
+    /// rank-1 incremental re-solves against a compile-time LU factorization
+    /// (cyclic flows). The backend of choice for parameter sweeps that
+    /// re-solve the same structure many times; see
+    /// `results/compiled_plan.md`.
+    Compiled,
 }
 
 /// Below this state count `Auto` always uses dense LU.
@@ -70,6 +84,11 @@ pub const AUTO_DENSE_MAX_STATES: usize = 64;
 pub const AUTO_DENSE_DENSITY: f64 = 0.25;
 /// State-count ceiling for the density-based dense preference of `Auto`.
 pub const AUTO_DENSE_DENSITY_MAX_STATES: usize = 256;
+/// Number of times `Auto` must see one flow structure (in its sparse
+/// regime) before promoting it to a compiled plan. Compilation costs about
+/// one sparse solve, so promoting on the second sight already pays off and
+/// a sweep's remaining evaluations all ride the tape.
+pub const AUTO_PLAN_MIN_SEEN: u64 = 2;
 
 /// Concrete backend chosen for one chain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,31 +98,56 @@ pub(crate) enum ChosenSolver {
 }
 
 impl SolverPolicy {
-    /// Parses `auto` / `dense` / `sparse` (case-insensitive).
+    /// Parses `auto` / `dense` / `sparse` / `compiled` (case-insensitive).
     pub fn parse(s: &str) -> Option<SolverPolicy> {
         match s.trim().to_ascii_lowercase().as_str() {
             "auto" => Some(SolverPolicy::Auto),
             "dense" => Some(SolverPolicy::Dense),
             "sparse" => Some(SolverPolicy::Sparse),
+            "compiled" => Some(SolverPolicy::Compiled),
             _ => None,
         }
     }
 
-    /// Policy forced by the `ARCHREL_SOLVER` environment variable, if set
-    /// to a recognized value.
+    /// Parses a value of the `ARCHREL_SOLVER` environment variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value is not a recognized policy spelling. A typo'd
+    /// `ARCHREL_SOLVER` used to fall back silently to the default policy,
+    /// running an entire analysis (or CI matrix job) under the wrong
+    /// backend; an unrecognized value is now a hard error that lists the
+    /// accepted values.
+    pub fn parse_env_value(raw: &str) -> SolverPolicy {
+        SolverPolicy::parse(raw).unwrap_or_else(|| {
+            panic!(
+                "unrecognized ARCHREL_SOLVER value `{raw}`: \
+                 expected one of auto, dense, sparse, compiled"
+            )
+        })
+    }
+
+    /// Policy forced by the `ARCHREL_SOLVER` environment variable, if set.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the variable is set to an unrecognized value (see
+    /// [`SolverPolicy::parse_env_value`]).
     pub fn from_env() -> Option<SolverPolicy> {
         std::env::var("ARCHREL_SOLVER")
             .ok()
-            .and_then(|v| SolverPolicy::parse(&v))
+            .map(|v| SolverPolicy::parse_env_value(&v))
     }
 
-    /// Resolves the policy for a chain with `states` states and `edges`
-    /// explicit transitions.
+    /// Resolves the direct (non-plan) backend for a chain with `states`
+    /// states and `edges` explicit transitions. `Compiled` resolves like
+    /// `Auto`: the plan path answers its queries first, so this choice only
+    /// matters as a fallback.
     pub(crate) fn choose(self, states: usize, edges: usize) -> ChosenSolver {
         match self {
             SolverPolicy::Dense => ChosenSolver::Dense,
             SolverPolicy::Sparse => ChosenSolver::Sparse,
-            SolverPolicy::Auto => {
+            SolverPolicy::Auto | SolverPolicy::Compiled => {
                 let density = edges as f64 / (states as f64 * states as f64);
                 if states <= AUTO_DENSE_MAX_STATES
                     || (states <= AUTO_DENSE_DENSITY_MAX_STATES && density >= AUTO_DENSE_DENSITY)
@@ -165,6 +209,18 @@ pub struct CacheStats {
     pub solves: u64,
     /// Total nanoseconds spent inside absorbing-chain solves.
     pub solve_nanos: u64,
+    /// Plan-cache lookups answered by an already compiled plan.
+    pub plan_hits: u64,
+    /// Plan-cache lookups that had to compile (or classify) a structure.
+    pub plan_misses: u64,
+    /// Plan evaluations answered *without* a refactorization: straight-line
+    /// tape replays, back-substitutions against the compile-time baseline
+    /// factorization, and Sherman–Morrison rank-1 updates.
+    pub rank1_solves: u64,
+    /// Plan evaluations that fell back to a full refactorization (more than
+    /// one transient row changed, or the rank-1 update was numerically
+    /// refused).
+    pub full_solves: u64,
 }
 
 impl CacheStats {
@@ -201,7 +257,141 @@ impl CacheCounters {
             misses: self.misses.load(Ordering::Relaxed),
             solves: self.solves.load(Ordering::Relaxed),
             solve_nanos: self.solve_nanos.load(Ordering::Relaxed),
+            plan_hits: 0,
+            plan_misses: 0,
+            rank1_solves: 0,
+            full_solves: 0,
         }
+    }
+}
+
+/// What the plan cache knows about one flow structure.
+#[derive(Debug, Clone)]
+enum PlanEntry {
+    /// A compiled plan, ready to evaluate.
+    Plan(Arc<SolvePlan>),
+    /// The structure is cyclic and the caller asked for acyclic-only
+    /// compilation (`Auto` promotion): remembered so the sparse fallback is
+    /// taken without re-running the classification every solve.
+    CyclicUncompiled,
+    /// The target is structurally unreachable from the source. The solve
+    /// error is remembered verbatim so the plan path reports exactly what
+    /// the direct solvers would.
+    Unreachable { from: String, target: String },
+}
+
+/// Shared, structure-keyed cache of compiled solve plans.
+///
+/// Keys are [`structure_fingerprint`]s, so the cache is agnostic to which
+/// assembly (or perturbed copy of an assembly) produced a chain: parameter
+/// sweeps, sensitivity stencils, improvement bisections, and selection
+/// enumerations that re-solve one flow structure with different numeric
+/// entries all share a single compiled plan. Clone the [`Arc`] holding it
+/// into several [`Evaluator::with_plan_cache`] instances to share plans
+/// across evaluators (and across threads — all interior state is locked or
+/// atomic).
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: RwLock<HashMap<u64, PlanEntry>>,
+    /// Per-structure sighting counts driving `Auto` promotion.
+    seen: RwLock<HashMap<u64, u64>>,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+    rank1_solves: AtomicU64,
+    full_solves: AtomicU64,
+}
+
+impl PlanCache {
+    /// Creates an empty plan cache.
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// Number of flow structures currently cached (compiled or classified).
+    pub fn len(&self) -> usize {
+        self.plans.read().len()
+    }
+
+    /// Whether the cache holds no structures yet.
+    pub fn is_empty(&self) -> bool {
+        self.plans.read().is_empty()
+    }
+
+    /// Bumps and returns the sighting count of a structure.
+    fn note_seen(&self, fingerprint: u64) -> u64 {
+        let mut seen = self.seen.write();
+        let count = seen.entry(fingerprint).or_insert(0);
+        *count += 1;
+        *count
+    }
+
+    /// Looks up (or compiles) the entry for a structure. With
+    /// `acyclic_only`, cyclic structures are classified but not compiled.
+    fn entry(
+        &self,
+        fingerprint: u64,
+        chain: &archrel_markov::Dtmc<AugmentedState>,
+        from: &AugmentedState,
+        target: &AugmentedState,
+        acyclic_only: bool,
+    ) -> archrel_markov::Result<PlanEntry> {
+        if let Some(entry) = self.plans.read().get(&fingerprint) {
+            // An acyclic-only caller can use a fully compiled entry, but a
+            // `CyclicUncompiled` marker does not satisfy a full-compilation
+            // request — fall through and compile in that case.
+            if !matches!((acyclic_only, entry), (false, PlanEntry::CyclicUncompiled)) {
+                self.plan_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(entry.clone());
+            }
+        }
+        self.plan_misses.fetch_add(1, Ordering::Relaxed);
+        let compiled = if acyclic_only {
+            SolvePlan::compile_acyclic(chain, from, target).map(|p| p.map(Arc::new))
+        } else {
+            SolvePlan::compile(chain, from, target).map(|p| Some(Arc::new(p)))
+        };
+        let fresh = match compiled {
+            Ok(Some(plan)) => PlanEntry::Plan(plan),
+            Ok(None) => PlanEntry::CyclicUncompiled,
+            Err(archrel_markov::MarkovError::UnreachableTarget { from, target }) => {
+                PlanEntry::Unreachable { from, target }
+            }
+            // Other validation errors (trapped mass, not an absorbing
+            // chain, ...) are not cached: the direct solvers re-derive them
+            // and the caller propagates them either way.
+            Err(e) => return Err(e),
+        };
+        let mut plans = self.plans.write();
+        let entry = plans
+            .entry(fingerprint)
+            // First insertion wins, so concurrent compilers of the same
+            // structure all converge on one shared plan instance...
+            .and_modify(|existing| {
+                // ...except a full compilation upgrades a cyclic marker.
+                if matches!(existing, PlanEntry::CyclicUncompiled)
+                    && matches!(fresh, PlanEntry::Plan(_))
+                {
+                    *existing = fresh.clone();
+                }
+            })
+            .or_insert(fresh);
+        Ok(entry.clone())
+    }
+
+    fn record(&self, kind: PlanSolveKind) {
+        match kind {
+            PlanSolveKind::Tape | PlanSolveKind::Rank1 => {
+                self.rank1_solves.fetch_add(1, Ordering::Relaxed)
+            }
+            PlanSolveKind::Full => self.full_solves.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    fn fold_into(&self, stats: &mut CacheStats) {
+        stats.plan_hits = self.plan_hits.load(Ordering::Relaxed);
+        stats.plan_misses = self.plan_misses.load(Ordering::Relaxed);
+        stats.rank1_solves = self.rank1_solves.load(Ordering::Relaxed);
+        stats.full_solves = self.full_solves.load(Ordering::Relaxed);
     }
 }
 
@@ -261,6 +451,7 @@ pub struct Evaluator<'a> {
     options: EvalOptions,
     cache: RwLock<HashMap<CacheKey, Probability>>,
     counters: CacheCounters,
+    plans: Arc<PlanCache>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -271,12 +462,34 @@ impl<'a> Evaluator<'a> {
 
     /// Creates an evaluator with explicit options.
     pub fn with_options(assembly: &'a Assembly, options: EvalOptions) -> Self {
+        Evaluator::with_plan_cache(assembly, options, Arc::new(PlanCache::new()))
+    }
+
+    /// Creates an evaluator that shares a compiled-plan cache.
+    ///
+    /// The value cache (keyed by resolved parameters) stays private to each
+    /// evaluator, but plans are keyed purely by flow *structure*, so
+    /// workloads that build many short-lived evaluators over structurally
+    /// identical assemblies — improvement bisections, selection
+    /// enumerations, uncertainty sampling — pass one shared cache and
+    /// compile each structure once.
+    pub fn with_plan_cache(
+        assembly: &'a Assembly,
+        options: EvalOptions,
+        plans: Arc<PlanCache>,
+    ) -> Self {
         Evaluator {
             assembly,
             options,
             cache: RwLock::new(HashMap::new()),
             counters: CacheCounters::default(),
+            plans,
         }
+    }
+
+    /// The evaluator's compiled-plan cache (clone the `Arc` to share it).
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.plans
     }
 
     /// The assembly under evaluation.
@@ -289,9 +502,12 @@ impl<'a> Evaluator<'a> {
         self.options
     }
 
-    /// A snapshot of the shared solve cache's hit/miss/solve counters.
+    /// A snapshot of the shared solve cache's hit/miss/solve counters,
+    /// including the (possibly shared) plan cache's activity.
     pub fn cache_stats(&self) -> CacheStats {
-        self.counters.snapshot()
+        let mut stats = self.counters.snapshot();
+        self.plans.fold_into(&mut stats);
+        stats
     }
 
     /// Number of `(service, parameter-fingerprint)` results currently held
@@ -459,19 +675,7 @@ impl<'a> Evaluator<'a> {
                 let start = AugmentedState::Flow(StateId::Start);
                 let end = AugmentedState::Flow(StateId::End);
                 let solve_started = Instant::now();
-                // Single-column solve: only p*(· → End) is needed, so both
-                // backends skip the full fundamental-matrix inversion.
-                let solved = match self.options.solver.choose(chain.len(), chain.edge_count()) {
-                    ChosenSolver::Dense => {
-                        archrel_markov::absorption_probability_to(&chain, &start, &end)
-                    }
-                    ChosenSolver::Sparse => archrel_markov::absorption_probability_sparse(
-                        &chain,
-                        &start,
-                        &end,
-                        self.options.sparse,
-                    ),
-                };
+                let solved = self.solve_flow_chain(&chain, &start, &end);
                 let success = match solved {
                     Ok(p) => p,
                     // Every path drains into Fail: End being structurally
@@ -487,6 +691,64 @@ impl<'a> Evaluator<'a> {
                 );
                 Ok(Probability::new(success)?.complement())
             }
+        }
+    }
+
+    /// Solves one flow chain's `p*(Start → End)`, routing through the
+    /// compiled-plan path when the policy allows it.
+    ///
+    /// Single-column solve throughout: only `p*(· → End)` is needed, so
+    /// every backend skips the full fundamental-matrix inversion. Under
+    /// [`SolverPolicy::Compiled`] a plan always answers. Under
+    /// [`SolverPolicy::Auto`] in the sparse regime, a structure seen at
+    /// least [`AUTO_PLAN_MIN_SEEN`] times is promoted to a compiled acyclic
+    /// tape — which replays the sparse back-substitution bit-for-bit, so
+    /// promotion never changes a result; cyclic structures stay on the
+    /// sparse iterative path.
+    fn solve_flow_chain(
+        &self,
+        chain: &archrel_markov::Dtmc<AugmentedState>,
+        start: &AugmentedState,
+        end: &AugmentedState,
+    ) -> archrel_markov::Result<f64> {
+        let chosen = self.options.solver.choose(chain.len(), chain.edge_count());
+        let acyclic_only = match self.options.solver {
+            SolverPolicy::Compiled => Some(false),
+            SolverPolicy::Auto if chosen == ChosenSolver::Sparse => Some(true),
+            _ => None,
+        };
+        if let Some(acyclic_only) = acyclic_only {
+            let fingerprint = structure_fingerprint(chain, start, end);
+            let warm = !acyclic_only || self.plans.note_seen(fingerprint) >= AUTO_PLAN_MIN_SEEN;
+            if warm {
+                match self
+                    .plans
+                    .entry(fingerprint, chain, start, end, acyclic_only)?
+                {
+                    PlanEntry::Plan(plan) => {
+                        let params = plan.parameters(chain)?;
+                        let (value, kind) = plan.evaluate_with_kind(&params)?;
+                        self.plans.record(kind);
+                        return Ok(value);
+                    }
+                    PlanEntry::CyclicUncompiled => {}
+                    PlanEntry::Unreachable { from, target } => {
+                        return Err(archrel_markov::MarkovError::UnreachableTarget {
+                            from: from.clone(),
+                            target: target.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        match chosen {
+            ChosenSolver::Dense => archrel_markov::absorption_probability_to(chain, start, end),
+            ChosenSolver::Sparse => archrel_markov::absorption_probability_sparse(
+                chain,
+                start,
+                end,
+                self.options.sparse,
+            ),
         }
     }
 
@@ -904,7 +1166,32 @@ mod tests {
         assert_eq!(SolverPolicy::parse("auto"), Some(SolverPolicy::Auto));
         assert_eq!(SolverPolicy::parse("Dense"), Some(SolverPolicy::Dense));
         assert_eq!(SolverPolicy::parse(" SPARSE "), Some(SolverPolicy::Sparse));
+        assert_eq!(
+            SolverPolicy::parse("Compiled"),
+            Some(SolverPolicy::Compiled)
+        );
         assert_eq!(SolverPolicy::parse("lu"), None);
+    }
+
+    #[test]
+    fn unrecognized_env_solver_value_is_a_hard_error() {
+        // Recognized spellings parse through the env entry point...
+        assert_eq!(
+            SolverPolicy::parse_env_value("compiled"),
+            SolverPolicy::Compiled
+        );
+        // ...but a typo must panic with the accepted values listed, not
+        // silently fall back to the default policy. `parse_env_value` is
+        // probed directly (instead of setting the process-global variable)
+        // so parallel tests reading `ARCHREL_SOLVER` are not perturbed.
+        let err = std::panic::catch_unwind(|| SolverPolicy::parse_env_value("sprase"))
+            .expect_err("typo must not parse");
+        let message = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(message.contains("sprase"), "{message}");
+        assert!(
+            message.contains("auto, dense, sparse, compiled"),
+            "{message}"
+        );
     }
 
     #[test]
@@ -917,6 +1204,7 @@ mod tests {
             SolverPolicy::Auto,
             SolverPolicy::Dense,
             SolverPolicy::Sparse,
+            SolverPolicy::Compiled,
         ] {
             let p = Evaluator::with_options(
                 &a,
@@ -952,6 +1240,7 @@ mod tests {
             SolverPolicy::Auto,
             SolverPolicy::Dense,
             SolverPolicy::Sparse,
+            SolverPolicy::Compiled,
         ] {
             let p = Evaluator::with_options(
                 &a,
@@ -995,5 +1284,155 @@ mod tests {
     fn evaluator_is_sync() {
         fn assert_sync<T: Sync>() {}
         assert_sync::<Evaluator<'static>>();
+    }
+
+    fn forced(policy: SolverPolicy) -> EvalOptions {
+        EvalOptions {
+            solver: policy,
+            ..EvalOptions::default()
+        }
+    }
+
+    #[test]
+    fn compiled_policy_is_bitwise_identical_to_sparse_on_acyclic_flows() {
+        use archrel_model::paper;
+        // The acyclic plan tape replays exactly the arithmetic of the sparse
+        // solver's exact elimination, so the two policies must agree to the
+        // last bit on the paper's (acyclic) flows.
+        let assembly = paper::local_assembly(&paper::PaperParams::default()).unwrap();
+        let compiled = Evaluator::with_options(&assembly, forced(SolverPolicy::Compiled));
+        for n in [256.0, 1024.0, 4096.0] {
+            let env = paper::search_bindings(4.0, n, 1.0);
+            let want = Evaluator::with_options(&assembly, forced(SolverPolicy::Sparse))
+                .failure_probability(&paper::SEARCH.into(), &env)
+                .unwrap();
+            let got = compiled
+                .failure_probability(&paper::SEARCH.into(), &env)
+                .unwrap();
+            assert_eq!(want.value().to_bits(), got.value().to_bits(), "n = {n}");
+        }
+        // The plan was compiled once and replayed for the later sweeps.
+        let stats = compiled.cache_stats();
+        assert!(stats.plan_misses >= 1, "{stats:?}");
+        assert!(stats.plan_hits >= 1, "{stats:?}");
+        assert!(stats.rank1_solves >= 3, "{stats:?}");
+        assert_eq!(stats.full_solves, 0, "{stats:?}");
+    }
+
+    #[test]
+    fn auto_policy_promotes_hot_structures_to_compiled_plans() {
+        // 68 chained states give a 71-state augmented chain at ~3% density,
+        // so Auto routes to the sparse solver. Re-solving the same structure
+        // with fresh parameter values must promote it to a compiled plan
+        // after `AUTO_PLAN_MIN_SEEN` sightings — bitwise invisibly.
+        let mut flow = FlowBuilder::new();
+        for i in 1..=68 {
+            flow = flow.state(FlowState::new(
+                format!("s{i}"),
+                vec![ServiceCall::new("cpu").with_param(catalog::CPU_PARAM, Expr::param("n"))],
+            ));
+        }
+        flow = flow.transition(StateId::Start, "s1", Expr::one());
+        for i in 1..68 {
+            flow = flow.transition(
+                format!("s{i}").as_str(),
+                format!("s{}", i + 1).as_str(),
+                Expr::one(),
+            );
+        }
+        let flow = flow
+            .transition("s68", StateId::End, Expr::one())
+            .build()
+            .unwrap();
+        let assembly = AssemblyBuilder::new()
+            .service(catalog::cpu_resource("cpu", 1e9, 1e-9))
+            .service(Service::Composite(
+                CompositeService::new("app", vec!["n".into()], flow).unwrap(),
+            ))
+            .build()
+            .unwrap();
+
+        let auto = Evaluator::with_options(&assembly, forced(SolverPolicy::Auto));
+        let sweeps = [1e6, 2e6, 3e6];
+        let got: Vec<f64> = sweeps
+            .iter()
+            .map(|&n| {
+                auto.failure_probability(&"app".into(), &Bindings::new().with("n", n))
+                    .unwrap()
+                    .value()
+            })
+            .collect();
+
+        // Sweep 1 runs the plain sparse solver (structure only seen once);
+        // sweep 2 compiles the plan (miss) and replays it; sweep 3 hits it.
+        let stats = auto.cache_stats();
+        assert_eq!(stats.plan_misses, 1, "{stats:?}");
+        assert_eq!(stats.plan_hits, 1, "{stats:?}");
+        assert_eq!(stats.rank1_solves, 2, "{stats:?}");
+        assert_eq!(stats.full_solves, 0, "{stats:?}");
+
+        // Promotion is invisible: a pure sparse evaluator agrees exactly.
+        let sparse = Evaluator::with_options(&assembly, forced(SolverPolicy::Sparse));
+        for (&n, &g) in sweeps.iter().zip(&got) {
+            assert!(g > 0.0);
+            let want = sparse
+                .failure_probability(&"app".into(), &Bindings::new().with("n", n))
+                .unwrap()
+                .value();
+            assert_eq!(want.to_bits(), g.to_bits(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn compiled_policy_handles_cyclic_flows_with_rank1_and_full_fallback() {
+        // Cyclic retry flow: a → b → a with an escape to End. Compiled plans
+        // keep the compile-time LU factorization; re-evaluating with the
+        // baseline parameters is a back-substitution, while a sweep that
+        // moves both transient rows forces a full refactorization. Both must
+        // match the dense solver.
+        let flow = FlowBuilder::new()
+            .state(FlowState::new(
+                "a",
+                vec![ServiceCall::new("cpu").with_param(catalog::CPU_PARAM, Expr::param("n"))],
+            ))
+            .state(FlowState::new(
+                "b",
+                vec![ServiceCall::new("cpu").with_param(catalog::CPU_PARAM, Expr::param("n"))],
+            ))
+            .transition(StateId::Start, "a", Expr::one())
+            .transition("a", "b", Expr::num(0.9))
+            .transition("a", StateId::End, Expr::num(0.1))
+            .transition("b", "a", Expr::one())
+            .build()
+            .unwrap();
+        let assembly = AssemblyBuilder::new()
+            .service(catalog::cpu_resource("cpu", 1e9, 1e-7))
+            .service(Service::Composite(
+                CompositeService::new("app", vec!["n".into()], flow).unwrap(),
+            ))
+            .build()
+            .unwrap();
+        let compiled = Evaluator::with_options(&assembly, forced(SolverPolicy::Compiled));
+        for n in [1e6, 5e6] {
+            let env = Bindings::new().with("n", n);
+            let want = Evaluator::with_options(&assembly, forced(SolverPolicy::Dense))
+                .failure_probability(&"app".into(), &env)
+                .unwrap();
+            let got = compiled.failure_probability(&"app".into(), &env).unwrap();
+            assert!(
+                (want.value() - got.value()).abs() < 1e-10,
+                "n = {n}: dense {} vs compiled {}",
+                want.value(),
+                got.value()
+            );
+            assert!(got.value() > 0.0);
+        }
+        let stats = compiled.cache_stats();
+        assert_eq!(stats.plan_misses, 1, "{stats:?}");
+        assert_eq!(stats.plan_hits, 1, "{stats:?}");
+        // First sweep replays the baseline factorization; the second moves
+        // both transient rows and must fall back to a full refactorization.
+        assert_eq!(stats.rank1_solves, 1, "{stats:?}");
+        assert_eq!(stats.full_solves, 1, "{stats:?}");
     }
 }

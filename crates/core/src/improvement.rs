@@ -9,13 +9,15 @@
 //! computes the minimal scaling of a chosen lever that meets the target
 //! (bisection over the monotone response).
 
+use std::sync::Arc;
+
 use archrel_expr::Bindings;
 use archrel_model::{
     Assembly, AssemblyBuilder, CompositeService, FailureModel, FlowBuilder, InternalFailureModel,
     Probability, Service, ServiceId, SimpleService,
 };
 
-use crate::{CoreError, Evaluator, Result};
+use crate::{CoreError, EvalOptions, Evaluator, PlanCache, Result};
 
 /// One improvement lever: scale a service's failure mechanism by `factor`
 /// (`0.0` = perfect, `1.0` = unchanged).
@@ -184,13 +186,38 @@ pub fn rank_levers(
     service: &ServiceId,
     env: &Bindings,
 ) -> Result<Vec<LeverAssessment>> {
-    let baseline = Evaluator::new(assembly)
+    rank_levers_with_options(assembly, service, env, EvalOptions::default())
+}
+
+/// Like [`rank_levers`], under explicit [`EvalOptions`].
+///
+/// Every per-lever evaluation runs on a *rebuilt* assembly whose flow
+/// structures are unchanged (only the failure values scale), so all the
+/// fresh evaluators share one compiled-plan cache: under
+/// [`crate::SolverPolicy::Compiled`] (or a promoted
+/// [`crate::SolverPolicy::Auto`]) each flow structure is compiled once and
+/// every lever assessment replays the tape. The one exception — a lever
+/// whose zeroing drops a `Fail` edge entirely — changes the structure
+/// fingerprint and naturally compiles its own plan.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn rank_levers_with_options(
+    assembly: &Assembly,
+    service: &ServiceId,
+    env: &Bindings,
+    options: EvalOptions,
+) -> Result<Vec<LeverAssessment>> {
+    let plans = Arc::new(PlanCache::new());
+    let baseline = Evaluator::with_plan_cache(assembly, options, Arc::clone(&plans))
         .failure_probability(service, env)?
         .value();
     let mut out = Vec::new();
     for lever in levers(assembly) {
         let improved = apply_lever(assembly, &lever, 0.0)?;
-        let best_case = Evaluator::new(&improved).failure_probability(service, env)?;
+        let best_case = Evaluator::with_plan_cache(&improved, options, Arc::clone(&plans))
+            .failure_probability(service, env)?;
         out.push(LeverAssessment {
             head_room: (baseline - best_case.value()).max(0.0),
             best_case_failure: best_case,
@@ -221,11 +248,41 @@ pub fn required_factor(
     lever: &Lever,
     target: Probability,
 ) -> Result<Option<f64>> {
+    required_factor_with_options(
+        assembly,
+        service,
+        env,
+        lever,
+        target,
+        EvalOptions::default(),
+    )
+}
+
+/// Like [`required_factor`], under explicit [`EvalOptions`].
+///
+/// The bisection evaluates ~60 rebuilt assemblies that all share each flow's
+/// structure; one plan cache spans the whole search, so compiled-plan
+/// policies pay for compilation once and replay the tape per probe.
+///
+/// # Errors
+///
+/// Propagates evaluation and lever errors.
+pub fn required_factor_with_options(
+    assembly: &Assembly,
+    service: &ServiceId,
+    env: &Bindings,
+    lever: &Lever,
+    target: Probability,
+    options: EvalOptions,
+) -> Result<Option<f64>> {
+    let plans = Arc::new(PlanCache::new());
     let pfail_at = |factor: f64| -> Result<f64> {
         let improved = apply_lever(assembly, lever, factor)?;
-        Ok(Evaluator::new(&improved)
-            .failure_probability(service, env)?
-            .value())
+        Ok(
+            Evaluator::with_plan_cache(&improved, options, Arc::clone(&plans))
+                .failure_probability(service, env)?
+                .value(),
+        )
     };
     if pfail_at(1.0)? <= target.value() {
         return Ok(Some(1.0)); // already good

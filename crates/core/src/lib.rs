@@ -70,7 +70,7 @@ pub mod uncertainty;
 pub use augment::{augmented_chain, AugmentedState};
 pub use batch::{BatchEvaluator, BatchSummary, Query};
 pub use error::CoreError;
-pub use eval::{CacheStats, CycleMode, EvalOptions, Evaluator, SolverPolicy};
+pub use eval::{CacheStats, CycleMode, EvalOptions, Evaluator, PlanCache, SolverPolicy};
 pub use failprob::{state_failure_probability, RequestFailure};
 pub use report::{EvaluationReport, ServiceBreakdown, StateBreakdown};
 

@@ -25,7 +25,15 @@ impl fmt::Display for CacheStats {
             self.hit_rate() * 100.0,
             self.solves,
             self.solve_time().as_secs_f64() * 1e3
-        )
+        )?;
+        if self.plan_hits + self.plan_misses > 0 {
+            write!(
+                f,
+                "; plans: {} hits / {} misses, {} rank-1 / {} full re-solves",
+                self.plan_hits, self.plan_misses, self.rank1_solves, self.full_solves
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -226,6 +234,47 @@ mod tests {
         let text = stats.to_string();
         assert!(text.contains("hits"), "{text}");
         assert!(text.contains("solves"), "{text}");
+    }
+
+    #[test]
+    fn cache_stats_render_plan_counters_after_a_compiled_run() {
+        use crate::{EvalOptions, SolverPolicy};
+        let params = paper::PaperParams::default();
+        let assembly = paper::local_assembly(&params).unwrap();
+        let eval = Evaluator::with_options(
+            &assembly,
+            EvalOptions {
+                solver: SolverPolicy::Compiled,
+                ..EvalOptions::default()
+            },
+        );
+        for n in [512.0, 1024.0] {
+            eval.failure_probability(&paper::SEARCH.into(), &paper::search_bindings(4.0, n, 1.0))
+                .unwrap();
+        }
+        let stats = eval.cache_stats();
+        assert!(stats.plan_misses >= 1, "{stats:?}");
+        assert!(stats.rank1_solves >= 1, "{stats:?}");
+        let text = stats.to_string();
+        assert!(text.contains("plans:"), "{text}");
+        assert!(text.contains("rank-1"), "{text}");
+        // A run that never touches the plan machinery keeps the line silent
+        // (forced dense so an `ARCHREL_SOLVER` override cannot interfere).
+        let plain = Evaluator::with_options(
+            &assembly,
+            EvalOptions {
+                solver: SolverPolicy::Dense,
+                ..EvalOptions::default()
+            },
+        );
+        plain
+            .failure_probability(
+                &paper::SEARCH.into(),
+                &paper::search_bindings(4.0, 64.0, 1.0),
+            )
+            .unwrap();
+        let plain_text = plain.cache_stats().to_string();
+        assert!(!plain_text.contains("plans:"), "{plain_text}");
     }
 
     #[test]

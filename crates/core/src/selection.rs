@@ -8,12 +8,14 @@
 //! and validates each concrete assembly, predicts the target service's
 //! reliability, and ranks the combinations.
 
+use std::sync::Arc;
+
 use archrel_expr::Bindings;
 use archrel_model::{Assembly, AssemblyBuilder, Probability, Service, ServiceId};
 
 use crate::batch::parallel_map_indexed;
 use crate::sensitivity::default_workers;
-use crate::{CoreError, EvalOptions, Evaluator, Result};
+use crate::{CoreError, EvalOptions, Evaluator, PlanCache, Result};
 
 /// One selectable position in the assembly: any of the `candidates` can fill
 /// it. Every candidate must offer the same service id and formal parameters
@@ -109,8 +111,10 @@ impl SelectionResult {
 /// Runs on the batch path: the Cartesian product is enumerated up front and
 /// the per-combination builds/evaluations are spread across worker threads.
 /// Each combination is its **own** assembly, so combinations cannot share
-/// the solve cache — the parallelism, not caching, is what the batch path
-/// buys here.
+/// the value-level solve cache — but they *do* share one compiled-plan
+/// cache: candidates filling the same slot leave the flow structures
+/// unchanged, so under a compiled-plan policy each structure is compiled
+/// once and every combination replays the tape.
 ///
 /// # Errors
 ///
@@ -164,8 +168,9 @@ pub fn select_with_workers(
         }
     }
 
+    let plans = Arc::new(PlanCache::new());
     let evaluated = parallel_map_indexed(workers, &all_choices, |_, combination| {
-        evaluate_combination(problem, combination)
+        evaluate_combination(problem, combination, &plans)
     });
     let mut results = Vec::with_capacity(all_choices.len());
     for r in evaluated {
@@ -195,6 +200,7 @@ pub fn select_best(problem: &SelectionProblem) -> Result<Option<SelectionResult>
 fn evaluate_combination(
     problem: &SelectionProblem,
     choices: &[usize],
+    plans: &Arc<PlanCache>,
 ) -> Result<Option<SelectionResult>> {
     let mut builder = AssemblyBuilder::new().services(problem.fixed.iter().cloned());
     for (slot, &choice) in problem.slots.iter().zip(choices) {
@@ -204,7 +210,7 @@ fn evaluate_combination(
         Ok(a) => a,
         Err(_) => return Ok(None), // incompatible combination: skip
     };
-    let evaluator = Evaluator::with_options(&assembly, problem.eval_options);
+    let evaluator = Evaluator::with_plan_cache(&assembly, problem.eval_options, Arc::clone(plans));
     let failure_probability = evaluator.failure_probability(&problem.target, &problem.bindings)?;
     Ok(Some(SelectionResult {
         choices: choices.to_vec(),

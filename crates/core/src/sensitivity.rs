@@ -73,7 +73,12 @@ pub fn finite_difference(
 /// every binding's center probe — are solved once. The evaluator's
 /// [`crate::SolverPolicy`] (and every other [`crate::EvalOptions`] field)
 /// applies to all probes: build the evaluator with
-/// [`Evaluator::with_options`] to force a solver.
+/// [`Evaluator::with_options`] to force a solver. Because all probes run on
+/// **one** evaluator, they also share its compiled-plan cache: a stencil
+/// only perturbs parameter *values*, so under [`crate::SolverPolicy::Auto`]
+/// (after promotion) or [`crate::SolverPolicy::Compiled`] every probe after
+/// the first replays a compiled evaluation tape instead of re-eliminating
+/// the chain.
 ///
 /// # Errors
 ///

@@ -16,6 +16,8 @@
 //!   evaluating with all factors at their lower/upper ends brackets the
 //!   true value — no sampling error.
 
+use std::sync::Arc;
+
 use archrel_expr::Bindings;
 use archrel_model::{Assembly, Probability, ServiceId};
 use rand::rngs::StdRng;
@@ -24,7 +26,7 @@ use rand::{Rng, SeedableRng};
 use crate::batch::parallel_map_indexed;
 use crate::improvement::{apply_lever, Lever};
 use crate::sensitivity::default_workers;
-use crate::{CoreError, EvalOptions, Evaluator, Result};
+use crate::{CoreError, EvalOptions, Evaluator, PlanCache, Result};
 
 /// Distribution of the multiplicative error on a published failure quantity.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -155,9 +157,12 @@ fn apply_all(assembly: &Assembly, factors: &[(&Lever, f64)]) -> Result<Assembly>
 /// from the seeded generator — so a fixed seed reproduces the same samples
 /// no matter how many threads evaluate them — and the per-sample
 /// evaluations are then spread across worker threads. Each sample perturbs
-/// the assembly itself, so per-sample results cannot share the solve cache
-/// (the cache is keyed by parameters over one fixed assembly, and a
-/// perturbed assembly invalidates it wholesale).
+/// the assembly itself, so per-sample results cannot share the value-level
+/// solve cache (the cache is keyed by parameters over one fixed assembly,
+/// and a perturbed assembly invalidates it wholesale) — but the samples *do*
+/// share one compiled-plan cache: the levers scale failure values without
+/// changing any flow structure, so under a compiled-plan policy each
+/// structure is compiled once and every sample replays the tape.
 ///
 /// # Errors
 ///
@@ -249,6 +254,7 @@ pub fn propagate_with_options(
         })
         .collect();
 
+    let plans = Arc::new(PlanCache::new());
     let evaluated = parallel_map_indexed(workers, &factor_vectors, |_, sample_factors| {
         let factors: Vec<(&Lever, f64)> = quantities
             .iter()
@@ -257,7 +263,7 @@ pub fn propagate_with_options(
             .collect();
         let perturbed = apply_all(assembly, &factors)?;
         Ok::<f64, CoreError>(
-            Evaluator::with_options(&perturbed, options)
+            Evaluator::with_plan_cache(&perturbed, options, Arc::clone(&plans))
                 .failure_probability(service, env)?
                 .value(),
         )
@@ -320,9 +326,12 @@ pub fn interval_with_options(
         .iter()
         .map(|q| (&q.lever, q.distribution.bounds().1))
         .collect();
-    let low = Evaluator::with_options(&apply_all(assembly, &lows)?, options)
+    // The two bracketing assemblies share every flow structure: one plan
+    // cache lets the second solve replay the first solve's compiled plans.
+    let plans = Arc::new(PlanCache::new());
+    let low = Evaluator::with_plan_cache(&apply_all(assembly, &lows)?, options, Arc::clone(&plans))
         .failure_probability(service, env)?;
-    let high = Evaluator::with_options(&apply_all(assembly, &highs)?, options)
+    let high = Evaluator::with_plan_cache(&apply_all(assembly, &highs)?, options, plans)
         .failure_probability(service, env)?;
     Ok((low, high))
 }

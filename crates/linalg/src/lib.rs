@@ -15,6 +15,9 @@
 //!   for large chains and for stationary distributions.
 //! - [`CsrMatrix`]: a compressed-sparse-row matrix with `O(nnz)` SpMV and the
 //!   sparse Gauss–Seidel / Jacobi solvers behind the engine's sparse path.
+//! - [`sherman_morrison_solve`]: rank-1 incremental re-solve against a fixed
+//!   [`Lu`] factorization, used by the compiled evaluation plans to answer
+//!   single-row parameter perturbations in `O(n²)`.
 //!
 //! # Examples
 //!
@@ -39,12 +42,14 @@ mod error;
 pub mod iterative;
 mod lu;
 mod matrix;
+mod rank1;
 mod vector;
 
 pub use csr::CsrMatrix;
 pub use error::LinalgError;
 pub use lu::Lu;
 pub use matrix::Matrix;
+pub use rank1::{sherman_morrison_solve, RANK1_REFUSAL_EPS};
 pub use vector::Vector;
 
 /// Convenience result alias for fallible linear-algebra operations.

@@ -12,6 +12,10 @@
 //! - [`absorption_probability_sparse`]: the sparse single-column solve —
 //!   exact back-substitution on acyclic flow graphs, CSR Gauss–Seidel /
 //!   Jacobi otherwise — for chains with thousands of states.
+//! - [`SolvePlan`]: compile-once, evaluate-many plans for parameter sweeps
+//!   that re-solve one chain *structure* with changing numeric entries —
+//!   a straight-line tape for acyclic flows, Sherman–Morrison rank-1
+//!   incremental re-solves for single-row perturbations of cyclic ones.
 //! - [`transient`]: n-step distributions and reachability.
 //! - [`stationary`]: stationary distributions of ergodic chains.
 //! - [`paths`]: probability-weighted path enumeration (feeds the path-based
@@ -46,6 +50,7 @@ pub mod classes;
 mod error;
 mod iterative_absorption;
 pub mod paths;
+mod plan;
 mod sparse;
 pub mod stationary;
 pub mod transient;
@@ -54,6 +59,7 @@ pub use absorbing::{absorption_probability_to, AbsorbingAnalysis};
 pub use chain::{Dtmc, DtmcBuilder, StateLabel};
 pub use error::MarkovError;
 pub use iterative_absorption::{absorption_probabilities_iterative, AbsorptionIterOptions};
+pub use plan::{structure_fingerprint, PlanSolveKind, SolvePlan};
 pub use sparse::{absorption_probability_sparse, SparseMethod, SparseSolveOptions};
 
 /// Alias naming [`MarkovError`] in its solver role: the absorption-solve

@@ -1,0 +1,757 @@
+//! Compiled evaluation plans: compile-once, evaluate-many absorbing solves.
+//!
+//! Parameter sweeps, sensitivity stencils, and uncertainty propagation
+//! re-solve the *same* absorbing-chain structure thousands of times with
+//! only the numeric transition probabilities changing (the paper's
+//! parametric dependency: `ap_j = ap_j(fp)`). A [`SolvePlan`] factors that
+//! workload into two phases:
+//!
+//! 1. **Compile** ([`SolvePlan::compile`]): validate the chain like the
+//!    dense/sparse solvers do (absorbing/transient classification,
+//!    reachability, target reachability), lay out one *parameter slot* per
+//!    transition of a transient row, and symbolically eliminate the system
+//!    `(I − Q) x = r`:
+//!    - acyclic transient subgraphs (up to self-loops) compile to a
+//!      straight-line back-substitution *tape* whose arithmetic is
+//!      bit-for-bit identical to the sparse path's
+//!      [`crate::absorption_probability_sparse`] fast path;
+//!    - cyclic subgraphs compile to a dense LU factorization of `I − Q₀` at
+//!      the compile-time baseline parameters.
+//! 2. **Evaluate** ([`SolvePlan::evaluate`]): map a numeric parameter vector
+//!    straight to the absorption probability with no refactorization — an
+//!    `O(nnz)` tape replay for acyclic plans; for cyclic plans a
+//!    back-substitution against the baseline factorization when the
+//!    parameters match the baseline `Q`, a Sherman–Morrison rank-1
+//!    incremental solve (`O(n²)`) when exactly one transient row changed,
+//!    and a full refactorization only for multi-row changes or when the
+//!    rank-1 update is numerically refused.
+//!
+//! Plans are keyed by [`structure_fingerprint`]: a hash of the chain's
+//! sparsity pattern, state classification, and query endpoints — everything
+//! the plan depends on *except* the numeric probabilities. Two chains with
+//! equal fingerprints can share one plan; a chain whose structure changes
+//! (e.g. a perturbation drives a transition to exactly 0, which the builder
+//! drops) gets a different fingerprint and therefore a fresh plan.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use archrel_linalg::{sherman_morrison_solve, LinalgError, Lu, Matrix, Vector, RANK1_REFUSAL_EPS};
+
+use crate::absorbing::{check_reachability, check_target_reachable};
+use crate::{Dtmc, MarkovError, Result, StateLabel};
+
+/// Hash of everything a [`SolvePlan`] depends on except the numeric
+/// transition probabilities: state count, query endpoints, the transient /
+/// absorbing classification, and the adjacency (sparsity) pattern.
+///
+/// Chains with equal fingerprints are structurally interchangeable for
+/// plan evaluation: a plan compiled from one can evaluate the parameters
+/// extracted from the other. The hash is stable within a process, which is
+/// all an in-memory plan cache needs.
+pub fn structure_fingerprint<S: StateLabel>(chain: &Dtmc<S>, from: &S, target: &S) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    chain.len().hash(&mut h);
+    chain.index_of(from).unwrap_or(usize::MAX).hash(&mut h);
+    chain.index_of(target).unwrap_or(usize::MAX).hash(&mut h);
+    // Classification matters (it decides which rows become Q rows), and the
+    // per-row target lists pin the sparsity pattern and slot layout.
+    for t in chain.transient_indices() {
+        t.hash(&mut h);
+    }
+    for row in chain.adjacency() {
+        row.len().hash(&mut h);
+        for &(j, _) in row {
+            j.hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+/// How one plan evaluation was answered (for the engine's solve counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanSolveKind {
+    /// Straight-line tape replay (acyclic plan) — no linear solve at all.
+    Tape,
+    /// The compile-time factorization was reused: either a plain
+    /// back-substitution (only the right-hand side changed) or a
+    /// Sherman–Morrison rank-1 update (exactly one transient row changed).
+    Rank1,
+    /// A full refactorization was required: more than one row changed, or
+    /// the rank-1 update was numerically refused.
+    Full,
+}
+
+/// One tape instruction: solve transient position `pos` from its already
+/// solved successors, replicating the sparse path's back-substitution
+/// arithmetic exactly.
+#[derive(Debug, Clone)]
+struct Step {
+    /// Transient position being solved.
+    pos: usize,
+    /// Slot holding the direct transition probability to the target, if any.
+    r_slot: Option<usize>,
+    /// Slot holding the self-loop probability, if any.
+    self_slot: Option<usize>,
+    /// `(slot, successor position)` pairs in adjacency order.
+    terms: Vec<(usize, usize)>,
+}
+
+/// What each parameter slot feeds in the linear system.
+#[derive(Debug, Clone, Copy)]
+enum SlotRole {
+    /// Entry `Q[row][col]` of the transient-to-transient block.
+    Q {
+        /// Transient row position.
+        row: usize,
+        /// Transient column position.
+        col: usize,
+    },
+    /// Contribution to `r[row]` (transition to the query target).
+    R {
+        /// Transient row position.
+        row: usize,
+    },
+    /// Transition to a non-target absorbing state: extracted for layout
+    /// stability but unused by the solve.
+    Ignored,
+}
+
+/// Compile-time state for a cyclic transient subgraph.
+#[derive(Debug, Clone)]
+struct CyclicPlan {
+    nt: usize,
+    roles: Vec<SlotRole>,
+    /// Parameter vector the plan was compiled against (defines `Q₀`).
+    baseline: Vec<f64>,
+    /// LU factorization of `I − Q₀`.
+    lu: Lu,
+}
+
+#[derive(Debug, Clone)]
+enum PlanKind {
+    Acyclic { steps: Vec<Step> },
+    Cyclic(Box<CyclicPlan>),
+}
+
+/// A compiled, reusable solve for one absorbing-chain structure.
+///
+/// See the [module documentation](self) for the compile/evaluate split.
+///
+/// # Examples
+///
+/// ```
+/// use archrel_markov::{DtmcBuilder, SolvePlan};
+///
+/// # fn main() -> Result<(), archrel_markov::MarkovError> {
+/// let chain = DtmcBuilder::new()
+///     .transition("s", "end", 0.9)
+///     .transition("s", "fail", 0.1)
+///     .build()?;
+/// let plan = SolvePlan::compile(&chain, &"s", &"end")?;
+/// let params = plan.parameters(&chain)?;
+/// assert!((plan.evaluate(&params)? - 0.9).abs() < 1e-15);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SolvePlan {
+    fingerprint: u64,
+    n_states: usize,
+    /// Chain indices of the transient states, in classification order.
+    t_idx: Vec<usize>,
+    from_pos: usize,
+    slot_count: usize,
+    kind: PlanKind,
+}
+
+impl SolvePlan {
+    /// Compiles a plan for the absorption probability `from → target`.
+    ///
+    /// Performs exactly the validation of the direct solvers, in the same
+    /// order, so a structure that the sparse path rejects is rejected here
+    /// with the same typed error.
+    ///
+    /// # Errors
+    ///
+    /// - [`MarkovError::NoAbsorbingStates`] / [`MarkovError::NoTransientStates`]
+    ///   when the chain is not a proper absorbing chain;
+    /// - [`MarkovError::UnknownState`] when `target` is not absorbing or
+    ///   `from` is not transient (including the degenerate `from == target`);
+    /// - [`MarkovError::TrappedMass`] when some transient state cannot reach
+    ///   any absorbing state;
+    /// - [`MarkovError::UnreachableTarget`] when `target` cannot be reached
+    ///   from `from` at all.
+    pub fn compile<S: StateLabel>(chain: &Dtmc<S>, from: &S, target: &S) -> Result<SolvePlan> {
+        Ok(Self::compile_inner(chain, from, target, false)?
+            .expect("full compilation always produces a plan"))
+    }
+
+    /// Like [`SolvePlan::compile`], but returns `Ok(None)` instead of
+    /// building a plan when the transient subgraph is cyclic.
+    ///
+    /// Cyclic plans carry a dense LU factorization whose `O(n³)` compile
+    /// cost is only worth paying when the caller explicitly opted into the
+    /// compiled backend; adaptive callers use this entry point to promote
+    /// acyclic structures only, at no more cost than one sparse solve.
+    ///
+    /// # Errors
+    ///
+    /// Same validation errors as [`SolvePlan::compile`].
+    pub fn compile_acyclic<S: StateLabel>(
+        chain: &Dtmc<S>,
+        from: &S,
+        target: &S,
+    ) -> Result<Option<SolvePlan>> {
+        Self::compile_inner(chain, from, target, true)
+    }
+
+    fn compile_inner<S: StateLabel>(
+        chain: &Dtmc<S>,
+        from: &S,
+        target: &S,
+        acyclic_only: bool,
+    ) -> Result<Option<SolvePlan>> {
+        let t_idx = chain.transient_indices();
+        let a_idx = chain.absorbing_indices();
+        if a_idx.is_empty() {
+            return Err(MarkovError::NoAbsorbingStates);
+        }
+        if t_idx.is_empty() {
+            return Err(MarkovError::NoTransientStates);
+        }
+
+        let pos_of_state: HashMap<usize, usize> =
+            t_idx.iter().enumerate().map(|(k, &i)| (i, k)).collect();
+        let from_idx = chain
+            .index_of(from)
+            .filter(|i| pos_of_state.contains_key(i))
+            .ok_or_else(|| MarkovError::UnknownState {
+                state: format!("{from:?} (not a transient state)"),
+            })?;
+        let from_pos = pos_of_state[&from_idx];
+        let target_idx = chain
+            .index_of(target)
+            .filter(|i| a_idx.contains(i))
+            .ok_or_else(|| MarkovError::UnknownState {
+                state: format!("{target:?} (not an absorbing state)"),
+            })?;
+
+        check_reachability(chain, &t_idx, &a_idx)?;
+        check_target_reachable(chain, from_idx, target_idx)?;
+
+        // Slot layout: one slot per adjacency entry of each transient row,
+        // in classification/adjacency order — the same order
+        // `SolvePlan::parameters` extracts.
+        let nt = t_idx.len();
+        let mut roles: Vec<SlotRole> = Vec::new();
+        let mut baseline: Vec<f64> = Vec::new();
+        // Per transient row: `(col position, slot)` of the Q entries, in
+        // adjacency order (mirrors the sparse path's `q_rows`).
+        let mut q_rows: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nt];
+        let mut r_slots: Vec<Option<usize>> = vec![None; nt];
+        for (k, &i) in t_idx.iter().enumerate() {
+            for &(j, p) in &chain.adjacency()[i] {
+                let slot = roles.len();
+                baseline.push(p);
+                if let Some(&kj) = pos_of_state.get(&j) {
+                    roles.push(SlotRole::Q { row: k, col: kj });
+                    q_rows[k].push((kj, slot));
+                } else if j == target_idx {
+                    roles.push(SlotRole::R { row: k });
+                    r_slots[k] = Some(slot);
+                } else {
+                    roles.push(SlotRole::Ignored);
+                }
+            }
+        }
+        let slot_count = roles.len();
+
+        let kind = match topological_order(&q_rows) {
+            Some(order) => {
+                // Bake the back-substitution into a tape, one step per
+                // transient position in reverse topological order.
+                let steps = order
+                    .iter()
+                    .rev()
+                    .map(|&k| Step {
+                        pos: k,
+                        r_slot: r_slots[k],
+                        self_slot: q_rows[k]
+                            .iter()
+                            .find(|&&(j, _)| j == k)
+                            .map(|&(_, slot)| slot),
+                        terms: q_rows[k]
+                            .iter()
+                            .filter(|&&(j, _)| j != k)
+                            .map(|&(j, slot)| (slot, j))
+                            .collect(),
+                    })
+                    .collect();
+                PlanKind::Acyclic { steps }
+            }
+            None if acyclic_only => return Ok(None),
+            None => {
+                let mut a = Matrix::identity(nt);
+                for (slot, role) in roles.iter().enumerate() {
+                    if let SlotRole::Q { row, col } = *role {
+                        a.set(row, col, a.get(row, col) - baseline[slot]);
+                    }
+                }
+                let lu = Lu::decompose(&a).map_err(|e| match e {
+                    LinalgError::Singular { pivot } => MarkovError::TrappedMass {
+                        state: format!("{:?}", chain.state_at(t_idx[pivot.min(nt - 1)])),
+                    },
+                    other => MarkovError::Linalg(other),
+                })?;
+                PlanKind::Cyclic(Box::new(CyclicPlan {
+                    nt,
+                    roles,
+                    baseline,
+                    lu,
+                }))
+            }
+        };
+
+        Ok(Some(SolvePlan {
+            fingerprint: structure_fingerprint(chain, from, target),
+            n_states: chain.len(),
+            t_idx,
+            from_pos,
+            slot_count,
+            kind,
+        }))
+    }
+
+    /// The plan's structure fingerprint (see [`structure_fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Number of parameter slots an evaluation vector must fill.
+    pub fn slot_count(&self) -> usize {
+        self.slot_count
+    }
+
+    /// Number of states of the chains this plan applies to.
+    pub fn states(&self) -> usize {
+        self.n_states
+    }
+
+    /// Whether the plan compiled to a straight-line tape (acyclic transient
+    /// subgraph, up to self-loops).
+    pub fn is_acyclic(&self) -> bool {
+        matches!(self.kind, PlanKind::Acyclic { .. })
+    }
+
+    /// Extracts this plan's parameter vector from a structurally matching
+    /// chain: the transition probabilities of every transient row, in
+    /// adjacency order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension-mismatch error when the chain's shape does not
+    /// match the plan (callers should compare [`structure_fingerprint`]s —
+    /// this check is a cheap backstop, not a full structural comparison).
+    pub fn parameters<S: StateLabel>(&self, chain: &Dtmc<S>) -> Result<Vec<f64>> {
+        if chain.len() != self.n_states {
+            return Err(plan_shape_mismatch(self.slot_count, chain.len()));
+        }
+        let adj = chain.adjacency();
+        let mut out = Vec::with_capacity(self.slot_count);
+        for &i in &self.t_idx {
+            for &(_, p) in &adj[i] {
+                out.push(p);
+            }
+        }
+        if out.len() != self.slot_count {
+            return Err(plan_shape_mismatch(self.slot_count, out.len()));
+        }
+        Ok(out)
+    }
+
+    /// Evaluates the plan on a parameter vector, returning the absorption
+    /// probability `from → target`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SolvePlan::evaluate_with_kind`].
+    pub fn evaluate(&self, params: &[f64]) -> Result<f64> {
+        self.evaluate_with_kind(params).map(|(p, _)| p)
+    }
+
+    /// Like [`SolvePlan::evaluate`], also reporting how the evaluation was
+    /// answered (tape replay, rank-1 incremental, or full refactorization).
+    ///
+    /// # Errors
+    ///
+    /// - a dimension mismatch when `params.len() != self.slot_count()`;
+    /// - [`MarkovError::TrappedMass`] when the parameters make the system
+    ///   singular (probability mass can no longer escape some state);
+    /// - [`MarkovError::Linalg`] on other numerical failures.
+    pub fn evaluate_with_kind(&self, params: &[f64]) -> Result<(f64, PlanSolveKind)> {
+        if params.len() != self.slot_count {
+            return Err(plan_shape_mismatch(self.slot_count, params.len()));
+        }
+        match &self.kind {
+            PlanKind::Acyclic { steps } => {
+                let mut x = vec![0.0_f64; self.t_idx.len()];
+                for step in steps {
+                    let mut s = step.r_slot.map_or(0.0, |slot| params[slot]);
+                    for &(slot, j) in &step.terms {
+                        s += params[slot] * x[j];
+                    }
+                    let self_loop = step.self_slot.map_or(0.0, |slot| params[slot]);
+                    let den = 1.0 - self_loop;
+                    if den <= 0.0 {
+                        return Err(MarkovError::TrappedMass {
+                            state: format!("transient position {} (self-loop ≥ 1)", step.pos),
+                        });
+                    }
+                    x[step.pos] = s / den;
+                }
+                Ok((x[self.from_pos], PlanSolveKind::Tape))
+            }
+            PlanKind::Cyclic(c) => self.evaluate_cyclic(c, params),
+        }
+    }
+
+    fn evaluate_cyclic(&self, c: &CyclicPlan, params: &[f64]) -> Result<(f64, PlanSolveKind)> {
+        // Right-hand side and the set of transient rows whose Q entries
+        // moved away from the compile-time baseline.
+        let mut r = vec![0.0_f64; c.nt];
+        let mut changed: Vec<usize> = Vec::new();
+        for (slot, role) in c.roles.iter().enumerate() {
+            match *role {
+                SlotRole::R { row } => r[row] += params[slot],
+                SlotRole::Q { row, .. } => {
+                    if params[slot] != c.baseline[slot] && changed.last() != Some(&row) {
+                        changed.push(row);
+                    }
+                }
+                SlotRole::Ignored => {}
+            }
+        }
+        let b = Vector::from(r);
+        match changed[..] {
+            [] => {
+                // Same Q as the baseline: one back-substitution.
+                let x = c.lu.solve(&b)?;
+                Ok((x[self.from_pos], PlanSolveKind::Rank1))
+            }
+            [row] => {
+                // Exactly one row moved: Sherman–Morrison against the
+                // baseline factorization, with a numerical refusal fallback.
+                let mut v = vec![0.0_f64; c.nt];
+                for (slot, role) in c.roles.iter().enumerate() {
+                    if let SlotRole::Q { row: rr, col } = *role {
+                        if rr == row {
+                            // A = I − Q, so a Q delta enters A negated.
+                            v[col] -= params[slot] - c.baseline[slot];
+                        }
+                    }
+                }
+                match sherman_morrison_solve(&c.lu, &b, row, &Vector::from(v), RANK1_REFUSAL_EPS)? {
+                    Some(x) => Ok((x[self.from_pos], PlanSolveKind::Rank1)),
+                    None => self.full_cyclic_solve(c, params, &b),
+                }
+            }
+            _ => self.full_cyclic_solve(c, params, &b),
+        }
+    }
+
+    fn full_cyclic_solve(
+        &self,
+        c: &CyclicPlan,
+        params: &[f64],
+        b: &Vector,
+    ) -> Result<(f64, PlanSolveKind)> {
+        let mut a = Matrix::identity(c.nt);
+        for (slot, role) in c.roles.iter().enumerate() {
+            if let SlotRole::Q { row, col } = *role {
+                a.set(row, col, a.get(row, col) - params[slot]);
+            }
+        }
+        let lu = Lu::decompose(&a).map_err(|e| match e {
+            LinalgError::Singular { pivot } => MarkovError::TrappedMass {
+                state: format!("transient position {}", pivot.min(c.nt - 1)),
+            },
+            other => MarkovError::Linalg(other),
+        })?;
+        let x = lu.solve(b)?;
+        Ok((x[self.from_pos], PlanSolveKind::Full))
+    }
+}
+
+fn plan_shape_mismatch(expected: usize, got: usize) -> MarkovError {
+    MarkovError::Linalg(LinalgError::DimensionMismatch {
+        op: "compiled plan evaluation",
+        left: (expected, 1),
+        right: (got, 1),
+    })
+}
+
+/// Kahn's algorithm over the transient subgraph's `(col, slot)` rows,
+/// ignoring self-loops — the same test the sparse path applies.
+fn topological_order(q_rows: &[Vec<(usize, usize)>]) -> Option<Vec<usize>> {
+    let nt = q_rows.len();
+    let mut indegree = vec![0usize; nt];
+    for (k, row) in q_rows.iter().enumerate() {
+        for &(j, _) in row {
+            if j != k {
+                indegree[j] += 1;
+            }
+        }
+    }
+    let mut queue: std::collections::VecDeque<usize> =
+        (0..nt).filter(|&k| indegree[k] == 0).collect();
+    let mut order = Vec::with_capacity(nt);
+    while let Some(k) = queue.pop_front() {
+        order.push(k);
+        for &(j, _) in &q_rows[k] {
+            if j != k {
+                indegree[j] -= 1;
+                if indegree[j] == 0 {
+                    queue.push_back(j);
+                }
+            }
+        }
+    }
+    (order.len() == nt).then_some(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        absorption_probability_sparse, absorption_probability_to, DtmcBuilder, SparseSolveOptions,
+    };
+
+    fn branchy_chain(p_loop: f64) -> Dtmc<&'static str> {
+        DtmcBuilder::new()
+            .transition("s", "a", 0.6)
+            .transition("s", "b", 0.4)
+            .transition("a", "a", p_loop)
+            .transition("a", "end", 0.8 - p_loop)
+            .transition("a", "fail", 0.2)
+            .transition("b", "end", 0.9)
+            .transition("b", "fail", 0.1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn acyclic_tape_is_bitwise_identical_to_the_sparse_path() {
+        for p_loop in [0.0, 0.1, 0.5, 0.79] {
+            let chain = branchy_chain(p_loop);
+            let sparse =
+                absorption_probability_sparse(&chain, &"s", &"end", SparseSolveOptions::default())
+                    .unwrap();
+            let plan = SolvePlan::compile(&chain, &"s", &"end").unwrap();
+            assert!(plan.is_acyclic());
+            let params = plan.parameters(&chain).unwrap();
+            let (value, kind) = plan.evaluate_with_kind(&params).unwrap();
+            assert_eq!(kind, PlanSolveKind::Tape);
+            assert_eq!(value.to_bits(), sparse.to_bits(), "p_loop {p_loop}");
+        }
+    }
+
+    #[test]
+    fn one_plan_evaluates_every_same_structure_chain() {
+        let plan = SolvePlan::compile(&branchy_chain(0.1), &"s", &"end").unwrap();
+        for p_loop in [0.0_f64, 0.25, 0.6] {
+            let chain = branchy_chain(p_loop);
+            if p_loop > 0.0 {
+                assert_eq!(
+                    plan.fingerprint(),
+                    structure_fingerprint(&chain, &"s", &"end")
+                );
+            } else {
+                // Zero-probability edges are dropped by the builder, so the
+                // self-loop-free variant is a *different* structure.
+                assert_ne!(
+                    plan.fingerprint(),
+                    structure_fingerprint(&chain, &"s", &"end")
+                );
+                continue;
+            }
+            let dense = absorption_probability_to(&chain, &"s", &"end").unwrap();
+            let value = plan.evaluate(&plan.parameters(&chain).unwrap()).unwrap();
+            assert!((value - dense).abs() < 1e-12, "p_loop {p_loop}");
+        }
+    }
+
+    fn gamblers_ruin(p_up: f64, n: u32) -> Dtmc<u32> {
+        let mut b = DtmcBuilder::new();
+        for i in 1..n {
+            b = b
+                .transition(i, i - 1, 1.0 - p_up)
+                .transition(i, i + 1, p_up);
+        }
+        b.state(0).state(n).build().unwrap()
+    }
+
+    #[test]
+    fn cyclic_plan_baseline_matches_dense() {
+        let chain = gamblers_ruin(0.5, 8);
+        let plan = SolvePlan::compile(&chain, &3, &8).unwrap();
+        assert!(!plan.is_acyclic());
+        let (value, kind) = plan
+            .evaluate_with_kind(&plan.parameters(&chain).unwrap())
+            .unwrap();
+        assert_eq!(kind, PlanSolveKind::Rank1);
+        let dense = absorption_probability_to(&chain, &3, &8).unwrap();
+        assert!((value - dense).abs() < 1e-12, "{value} vs {dense}");
+    }
+
+    #[test]
+    fn single_row_perturbation_uses_sherman_morrison_and_matches_dense() {
+        let baseline = gamblers_ruin(0.5, 8);
+        let plan = SolvePlan::compile(&baseline, &3, &8).unwrap();
+        for p_up in [0.3, 0.45, 0.62] {
+            // Perturb only state 4's row, keeping every other row at 0.5.
+            let mut b = DtmcBuilder::new();
+            for i in 1..8u32 {
+                let up = if i == 4 { p_up } else { 0.5 };
+                b = b.transition(i, i - 1, 1.0 - up).transition(i, i + 1, up);
+            }
+            let perturbed = b.state(0).state(8).build().unwrap();
+            assert_eq!(
+                plan.fingerprint(),
+                structure_fingerprint(&perturbed, &3, &8)
+            );
+            let (value, kind) = plan
+                .evaluate_with_kind(&plan.parameters(&perturbed).unwrap())
+                .unwrap();
+            assert_eq!(kind, PlanSolveKind::Rank1, "p_up {p_up}");
+            let dense = absorption_probability_to(&perturbed, &3, &8).unwrap();
+            assert!(
+                (value - dense).abs() < 1e-11,
+                "p_up {p_up}: {value} vs {dense}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_row_perturbation_falls_back_to_a_full_solve() {
+        let baseline = gamblers_ruin(0.5, 8);
+        let plan = SolvePlan::compile(&baseline, &3, &8).unwrap();
+        let perturbed = gamblers_ruin(0.55, 8);
+        let (value, kind) = plan
+            .evaluate_with_kind(&plan.parameters(&perturbed).unwrap())
+            .unwrap();
+        assert_eq!(kind, PlanSolveKind::Full);
+        let dense = absorption_probability_to(&perturbed, &3, &8).unwrap();
+        assert!((value - dense).abs() < 1e-12);
+    }
+
+    #[test]
+    fn near_singular_rank1_update_is_refused_and_still_exact() {
+        // a ⇄ b with escape a → end (1 − p): det(I − Q) = 1 − p, so pushing
+        // p toward 1 drives the Sherman–Morrison denominator to ~0 and the
+        // evaluation must fall back to a full (re)factorization.
+        let build = |p: f64| {
+            DtmcBuilder::new()
+                .transition("a", "b", p)
+                .transition("a", "end", 1.0 - p)
+                .transition("b", "a", 1.0)
+                .build()
+                .unwrap()
+        };
+        let plan = SolvePlan::compile(&build(0.5), &"a", &"end").unwrap();
+        let extreme = build(1.0 - 1e-12);
+        let (value, kind) = plan
+            .evaluate_with_kind(&plan.parameters(&extreme).unwrap())
+            .unwrap();
+        assert_eq!(kind, PlanSolveKind::Full);
+        // Absorption is still certain (the escape leak is tiny but the
+        // chain always eventually takes it).
+        assert!((value - 1.0).abs() < 1e-3, "{value}");
+        let dense = absorption_probability_to(&extreme, &"a", &"end").unwrap();
+        assert!((value - dense).abs() < 1e-10, "{value} vs {dense}");
+    }
+
+    #[test]
+    fn compile_validates_like_the_direct_solvers() {
+        // Unreachable target.
+        let drained = DtmcBuilder::new()
+            .transition("s", "fail", 1.0)
+            .state("end")
+            .build()
+            .unwrap();
+        assert!(matches!(
+            SolvePlan::compile(&drained, &"s", &"end"),
+            Err(MarkovError::UnreachableTarget { .. })
+        ));
+        // Trapped mass.
+        let trapped = DtmcBuilder::new()
+            .transition("s", "end", 0.5)
+            .transition("s", "a", 0.5)
+            .transition("a", "b", 1.0)
+            .transition("b", "a", 1.0)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            SolvePlan::compile(&trapped, &"s", &"end"),
+            Err(MarkovError::TrappedMass { .. })
+        ));
+        // from == target (absorbing) is not a transient state.
+        let simple = DtmcBuilder::new()
+            .transition("s", "end", 1.0)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            SolvePlan::compile(&simple, &"end", &"end"),
+            Err(MarkovError::UnknownState { .. })
+        ));
+        // No transient states at all.
+        let absorbing_only = DtmcBuilder::new().state("a").state("b").build().unwrap();
+        assert!(matches!(
+            SolvePlan::compile(&absorbing_only, &"a", &"a"),
+            Err(MarkovError::NoTransientStates)
+        ));
+    }
+
+    #[test]
+    fn wrong_parameter_shape_is_rejected() {
+        let chain = branchy_chain(0.1);
+        let plan = SolvePlan::compile(&chain, &"s", &"end").unwrap();
+        assert!(plan.evaluate(&[0.5; 3]).is_err());
+        let other = DtmcBuilder::new()
+            .transition("x", "y", 1.0)
+            .build()
+            .unwrap();
+        assert!(plan.parameters(&other).is_err());
+    }
+
+    #[test]
+    fn fingerprint_ignores_values_but_not_structure() {
+        let a = branchy_chain(0.1);
+        let b = branchy_chain(0.7);
+        assert_eq!(
+            structure_fingerprint(&a, &"s", &"end"),
+            structure_fingerprint(&b, &"s", &"end")
+        );
+        // Different query endpoints change the fingerprint.
+        assert_ne!(
+            structure_fingerprint(&a, &"s", &"end"),
+            structure_fingerprint(&a, &"s", &"fail")
+        );
+        // An extra edge changes the fingerprint.
+        let extra = DtmcBuilder::new()
+            .transition("s", "a", 0.5)
+            .transition("s", "b", 0.4)
+            .transition("s", "end", 0.1)
+            .transition("a", "a", 0.1)
+            .transition("a", "end", 0.7)
+            .transition("a", "fail", 0.2)
+            .transition("b", "end", 0.9)
+            .transition("b", "fail", 0.1)
+            .build()
+            .unwrap();
+        assert_ne!(
+            structure_fingerprint(&a, &"s", &"end"),
+            structure_fingerprint(&extra, &"s", &"end")
+        );
+    }
+}
