@@ -1,0 +1,120 @@
+//! Lane-blocked tape replay vs per-point replay: how does the blocked
+//! engine's per-point cost scale with flow size, and what does partial
+//! lane occupancy cost?
+//!
+//! Three groups over [`synthetic_absorbing_chain`] (the augmented-chain
+//! shape of a chain-topology synthetic assembly):
+//!
+//! - `scalar`: per-point `SolvePlan::evaluate_scratch` — the PR 3 path;
+//! - `block`: `ParamBlock` push + `SolvePlan::evaluate_block` at full
+//!   [`LANE`] occupancy, measured per point (throughput counts points);
+//! - `occupancy`: a full flush at 1024 states for every occupancy
+//!   `1..=LANE`, showing the fixed per-flush decode amortizing across
+//!   lanes.
+//!
+//! The acceptance sweep with markdown + JSON records lives in
+//! `src/bin/exp_block_replay.rs`.
+
+use archrel_bench::scenarios::{synthetic_absorbing_chain, CHAIN_END};
+use archrel_markov::{ParamBlock, PlanScratch, SolvePlan, LANE};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const BASE_PFAIL: f64 = 1e-5;
+const SIZES: [usize; 4] = [64, 256, 1024, 4096];
+
+/// `LANE` parameter points for `plan`, one per lane, each a scaled
+/// re-extraction of the chain's transition parameters.
+fn lane_points(plan: &SolvePlan, states: usize) -> Vec<Vec<f64>> {
+    (0..LANE)
+        .map(|lane| {
+            let scale = 0.5 + 1.5 * lane as f64 / (LANE - 1) as f64;
+            let chain = synthetic_absorbing_chain(&vec![BASE_PFAIL * scale; states]);
+            plan.parameters(&chain).expect("same structure")
+        })
+        .collect()
+}
+
+fn bench_scalar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_replay/scalar");
+    group.sample_size(10);
+    for &states in &SIZES {
+        let chain = synthetic_absorbing_chain(&vec![BASE_PFAIL; states]);
+        let plan = SolvePlan::compile(&chain, &0u32, &CHAIN_END).expect("compiles");
+        let points = lane_points(&plan, states);
+        let mut scratch = PlanScratch::new();
+        group.throughput(Throughput::Elements(LANE as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(states), &states, |b, _| {
+            b.iter(|| {
+                let mut sum = 0.0;
+                for params in &points {
+                    let (value, _) = plan
+                        .evaluate_scratch(params, &mut scratch)
+                        .expect("evaluates");
+                    sum += value;
+                }
+                sum
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_block(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_replay/block");
+    group.sample_size(10);
+    for &states in &SIZES {
+        let chain = synthetic_absorbing_chain(&vec![BASE_PFAIL; states]);
+        let plan = SolvePlan::compile(&chain, &0u32, &CHAIN_END).expect("compiles");
+        let points = lane_points(&plan, states);
+        let mut block = ParamBlock::for_plan(&plan);
+        let mut scratch = PlanScratch::new();
+        group.throughput(Throughput::Elements(LANE as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(states), &states, |b, _| {
+            b.iter(|| {
+                block.clear();
+                for params in &points {
+                    block.push(params).expect("fits");
+                }
+                let out = plan
+                    .evaluate_block(&block, &mut scratch)
+                    .expect("evaluates");
+                out.iter().sum::<f64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_occupancy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_replay/occupancy");
+    group.sample_size(10);
+    let states = 1024;
+    let chain = synthetic_absorbing_chain(&vec![BASE_PFAIL; states]);
+    let plan = SolvePlan::compile(&chain, &0u32, &CHAIN_END).expect("compiles");
+    let points = lane_points(&plan, states);
+    let mut block = ParamBlock::for_plan(&plan);
+    let mut scratch = PlanScratch::new();
+    for occupancy in 1..=LANE {
+        group.throughput(Throughput::Elements(occupancy as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(occupancy),
+            &occupancy,
+            |b, &occupancy| {
+                b.iter(|| {
+                    block.clear();
+                    for params in &points[..occupancy] {
+                        block.push(params).expect("fits");
+                    }
+                    let out = plan
+                        .evaluate_block(&block, &mut scratch)
+                        .expect("evaluates");
+                    out.iter().sum::<f64>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalar, bench_block, bench_occupancy);
+criterion_main!(benches);

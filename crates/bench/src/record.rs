@@ -162,11 +162,15 @@ impl BenchRecord {
     }
 
     /// Writes `results/BENCH_<scenario>.json` (creating `results/` if
-    /// needed) and returns the path written.
+    /// needed) **and** a repo-root `BENCH_<scenario>.json` copy, returning
+    /// the `results/` path. The root copy keeps the cross-PR performance
+    /// trajectory visible at the top level without digging into `results/`.
     pub fn write(&self) -> std::io::Result<PathBuf> {
+        let json = self.to_json();
         let path = PathBuf::from(format!("results/BENCH_{}.json", self.scenario));
         std::fs::create_dir_all("results")?;
-        std::fs::write(&path, self.to_json())?;
+        std::fs::write(&path, &json)?;
+        std::fs::write(format!("BENCH_{}.json", self.scenario), &json)?;
         Ok(path)
     }
 }

@@ -146,19 +146,21 @@ impl<'a> BatchEvaluator<'a> {
     ///
     /// Queries are striped across the worker threads; every worker writes
     /// results into its own disjoint slots, so the output order never
-    /// depends on scheduling. Failures are per-query: one malformed query
-    /// yields an `Err` in its slot without poisoning the rest.
+    /// depends on scheduling. Within its stripe each worker groups queries
+    /// by target service and answers every group through
+    /// [`Evaluator::failure_probabilities_block`], so points sharing a
+    /// compiled structure are solved in lane-sized blocks by one tape
+    /// replay. Block and scalar results are bitwise-identical on compiled
+    /// acyclic structures, so the grouping is invisible in the output.
+    /// Failures are per-query: one malformed query yields an `Err` in its
+    /// slot without poisoning the rest.
     pub fn evaluate_all(&self, queries: &[Query]) -> Vec<Result<Probability>> {
-        self.evaluate_all_with(queries, |evaluator, query| {
-            evaluator.failure_probability(&query.service, &query.env)
-        })
+        self.blocked_sweep(queries, false)
     }
 
     /// Like [`BatchEvaluator::evaluate_all`], returning reliabilities.
     pub fn reliabilities(&self, queries: &[Query]) -> Vec<Result<Probability>> {
-        self.evaluate_all_with(queries, |evaluator, query| {
-            evaluator.reliability(&query.service, &query.env)
-        })
+        self.blocked_sweep(queries, true)
     }
 
     /// Evaluates every query and also reports the sweep's cache activity.
@@ -181,17 +183,128 @@ impl<'a> BatchEvaluator<'a> {
                 plan_misses: after.plan_misses - before.plan_misses,
                 rank1_solves: after.rank1_solves - before.rank1_solves,
                 full_solves: after.full_solves - before.full_solves,
+                block_points: after.block_points - before.block_points,
+                block_flushes: after.block_flushes - before.block_flushes,
+                plan_evictions: after.plan_evictions - before.plan_evictions,
             },
         };
         (results, summary)
     }
 
-    fn evaluate_all_with<F>(&self, queries: &[Query], f: F) -> Vec<Result<Probability>>
-    where
-        F: Fn(&Evaluator<'a>, &Query) -> Result<Probability> + Sync,
-    {
-        parallel_map_indexed(self.workers, queries, |_, query| f(&self.evaluator, query))
+    /// Striped, service-grouped sweep over the blocked evaluation path.
+    fn blocked_sweep(&self, queries: &[Query], complement: bool) -> Vec<Result<Probability>> {
+        let workers = self.workers.max(1).min(queries.len().max(1));
+        let evaluator = &self.evaluator;
+        let run_stripe = |indices: Vec<usize>| -> Vec<(usize, Result<Probability>)> {
+            // Group the stripe's queries by service, preserving stripe
+            // order within each group; every group becomes one blocked
+            // evaluation call.
+            let mut groups: Vec<(&ServiceId, Vec<usize>)> = Vec::new();
+            for &i in &indices {
+                let service = &queries[i].service;
+                match groups.iter_mut().find(|(s, _)| *s == service) {
+                    Some((_, group)) => group.push(i),
+                    None => groups.push((service, vec![i])),
+                }
+            }
+            let mut out = Vec::with_capacity(indices.len());
+            for (service, group) in groups {
+                let envs: Vec<&Bindings> = group.iter().map(|&i| &queries[i].env).collect();
+                let results = evaluator.failure_probabilities_block(service, &envs);
+                for (&i, r) in group.iter().zip(results) {
+                    let r = if complement {
+                        r.map(|p| p.complement())
+                    } else {
+                        r
+                    };
+                    out.push((i, r));
+                }
+            }
+            out
+        };
+
+        let mut results: Vec<Option<Result<Probability>>> = Vec::with_capacity(queries.len());
+        results.resize_with(queries.len(), || None);
+        if workers == 1 {
+            for (i, r) in run_stripe((0..queries.len()).collect()) {
+                results[i] = Some(r);
+            }
+        } else {
+            let run_stripe = &run_stripe;
+            let collected: Vec<Vec<(usize, Result<Probability>)>> =
+                crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|w| {
+                            let stripe: Vec<usize> = (w..queries.len()).step_by(workers).collect();
+                            scope.spawn(move |_| run_stripe(stripe))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("batch worker panicked"))
+                        .collect()
+                })
+                .expect("batch worker panicked");
+            for pairs in collected {
+                for (i, r) in pairs {
+                    results[i] = Some(r);
+                }
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every query answered"))
+            .collect()
     }
+}
+
+/// Answers `Pfail` for many parameter points of one service, striping the
+/// points across up to `workers` threads; every stripe runs through
+/// [`Evaluator::failure_probabilities_block`]. Output is in input order and
+/// bitwise-independent of the worker count (block ≡ scalar per lane).
+pub(crate) fn blocked_probabilities(
+    evaluator: &Evaluator<'_>,
+    service: &ServiceId,
+    envs: &[&Bindings],
+    workers: usize,
+) -> Vec<Result<Probability>> {
+    let workers = workers.max(1).min(envs.len().max(1));
+    if workers == 1 {
+        return evaluator.failure_probabilities_block(service, envs);
+    }
+    let mut results: Vec<Option<Result<Probability>>> = Vec::with_capacity(envs.len());
+    results.resize_with(envs.len(), || None);
+    let run_stripe = |stripe: Vec<usize>| -> Vec<(usize, Result<Probability>)> {
+        let stripe_envs: Vec<&Bindings> = stripe.iter().map(|&i| envs[i]).collect();
+        stripe
+            .iter()
+            .copied()
+            .zip(evaluator.failure_probabilities_block(service, &stripe_envs))
+            .collect()
+    };
+    let run_stripe = &run_stripe;
+    let collected: Vec<Vec<(usize, Result<Probability>)>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let stripe: Vec<usize> = (w..envs.len()).step_by(workers).collect();
+                scope.spawn(move |_| run_stripe(stripe))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("blocked worker panicked"))
+            .collect()
+    })
+    .expect("blocked worker panicked");
+    for pairs in collected {
+        for (i, r) in pairs {
+            results[i] = Some(r);
+        }
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every point answered"))
+        .collect()
 }
 
 /// Runs `f` over `items` on up to `workers` scoped threads, returning the

@@ -9,13 +9,16 @@
 //! which converges monotonically because `Pfail` is monotone in the
 //! estimates and bounded by 1.
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use archrel_expr::Bindings;
-use archrel_markov::{structure_fingerprint, PlanSolveKind, SolvePlan};
+use archrel_markov::{
+    structure_fingerprint, BlockSolveKinds, ParamBlock, PlanScratch, PlanSolveKind, SolvePlan, LANE,
+};
 use archrel_model::{
     Assembly, CompositeService, Probability, Service, ServiceCall, ServiceId, StateId,
 };
@@ -172,6 +175,13 @@ pub struct EvalOptions {
     /// Tolerance / sweep budget / scheme for the sparse path's iterative
     /// fallback on cyclic chains.
     pub sparse: archrel_markov::SparseSolveOptions,
+    /// Number of parameter points accumulated per block before the blocked
+    /// evaluation path flushes a [`ParamBlock`] through a compiled plan
+    /// (`1..=LANE`). Defaults to the full [`LANE`] width, unless the
+    /// `ARCHREL_PLAN_LANES` environment variable overrides it — which is
+    /// how CI exercises partially-filled blocks (and `1`, the degenerate
+    /// per-point block) across the whole test suite.
+    pub plan_lanes: usize,
 }
 
 impl Default for EvalOptions {
@@ -180,8 +190,41 @@ impl Default for EvalOptions {
             cycle_mode: CycleMode::default(),
             solver: SolverPolicy::from_env().unwrap_or_default(),
             sparse: archrel_markov::SparseSolveOptions::default(),
+            plan_lanes: plan_lanes_from_env().unwrap_or(LANE),
         }
     }
+}
+
+/// Parses a value of the `ARCHREL_PLAN_LANES` environment variable: an
+/// integer block-flush width in `1..=LANE`.
+///
+/// # Panics
+///
+/// Panics on anything else — mirroring the `ARCHREL_SOLVER` hard-error
+/// behavior, a typo'd override must not silently run the suite at the
+/// default lane width.
+pub fn parse_plan_lanes_env_value(raw: &str) -> usize {
+    match raw.trim().parse::<usize>() {
+        Ok(lanes) if (1..=LANE).contains(&lanes) => lanes,
+        _ => panic!(
+            "unrecognized ARCHREL_PLAN_LANES value `{raw}`: expected an integer in 1..={LANE}"
+        ),
+    }
+}
+
+/// Block-flush width forced by the `ARCHREL_PLAN_LANES` environment
+/// variable, if set. An empty value counts as unset (CI matrices expand
+/// absent entries to empty strings).
+///
+/// # Panics
+///
+/// Panics when the variable is set to an unrecognized value (see
+/// [`parse_plan_lanes_env_value`]).
+pub fn plan_lanes_from_env() -> Option<usize> {
+    std::env::var("ARCHREL_PLAN_LANES")
+        .ok()
+        .filter(|v| !v.trim().is_empty())
+        .map(|v| parse_plan_lanes_env_value(&v))
 }
 
 /// Hard cap on recursion depth, guarding against recursive assemblies whose
@@ -221,6 +264,15 @@ pub struct CacheStats {
     /// one transient row changed, or the rank-1 update was numerically
     /// refused).
     pub full_solves: u64,
+    /// Parameter points answered through the lane-blocked replay path
+    /// ([`archrel_markov::SolvePlan::evaluate_block`]).
+    pub block_points: u64,
+    /// Block flushes performed; `block_points / block_flushes` is the mean
+    /// lane occupancy of the blocked path.
+    pub block_flushes: u64,
+    /// Compiled plans evicted from the bounded plan cache (LRU on structure
+    /// fingerprint).
+    pub plan_evictions: u64,
 }
 
 impl CacheStats {
@@ -261,6 +313,9 @@ impl CacheCounters {
             plan_misses: 0,
             rank1_solves: 0,
             full_solves: 0,
+            block_points: 0,
+            block_flushes: 0,
+            plan_evictions: 0,
         }
     }
 }
@@ -290,21 +345,75 @@ enum PlanEntry {
 /// into several [`Evaluator::with_plan_cache`] instances to share plans
 /// across evaluators (and across threads — all interior state is locked or
 /// atomic).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PlanCache {
-    plans: RwLock<HashMap<u64, PlanEntry>>,
+    plans: RwLock<HashMap<u64, PlanSlot>>,
     /// Per-structure sighting counts driving `Auto` promotion.
     seen: RwLock<HashMap<u64, u64>>,
+    /// Maximum number of cached structures before LRU eviction (≥ 1).
+    capacity: usize,
+    /// Monotone use clock stamping [`PlanSlot::last_used`].
+    clock: AtomicU64,
     plan_hits: AtomicU64,
     plan_misses: AtomicU64,
     rank1_solves: AtomicU64,
     full_solves: AtomicU64,
+    evictions: AtomicU64,
+    block_points: AtomicU64,
+    block_flushes: AtomicU64,
+}
+
+/// One cached structure plus its LRU bookkeeping.
+#[derive(Debug)]
+struct PlanSlot {
+    entry: PlanEntry,
+    /// Clock stamp of the last lookup (atomic so the read path can touch it
+    /// under the map's read lock).
+    last_used: AtomicU64,
+}
+
+/// Default [`PlanCache`] capacity: deliberately generous — an assembly has
+/// one flow structure per composite service, so thousands of structures only
+/// arise in long multi-assembly batch runs, exactly the workloads the bound
+/// protects from unbounded growth.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 4096;
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::with_capacity(DEFAULT_PLAN_CACHE_CAPACITY)
+    }
 }
 
 impl PlanCache {
-    /// Creates an empty plan cache.
+    /// Creates an empty plan cache with the default capacity
+    /// ([`DEFAULT_PLAN_CACHE_CAPACITY`]).
     pub fn new() -> Self {
         PlanCache::default()
+    }
+
+    /// Creates an empty plan cache holding at most `capacity` structures
+    /// (clamped to at least 1); beyond that, the least-recently-used
+    /// structure is evicted and counted in
+    /// [`CacheStats::plan_evictions`].
+    pub fn with_capacity(capacity: usize) -> Self {
+        PlanCache {
+            plans: RwLock::new(HashMap::new()),
+            seen: RwLock::new(HashMap::new()),
+            capacity: capacity.max(1),
+            clock: AtomicU64::new(0),
+            plan_hits: AtomicU64::new(0),
+            plan_misses: AtomicU64::new(0),
+            rank1_solves: AtomicU64::new(0),
+            full_solves: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            block_points: AtomicU64::new(0),
+            block_flushes: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of structures the cache retains.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Number of flow structures currently cached (compiled or classified).
@@ -315,6 +424,15 @@ impl PlanCache {
     /// Whether the cache holds no structures yet.
     pub fn is_empty(&self) -> bool {
         self.plans.read().is_empty()
+    }
+
+    /// Structures evicted so far under the capacity bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Bumps and returns the sighting count of a structure.
@@ -335,13 +453,17 @@ impl PlanCache {
         target: &AugmentedState,
         acyclic_only: bool,
     ) -> archrel_markov::Result<PlanEntry> {
-        if let Some(entry) = self.plans.read().get(&fingerprint) {
+        if let Some(slot) = self.plans.read().get(&fingerprint) {
             // An acyclic-only caller can use a fully compiled entry, but a
             // `CyclicUncompiled` marker does not satisfy a full-compilation
             // request — fall through and compile in that case.
-            if !matches!((acyclic_only, entry), (false, PlanEntry::CyclicUncompiled)) {
+            if !matches!(
+                (acyclic_only, &slot.entry),
+                (false, PlanEntry::CyclicUncompiled)
+            ) {
+                slot.last_used.store(self.tick(), Ordering::Relaxed);
                 self.plan_hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(entry.clone());
+                return Ok(slot.entry.clone());
             }
         }
         self.plan_misses.fetch_add(1, Ordering::Relaxed);
@@ -361,21 +483,49 @@ impl PlanCache {
             // and the caller propagates them either way.
             Err(e) => return Err(e),
         };
+        let stamp = self.tick();
         let mut plans = self.plans.write();
-        let entry = plans
-            .entry(fingerprint)
+        let entry = match plans.entry(fingerprint) {
             // First insertion wins, so concurrent compilers of the same
             // structure all converge on one shared plan instance...
-            .and_modify(|existing| {
+            std::collections::hash_map::Entry::Occupied(mut occupied) => {
+                let slot = occupied.get_mut();
                 // ...except a full compilation upgrades a cyclic marker.
-                if matches!(existing, PlanEntry::CyclicUncompiled)
+                if matches!(slot.entry, PlanEntry::CyclicUncompiled)
                     && matches!(fresh, PlanEntry::Plan(_))
                 {
-                    *existing = fresh.clone();
+                    slot.entry = fresh;
                 }
-            })
-            .or_insert(fresh);
-        Ok(entry.clone())
+                slot.last_used.store(stamp, Ordering::Relaxed);
+                slot.entry.clone()
+            }
+            std::collections::hash_map::Entry::Vacant(vacant) => {
+                vacant.insert(PlanSlot {
+                    entry: fresh.clone(),
+                    last_used: AtomicU64::new(stamp),
+                });
+                fresh
+            }
+        };
+        // LRU bound: drop the stalest structures (never the one just
+        // touched) and forget their sighting counts so a re-promotion under
+        // `Auto` starts from a cold count again.
+        while plans.len() > self.capacity {
+            let victim = plans
+                .iter()
+                .filter(|(&fp, _)| fp != fingerprint)
+                .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
+                .map(|(&fp, _)| fp);
+            match victim {
+                Some(fp) => {
+                    plans.remove(&fp);
+                    self.seen.write().remove(&fp);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+        Ok(entry)
     }
 
     fn record(&self, kind: PlanSolveKind) {
@@ -387,12 +537,33 @@ impl PlanCache {
         };
     }
 
+    /// Folds one block flush's per-lane solve kinds into the counters.
+    fn record_block(&self, kinds: BlockSolveKinds) {
+        self.rank1_solves
+            .fetch_add(kinds.tape + kinds.rank1, Ordering::Relaxed);
+        self.full_solves.fetch_add(kinds.full, Ordering::Relaxed);
+        self.block_points
+            .fetch_add(kinds.tape + kinds.rank1 + kinds.full, Ordering::Relaxed);
+        self.block_flushes.fetch_add(1, Ordering::Relaxed);
+    }
+
     fn fold_into(&self, stats: &mut CacheStats) {
         stats.plan_hits = self.plan_hits.load(Ordering::Relaxed);
         stats.plan_misses = self.plan_misses.load(Ordering::Relaxed);
         stats.rank1_solves = self.rank1_solves.load(Ordering::Relaxed);
         stats.full_solves = self.full_solves.load(Ordering::Relaxed);
+        stats.block_points = self.block_points.load(Ordering::Relaxed);
+        stats.block_flushes = self.block_flushes.load(Ordering::Relaxed);
+        stats.plan_evictions = self.evictions.load(Ordering::Relaxed);
     }
+}
+
+thread_local! {
+    /// Per-thread parameter buffer + plan scratch for the scalar compiled
+    /// path: after warm-up, a sweep's plan evaluations perform no heap
+    /// allocation per point.
+    static PLAN_EVAL_TLS: RefCell<(Vec<f64>, PlanScratch)> =
+        RefCell::new((Vec::new(), PlanScratch::new()));
 }
 
 /// Per-request resolution detail, reused by the report module.
@@ -711,6 +882,32 @@ impl<'a> Evaluator<'a> {
         start: &AugmentedState,
         end: &AugmentedState,
     ) -> archrel_markov::Result<f64> {
+        match self.plan_for_chain(chain, start, end)? {
+            Some(plan) => PLAN_EVAL_TLS.with(|tls| {
+                let (params, scratch) = &mut *tls.borrow_mut();
+                plan.parameters_into(chain, params)?;
+                let (value, kind) = plan.evaluate_scratch(params, scratch)?;
+                self.plans.record(kind);
+                Ok(value)
+            }),
+            None => self.direct_solve(chain, start, end),
+        }
+    }
+
+    /// Resolves the plan-path gating for one chain: `Ok(Some(plan))` when a
+    /// compiled plan should answer, `Ok(None)` when the direct solver should
+    /// run (policy excludes plans, structure still cold under `Auto`, or
+    /// cyclic under acyclic-only promotion).
+    ///
+    /// Shared by the scalar [`Evaluator::solve_flow_chain`] and the blocked
+    /// deferral path, so sighting counts and cache entries are maintained
+    /// identically regardless of how a point is evaluated.
+    fn plan_for_chain(
+        &self,
+        chain: &archrel_markov::Dtmc<AugmentedState>,
+        start: &AugmentedState,
+        end: &AugmentedState,
+    ) -> archrel_markov::Result<Option<Arc<SolvePlan>>> {
         let chosen = self.options.solver.choose(chain.len(), chain.edge_count());
         let acyclic_only = match self.options.solver {
             SolverPolicy::Compiled => Some(false),
@@ -725,12 +922,7 @@ impl<'a> Evaluator<'a> {
                     .plans
                     .entry(fingerprint, chain, start, end, acyclic_only)?
                 {
-                    PlanEntry::Plan(plan) => {
-                        let params = plan.parameters(chain)?;
-                        let (value, kind) = plan.evaluate_with_kind(&params)?;
-                        self.plans.record(kind);
-                        return Ok(value);
-                    }
+                    PlanEntry::Plan(plan) => return Ok(Some(plan)),
                     PlanEntry::CyclicUncompiled => {}
                     PlanEntry::Unreachable { from, target } => {
                         return Err(archrel_markov::MarkovError::UnreachableTarget {
@@ -741,7 +933,16 @@ impl<'a> Evaluator<'a> {
                 }
             }
         }
-        match chosen {
+        Ok(None)
+    }
+
+    fn direct_solve(
+        &self,
+        chain: &archrel_markov::Dtmc<AugmentedState>,
+        start: &AugmentedState,
+        end: &AugmentedState,
+    ) -> archrel_markov::Result<f64> {
+        match self.options.solver.choose(chain.len(), chain.edge_count()) {
             ChosenSolver::Dense => archrel_markov::absorption_probability_to(chain, start, end),
             ChosenSolver::Sparse => archrel_markov::absorption_probability_sparse(
                 chain,
@@ -837,6 +1038,340 @@ impl<'a> Evaluator<'a> {
             cycle_keys: HashSet::new(),
         };
         self.resolve_states(composite, env, &mut ctx)
+    }
+
+    /// `Pfail` for many parameter points of **one** service, answered through
+    /// the lane-blocked replay path where the solver policy permits.
+    ///
+    /// Semantically identical to calling [`Evaluator::failure_probability`]
+    /// per point — bitwise so on acyclic compiled structures, because the
+    /// blocked tape replay performs exactly the scalar arithmetic per lane —
+    /// but instead of solving each point's top-level flow on the spot, points
+    /// sharing a structure fingerprint accumulate into a [`ParamBlock`] and
+    /// are solved [`LANE`] (or [`EvalOptions::plan_lanes`]) at a time by a
+    /// single tape replay. Sub-service recursion, caching, and memoization
+    /// ride the normal scalar path. Points whose policy resolves to a direct
+    /// solver (or whose structure is not plan-compiled) are answered
+    /// immediately; [`CycleMode::FixedPoint`] falls back to per-point
+    /// evaluation. Errors are per-point: one malformed point yields an `Err`
+    /// in its slot without poisoning the rest.
+    pub fn failure_probabilities_block(
+        &self,
+        service: &ServiceId,
+        envs: &[&Bindings],
+    ) -> Vec<Result<Probability>> {
+        if !matches!(self.options.cycle_mode, CycleMode::Error) {
+            return envs
+                .iter()
+                .map(|env| self.failure_probability(service, env))
+                .collect();
+        }
+        let n = envs.len();
+        let mut results: Vec<Option<Result<Probability>>> = Vec::with_capacity(n);
+        results.resize_with(n, || None);
+        let mut success = vec![f64::NAN; n];
+        let mut acc = FlowBlockAccumulator::new(Arc::clone(&self.plans), self.options.plan_lanes);
+        // First point of each still-in-flight (deferred) parameter key, and
+        // the duplicates waiting on it.
+        let mut first_of: HashMap<String, usize> = HashMap::new();
+        let mut dups: Vec<(usize, usize)> = Vec::new();
+        let mut deferred: Vec<usize> = Vec::new();
+        for (i, env) in envs.iter().enumerate() {
+            if let Some(&j) = first_of.get(&env.cache_key()) {
+                // Duplicate of a deferred point: the shared cache only
+                // learns the value at flush time, but it is the same number
+                // — count a hit and copy the slot afterwards.
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                dups.push((i, j));
+                continue;
+            }
+            match self.defer_failure_probability(service, env, i, &mut acc, &mut success) {
+                Ok(BlockedOutcome::Immediate(p)) => results[i] = Some(Ok(p)),
+                Ok(BlockedOutcome::Deferred) => {
+                    first_of.insert(env.cache_key(), i);
+                    deferred.push(i);
+                }
+                Err(e) => results[i] = Some(Err(e)),
+            }
+        }
+        acc.finish(&mut success);
+        self.counters
+            .solves
+            .fetch_add(acc.flushed_points(), Ordering::Relaxed);
+        self.counters
+            .solve_nanos
+            .fetch_add(acc.flush_nanos(), Ordering::Relaxed);
+        for (tag, err) in acc.take_errors() {
+            results[tag] = Some(Err(err));
+        }
+        for i in deferred {
+            if results[i].is_some() {
+                continue; // the lane errored above
+            }
+            let r: Result<Probability> = Probability::new(success[i])
+                .map(|p| p.complement())
+                .map_err(Into::into);
+            if let Ok(p) = &r {
+                self.cache
+                    .write()
+                    .insert((service.clone(), envs[i].cache_key()), *p);
+            }
+            results[i] = Some(r);
+        }
+        for (i, j) in dups {
+            results[i] = Some(match &results[j] {
+                Some(Ok(p)) => Ok(*p),
+                // Rare: the first instance errored — re-derive the error on
+                // the scalar path (`CoreError` is not `Clone`).
+                _ => self.failure_probability(service, envs[i]),
+            });
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every slot resolved"))
+            .collect()
+    }
+
+    /// Submits one point to the blocked evaluation path: answered from the
+    /// cache or the scalar pipeline immediately, or its top-level flow solve
+    /// deferred into `acc` with the raw **success** probability to be
+    /// written to `out[tag]` at flush time (the caller complements deferred
+    /// slots after [`FlowBlockAccumulator::finish`]).
+    ///
+    /// Separate from [`Evaluator::failure_probabilities_block`] so workloads
+    /// that build a fresh evaluator per point over *different* assemblies —
+    /// uncertainty sampling — can still accumulate across points: the
+    /// accumulator owns parameter copies and shared-plan `Arc`s, not
+    /// evaluator borrows.
+    pub(crate) fn defer_failure_probability(
+        &self,
+        service: &ServiceId,
+        env: &Bindings,
+        tag: usize,
+        acc: &mut FlowBlockAccumulator,
+        out: &mut [f64],
+    ) -> Result<BlockedOutcome> {
+        if !matches!(self.options.cycle_mode, CycleMode::Error) {
+            // Fixed-point estimates are sweep-global state a deferred solve
+            // cannot thread through: stay on the scalar engine.
+            return Ok(BlockedOutcome::Immediate(
+                self.failure_probability(service, env)?,
+            ));
+        }
+        let key: CacheKey = (service.clone(), env.cache_key());
+        if let Some(p) = self.cache.read().get(&key) {
+            self.counters.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(BlockedOutcome::Immediate(*p));
+        }
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        let mut ctx = Ctx {
+            // The top key is on the stack, exactly as if `eval_rec` had
+            // descended into it, so self-recursion is still detected.
+            stack: vec![key.clone()],
+            memo: HashMap::new(),
+            estimates: None,
+            cycle_keys: HashSet::new(),
+        };
+        let outcome = match self.assembly.require(service)? {
+            Service::Simple(_) => {
+                BlockedOutcome::Immediate(self.eval_service(service, env, &mut ctx)?)
+            }
+            Service::Composite(composite) => {
+                let states = self.resolve_states(composite, env, &mut ctx)?;
+                let failures: BTreeMap<StateId, Probability> = states
+                    .iter()
+                    .map(|s| (s.state.clone(), s.failure))
+                    .collect();
+                let chain = augmented_chain(composite, env, &failures)?;
+                let start = AugmentedState::Flow(StateId::Start);
+                let end = AugmentedState::Flow(StateId::End);
+                let immediate_success = match self.plan_for_chain(&chain, &start, &end) {
+                    Ok(Some(plan)) => {
+                        acc.submit(&plan, &chain, tag, out)?;
+                        None
+                    }
+                    Ok(None) => {
+                        let solve_started = Instant::now();
+                        let success = match self.direct_solve(&chain, &start, &end) {
+                            Ok(p) => p,
+                            Err(archrel_markov::MarkovError::UnreachableTarget { .. }) => 0.0,
+                            Err(e) => return Err(e.into()),
+                        };
+                        self.counters.solves.fetch_add(1, Ordering::Relaxed);
+                        self.counters.solve_nanos.fetch_add(
+                            u64::try_from(solve_started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                            Ordering::Relaxed,
+                        );
+                        Some(success)
+                    }
+                    // Structurally unreachable End: certain failure, a
+                    // legitimate prediction (mirrors the scalar path).
+                    Err(archrel_markov::MarkovError::UnreachableTarget { .. }) => Some(0.0),
+                    Err(e) => return Err(e.into()),
+                };
+                match immediate_success {
+                    None => BlockedOutcome::Deferred,
+                    Some(s) => BlockedOutcome::Immediate(Probability::new(s)?.complement()),
+                }
+            }
+        };
+        // Everything resolved below the top level is exact: persist it.
+        self.cache.write().extend(ctx.memo);
+        if let BlockedOutcome::Immediate(p) = &outcome {
+            self.cache.write().insert(key, *p);
+        }
+        Ok(outcome)
+    }
+}
+
+/// Outcome of one point submitted to the blocked evaluation path.
+pub(crate) enum BlockedOutcome {
+    /// Answered on the spot (cache hit, simple service, direct solver, ...):
+    /// the final failure probability.
+    Immediate(Probability),
+    /// The top-level flow solve joined a pending block. After the
+    /// accumulator flushes, the **success** probability sits in the output
+    /// slot at the submitted tag and still needs
+    /// `Probability::new(..)?.complement()`.
+    Deferred,
+}
+
+/// Accumulates deferred top-level flow solves into lane-sized
+/// [`ParamBlock`]s — one per structure fingerprint — and flushes each
+/// through a single [`SolvePlan::evaluate_block`] tape replay.
+///
+/// Owns parameter copies and shared-plan [`Arc`]s rather than evaluator
+/// borrows, so short-lived evaluators (one per uncertainty sample) can feed
+/// one accumulator. Flush timing and point counts are exposed for the
+/// caller to fold into its solve counters; per-lane evaluation errors are
+/// collected per tag (a bad point must not poison its block-mates).
+pub(crate) struct FlowBlockAccumulator {
+    plans: Arc<PlanCache>,
+    /// Flush threshold in `1..=LANE` (see [`EvalOptions::plan_lanes`]).
+    lanes: usize,
+    pending: Vec<PendingBlock>,
+    scratch: PlanScratch,
+    params_buf: Vec<f64>,
+    errors: Vec<(usize, crate::CoreError)>,
+    flush_nanos: u64,
+    flushed_points: u64,
+}
+
+struct PendingBlock {
+    plan: Arc<SolvePlan>,
+    block: ParamBlock,
+    tags: Vec<usize>,
+}
+
+impl FlowBlockAccumulator {
+    pub(crate) fn new(plans: Arc<PlanCache>, lanes: usize) -> Self {
+        FlowBlockAccumulator {
+            plans,
+            lanes: lanes.clamp(1, LANE),
+            pending: Vec::new(),
+            scratch: PlanScratch::new(),
+            params_buf: Vec::new(),
+            errors: Vec::new(),
+            flush_nanos: 0,
+            flushed_points: 0,
+        }
+    }
+
+    /// Queues one point (the parameters `plan` extracts from `chain`) under
+    /// tag `tag`, flushing the structure's block into `out` when it reaches
+    /// the lane threshold.
+    fn submit(
+        &mut self,
+        plan: &Arc<SolvePlan>,
+        chain: &archrel_markov::Dtmc<AugmentedState>,
+        tag: usize,
+        out: &mut [f64],
+    ) -> archrel_markov::Result<()> {
+        plan.parameters_into(chain, &mut self.params_buf)?;
+        let idx = match self
+            .pending
+            .iter()
+            .position(|p| p.plan.fingerprint() == plan.fingerprint())
+        {
+            Some(idx) => idx,
+            None => {
+                self.pending.push(PendingBlock {
+                    plan: Arc::clone(plan),
+                    block: ParamBlock::for_plan(plan),
+                    tags: Vec::with_capacity(LANE),
+                });
+                self.pending.len() - 1
+            }
+        };
+        let pending = &mut self.pending[idx];
+        pending.block.push(&self.params_buf)?;
+        pending.tags.push(tag);
+        if pending.block.len() >= self.lanes {
+            self.flush_at(idx, out);
+        }
+        Ok(())
+    }
+
+    /// Flushes every non-empty pending block into `out`.
+    pub(crate) fn finish(&mut self, out: &mut [f64]) {
+        for idx in 0..self.pending.len() {
+            self.flush_at(idx, out);
+        }
+    }
+
+    fn flush_at(&mut self, idx: usize, out: &mut [f64]) {
+        let started = Instant::now();
+        let pending = &mut self.pending[idx];
+        let occupied = pending.block.len();
+        if occupied == 0 {
+            return;
+        }
+        match pending
+            .plan
+            .evaluate_block_with_kinds(&pending.block, &mut self.scratch)
+        {
+            Ok((values, kinds)) => {
+                for (lane, &value) in values.iter().enumerate() {
+                    out[pending.tags[lane]] = value;
+                }
+                self.plans.record_block(kinds);
+                self.flushed_points += occupied as u64;
+            }
+            Err(_) => {
+                // Replay each lane on the scalar path so the error lands on
+                // exactly the point that caused it; healthy lanes still
+                // produce their (bitwise-identical) values.
+                for lane in 0..occupied {
+                    pending.block.lane_params_into(lane, &mut self.params_buf);
+                    match pending.plan.evaluate_with_kind(&self.params_buf) {
+                        Ok((value, kind)) => {
+                            out[pending.tags[lane]] = value;
+                            self.plans.record(kind);
+                            self.flushed_points += 1;
+                        }
+                        Err(e) => self.errors.push((pending.tags[lane], e.into())),
+                    }
+                }
+            }
+        }
+        pending.block.clear();
+        pending.tags.clear();
+        self.flush_nanos += u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    }
+
+    /// Per-tag errors raised by flushed lanes (drained).
+    pub(crate) fn take_errors(&mut self) -> Vec<(usize, crate::CoreError)> {
+        std::mem::take(&mut self.errors)
+    }
+
+    /// Points evaluated through flushes so far.
+    pub(crate) fn flushed_points(&self) -> u64 {
+        self.flushed_points
+    }
+
+    /// Wall-clock nanoseconds spent inside flushes so far.
+    pub(crate) fn flush_nanos(&self) -> u64 {
+        self.flush_nanos
     }
 }
 
@@ -1434,5 +1969,134 @@ mod tests {
         // both transient rows and must fall back to a full refactorization.
         assert_eq!(stats.rank1_solves, 1, "{stats:?}");
         assert_eq!(stats.full_solves, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn plan_lanes_env_value_parses_or_hard_errors() {
+        assert_eq!(parse_plan_lanes_env_value("1"), 1);
+        assert_eq!(parse_plan_lanes_env_value(" 4 "), 4);
+        assert_eq!(parse_plan_lanes_env_value(&LANE.to_string()), LANE);
+        // Anything else must panic listing the accepted range — mirroring
+        // the `ARCHREL_SOLVER` hard-error behavior. `parse_plan_lanes_env_value`
+        // is probed directly so parallel tests reading the process-global
+        // `ARCHREL_PLAN_LANES` are not perturbed.
+        for bad in ["0", "9999", "fast", "-1", "2.5"] {
+            let err = std::panic::catch_unwind(|| parse_plan_lanes_env_value(bad))
+                .expect_err("bad lane count must not parse");
+            let message = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(message.contains("ARCHREL_PLAN_LANES"), "{message}");
+            assert!(message.contains(bad), "{message}");
+        }
+    }
+
+    #[test]
+    fn plan_cache_capacity_evicts_least_recently_used_structures() {
+        // Two structurally different composites over a capacity-1 cache:
+        // each compile evicts the other, and the counter records it.
+        let flow_a = FlowBuilder::new()
+            .state(FlowState::new("1", vec![call("leaf")]))
+            .transition(StateId::Start, "1", Expr::one())
+            .transition("1", StateId::End, Expr::one())
+            .build()
+            .unwrap();
+        let flow_b = FlowBuilder::new()
+            .state(FlowState::new("1", vec![call("leaf")]))
+            .state(FlowState::new("2", vec![call("leaf")]))
+            .transition(StateId::Start, "1", Expr::one())
+            .transition("1", "2", Expr::one())
+            .transition("2", StateId::End, Expr::one())
+            .build()
+            .unwrap();
+        let assembly = AssemblyBuilder::new()
+            .service(constant_service("leaf", 0.05))
+            .service(Service::Composite(
+                CompositeService::new("a", vec![], flow_a).unwrap(),
+            ))
+            .service(Service::Composite(
+                CompositeService::new("b", vec![], flow_b).unwrap(),
+            ))
+            .build()
+            .unwrap();
+        let plans = Arc::new(PlanCache::with_capacity(1));
+        assert_eq!(plans.capacity(), 1);
+        let eval = Evaluator::with_plan_cache(
+            &assembly,
+            forced(SolverPolicy::Compiled),
+            Arc::clone(&plans),
+        );
+        for round in 0..3u32 {
+            for svc in ["a", "b"] {
+                // A fresh unused binding per round sidesteps the value-level
+                // cache so the plan cache is exercised every time.
+                let env = Bindings::new().with("unused", f64::from(round));
+                eval.failure_probability(&svc.into(), &env).unwrap();
+            }
+        }
+        let stats = eval.cache_stats();
+        assert!(stats.plan_evictions >= 3, "{stats:?}");
+        assert!(stats.plan_misses >= 4, "{stats:?}");
+        assert_eq!(plans.evictions(), stats.plan_evictions);
+    }
+
+    #[test]
+    fn blocked_evaluation_is_bitwise_identical_to_scalar() {
+        use archrel_model::paper;
+        let assembly = paper::remote_assembly(&paper::PaperParams::default()).unwrap();
+        let service: ServiceId = paper::SEARCH.into();
+        let envs: Vec<Bindings> = (1..=21)
+            .map(|i| paper::search_bindings(4.0, 64.0 * f64::from(i), 1.0))
+            .collect();
+        let scalar: Vec<f64> = {
+            let eval = Evaluator::with_options(&assembly, forced(SolverPolicy::Compiled));
+            envs.iter()
+                .map(|env| eval.failure_probability(&service, env).unwrap().value())
+                .collect()
+        };
+        for lanes in [1, 3, LANE] {
+            let eval = Evaluator::with_options(
+                &assembly,
+                EvalOptions {
+                    solver: SolverPolicy::Compiled,
+                    plan_lanes: lanes,
+                    ..EvalOptions::default()
+                },
+            );
+            let refs: Vec<&Bindings> = envs.iter().collect();
+            let got = eval.failure_probabilities_block(&service, &refs);
+            for (i, (s, g)) in scalar.iter().zip(&got).enumerate() {
+                let g = g.as_ref().unwrap();
+                assert_eq!(
+                    s.to_bits(),
+                    g.value().to_bits(),
+                    "lane width {lanes}, point {i}"
+                );
+            }
+            let stats = eval.cache_stats();
+            assert!(stats.block_points >= 1, "lanes {lanes}: {stats:?}");
+            assert!(stats.block_flushes >= 1, "lanes {lanes}: {stats:?}");
+        }
+    }
+
+    #[test]
+    fn blocked_evaluation_isolates_per_point_errors_and_reuses_duplicates() {
+        use archrel_model::paper;
+        let assembly = paper::remote_assembly(&paper::PaperParams::default()).unwrap();
+        let service: ServiceId = paper::SEARCH.into();
+        let good = paper::search_bindings(4.0, 1024.0, 1.0);
+        // An unbound environment fails during resolution, not during the
+        // flush; it must not poison its block-mates.
+        let bad = Bindings::new();
+        let envs: Vec<&Bindings> = vec![&good, &bad, &good, &good];
+        let eval = Evaluator::with_options(&assembly, forced(SolverPolicy::Compiled));
+        let got = eval.failure_probabilities_block(&service, &envs);
+        assert!(got[0].is_ok());
+        assert!(got[1].is_err());
+        for r in [&got[2], &got[3]] {
+            let r = r.as_ref().unwrap();
+            assert_eq!(
+                got[0].as_ref().unwrap().value().to_bits(),
+                r.value().to_bits()
+            );
+        }
     }
 }

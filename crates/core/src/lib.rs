@@ -70,7 +70,10 @@ pub mod uncertainty;
 pub use augment::{augmented_chain, AugmentedState};
 pub use batch::{BatchEvaluator, BatchSummary, Query};
 pub use error::CoreError;
-pub use eval::{CacheStats, CycleMode, EvalOptions, Evaluator, PlanCache, SolverPolicy};
+pub use eval::{
+    parse_plan_lanes_env_value, plan_lanes_from_env, CacheStats, CycleMode, EvalOptions, Evaluator,
+    PlanCache, SolverPolicy, DEFAULT_PLAN_CACHE_CAPACITY,
+};
 pub use failprob::{state_failure_probability, RequestFailure};
 pub use report::{EvaluationReport, ServiceBreakdown, StateBreakdown};
 

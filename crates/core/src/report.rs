@@ -33,6 +33,18 @@ impl fmt::Display for CacheStats {
                 self.plan_hits, self.plan_misses, self.rank1_solves, self.full_solves
             )?;
         }
+        if self.block_flushes > 0 {
+            write!(
+                f,
+                "; blocks: {} points in {} flushes ({:.1} lanes/flush)",
+                self.block_points,
+                self.block_flushes,
+                self.block_points as f64 / self.block_flushes as f64
+            )?;
+        }
+        if self.plan_evictions > 0 {
+            write!(f, "; {} plan evictions", self.plan_evictions)?;
+        }
         Ok(())
     }
 }

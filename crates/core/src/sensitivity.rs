@@ -14,7 +14,7 @@
 use archrel_expr::Bindings;
 use archrel_model::{Assembly, ServiceId};
 
-use crate::batch::parallel_map_indexed;
+use crate::batch::blocked_probabilities;
 use crate::{symbolic, Evaluator, Result};
 
 /// Sensitivity of `Pfail` with respect to one input.
@@ -128,11 +128,12 @@ pub fn binding_sensitivities_with_workers(
         })
         .collect();
 
+    // All stencil points target one service: the blocked path packs them
+    // into lane-sized parameter blocks per compiled structure, so a whole
+    // stencil's probes are replayed by a handful of tape passes.
     let flat: Vec<&Bindings> = probes.iter().flat_map(|p| p.envs.iter()).collect();
-    let values = parallel_map_indexed(workers, &flat, |_, probe_env| {
-        Ok::<f64, crate::CoreError>(evaluator.failure_probability(service, probe_env)?.value())
-    });
-    let mut values = values.into_iter();
+    let values = blocked_probabilities(evaluator, service, &flat, workers);
+    let mut values = values.into_iter().map(|r| r.map(|p| p.value()));
     let mut out = Vec::with_capacity(probes.len());
     for probe in &probes {
         let up = values.next().expect("one value per probe")?;

@@ -23,7 +23,7 @@ use archrel_model::{Assembly, Probability, ServiceId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::batch::parallel_map_indexed;
+use crate::eval::{BlockedOutcome, FlowBlockAccumulator};
 use crate::improvement::{apply_lever, Lever};
 use crate::sensitivity::default_workers;
 use crate::{CoreError, EvalOptions, Evaluator, PlanCache, Result};
@@ -255,22 +255,73 @@ pub fn propagate_with_options(
         .collect();
 
     let plans = Arc::new(PlanCache::new());
-    let evaluated = parallel_map_indexed(workers, &factor_vectors, |_, sample_factors| {
-        let factors: Vec<(&Lever, f64)> = quantities
-            .iter()
-            .zip(sample_factors.iter())
-            .map(|(q, &f)| (&q.lever, f))
-            .collect();
-        let perturbed = apply_all(assembly, &factors)?;
-        Ok::<f64, CoreError>(
-            Evaluator::with_plan_cache(&perturbed, options, Arc::clone(&plans))
-                .failure_probability(service, env)?
-                .value(),
-        )
-    });
-    let mut values = Vec::with_capacity(samples);
-    for v in evaluated {
-        values.push(v?);
+    // Each worker owns one block accumulator: sample evaluators are
+    // short-lived (one per perturbed assembly), but the accumulator holds
+    // parameter copies and `Arc`s into the shared plan cache, so samples
+    // sharing a flow structure batch into lane-sized tape replays even
+    // across evaluator lifetimes. Block ≡ scalar bitwise on compiled
+    // acyclic structures, so the summary stays worker-count independent.
+    let run_stripe = |stripe: Vec<usize>| -> Result<Vec<(usize, f64)>> {
+        let mut acc = FlowBlockAccumulator::new(Arc::clone(&plans), options.plan_lanes);
+        let mut success = vec![f64::NAN; stripe.len()];
+        let mut values: Vec<Option<f64>> = vec![None; stripe.len()];
+        let mut deferred: Vec<usize> = Vec::new();
+        for (pos, &i) in stripe.iter().enumerate() {
+            let factors: Vec<(&Lever, f64)> = quantities
+                .iter()
+                .zip(factor_vectors[i].iter())
+                .map(|(q, &f)| (&q.lever, f))
+                .collect();
+            let perturbed = apply_all(assembly, &factors)?;
+            let evaluator = Evaluator::with_plan_cache(&perturbed, options, Arc::clone(&plans));
+            match evaluator.defer_failure_probability(service, env, pos, &mut acc, &mut success)? {
+                BlockedOutcome::Immediate(p) => values[pos] = Some(p.value()),
+                BlockedOutcome::Deferred => deferred.push(pos),
+            }
+        }
+        acc.finish(&mut success);
+        if let Some((_, err)) = acc.take_errors().into_iter().next() {
+            return Err(err);
+        }
+        for pos in deferred {
+            values[pos] = Some(Probability::new(success[pos])?.complement().value());
+        }
+        Ok(stripe
+            .into_iter()
+            .zip(
+                values
+                    .into_iter()
+                    .map(|v| v.expect("every sample resolved")),
+            )
+            .collect())
+    };
+
+    let workers = workers.max(1).min(samples);
+    let mut values = vec![f64::NAN; samples];
+    if workers == 1 {
+        for (i, v) in run_stripe((0..samples).collect())? {
+            values[i] = v;
+        }
+    } else {
+        let run_stripe = &run_stripe;
+        let collected: Vec<Result<Vec<(usize, f64)>>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let stripe: Vec<usize> = (w..samples).step_by(workers).collect();
+                    scope.spawn(move |_| run_stripe(stripe))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("uncertainty worker panicked"))
+                .collect()
+        })
+        .expect("uncertainty worker panicked");
+        for stripe in collected {
+            for (i, v) in stripe? {
+                values[i] = v;
+            }
+        }
     }
     values.sort_by(|a, b| a.partial_cmp(b).expect("probabilities are finite"));
     let pct = |q: f64| -> f64 {
@@ -327,13 +378,32 @@ pub fn interval_with_options(
         .map(|q| (&q.lever, q.distribution.bounds().1))
         .collect();
     // The two bracketing assemblies share every flow structure: one plan
-    // cache lets the second solve replay the first solve's compiled plans.
+    // cache (and one block accumulator) lets both top-level solves ride a
+    // single two-lane tape replay under a compiled-plan policy.
     let plans = Arc::new(PlanCache::new());
-    let low = Evaluator::with_plan_cache(&apply_all(assembly, &lows)?, options, Arc::clone(&plans))
-        .failure_probability(service, env)?;
-    let high = Evaluator::with_plan_cache(&apply_all(assembly, &highs)?, options, plans)
-        .failure_probability(service, env)?;
-    Ok((low, high))
+    let mut acc = FlowBlockAccumulator::new(Arc::clone(&plans), options.plan_lanes);
+    let mut success = [f64::NAN; 2];
+    let mut bracket = |factors: &[(&Lever, f64)], tag: usize| -> Result<Option<Probability>> {
+        let perturbed = apply_all(assembly, factors)?;
+        let evaluator = Evaluator::with_plan_cache(&perturbed, options, Arc::clone(&plans));
+        match evaluator.defer_failure_probability(service, env, tag, &mut acc, &mut success)? {
+            BlockedOutcome::Immediate(p) => Ok(Some(p)),
+            BlockedOutcome::Deferred => Ok(None),
+        }
+    };
+    let low = bracket(&lows, 0)?;
+    let high = bracket(&highs, 1)?;
+    acc.finish(&mut success);
+    if let Some((_, err)) = acc.take_errors().into_iter().next() {
+        return Err(err);
+    }
+    let resolve = |immediate: Option<Probability>, tag: usize| -> Result<Probability> {
+        match immediate {
+            Some(p) => Ok(p),
+            None => Ok(Probability::new(success[tag])?.complement()),
+        }
+    };
+    Ok((resolve(low, 0)?, resolve(high, 1)?))
 }
 
 #[cfg(test)]

@@ -59,7 +59,9 @@ pub use absorbing::{absorption_probability_to, AbsorbingAnalysis};
 pub use chain::{Dtmc, DtmcBuilder, StateLabel};
 pub use error::MarkovError;
 pub use iterative_absorption::{absorption_probabilities_iterative, AbsorptionIterOptions};
-pub use plan::{structure_fingerprint, PlanSolveKind, SolvePlan};
+pub use plan::{
+    structure_fingerprint, BlockSolveKinds, ParamBlock, PlanScratch, PlanSolveKind, SolvePlan, LANE,
+};
 pub use sparse::{absorption_probability_sparse, SparseMethod, SparseSolveOptions};
 
 /// Alias naming [`MarkovError`] in its solver role: the absorption-solve

@@ -68,6 +68,152 @@ pub fn structure_fingerprint<S: StateLabel>(chain: &Dtmc<S>, from: &S, target: &
     h.finish()
 }
 
+/// Lane width of a [`ParamBlock`]: the number of parameter points a block
+/// replay advances per tape step.
+///
+/// Eight `f64` lanes are one 64-byte cache line, so every slot read in the
+/// blocked replay loads exactly one line, and the fixed-trip-count inner
+/// loops (`for l in 0..LANE`) autovectorize on stable Rust against the
+/// x86-64 SSE2 baseline without `unsafe` or intrinsics.
+pub const LANE: usize = 8;
+
+/// Batch of up to [`LANE`] parameter points for one plan structure.
+///
+/// Points are staged contiguously (lane `l` owns `data[l·slots ..
+/// (l+1)·slots]`), so a [`ParamBlock::push`] is one `memcpy`; the blocked
+/// replay in [`SolvePlan::evaluate_block`] gathers each slot's
+/// `[f64; LANE]` lane group straight from those rows at flush time. An
+/// eagerly interleaved lane-major layout (`data[slot][lane]`) would make
+/// every push scatter one value per cache line across the whole block —
+/// at a thousand slots that costs more than the replay itself — while the
+/// gather reads each row as a forward-moving stream exactly once.
+/// Unoccupied lanes keep whatever a previous use wrote — the replay never
+/// reads them back out, so no per-push zero fill is needed.
+#[derive(Debug, Clone)]
+pub struct ParamBlock {
+    slots: usize,
+    len: usize,
+    data: Vec<f64>,
+}
+
+impl ParamBlock {
+    /// Creates an empty block for parameter vectors of `slots` entries.
+    pub fn new(slots: usize) -> ParamBlock {
+        ParamBlock {
+            slots,
+            len: 0,
+            data: vec![0.0; slots * LANE],
+        }
+    }
+
+    /// Creates an empty block sized for `plan`'s parameter vectors.
+    pub fn for_plan(plan: &SolvePlan) -> ParamBlock {
+        ParamBlock::new(plan.slot_count())
+    }
+
+    /// Parameter-vector width this block accepts.
+    pub fn slot_count(&self) -> usize {
+        self.slots
+    }
+
+    /// Number of occupied lanes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no lane is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether all [`LANE`] lanes are occupied.
+    pub fn is_full(&self) -> bool {
+        self.len == LANE
+    }
+
+    /// Appends one parameter point, returning the lane it occupies.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension-mismatch error when `params.len()` does not
+    /// match the block's slot count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the block is already full — flush with
+    /// [`SolvePlan::evaluate_block`] and [`ParamBlock::clear`] first.
+    pub fn push(&mut self, params: &[f64]) -> Result<usize> {
+        if params.len() != self.slots {
+            return Err(plan_shape_mismatch(self.slots, params.len()));
+        }
+        assert!(self.len < LANE, "ParamBlock is full (LANE = {LANE})");
+        let lane = self.len;
+        self.data[lane * self.slots..(lane + 1) * self.slots].copy_from_slice(params);
+        self.len += 1;
+        Ok(lane)
+    }
+
+    /// Empties the block (capacity and slot width are kept).
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Extracts lane `lane`'s parameter vector into `out` (cleared first).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane` is not an occupied lane.
+    pub fn lane_params_into(&self, lane: usize, out: &mut Vec<f64>) {
+        assert!(
+            lane < self.len,
+            "lane {lane} not occupied (len {})",
+            self.len
+        );
+        out.clear();
+        out.extend_from_slice(&self.data[lane * self.slots..(lane + 1) * self.slots]);
+    }
+
+    /// Lane `lane`'s staged parameter row (occupied or stale).
+    fn lane_row(&self, lane: usize) -> &[f64] {
+        &self.data[lane * self.slots..(lane + 1) * self.slots]
+    }
+}
+
+/// Reusable work arena for [`SolvePlan::evaluate_scratch`] and
+/// [`SolvePlan::evaluate_block`]: after warm-up, repeated evaluations of
+/// same-sized plans perform no heap allocation.
+#[derive(Debug, Clone, Default)]
+pub struct PlanScratch {
+    /// Scalar back-substitution vector.
+    x: Vec<f64>,
+    /// Blocked back-substitution vector, one lane group per transient.
+    x_block: Vec<[f64; LANE]>,
+    /// De-interleaved single-lane parameters (cyclic block fallback).
+    lane_params: Vec<f64>,
+    /// Per-lane results handed back from a block evaluation.
+    out: Vec<f64>,
+}
+
+impl PlanScratch {
+    /// Creates an empty arena; buffers grow on first use.
+    pub fn new() -> PlanScratch {
+        PlanScratch::default()
+    }
+}
+
+/// Per-lane solve-kind tally of one [`SolvePlan::evaluate_block_with_kinds`]
+/// call (mirrors [`PlanSolveKind`] across the block).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockSolveKinds {
+    /// Lanes answered by tape replay.
+    pub tape: u64,
+    /// Lanes answered from the baseline factorization (back-substitution
+    /// or Sherman–Morrison rank-1).
+    pub rank1: u64,
+    /// Lanes that required a full refactorization.
+    pub full: u64,
+}
+
 /// How one plan evaluation was answered (for the engine's solve counters).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PlanSolveKind {
@@ -354,20 +500,40 @@ impl SolvePlan {
     /// match the plan (callers should compare [`structure_fingerprint`]s —
     /// this check is a cheap backstop, not a full structural comparison).
     pub fn parameters<S: StateLabel>(&self, chain: &Dtmc<S>) -> Result<Vec<f64>> {
+        let mut out = Vec::with_capacity(self.slot_count);
+        self.parameters_into(chain, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`SolvePlan::parameters`], but writes into a caller-owned buffer
+    /// (cleared first) so hot sweep loops extract parameters with no
+    /// per-point heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Same shape backstop as [`SolvePlan::parameters`].
+    pub fn parameters_into<S: StateLabel>(
+        &self,
+        chain: &Dtmc<S>,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        out.clear();
         if chain.len() != self.n_states {
             return Err(plan_shape_mismatch(self.slot_count, chain.len()));
         }
+        out.reserve(self.slot_count);
         let adj = chain.adjacency();
-        let mut out = Vec::with_capacity(self.slot_count);
         for &i in &self.t_idx {
             for &(_, p) in &adj[i] {
                 out.push(p);
             }
         }
         if out.len() != self.slot_count {
-            return Err(plan_shape_mismatch(self.slot_count, out.len()));
+            let got = out.len();
+            out.clear();
+            return Err(plan_shape_mismatch(self.slot_count, got));
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Evaluates the plan on a parameter vector, returning the absorption
@@ -390,12 +556,33 @@ impl SolvePlan {
     ///   singular (probability mass can no longer escape some state);
     /// - [`MarkovError::Linalg`] on other numerical failures.
     pub fn evaluate_with_kind(&self, params: &[f64]) -> Result<(f64, PlanSolveKind)> {
+        let mut x = Vec::new();
+        self.evaluate_into(params, &mut x)
+    }
+
+    /// Like [`SolvePlan::evaluate_with_kind`], but borrows its work buffers
+    /// from a reusable [`PlanScratch`] so repeated evaluations allocate
+    /// nothing after warm-up.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SolvePlan::evaluate_with_kind`].
+    pub fn evaluate_scratch(
+        &self,
+        params: &[f64],
+        scratch: &mut PlanScratch,
+    ) -> Result<(f64, PlanSolveKind)> {
+        self.evaluate_into(params, &mut scratch.x)
+    }
+
+    fn evaluate_into(&self, params: &[f64], x: &mut Vec<f64>) -> Result<(f64, PlanSolveKind)> {
         if params.len() != self.slot_count {
             return Err(plan_shape_mismatch(self.slot_count, params.len()));
         }
         match &self.kind {
             PlanKind::Acyclic { steps } => {
-                let mut x = vec![0.0_f64; self.t_idx.len()];
+                x.clear();
+                x.resize(self.t_idx.len(), 0.0);
                 for step in steps {
                     let mut s = step.r_slot.map_or(0.0, |slot| params[slot]);
                     for &(slot, j) in &step.terms {
@@ -414,6 +601,119 @@ impl SolvePlan {
             }
             PlanKind::Cyclic(c) => self.evaluate_cyclic(c, params),
         }
+    }
+
+    /// Evaluates every occupied lane of `block` in one pass, returning the
+    /// per-lane absorption probabilities in lane order (a slice into
+    /// `scratch`, valid until its next use).
+    ///
+    /// On acyclic plans the back-substitution tape is replayed *once*, each
+    /// step advancing all [`LANE`] lanes through fixed-width loops that
+    /// autovectorize on stable Rust; per lane the arithmetic (order of
+    /// additions, one multiply per term, one divide per self-loop) is
+    /// exactly the scalar [`SolvePlan::evaluate`] sequence, so block results
+    /// are bitwise-identical to scalar results regardless of block
+    /// composition or occupancy. Cyclic plans fall back to the per-point
+    /// rank-1 replay lane by lane inside the same API.
+    ///
+    /// # Errors
+    ///
+    /// - a dimension mismatch when the block's slot count does not match;
+    /// - the per-lane errors of [`SolvePlan::evaluate_with_kind`]
+    ///   (only *occupied* lanes are checked — garbage in unused lanes never
+    ///   surfaces as an error or a result).
+    pub fn evaluate_block<'s>(
+        &self,
+        block: &ParamBlock,
+        scratch: &'s mut PlanScratch,
+    ) -> Result<&'s [f64]> {
+        self.evaluate_block_with_kinds(block, scratch)
+            .map(|(v, _)| v)
+    }
+
+    /// Like [`SolvePlan::evaluate_block`], also tallying how each lane was
+    /// answered.
+    ///
+    /// # Errors
+    ///
+    /// See [`SolvePlan::evaluate_block`].
+    pub fn evaluate_block_with_kinds<'s>(
+        &self,
+        block: &ParamBlock,
+        scratch: &'s mut PlanScratch,
+    ) -> Result<(&'s [f64], BlockSolveKinds)> {
+        if block.slot_count() != self.slot_count {
+            return Err(plan_shape_mismatch(self.slot_count, block.slot_count()));
+        }
+        let occupied = block.len();
+        let mut kinds = BlockSolveKinds::default();
+        match &self.kind {
+            PlanKind::Acyclic { steps } => {
+                scratch.x_block.clear();
+                scratch.x_block.resize(self.t_idx.len(), [0.0; LANE]);
+                // Gather each slot's lane group straight from the staged
+                // rows: every tape slot is read exactly once, and slot
+                // indices grow in tape order, so the LANE reads per slot
+                // advance as forward-moving streams — materializing a
+                // lane-major tile first would only add a full extra pass of
+                // write+read traffic over the same data. Stale rows of a
+                // partially filled block gather harmlessly — unoccupied lane
+                // values are never read back out below.
+                let rows: [&[f64]; LANE] = std::array::from_fn(|l| block.lane_row(l));
+                let x_block = &mut scratch.x_block;
+                for step in steps {
+                    let mut s = match step.r_slot {
+                        Some(slot) => std::array::from_fn(|l| rows[l][slot]),
+                        None => [0.0; LANE],
+                    };
+                    for &(slot, j) in &step.terms {
+                        let xj = &x_block[j];
+                        for l in 0..LANE {
+                            s[l] += rows[l][slot] * xj[l];
+                        }
+                    }
+                    if let Some(slot) = step.self_slot {
+                        for (l, sl) in s.iter_mut().enumerate() {
+                            let den = 1.0 - rows[l][slot];
+                            // Only occupied lanes can fail: unused lanes may
+                            // hold stale garbage but are never read out.
+                            if l < occupied && den <= 0.0 {
+                                return Err(MarkovError::TrappedMass {
+                                    state: format!(
+                                        "transient position {} (self-loop ≥ 1)",
+                                        step.pos
+                                    ),
+                                });
+                            }
+                            *sl /= den;
+                        }
+                    }
+                    // When there is no self-loop the scalar path divides by
+                    // `1.0 - 0.0`; `s / 1.0` is exact in IEEE 754, so
+                    // skipping the division preserves bitwise identity.
+                    x_block[step.pos] = s;
+                }
+                kinds.tape = occupied as u64;
+                scratch.out.clear();
+                scratch
+                    .out
+                    .extend_from_slice(&scratch.x_block[self.from_pos][..occupied]);
+            }
+            PlanKind::Cyclic(c) => {
+                scratch.out.clear();
+                for lane in 0..occupied {
+                    block.lane_params_into(lane, &mut scratch.lane_params);
+                    let (value, kind) = self.evaluate_cyclic(c, &scratch.lane_params)?;
+                    match kind {
+                        PlanSolveKind::Tape => kinds.tape += 1,
+                        PlanSolveKind::Rank1 => kinds.rank1 += 1,
+                        PlanSolveKind::Full => kinds.full += 1,
+                    }
+                    scratch.out.push(value);
+                }
+            }
+        }
+        Ok((scratch.out.as_slice(), kinds))
     }
 
     fn evaluate_cyclic(&self, c: &CyclicPlan, params: &[f64]) -> Result<(f64, PlanSolveKind)> {
@@ -722,6 +1022,162 @@ mod tests {
             .build()
             .unwrap();
         assert!(plan.parameters(&other).is_err());
+    }
+
+    #[test]
+    fn block_replay_is_bitwise_identical_to_scalar_on_acyclic_plans() {
+        let plan = SolvePlan::compile(&branchy_chain(0.1), &"s", &"end").unwrap();
+        let points: Vec<Vec<f64>> = [0.01, 0.1, 0.33, 0.5, 0.6, 0.7, 0.75, 0.79, 0.05, 0.44]
+            .iter()
+            .map(|&p| plan.parameters(&branchy_chain(p)).unwrap())
+            .collect();
+        let mut scratch = PlanScratch::new();
+        // Every occupancy 1..=LANE, including a partially-filled final block.
+        for occupancy in 1..=LANE {
+            let mut block = ParamBlock::for_plan(&plan);
+            for params in points.iter().take(occupancy) {
+                block.push(params).unwrap();
+            }
+            assert_eq!(block.len(), occupancy);
+            let (values, kinds) = plan
+                .evaluate_block_with_kinds(&block, &mut scratch)
+                .unwrap();
+            assert_eq!(values.len(), occupancy);
+            assert_eq!(kinds.tape, occupancy as u64);
+            for (lane, params) in points.iter().take(occupancy).enumerate() {
+                let scalar = plan.evaluate(params).unwrap();
+                assert_eq!(
+                    values[lane].to_bits(),
+                    scalar.to_bits(),
+                    "occupancy {occupancy}, lane {lane}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stale_lanes_from_a_previous_block_never_leak() {
+        let plan = SolvePlan::compile(&branchy_chain(0.5), &"s", &"end").unwrap();
+        let mut block = ParamBlock::for_plan(&plan);
+        let mut scratch = PlanScratch::new();
+        // Fill all lanes with a self-loop probability near 1 so stale lanes
+        // would produce huge values (and den ≤ 0 if perturbed) if read.
+        for _ in 0..LANE {
+            block
+                .push(&plan.parameters(&branchy_chain(0.79)).unwrap())
+                .unwrap();
+        }
+        plan.evaluate_block(&block, &mut scratch).unwrap();
+        block.clear();
+        let params = plan.parameters(&branchy_chain(0.2)).unwrap();
+        block.push(&params).unwrap();
+        let values = plan.evaluate_block(&block, &mut scratch).unwrap();
+        assert_eq!(values.len(), 1);
+        assert_eq!(
+            values[0].to_bits(),
+            plan.evaluate(&params).unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn cyclic_block_fallback_matches_scalar_per_lane() {
+        let baseline = gamblers_ruin(0.5, 8);
+        let plan = SolvePlan::compile(&baseline, &3, &8).unwrap();
+        let mut block = ParamBlock::for_plan(&plan);
+        let mut expected = Vec::new();
+        for p_up in [0.5, 0.45, 0.62] {
+            let chain = gamblers_ruin(p_up, 8);
+            let params = plan.parameters(&chain).unwrap();
+            expected.push(plan.evaluate(&params).unwrap());
+            block.push(&params).unwrap();
+        }
+        let mut scratch = PlanScratch::new();
+        let (values, kinds) = plan
+            .evaluate_block_with_kinds(&block, &mut scratch)
+            .unwrap();
+        assert_eq!(values.len(), 3);
+        assert_eq!(kinds.tape, 0);
+        assert_eq!(kinds.rank1 + kinds.full, 3);
+        for (lane, (&got, &want)) in values.iter().zip(&expected).enumerate() {
+            assert_eq!(got.to_bits(), want.to_bits(), "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn block_trapped_mass_only_fires_for_occupied_lanes() {
+        let plan = SolvePlan::compile(&branchy_chain(0.5), &"s", &"end").unwrap();
+        let mut block = ParamBlock::for_plan(&plan);
+        let mut scratch = PlanScratch::new();
+        // Occupy every lane with a degenerate self-loop = 1.0 point...
+        let mut bad = plan.parameters(&branchy_chain(0.5)).unwrap();
+        for (i, p) in bad.iter_mut().enumerate() {
+            // Slot layout for branchy_chain: s→a, s→b, a→a, a→end, a→fail, ...
+            if i == 2 {
+                *p = 1.0;
+            }
+        }
+        block.push(&bad).unwrap();
+        assert!(matches!(
+            plan.evaluate_block(&block, &mut scratch),
+            Err(MarkovError::TrappedMass { .. })
+        ));
+        // ...then leave the bad point only in a *stale* lane: no error.
+        block.clear();
+        let good = plan.parameters(&branchy_chain(0.3)).unwrap();
+        block.push(&good).unwrap();
+        let values = plan.evaluate_block(&block, &mut scratch).unwrap();
+        assert_eq!(values.len(), 1);
+        assert_eq!(values[0].to_bits(), plan.evaluate(&good).unwrap().to_bits());
+    }
+
+    #[test]
+    fn param_block_shape_and_capacity_are_enforced() {
+        let plan = SolvePlan::compile(&branchy_chain(0.1), &"s", &"end").unwrap();
+        let mut block = ParamBlock::for_plan(&plan);
+        assert!(block.is_empty());
+        assert!(block.push(&[0.5; 3]).is_err());
+        let params = plan.parameters(&branchy_chain(0.1)).unwrap();
+        for _ in 0..LANE {
+            block.push(&params).unwrap();
+        }
+        assert!(block.is_full());
+        // A block compiled for a different slot width is rejected.
+        let other = ParamBlock::new(plan.slot_count() + 1);
+        let mut scratch = PlanScratch::new();
+        assert!(plan.evaluate_block(&other, &mut scratch).is_err());
+    }
+
+    #[test]
+    fn parameters_into_reuses_the_buffer_and_matches_parameters() {
+        let plan = SolvePlan::compile(&branchy_chain(0.1), &"s", &"end").unwrap();
+        let mut buf = Vec::new();
+        for p_loop in [0.1, 0.4, 0.7] {
+            let chain = branchy_chain(p_loop);
+            plan.parameters_into(&chain, &mut buf).unwrap();
+            assert_eq!(buf, plan.parameters(&chain).unwrap(), "p_loop {p_loop}");
+        }
+        let capacity = buf.capacity();
+        plan.parameters_into(&branchy_chain(0.2), &mut buf).unwrap();
+        assert_eq!(buf.capacity(), capacity);
+        // Shape mismatch clears the buffer instead of leaving partial data.
+        let other = DtmcBuilder::new()
+            .transition("x", "y", 1.0)
+            .build()
+            .unwrap();
+        assert!(plan.parameters_into(&other, &mut buf).is_err());
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn evaluate_scratch_matches_evaluate() {
+        let plan = SolvePlan::compile(&branchy_chain(0.3), &"s", &"end").unwrap();
+        let mut scratch = PlanScratch::new();
+        for p_loop in [0.05, 0.3, 0.7] {
+            let params = plan.parameters(&branchy_chain(p_loop)).unwrap();
+            let (value, kind) = plan.evaluate_scratch(&params, &mut scratch).unwrap();
+            assert_eq!(kind, PlanSolveKind::Tape);
+            assert_eq!(value.to_bits(), plan.evaluate(&params).unwrap().to_bits());
+        }
     }
 
     #[test]
