@@ -1,0 +1,101 @@
+//! Compiled assembly programs vs the recursive evaluator across DAG depth
+//! and sharing width.
+//!
+//! Two groups over [`shared_dag_assembly`] (every interior node shared by
+//! two parents, one leaf demand parameter `work`):
+//!
+//! - `depth`: width fixed at 2, depth 2 → 6 — the recursive walk visits
+//!   sub-services once per path (exponential in depth), the program once
+//!   per node;
+//! - `width`: depth fixed at 4, width 1 → 4 — wider layers add nodes but
+//!   also more sharing for the per-service memo to exploit.
+//!
+//! Each measurement evaluates one parameter point through a pre-warmed
+//! evaluator (the program is compiled before timing starts), so the
+//! numbers isolate steady-state per-point cost, not compilation.
+//!
+//! The acceptance sweep with markdown + JSON records lives in
+//! `src/bin/exp_assembly_program.rs`.
+
+use archrel_bench::scenarios::shared_dag_assembly;
+use archrel_core::{EvalOptions, Evaluator, ProgramMode};
+use archrel_expr::Bindings;
+use archrel_model::Assembly;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const LEAVES: usize = 2;
+
+fn evaluator(assembly: &Assembly, program: ProgramMode) -> Evaluator<'_> {
+    let evaluator = Evaluator::with_options(
+        assembly,
+        EvalOptions {
+            program,
+            ..EvalOptions::default()
+        },
+    );
+    // Warm once: compiles the program (On) and fills the solve caches, so
+    // the measured iterations see steady state on both paths.
+    evaluator
+        .failure_probability(&"app".into(), &Bindings::new().with("work", 1e5))
+        .expect("evaluation succeeds");
+    evaluator
+}
+
+fn bench_axis(
+    c: &mut Criterion,
+    group_name: &str,
+    cases: impl Iterator<Item = (usize, usize)>,
+    parameter: fn(usize, usize) -> usize,
+) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    for (depth, width) in cases {
+        let assembly = shared_dag_assembly(depth, width, LEAVES).expect("scenario builds");
+        for (label, mode) in [
+            ("recursive", ProgramMode::Off),
+            ("program", ProgramMode::On),
+        ] {
+            let evaluator = evaluator(&assembly, mode);
+            group.bench_with_input(
+                BenchmarkId::new(label, parameter(depth, width)),
+                &evaluator,
+                |b, evaluator| {
+                    let mut point = 0u64;
+                    b.iter(|| {
+                        // A fresh `work` per iteration defeats the
+                        // top-level (service, env) cache; the sub-service
+                        // memo still works within the point.
+                        point += 1;
+                        let env = Bindings::new().with("work", 1e5 + point as f64);
+                        evaluator
+                            .failure_probability(&"app".into(), &env)
+                            .expect("evaluation succeeds")
+                            .value()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_depth(c: &mut Criterion) {
+    bench_axis(
+        c,
+        "assembly_program/depth",
+        [2usize, 4, 6].into_iter().map(|d| (d, 2)),
+        |depth, _| depth,
+    );
+}
+
+fn bench_width(c: &mut Criterion) {
+    bench_axis(
+        c,
+        "assembly_program/width",
+        [1usize, 2, 4].into_iter().map(|w| (4, w)),
+        |_, width| width,
+    );
+}
+
+criterion_group!(benches, bench_depth, bench_width);
+criterion_main!(benches);

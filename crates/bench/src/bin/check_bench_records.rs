@@ -1,0 +1,267 @@
+//! CI gate for the committed benchmark records: every root
+//! `BENCH_*.json` must parse as JSON and carry the required
+//! [`BenchRecord`](archrel_bench::record::BenchRecord) fields —
+//! a `scenario` string matching the filename and a non-empty `recorded`
+//! date stamp — and its `results/` companion must be byte-identical.
+//!
+//! The workspace vendors no JSON deserializer, so this binary carries a
+//! minimal recursive-descent parser covering exactly the value model
+//! `record.rs` emits (objects, arrays, strings, numbers, booleans, null).
+//!
+//! Run with: `cargo run --release -p archrel-bench --bin check_bench_records`
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value — validation only, so numbers stay unparsed and
+/// array elements are checked then discarded.
+#[derive(Debug)]
+enum Json {
+    Object(BTreeMap<String, Json>),
+    Array,
+    Str(String),
+    Num,
+    Bool,
+    Null,
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(text: &'a str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing content at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", c as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool),
+            Some(b'f') => self.literal("false", Json::Bool),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("malformed literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        text.parse::<f64>()
+            .map(|_| Json::Num)
+            .map_err(|_| format!("malformed number `{text}` at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&c) => {
+                    // Records are UTF-8; pass multi-byte sequences through.
+                    let len = match c {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .and_then(|b| std::str::from_utf8(b).ok())
+                        .ok_or("invalid UTF-8 in string")?;
+                    out.push_str(chunk);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = BTreeMap::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.insert(key, value);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                other => return Err(format!("expected `,` or `}}`, got {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Array);
+        }
+        loop {
+            self.value()?;
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array);
+                }
+                other => return Err(format!("expected `,` or `]`, got {other:?}")),
+            }
+        }
+    }
+}
+
+/// Validates one root record; returns the list of problems found.
+fn check_record(name: &str, text: &str) -> Vec<String> {
+    let mut problems = Vec::new();
+    let value = match Parser::parse(text) {
+        Ok(v) => v,
+        Err(e) => return vec![format!("does not parse as JSON: {e}")],
+    };
+    let Json::Object(fields) = value else {
+        return vec!["top-level value is not an object".into()];
+    };
+    let expected_scenario = name
+        .strip_prefix("BENCH_")
+        .and_then(|n| n.strip_suffix(".json"))
+        .unwrap_or("");
+    match fields.get("scenario") {
+        Some(Json::Str(s)) if s == expected_scenario => {}
+        Some(Json::Str(s)) => problems.push(format!(
+            "`scenario` is \"{s}\" but the filename says \"{expected_scenario}\""
+        )),
+        Some(_) => problems.push("`scenario` is not a string".into()),
+        None => problems.push("missing required field `scenario`".into()),
+    }
+    match fields.get("recorded") {
+        Some(Json::Str(s)) if !s.is_empty() => {}
+        Some(Json::Str(_)) => problems.push("`recorded` is empty".into()),
+        Some(_) => problems.push("`recorded` is not a string".into()),
+        None => problems.push("missing required field `recorded`".into()),
+    }
+    problems
+}
+
+fn main() {
+    let mut names: Vec<String> = std::fs::read_dir(".")
+        .expect("can list the repo root")
+        .filter_map(|entry| {
+            let name = entry.ok()?.file_name().into_string().ok()?;
+            (name.starts_with("BENCH_") && name.ends_with(".json")).then_some(name)
+        })
+        .collect();
+    names.sort();
+    if names.is_empty() {
+        eprintln!("no root BENCH_*.json records found — run from the repo root");
+        std::process::exit(1);
+    }
+    let mut failed = false;
+    for name in &names {
+        let text = std::fs::read_to_string(name).expect("record is readable");
+        let mut problems = check_record(name, &text);
+        match std::fs::read_to_string(format!("results/{name}")) {
+            Ok(copy) if copy == text => {}
+            Ok(_) => problems.push("differs from its results/ companion".into()),
+            Err(_) => problems.push("has no results/ companion".into()),
+        }
+        if problems.is_empty() {
+            println!("ok   {name}");
+        } else {
+            failed = true;
+            for p in &problems {
+                println!("FAIL {name}: {p}");
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("{} record(s) valid", names.len());
+}

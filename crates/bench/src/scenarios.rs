@@ -244,6 +244,89 @@ pub fn synthetic_flow_assembly(
         .build()
 }
 
+/// A deep **shared-DAG** assembly — the acceptance scenario for the
+/// compiled assembly-program path.
+///
+/// Every layer holds `width` composites, each a 64-state sequential flow
+/// with one call per state. Layer-0 states call the `leaves` CPU resources
+/// with state-dependent demand scales; higher-layer node `i` calls nodes
+/// `i` and `(i+1) % width` of the layer below (a diamond per node, so each
+/// lower node is shared by two parents) and fills the remaining states
+/// with direct CPU calls. The single `app` root calls every node of the
+/// top layer.
+///
+/// Every call forwards the formal parameter `work` **unchanged**, so a
+/// shared sub-service receives bit-identical actual parameters from all of
+/// its parents, and every node's flow is a multi-state sequence (one call
+/// per state) — the shape where the program's cached flow skeletons and
+/// pinned plans pay off against per-visit chain rebuilding.
+///
+/// # Errors
+///
+/// Propagates model-construction errors (none for valid inputs).
+pub fn shared_dag_assembly(depth: usize, width: usize, leaves: usize) -> ModelResult<Assembly> {
+    let depth = depth.max(1);
+    let width = width.max(1);
+    let leaves = leaves.max(1);
+    let mut builder = AssemblyBuilder::new();
+    for i in 0..leaves {
+        // Slightly different failure rates keep the leaves distinguishable.
+        builder = builder.service(catalog::cpu_resource(
+            format!("cpu{i}"),
+            1e9,
+            1e-6 * (i + 1) as f64,
+        ));
+    }
+    let leaf_call = |i: usize, scale: f64| {
+        ServiceCall::new(format!("cpu{}", i % leaves))
+            .with_param(catalog::CPU_PARAM, Expr::param("work") * Expr::num(scale))
+    };
+    let forward = |name: String| ServiceCall::new(name).with_param("work", Expr::param("work"));
+    // One call per state, states chained Start -> s0 -> ... -> End.
+    let sequence = |calls: Vec<ServiceCall>| -> ModelResult<_> {
+        let mut flow = FlowBuilder::new();
+        let mut previous = StateId::Start;
+        for (s, call) in calls.into_iter().enumerate() {
+            let id = StateId::named(format!("s{s}"));
+            flow = flow
+                .state(FlowState::new(id.clone(), vec![call]))
+                .transition(previous, id.clone(), Expr::one());
+            previous = id;
+        }
+        flow.transition(previous, StateId::End, Expr::one()).build()
+    };
+    // States per node: long enough that per-state call resolution and the
+    // per-visit chain rebuild dominate the recursive walk.
+    const SPAN: usize = 64;
+    for l in 0..depth {
+        for i in 0..width {
+            let calls: Vec<ServiceCall> = (0..SPAN)
+                .map(|s| match (l, s) {
+                    (0, _) => leaf_call(i + s, (10 + s) as f64),
+                    (_, 0) => forward(format!("d{}_{}", l - 1, i)),
+                    (_, 32) => forward(format!("d{}_{}", l - 1, (i + 1) % width)),
+                    _ => leaf_call(i + s, (2 + s) as f64),
+                })
+                .collect();
+            builder = builder.service(Service::Composite(CompositeService::new(
+                format!("d{l}_{i}"),
+                vec!["work".to_string()],
+                sequence(calls)?,
+            )?));
+        }
+    }
+    let roots: Vec<ServiceCall> = (0..width)
+        .map(|i| forward(format!("d{}_{}", depth - 1, i)))
+        .collect();
+    builder
+        .service(Service::Composite(CompositeService::new(
+            "app",
+            vec!["work".to_string()],
+            sequence(roots)?,
+        )?))
+        .build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -337,6 +420,42 @@ mod tests {
                 "{topology:?}: {dense} vs {sparse}"
             );
         }
+    }
+
+    #[test]
+    fn shared_dag_assembly_agrees_between_program_and_recursive_paths() {
+        use archrel_core::{EvalOptions, ProgramMode};
+        let assembly = shared_dag_assembly(4, 3, 2).unwrap();
+        let eval_with = |program| {
+            Evaluator::with_options(
+                &assembly,
+                EvalOptions {
+                    program,
+                    ..EvalOptions::default()
+                },
+            )
+            .failure_probability(&"app".into(), &Bindings::new().with("work", 1e5))
+            .unwrap()
+            .value()
+        };
+        let recursive = eval_with(ProgramMode::Off);
+        let program = eval_with(ProgramMode::On);
+        assert!(recursive > 0.0 && recursive < 1.0);
+        assert_eq!(recursive.to_bits(), program.to_bits());
+    }
+
+    #[test]
+    fn shared_dag_assembly_depth_raises_failure() {
+        let env = Bindings::new().with("work", 1e5);
+        let shallow = shared_dag_assembly(2, 2, 2).unwrap();
+        let deep = shared_dag_assembly(6, 2, 2).unwrap();
+        let p = |a: &Assembly| {
+            Evaluator::new(a)
+                .failure_probability(&"app".into(), &env)
+                .unwrap()
+                .value()
+        };
+        assert!(p(&deep) > p(&shallow));
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::fmt;
 use std::io::Write;
 
 use archrel_core::batch::{BatchEvaluator, Query};
-use archrel_core::{symbolic, EvalOptions, Evaluator, SolverPolicy};
+use archrel_core::{symbolic, EvalOptions, Evaluator, ProgramMode, SolverPolicy};
 use archrel_dsl::{dot, parse_assembly, print_assembly};
 use archrel_expr::Bindings;
 use archrel_model::{Assembly, Service, ServiceId};
@@ -73,7 +73,13 @@ common options:
              report/sweep/batch/improve (default: auto, or the ARCHREL_SOLVER
              environment variable when set; compiled builds each flow
              structure's evaluation plan once and replays it per solve --
-             fastest for sweeps)";
+             fastest for sweeps)
+  --assembly-program {auto,on,off}   compiled assembly programs: lower the
+             service DAG to a topologically scheduled register program with
+             per-service memoization, bitwise identical to the recursive
+             evaluator (default: auto -- compile a target after two
+             evaluations; or the ARCHREL_ASSEMBLY_PROGRAM environment
+             variable when set)";
 
 /// Parsed common options.
 struct Options {
@@ -92,15 +98,20 @@ struct Options {
     target: Option<f64>,
     repeat: usize,
     solver: Option<SolverPolicy>,
+    program: Option<ProgramMode>,
 }
 
 impl Options {
     /// Evaluator options for this invocation: the environment-aware defaults
-    /// with the `--solver` flag (when given) taking precedence.
+    /// with the `--solver` / `--assembly-program` flags (when given) taking
+    /// precedence.
     fn eval_options(&self) -> EvalOptions {
         let mut options = EvalOptions::default();
         if let Some(solver) = self.solver {
             options.solver = solver;
+        }
+        if let Some(program) = self.program {
+            options.program = program;
         }
         options
     }
@@ -123,6 +134,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         target: None,
         repeat: 1,
         solver: None,
+        program: None,
     };
     let mut positional = Vec::new();
     let mut i = 0;
@@ -178,6 +190,14 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 opts.solver = Some(SolverPolicy::parse(&value).ok_or_else(|| {
                     CliError::new(format!(
                         "`--solver {value}`: expected auto, dense, sparse, or compiled"
+                    ))
+                })?);
+            }
+            "--assembly-program" => {
+                let value = next_value(args, &mut i, "--assembly-program")?;
+                opts.program = Some(ProgramMode::parse(&value).ok_or_else(|| {
+                    CliError::new(format!(
+                        "`--assembly-program {value}`: expected auto, on, or off"
                     ))
                 })?);
             }
@@ -238,6 +258,14 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
             return Err(CliError::new(format!(
                 "unrecognized ARCHREL_SOLVER value `{raw}`: \
                  expected one of auto, dense, sparse, compiled"
+            )));
+        }
+    }
+    if let Ok(raw) = std::env::var("ARCHREL_ASSEMBLY_PROGRAM") {
+        if !raw.trim().is_empty() && ProgramMode::parse(&raw).is_none() {
+            return Err(CliError::new(format!(
+                "unrecognized ARCHREL_ASSEMBLY_PROGRAM value `{raw}`: \
+                 expected one of auto, on, off"
             )));
         }
     }
@@ -361,6 +389,10 @@ fn cmd_sweep(opts: &Options, out: &mut impl Write) -> Result<(), CliError> {
     let service = required_service(opts)?;
     let (param, values) = sweep_grid(opts)?;
     let evaluator = Evaluator::with_options(&assembly, opts.eval_options());
+    // Only the swept parameter moves between points: services outside its
+    // dependency cone pin after the first evaluation under the
+    // assembly-program path.
+    evaluator.declare_varied(&service, std::slice::from_ref(&param));
     writeln!(out, "{:>16} {:>16} {:>16}", param, "Pfail", "reliability")?;
     for value in values {
         let mut env = opts.bindings.clone();
@@ -848,6 +880,53 @@ mod tests {
             let err = run_capture(&["predict", path, "--service", "app", "--solver", "quantum"])
                 .unwrap_err();
             assert!(err.to_string().contains("auto, dense, sparse, or compiled"));
+        });
+    }
+
+    #[test]
+    fn assembly_program_flag_selects_the_path_without_changing_the_answer() {
+        with_document(|path| {
+            let sweep = |mode: &str| {
+                run_capture(&[
+                    "sweep",
+                    path,
+                    "--service",
+                    "app",
+                    "--param",
+                    "work",
+                    "--from",
+                    "1e3",
+                    "--to",
+                    "1e6",
+                    "--steps",
+                    "5",
+                    "--assembly-program",
+                    mode,
+                ])
+                .unwrap()
+            };
+            // The program path is bitwise identical to the recursive walk,
+            // so all three modes print identical tables.
+            let auto = sweep("auto");
+            assert_eq!(auto, sweep("on"));
+            assert_eq!(auto, sweep("off"));
+            assert_eq!(auto.lines().count(), 6, "{auto}");
+        });
+    }
+
+    #[test]
+    fn assembly_program_flag_rejects_unknown_modes() {
+        with_document(|path| {
+            let err = run_capture(&[
+                "predict",
+                path,
+                "--service",
+                "app",
+                "--assembly-program",
+                "sometimes",
+            ])
+            .unwrap_err();
+            assert!(err.to_string().contains("auto, on, or off"), "{err}");
         });
     }
 

@@ -186,6 +186,10 @@ impl<'a> BatchEvaluator<'a> {
                 block_points: after.block_points - before.block_points,
                 block_flushes: after.block_flushes - before.block_flushes,
                 plan_evictions: after.plan_evictions - before.plan_evictions,
+                memo_hits: after.memo_hits - before.memo_hits,
+                memo_misses: after.memo_misses - before.memo_misses,
+                pin_hits: after.pin_hits - before.pin_hits,
+                programs_compiled: after.programs_compiled - before.programs_compiled,
             },
         };
         (results, summary)

@@ -26,6 +26,7 @@ use parking_lot::RwLock;
 
 use crate::augment::{augmented_chain, AugmentedState};
 use crate::failprob::{state_failure_probability, RequestFailure};
+use crate::program::AssemblyProgram;
 use crate::{CoreError, Result};
 
 /// How the evaluator treats recursive assemblies (service-call cycles).
@@ -164,6 +165,82 @@ impl SolverPolicy {
     }
 }
 
+/// Whether the evaluator compiles `(assembly, target)` pairs into
+/// [`crate::AssemblyProgram`]s — the register-file evaluation layer that
+/// replaces the recursive walk for repeated evaluations of one target.
+///
+/// The program path is **bitwise identical** to the recursive path, so the
+/// mode is purely a performance lever. The environment variable
+/// `ARCHREL_ASSEMBLY_PROGRAM` (values `auto` / `on` / `off`) overrides the
+/// default of every [`EvalOptions::default`], which is how CI forces the
+/// entire test suite through (and away from) the program path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProgramMode {
+    /// Compile a target once it has been evaluated
+    /// [`AUTO_PROGRAM_MIN_SEEN`] times (a whole block counts per point),
+    /// mirroring the plan cache's `Auto` promotion heuristic. Targets whose
+    /// dependency graph cannot compile (cycles) silently stay on the
+    /// recursive path.
+    #[default]
+    Auto,
+    /// Compile on first evaluation; compilation errors (e.g. a recursive
+    /// assembly) propagate to the caller.
+    On,
+    /// Never compile; every evaluation walks the recursive path.
+    Off,
+}
+
+impl ProgramMode {
+    /// Parses `auto` / `on` / `off` (case-insensitive).
+    pub fn parse(s: &str) -> Option<ProgramMode> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "auto" => Some(ProgramMode::Auto),
+            "on" => Some(ProgramMode::On),
+            "off" => Some(ProgramMode::Off),
+            _ => None,
+        }
+    }
+
+    /// Parses a value of the `ARCHREL_ASSEMBLY_PROGRAM` environment
+    /// variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value is not a recognized mode spelling — mirroring
+    /// the `ARCHREL_SOLVER` hard-error behavior, a typo'd override must not
+    /// silently run an analysis under the wrong evaluation path.
+    pub fn parse_env_value(raw: &str) -> ProgramMode {
+        ProgramMode::parse(raw).unwrap_or_else(|| {
+            panic!(
+                "unrecognized ARCHREL_ASSEMBLY_PROGRAM value `{raw}`: \
+                 expected one of auto, on, off"
+            )
+        })
+    }
+
+    /// Mode forced by the `ARCHREL_ASSEMBLY_PROGRAM` environment variable,
+    /// if set. An empty value counts as unset (CI matrices expand absent
+    /// entries to empty strings).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the variable is set to an unrecognized value (see
+    /// [`ProgramMode::parse_env_value`]).
+    pub fn from_env() -> Option<ProgramMode> {
+        std::env::var("ARCHREL_ASSEMBLY_PROGRAM")
+            .ok()
+            .filter(|v| !v.trim().is_empty())
+            .map(|v| ProgramMode::parse_env_value(&v))
+    }
+}
+
+/// Number of evaluations of one target before [`ProgramMode::Auto`]
+/// compiles it into an [`crate::AssemblyProgram`]. Compilation costs about
+/// one recursive evaluation, so compiling on the second sight already pays
+/// off; blocked evaluations count each point, so a sweep compiles
+/// immediately.
+pub const AUTO_PROGRAM_MIN_SEEN: u64 = 2;
+
 /// Options controlling an [`Evaluator`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EvalOptions {
@@ -182,6 +259,16 @@ pub struct EvalOptions {
     /// how CI exercises partially-filled blocks (and `1`, the degenerate
     /// per-point block) across the whole test suite.
     pub plan_lanes: usize,
+    /// Assembly-program compilation mode (defaults to
+    /// [`ProgramMode::Auto`], unless the `ARCHREL_ASSEMBLY_PROGRAM`
+    /// environment variable forces a mode). Programs only apply under
+    /// [`CycleMode::Error`]; fixed-point evaluation always walks
+    /// recursively.
+    pub program: ProgramMode,
+    /// Whether assembly programs answer repeated sub-service invocations
+    /// from their per-service memo tables (bit-exact parameter keys, so
+    /// disabling this never changes a result — it only re-evaluates).
+    pub program_memo: bool,
 }
 
 impl Default for EvalOptions {
@@ -191,6 +278,8 @@ impl Default for EvalOptions {
             solver: SolverPolicy::from_env().unwrap_or_default(),
             sparse: archrel_markov::SparseSolveOptions::default(),
             plan_lanes: plan_lanes_from_env().unwrap_or(LANE),
+            program: ProgramMode::from_env().unwrap_or_default(),
+            program_memo: true,
         }
     }
 }
@@ -273,6 +362,18 @@ pub struct CacheStats {
     /// Compiled plans evicted from the bounded plan cache (LRU on structure
     /// fingerprint).
     pub plan_evictions: u64,
+    /// Assembly-program node evaluations answered by a per-service memo
+    /// table (bit-exact actual-parameter key).
+    pub memo_hits: u64,
+    /// Assembly-program node evaluations that had to compute (and then
+    /// populated the memo).
+    pub memo_misses: u64,
+    /// Assembly-program node evaluations answered by a dirty-cone pin: the
+    /// node sits outside the declared varied-parameter cone and its inputs
+    /// compared bit-equal to the pinned evaluation.
+    pub pin_hits: u64,
+    /// `(assembly, target)` pairs compiled into assembly programs.
+    pub programs_compiled: u64,
 }
 
 impl CacheStats {
@@ -288,6 +389,18 @@ impl CacheStats {
             0.0
         } else {
             self.hits as f64 / total as f64
+        }
+    }
+
+    /// Hit fraction of all assembly-program memo lookups, counting pinned
+    /// answers as hits (0 when no lookups were made).
+    pub fn memo_hit_rate(&self) -> f64 {
+        let answered = self.memo_hits + self.pin_hits;
+        let total = answered + self.memo_misses;
+        if total == 0 {
+            0.0
+        } else {
+            answered as f64 / total as f64
         }
     }
 }
@@ -316,6 +429,10 @@ impl CacheCounters {
             block_points: 0,
             block_flushes: 0,
             plan_evictions: 0,
+            memo_hits: 0,
+            memo_misses: 0,
+            pin_hits: 0,
+            programs_compiled: 0,
         }
     }
 }
@@ -623,6 +740,27 @@ pub struct Evaluator<'a> {
     cache: RwLock<HashMap<CacheKey, Probability>>,
     counters: CacheCounters,
     plans: Arc<PlanCache>,
+    /// Compiled assembly programs (and their promotion bookkeeping), one
+    /// slot per target service.
+    programs: RwLock<HashMap<ServiceId, ProgramSlot<'a>>>,
+    /// Declared varied-parameter subsets (dirty-cone hints), applied to a
+    /// target's program when it compiles.
+    varied: RwLock<HashMap<ServiceId, Vec<String>>>,
+    programs_compiled: AtomicU64,
+}
+
+/// Program-promotion state of one target service.
+#[derive(Debug)]
+enum ProgramSlot<'a> {
+    /// Still on the recursive path; counts evaluations toward
+    /// [`AUTO_PROGRAM_MIN_SEEN`].
+    Pending { seen: u64 },
+    /// Compiled and answering evaluations.
+    Ready(Arc<AssemblyProgram<'a>>),
+    /// Compilation failed under [`ProgramMode::Auto`] (e.g. a cyclic
+    /// dependency graph): remembered so the recursive path is taken without
+    /// re-attempting compilation.
+    Failed,
 }
 
 impl<'a> Evaluator<'a> {
@@ -655,6 +793,9 @@ impl<'a> Evaluator<'a> {
             cache: RwLock::new(HashMap::new()),
             counters: CacheCounters::default(),
             plans,
+            programs: RwLock::new(HashMap::new()),
+            varied: RwLock::new(HashMap::new()),
+            programs_compiled: AtomicU64::new(0),
         }
     }
 
@@ -678,6 +819,15 @@ impl<'a> Evaluator<'a> {
     pub fn cache_stats(&self) -> CacheStats {
         let mut stats = self.counters.snapshot();
         self.plans.fold_into(&mut stats);
+        stats.programs_compiled = self.programs_compiled.load(Ordering::Relaxed);
+        for slot in self.programs.read().values() {
+            if let ProgramSlot::Ready(program) = slot {
+                let (memo_hits, memo_misses, pin_hits) = program.counter_snapshot();
+                stats.memo_hits += memo_hits;
+                stats.memo_misses += memo_misses;
+                stats.pin_hits += pin_hits;
+            }
+        }
         stats
     }
 
@@ -685,6 +835,148 @@ impl<'a> Evaluator<'a> {
     /// by the shared cache.
     pub fn cache_len(&self) -> usize {
         self.cache.read().len()
+    }
+
+    /// Declares that upcoming evaluations of `service` will only vary the
+    /// given formal parameters, enabling dirty-cone pinning: services whose
+    /// inputs cannot depend on any declared parameter are evaluated once
+    /// and answered from a bit-compare-guarded pin thereafter (see
+    /// [`CacheStats::pin_hits`]). The guard makes a wrong or stale
+    /// declaration cost recomputation, never correctness. Applies to the
+    /// target's compiled program (now or when it compiles); the recursive
+    /// path ignores the hint.
+    pub fn declare_varied(&self, service: &ServiceId, names: &[String]) {
+        self.varied.write().insert(service.clone(), names.to_vec());
+        if let Some(ProgramSlot::Ready(program)) = self.programs.read().get(service) {
+            program.set_varied(names);
+        }
+    }
+
+    /// Withdraws a [`Evaluator::declare_varied`] declaration: every service
+    /// of the target's program goes back to the hashed memo.
+    pub fn clear_varied(&self, service: &ServiceId) {
+        self.varied.write().remove(service);
+        if let Some(ProgramSlot::Ready(program)) = self.programs.read().get(service) {
+            program.clear_varied();
+        }
+    }
+
+    /// The compiled program currently answering evaluations of `service`,
+    /// if one has been promoted (or forced) into place.
+    pub fn program(&self, service: &ServiceId) -> Option<Arc<AssemblyProgram<'a>>> {
+        match self.programs.read().get(service) {
+            Some(ProgramSlot::Ready(program)) => Some(Arc::clone(program)),
+            _ => None,
+        }
+    }
+
+    /// Resolves the program slot for a target about to be evaluated
+    /// `weight` times: `Ok(Some(..))` when a compiled program should
+    /// answer, `Ok(None)` when the recursive path should run. Under
+    /// [`ProgramMode::On`] compilation errors propagate; under
+    /// [`ProgramMode::Auto`] they demote the target to the recursive path
+    /// permanently.
+    fn ensure_program(
+        &self,
+        service: &ServiceId,
+        weight: u64,
+    ) -> Result<Option<Arc<AssemblyProgram<'a>>>> {
+        if matches!(self.options.program, ProgramMode::Off) {
+            return Ok(None);
+        }
+        {
+            let programs = self.programs.read();
+            match programs.get(service) {
+                Some(ProgramSlot::Ready(program)) => return Ok(Some(Arc::clone(program))),
+                Some(ProgramSlot::Failed) => return Ok(None),
+                _ => {}
+            }
+        }
+        let mut programs = self.programs.write();
+        // Re-check: another thread may have resolved the slot between locks.
+        match programs.get_mut(service) {
+            Some(ProgramSlot::Ready(program)) => return Ok(Some(Arc::clone(program))),
+            Some(ProgramSlot::Failed) => return Ok(None),
+            Some(ProgramSlot::Pending { seen }) => {
+                *seen += weight;
+                if matches!(self.options.program, ProgramMode::Auto)
+                    && *seen < AUTO_PROGRAM_MIN_SEEN
+                {
+                    return Ok(None);
+                }
+            }
+            None => {
+                if matches!(self.options.program, ProgramMode::Auto)
+                    && weight < AUTO_PROGRAM_MIN_SEEN
+                {
+                    programs.insert(service.clone(), ProgramSlot::Pending { seen: weight });
+                    return Ok(None);
+                }
+            }
+        }
+        match AssemblyProgram::compile(self.assembly, service) {
+            Ok(program) => {
+                self.programs_compiled.fetch_add(1, Ordering::Relaxed);
+                if let Some(names) = self.varied.read().get(service) {
+                    program.set_varied(names);
+                }
+                let program = Arc::new(program);
+                programs.insert(service.clone(), ProgramSlot::Ready(Arc::clone(&program)));
+                Ok(Some(program))
+            }
+            Err(e) => match self.options.program {
+                ProgramMode::On => Err(e),
+                _ => {
+                    programs.insert(service.clone(), ProgramSlot::Failed);
+                    Ok(None)
+                }
+            },
+        }
+    }
+
+    /// One evaluation through a compiled program, with the same shared
+    /// top-level cache discipline as the recursive path.
+    fn failure_probability_via_program(
+        &self,
+        program: &AssemblyProgram<'a>,
+        service: &ServiceId,
+        env: &Bindings,
+    ) -> Result<Probability> {
+        let key: CacheKey = (service.clone(), env.cache_key());
+        if let Some(p) = self.cache.read().get(&key) {
+            self.counters.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(*p);
+        }
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        let p = program.evaluate(self, env)?;
+        self.cache.write().insert(key, p);
+        Ok(p)
+    }
+
+    /// Records one plan-path solve kind (shared with the program path).
+    pub(crate) fn record_plan_solve(&self, kind: PlanSolveKind) {
+        self.plans.record(kind);
+    }
+
+    /// Folds one absorbing-chain solve into the solve counters (shared
+    /// with the program path).
+    pub(crate) fn note_chain_solve(&self, elapsed: Duration) {
+        self.counters.solves.fetch_add(1, Ordering::Relaxed);
+        self.counters.solve_nanos.fetch_add(
+            u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Whether the solver policy can ever route a chain of this shape
+    /// through the plan path (so the program's cached chains know whether
+    /// to keep asking [`Evaluator::plan_for_chain`]).
+    pub(crate) fn plan_gate(&self, states: usize, edges: usize) -> bool {
+        match self.options.solver {
+            SolverPolicy::Compiled => true,
+            SolverPolicy::Auto => self.options.solver.choose(states, edges) == ChosenSolver::Sparse,
+            SolverPolicy::Dense | SolverPolicy::Sparse => false,
+        }
     }
 
     /// `Pfail(S, fp)`: probability that `service` fails to complete its task
@@ -700,6 +992,9 @@ impl<'a> Evaluator<'a> {
     pub fn failure_probability(&self, service: &ServiceId, env: &Bindings) -> Result<Probability> {
         match self.options.cycle_mode {
             CycleMode::Error => {
+                if let Some(program) = self.ensure_program(service, 1)? {
+                    return self.failure_probability_via_program(&program, service, env);
+                }
                 let mut ctx = Ctx {
                     stack: Vec::new(),
                     memo: HashMap::new(),
@@ -902,7 +1197,7 @@ impl<'a> Evaluator<'a> {
     /// Shared by the scalar [`Evaluator::solve_flow_chain`] and the blocked
     /// deferral path, so sighting counts and cache entries are maintained
     /// identically regardless of how a point is evaluated.
-    fn plan_for_chain(
+    pub(crate) fn plan_for_chain(
         &self,
         chain: &archrel_markov::Dtmc<AugmentedState>,
         start: &AugmentedState,
@@ -936,7 +1231,7 @@ impl<'a> Evaluator<'a> {
         Ok(None)
     }
 
-    fn direct_solve(
+    pub(crate) fn direct_solve(
         &self,
         chain: &archrel_markov::Dtmc<AugmentedState>,
         start: &AugmentedState,
@@ -1065,6 +1360,26 @@ impl<'a> Evaluator<'a> {
                 .iter()
                 .map(|env| self.failure_probability(service, env))
                 .collect();
+        }
+        // A compiled program subsumes the lane-blocked deferral: its memo
+        // and pinned plans answer repeated structure work directly, and the
+        // per-point result is bitwise identical either way.
+        match self.ensure_program(service, envs.len() as u64) {
+            Ok(Some(program)) => {
+                return envs
+                    .iter()
+                    .map(|env| self.failure_probability_via_program(&program, service, env))
+                    .collect();
+            }
+            Ok(None) => {}
+            // `ProgramMode::On` compilation failure: the error is not
+            // `Clone`, so re-derive it per point on the scalar entry.
+            Err(_) => {
+                return envs
+                    .iter()
+                    .map(|env| self.failure_probability(service, env))
+                    .collect();
+            }
         }
         let n = envs.len();
         let mut results: Vec<Option<Result<Probability>>> = Vec::with_capacity(n);
@@ -1835,7 +2150,16 @@ mod tests {
         // solver's exact elimination, so the two policies must agree to the
         // last bit on the paper's (acyclic) flows.
         let assembly = paper::local_assembly(&paper::PaperParams::default()).unwrap();
-        let compiled = Evaluator::with_options(&assembly, forced(SolverPolicy::Compiled));
+        // Program mode off: this test pins the plan cache's counters, which
+        // an assembly program would subsume (it pins the plan per runtime
+        // instead of re-looking it up).
+        let compiled = Evaluator::with_options(
+            &assembly,
+            EvalOptions {
+                program: ProgramMode::Off,
+                ..forced(SolverPolicy::Compiled)
+            },
+        );
         for n in [256.0, 1024.0, 4096.0] {
             let env = paper::search_bindings(4.0, n, 1.0);
             let want = Evaluator::with_options(&assembly, forced(SolverPolicy::Sparse))
@@ -1887,7 +2211,16 @@ mod tests {
             .build()
             .unwrap();
 
-        let auto = Evaluator::with_options(&assembly, forced(SolverPolicy::Auto));
+        // Program mode off: this test pins the *plan cache's* promotion
+        // discipline, which an assembly program would subsume (it pins the
+        // plan per runtime instead of re-looking it up).
+        let auto = Evaluator::with_options(
+            &assembly,
+            EvalOptions {
+                program: ProgramMode::Off,
+                ..forced(SolverPolicy::Auto)
+            },
+        );
         let sweeps = [1e6, 2e6, 3e6];
         let got: Vec<f64> = sweeps
             .iter()
@@ -1947,7 +2280,16 @@ mod tests {
             ))
             .build()
             .unwrap();
-        let compiled = Evaluator::with_options(&assembly, forced(SolverPolicy::Compiled));
+        // Program mode off: the rank-1/full-solve counters below belong to
+        // the plan cache, which an assembly program bypasses via its pinned
+        // per-runtime plans.
+        let compiled = Evaluator::with_options(
+            &assembly,
+            EvalOptions {
+                program: ProgramMode::Off,
+                ..forced(SolverPolicy::Compiled)
+            },
+        );
         for n in [1e6, 5e6] {
             let env = Bindings::new().with("n", n);
             let want = Evaluator::with_options(&assembly, forced(SolverPolicy::Dense))
@@ -2019,9 +2361,15 @@ mod tests {
             .unwrap();
         let plans = Arc::new(PlanCache::with_capacity(1));
         assert_eq!(plans.capacity(), 1);
+        // Program mode off: eviction pressure only materializes when every
+        // visit re-looks the plan up in the shared cache; a program would
+        // pin both plans and never touch it again.
         let eval = Evaluator::with_plan_cache(
             &assembly,
-            forced(SolverPolicy::Compiled),
+            EvalOptions {
+                program: ProgramMode::Off,
+                ..forced(SolverPolicy::Compiled)
+            },
             Arc::clone(&plans),
         );
         for round in 0..3u32 {
@@ -2058,6 +2406,9 @@ mod tests {
                 EvalOptions {
                     solver: SolverPolicy::Compiled,
                     plan_lanes: lanes,
+                    // This test pins the lane-blocked deferral path, which a
+                    // compiled program would answer directly.
+                    program: ProgramMode::Off,
                     ..EvalOptions::default()
                 },
             );
@@ -2098,5 +2449,219 @@ mod tests {
                 r.value().to_bits()
             );
         }
+    }
+
+    #[test]
+    fn empty_cache_stats_rates_are_zero_not_nan() {
+        // Zero-total divisions must not leak NaN into reports.
+        let stats = CacheStats::default();
+        assert_eq!(stats.hits + stats.misses, 0);
+        assert_eq!(stats.hit_rate(), 0.0);
+        assert_eq!(stats.memo_hit_rate(), 0.0);
+        assert!(stats.hit_rate().is_finite());
+        assert!(stats.memo_hit_rate().is_finite());
+    }
+
+    #[test]
+    fn memo_hit_rate_counts_pins_as_hits() {
+        let stats = CacheStats {
+            memo_hits: 2,
+            memo_misses: 2,
+            pin_hits: 4,
+            ..CacheStats::default()
+        };
+        assert_eq!(stats.memo_hit_rate(), 0.75);
+    }
+
+    #[test]
+    fn program_mode_parses_cli_and_env_spellings() {
+        assert_eq!(ProgramMode::parse("auto"), Some(ProgramMode::Auto));
+        assert_eq!(ProgramMode::parse(" On "), Some(ProgramMode::On));
+        assert_eq!(ProgramMode::parse("OFF"), Some(ProgramMode::Off));
+        assert_eq!(ProgramMode::parse("never"), None);
+    }
+
+    #[test]
+    fn unrecognized_env_program_value_is_a_hard_error() {
+        assert_eq!(ProgramMode::parse_env_value("on"), ProgramMode::On);
+        // Probed directly (not via the process-global variable) so parallel
+        // tests reading `ARCHREL_ASSEMBLY_PROGRAM` are not perturbed.
+        let err = std::panic::catch_unwind(|| ProgramMode::parse_env_value("onn"))
+            .expect_err("typo must not parse");
+        let message = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(message.contains("onn"), "{message}");
+        assert!(message.contains("auto, on, off"), "{message}");
+    }
+
+    #[test]
+    fn auto_mode_promotes_targets_after_min_seen_scalar_evaluations() {
+        use archrel_model::paper;
+        let assembly = paper::remote_assembly(&paper::PaperParams::default()).unwrap();
+        let service: ServiceId = paper::SEARCH.into();
+        let eval = Evaluator::with_options(
+            &assembly,
+            EvalOptions {
+                program: ProgramMode::Auto,
+                ..EvalOptions::default()
+            },
+        );
+        let p1 = eval
+            .failure_probability(&service, &paper::search_bindings(4.0, 64.0, 1.0))
+            .unwrap();
+        assert!(
+            eval.program(&service).is_none(),
+            "first sight stays recursive"
+        );
+        let p2 = eval
+            .failure_probability(&service, &paper::search_bindings(4.0, 128.0, 1.0))
+            .unwrap();
+        assert!(eval.program(&service).is_some(), "second sight compiles");
+        assert_eq!(eval.cache_stats().programs_compiled, 1);
+        // The program answers with bitwise-identical values.
+        let off = Evaluator::with_options(
+            &assembly,
+            EvalOptions {
+                program: ProgramMode::Off,
+                ..EvalOptions::default()
+            },
+        );
+        for (env, want) in [
+            (paper::search_bindings(4.0, 64.0, 1.0), p1),
+            (paper::search_bindings(4.0, 128.0, 1.0), p2),
+        ] {
+            let r = off.failure_probability(&service, &env).unwrap();
+            assert_eq!(want.value().to_bits(), r.value().to_bits());
+        }
+    }
+
+    #[test]
+    fn program_memo_counts_shared_subservice_hits() {
+        use archrel_model::paper;
+        let assembly = paper::remote_assembly(&paper::PaperParams::default()).unwrap();
+        let service: ServiceId = paper::SEARCH.into();
+        let eval = Evaluator::with_options(
+            &assembly,
+            EvalOptions {
+                program: ProgramMode::On,
+                ..EvalOptions::default()
+            },
+        );
+        // Two sweeps over the same point: the second is a shared-cache hit;
+        // within the first, repeated sub-invocations hit the memo.
+        let env = paper::search_bindings(4.0, 512.0, 1.0);
+        eval.failure_probability(&service, &env).unwrap();
+        let stats = eval.cache_stats();
+        assert_eq!(stats.programs_compiled, 1, "{stats:?}");
+        assert!(stats.memo_misses >= 1, "{stats:?}");
+        assert!(stats.memo_hit_rate() >= 0.0);
+        eval.failure_probability(&service, &env).unwrap();
+        assert_eq!(eval.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn declared_varied_parameters_pin_out_of_cone_services() {
+        use archrel_model::paper;
+        let assembly = paper::remote_assembly(&paper::PaperParams::default()).unwrap();
+        let service: ServiceId = paper::SEARCH.into();
+        let eval = Evaluator::with_options(
+            &assembly,
+            EvalOptions {
+                program: ProgramMode::On,
+                ..EvalOptions::default()
+            },
+        );
+        eval.declare_varied(&service, &["n".to_string()]);
+        let baseline: Vec<u64> = (1..=8)
+            .map(|i| {
+                eval.failure_probability(
+                    &service,
+                    &paper::search_bindings(4.0, 64.0 * i as f64, 1.0),
+                )
+                .unwrap()
+                .value()
+                .to_bits()
+            })
+            .collect();
+        let stats = eval.cache_stats();
+        assert!(
+            stats.pin_hits >= 1,
+            "out-of-cone services must pin: {stats:?}"
+        );
+        // Pinning is invisible: the recursive path agrees bit for bit.
+        let off = Evaluator::with_options(
+            &assembly,
+            EvalOptions {
+                program: ProgramMode::Off,
+                ..EvalOptions::default()
+            },
+        );
+        for (i, want) in (1..=8).zip(baseline) {
+            let r = off
+                .failure_probability(&service, &paper::search_bindings(4.0, 64.0 * i as f64, 1.0))
+                .unwrap();
+            assert_eq!(want, r.value().to_bits(), "point {i}");
+        }
+        // Clearing the declaration reverts to the hashed memo.
+        eval.clear_varied(&service);
+        eval.failure_probability(&service, &paper::search_bindings(4.0, 4096.0, 1.0))
+            .unwrap();
+    }
+
+    #[test]
+    fn forced_program_mode_rejects_cyclic_assemblies_with_path() {
+        // a → b → a: compilation must fail with the offending path, exactly
+        // like the recursive evaluator's cycle error.
+        let flow_calling = |callee: &str| {
+            FlowBuilder::new()
+                .state(FlowState::new("s", vec![ServiceCall::new(callee)]))
+                .transition(StateId::Start, "s", Expr::one())
+                .transition("s", StateId::End, Expr::one())
+                .build()
+                .unwrap()
+        };
+        let assembly = AssemblyBuilder::new()
+            .service(Service::Composite(
+                CompositeService::new("a", vec![], flow_calling("b")).unwrap(),
+            ))
+            .service(Service::Composite(
+                CompositeService::new("b", vec![], flow_calling("a")).unwrap(),
+            ))
+            .build()
+            .unwrap();
+        let eval = Evaluator::with_options(
+            &assembly,
+            EvalOptions {
+                program: ProgramMode::On,
+                ..EvalOptions::default()
+            },
+        );
+        let err = eval
+            .failure_probability(&"a".into(), &Bindings::new())
+            .unwrap_err();
+        match err {
+            CoreError::RecursiveAssembly { cycle } => {
+                assert_eq!(
+                    cycle,
+                    vec!["a".to_string(), "b".to_string(), "a".to_string()]
+                );
+            }
+            other => panic!("expected RecursiveAssembly, got {other:?}"),
+        }
+        // Auto mode demotes the target to the recursive path, which reports
+        // the same cycle.
+        let auto = Evaluator::with_options(
+            &assembly,
+            EvalOptions {
+                program: ProgramMode::Auto,
+                ..EvalOptions::default()
+            },
+        );
+        for _ in 0..3 {
+            let err = auto
+                .failure_probability(&"a".into(), &Bindings::new())
+                .unwrap_err();
+            assert!(matches!(err, CoreError::RecursiveAssembly { .. }));
+        }
+        assert_eq!(auto.cache_stats().programs_compiled, 0);
     }
 }

@@ -60,6 +60,7 @@ mod eval;
 mod failprob;
 pub mod improvement;
 pub mod paper_closed;
+mod program;
 pub mod propagation;
 mod report;
 pub mod selection;
@@ -72,9 +73,10 @@ pub use batch::{BatchEvaluator, BatchSummary, Query};
 pub use error::CoreError;
 pub use eval::{
     parse_plan_lanes_env_value, plan_lanes_from_env, CacheStats, CycleMode, EvalOptions, Evaluator,
-    PlanCache, SolverPolicy, DEFAULT_PLAN_CACHE_CAPACITY,
+    PlanCache, ProgramMode, SolverPolicy, AUTO_PROGRAM_MIN_SEEN, DEFAULT_PLAN_CACHE_CAPACITY,
 };
 pub use failprob::{state_failure_probability, RequestFailure};
+pub use program::AssemblyProgram;
 pub use report::{EvaluationReport, ServiceBreakdown, StateBreakdown};
 
 /// Convenience result alias for fallible engine operations.

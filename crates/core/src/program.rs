@@ -1,0 +1,1021 @@
+//! Compiled assembly programs: the evaluation layer above the solver.
+//!
+//! PRs 2–4 made the per-chain *solve* nearly free (sparse back-substitution
+//! → compiled plans → lane-blocked replay), which leaves the recursive
+//! assembly walk itself as the dominant per-point cost of sweeps and
+//! stencils: [`crate::Evaluator::failure_probability`] re-walks the service
+//! DAG per point, re-evaluates every parametric-dependency expression
+//! through string-keyed [`Bindings`] lookups, and rebuilds + re-fingerprints
+//! each flow structure before the plan cache can even hit.
+//!
+//! An [`AssemblyProgram`] compiles all of that once per
+//! `(Assembly, target service)`:
+//!
+//! - the service dependency DAG is validated (cycles are a
+//!   [`CoreError::RecursiveAssembly`] carrying the offending path) and
+//!   lowered to a topologically-ordered node table;
+//! - every formal/actual parameter name is interned into dense register
+//!   slots, so per-point evaluation never touches a string or a `HashMap`;
+//! - every parametric-dependency expression (actual parameters, connector
+//!   parameters, transition probabilities) is lowered to a
+//!   [`CompiledExpr`] reading the node's registers through pre-resolved
+//!   slot indices ([`CompiledExpr::eval_slots`]);
+//! - each composite's failure-augmented flow skeleton (merged edge list,
+//!   row-sum groups, `Fail`-edge candidates) is precomputed, so per point
+//!   only the numeric transition entries are refreshed in place
+//!   ([`archrel_markov::Dtmc::set_edge_probability`]) and the compiled
+//!   [`archrel_markov::SolvePlan`] for the structure is pinned per runtime
+//!   instead of re-looked-up by fingerprint.
+//!
+//! On top of the program sit two caches:
+//!
+//! - a per-service **memo table** keyed by the quantized (bit-exact,
+//!   [`f64::to_bits`]) actual-parameter vector, so sub-services shared
+//!   across the DAG or across nearby sweep points are evaluated once
+//!   ([`crate::CacheStats::memo_hits`] / `memo_misses`);
+//! - **dirty-cone pinning** for sweeps that vary a declared parameter
+//!   subset ([`crate::Evaluator::declare_varied`]): services outside the
+//!   varied parameters' dependency cone skip the hashed memo entirely and
+//!   reuse a single pinned result, guarded by a bit-exact comparison of
+//!   their input registers ([`crate::CacheStats::pin_hits`]). The guard —
+//!   not the declaration — carries soundness: a wrong or stale cone only
+//!   costs recomputation, never a wrong value.
+//!
+//! Everything the program computes is **bitwise identical** to the
+//! recursive path: expression compilation preserves the tree evaluator's
+//! operation order, the skeleton refresh replays
+//! [`crate::augmented_chain`]'s exact accumulation and validation sequence,
+//! and solves route through the same plan/direct machinery as
+//! [`crate::Evaluator`]. The differential proptest
+//! `tests/program_differential.rs` pins this equivalence under every
+//! [`crate::SolverPolicy`], memo on or off, at any worker count.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use archrel_expr::{Bindings, CompiledExpr};
+use archrel_markov::{DtmcBuilder, PlanScratch, SolvePlan};
+use archrel_model::{
+    Assembly, CompletionModel, DependencyModel, InternalFailureModel, Probability, Service,
+    ServiceId, SimpleService, StateId,
+};
+use parking_lot::{Mutex, RwLock};
+
+use crate::augment::AugmentedState;
+use crate::eval::Evaluator;
+use crate::failprob::{state_failure_probability, RequestFailure};
+use crate::{CoreError, Result};
+
+/// A compiled expression reading its parameters out of a node's register
+/// file through pre-resolved slot indices (no names, no lookups per point).
+#[derive(Debug)]
+struct SlottedExpr {
+    compiled: CompiledExpr,
+    /// Register slot of each compiled parameter, in
+    /// [`CompiledExpr::params`] order.
+    slots: Vec<usize>,
+}
+
+impl SlottedExpr {
+    fn compile(expr: &archrel_expr::Expr, formals: &[String]) -> Result<SlottedExpr> {
+        let compiled = expr.compile();
+        let slots = compiled
+            .params()
+            .iter()
+            .map(|name| {
+                formals.iter().position(|f| f == name).ok_or_else(|| {
+                    CoreError::Expr(archrel_expr::ExprError::UnboundParameter {
+                        name: name.clone(),
+                    })
+                })
+            })
+            .collect::<Result<Vec<usize>>>()?;
+        Ok(SlottedExpr { compiled, slots })
+    }
+
+    #[inline]
+    fn eval(&self, regs: &[f64], stack: &mut Vec<f64>) -> Result<f64> {
+        Ok(self.compiled.eval_slots(&self.slots, regs, stack)?)
+    }
+}
+
+/// One actual-parameter expression of a service (or connector) call.
+#[derive(Debug)]
+struct ActualParam {
+    expr: SlottedExpr,
+    /// Destination slot in the callee's register file. `None` when the
+    /// actual names no callee formal (the recursive path evaluates and
+    /// discards such bindings, so the expression is still evaluated for
+    /// error parity).
+    dest: Option<usize>,
+}
+
+/// A connector invocation riding on a service call.
+#[derive(Debug)]
+struct ConnectorCall {
+    target: usize,
+    target_arity: usize,
+    actuals: Vec<ActualParam>,
+}
+
+/// One service call of a flow state.
+struct CallNode<'a> {
+    target: usize,
+    target_arity: usize,
+    actuals: Vec<ActualParam>,
+    connector: Option<ConnectorCall>,
+    internal: &'a InternalFailureModel,
+}
+
+/// One flow state with its compiled calls.
+struct StateNode<'a> {
+    id: StateId,
+    completion: CompletionModel,
+    dependency: DependencyModel,
+    calls: Vec<CallNode<'a>>,
+}
+
+/// One flow transition's compiled probability expression.
+#[derive(Debug)]
+struct TransNode {
+    from: StateId,
+    expr: SlottedExpr,
+}
+
+/// Transitions sharing one source state, in declaration order — the
+/// accumulation group whose sum must be one (`augmented_chain`'s
+/// `row_sums`).
+#[derive(Debug)]
+struct RowGroup {
+    state: StateId,
+    trans: Vec<usize>,
+}
+
+/// Parallel flow transitions collapsed onto one `(from, to)` chain edge, in
+/// the `BTreeMap` order `augmented_chain` declares them.
+#[derive(Debug)]
+struct MergedEdge {
+    from: StateId,
+    to: StateId,
+    trans: Vec<usize>,
+    /// Position into the node's `states` of the source state's failure
+    /// probability; `None` for `Start` (no failure by definition) and for
+    /// sources that are not request-carrying flow states.
+    from_state: Option<usize>,
+}
+
+/// Compiled form of one composite service.
+struct CompositeNode<'a> {
+    states: Vec<StateNode<'a>>,
+    /// Positions into `states` sorted by [`StateId`] — the iteration order
+    /// of the recursive path's `state_failures` B-tree map.
+    sorted_states: Vec<usize>,
+    trans: Vec<TransNode>,
+    rows: Vec<RowGroup>,
+    merged: Vec<MergedEdge>,
+}
+
+enum NodeKind<'a> {
+    Simple(&'a SimpleService),
+    Composite(CompositeNode<'a>),
+}
+
+/// One service of the dependency DAG.
+struct Node<'a> {
+    id: ServiceId,
+    /// Formal parameter names in register-slot order.
+    formals: Vec<String>,
+    kind: NodeKind<'a>,
+}
+
+/// A used formal parameter of the target service, in first-use order (the
+/// order the recursive evaluator would first read — and so first miss —
+/// each name).
+#[derive(Debug)]
+struct RootInput {
+    name: String,
+    slot: usize,
+}
+
+/// Cached failure-augmented chain skeleton of one composite node, owned by
+/// one [`Runtime`].
+struct ChainCache {
+    chain: archrel_markov::Dtmc<AugmentedState>,
+    /// `(row, slot)` address of each merged edge's probability; `None` for
+    /// edges the builder dropped (evaluated to exactly zero).
+    edge_slots: Vec<Option<(usize, usize)>>,
+    /// `(row, slot)` address of each state's `→ Fail` edge, aligned with
+    /// `sorted_states`; `None` for failure-free states.
+    fail_slots: Vec<Option<(usize, usize)>>,
+    /// Whether the solver policy routes this structure through the plan
+    /// path (recomputed on rebuild — the positivity pattern can change the
+    /// chain's size/density class).
+    try_plan: bool,
+    /// Plan pinned after the first successful lookup, skipping the
+    /// per-point fingerprint + cache probe of the recursive path.
+    plan: Option<Arc<SolvePlan>>,
+}
+
+/// Per-node mutable evaluation state.
+#[derive(Default)]
+struct NodeScratch {
+    chain: Option<ChainCache>,
+    /// Dirty-cone pin: the last `(quantized inputs, result)` of a node
+    /// outside the varied-parameter cone. Reused only when the inputs
+    /// compare bit-equal, so pinning is unconditionally sound.
+    pin: Option<(Box<[u64]>, Probability)>,
+    trans_vals: Vec<f64>,
+    merged_vals: Vec<f64>,
+    state_failures: Vec<Probability>,
+    fail_vals: Vec<f64>,
+}
+
+/// Per-checkout mutable evaluation state (one per concurrently evaluating
+/// thread; pooled and reused across points).
+struct Runtime {
+    nodes: Vec<NodeScratch>,
+    /// Nested register stack: each node in the active recursion owns a
+    /// contiguous window of this buffer.
+    inputs: Vec<f64>,
+    /// Expression evaluation stack.
+    stack: Vec<f64>,
+    /// Staging buffer for a callee's registers while its actuals evaluate.
+    child: Vec<f64>,
+    /// Stack-disciplined per-state request failures (windowed by base
+    /// offset, like `inputs`).
+    failures: Vec<RequestFailure>,
+    /// Memo-key staging buffer.
+    key: Vec<u64>,
+    /// Plan parameter buffer + scratch for pinned-plan evaluation.
+    params: Vec<f64>,
+    plan_scratch: PlanScratch,
+}
+
+impl Runtime {
+    fn new(node_count: usize) -> Runtime {
+        let mut nodes = Vec::with_capacity(node_count);
+        nodes.resize_with(node_count, NodeScratch::default);
+        Runtime {
+            nodes,
+            inputs: Vec::new(),
+            stack: Vec::new(),
+            child: Vec::new(),
+            failures: Vec::new(),
+            key: Vec::new(),
+            params: Vec::new(),
+            plan_scratch: PlanScratch::new(),
+        }
+    }
+}
+
+/// A compiled evaluation program for one `(assembly, target service)` pair.
+///
+/// Built by [`AssemblyProgram::compile`] (or automatically by
+/// [`Evaluator`] under [`crate::ProgramMode::Auto`]); evaluated through
+/// [`Evaluator::failure_probability`] once installed. See the module
+/// documentation for the compilation pipeline and cache semantics.
+pub struct AssemblyProgram<'a> {
+    target: ServiceId,
+    nodes: Vec<Node<'a>>,
+    root: usize,
+    root_inputs: Vec<RootInput>,
+    /// Per-node memo tables keyed by the quantized input-register vector.
+    memo: Vec<RwLock<HashMap<Box<[u64]>, Probability>>>,
+    /// Dirty cone: `in_cone[node]` when the node's result can depend on a
+    /// declared-varied parameter; `None` when no declaration was made
+    /// (everything uses the hashed memo).
+    cone: RwLock<Option<Arc<Vec<bool>>>>,
+    runtimes: Mutex<Vec<Runtime>>,
+    memo_hits: AtomicU64,
+    memo_misses: AtomicU64,
+    pin_hits: AtomicU64,
+}
+
+impl std::fmt::Debug for AssemblyProgram<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AssemblyProgram")
+            .field("target", &self.target)
+            .field("nodes", &self.nodes.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> AssemblyProgram<'a> {
+    /// Compiles the dependency DAG reachable from `target`.
+    ///
+    /// # Errors
+    ///
+    /// - [`CoreError::RecursiveAssembly`] (with the offending call path)
+    ///   when the dependency graph has a cycle — programs evaluate in
+    ///   topological order and cannot express fixed points;
+    /// - [`CoreError::Model`] when `target` (or a callee) is not part of
+    ///   the assembly.
+    pub fn compile(assembly: &'a Assembly, target: &ServiceId) -> Result<AssemblyProgram<'a>> {
+        let mut builder = ProgramBuilder {
+            assembly,
+            index: HashMap::new(),
+            nodes: Vec::new(),
+            visiting: Vec::new(),
+        };
+        let root = builder.build_node(target)?;
+        let nodes = builder.nodes;
+        let root_inputs = collect_root_inputs(&nodes[root]);
+        let memo = nodes.iter().map(|_| RwLock::new(HashMap::new())).collect();
+        Ok(AssemblyProgram {
+            target: target.clone(),
+            nodes,
+            root,
+            root_inputs,
+            memo,
+            cone: RwLock::new(None),
+            runtimes: Mutex::new(Vec::new()),
+            memo_hits: AtomicU64::new(0),
+            memo_misses: AtomicU64::new(0),
+            pin_hits: AtomicU64::new(0),
+        })
+    }
+
+    /// The target service this program evaluates.
+    pub fn target(&self) -> &ServiceId {
+        &self.target
+    }
+
+    /// Number of services (DAG nodes) the program covers.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Declares the subset of the target's formal parameters a sweep will
+    /// vary, computing the dirty cone: nodes whose inputs cannot depend on
+    /// any varied parameter are evaluated once and pinned (bit-compare
+    /// guarded) instead of hashed into the memo. An empty slice pins
+    /// everything; parameters not naming a formal simply widen nothing.
+    pub fn set_varied(&self, names: &[String]) {
+        let root_formals = &self.nodes[self.root].formals;
+        let mut varied: Vec<Vec<bool>> = self
+            .nodes
+            .iter()
+            .map(|n| vec![false; n.formals.len()])
+            .collect();
+        for (slot, formal) in root_formals.iter().enumerate() {
+            if names.iter().any(|n| n == formal) {
+                varied[self.root][slot] = true;
+            }
+        }
+        // Nodes were built in post-order (callees before callers), so the
+        // reverse is a topological order with callers first: one pass
+        // propagates variedness down every call edge.
+        for idx in (0..self.nodes.len()).rev() {
+            let NodeKind::Composite(comp) = &self.nodes[idx].kind else {
+                continue;
+            };
+            let mark = |varied: &mut [Vec<bool>], target: usize, actuals: &[ActualParam]| {
+                for ap in actuals {
+                    let depends = ap.expr.slots.iter().any(|&s| varied[idx][s]);
+                    if depends {
+                        if let Some(dest) = ap.dest {
+                            varied[target][dest] = true;
+                        }
+                    }
+                }
+            };
+            for state in &comp.states {
+                for call in &state.calls {
+                    mark(&mut varied, call.target, &call.actuals);
+                    if let Some(conn) = &call.connector {
+                        mark(&mut varied, conn.target, &conn.actuals);
+                    }
+                }
+            }
+        }
+        let in_cone: Vec<bool> = varied.iter().map(|v| v.iter().any(|&b| b)).collect();
+        *self.cone.write() = Some(Arc::new(in_cone));
+    }
+
+    /// Clears any dirty-cone declaration: every node goes back to the
+    /// hashed memo.
+    pub fn clear_varied(&self) {
+        *self.cone.write() = None;
+    }
+
+    /// Memo / pin counter snapshot: `(memo_hits, memo_misses, pin_hits)`.
+    pub(crate) fn counter_snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.memo_hits.load(Ordering::Relaxed),
+            self.memo_misses.load(Ordering::Relaxed),
+            self.pin_hits.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Evaluates `Pfail(target, env)` — bitwise identical to the recursive
+    /// evaluator.
+    pub(crate) fn evaluate(
+        &self,
+        evaluator: &Evaluator<'a>,
+        env: &Bindings,
+    ) -> Result<Probability> {
+        let mut rt = self
+            .runtimes
+            .lock()
+            .pop()
+            .unwrap_or_else(|| Runtime::new(self.nodes.len()));
+        let result = self.evaluate_with(evaluator, env, &mut rt);
+        self.runtimes.lock().push(rt);
+        result
+    }
+
+    fn evaluate_with(
+        &self,
+        evaluator: &Evaluator<'a>,
+        env: &Bindings,
+        rt: &mut Runtime,
+    ) -> Result<Probability> {
+        let cone = self.cone.read().clone();
+        let cone = cone.as_deref().map(Vec::as_slice);
+        let memo_on = evaluator.options().program_memo;
+        rt.inputs.clear();
+        rt.failures.clear();
+        rt.inputs
+            .resize(self.nodes[self.root].formals.len(), f64::NAN);
+        for ri in &self.root_inputs {
+            match env.get(&ri.name) {
+                Some(v) => rt.inputs[ri.slot] = v,
+                None => {
+                    return Err(CoreError::Expr(archrel_expr::ExprError::UnboundParameter {
+                        name: ri.name.clone(),
+                    }))
+                }
+            }
+        }
+        self.eval_node(evaluator, rt, cone, memo_on, self.root, 0)
+    }
+
+    /// Evaluates one node whose registers sit at `inputs[base..]`,
+    /// answering from the memo table (in-cone) or the pin (out-of-cone)
+    /// when possible.
+    fn eval_node(
+        &self,
+        evaluator: &Evaluator<'a>,
+        rt: &mut Runtime,
+        cone: Option<&[bool]>,
+        memo_on: bool,
+        node: usize,
+        base: usize,
+    ) -> Result<Probability> {
+        let arity = self.nodes[node].formals.len();
+        if !memo_on {
+            return self.compute_node(evaluator, rt, cone, memo_on, node, base);
+        }
+        if cone.is_some_and(|c| !c[node]) {
+            if let Some((key, value)) = &rt.nodes[node].pin {
+                let matches = key.len() == arity
+                    && key
+                        .iter()
+                        .zip(&rt.inputs[base..base + arity])
+                        .all(|(k, v)| *k == v.to_bits());
+                if matches {
+                    self.pin_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(*value);
+                }
+            }
+            let p = self.compute_node(evaluator, rt, cone, memo_on, node, base)?;
+            let key: Box<[u64]> = rt.inputs[base..base + arity]
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            rt.nodes[node].pin = Some((key, p));
+            return Ok(p);
+        }
+        rt.key.clear();
+        rt.key
+            .extend(rt.inputs[base..base + arity].iter().map(|v| v.to_bits()));
+        if let Some(p) = self.memo[node].read().get(rt.key.as_slice()) {
+            self.memo_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(*p);
+        }
+        self.memo_misses.fetch_add(1, Ordering::Relaxed);
+        let p = self.compute_node(evaluator, rt, cone, memo_on, node, base)?;
+        // `rt.key` may have been clobbered by recursion; the node's own
+        // registers are still intact (children only grow/shrink `inputs`
+        // beyond this window).
+        let key: Box<[u64]> = rt.inputs[base..base + arity]
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        self.memo[node].write().insert(key, p);
+        Ok(p)
+    }
+
+    fn compute_node(
+        &self,
+        evaluator: &Evaluator<'a>,
+        rt: &mut Runtime,
+        cone: Option<&[bool]>,
+        memo_on: bool,
+        node: usize,
+        base: usize,
+    ) -> Result<Probability> {
+        match &self.nodes[node].kind {
+            NodeKind::Simple(simple) => Ok(simple.failure_probability(rt.inputs[base])?),
+            NodeKind::Composite(_) => {
+                // Detach the node's scratch so recursion can borrow `rt`
+                // freely; a DAG node can never re-enter its own evaluation.
+                let mut scratch = std::mem::take(&mut rt.nodes[node]);
+                let result =
+                    self.compute_composite(evaluator, rt, cone, memo_on, node, base, &mut scratch);
+                rt.nodes[node] = scratch;
+                result
+            }
+        }
+    }
+
+    /// The compiled replay of `eval_service` + `augmented_chain` for one
+    /// composite node. Every arithmetic accumulation happens in exactly the
+    /// order of the recursive path, so results are bitwise identical.
+    #[allow(clippy::too_many_arguments)]
+    fn compute_composite(
+        &self,
+        evaluator: &Evaluator<'a>,
+        rt: &mut Runtime,
+        cone: Option<&[bool]>,
+        memo_on: bool,
+        node: usize,
+        base: usize,
+        scratch: &mut NodeScratch,
+    ) -> Result<Probability> {
+        let arity = self.nodes[node].formals.len();
+        let NodeKind::Composite(comp) = &self.nodes[node].kind else {
+            unreachable!("compute_composite called on a simple node");
+        };
+
+        // Phase 1 — resolve states: actuals in declaration order, then the
+        // callee, then the connector, then the internal model (the exact
+        // order of `resolve_request`).
+        scratch.state_failures.clear();
+        for state in &comp.states {
+            let fbase = rt.failures.len();
+            for call in &state.calls {
+                let mut first_demand = 0.0;
+                rt.child.clear();
+                rt.child.resize(call.target_arity, f64::NAN);
+                for (i, ap) in call.actuals.iter().enumerate() {
+                    let v = ap
+                        .expr
+                        .eval(&rt.inputs[base..base + arity], &mut rt.stack)?;
+                    if i == 0 {
+                        first_demand = v;
+                    }
+                    if let Some(dest) = ap.dest {
+                        rt.child[dest] = v;
+                    }
+                }
+                let cbase = rt.inputs.len();
+                rt.inputs.extend_from_slice(&rt.child);
+                let r = self.eval_node(evaluator, rt, cone, memo_on, call.target, cbase);
+                rt.inputs.truncate(cbase);
+                let target_fail = r?;
+
+                let connector_fail = match &call.connector {
+                    None => Probability::ZERO,
+                    Some(conn) => {
+                        rt.child.clear();
+                        rt.child.resize(conn.target_arity, f64::NAN);
+                        for ap in &conn.actuals {
+                            let v = ap
+                                .expr
+                                .eval(&rt.inputs[base..base + arity], &mut rt.stack)?;
+                            if let Some(dest) = ap.dest {
+                                rt.child[dest] = v;
+                            }
+                        }
+                        let cbase = rt.inputs.len();
+                        rt.inputs.extend_from_slice(&rt.child);
+                        let r = self.eval_node(evaluator, rt, cone, memo_on, conn.target, cbase);
+                        rt.inputs.truncate(cbase);
+                        r?
+                    }
+                };
+
+                let internal = call.internal.failure_probability(first_demand)?;
+                rt.failures.push(RequestFailure::new(
+                    internal,
+                    RequestFailure::external_of(target_fail, connector_fail),
+                ));
+            }
+            let failure = state_failure_probability(
+                state.completion,
+                state.dependency,
+                &rt.failures[fbase..],
+            );
+            rt.failures.truncate(fbase);
+            scratch.state_failures.push(failure?);
+        }
+
+        // Phase 2 — transition probabilities, validated per edge then per
+        // row exactly like `augmented_chain` (same literals, same order).
+        scratch.trans_vals.clear();
+        for t in &comp.trans {
+            let p = t.expr.eval(&rt.inputs[base..base + arity], &mut rt.stack)?;
+            if !(0.0..=1.0 + 1e-9).contains(&p) {
+                return Err(CoreError::BadTransitions {
+                    service: self.nodes[node].id.to_string(),
+                    state: t.from.to_string(),
+                    sum: p,
+                });
+            }
+            scratch.trans_vals.push(p);
+        }
+        for row in &comp.rows {
+            let mut sum = 0.0;
+            for &ti in &row.trans {
+                sum += scratch.trans_vals[ti];
+            }
+            if (sum - 1.0).abs() > 1e-9 {
+                return Err(CoreError::BadTransitions {
+                    service: self.nodes[node].id.to_string(),
+                    state: row.state.to_string(),
+                    sum,
+                });
+            }
+        }
+
+        // Phase 3 — merge parallel edges and scale by `1 − p(from, Fail)`.
+        scratch.merged_vals.clear();
+        for m in &comp.merged {
+            let mut p = 0.0;
+            for &ti in &m.trans {
+                p += scratch.trans_vals[ti];
+            }
+            let failure = match m.from_state {
+                None => Probability::ZERO,
+                Some(si) => scratch.state_failures[si],
+            };
+            scratch.merged_vals.push(p * failure.complement().value());
+        }
+        scratch.fail_vals.clear();
+        for &si in &comp.sorted_states {
+            scratch.fail_vals.push(scratch.state_failures[si].value());
+        }
+
+        // Phase 4 — refresh the cached chain skeleton in place; fall back
+        // to a full rebuild (which reproduces the builder's validation
+        // errors verbatim) on any pattern or validation mismatch.
+        let refreshed = match &mut scratch.chain {
+            Some(cache) => refresh_chain(cache, &scratch.merged_vals, &scratch.fail_vals),
+            None => false,
+        };
+        if !refreshed {
+            scratch.chain = Some(self.build_chain_cache(
+                evaluator,
+                comp,
+                &scratch.merged_vals,
+                &scratch.fail_vals,
+            )?);
+        }
+        let cache = scratch.chain.as_mut().expect("chain cache just ensured");
+
+        // Phase 5 — solve through the same machinery as the recursive path.
+        let start = AugmentedState::Flow(StateId::Start);
+        let end = AugmentedState::Flow(StateId::End);
+        let solve_started = Instant::now();
+        let solved = solve_cached_chain(evaluator, cache, &start, &end, rt);
+        let success = match solved {
+            Ok(p) => p,
+            // Mirrors `eval_service`: a structurally unreachable End is a
+            // certain failure, not a solve error.
+            Err(archrel_markov::MarkovError::UnreachableTarget { .. }) => 0.0,
+            Err(e) => return Err(e.into()),
+        };
+        evaluator.note_chain_solve(solve_started.elapsed());
+        Ok(Probability::new(success)?.complement())
+    }
+
+    /// Builds a fresh chain + slot map for the current numeric values,
+    /// replaying `augmented_chain`'s builder sequence exactly.
+    fn build_chain_cache(
+        &self,
+        evaluator: &Evaluator<'a>,
+        comp: &CompositeNode<'a>,
+        merged_vals: &[f64],
+        fail_vals: &[f64],
+    ) -> Result<ChainCache> {
+        let mut builder = DtmcBuilder::new()
+            .state(AugmentedState::Flow(StateId::End))
+            .state(AugmentedState::Fail);
+        for (m, &p) in comp.merged.iter().zip(merged_vals) {
+            builder = builder.transition(
+                AugmentedState::Flow(m.from.clone()),
+                AugmentedState::Flow(m.to.clone()),
+                p,
+            );
+        }
+        for (&si, &f) in comp.sorted_states.iter().zip(fail_vals) {
+            if f == 0.0 {
+                continue;
+            }
+            builder = builder.transition(
+                AugmentedState::Flow(comp.states[si].id.clone()),
+                AugmentedState::Fail,
+                f,
+            );
+        }
+        let chain = builder.build()?;
+        let edge_slots = comp
+            .merged
+            .iter()
+            .zip(merged_vals)
+            .map(|(m, &p)| {
+                if p > 0.0 {
+                    chain.edge_position(
+                        &AugmentedState::Flow(m.from.clone()),
+                        &AugmentedState::Flow(m.to.clone()),
+                    )
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let fail_slots = comp
+            .sorted_states
+            .iter()
+            .zip(fail_vals)
+            .map(|(&si, &f)| {
+                if f > 0.0 {
+                    chain.edge_position(
+                        &AugmentedState::Flow(comp.states[si].id.clone()),
+                        &AugmentedState::Fail,
+                    )
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let try_plan = evaluator.plan_gate(chain.len(), chain.edge_count());
+        Ok(ChainCache {
+            chain,
+            edge_slots,
+            fail_slots,
+            try_plan,
+            plan: None,
+        })
+    }
+}
+
+/// Refreshes a cached chain's numeric entries in place. Returns `false`
+/// (forcing a rebuild) when the positivity pattern changed, a value is
+/// invalid, or a row stopped summing to one — the rebuild then reproduces
+/// the exact builder behavior, including its errors.
+fn refresh_chain(cache: &mut ChainCache, merged_vals: &[f64], fail_vals: &[f64]) -> bool {
+    for (slot, &p) in cache.edge_slots.iter().zip(merged_vals) {
+        match *slot {
+            Some((row, pos)) => {
+                if cache.chain.set_edge_probability(row, pos, p).is_err() {
+                    return false;
+                }
+            }
+            // A previously-dropped edge must still be exactly zero; any
+            // other value changes structure or must surface the builder's
+            // validation error.
+            None => {
+                if p != 0.0 {
+                    return false;
+                }
+            }
+        }
+    }
+    for (slot, &f) in cache.fail_slots.iter().zip(fail_vals) {
+        match *slot {
+            Some((row, pos)) => {
+                if cache.chain.set_edge_probability(row, pos, f).is_err() {
+                    return false;
+                }
+            }
+            None => {
+                if f != 0.0 {
+                    return false;
+                }
+            }
+        }
+    }
+    cache.chain.validate_stochastic().is_ok()
+}
+
+/// Solves `p*(Start → End)` for a cached chain: pinned plan when present,
+/// plan lookup (shared [`crate::PlanCache`] discipline, including `Auto`
+/// promotion counting) while the gate is open, direct solver otherwise.
+fn solve_cached_chain(
+    evaluator: &Evaluator<'_>,
+    cache: &mut ChainCache,
+    start: &AugmentedState,
+    end: &AugmentedState,
+    rt: &mut Runtime,
+) -> archrel_markov::Result<f64> {
+    if cache.plan.is_none() && cache.try_plan {
+        cache.plan = evaluator.plan_for_chain(&cache.chain, start, end)?;
+    }
+    match &cache.plan {
+        Some(plan) => {
+            plan.parameters_into(&cache.chain, &mut rt.params)?;
+            let (value, kind) = plan.evaluate_scratch(&rt.params, &mut rt.plan_scratch)?;
+            evaluator.record_plan_solve(kind);
+            Ok(value)
+        }
+        None => evaluator.direct_solve(&cache.chain, start, end),
+    }
+}
+
+/// Depth-first program builder; nodes land in post-order (callees before
+/// callers), which doubles as the topological schedule.
+struct ProgramBuilder<'a> {
+    assembly: &'a Assembly,
+    index: HashMap<ServiceId, usize>,
+    nodes: Vec<Node<'a>>,
+    visiting: Vec<ServiceId>,
+}
+
+impl<'a> ProgramBuilder<'a> {
+    fn build_node(&mut self, service: &ServiceId) -> Result<usize> {
+        if let Some(&i) = self.index.get(service) {
+            return Ok(i);
+        }
+        if self.visiting.iter().any(|s| s == service) {
+            // Same shape as the recursive evaluator's cycle error: the path
+            // from the first occurrence, closed by the repeated service.
+            let start = self.visiting.iter().position(|s| s == service).unwrap_or(0);
+            let mut cycle: Vec<String> = self.visiting[start..]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            cycle.push(service.to_string());
+            return Err(CoreError::RecursiveAssembly { cycle });
+        }
+        self.visiting.push(service.clone());
+        let node = self.lower_service(service);
+        self.visiting.pop();
+        let node = node?;
+        let idx = self.nodes.len();
+        self.nodes.push(node);
+        self.index.insert(service.clone(), idx);
+        Ok(idx)
+    }
+
+    fn lower_service(&mut self, service: &ServiceId) -> Result<Node<'a>> {
+        match self.assembly.require(service)? {
+            Service::Simple(simple) => Ok(Node {
+                id: service.clone(),
+                formals: vec![simple.formal_param().to_string()],
+                kind: NodeKind::Simple(simple),
+            }),
+            Service::Composite(composite) => {
+                let formals: Vec<String> = composite.formal_params().to_vec();
+                let flow = composite.flow();
+                let mut states = Vec::with_capacity(flow.states().len());
+                for state in flow.states() {
+                    let mut calls = Vec::with_capacity(state.calls.len());
+                    for call in &state.calls {
+                        let target = self.build_node(&call.target)?;
+                        let actuals = self.lower_actuals(&call.actual_params, &formals, target)?;
+                        let connector = match &call.connector {
+                            None => None,
+                            Some(binding) => {
+                                let conn_target = self.build_node(&binding.connector)?;
+                                Some(ConnectorCall {
+                                    target: conn_target,
+                                    target_arity: self.nodes[conn_target].formals.len(),
+                                    actuals: self.lower_actuals(
+                                        &binding.actual_params,
+                                        &formals,
+                                        conn_target,
+                                    )?,
+                                })
+                            }
+                        };
+                        calls.push(CallNode {
+                            target,
+                            target_arity: self.nodes[target].formals.len(),
+                            actuals,
+                            connector,
+                            internal: &call.internal_failure,
+                        });
+                    }
+                    states.push(StateNode {
+                        id: state.id.clone(),
+                        completion: state.completion,
+                        dependency: state.dependency,
+                        calls,
+                    });
+                }
+
+                let mut trans = Vec::with_capacity(flow.transitions().len());
+                let mut rows: BTreeMap<StateId, Vec<usize>> = BTreeMap::new();
+                let mut merged_map: BTreeMap<(StateId, StateId), Vec<usize>> = BTreeMap::new();
+                for (i, t) in flow.transitions().iter().enumerate() {
+                    trans.push(TransNode {
+                        from: t.from.clone(),
+                        expr: SlottedExpr::compile(&t.probability, &formals)?,
+                    });
+                    rows.entry(t.from.clone()).or_default().push(i);
+                    merged_map
+                        .entry((t.from.clone(), t.to.clone()))
+                        .or_default()
+                        .push(i);
+                }
+                let rows = rows
+                    .into_iter()
+                    .map(|(state, trans)| RowGroup { state, trans })
+                    .collect();
+                let merged = merged_map
+                    .into_iter()
+                    .map(|((from, to), trans)| {
+                        let from_state = match &from {
+                            StateId::Start => None,
+                            named => states.iter().position(|s: &StateNode<'a>| s.id == *named),
+                        };
+                        MergedEdge {
+                            from,
+                            to,
+                            trans,
+                            from_state,
+                        }
+                    })
+                    .collect();
+
+                let mut sorted_states: Vec<usize> = (0..states.len()).collect();
+                sorted_states.sort_by(|&a, &b| states[a].id.cmp(&states[b].id));
+
+                Ok(Node {
+                    id: service.clone(),
+                    formals,
+                    kind: NodeKind::Composite(CompositeNode {
+                        states,
+                        sorted_states,
+                        trans,
+                        rows,
+                        merged,
+                    }),
+                })
+            }
+        }
+    }
+
+    fn lower_actuals(
+        &self,
+        actual_params: &'a [(String, archrel_expr::Expr)],
+        formals: &[String],
+        target: usize,
+    ) -> Result<Vec<ActualParam>> {
+        let callee_formals = &self.nodes[target].formals;
+        actual_params
+            .iter()
+            .map(|(name, expr)| {
+                Ok(ActualParam {
+                    expr: SlottedExpr::compile(expr, formals)?,
+                    dest: callee_formals.iter().position(|f| f == name),
+                })
+            })
+            .collect()
+    }
+}
+
+/// Gathers the target's *used* formal parameters in first-use order — the
+/// order the recursive evaluator reads (and so would first report missing)
+/// each name.
+fn collect_root_inputs(root: &Node<'_>) -> Vec<RootInput> {
+    let mut inputs: Vec<RootInput> = Vec::new();
+    let mut push = |slot: usize, name: &str| {
+        if !inputs.iter().any(|ri| ri.slot == slot) {
+            inputs.push(RootInput {
+                name: name.to_string(),
+                slot,
+            });
+        }
+    };
+    match &root.kind {
+        NodeKind::Simple(_) => push(0, &root.formals[0]),
+        NodeKind::Composite(comp) => {
+            let mut push_expr = |expr: &SlottedExpr| {
+                for &slot in &expr.slots {
+                    push(slot, &root.formals[slot]);
+                }
+            };
+            for state in &comp.states {
+                for call in &state.calls {
+                    for ap in &call.actuals {
+                        push_expr(&ap.expr);
+                    }
+                    if let Some(conn) = &call.connector {
+                        for ap in &conn.actuals {
+                            push_expr(&ap.expr);
+                        }
+                    }
+                }
+            }
+            for t in &comp.trans {
+                push_expr(&t.expr);
+            }
+        }
+    }
+    inputs
+}

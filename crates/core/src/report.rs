@@ -45,6 +45,17 @@ impl fmt::Display for CacheStats {
         if self.plan_evictions > 0 {
             write!(f, "; {} plan evictions", self.plan_evictions)?;
         }
+        if self.programs_compiled > 0 {
+            write!(
+                f,
+                "; programs: {} compiled, memo {} hits / {} misses / {} pins ({:.1}% memo rate)",
+                self.programs_compiled,
+                self.memo_hits,
+                self.memo_misses,
+                self.pin_hits,
+                self.memo_hit_rate() * 100.0
+            )?;
+        }
         Ok(())
     }
 }

@@ -130,7 +130,12 @@ pub fn binding_sensitivities_with_workers(
 
     // All stencil points target one service: the blocked path packs them
     // into lane-sized parameter blocks per compiled structure, so a whole
-    // stencil's probes are replayed by a handful of tape passes.
+    // stencil's probes are replayed by a handful of tape passes. The probes
+    // only move the stencil's own parameters, so declare them varied:
+    // services fed purely by constants pin outside the dirty cone when the
+    // assembly-program path answers.
+    let varied: Vec<String> = env.iter().map(|(name, _)| name.to_string()).collect();
+    evaluator.declare_varied(service, &varied);
     let flat: Vec<&Bindings> = probes.iter().flat_map(|p| p.envs.iter()).collect();
     let values = blocked_probabilities(evaluator, service, &flat, workers);
     let mut values = values.into_iter().map(|r| r.map(|p| p.value()));

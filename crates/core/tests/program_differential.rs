@@ -1,0 +1,286 @@
+//! Differential property tests for compiled assembly programs.
+//!
+//! Random layered DAG assemblies — parametric CPU leaves, three to four
+//! composite layers with diamond sharing (a node calls the previous layer
+//! *and* a leaf directly) and shared sub-services (several parents calling
+//! the same child) — are evaluated through the compiled program path and
+//! the recursive evaluator. The two must agree **bitwise** under every
+//! [`SolverPolicy`], with the per-service memo on or off, and at any
+//! batch worker count. Cyclic assemblies must be rejected at compile time
+//! with the offending call path.
+
+use archrel_core::{
+    BatchEvaluator, CoreError, EvalOptions, Evaluator, ProgramMode, Query, SolverPolicy,
+};
+use archrel_expr::{Bindings, Expr};
+use archrel_model::{
+    catalog, Assembly, AssemblyBuilder, CompletionModel, CompositeService, DependencyModel,
+    FlowBuilder, FlowState, Service, ServiceCall, StateId,
+};
+use proptest::prelude::*;
+
+/// One composite node in a mid layer of the random DAG.
+#[derive(Debug, Clone)]
+struct NodeSpec {
+    /// Calls into the previous layer: (index modulo layer width, demand
+    /// coefficient). Several nodes picking the same index is how shared
+    /// sub-services arise.
+    calls: Vec<(usize, f64)>,
+    /// 0 = And, 1 = Or, 2.. = KOutOfN.
+    completion: usize,
+    /// Optional direct call to a layer-0 leaf, closing a diamond: the leaf
+    /// is then reachable both through the previous layer and directly.
+    extra_leaf: Option<(usize, f64)>,
+}
+
+#[derive(Debug, Clone)]
+struct DagSpec {
+    /// Failure rates of the CPU leaf resources (capacity fixed at 1e9).
+    leaf_rates: Vec<f64>,
+    /// Mid layers, bottom-up. Three or more layers plus the implicit `top`
+    /// keeps the composite call depth at four or deeper.
+    layers: Vec<Vec<NodeSpec>>,
+}
+
+fn spec_strategy() -> impl Strategy<Value = DagSpec> {
+    let node = (
+        proptest::collection::vec((0usize..8, 0.5..4.0f64), 1..3),
+        0usize..4,
+        (proptest::bool::ANY, 0usize..8, 0.5..4.0f64),
+    )
+        .prop_map(|(calls, completion, (diamond, leaf, coeff))| NodeSpec {
+            calls,
+            completion,
+            extra_leaf: diamond.then_some((leaf, coeff)),
+        });
+    let layer = proptest::collection::vec(node, 1..4);
+    (
+        proptest::collection::vec(1e-6..1e-3f64, 2..5),
+        proptest::collection::vec(layer, 3..5),
+    )
+        .prop_map(|(leaf_rates, layers)| DagSpec { leaf_rates, layers })
+}
+
+/// Single-state flow: Start -> s0 -> End with the given calls.
+fn one_state_flow(calls: Vec<ServiceCall>, completion: CompletionModel) -> archrel_model::Flow {
+    FlowBuilder::new()
+        .state(
+            FlowState::new("s0", calls)
+                .with_completion(completion)
+                .with_dependency(DependencyModel::Independent),
+        )
+        .transition(StateId::Start, "s0", Expr::one())
+        .transition(StateId::named("s0"), StateId::End, Expr::one())
+        .build()
+        .expect("flow is valid")
+}
+
+fn build(spec: &DagSpec) -> Assembly {
+    let mut builder = AssemblyBuilder::new();
+    for (i, rate) in spec.leaf_rates.iter().enumerate() {
+        builder = builder.service(catalog::cpu_resource(format!("leaf{i}"), 1e9, *rate));
+    }
+    let mut prev: Vec<String> = (0..spec.leaf_rates.len())
+        .map(|i| format!("leaf{i}"))
+        .collect();
+    for (li, layer) in spec.layers.iter().enumerate() {
+        let mut names = Vec::with_capacity(layer.len());
+        for (ni, node) in layer.iter().enumerate() {
+            let name = format!("m{li}_{ni}");
+            let mut calls: Vec<ServiceCall> = node
+                .calls
+                .iter()
+                .map(|(idx, coeff)| {
+                    ServiceCall::new(prev[idx % prev.len()].clone()).with_param(
+                        catalog::CPU_PARAM,
+                        Expr::param(catalog::CPU_PARAM) * Expr::num(*coeff) + Expr::num(1.0),
+                    )
+                })
+                .collect();
+            if let Some((leaf, coeff)) = node.extra_leaf {
+                calls.push(
+                    ServiceCall::new(format!("leaf{}", leaf % spec.leaf_rates.len())).with_param(
+                        catalog::CPU_PARAM,
+                        Expr::param(catalog::CPU_PARAM) * Expr::num(coeff),
+                    ),
+                );
+            }
+            let completion = match node.completion {
+                0 => CompletionModel::And,
+                1 => CompletionModel::Or,
+                k => CompletionModel::KOutOfN {
+                    k: ((k - 1) % calls.len()) + 1,
+                },
+            };
+            builder = builder.service(Service::Composite(
+                CompositeService::new(
+                    name.clone(),
+                    vec![catalog::CPU_PARAM.to_string()],
+                    one_state_flow(calls, completion),
+                )
+                .expect("service is valid"),
+            ));
+            names.push(name);
+        }
+        prev = names;
+    }
+    // `top` calls every node of the last layer, so the whole DAG is live.
+    let calls: Vec<ServiceCall> = prev
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            ServiceCall::new(name.clone()).with_param(
+                catalog::CPU_PARAM,
+                Expr::param(catalog::CPU_PARAM) + Expr::num(i as f64),
+            )
+        })
+        .collect();
+    builder
+        .service(Service::Composite(
+            CompositeService::new(
+                "top",
+                vec![catalog::CPU_PARAM.to_string()],
+                one_state_flow(calls, CompletionModel::And),
+            )
+            .expect("service is valid"),
+        ))
+        .build()
+        .expect("assembly is valid")
+}
+
+fn opts(program: ProgramMode, solver: SolverPolicy, memo: bool) -> EvalOptions {
+    EvalOptions {
+        program,
+        solver,
+        program_memo: memo,
+        ..EvalOptions::default()
+    }
+}
+
+/// Evaluates `top` at each demand point, returning the raw f64 bits.
+fn eval_bits(assembly: &Assembly, options: EvalOptions, points: &[f64]) -> Vec<u64> {
+    let evaluator = Evaluator::with_options(assembly, options);
+    points
+        .iter()
+        .map(|&n| {
+            evaluator
+                .failure_probability(&"top".into(), &Bindings::new().with(catalog::CPU_PARAM, n))
+                .expect("evaluation succeeds")
+                .value()
+                .to_bits()
+        })
+        .collect()
+}
+
+const POINTS: [f64; 5] = [1.0, 1e3, 4.5e4, 1e6, 1e6];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The compiled program path is bitwise identical to the recursive
+    /// evaluator under every solver policy.
+    #[test]
+    fn program_matches_recursive_under_every_solver(spec in spec_strategy()) {
+        let assembly = build(&spec);
+        for solver in [
+            SolverPolicy::Auto,
+            SolverPolicy::Dense,
+            SolverPolicy::Sparse,
+            SolverPolicy::Compiled,
+        ] {
+            let recursive = eval_bits(&assembly, opts(ProgramMode::Off, solver, true), &POINTS);
+            let program = eval_bits(&assembly, opts(ProgramMode::On, solver, true), &POINTS);
+            prop_assert_eq!(
+                &recursive,
+                &program,
+                "program path diverged from recursive under {:?}",
+                solver
+            );
+        }
+    }
+
+    /// Disabling the per-service memo only re-evaluates — it never changes
+    /// a bit (the memo key is the exact parameter bit pattern).
+    #[test]
+    fn memo_on_and_off_are_bitwise_equal(spec in spec_strategy()) {
+        let assembly = build(&spec);
+        // Repeated points exercise both the top-level cache and the
+        // per-service memo tables.
+        let points = [1e3, 1e3, 2e4, 2e4, 1e6];
+        let with_memo =
+            eval_bits(&assembly, opts(ProgramMode::On, SolverPolicy::Auto, true), &points);
+        let without_memo =
+            eval_bits(&assembly, opts(ProgramMode::On, SolverPolicy::Auto, false), &points);
+        prop_assert_eq!(with_memo, without_memo);
+    }
+
+    /// Batch evaluation through the program path is bitwise identical to
+    /// the scalar recursive path at every worker count.
+    #[test]
+    fn batch_workers_match_scalar_recursive(spec in spec_strategy()) {
+        let assembly = build(&spec);
+        let points: Vec<f64> = (0..16).map(|i| 1e3 * (i as f64 + 1.0)).collect();
+        let expected = eval_bits(
+            &assembly,
+            opts(ProgramMode::Off, SolverPolicy::Auto, true),
+            &points,
+        );
+        let queries: Vec<Query> = points
+            .iter()
+            .map(|&n| Query::new("top", Bindings::new().with(catalog::CPU_PARAM, n)))
+            .collect();
+        for workers in [1, 2, 4] {
+            let batch = BatchEvaluator::with_options(
+                &assembly,
+                opts(ProgramMode::On, SolverPolicy::Auto, true),
+            )
+            .with_workers(workers);
+            let got: Vec<u64> = batch
+                .evaluate_all(&queries)
+                .into_iter()
+                .map(|r| r.expect("evaluation succeeds").value().to_bits())
+                .collect();
+            prop_assert_eq!(
+                &expected,
+                &got,
+                "batch program path diverged at {} workers",
+                workers
+            );
+        }
+    }
+}
+
+/// A service-call cycle is rejected at program compile time with the
+/// offending path, exactly like the recursive evaluator reports it.
+#[test]
+fn cyclic_assembly_is_rejected_with_the_offending_path() {
+    let calls_to = |target: &str| {
+        one_state_flow(
+            vec![ServiceCall::new(target.to_string())],
+            CompletionModel::And,
+        )
+    };
+    let assembly = AssemblyBuilder::new()
+        .service(Service::Composite(
+            CompositeService::new("a", vec![], calls_to("b")).expect("service is valid"),
+        ))
+        .service(Service::Composite(
+            CompositeService::new("b", vec![], calls_to("a")).expect("service is valid"),
+        ))
+        .build()
+        .expect("assembly is valid");
+    let evaluator =
+        Evaluator::with_options(&assembly, opts(ProgramMode::On, SolverPolicy::Auto, true));
+    let err = evaluator
+        .failure_probability(&"a".into(), &Bindings::new())
+        .unwrap_err();
+    match err {
+        CoreError::RecursiveAssembly { cycle } => {
+            assert_eq!(
+                cycle,
+                vec!["a".to_string(), "b".to_string(), "a".to_string()]
+            );
+        }
+        other => panic!("expected RecursiveAssembly, got {other:?}"),
+    }
+}

@@ -209,6 +209,89 @@ impl CompiledExpr {
         }
     }
 
+    /// Evaluates against a caller-owned register file through pre-resolved
+    /// slot indices: parameter `i` reads `regs[slots[i]]`.
+    ///
+    /// This is the zero-allocation, zero-lookup entry for evaluation loops
+    /// that keep all parameter values in one flat register file (the
+    /// assembly-program evaluator): the caller resolves each parameter name
+    /// to a register index once at compile time and replays the mapping per
+    /// point. Unlike [`CompiledExpr::eval_with_stack`], every intermediate
+    /// value is checked for finiteness, matching [`Expr::eval`]'s per-node
+    /// contract exactly (the same inputs succeed and fail).
+    ///
+    /// # Errors
+    ///
+    /// - [`ExprError::UnboundParameter`] when `slots.len()` differs from the
+    ///   parameter count;
+    /// - [`ExprError::NonFinite`] when any intermediate is NaN/∞.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a slot index is out of bounds for `regs`.
+    pub fn eval_slots(&self, slots: &[usize], regs: &[f64], stack: &mut Vec<f64>) -> Result<f64> {
+        if slots.len() != self.params.len() {
+            return Err(ExprError::UnboundParameter {
+                name: format!(
+                    "expected {} slot indices, got {}",
+                    self.params.len(),
+                    slots.len()
+                ),
+            });
+        }
+        fn non_finite() -> ExprError {
+            ExprError::NonFinite {
+                operation: "compiled expression".to_string(),
+            }
+        }
+        fn checked_push(stack: &mut Vec<f64>, v: f64) -> Result<()> {
+            if !v.is_finite() {
+                return Err(non_finite());
+            }
+            stack.push(v);
+            Ok(())
+        }
+        fn checked_unary(stack: &mut [f64], f: impl Fn(f64) -> f64) -> Result<()> {
+            let a = stack.last_mut().expect("compiler emitted valid program");
+            *a = f(*a);
+            if !a.is_finite() {
+                return Err(non_finite());
+            }
+            Ok(())
+        }
+        stack.clear();
+        stack.reserve(self.max_stack);
+        for instr in &self.instrs {
+            match *instr {
+                Instr::Push(v) => checked_push(stack, v)?,
+                Instr::Load(slot) => checked_push(stack, regs[slots[slot]])?,
+                Instr::Neg => checked_unary(stack, |a| -a)?,
+                Instr::Ln => checked_unary(stack, f64::ln)?,
+                Instr::Log2 => checked_unary(stack, f64::log2)?,
+                Instr::Exp => checked_unary(stack, f64::exp)?,
+                Instr::Sqrt => checked_unary(stack, f64::sqrt)?,
+                binary => {
+                    let b = stack.pop().expect("compiler emitted valid program");
+                    let a = stack.last_mut().expect("compiler emitted valid program");
+                    *a = match binary {
+                        Instr::Add => *a + b,
+                        Instr::Sub => *a - b,
+                        Instr::Mul => *a * b,
+                        Instr::Div => *a / b,
+                        Instr::Pow => a.powf(b),
+                        Instr::Min => a.min(b),
+                        Instr::Max => a.max(b),
+                        _ => unreachable!("unary ops handled above"),
+                    };
+                    if !a.is_finite() {
+                        return Err(non_finite());
+                    }
+                }
+            }
+        }
+        Ok(stack.pop().expect("program leaves one value"))
+    }
+
     /// Evaluates against a [`crate::Bindings`] environment (convenience,
     /// slower than positional).
     ///
@@ -321,6 +404,63 @@ mod tests {
                 .unwrap();
             assert!((fast - slow).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn eval_slots_reads_through_register_indirection() {
+        let c = crate::parse("x * y + x").unwrap().compile();
+        assert_eq!(c.params(), ["x", "y"]);
+        // Registers hold unrelated values around the two we care about.
+        let regs = [99.0, 3.0, 99.0, 5.0, 99.0];
+        let mut stack = Vec::new();
+        let got = c.eval_slots(&[1, 3], &regs, &mut stack).unwrap();
+        assert_eq!(got, 18.0);
+    }
+
+    #[test]
+    fn eval_slots_matches_eval_bitwise() {
+        let sources = [
+            "1 - exp(-(x * log2(x)) / 1e9)",
+            "min(x, y) * max(x, 2) + sqrt(y)",
+            "x ^ y - ln(x)",
+        ];
+        let mut stack = Vec::new();
+        for src in sources {
+            let c = crate::parse(src).unwrap().compile();
+            let values: Vec<f64> = (0..c.params().len()).map(|i| 2.5 + i as f64).collect();
+            let slots: Vec<usize> = (0..values.len()).collect();
+            let direct = c.eval(&values).unwrap();
+            let slotted = c.eval_slots(&slots, &values, &mut stack).unwrap();
+            assert_eq!(direct.to_bits(), slotted.to_bits(), "`{src}`");
+        }
+    }
+
+    #[test]
+    fn eval_slots_checks_intermediates_like_tree_eval() {
+        // 1/x overflows mid-expression but the final result is finite; the
+        // tree evaluator rejects it per node and eval_slots must agree.
+        let e = crate::parse("min(1 / x, 5)").unwrap();
+        let env = Bindings::new().with("x", 0.0);
+        assert!(matches!(e.eval(&env), Err(ExprError::NonFinite { .. })));
+        let c = e.compile();
+        let mut stack = Vec::new();
+        assert!(matches!(
+            c.eval_slots(&[0], &[0.0], &mut stack),
+            Err(ExprError::NonFinite { .. })
+        ));
+        // eval_with_stack only checks the final value — documents the gap
+        // eval_slots closes.
+        assert!(c.eval(&[0.0]).is_ok());
+    }
+
+    #[test]
+    fn eval_slots_wrong_arity_rejected() {
+        let c = crate::parse("x + y").unwrap().compile();
+        let mut stack = Vec::new();
+        assert!(matches!(
+            c.eval_slots(&[0], &[1.0, 2.0], &mut stack),
+            Err(ExprError::UnboundParameter { .. })
+        ));
     }
 
     #[test]

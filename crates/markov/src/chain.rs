@@ -189,6 +189,82 @@ impl<S: StateLabel> Dtmc<S> {
         p
     }
 
+    /// Position of the explicit `from → to` edge in `from`'s adjacency row,
+    /// as `(row, slot)` for [`Dtmc::set_edge_probability`].
+    ///
+    /// Returns `None` when either state is absent or no explicit edge exists
+    /// (implicit absorbing self-loops are not explicit edges).
+    pub fn edge_position(&self, from: &S, to: &S) -> Option<(usize, usize)> {
+        let i = self.index_of(from)?;
+        let j = self.index_of(to)?;
+        let slot = self.adjacency[i].iter().position(|(t, _)| *t == j)?;
+        Some((i, slot))
+    }
+
+    /// Overwrites the probability of an existing explicit edge in place,
+    /// applying the same per-edge validation and clamping as
+    /// [`DtmcBuilder::build`].
+    ///
+    /// This is the refresh entry for evaluators that re-use a validated
+    /// chain structure with new numeric values (same positivity pattern).
+    /// It cannot add or drop edges: a non-positive probability is rejected
+    /// because the builder would have dropped that edge, changing structure.
+    /// Callers should re-check row sums with [`Dtmc::validate_stochastic`]
+    /// after a batch of updates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::InvalidProbability`] when the value is not
+    /// finite, outside `(0, 1 + STOCHASTIC_TOLERANCE]`, or non-positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row`/`slot` do not address an explicit edge (indices
+    /// come from [`Dtmc::edge_position`]).
+    pub fn set_edge_probability(
+        &mut self,
+        row: usize,
+        slot: usize,
+        probability: f64,
+    ) -> Result<()> {
+        if !probability.is_finite()
+            || !(0.0..=1.0 + STOCHASTIC_TOLERANCE).contains(&probability)
+            || probability <= 0.0
+        {
+            let target = self.adjacency[row][slot].0;
+            return Err(MarkovError::InvalidProbability {
+                value: probability,
+                context: format!("{:?} -> {:?}", self.states[row], self.states[target]),
+            });
+        }
+        self.adjacency[row][slot].1 = probability.min(1.0);
+        Ok(())
+    }
+
+    /// Re-runs the builder's row-stochasticity validation over the current
+    /// values (summing each row in slot order, exactly like
+    /// [`DtmcBuilder::build`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::NotStochastic`] for the first row whose sum
+    /// deviates from one by more than [`STOCHASTIC_TOLERANCE`].
+    pub fn validate_stochastic(&self) -> Result<()> {
+        for (i, out) in self.adjacency.iter().enumerate() {
+            if out.is_empty() {
+                continue; // absorbing
+            }
+            let sum: f64 = out.iter().map(|(_, p)| p).sum();
+            if (sum - 1.0).abs() > STOCHASTIC_TOLERANCE {
+                return Err(MarkovError::NotStochastic {
+                    state: format!("{:?}", self.states[i]),
+                    sum,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Maps state labels through `f`, preserving the transition structure.
     ///
     /// # Errors
@@ -453,6 +529,57 @@ mod tests {
         let c = simple_chain();
         let err = c.map_states(|_| "same").unwrap_err();
         assert!(matches!(err, MarkovError::DuplicateTransition { .. }));
+    }
+
+    #[test]
+    fn edge_position_addresses_explicit_edges_only() {
+        let c = simple_chain();
+        assert_eq!(c.edge_position(&"a", &"b"), Some((0, 0)));
+        assert_eq!(c.edge_position(&"a", &"c"), Some((0, 1)));
+        assert_eq!(c.edge_position(&"b", &"c"), Some((1, 0)));
+        // Implicit absorbing self-loop is not an explicit edge.
+        assert_eq!(c.edge_position(&"c", &"c"), None);
+        assert_eq!(c.edge_position(&"zzz", &"a"), None);
+    }
+
+    #[test]
+    fn set_edge_probability_refreshes_in_place() {
+        let mut c = simple_chain();
+        let (row, slot) = c.edge_position(&"a", &"b").unwrap();
+        c.set_edge_probability(row, slot, 0.25).unwrap();
+        let (row, slot) = c.edge_position(&"a", &"c").unwrap();
+        c.set_edge_probability(row, slot, 0.75).unwrap();
+        c.validate_stochastic().unwrap();
+        assert_eq!(c.transition_probability(&"a", &"b").unwrap(), 0.25);
+        assert_eq!(c.transition_probability(&"a", &"c").unwrap(), 0.75);
+    }
+
+    #[test]
+    fn set_edge_probability_rejects_structure_changes_and_bad_values() {
+        let mut c = simple_chain();
+        let (row, slot) = c.edge_position(&"a", &"b").unwrap();
+        for bad in [0.0, -0.5, 1.5, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                c.set_edge_probability(row, slot, bad),
+                Err(MarkovError::InvalidProbability { .. })
+            ));
+        }
+        // Clamping mirrors the builder: 1 + ε/2 is accepted and clamped.
+        c.set_edge_probability(row, slot, 1.0 + STOCHASTIC_TOLERANCE / 2.0)
+            .unwrap();
+        assert_eq!(c.transition_probability(&"a", &"b").unwrap(), 1.0);
+    }
+
+    #[test]
+    fn validate_stochastic_flags_broken_rows() {
+        let mut c = simple_chain();
+        c.validate_stochastic().unwrap();
+        let (row, slot) = c.edge_position(&"a", &"b").unwrap();
+        c.set_edge_probability(row, slot, 0.9).unwrap();
+        assert!(matches!(
+            c.validate_stochastic(),
+            Err(MarkovError::NotStochastic { .. })
+        ));
     }
 
     #[test]
