@@ -327,6 +327,123 @@ pub fn shared_dag_assembly(depth: usize, width: usize, leaves: usize) -> ModelRe
         .build()
 }
 
+/// A **recursive mesh** assembly — the acceptance scenario for the
+/// compiled fixed-point path.
+///
+/// `k` mutually recursive services `r0..r{k-1}` sit at the bottom: each is
+/// a 64-state flow whose first state re-enters the mesh (calling
+/// `r{(i+1) % k}`, forwarding `work` **unchanged** so recursion keys
+/// repeat per sweep) with probability `q`, and whose remaining states form
+/// a sequential chain of CPU-leaf calls. A fan-out tier `t0..t{fanout-1}`
+/// sits above — each tier service enters the mesh once (with a
+/// tier-specific demand transform, so the mesh iterates at `fanout`
+/// distinct parameter points per sweep) and fills its other states with
+/// leaf calls — and the single `app` root calls every tier service.
+///
+/// Every composite can reach the mesh, so the whole tree is inside the
+/// fixed-point loop cone: the scenario isolates what the compiled program
+/// buys *inside* converging sweeps (compiled expressions, register files,
+/// cached chain skeletons, pinned plans) against the recursive evaluator's
+/// per-visit rebuild.
+///
+/// # Errors
+///
+/// Propagates model-construction errors (none for valid inputs).
+pub fn recursive_mesh_assembly(
+    k: usize,
+    fanout: usize,
+    leaves: usize,
+    q: f64,
+) -> ModelResult<Assembly> {
+    let k = k.max(1);
+    let fanout = fanout.max(1);
+    let leaves = leaves.max(1);
+    const SPAN: usize = 64;
+    let mut builder = AssemblyBuilder::new();
+    for i in 0..leaves {
+        builder = builder.service(catalog::cpu_resource(
+            format!("cpu{i}"),
+            1e9,
+            1e-6 * (i + 1) as f64,
+        ));
+    }
+    let leaf_call = |i: usize, scale: f64| {
+        ServiceCall::new(format!("cpu{}", i % leaves))
+            .with_param(catalog::CPU_PARAM, Expr::param("work") * Expr::num(scale))
+    };
+    let forward = |name: String| ServiceCall::new(name).with_param("work", Expr::param("work"));
+    // Mesh members: Start -> rec (prob q) | s0 (prob 1-q) -> s1 -> ... -> End.
+    for i in 0..k {
+        let mut flow = FlowBuilder::new().state(FlowState::new(
+            "rec",
+            vec![forward(format!("r{}", (i + 1) % k))],
+        ));
+        let mut previous = StateId::named("s0");
+        flow = flow
+            .transition(StateId::Start, "rec", Expr::num(q))
+            .transition(StateId::Start, "s0", Expr::num(1.0 - q))
+            .transition(StateId::named("rec"), StateId::End, Expr::one());
+        for s in 0..SPAN - 2 {
+            let id = StateId::named(format!("s{s}"));
+            flow = flow.state(FlowState::new(
+                id.clone(),
+                vec![leaf_call(i + s, (3 + s) as f64)],
+            ));
+            if s > 0 {
+                flow = flow.transition(previous, id.clone(), Expr::one());
+            }
+            previous = id;
+        }
+        flow = flow.transition(previous, StateId::End, Expr::one());
+        builder = builder.service(Service::Composite(CompositeService::new(
+            format!("r{i}"),
+            vec!["work".to_string()],
+            flow.build()?,
+        )?));
+    }
+    // Fan-out tier: one mesh entry (tier-specific transform) per service,
+    // the other states are leaf calls.
+    let sequence = |calls: Vec<ServiceCall>| -> ModelResult<_> {
+        let mut flow = FlowBuilder::new();
+        let mut previous = StateId::Start;
+        for (s, call) in calls.into_iter().enumerate() {
+            let id = StateId::named(format!("s{s}"));
+            flow = flow
+                .state(FlowState::new(id.clone(), vec![call]))
+                .transition(previous, id.clone(), Expr::one());
+            previous = id;
+        }
+        flow.transition(previous, StateId::End, Expr::one()).build()
+    };
+    for t in 0..fanout {
+        let calls: Vec<ServiceCall> = (0..SPAN)
+            .map(|s| {
+                if s == 0 {
+                    ServiceCall::new(format!("r{}", t % k)).with_param(
+                        "work",
+                        Expr::param("work") * Expr::num((t + 2) as f64) + Expr::num(1.0),
+                    )
+                } else {
+                    leaf_call(t + s, (2 + s) as f64)
+                }
+            })
+            .collect();
+        builder = builder.service(Service::Composite(CompositeService::new(
+            format!("t{t}"),
+            vec!["work".to_string()],
+            sequence(calls)?,
+        )?));
+    }
+    let roots: Vec<ServiceCall> = (0..fanout).map(|t| forward(format!("t{t}"))).collect();
+    builder
+        .service(Service::Composite(CompositeService::new(
+            "app",
+            vec!["work".to_string()],
+            sequence(roots)?,
+        )?))
+        .build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -442,6 +559,59 @@ mod tests {
         let program = eval_with(ProgramMode::On);
         assert!(recursive > 0.0 && recursive < 1.0);
         assert_eq!(recursive.to_bits(), program.to_bits());
+    }
+
+    #[test]
+    fn recursive_mesh_assembly_agrees_between_program_and_recursive_paths() {
+        use archrel_core::{CycleMode, EvalOptions, ProgramMode};
+        let assembly = recursive_mesh_assembly(4, 3, 2, 0.3).unwrap();
+        let eval_with = |program| {
+            let evaluator = Evaluator::with_options(
+                &assembly,
+                EvalOptions {
+                    program,
+                    cycle_mode: CycleMode::FixedPoint {
+                        max_iterations: 200,
+                        tolerance: 1e-10,
+                    },
+                    ..EvalOptions::default()
+                },
+            );
+            let p = evaluator
+                .failure_probability(&"app".into(), &Bindings::new().with("work", 1e5))
+                .unwrap()
+                .value();
+            (p, evaluator.cache_stats())
+        };
+        let (recursive, _) = eval_with(ProgramMode::Off);
+        let (program, stats) = eval_with(ProgramMode::On);
+        assert!(recursive > 0.0 && recursive < 1.0);
+        assert_eq!(recursive.to_bits(), program.to_bits());
+        assert!(stats.fixed_point_sweeps >= 2, "{stats:?}");
+        assert!(stats.program_loop_sccs >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn recursive_mesh_recursion_probability_raises_failure() {
+        use archrel_core::{CycleMode, EvalOptions};
+        let env = Bindings::new().with("work", 1e5);
+        let p = |q: f64| {
+            let assembly = recursive_mesh_assembly(3, 2, 2, q).unwrap();
+            Evaluator::with_options(
+                &assembly,
+                EvalOptions {
+                    cycle_mode: CycleMode::FixedPoint {
+                        max_iterations: 200,
+                        tolerance: 1e-10,
+                    },
+                    ..EvalOptions::default()
+                },
+            )
+            .failure_probability(&"app".into(), &env)
+            .unwrap()
+            .value()
+        };
+        assert!(p(0.5) > p(0.1));
     }
 
     #[test]

@@ -5,7 +5,10 @@ use std::fmt;
 use std::io::Write;
 
 use archrel_core::batch::{BatchEvaluator, Query};
-use archrel_core::{symbolic, EvalOptions, Evaluator, ProgramMode, SolverPolicy};
+use archrel_core::{
+    symbolic, CycleMode, EvalOptions, Evaluator, FixedPointMode, ProgramMode, SolverPolicy,
+    DEFAULT_FIXED_POINT_MAX_ITERATIONS, DEFAULT_FIXED_POINT_TOLERANCE,
+};
 use archrel_dsl::{dot, parse_assembly, print_assembly};
 use archrel_expr::Bindings;
 use archrel_model::{Assembly, Service, ServiceId};
@@ -79,7 +82,15 @@ common options:
              per-service memoization, bitwise identical to the recursive
              evaluator (default: auto -- compile a target after two
              evaluations; or the ARCHREL_ASSEMBLY_PROGRAM environment
-             variable when set)";
+             variable when set)
+  --fixed-point {plain,aitken}   evaluate cyclic (mutually recursive)
+             assemblies by global fixed-point iteration with the chosen
+             scheme: plain successive substitution (the bitwise reference)
+             or Aitken's delta-squared acceleration (fewer sweeps, same
+             fixed point; falls back to the raw iterate on degenerate
+             denominators). Without the flag, cyclic assemblies are an
+             error; the ARCHREL_FIXED_POINT environment variable picks the
+             scheme without opting cycles in";
 
 /// Parsed common options.
 struct Options {
@@ -99,12 +110,16 @@ struct Options {
     repeat: usize,
     solver: Option<SolverPolicy>,
     program: Option<ProgramMode>,
+    fixed_point: Option<FixedPointMode>,
 }
 
 impl Options {
     /// Evaluator options for this invocation: the environment-aware defaults
-    /// with the `--solver` / `--assembly-program` flags (when given) taking
-    /// precedence.
+    /// with the `--solver` / `--assembly-program` / `--fixed-point` flags
+    /// (when given) taking precedence. `--fixed-point` both picks the
+    /// iteration scheme and opts cyclic assemblies into fixed-point
+    /// evaluation (at the library's default budget and tolerance) instead
+    /// of the recursion error.
     fn eval_options(&self) -> EvalOptions {
         let mut options = EvalOptions::default();
         if let Some(solver) = self.solver {
@@ -112,6 +127,13 @@ impl Options {
         }
         if let Some(program) = self.program {
             options.program = program;
+        }
+        if let Some(fixed_point) = self.fixed_point {
+            options.fixed_point = fixed_point;
+            options.cycle_mode = CycleMode::FixedPoint {
+                max_iterations: DEFAULT_FIXED_POINT_MAX_ITERATIONS,
+                tolerance: DEFAULT_FIXED_POINT_TOLERANCE,
+            };
         }
         options
     }
@@ -135,6 +157,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         repeat: 1,
         solver: None,
         program: None,
+        fixed_point: None,
     };
     let mut positional = Vec::new();
     let mut i = 0;
@@ -199,6 +222,12 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                     CliError::new(format!(
                         "`--assembly-program {value}`: expected auto, on, or off"
                     ))
+                })?);
+            }
+            "--fixed-point" => {
+                let value = next_value(args, &mut i, "--fixed-point")?;
+                opts.fixed_point = Some(FixedPointMode::parse(&value).ok_or_else(|| {
+                    CliError::new(format!("`--fixed-point {value}`: expected plain or aitken"))
                 })?);
             }
             flag if flag.starts_with("--") => {
@@ -266,6 +295,14 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
             return Err(CliError::new(format!(
                 "unrecognized ARCHREL_ASSEMBLY_PROGRAM value `{raw}`: \
                  expected one of auto, on, off"
+            )));
+        }
+    }
+    if let Ok(raw) = std::env::var("ARCHREL_FIXED_POINT") {
+        if !raw.trim().is_empty() && FixedPointMode::parse(&raw).is_none() {
+            return Err(CliError::new(format!(
+                "unrecognized ARCHREL_FIXED_POINT value `{raw}`: \
+                 expected one of plain, aitken"
             )));
         }
     }
@@ -911,6 +948,89 @@ mod tests {
             assert_eq!(auto, sweep("on"));
             assert_eq!(auto, sweep("off"));
             assert_eq!(auto.lines().count(), 6, "{auto}");
+        });
+    }
+
+    /// Two mutually recursive services over one blackbox leaf — the
+    /// smallest document whose dependency graph is cyclic.
+    const CYCLIC_DOCUMENT: &str = r#"
+        blackbox leaf(x) { pfail: 0.001; }
+        service a() {
+          state loop { call b(); }
+          state down { call leaf(x: 1); }
+          start -> loop : 0.4;
+          start -> down : 0.6;
+          loop -> end : 1;
+          down -> end : 1;
+        }
+        service b() {
+          state loop { call a(); }
+          state down { call leaf(x: 1); }
+          start -> loop : 0.4;
+          start -> down : 0.6;
+          loop -> end : 1;
+          down -> end : 1;
+        }
+    "#;
+
+    fn with_cyclic_document(f: impl FnOnce(&str)) {
+        let dir = std::env::temp_dir().join(format!(
+            "archrel-cli-cyclic-{:?}",
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cyclic.arch");
+        std::fs::write(&path, CYCLIC_DOCUMENT).unwrap();
+        f(path.to_str().unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fixed_point_flag_opts_cyclic_assemblies_into_iteration() {
+        with_cyclic_document(|path| {
+            // Without the flag, the cycle is a hard error naming the path.
+            let err = run_capture(&["predict", path, "--service", "a"]).unwrap_err();
+            assert!(err.to_string().contains("recursive"), "{err}");
+            // With it, both schemes converge to the same printed answer on
+            // both engines.
+            let predict = |extra: &[&str]| {
+                let mut args = vec!["predict", path, "--service", "a"];
+                args.extend_from_slice(extra);
+                run_capture(&args).unwrap()
+            };
+            let pfail = |output: &str| -> f64 {
+                output
+                    .lines()
+                    .find_map(|l| l.strip_prefix("Pfail(a) = "))
+                    .expect("predict prints Pfail")
+                    .parse()
+                    .expect("Pfail is a number")
+            };
+            let plain = predict(&["--fixed-point", "plain"]);
+            assert!(plain.contains("Pfail(a)"), "{plain}");
+            // Aitken follows an accelerated trajectory to the same fixed
+            // point, so it agrees numerically but not digit-for-digit.
+            let aitken = predict(&["--fixed-point", "aitken"]);
+            assert!((pfail(&plain) - pfail(&aitken)).abs() < 1e-10);
+            // The compiled engine replays the same sweeps bitwise.
+            assert_eq!(
+                plain,
+                predict(&["--fixed-point", "plain", "--assembly-program", "on"])
+            );
+            // The per-state breakdown resolves against the converged
+            // estimates instead of erroring.
+            let report =
+                run_capture(&["report", path, "--service", "a", "--fixed-point", "plain"]).unwrap();
+            assert!(report.contains("state `loop`"), "{report}");
+        });
+    }
+
+    #[test]
+    fn fixed_point_flag_rejects_unknown_schemes() {
+        with_cyclic_document(|path| {
+            let err = run_capture(&["predict", path, "--service", "a", "--fixed-point", "newton"])
+                .unwrap_err();
+            assert!(err.to_string().contains("plain or aitken"), "{err}");
         });
     }
 

@@ -190,6 +190,11 @@ impl<'a> BatchEvaluator<'a> {
                 memo_misses: after.memo_misses - before.memo_misses,
                 pin_hits: after.pin_hits - before.pin_hits,
                 programs_compiled: after.programs_compiled - before.programs_compiled,
+                fixed_point_sweeps: after.fixed_point_sweeps - before.fixed_point_sweeps,
+                aitken_accels: after.aitken_accels - before.aitken_accels,
+                aitken_fallbacks: after.aitken_fallbacks - before.aitken_fallbacks,
+                program_loop_sccs: after.program_loop_sccs - before.program_loop_sccs,
+                scc_iterations: after.scc_iterations - before.scc_iterations,
             },
         };
         (results, summary)

@@ -26,6 +26,8 @@ use parking_lot::RwLock;
 
 use crate::augment::{augmented_chain, AugmentedState};
 use crate::failprob::{state_failure_probability, RequestFailure};
+pub use crate::fixedpoint::FixedPointMode;
+use crate::fixedpoint::FixedPointSolver;
 use crate::program::AssemblyProgram;
 use crate::{CoreError, Result};
 
@@ -35,7 +37,8 @@ pub enum CycleMode {
     /// Return [`CoreError::RecursiveAssembly`] — the paper's behavior.
     #[default]
     Error,
-    /// Solve the fixed-point equation by successive substitution.
+    /// Solve the fixed-point equation by successive substitution (or
+    /// Aitken-accelerated substitution, see [`FixedPointMode`]).
     FixedPoint {
         /// Iteration budget.
         max_iterations: usize,
@@ -43,6 +46,13 @@ pub enum CycleMode {
         tolerance: f64,
     },
 }
+
+/// Default iteration budget the CLI uses when `--fixed-point` enables
+/// [`CycleMode::FixedPoint`] without an explicit budget.
+pub const DEFAULT_FIXED_POINT_MAX_ITERATIONS: usize = 1000;
+/// Default convergence tolerance paired with
+/// [`DEFAULT_FIXED_POINT_MAX_ITERATIONS`].
+pub const DEFAULT_FIXED_POINT_TOLERANCE: f64 = 1e-12;
 
 /// Which linear-solver backend evaluates each flow's absorbing chain.
 ///
@@ -178,13 +188,14 @@ impl SolverPolicy {
 pub enum ProgramMode {
     /// Compile a target once it has been evaluated
     /// [`AUTO_PROGRAM_MIN_SEEN`] times (a whole block counts per point),
-    /// mirroring the plan cache's `Auto` promotion heuristic. Targets whose
-    /// dependency graph cannot compile (cycles) silently stay on the
-    /// recursive path.
+    /// mirroring the plan cache's `Auto` promotion heuristic. Cyclic
+    /// dependency graphs compile like acyclic ones (their loop components
+    /// run the program's fixed-point driver); targets that genuinely cannot
+    /// compile silently stay on the recursive path.
     #[default]
     Auto,
-    /// Compile on first evaluation; compilation errors (e.g. a recursive
-    /// assembly) propagate to the caller.
+    /// Compile on first evaluation; compilation errors propagate to the
+    /// caller.
     On,
     /// Never compile; every evaluation walks the recursive path.
     Off,
@@ -261,14 +272,19 @@ pub struct EvalOptions {
     pub plan_lanes: usize,
     /// Assembly-program compilation mode (defaults to
     /// [`ProgramMode::Auto`], unless the `ARCHREL_ASSEMBLY_PROGRAM`
-    /// environment variable forces a mode). Programs only apply under
-    /// [`CycleMode::Error`]; fixed-point evaluation always walks
-    /// recursively.
+    /// environment variable forces a mode). Programs answer both
+    /// [`CycleMode::Error`] evaluations (straight-line replay) and
+    /// [`CycleMode::FixedPoint`] evaluations (the program's global
+    /// fixed-point driver on cyclic targets).
     pub program: ProgramMode,
     /// Whether assembly programs answer repeated sub-service invocations
     /// from their per-service memo tables (bit-exact parameter keys, so
     /// disabling this never changes a result — it only re-evaluates).
     pub program_memo: bool,
+    /// Fixed-point update scheme for [`CycleMode::FixedPoint`] (defaults to
+    /// [`FixedPointMode::Plain`] — the bitwise reference — unless the
+    /// `ARCHREL_FIXED_POINT` environment variable forces a mode).
+    pub fixed_point: FixedPointMode,
 }
 
 impl Default for EvalOptions {
@@ -280,6 +296,7 @@ impl Default for EvalOptions {
             plan_lanes: plan_lanes_from_env().unwrap_or(LANE),
             program: ProgramMode::from_env().unwrap_or_default(),
             program_memo: true,
+            fixed_point: FixedPointMode::from_env().unwrap_or_default(),
         }
     }
 }
@@ -318,7 +335,9 @@ pub fn plan_lanes_from_env() -> Option<usize> {
 
 /// Hard cap on recursion depth, guarding against recursive assemblies whose
 /// parameters change on every call (so no `(service, params)` key repeats).
-const MAX_DEPTH: usize = 2048;
+/// Shared with the program fixed-point driver so both engines break runaway
+/// recursion at the same depth.
+pub(crate) const MAX_DEPTH: usize = 2048;
 
 pub(crate) type CacheKey = (ServiceId, String);
 
@@ -374,6 +393,21 @@ pub struct CacheStats {
     pub pin_hits: u64,
     /// `(assembly, target)` pairs compiled into assembly programs.
     pub programs_compiled: u64,
+    /// Global fixed-point sweeps performed across all
+    /// [`CycleMode::FixedPoint`] evaluations (recursive or program-driven).
+    pub fixed_point_sweeps: u64,
+    /// Estimate updates replaced by an Aitken Δ² extrapolation
+    /// ([`FixedPointMode::Aitken`]).
+    pub aitken_accels: u64,
+    /// Aitken updates that fell back to plain substitution on a degenerate
+    /// denominator.
+    pub aitken_fallbacks: u64,
+    /// Nontrivial strongly connected components (fixed-point loop
+    /// components) across all compiled assembly programs.
+    pub program_loop_sccs: u64,
+    /// Per-SCC member-estimate updates performed by compiled programs'
+    /// fixed-point drivers, summed over all loop SCCs.
+    pub scc_iterations: u64,
 }
 
 impl CacheStats {
@@ -413,6 +447,9 @@ struct CacheCounters {
     misses: AtomicU64,
     solves: AtomicU64,
     solve_nanos: AtomicU64,
+    fixed_point_sweeps: AtomicU64,
+    aitken_accels: AtomicU64,
+    aitken_fallbacks: AtomicU64,
 }
 
 impl CacheCounters {
@@ -433,6 +470,11 @@ impl CacheCounters {
             memo_misses: 0,
             pin_hits: 0,
             programs_compiled: 0,
+            fixed_point_sweeps: self.fixed_point_sweeps.load(Ordering::Relaxed),
+            aitken_accels: self.aitken_accels.load(Ordering::Relaxed),
+            aitken_fallbacks: self.aitken_fallbacks.load(Ordering::Relaxed),
+            program_loop_sccs: 0,
+            scc_iterations: 0,
         }
     }
 }
@@ -707,6 +749,11 @@ struct Ctx<'e> {
     estimates: Option<&'e HashMap<CacheKey, f64>>,
     /// Keys at which a cycle was broken this sweep.
     cycle_keys: HashSet<CacheKey>,
+    /// When set, `estimates` holds *converged* values and answers matching
+    /// keys directly (not just at stack re-entries) — the post-convergence
+    /// resolve pass of [`Evaluator::resolve_states_fresh`]. Never set
+    /// during iteration: sweeps must recompute through the cycle.
+    overlay: bool,
 }
 
 /// The reliability-prediction engine for one assembly.
@@ -757,8 +804,8 @@ enum ProgramSlot<'a> {
     Pending { seen: u64 },
     /// Compiled and answering evaluations.
     Ready(Arc<AssemblyProgram<'a>>),
-    /// Compilation failed under [`ProgramMode::Auto`] (e.g. a cyclic
-    /// dependency graph): remembered so the recursive path is taken without
+    /// Compilation failed under [`ProgramMode::Auto`] (e.g. a malformed
+    /// expression): remembered so the recursive path is taken without
     /// re-attempting compilation.
     Failed,
 }
@@ -826,6 +873,8 @@ impl<'a> Evaluator<'a> {
                 stats.memo_hits += memo_hits;
                 stats.memo_misses += memo_misses;
                 stats.pin_hits += pin_hits;
+                stats.program_loop_sccs += program.loop_scc_count() as u64;
+                stats.scc_iterations += program.scc_iteration_total();
             }
         }
         stats
@@ -968,6 +1017,20 @@ impl<'a> Evaluator<'a> {
         );
     }
 
+    /// Folds one finished fixed-point solve's sweep / acceleration counters
+    /// into the cache stats (shared with the program fixed-point driver).
+    pub(crate) fn note_fixed_point<K>(&self, solver: &FixedPointSolver<K>) {
+        self.counters
+            .fixed_point_sweeps
+            .fetch_add(solver.sweeps(), Ordering::Relaxed);
+        self.counters
+            .aitken_accels
+            .fetch_add(solver.accels(), Ordering::Relaxed);
+        self.counters
+            .aitken_fallbacks
+            .fetch_add(solver.fallbacks(), Ordering::Relaxed);
+    }
+
     /// Whether the solver policy can ever route a chain of this shape
     /// through the plan path (so the program's cached chains know whether
     /// to keep asking [`Evaluator::plan_for_chain`]).
@@ -1000,6 +1063,7 @@ impl<'a> Evaluator<'a> {
                     memo: HashMap::new(),
                     estimates: None,
                     cycle_keys: HashSet::new(),
+                    overlay: false,
                 };
                 let p = self.eval_rec(service, env, &mut ctx)?;
                 // All values computed without estimates are exact: persist.
@@ -1009,7 +1073,22 @@ impl<'a> Evaluator<'a> {
             CycleMode::FixedPoint {
                 max_iterations,
                 tolerance,
-            } => self.eval_fixed_point(service, env, max_iterations, tolerance),
+            } => {
+                if let Some(program) = self.ensure_program(service, 1)? {
+                    if program.has_cycles() {
+                        // Cyclic target: the program's global fixed-point
+                        // driver. Like the recursive sweeps, it never reads
+                        // or writes the shared value cache — estimates are
+                        // sweep-local state.
+                        return program.evaluate_fixed_point(self, env, max_iterations, tolerance);
+                    }
+                    // Acyclic target under fixed-point mode: every value is
+                    // exact, so the normal program path (with its caches)
+                    // answers bitwise-identically.
+                    return self.failure_probability_via_program(&program, service, env);
+                }
+                self.eval_fixed_point(service, env, max_iterations, tolerance)
+            }
         }
     }
 
@@ -1029,41 +1108,55 @@ impl<'a> Evaluator<'a> {
         max_iterations: usize,
         tolerance: f64,
     ) -> Result<Probability> {
-        let mut estimates: HashMap<CacheKey, f64> = HashMap::new();
-        let mut last_top = 0.0_f64;
+        self.fixed_point_converged(service, env, max_iterations, tolerance)
+            .map(|(top, _)| top)
+    }
+
+    /// Runs the recursive fixed-point sweeps to convergence, returning the
+    /// top value together with the solver (whose estimates map holds the
+    /// converged cycle-key values — the seed for the post-convergence
+    /// resolve pass of [`Evaluator::resolve_states_fresh`]).
+    fn fixed_point_converged(
+        &self,
+        service: &ServiceId,
+        env: &Bindings,
+        max_iterations: usize,
+        tolerance: f64,
+    ) -> Result<(Probability, FixedPointSolver<CacheKey>)> {
+        let mut solver: FixedPointSolver<CacheKey> =
+            FixedPointSolver::new(self.options.fixed_point, max_iterations, tolerance);
         for _ in 0..max_iterations {
             let (top, cycle_keys, sweep_values) = {
                 let mut ctx = Ctx {
                     stack: Vec::new(),
                     memo: HashMap::new(),
-                    estimates: Some(&estimates),
+                    estimates: Some(solver.estimates()),
                     cycle_keys: HashSet::new(),
+                    overlay: false,
                 };
                 let top = self.eval_rec(service, env, &mut ctx)?;
                 (top, ctx.cycle_keys, ctx.memo)
             };
             if cycle_keys.is_empty() {
                 // No recursion anywhere below: the value is exact.
+                solver.note_exact_sweep();
+                self.note_fixed_point(&solver);
                 self.cache.write().extend(sweep_values);
-                return Ok(top);
+                return Ok((top, solver));
             }
-            let mut delta = (top.value() - last_top).abs();
-            for key in &cycle_keys {
-                if let Some(v) = sweep_values.get(key) {
-                    let old = estimates.get(key).copied().unwrap_or(0.0);
-                    delta = delta.max((v.value() - old).abs());
-                    estimates.insert(key.clone(), v.value());
-                }
-            }
-            last_top = top.value();
-            if delta < tolerance {
-                return Ok(top);
+            let converged = solver.record_sweep(
+                top.value(),
+                cycle_keys
+                    .iter()
+                    .filter_map(|key| sweep_values.get(key).map(|v| (key.clone(), v.value()))),
+            );
+            if converged {
+                self.note_fixed_point(&solver);
+                return Ok((top, solver));
             }
         }
-        Err(CoreError::FixedPointDiverged {
-            iterations: max_iterations,
-            residual: last_top,
-        })
+        self.note_fixed_point(&solver);
+        Err(solver.diverged())
     }
 
     fn eval_rec(
@@ -1075,6 +1168,11 @@ impl<'a> Evaluator<'a> {
         let key: CacheKey = (service.clone(), env.cache_key());
         if let Some(p) = ctx.memo.get(&key) {
             return Ok(*p);
+        }
+        if ctx.overlay {
+            if let Some(&estimate) = ctx.estimates.and_then(|e| e.get(&key)) {
+                return Ok(Probability::new(estimate)?);
+            }
         }
         if ctx.estimates.is_none() {
             if let Some(p) = self.cache.read().get(&key) {
@@ -1331,8 +1429,34 @@ impl<'a> Evaluator<'a> {
             memo: HashMap::new(),
             estimates: None,
             cycle_keys: HashSet::new(),
+            overlay: false,
         };
-        self.resolve_states(composite, env, &mut ctx)
+        match self.resolve_states(composite, env, &mut ctx) {
+            Err(err @ CoreError::RecursiveAssembly { .. }) => {
+                let CycleMode::FixedPoint {
+                    max_iterations,
+                    tolerance,
+                } = self.options.cycle_mode
+                else {
+                    return Err(err);
+                };
+                // Converge the fixed point first, then resolve the
+                // breakdown once more with the converged cycle-key values
+                // answering re-entries — the breakdown a final exact sweep
+                // would see.
+                let (_, solver) =
+                    self.fixed_point_converged(composite.id(), env, max_iterations, tolerance)?;
+                let mut ctx = Ctx {
+                    stack: Vec::new(),
+                    memo: HashMap::new(),
+                    estimates: Some(solver.estimates()),
+                    cycle_keys: HashSet::new(),
+                    overlay: true,
+                };
+                self.resolve_states(composite, env, &mut ctx)
+            }
+            other => other,
+        }
     }
 
     /// `Pfail` for many parameter points of **one** service, answered through
@@ -1486,6 +1610,7 @@ impl<'a> Evaluator<'a> {
             memo: HashMap::new(),
             estimates: None,
             cycle_keys: HashSet::new(),
+            overlay: false,
         };
         let outcome = match self.assembly.require(service)? {
             Service::Simple(_) => {
@@ -2494,6 +2619,32 @@ mod tests {
     }
 
     #[test]
+    fn fixed_point_mode_parses_cli_and_env_spellings() {
+        assert_eq!(FixedPointMode::parse("plain"), Some(FixedPointMode::Plain));
+        assert_eq!(
+            FixedPointMode::parse(" Aitken "),
+            Some(FixedPointMode::Aitken)
+        );
+        assert_eq!(FixedPointMode::parse("PLAIN"), Some(FixedPointMode::Plain));
+        assert_eq!(FixedPointMode::parse("steffensen"), None);
+    }
+
+    #[test]
+    fn unrecognized_env_fixed_point_value_is_a_hard_error() {
+        assert_eq!(
+            FixedPointMode::parse_env_value("aitken"),
+            FixedPointMode::Aitken
+        );
+        // Probed directly (not via the process-global variable) so parallel
+        // tests reading `ARCHREL_FIXED_POINT` are not perturbed.
+        let err = std::panic::catch_unwind(|| FixedPointMode::parse_env_value("atiken"))
+            .expect_err("typo must not parse");
+        let message = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(message.contains("atiken"), "{message}");
+        assert!(message.contains("plain, aitken"), "{message}");
+    }
+
+    #[test]
     fn auto_mode_promotes_targets_after_min_seen_scalar_evaluations() {
         use archrel_model::paper;
         let assembly = paper::remote_assembly(&paper::PaperParams::default()).unwrap();
@@ -2608,9 +2759,10 @@ mod tests {
     }
 
     #[test]
-    fn forced_program_mode_rejects_cyclic_assemblies_with_path() {
-        // a → b → a: compilation must fail with the offending path, exactly
-        // like the recursive evaluator's cycle error.
+    fn cyclic_programs_compile_but_error_mode_still_reports_the_path() {
+        // a → b → a: compilation succeeds (the cycle becomes a fixed-point
+        // loop), but evaluating under `CycleMode::Error` surfaces the same
+        // offending path as the recursive evaluator.
         let flow_calling = |callee: &str| {
             FlowBuilder::new()
                 .state(FlowState::new("s", vec![ServiceCall::new(callee)]))
@@ -2628,6 +2780,8 @@ mod tests {
             ))
             .build()
             .unwrap();
+        let program = crate::AssemblyProgram::compile(&assembly, &"a".into()).unwrap();
+        assert!(program.has_cycles());
         let eval = Evaluator::with_options(
             &assembly,
             EvalOptions {
@@ -2647,8 +2801,8 @@ mod tests {
             }
             other => panic!("expected RecursiveAssembly, got {other:?}"),
         }
-        // Auto mode demotes the target to the recursive path, which reports
-        // the same cycle.
+        // Auto mode now promotes the cyclic target like any other; under
+        // `CycleMode::Error` the compiled program reports the same cycle.
         let auto = Evaluator::with_options(
             &assembly,
             EvalOptions {
@@ -2662,6 +2816,51 @@ mod tests {
                 .unwrap_err();
             assert!(matches!(err, CoreError::RecursiveAssembly { .. }));
         }
-        assert_eq!(auto.cache_stats().programs_compiled, 0);
+        assert_eq!(auto.cache_stats().programs_compiled, 1);
+    }
+
+    #[test]
+    fn auto_mode_promotes_cyclic_targets_after_min_seen_sightings() {
+        let assembly = recursive_assembly(0.01, 0.3);
+        let service: ServiceId = "svc".into();
+        let env = Bindings::new();
+        let auto = Evaluator::with_options(
+            &assembly,
+            EvalOptions {
+                cycle_mode: CycleMode::FixedPoint {
+                    max_iterations: 200,
+                    tolerance: 1e-12,
+                },
+                program: ProgramMode::Auto,
+                ..EvalOptions::default()
+            },
+        );
+        let reference = Evaluator::with_options(
+            &assembly,
+            EvalOptions {
+                cycle_mode: CycleMode::FixedPoint {
+                    max_iterations: 200,
+                    tolerance: 1e-12,
+                },
+                program: ProgramMode::Off,
+                ..EvalOptions::default()
+            },
+        );
+        let want = reference.failure_probability(&service, &env).unwrap();
+        let mut values = Vec::new();
+        for _ in 0..AUTO_PROGRAM_MIN_SEEN + 1 {
+            values.push(auto.failure_probability(&service, &env).unwrap());
+        }
+        // The cycle check no longer short-circuits sightings: the target
+        // compiles once the weighted count reaches the threshold, …
+        let stats = auto.cache_stats();
+        assert_eq!(stats.programs_compiled, 1, "cyclic target must promote");
+        assert!(stats.fixed_point_sweeps > 0, "stats: {stats:?}");
+        assert!(stats.program_loop_sccs >= 1, "stats: {stats:?}");
+        assert!(stats.scc_iterations > 0, "stats: {stats:?}");
+        // … and promotion is invisible in the values.
+        for v in values {
+            assert_eq!(want.value().to_bits(), v.value().to_bits());
+        }
     }
 }

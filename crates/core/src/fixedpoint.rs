@@ -1,0 +1,331 @@
+//! The shared fixed-point iteration driver behind [`crate::CycleMode::FixedPoint`].
+//!
+//! Both engines that solve recursive assemblies — the recursive evaluator's
+//! global sweeps (`Evaluator::eval_fixed_point`, keyed by
+//! `(service, resolved parameters)`) and the compiled program's loop driver
+//! (`AssemblyProgram::evaluate_fixed_point`, keyed by
+//! `(node, input-register bits)`) — fold their sweeps through one generic
+//! [`FixedPointSolver`]. Sharing the arithmetic is what makes the two paths
+//! bitwise identical: the estimate bookkeeping, the residual computation,
+//! and the stopping rule are literally the same code, only the key type and
+//! the sweep procedure differ.
+//!
+//! Two update schemes are offered (see [`FixedPointMode`]):
+//!
+//! - **plain** successive substitution: each broken key's next estimate is
+//!   its raw sweep value. Converges monotonically from the optimistic
+//!   estimate 0 because `Pfail` is monotone in the estimates and bounded by
+//!   1 — this is the bitwise reference the differential suites pin against.
+//! - **Aitken Δ²** (Steffensen-restart flavor): per key, three consecutive
+//!   raw iterates extrapolate the geometric tail
+//!   `x₂ − (x₂−x₁)² / ((x₂−x₁) − (x₁−x₀))`; the window then restarts from
+//!   the next raw iterate. A degenerate denominator (relative to the
+//!   iterates' magnitude) falls back to the plain update for that key and
+//!   slides the window by one — acceleration may only change *how fast* the
+//!   iteration reaches the fixed point, never *which* fixed point, so the
+//!   two modes agree to within the convergence tolerance.
+//!
+//! Convergence is always judged on **raw** sweep values against the
+//! previous estimates (plus the top-level value's change), before any
+//! acceleration replaces an estimate: an extrapolated jump must prove
+//! itself by producing a quiet next sweep.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::CoreError;
+
+/// How fixed-point estimates advance between sweeps.
+///
+/// Threaded through [`crate::EvalOptions`], the `--fixed-point` CLI flag,
+/// and the `ARCHREL_FIXED_POINT` environment variable (which, like
+/// `ARCHREL_SOLVER`, hard-errors on unrecognized values so a typo'd CI row
+/// cannot silently run the suite under the wrong scheme).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FixedPointMode {
+    /// Plain successive substitution — the bitwise-reference default.
+    #[default]
+    Plain,
+    /// Aitken Δ² acceleration with per-key Steffensen restarts; falls back
+    /// to the plain update on degenerate denominators.
+    Aitken,
+}
+
+impl FixedPointMode {
+    /// Parses `plain` / `aitken` (case-insensitive).
+    pub fn parse(s: &str) -> Option<FixedPointMode> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "plain" => Some(FixedPointMode::Plain),
+            "aitken" => Some(FixedPointMode::Aitken),
+            _ => None,
+        }
+    }
+
+    /// Parses a value of the `ARCHREL_FIXED_POINT` environment variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value is not a recognized mode spelling — mirroring
+    /// the `ARCHREL_SOLVER` hard-error behavior, a typo'd override must not
+    /// silently run an analysis under the wrong update scheme.
+    pub fn parse_env_value(raw: &str) -> FixedPointMode {
+        FixedPointMode::parse(raw).unwrap_or_else(|| {
+            panic!(
+                "unrecognized ARCHREL_FIXED_POINT value `{raw}`: \
+                 expected one of plain, aitken"
+            )
+        })
+    }
+
+    /// Mode forced by the `ARCHREL_FIXED_POINT` environment variable, if
+    /// set. An empty value counts as unset (CI matrices expand absent
+    /// entries to empty strings).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the variable is set to an unrecognized value (see
+    /// [`FixedPointMode::parse_env_value`]).
+    pub fn from_env() -> Option<FixedPointMode> {
+        std::env::var("ARCHREL_FIXED_POINT")
+            .ok()
+            .filter(|v| !v.trim().is_empty())
+            .map(|v| FixedPointMode::parse_env_value(&v))
+    }
+}
+
+/// Per-key raw-iterate window for the Aitken Δ² update.
+#[derive(Debug, Clone, Copy, Default)]
+struct History {
+    vals: [f64; 3],
+    len: usize,
+}
+
+impl History {
+    fn push(&mut self, v: f64) {
+        debug_assert!(self.len < 3);
+        self.vals[self.len] = v;
+        self.len += 1;
+    }
+
+    /// Drops the oldest iterate (degenerate-denominator fallback).
+    fn slide(&mut self) {
+        self.vals[0] = self.vals[1];
+        self.vals[1] = self.vals[2];
+        self.len = 2;
+    }
+
+    /// Restarts the window (after an accelerated step the next raw iterate
+    /// starts a fresh Steffensen cycle).
+    fn clear(&mut self) {
+        self.len = 0;
+    }
+}
+
+/// Generic fixed-point driver: owns the estimates map, folds one sweep's
+/// raw values at a time, and decides convergence / divergence exactly like
+/// the historical recursive loop (same residual arithmetic, same stopping
+/// rule, same [`CoreError::FixedPointDiverged`] payload).
+#[derive(Debug)]
+pub(crate) struct FixedPointSolver<K> {
+    mode: FixedPointMode,
+    max_iterations: usize,
+    tolerance: f64,
+    estimates: HashMap<K, f64>,
+    history: HashMap<K, History>,
+    last_top: f64,
+    sweeps: u64,
+    accels: u64,
+    fallbacks: u64,
+}
+
+impl<K> FixedPointSolver<K> {
+    /// Counts a sweep that broke no cycle (the value was exact): no
+    /// estimate bookkeeping, but the sweep still happened.
+    pub(crate) fn note_exact_sweep(&mut self) {
+        self.sweeps += 1;
+    }
+
+    /// The divergence error after the iteration budget is exhausted —
+    /// same payload as the historical loop (`residual` is the last
+    /// top-level value, mirroring the pre-driver behavior).
+    pub(crate) fn diverged(&self) -> CoreError {
+        CoreError::FixedPointDiverged {
+            iterations: self.max_iterations,
+            residual: self.last_top,
+        }
+    }
+
+    pub(crate) fn sweeps(&self) -> u64 {
+        self.sweeps
+    }
+
+    pub(crate) fn accels(&self) -> u64 {
+        self.accels
+    }
+
+    pub(crate) fn fallbacks(&self) -> u64 {
+        self.fallbacks
+    }
+}
+
+impl<K: Hash + Eq + Clone> FixedPointSolver<K> {
+    pub(crate) fn new(
+        mode: FixedPointMode,
+        max_iterations: usize,
+        tolerance: f64,
+    ) -> FixedPointSolver<K> {
+        FixedPointSolver {
+            mode,
+            max_iterations,
+            tolerance,
+            estimates: HashMap::new(),
+            history: HashMap::new(),
+            last_top: 0.0,
+            sweeps: 0,
+            accels: 0,
+            fallbacks: 0,
+        }
+    }
+
+    /// Current estimates, borrowed for the next sweep (keys absent from the
+    /// map read as the optimistic estimate 0).
+    pub(crate) fn estimates(&self) -> &HashMap<K, f64> {
+        &self.estimates
+    }
+
+    /// Folds one sweep: the top-level value plus each cycle-broken key's
+    /// raw sweep value. Returns `true` when the largest change (top-level
+    /// delta or any key's raw-vs-previous-estimate delta) dropped below the
+    /// tolerance.
+    ///
+    /// In [`FixedPointMode::Plain`] this is, operation for operation, the
+    /// historical recursive loop: `delta = max(|top − last_top|,
+    /// maxₖ |rawₖ − estₖ|)` and `estₖ ← rawₖ`. The fold is
+    /// iteration-order-robust (a max of finite absolute values and keyed
+    /// inserts), so both engines produce identical estimates regardless of
+    /// how their key sets iterate.
+    pub(crate) fn record_sweep<I>(&mut self, top: f64, raw: I) -> bool
+    where
+        I: IntoIterator<Item = (K, f64)>,
+    {
+        self.sweeps += 1;
+        let mut delta = (top - self.last_top).abs();
+        for (key, v) in raw {
+            let old = self.estimates.get(&key).copied().unwrap_or(0.0);
+            delta = delta.max((v - old).abs());
+            let next = self.next_estimate(&key, v);
+            self.estimates.insert(key, next);
+        }
+        self.last_top = top;
+        delta < self.tolerance
+    }
+
+    /// The next stored estimate for `key` given its raw sweep value.
+    fn next_estimate(&mut self, key: &K, raw: f64) -> f64 {
+        if self.mode == FixedPointMode::Plain {
+            return raw;
+        }
+        let h = self.history.entry(key.clone()).or_default();
+        h.push(raw);
+        if h.len < 3 {
+            return raw;
+        }
+        let [x0, x1, x2] = h.vals;
+        let den = (x2 - x1) - (x1 - x0);
+        // Degenerate denominator, relative to the iterates' magnitude: the
+        // second difference carries no usable contraction signal (constant
+        // or near-linear iterates), so extrapolating would divide noise by
+        // noise. Fall back to the plain update and slide the window.
+        let scale = x0.abs().max(x1.abs()).max(x2.abs()).max(1.0);
+        if den.abs() <= 16.0 * f64::EPSILON * scale {
+            self.fallbacks += 1;
+            h.slide();
+            return raw;
+        }
+        self.accels += 1;
+        h.clear();
+        let step = x2 - x1;
+        // Probabilities live in [0, 1]; an extrapolation overshooting the
+        // interval is clamped (the next raw sweep corrects any remainder).
+        (x2 - step * step / den).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `x ← a·x + b` — a linear contraction with fixed point `b / (1 − a)`.
+    fn run(mode: FixedPointMode, a: f64, b: f64, budget: usize, tol: f64) -> (f64, u64, u64, u64) {
+        let mut solver: FixedPointSolver<u32> = FixedPointSolver::new(mode, budget, tol);
+        for _ in 0..budget {
+            let x = solver.estimates().get(&0).copied().unwrap_or(0.0);
+            let raw = a * x + b;
+            if solver.record_sweep(raw, [(0u32, raw)]) {
+                return (raw, solver.sweeps(), solver.accels(), solver.fallbacks());
+            }
+        }
+        panic!("did not converge: {:?}", solver.diverged());
+    }
+
+    #[test]
+    fn plain_reproduces_successive_substitution() {
+        let (x, sweeps, accels, fallbacks) = run(FixedPointMode::Plain, 0.5, 0.25, 200, 1e-12);
+        assert!((x - 0.5).abs() < 1e-10, "{x}");
+        assert_eq!(accels, 0);
+        assert_eq!(fallbacks, 0);
+        assert!(sweeps > 10, "{sweeps}");
+    }
+
+    #[test]
+    fn aitken_accelerates_a_geometric_tail() {
+        let (x_plain, sweeps_plain, ..) = run(FixedPointMode::Plain, 0.9, 0.05, 500, 1e-12);
+        let (x_aitken, sweeps_aitken, accels, _) =
+            run(FixedPointMode::Aitken, 0.9, 0.05, 500, 1e-12);
+        assert!(
+            (x_plain - x_aitken).abs() < 1e-10,
+            "{x_plain} vs {x_aitken}"
+        );
+        assert!(accels >= 1, "no accelerated steps taken");
+        assert!(
+            sweeps_aitken < sweeps_plain / 2,
+            "aitken {sweeps_aitken} sweeps vs plain {sweeps_plain}"
+        );
+    }
+
+    #[test]
+    fn aitken_falls_back_on_a_constant_sequence() {
+        // A key whose raw value never moves while another key still
+        // converges: its second difference is exactly zero, so every window
+        // must fall back rather than divide by zero.
+        let mut solver: FixedPointSolver<u32> =
+            FixedPointSolver::new(FixedPointMode::Aitken, 500, 1e-12);
+        let mut x = 0.0;
+        for _ in 0..500 {
+            x = 0.9 * x + 0.05;
+            if solver.record_sweep(x, [(0u32, x), (1u32, 0.25)]) {
+                break;
+            }
+        }
+        assert!(solver.fallbacks() >= 1, "no fallbacks recorded");
+        assert_eq!(solver.estimates().get(&1).copied(), Some(0.25));
+    }
+
+    #[test]
+    fn diverged_carries_budget_and_residual() {
+        let mut solver: FixedPointSolver<u32> =
+            FixedPointSolver::new(FixedPointMode::Plain, 2, 1e-18);
+        solver.record_sweep(0.3, [(0u32, 0.3)]);
+        solver.record_sweep(0.4, [(0u32, 0.4)]);
+        match solver.diverged() {
+            CoreError::FixedPointDiverged {
+                iterations,
+                residual,
+            } => {
+                assert_eq!(iterations, 2);
+                assert_eq!(residual, 0.4);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+}

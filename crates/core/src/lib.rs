@@ -58,6 +58,7 @@ pub mod batch;
 mod error;
 mod eval;
 mod failprob;
+mod fixedpoint;
 pub mod improvement;
 pub mod paper_closed;
 mod program;
@@ -73,7 +74,8 @@ pub use batch::{BatchEvaluator, BatchSummary, Query};
 pub use error::CoreError;
 pub use eval::{
     parse_plan_lanes_env_value, plan_lanes_from_env, CacheStats, CycleMode, EvalOptions, Evaluator,
-    PlanCache, ProgramMode, SolverPolicy, AUTO_PROGRAM_MIN_SEEN, DEFAULT_PLAN_CACHE_CAPACITY,
+    FixedPointMode, PlanCache, ProgramMode, SolverPolicy, AUTO_PROGRAM_MIN_SEEN,
+    DEFAULT_FIXED_POINT_MAX_ITERATIONS, DEFAULT_FIXED_POINT_TOLERANCE, DEFAULT_PLAN_CACHE_CAPACITY,
 };
 pub use failprob::{state_failure_probability, RequestFailure};
 pub use program::AssemblyProgram;

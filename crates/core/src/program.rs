@@ -11,9 +11,12 @@
 //! An [`AssemblyProgram`] compiles all of that once per
 //! `(Assembly, target service)`:
 //!
-//! - the service dependency DAG is validated (cycles are a
-//!   [`CoreError::RecursiveAssembly`] carrying the offending path) and
-//!   lowered to a topologically-ordered node table;
+//! - the service dependency graph — cyclic or not — is lowered to a node
+//!   table, and its call graph is condensed into strongly connected
+//!   components (iterative Tarjan). Trivial SCCs stay on the straight-line
+//!   path below; every node inside a nontrivial SCC, plus every node whose
+//!   calls can reach one (the *loop cone*), is tagged for fixed-point
+//!   evaluation;
 //! - every formal/actual parameter name is interned into dense register
 //!   slots, so per-point evaluation never touches a string or a `HashMap`;
 //! - every parametric-dependency expression (actual parameters, connector
@@ -41,16 +44,44 @@
 //!   not the declaration — carries soundness: a wrong or stale cone only
 //!   costs recomputation, never a wrong value.
 //!
+//! # Cyclic assemblies
+//!
+//! A cyclic program refuses plain [`AssemblyProgram::evaluate`] (it
+//! surfaces the recorded [`CoreError::RecursiveAssembly`] path, matching
+//! [`crate::CycleMode::Error`]) and instead evaluates through
+//! `evaluate_fixed_point`: global successive-substitution sweeps over the
+//! whole node table, exactly mirroring the recursive
+//! [`crate::CycleMode::FixedPoint`] evaluator. Each sweep re-enters a
+//! loop-cone node through a *sweep-local* memo keyed by
+//! `(node, quantized inputs)`, breaks re-entrant calls with the previous
+//! sweep's estimate (0 on the first sweep), and records which keys were
+//! broken; the shared [`crate::fixedpoint::FixedPointSolver`] then folds
+//! the per-key residuals — plain substitution by default, opt-in Aitken Δ²
+//! under [`crate::FixedPointMode::Aitken`] — until they drop below the
+//! tolerance or the iteration budget dies
+//! ([`CoreError::FixedPointDiverged`]).
+//!
+//! Inside a sweep, loop-cone nodes **never** touch the persistent memo
+//! tables or pins: their values depend on the current estimates, so caching
+//! them would leak pre-convergence garbage into later sweeps (and into
+//! other queries). Nodes *outside* the loop cone are estimate-independent —
+//! the cone is downward-closed, so their whole subtree is too — and keep
+//! the full memo/pin machinery even mid-sweep.
+//!
+//! # Bitwise parity
+//!
 //! Everything the program computes is **bitwise identical** to the
 //! recursive path: expression compilation preserves the tree evaluator's
 //! operation order, the skeleton refresh replays
 //! [`crate::augmented_chain`]'s exact accumulation and validation sequence,
-//! and solves route through the same plan/direct machinery as
-//! [`crate::Evaluator`]. The differential proptest
-//! `tests/program_differential.rs` pins this equivalence under every
-//! [`crate::SolverPolicy`], memo on or off, at any worker count.
+//! solves route through the same plan/direct machinery as
+//! [`crate::Evaluator`], and cyclic fixed points replicate the recursive
+//! sweeps' break/memo/residual arithmetic key for key. The differential
+//! proptests `tests/program_differential.rs` pin this equivalence — acyclic
+//! and cyclic — under every [`crate::SolverPolicy`], memo on or off, at any
+//! worker count.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -64,8 +95,9 @@ use archrel_model::{
 use parking_lot::{Mutex, RwLock};
 
 use crate::augment::AugmentedState;
-use crate::eval::Evaluator;
+use crate::eval::{Evaluator, MAX_DEPTH};
 use crate::failprob::{state_failure_probability, RequestFailure};
+use crate::fixedpoint::FixedPointSolver;
 use crate::{CoreError, Result};
 
 /// A compiled expression reading its parameters out of a node's register
@@ -270,6 +302,21 @@ impl Runtime {
     }
 }
 
+/// Identity of one loop-cone evaluation inside a fixed-point sweep:
+/// `(node, quantized input registers)` — the program-side analogue of the
+/// recursive evaluator's `(ServiceId, Bindings::cache_key())` memo key.
+type LoopKey = (usize, Box<[u64]>);
+
+/// Per-sweep state of one global fixed-point iteration, mirroring the
+/// recursive evaluator's sweep context exactly: a sweep-local memo, a call
+/// stack for cycle breaking, and the set of keys answered from estimates.
+struct FpSweep<'s> {
+    estimates: &'s HashMap<LoopKey, f64>,
+    memo: HashMap<LoopKey, Probability>,
+    stack: Vec<LoopKey>,
+    cycle_keys: HashSet<LoopKey>,
+}
+
 /// A compiled evaluation program for one `(assembly, target service)` pair.
 ///
 /// Built by [`AssemblyProgram::compile`] (or automatically by
@@ -281,6 +328,21 @@ pub struct AssemblyProgram<'a> {
     nodes: Vec<Node<'a>>,
     root: usize,
     root_inputs: Vec<RootInput>,
+    /// SCC id of each node; ids ascend callees-first (an SCC's id is lower
+    /// than every SCC calling into it), so ascending-id order is a
+    /// topological order of the condensation.
+    scc_of: Vec<usize>,
+    /// Whether each node is inside a nontrivial SCC or can reach one
+    /// through its calls — the set evaluated under the fixed-point driver.
+    loop_cone: Vec<bool>,
+    /// Number of nontrivial (cyclic) SCCs in the condensation.
+    loop_sccs: usize,
+    /// The first dependency cycle found while lowering, in the recursive
+    /// evaluator's error shape (path from first occurrence, closed by the
+    /// repeated service); `None` for acyclic programs.
+    cycle: Option<Vec<String>>,
+    /// Per-SCC count of fixed-point member updates (estimate refreshes).
+    scc_iters: Vec<AtomicU64>,
     /// Per-node memo tables keyed by the quantized input-register vector.
     memo: Vec<RwLock<HashMap<Box<[u64]>, Probability>>>,
     /// Dirty cone: `in_cone[node]` when the node's result can depend on a
@@ -303,24 +365,57 @@ impl std::fmt::Debug for AssemblyProgram<'_> {
 }
 
 impl<'a> AssemblyProgram<'a> {
-    /// Compiles the dependency DAG reachable from `target`.
+    /// Compiles the dependency graph reachable from `target` — cyclic or
+    /// not. Cycles are condensed into SCCs and evaluated through the
+    /// fixed-point driver ([`crate::CycleMode::FixedPoint`]); a cyclic
+    /// program's recorded cycle path only surfaces as
+    /// [`CoreError::RecursiveAssembly`] if it is evaluated under
+    /// [`crate::CycleMode::Error`].
     ///
     /// # Errors
     ///
-    /// - [`CoreError::RecursiveAssembly`] (with the offending call path)
-    ///   when the dependency graph has a cycle — programs evaluate in
-    ///   topological order and cannot express fixed points;
     /// - [`CoreError::Model`] when `target` (or a callee) is not part of
-    ///   the assembly.
+    ///   the assembly;
+    /// - [`CoreError::Expr`] when a parametric dependency reads a
+    ///   parameter its service never declares.
     pub fn compile(assembly: &'a Assembly, target: &ServiceId) -> Result<AssemblyProgram<'a>> {
         let mut builder = ProgramBuilder {
             assembly,
             index: HashMap::new(),
             nodes: Vec::new(),
+            formals: Vec::new(),
             visiting: Vec::new(),
+            first_cycle: None,
         };
         let root = builder.build_node(target)?;
-        let nodes = builder.nodes;
+        let nodes: Vec<Node<'a>> = builder
+            .nodes
+            .into_iter()
+            .map(|n| n.expect("every reachable node is lowered"))
+            .collect();
+        let cycle = builder.first_cycle;
+        let (scc_of, scc_count, in_cycle) = condense(&nodes);
+        let mut scc_cyclic = vec![false; scc_count];
+        for (v, &cyc) in in_cycle.iter().enumerate() {
+            if cyc {
+                scc_cyclic[scc_of[v]] = true;
+            }
+        }
+        let loop_sccs = scc_cyclic.iter().filter(|&&b| b).count();
+        // Loop cone: nodes whose evaluation can reach a cyclic SCC.
+        // Ascending SCC id is callees-first, so one pass suffices.
+        let mut order: Vec<usize> = (0..nodes.len()).collect();
+        order.sort_by_key(|&v| scc_of[v]);
+        let mut loop_cone = vec![false; nodes.len()];
+        for &v in &order {
+            if in_cycle[v] {
+                loop_cone[v] = true;
+                continue;
+            }
+            let mut hit = false;
+            call_targets(&nodes[v], |t| hit = hit || loop_cone[t]);
+            loop_cone[v] = hit;
+        }
         let root_inputs = collect_root_inputs(&nodes[root]);
         let memo = nodes.iter().map(|_| RwLock::new(HashMap::new())).collect();
         Ok(AssemblyProgram {
@@ -328,6 +423,11 @@ impl<'a> AssemblyProgram<'a> {
             nodes,
             root,
             root_inputs,
+            scc_of,
+            loop_cone,
+            loop_sccs,
+            cycle,
+            scc_iters: (0..scc_count).map(|_| AtomicU64::new(0)).collect(),
             memo,
             cone: RwLock::new(None),
             runtimes: Mutex::new(Vec::new()),
@@ -335,6 +435,26 @@ impl<'a> AssemblyProgram<'a> {
             memo_misses: AtomicU64::new(0),
             pin_hits: AtomicU64::new(0),
         })
+    }
+
+    /// Whether the program's dependency graph has at least one cycle (i.e.
+    /// a nontrivial SCC or a self-loop): such programs evaluate only under
+    /// [`crate::CycleMode::FixedPoint`].
+    pub fn has_cycles(&self) -> bool {
+        self.cycle.is_some()
+    }
+
+    /// Number of nontrivial (cyclic) SCCs in the condensation.
+    pub(crate) fn loop_scc_count(&self) -> usize {
+        self.loop_sccs
+    }
+
+    /// Total fixed-point member updates across all SCCs so far.
+    pub(crate) fn scc_iteration_total(&self) -> u64 {
+        self.scc_iters
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// The target service this program evaluates.
@@ -364,28 +484,38 @@ impl<'a> AssemblyProgram<'a> {
                 varied[self.root][slot] = true;
             }
         }
-        // Nodes were built in post-order (callees before callers), so the
-        // reverse is a topological order with callers first: one pass
-        // propagates variedness down every call edge.
-        for idx in (0..self.nodes.len()).rev() {
-            let NodeKind::Composite(comp) = &self.nodes[idx].kind else {
-                continue;
-            };
-            let mark = |varied: &mut [Vec<bool>], target: usize, actuals: &[ActualParam]| {
-                for ap in actuals {
-                    let depends = ap.expr.slots.iter().any(|&s| varied[idx][s]);
-                    if depends {
-                        if let Some(dest) = ap.dest {
-                            varied[target][dest] = true;
+        // Node indices follow the builder's DFS pre-order and call edges
+        // may form cycles, so no single pass order covers every edge:
+        // propagate to a fixed point instead. Variedness bits only ever
+        // turn on, so this terminates in at most `sum(arities)` passes
+        // (in practice one or two).
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for idx in 0..self.nodes.len() {
+                let NodeKind::Composite(comp) = &self.nodes[idx].kind else {
+                    continue;
+                };
+                let mut mark =
+                    |varied: &mut [Vec<bool>], target: usize, actuals: &[ActualParam]| {
+                        for ap in actuals {
+                            let depends = ap.expr.slots.iter().any(|&s| varied[idx][s]);
+                            if depends {
+                                if let Some(dest) = ap.dest {
+                                    if !varied[target][dest] {
+                                        varied[target][dest] = true;
+                                        changed = true;
+                                    }
+                                }
+                            }
                         }
-                    }
-                }
-            };
-            for state in &comp.states {
-                for call in &state.calls {
-                    mark(&mut varied, call.target, &call.actuals);
-                    if let Some(conn) = &call.connector {
-                        mark(&mut varied, conn.target, &conn.actuals);
+                    };
+                for state in &comp.states {
+                    for call in &state.calls {
+                        mark(&mut varied, call.target, &call.actuals);
+                        if let Some(conn) = &call.connector {
+                            mark(&mut varied, conn.target, &conn.actuals);
+                        }
                     }
                 }
             }
@@ -432,9 +562,24 @@ impl<'a> AssemblyProgram<'a> {
         env: &Bindings,
         rt: &mut Runtime,
     ) -> Result<Probability> {
+        if let Some(cycle) = &self.cycle {
+            // Plain (non-fixed-point) evaluation of a cyclic program: same
+            // error the recursive path raises under `CycleMode::Error`.
+            return Err(CoreError::RecursiveAssembly {
+                cycle: cycle.clone(),
+            });
+        }
         let cone = self.cone.read().clone();
         let cone = cone.as_deref().map(Vec::as_slice);
         let memo_on = evaluator.options().program_memo;
+        self.seed_root_inputs(env, rt)?;
+        self.eval_node(evaluator, rt, cone, memo_on, self.root, 0, None)
+    }
+
+    /// Resets the runtime's register stack and loads the target's bound
+    /// formals, surfacing the first *used* unbound formal exactly like the
+    /// recursive path.
+    fn seed_root_inputs(&self, env: &Bindings, rt: &mut Runtime) -> Result<()> {
         rt.inputs.clear();
         rt.failures.clear();
         rt.inputs
@@ -449,12 +594,88 @@ impl<'a> AssemblyProgram<'a> {
                 }
             }
         }
-        self.eval_node(evaluator, rt, cone, memo_on, self.root, 0)
+        Ok(())
+    }
+
+    /// Evaluates `Pfail(target, env)` for a cyclic program by global
+    /// fixed-point iteration — bitwise identical to the recursive
+    /// [`crate::CycleMode::FixedPoint`] sweeps under either
+    /// [`crate::FixedPointMode`].
+    pub(crate) fn evaluate_fixed_point(
+        &self,
+        evaluator: &Evaluator<'a>,
+        env: &Bindings,
+        max_iterations: usize,
+        tolerance: f64,
+    ) -> Result<Probability> {
+        let mut rt = self
+            .runtimes
+            .lock()
+            .pop()
+            .unwrap_or_else(|| Runtime::new(self.nodes.len()));
+        let result = self.fixed_point_with(evaluator, env, max_iterations, tolerance, &mut rt);
+        self.runtimes.lock().push(rt);
+        result
+    }
+
+    fn fixed_point_with(
+        &self,
+        evaluator: &Evaluator<'a>,
+        env: &Bindings,
+        max_iterations: usize,
+        tolerance: f64,
+        rt: &mut Runtime,
+    ) -> Result<Probability> {
+        let cone = self.cone.read().clone();
+        let cone = cone.as_deref().map(Vec::as_slice);
+        let memo_on = evaluator.options().program_memo;
+        let mut solver: FixedPointSolver<LoopKey> =
+            FixedPointSolver::new(evaluator.options().fixed_point, max_iterations, tolerance);
+        for _ in 0..max_iterations {
+            self.seed_root_inputs(env, rt)?;
+            let (top, cycle_keys, sweep_memo) = {
+                let mut sweep = FpSweep {
+                    estimates: solver.estimates(),
+                    memo: HashMap::new(),
+                    stack: Vec::new(),
+                    cycle_keys: HashSet::new(),
+                };
+                let top =
+                    self.eval_node(evaluator, rt, cone, memo_on, self.root, 0, Some(&mut sweep))?;
+                (top, sweep.cycle_keys, sweep.memo)
+            };
+            if cycle_keys.is_empty() {
+                // No loop-cone node actually recursed at these parameters:
+                // the first sweep is already exact.
+                solver.note_exact_sweep();
+                evaluator.note_fixed_point(&solver);
+                return Ok(top);
+            }
+            let converged = solver.record_sweep(
+                top.value(),
+                cycle_keys.iter().filter_map(|k| {
+                    sweep_memo.get(k).map(|p| {
+                        self.scc_iters[self.scc_of[k.0]].fetch_add(1, Ordering::Relaxed);
+                        (k.clone(), p.value())
+                    })
+                }),
+            );
+            if converged {
+                evaluator.note_fixed_point(&solver);
+                return Ok(top);
+            }
+        }
+        evaluator.note_fixed_point(&solver);
+        Err(solver.diverged())
     }
 
     /// Evaluates one node whose registers sit at `inputs[base..]`,
     /// answering from the memo table (in-cone) or the pin (out-of-cone)
-    /// when possible.
+    /// when possible. Inside a fixed-point sweep (`fp`), loop-cone nodes
+    /// detour through [`AssemblyProgram::eval_loop_node`]; everything
+    /// outside the loop cone is estimate-independent and keeps the
+    /// persistent caches.
+    #[allow(clippy::too_many_arguments)]
     fn eval_node(
         &self,
         evaluator: &Evaluator<'a>,
@@ -463,10 +684,16 @@ impl<'a> AssemblyProgram<'a> {
         memo_on: bool,
         node: usize,
         base: usize,
+        fp: Option<&mut FpSweep<'_>>,
     ) -> Result<Probability> {
+        if let Some(sweep) = fp {
+            if self.loop_cone[node] {
+                return self.eval_loop_node(evaluator, rt, cone, memo_on, node, base, sweep);
+            }
+        }
         let arity = self.nodes[node].formals.len();
         if !memo_on {
-            return self.compute_node(evaluator, rt, cone, memo_on, node, base);
+            return self.compute_node(evaluator, rt, cone, memo_on, node, base, None);
         }
         if cone.is_some_and(|c| !c[node]) {
             if let Some((key, value)) = &rt.nodes[node].pin {
@@ -480,7 +707,7 @@ impl<'a> AssemblyProgram<'a> {
                     return Ok(*value);
                 }
             }
-            let p = self.compute_node(evaluator, rt, cone, memo_on, node, base)?;
+            let p = self.compute_node(evaluator, rt, cone, memo_on, node, base, None)?;
             let key: Box<[u64]> = rt.inputs[base..base + arity]
                 .iter()
                 .map(|v| v.to_bits())
@@ -496,7 +723,7 @@ impl<'a> AssemblyProgram<'a> {
             return Ok(*p);
         }
         self.memo_misses.fetch_add(1, Ordering::Relaxed);
-        let p = self.compute_node(evaluator, rt, cone, memo_on, node, base)?;
+        let p = self.compute_node(evaluator, rt, cone, memo_on, node, base, None)?;
         // `rt.key` may have been clobbered by recursion; the node's own
         // registers are still intact (children only grow/shrink `inputs`
         // beyond this window).
@@ -508,6 +735,46 @@ impl<'a> AssemblyProgram<'a> {
         Ok(p)
     }
 
+    /// Evaluates one loop-cone node inside a fixed-point sweep: sweep-local
+    /// memo, estimate-based cycle breaking on a `(node, inputs)` re-entry
+    /// or at the recursion depth cap — never the persistent memo or pin,
+    /// whose entries would leak pre-convergence estimates across sweeps.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_loop_node(
+        &self,
+        evaluator: &Evaluator<'a>,
+        rt: &mut Runtime,
+        cone: Option<&[bool]>,
+        memo_on: bool,
+        node: usize,
+        base: usize,
+        sweep: &mut FpSweep<'_>,
+    ) -> Result<Probability> {
+        let arity = self.nodes[node].formals.len();
+        let key: LoopKey = (
+            node,
+            rt.inputs[base..base + arity]
+                .iter()
+                .map(|v| v.to_bits())
+                .collect(),
+        );
+        if let Some(p) = sweep.memo.get(&key) {
+            return Ok(*p);
+        }
+        if sweep.stack.contains(&key) || sweep.stack.len() >= MAX_DEPTH {
+            let estimate = sweep.estimates.get(&key).copied().unwrap_or(0.0);
+            sweep.cycle_keys.insert(key);
+            return Ok(Probability::new(estimate)?);
+        }
+        sweep.stack.push(key.clone());
+        let result = self.compute_node(evaluator, rt, cone, memo_on, node, base, Some(sweep));
+        sweep.stack.pop();
+        let p = result?;
+        sweep.memo.insert(key, p);
+        Ok(p)
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn compute_node(
         &self,
         evaluator: &Evaluator<'a>,
@@ -516,15 +783,28 @@ impl<'a> AssemblyProgram<'a> {
         memo_on: bool,
         node: usize,
         base: usize,
+        fp: Option<&mut FpSweep<'_>>,
     ) -> Result<Probability> {
         match &self.nodes[node].kind {
             NodeKind::Simple(simple) => Ok(simple.failure_probability(rt.inputs[base])?),
             NodeKind::Composite(_) => {
                 // Detach the node's scratch so recursion can borrow `rt`
-                // freely; a DAG node can never re-enter its own evaluation.
+                // freely. A *cyclic* program can re-enter a node that is
+                // already detached (with different inputs, below the cycle
+                // break); the inner frame then sees a default scratch — a
+                // wasted chain rebuild, but sound, and the outer restore
+                // wins.
                 let mut scratch = std::mem::take(&mut rt.nodes[node]);
-                let result =
-                    self.compute_composite(evaluator, rt, cone, memo_on, node, base, &mut scratch);
+                let result = self.compute_composite(
+                    evaluator,
+                    rt,
+                    cone,
+                    memo_on,
+                    node,
+                    base,
+                    &mut scratch,
+                    fp,
+                );
                 rt.nodes[node] = scratch;
                 result
             }
@@ -544,6 +824,7 @@ impl<'a> AssemblyProgram<'a> {
         node: usize,
         base: usize,
         scratch: &mut NodeScratch,
+        mut fp: Option<&mut FpSweep<'_>>,
     ) -> Result<Probability> {
         let arity = self.nodes[node].formals.len();
         let NodeKind::Composite(comp) = &self.nodes[node].kind else {
@@ -573,7 +854,15 @@ impl<'a> AssemblyProgram<'a> {
                 }
                 let cbase = rt.inputs.len();
                 rt.inputs.extend_from_slice(&rt.child);
-                let r = self.eval_node(evaluator, rt, cone, memo_on, call.target, cbase);
+                let r = self.eval_node(
+                    evaluator,
+                    rt,
+                    cone,
+                    memo_on,
+                    call.target,
+                    cbase,
+                    fp.as_deref_mut(),
+                );
                 rt.inputs.truncate(cbase);
                 let target_fail = r?;
 
@@ -592,7 +881,15 @@ impl<'a> AssemblyProgram<'a> {
                         }
                         let cbase = rt.inputs.len();
                         rt.inputs.extend_from_slice(&rt.child);
-                        let r = self.eval_node(evaluator, rt, cone, memo_on, conn.target, cbase);
+                        let r = self.eval_node(
+                            evaluator,
+                            rt,
+                            cone,
+                            memo_on,
+                            conn.target,
+                            cbase,
+                            fp.as_deref_mut(),
+                        );
                         rt.inputs.truncate(cbase);
                         r?
                     }
@@ -826,50 +1123,153 @@ fn solve_cached_chain(
     }
 }
 
-/// Depth-first program builder; nodes land in post-order (callees before
-/// callers), which doubles as the topological schedule.
+/// Calls `f` with the node index of every call target of `node` (service
+/// calls and connector calls alike), in flow order.
+fn call_targets(node: &Node<'_>, mut f: impl FnMut(usize)) {
+    if let NodeKind::Composite(comp) = &node.kind {
+        for state in &comp.states {
+            for call in &state.calls {
+                f(call.target);
+                if let Some(conn) = &call.connector {
+                    f(conn.target);
+                }
+            }
+        }
+    }
+}
+
+/// Iterative Tarjan over the call graph. Returns
+/// `(scc_of, scc_count, in_cycle)`: SCC ids ascend callees-first (every
+/// SCC's id is lower than the ids of the SCCs calling into it), and
+/// `in_cycle[v]` marks members of nontrivial SCCs and self-loops.
+fn condense(nodes: &[Node<'_>]) -> (Vec<usize>, usize, Vec<bool>) {
+    let n = nodes.len();
+    let adj: Vec<Vec<usize>> = nodes
+        .iter()
+        .map(|node| {
+            let mut targets = Vec::new();
+            call_targets(node, |t| targets.push(t));
+            targets
+        })
+        .collect();
+    let mut index_of = vec![usize::MAX; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut self_loop = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut scc_of = vec![usize::MAX; n];
+    let mut scc_count = 0usize;
+    let mut next_index = 0usize;
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+    for start in 0..n {
+        if index_of[start] != usize::MAX {
+            continue;
+        }
+        index_of[start] = next_index;
+        lowlink[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+        frames.push((start, 0));
+        while let Some(&mut (v, ref mut ei)) = frames.last_mut() {
+            if let Some(&w) = adj[v].get(*ei) {
+                *ei += 1;
+                if w == v {
+                    self_loop[v] = true;
+                }
+                if index_of[w] == usize::MAX {
+                    index_of[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index_of[w]);
+                }
+            } else {
+                frames.pop();
+                if lowlink[v] == index_of[v] {
+                    loop {
+                        let w = stack.pop().expect("tarjan member stack");
+                        on_stack[w] = false;
+                        scc_of[w] = scc_count;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    scc_count += 1;
+                }
+                if let Some(&mut (p, _)) = frames.last_mut() {
+                    lowlink[p] = lowlink[p].min(lowlink[v]);
+                }
+            }
+        }
+    }
+    let mut scc_size = vec![0usize; scc_count];
+    for &s in &scc_of {
+        scc_size[s] += 1;
+    }
+    let in_cycle = (0..n)
+        .map(|v| scc_size[scc_of[v]] > 1 || self_loop[v])
+        .collect();
+    (scc_of, scc_count, in_cycle)
+}
+
+/// Depth-first program builder. Node slots are allocated in DFS pre-order
+/// at first sight (with a `formals` side table filled eagerly so back
+/// edges can resolve arity and destinations before the callee's body is
+/// lowered); a back edge onto a node still being lowered records the first
+/// dependency cycle instead of erroring, so cyclic graphs compile.
 struct ProgramBuilder<'a> {
     assembly: &'a Assembly,
     index: HashMap<ServiceId, usize>,
-    nodes: Vec<Node<'a>>,
+    nodes: Vec<Option<Node<'a>>>,
+    formals: Vec<Vec<String>>,
     visiting: Vec<ServiceId>,
+    first_cycle: Option<Vec<String>>,
 }
 
 impl<'a> ProgramBuilder<'a> {
     fn build_node(&mut self, service: &ServiceId) -> Result<usize> {
         if let Some(&i) = self.index.get(service) {
+            if self.nodes[i].is_none() && self.first_cycle.is_none() {
+                // Back edge onto a node still being lowered: record the
+                // cycle in the recursive evaluator's error shape (path from
+                // the first occurrence, closed by the repeated service).
+                let start = self.visiting.iter().position(|s| s == service).unwrap_or(0);
+                let mut cycle: Vec<String> = self.visiting[start..]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect();
+                cycle.push(service.to_string());
+                self.first_cycle = Some(cycle);
+            }
             return Ok(i);
         }
-        if self.visiting.iter().any(|s| s == service) {
-            // Same shape as the recursive evaluator's cycle error: the path
-            // from the first occurrence, closed by the repeated service.
-            let start = self.visiting.iter().position(|s| s == service).unwrap_or(0);
-            let mut cycle: Vec<String> = self.visiting[start..]
-                .iter()
-                .map(|s| s.to_string())
-                .collect();
-            cycle.push(service.to_string());
-            return Err(CoreError::RecursiveAssembly { cycle });
-        }
-        self.visiting.push(service.clone());
-        let node = self.lower_service(service);
-        self.visiting.pop();
-        let node = node?;
         let idx = self.nodes.len();
-        self.nodes.push(node);
+        self.nodes.push(None);
+        self.formals.push(match self.assembly.require(service)? {
+            Service::Simple(simple) => vec![simple.formal_param().to_string()],
+            Service::Composite(composite) => composite.formal_params().to_vec(),
+        });
         self.index.insert(service.clone(), idx);
+        self.visiting.push(service.clone());
+        let node = self.lower_service(service, idx);
+        self.visiting.pop();
+        self.nodes[idx] = Some(node?);
         Ok(idx)
     }
 
-    fn lower_service(&mut self, service: &ServiceId) -> Result<Node<'a>> {
+    fn lower_service(&mut self, service: &ServiceId, idx: usize) -> Result<Node<'a>> {
         match self.assembly.require(service)? {
             Service::Simple(simple) => Ok(Node {
                 id: service.clone(),
-                formals: vec![simple.formal_param().to_string()],
+                formals: self.formals[idx].clone(),
                 kind: NodeKind::Simple(simple),
             }),
             Service::Composite(composite) => {
-                let formals: Vec<String> = composite.formal_params().to_vec();
+                let formals = self.formals[idx].clone();
                 let flow = composite.flow();
                 let mut states = Vec::with_capacity(flow.states().len());
                 for state in flow.states() {
@@ -883,7 +1283,7 @@ impl<'a> ProgramBuilder<'a> {
                                 let conn_target = self.build_node(&binding.connector)?;
                                 Some(ConnectorCall {
                                     target: conn_target,
-                                    target_arity: self.nodes[conn_target].formals.len(),
+                                    target_arity: self.formals[conn_target].len(),
                                     actuals: self.lower_actuals(
                                         &binding.actual_params,
                                         &formals,
@@ -894,7 +1294,7 @@ impl<'a> ProgramBuilder<'a> {
                         };
                         calls.push(CallNode {
                             target,
-                            target_arity: self.nodes[target].formals.len(),
+                            target_arity: self.formals[target].len(),
                             actuals,
                             connector,
                             internal: &call.internal_failure,
@@ -966,7 +1366,7 @@ impl<'a> ProgramBuilder<'a> {
         formals: &[String],
         target: usize,
     ) -> Result<Vec<ActualParam>> {
-        let callee_formals = &self.nodes[target].formals;
+        let callee_formals = &self.formals[target];
         actual_params
             .iter()
             .map(|(name, expr)| {

@@ -56,6 +56,23 @@ impl fmt::Display for CacheStats {
                 self.memo_hit_rate() * 100.0
             )?;
         }
+        if self.fixed_point_sweeps > 0 {
+            write!(f, "; fixed point: {} sweeps", self.fixed_point_sweeps)?;
+            if self.program_loop_sccs > 0 {
+                write!(
+                    f,
+                    ", {} loop SCCs / {} member updates",
+                    self.program_loop_sccs, self.scc_iterations
+                )?;
+            }
+            if self.aitken_accels + self.aitken_fallbacks > 0 {
+                write!(
+                    f,
+                    ", aitken {} accels / {} fallbacks",
+                    self.aitken_accels, self.aitken_fallbacks
+                )?;
+            }
+        }
         Ok(())
     }
 }
@@ -169,9 +186,11 @@ impl<'a> Evaluator<'a> {
     ///
     /// # Errors
     ///
-    /// Same failure modes as [`Evaluator::failure_probability`]. Recursive
-    /// assemblies are not supported by reports (use the plain evaluator in
-    /// fixed-point mode instead).
+    /// Same failure modes as [`Evaluator::failure_probability`]. Under
+    /// [`CycleMode::FixedPoint`](crate::CycleMode::FixedPoint) recursive
+    /// assemblies report the breakdown a final converged sweep sees (cycle
+    /// re-entries answered by the converged estimates); in
+    /// [`CycleMode::Error`](crate::CycleMode::Error) they stay an error.
     pub fn report(&self, service: &ServiceId, env: &Bindings) -> Result<EvaluationReport> {
         let failure_probability = self.failure_probability(service, env)?;
         let states = match self.assembly().require(service)? {
@@ -298,6 +317,129 @@ mod tests {
             .unwrap();
         let plain_text = plain.cache_stats().to_string();
         assert!(!plain_text.contains("plans:"), "{plain_text}");
+    }
+
+    #[test]
+    fn report_resolves_cyclic_breakdowns_under_fixed_point_mode() {
+        use crate::{CoreError, CycleMode, EvalOptions};
+        use archrel_expr::Expr;
+        use archrel_model::{
+            catalog, AssemblyBuilder, CompositeService, FlowBuilder, FlowState, Service,
+            ServiceCall, StateId,
+        };
+        let member = |name: &str, partner: &str| {
+            let flow = FlowBuilder::new()
+                .state(FlowState::new(
+                    "loop",
+                    vec![ServiceCall::new(partner.to_string())],
+                ))
+                .state(FlowState::new(
+                    "down",
+                    vec![ServiceCall::new("leaf").with_param("x", Expr::num(1.0))],
+                ))
+                .transition(StateId::Start, "loop", Expr::num(0.4))
+                .transition(StateId::Start, "down", Expr::num(0.6))
+                .transition(StateId::named("loop"), StateId::End, Expr::one())
+                .transition(StateId::named("down"), StateId::End, Expr::one())
+                .build()
+                .unwrap();
+            Service::Composite(CompositeService::new(name, vec![], flow).unwrap())
+        };
+        let assembly = AssemblyBuilder::new()
+            .service(catalog::blackbox_service("leaf", "x", 1e-3))
+            .service(member("a", "b"))
+            .service(member("b", "a"))
+            .build()
+            .unwrap();
+        // Error mode: still the cycle error.
+        let err = Evaluator::new(&assembly)
+            .report(&"a".into(), &Bindings::new())
+            .unwrap_err();
+        assert!(matches!(err, CoreError::RecursiveAssembly { .. }), "{err}");
+        // Fixed-point mode: the breakdown resolves against the converged
+        // estimates, consistent with the top-level value.
+        let eval = Evaluator::with_options(
+            &assembly,
+            EvalOptions {
+                cycle_mode: CycleMode::FixedPoint {
+                    max_iterations: 200,
+                    tolerance: 1e-12,
+                },
+                ..EvalOptions::default()
+            },
+        );
+        let report = eval.report(&"a".into(), &Bindings::new()).unwrap();
+        assert_eq!(report.states.len(), 2, "{report:?}");
+        let total = report.failure_probability.value();
+        // The mesh converges to Pfail = 1e-3 on every member; each state's
+        // sole request must carry that converged value, not a stale 0.
+        for state in &report.states {
+            assert!(
+                (state.failure_probability.value() - total).abs() < 1e-9,
+                "{state:?} vs top {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_stats_render_fixed_point_counters_after_a_cyclic_run() {
+        use crate::{CycleMode, EvalOptions, ProgramMode};
+        use archrel_expr::Expr;
+        use archrel_model::{
+            catalog, AssemblyBuilder, CompositeService, FlowBuilder, FlowState, Service,
+            ServiceCall, StateId,
+        };
+        let flow = FlowBuilder::new()
+            .state(FlowState::new("again", vec![ServiceCall::new("svc")]))
+            .state(FlowState::new(
+                "base",
+                vec![ServiceCall::new("leaf").with_param("x", Expr::num(1.0))],
+            ))
+            .transition(StateId::Start, "again", Expr::num(0.25))
+            .transition(StateId::Start, "base", Expr::num(0.75))
+            .transition("again", StateId::End, Expr::one())
+            .transition("base", StateId::End, Expr::one())
+            .build()
+            .unwrap();
+        let assembly = AssemblyBuilder::new()
+            .service(catalog::blackbox_service("leaf", "x", 1e-3))
+            .service(Service::Composite(
+                CompositeService::new("svc", vec![], flow).unwrap(),
+            ))
+            .build()
+            .unwrap();
+        let eval = Evaluator::with_options(
+            &assembly,
+            EvalOptions {
+                cycle_mode: CycleMode::FixedPoint {
+                    max_iterations: 100,
+                    tolerance: 1e-12,
+                },
+                program: ProgramMode::On,
+                ..EvalOptions::default()
+            },
+        );
+        eval.failure_probability(&"svc".into(), &Bindings::new())
+            .unwrap();
+        let stats = eval.cache_stats();
+        assert!(stats.fixed_point_sweeps >= 2, "{stats:?}");
+        assert!(stats.program_loop_sccs >= 1, "{stats:?}");
+        assert!(stats.scc_iterations >= 2, "{stats:?}");
+        let text = stats.to_string();
+        assert!(text.contains("fixed point:"), "{text}");
+        assert!(text.contains("loop SCCs"), "{text}");
+        // Acyclic runs keep the segment silent.
+        let params = paper::PaperParams::default();
+        let acyclic = paper::local_assembly(&params).unwrap();
+        let plain = Evaluator::new(&acyclic);
+        plain
+            .failure_probability(
+                &paper::SEARCH.into(),
+                &paper::search_bindings(4.0, 64.0, 1.0),
+            )
+            .unwrap();
+        let plain_text = plain.cache_stats().to_string();
+        assert!(!plain_text.contains("fixed point:"), "{plain_text}");
     }
 
     #[test]

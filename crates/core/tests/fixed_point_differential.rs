@@ -1,0 +1,215 @@
+//! Differential tests for the fixed-point acceleration schemes.
+//!
+//! Plain successive substitution is the bitwise reference for cyclic
+//! assemblies; Aitken Δ² ([`FixedPointMode::Aitken`]) must agree with it
+//! to 1e-10 on converging meshes, fall back to the raw iterate on
+//! degenerate denominators without changing results, and surface
+//! [`CoreError::FixedPointDiverged`] (with the iteration budget) instead
+//! of returning garbage when the budget is too small — on both the
+//! recursive and the compiled-program engines.
+
+use archrel_core::{
+    CoreError, CycleMode, EvalOptions, Evaluator, FixedPointMode, ProgramMode, SolverPolicy,
+};
+use archrel_expr::{Bindings, Expr};
+use archrel_model::{
+    catalog, Assembly, AssemblyBuilder, CompositeService, FlowBuilder, FlowState, Service,
+    ServiceCall, StateId,
+};
+
+/// A two-member mutually recursive mesh over one blackbox leaf: each
+/// member re-enters the cycle with probability `q` and otherwise calls the
+/// leaf, so the fixed point contracts at rate ~`q` per sweep.
+fn two_member_mesh(q: f64, leaf_fail: f64) -> Assembly {
+    let member = |name: &str, partner: &str| {
+        let flow = FlowBuilder::new()
+            .state(FlowState::new(
+                "loop",
+                vec![ServiceCall::new(partner.to_string())],
+            ))
+            .state(FlowState::new(
+                "down",
+                vec![ServiceCall::new("leaf").with_param("x", Expr::num(1.0))],
+            ))
+            .transition(StateId::Start, "loop", Expr::num(q))
+            .transition(StateId::Start, "down", Expr::num(1.0 - q))
+            .transition(StateId::named("loop"), StateId::End, Expr::one())
+            .transition(StateId::named("down"), StateId::End, Expr::one())
+            .build()
+            .expect("flow is valid");
+        Service::Composite(CompositeService::new(name, vec![], flow).expect("service is valid"))
+    };
+    AssemblyBuilder::new()
+        .service(catalog::blackbox_service("leaf", "x", leaf_fail))
+        .service(member("a", "b"))
+        .service(member("b", "a"))
+        .build()
+        .expect("assembly is valid")
+}
+
+/// A self-recursive service whose recursion state is *probabilistically*
+/// unreachable (`Start → again` carries probability zero) but structurally
+/// present: every sweep still breaks the self-call and records the cycle
+/// key, yet the raw iterate is constant — the exact shape that makes
+/// Aitken's Δ² denominator vanish. `top` pairs it with the slowly
+/// converging mesh so the iteration keeps running long enough for the
+/// three-point history to fill.
+fn degenerate_plus_mesh(q: f64) -> Assembly {
+    let flow = FlowBuilder::new()
+        .state(FlowState::new("again", vec![ServiceCall::new("ghost")]))
+        .state(FlowState::new(
+            "base",
+            vec![ServiceCall::new("leaf").with_param("x", Expr::num(2.0))],
+        ))
+        .transition(StateId::Start, "again", Expr::num(0.0))
+        .transition(StateId::Start, "base", Expr::one())
+        .transition(StateId::named("again"), StateId::End, Expr::one())
+        .transition(StateId::named("base"), StateId::End, Expr::one())
+        .build()
+        .expect("flow is valid");
+    let mesh = two_member_mesh(q, 1e-3);
+    let mut builder = AssemblyBuilder::new();
+    for service in mesh.services() {
+        builder = builder.service(service.clone());
+    }
+    let top_flow = FlowBuilder::new()
+        .state(FlowState::new(
+            "s0",
+            vec![ServiceCall::new("ghost"), ServiceCall::new("a")],
+        ))
+        .transition(StateId::Start, "s0", Expr::one())
+        .transition(StateId::named("s0"), StateId::End, Expr::one())
+        .build()
+        .expect("flow is valid");
+    builder
+        .service(Service::Composite(
+            CompositeService::new("ghost", vec![], flow).expect("service is valid"),
+        ))
+        .service(Service::Composite(
+            CompositeService::new("top", vec![], top_flow).expect("service is valid"),
+        ))
+        .build()
+        .expect("assembly is valid")
+}
+
+fn options(
+    program: ProgramMode,
+    mode: FixedPointMode,
+    max_iterations: usize,
+    tolerance: f64,
+) -> EvalOptions {
+    EvalOptions {
+        cycle_mode: CycleMode::FixedPoint {
+            max_iterations,
+            tolerance,
+        },
+        program,
+        solver: SolverPolicy::Auto,
+        fixed_point: mode,
+        ..EvalOptions::default()
+    }
+}
+
+fn run(assembly: &Assembly, target: &str, options: EvalOptions) -> (f64, archrel_core::CacheStats) {
+    let evaluator = Evaluator::with_options(assembly, options);
+    let p = evaluator
+        .failure_probability(&target.into(), &Bindings::new())
+        .expect("fixed point converges")
+        .value();
+    (p, evaluator.cache_stats())
+}
+
+#[test]
+fn aitken_agrees_with_plain_to_1e_10_on_converging_meshes() {
+    for q in [0.3, 0.6, 0.8] {
+        let assembly = two_member_mesh(q, 1e-3);
+        for program in [ProgramMode::Off, ProgramMode::On] {
+            let (plain, plain_stats) = run(
+                &assembly,
+                "a",
+                options(program, FixedPointMode::Plain, 5000, 1e-12),
+            );
+            let (aitken, aitken_stats) = run(
+                &assembly,
+                "a",
+                options(program, FixedPointMode::Aitken, 5000, 1e-12),
+            );
+            assert!(
+                (plain - aitken).abs() < 1e-10,
+                "q={q} {program:?}: plain {plain} vs aitken {aitken}"
+            );
+            assert!(
+                aitken_stats.aitken_accels > 0,
+                "q={q} {program:?}: {aitken_stats:?}"
+            );
+            assert_eq!(plain_stats.aitken_accels, 0, "plain must never accelerate");
+        }
+    }
+}
+
+#[test]
+fn aitken_is_engine_agnostic_bitwise() {
+    // The recursive and compiled drivers share one solver, so Aitken's
+    // accelerated trajectory is bitwise identical across engines — same
+    // guarantee the plain differential proptests pin.
+    for mode in [FixedPointMode::Plain, FixedPointMode::Aitken] {
+        let assembly = two_member_mesh(0.6, 1e-3);
+        let (recursive, _) = run(&assembly, "a", options(ProgramMode::Off, mode, 5000, 1e-12));
+        let (program, _) = run(&assembly, "a", options(ProgramMode::On, mode, 5000, 1e-12));
+        assert_eq!(
+            recursive.to_bits(),
+            program.to_bits(),
+            "{mode:?}: engines disagree"
+        );
+    }
+}
+
+#[test]
+fn aitken_falls_back_on_degenerate_denominators_without_changing_results() {
+    let assembly = degenerate_plus_mesh(0.6);
+    for program in [ProgramMode::Off, ProgramMode::On] {
+        let (plain, _) = run(
+            &assembly,
+            "top",
+            options(program, FixedPointMode::Plain, 5000, 1e-12),
+        );
+        let (aitken, stats) = run(
+            &assembly,
+            "top",
+            options(program, FixedPointMode::Aitken, 5000, 1e-12),
+        );
+        assert!(
+            stats.aitken_fallbacks > 0,
+            "{program:?}: the constant ghost iterate must trip the \
+             degenerate-denominator guard: {stats:?}"
+        );
+        assert!(
+            (plain - aitken).abs() < 1e-10,
+            "{program:?}: plain {plain} vs aitken {aitken}"
+        );
+    }
+}
+
+#[test]
+fn both_engines_and_modes_surface_diverged_with_the_iteration_budget() {
+    let assembly = two_member_mesh(0.5, 1e-3);
+    for program in [ProgramMode::Off, ProgramMode::On] {
+        for mode in [FixedPointMode::Plain, FixedPointMode::Aitken] {
+            // Two sweeps cannot reach a 1e-18 residual at contraction 0.5.
+            let evaluator = Evaluator::with_options(&assembly, options(program, mode, 2, 1e-18));
+            let err = evaluator
+                .failure_probability(&"a".into(), &Bindings::new())
+                .unwrap_err();
+            match err {
+                CoreError::FixedPointDiverged {
+                    iterations,
+                    residual,
+                } => {
+                    assert_eq!(iterations, 2, "{program:?}/{mode:?}");
+                    assert!(residual.is_finite(), "{program:?}/{mode:?}");
+                }
+                other => panic!("{program:?}/{mode:?}: expected FixedPointDiverged, got {other:?}"),
+            }
+        }
+    }
+}

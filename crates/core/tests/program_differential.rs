@@ -6,11 +6,17 @@
 //! the same child) — are evaluated through the compiled program path and
 //! the recursive evaluator. The two must agree **bitwise** under every
 //! [`SolverPolicy`], with the per-service memo on or off, and at any
-//! batch worker count. Cyclic assemblies must be rejected at compile time
-//! with the offending call path.
+//! batch worker count.
+//!
+//! A second generator produces random *cyclic* assemblies — stacked
+//! mutually-recursive mesh groups (single- and multi-service SCCs,
+//! self-loops, extra back edges) over the same leaf tier — and pins the
+//! compiled fixed-point driver bitwise to the recursive
+//! [`CycleMode::FixedPoint`] sweeps under plain substitution, across the
+//! same solver/memo/worker matrix.
 
 use archrel_core::{
-    BatchEvaluator, CoreError, EvalOptions, Evaluator, ProgramMode, Query, SolverPolicy,
+    BatchEvaluator, CoreError, CycleMode, EvalOptions, Evaluator, ProgramMode, Query, SolverPolicy,
 };
 use archrel_expr::{Bindings, Expr};
 use archrel_model::{
@@ -157,6 +163,18 @@ fn opts(program: ProgramMode, solver: SolverPolicy, memo: bool) -> EvalOptions {
     }
 }
 
+/// Like [`opts`], but evaluating cycles by fixed point (the only mode a
+/// cyclic assembly evaluates under).
+fn fp_opts(program: ProgramMode, solver: SolverPolicy, memo: bool) -> EvalOptions {
+    EvalOptions {
+        cycle_mode: CycleMode::FixedPoint {
+            max_iterations: 1000,
+            tolerance: 1e-10,
+        },
+        ..opts(program, solver, memo)
+    }
+}
+
 /// Evaluates `top` at each demand point, returning the raw f64 bits.
 fn eval_bits(assembly: &Assembly, options: EvalOptions, points: &[f64]) -> Vec<u64> {
     let evaluator = Evaluator::with_options(assembly, options);
@@ -250,10 +268,216 @@ proptest! {
     }
 }
 
-/// A service-call cycle is rejected at program compile time with the
-/// offending path, exactly like the recursive evaluator reports it.
+/// One mutually-recursive mesh group of the cyclic generator. Member `m`
+/// enters its recursion state with probability `q` (calling member
+/// `(m+1) % size`, plus optional self-loop and back edges) and otherwise
+/// calls down into the previous tier — so the group is a strongly
+/// connected component with a contraction factor of roughly `q`.
+#[derive(Debug, Clone)]
+struct GroupSpec {
+    size: usize,
+    /// Member 0 additionally calls itself (a self-loop inside the SCC).
+    selfloop: bool,
+    /// The last member additionally calls member 0 (an extra back edge —
+    /// a diamond feeding back into its ancestor).
+    back: bool,
+    /// Probability of entering the recursion state.
+    q: f64,
+    /// Demand transform coefficient for the downward (exit) call.
+    down_coeff: f64,
+}
+
+#[derive(Debug, Clone)]
+struct CycleSpec {
+    leaf_rates: Vec<f64>,
+    /// Mesh groups, bottom-up: each group's exit calls land in the
+    /// previous group (or the leaves), so the condensation is a chain of
+    /// nontrivial SCCs.
+    groups: Vec<GroupSpec>,
+}
+
+fn cycle_strategy() -> impl Strategy<Value = CycleSpec> {
+    let group = (
+        1usize..=3,
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+        0.05..0.45f64,
+        0.5..4.0f64,
+    )
+        .prop_map(|(size, selfloop, back, q, down_coeff)| GroupSpec {
+            size,
+            selfloop,
+            back,
+            q,
+            down_coeff,
+        });
+    (
+        proptest::collection::vec(1e-6..1e-3f64, 1..3),
+        proptest::collection::vec(group, 1..3),
+    )
+        .prop_map(|(leaf_rates, groups)| CycleSpec { leaf_rates, groups })
+}
+
+fn build_cyclic(spec: &CycleSpec) -> Assembly {
+    let mut builder = AssemblyBuilder::new();
+    for (i, rate) in spec.leaf_rates.iter().enumerate() {
+        builder = builder.service(catalog::cpu_resource(format!("leaf{i}"), 1e9, *rate));
+    }
+    let mut prev: Vec<String> = (0..spec.leaf_rates.len())
+        .map(|i| format!("leaf{i}"))
+        .collect();
+    for (gi, group) in spec.groups.iter().enumerate() {
+        let names: Vec<String> = (0..group.size).map(|m| format!("g{gi}_{m}")).collect();
+        for m in 0..group.size {
+            // In-SCC calls forward the formal unchanged: the recursion
+            // keys then repeat per sweep, exactly like the recursive
+            // evaluator's `(service, bindings)` keys.
+            let forward = |target: &String| {
+                ServiceCall::new(target.clone())
+                    .with_param(catalog::CPU_PARAM, Expr::param(catalog::CPU_PARAM))
+            };
+            let mut loop_calls = vec![forward(&names[(m + 1) % group.size])];
+            if m == 0 && group.selfloop {
+                loop_calls.push(forward(&names[0]));
+            }
+            if m + 1 == group.size && group.back && group.size > 1 {
+                loop_calls.push(forward(&names[0]));
+            }
+            let down_call = ServiceCall::new(prev[m % prev.len()].clone()).with_param(
+                catalog::CPU_PARAM,
+                Expr::param(catalog::CPU_PARAM) * Expr::num(group.down_coeff) + Expr::num(1.0),
+            );
+            let flow = FlowBuilder::new()
+                .state(
+                    FlowState::new("loop", loop_calls)
+                        .with_completion(CompletionModel::And)
+                        .with_dependency(DependencyModel::Independent),
+                )
+                .state(
+                    FlowState::new("down", vec![down_call])
+                        .with_completion(CompletionModel::And)
+                        .with_dependency(DependencyModel::Independent),
+                )
+                .transition(StateId::Start, "loop", Expr::num(group.q))
+                .transition(StateId::Start, "down", Expr::num(1.0 - group.q))
+                .transition(StateId::named("loop"), StateId::End, Expr::one())
+                .transition(StateId::named("down"), StateId::End, Expr::one())
+                .build()
+                .expect("flow is valid");
+            builder = builder.service(Service::Composite(
+                CompositeService::new(names[m].clone(), vec![catalog::CPU_PARAM.to_string()], flow)
+                    .expect("service is valid"),
+            ));
+        }
+        prev = names;
+    }
+    let calls: Vec<ServiceCall> = prev
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            ServiceCall::new(name.clone()).with_param(
+                catalog::CPU_PARAM,
+                Expr::param(catalog::CPU_PARAM) + Expr::num(i as f64),
+            )
+        })
+        .collect();
+    builder
+        .service(Service::Composite(
+            CompositeService::new(
+                "top",
+                vec![catalog::CPU_PARAM.to_string()],
+                one_state_flow(calls, CompletionModel::And),
+            )
+            .expect("service is valid"),
+        ))
+        .build()
+        .expect("assembly is valid")
+}
+
+const CYCLE_POINTS: [f64; 4] = [1.0, 1e3, 4.5e4, 1e6];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The compiled fixed-point driver is bitwise identical to the
+    /// recursive `CycleMode::FixedPoint` sweeps under every solver policy.
+    #[test]
+    fn cyclic_program_matches_recursive_under_every_solver(spec in cycle_strategy()) {
+        let assembly = build_cyclic(&spec);
+        for solver in [
+            SolverPolicy::Auto,
+            SolverPolicy::Dense,
+            SolverPolicy::Sparse,
+            SolverPolicy::Compiled,
+        ] {
+            let recursive =
+                eval_bits(&assembly, fp_opts(ProgramMode::Off, solver, true), &CYCLE_POINTS);
+            let program =
+                eval_bits(&assembly, fp_opts(ProgramMode::On, solver, true), &CYCLE_POINTS);
+            prop_assert_eq!(
+                &recursive,
+                &program,
+                "cyclic program path diverged from recursive under {:?}",
+                solver
+            );
+        }
+    }
+
+    /// The per-service memo only caches out-of-loop-cone values, so
+    /// toggling it never changes a bit of a cyclic fixed point.
+    #[test]
+    fn cyclic_memo_on_and_off_are_bitwise_equal(spec in cycle_strategy()) {
+        let assembly = build_cyclic(&spec);
+        let points = [1e3, 1e3, 2e4, 2e4];
+        let with_memo =
+            eval_bits(&assembly, fp_opts(ProgramMode::On, SolverPolicy::Auto, true), &points);
+        let without_memo =
+            eval_bits(&assembly, fp_opts(ProgramMode::On, SolverPolicy::Auto, false), &points);
+        prop_assert_eq!(with_memo, without_memo);
+    }
+
+    /// Batch evaluation of cyclic targets is bitwise identical to the
+    /// scalar recursive path at every worker count.
+    #[test]
+    fn cyclic_batch_workers_match_scalar_recursive(spec in cycle_strategy()) {
+        let assembly = build_cyclic(&spec);
+        let points: Vec<f64> = (0..8).map(|i| 1e3 * (i as f64 + 1.0)).collect();
+        let expected = eval_bits(
+            &assembly,
+            fp_opts(ProgramMode::Off, SolverPolicy::Auto, true),
+            &points,
+        );
+        let queries: Vec<Query> = points
+            .iter()
+            .map(|&n| Query::new("top", Bindings::new().with(catalog::CPU_PARAM, n)))
+            .collect();
+        for workers in [1, 2, 4] {
+            let batch = BatchEvaluator::with_options(
+                &assembly,
+                fp_opts(ProgramMode::On, SolverPolicy::Auto, true),
+            )
+            .with_workers(workers);
+            let got: Vec<u64> = batch
+                .evaluate_all(&queries)
+                .into_iter()
+                .map(|r| r.expect("evaluation succeeds").value().to_bits())
+                .collect();
+            prop_assert_eq!(
+                &expected,
+                &got,
+                "cyclic batch program path diverged at {} workers",
+                workers
+            );
+        }
+    }
+}
+
+/// A cyclic assembly compiles, errors under the default `CycleMode::Error`
+/// with the offending path (exactly like the recursive evaluator reports
+/// it), and evaluates under `CycleMode::FixedPoint` bitwise equal to the
+/// recursive sweeps.
 #[test]
-fn cyclic_assembly_is_rejected_with_the_offending_path() {
+fn cyclic_assembly_errors_by_default_and_evaluates_by_fixed_point() {
     let calls_to = |target: &str| {
         one_state_flow(
             vec![ServiceCall::new(target.to_string())],
@@ -283,4 +507,19 @@ fn cyclic_assembly_is_rejected_with_the_offending_path() {
         }
         other => panic!("expected RecursiveAssembly, got {other:?}"),
     }
+    // Under fixed-point mode the same assembly evaluates; program and
+    // recursive paths agree bitwise.
+    let recursive = Evaluator::with_options(
+        &assembly,
+        fp_opts(ProgramMode::Off, SolverPolicy::Auto, true),
+    )
+    .failure_probability(&"a".into(), &Bindings::new())
+    .expect("fixed point converges");
+    let program = Evaluator::with_options(
+        &assembly,
+        fp_opts(ProgramMode::On, SolverPolicy::Auto, true),
+    )
+    .failure_probability(&"a".into(), &Bindings::new())
+    .expect("fixed point converges");
+    assert_eq!(recursive.value().to_bits(), program.value().to_bits());
 }
