@@ -1,0 +1,86 @@
+//! Artifact-store cold-start ladder: archived-plan load (open + mmap +
+//! validate + zero-copy decode) vs fresh `SolvePlan::compile`, plus the
+//! one-time publication cost, over the same chain sizes as `plan_eval`.
+//!
+//! The acceptance sweep with the ≥20× bar lives in
+//! `src/bin/exp_artifact_store.rs`; findings are recorded in
+//! `results/artifact_store.md`.
+
+use archrel_bench::scenarios::{synthetic_absorbing_chain, CHAIN_END};
+use archrel_markov::SolvePlan;
+use archrel_store::{ArtifactMode, ArtifactStore};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const STEP_PFAIL: f64 = 1e-5;
+const SIZES: [usize; 4] = [64, 256, 1024, 4096];
+
+fn scratch_store(tag: &str) -> ArtifactStore {
+    let dir = std::env::temp_dir().join(format!(
+        "archrel-bench-artifact-{tag}-{}",
+        std::process::id()
+    ));
+    ArtifactStore::open(dir, ArtifactMode::ReadWrite).expect("open scratch store")
+}
+
+fn bench_store_load(c: &mut Criterion) {
+    let store = scratch_store("load");
+    let mut group = c.benchmark_group("artifact_store/load");
+    group.sample_size(10);
+    for &states in &SIZES {
+        let chain = synthetic_absorbing_chain(&vec![STEP_PFAIL; states]);
+        let plan = SolvePlan::compile(&chain, &0u32, &CHAIN_END).expect("compiles");
+        store.store_plan(&plan).expect("publishes");
+        let fingerprint = plan.fingerprint();
+        group.throughput(Throughput::Elements(states as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(states), &states, |b, _| {
+            // Cold-start serve: open, mmap, full validation, zero-copy
+            // decode — the work a fleet worker pays instead of compiling.
+            b.iter(|| store.read_plan(fingerprint).expect("validates"))
+        });
+    }
+    group.finish();
+    std::fs::remove_dir_all(store.dir()).ok();
+}
+
+fn bench_fresh_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("artifact_store/compile");
+    group.sample_size(10);
+    for &states in &SIZES {
+        let chain = synthetic_absorbing_chain(&vec![STEP_PFAIL; states]);
+        group.throughput(Throughput::Elements(states as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(states), &states, |b, _| {
+            b.iter(|| SolvePlan::compile(&chain, &0u32, &CHAIN_END).expect("compiles"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_store_publish(c: &mut Criterion) {
+    let store = scratch_store("publish");
+    let mut group = c.benchmark_group("artifact_store/publish");
+    group.sample_size(10);
+    for &states in &SIZES {
+        let chain = synthetic_absorbing_chain(&vec![STEP_PFAIL; states]);
+        let plan = SolvePlan::compile(&chain, &0u32, &CHAIN_END).expect("compiles");
+        let path = store.plan_path(plan.fingerprint());
+        group.throughput(Throughput::Elements(states as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(states), &states, |b, _| {
+            b.iter(|| {
+                // Encode + temp write + atomic rename; the publication is
+                // removed first so every iteration actually writes.
+                std::fs::remove_file(&path).ok();
+                store.store_plan(&plan).expect("publishes")
+            })
+        });
+    }
+    group.finish();
+    std::fs::remove_dir_all(store.dir()).ok();
+}
+
+criterion_group!(
+    benches,
+    bench_store_load,
+    bench_fresh_compile,
+    bench_store_publish
+);
+criterion_main!(benches);

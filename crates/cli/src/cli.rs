@@ -5,6 +5,7 @@ use std::fmt;
 use std::io::Write;
 
 use archrel_core::batch::{BatchEvaluator, Query};
+use archrel_core::PlanCache;
 use archrel_core::{
     symbolic, CycleMode, EvalOptions, Evaluator, FixedPointMode, ProgramMode, SolverPolicy,
     DEFAULT_FIXED_POINT_MAX_ITERATIONS, DEFAULT_FIXED_POINT_TOLERANCE,
@@ -14,6 +15,8 @@ use archrel_expr::Bindings;
 use archrel_model::{Assembly, Service, ServiceId};
 use archrel_perf::{failure_aware_latency, LatencyEvaluator, PerfConfig};
 use archrel_sim::{estimate, SimulationOptions};
+use archrel_store::{ArtifactMode, ArtifactStore};
+use std::sync::Arc;
 
 /// CLI error: a message for the user plus nothing else.
 #[derive(Debug)]
@@ -90,7 +93,17 @@ common options:
              fixed point; falls back to the raw iterate on degenerate
              denominators). Without the flag, cyclic assemblies are an
              error; the ARCHREL_FIXED_POINT environment variable picks the
-             scheme without opting cycles in";
+             scheme without opting cycles in
+  --artifact-dir DIR   persistent artifact store: compiled solve plans are
+             archived into DIR (mmap-loaded zero-copy on later runs) so
+             separate processes share compilation work; equivalent to the
+             ARCHREL_ARTIFACT_DIR environment variable. Applies to predict/
+             report/sweep/batch
+  --artifact-mode {off,read,readwrite}   how the artifact store is used:
+             read loads archives but never writes (safe for many processes
+             sharing one warmed directory), readwrite also publishes fresh
+             compilations (default with --artifact-dir); equivalent to the
+             ARCHREL_ARTIFACT_MODE environment variable";
 
 /// Parsed common options.
 struct Options {
@@ -111,6 +124,8 @@ struct Options {
     solver: Option<SolverPolicy>,
     program: Option<ProgramMode>,
     fixed_point: Option<FixedPointMode>,
+    artifact_dir: Option<String>,
+    artifact_mode: Option<ArtifactMode>,
 }
 
 impl Options {
@@ -137,6 +152,32 @@ impl Options {
         }
         options
     }
+
+    /// Builds an evaluator honoring the artifact-store flags. Without
+    /// flags the plan cache itself reads `ARCHREL_ARTIFACT_DIR`; explicit
+    /// flags construct the store directly (never via process-global
+    /// environment mutation, which would race parallel invocations).
+    fn evaluator<'a>(&self, assembly: &'a Assembly) -> Result<Evaluator<'a>, CliError> {
+        match &self.artifact_dir {
+            None => Ok(Evaluator::with_options(assembly, self.eval_options())),
+            Some(dir) => {
+                let mode = self.artifact_mode.unwrap_or(ArtifactMode::ReadWrite);
+                let store = if mode == ArtifactMode::Off {
+                    None
+                } else {
+                    Some(Arc::new(ArtifactStore::open(dir, mode).map_err(|e| {
+                        CliError::new(format!("cannot open artifact dir `{dir}`: {e}"))
+                    })?))
+                };
+                let plans = Arc::new(PlanCache::new().with_artifact_store(store));
+                Ok(Evaluator::with_plan_cache(
+                    assembly,
+                    self.eval_options(),
+                    plans,
+                ))
+            }
+        }
+    }
 }
 
 fn parse_options(args: &[String]) -> Result<Options, CliError> {
@@ -158,6 +199,8 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         solver: None,
         program: None,
         fixed_point: None,
+        artifact_dir: None,
+        artifact_mode: None,
     };
     let mut positional = Vec::new();
     let mut i = 0;
@@ -230,6 +273,17 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                     CliError::new(format!("`--fixed-point {value}`: expected plain or aitken"))
                 })?);
             }
+            "--artifact-dir" => {
+                opts.artifact_dir = Some(next_value(args, &mut i, "--artifact-dir")?)
+            }
+            "--artifact-mode" => {
+                let value = next_value(args, &mut i, "--artifact-mode")?;
+                opts.artifact_mode = Some(ArtifactMode::parse(&value).ok_or_else(|| {
+                    CliError::new(format!(
+                        "`--artifact-mode {value}`: expected off, read, or readwrite"
+                    ))
+                })?);
+            }
             flag if flag.starts_with("--") => {
                 return Err(CliError::new(format!("unknown option `{flag}`")))
             }
@@ -245,6 +299,11 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 "unexpected extra arguments: {positional:?}"
             )))
         }
+    }
+    if opts.artifact_mode.is_some() && opts.artifact_dir.is_none() {
+        return Err(CliError::new(
+            "`--artifact-mode` requires `--artifact-dir DIR`",
+        ));
     }
     Ok(opts)
 }
@@ -306,6 +365,25 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
             )));
         }
     }
+    if let Ok(raw) = std::env::var("ARCHREL_ARTIFACT_MODE") {
+        if !raw.is_empty() {
+            if ArtifactMode::parse(&raw).is_none() {
+                return Err(CliError::new(format!(
+                    "unrecognized ARCHREL_ARTIFACT_MODE value `{raw}`: \
+                     expected one of off, read, readwrite"
+                )));
+            }
+            if ArtifactMode::parse(&raw) != Some(ArtifactMode::Off)
+                && std::env::var("ARCHREL_ARTIFACT_DIR")
+                    .map(|d| d.is_empty())
+                    .unwrap_or(true)
+            {
+                return Err(CliError::new(
+                    "ARCHREL_ARTIFACT_MODE requires ARCHREL_ARTIFACT_DIR to be set",
+                ));
+            }
+        }
+    }
     let opts = parse_options(&args[1..])?;
     match command.as_str() {
         "validate" => cmd_validate(&opts, out),
@@ -350,7 +428,8 @@ fn cmd_validate(opts: &Options, out: &mut impl Write) -> Result<(), CliError> {
 fn cmd_predict(opts: &Options, out: &mut impl Write) -> Result<(), CliError> {
     let assembly = load(opts)?;
     let service = required_service(opts)?;
-    let p = Evaluator::with_options(&assembly, opts.eval_options())
+    let p = opts
+        .evaluator(&assembly)?
         .failure_probability(&service, &opts.bindings)?;
     writeln!(out, "Pfail({service}) = {:e}", p.value())?;
     writeln!(out, "reliability      = {:.12}", p.complement().value())?;
@@ -360,8 +439,9 @@ fn cmd_predict(opts: &Options, out: &mut impl Write) -> Result<(), CliError> {
 fn cmd_report(opts: &Options, out: &mut impl Write) -> Result<(), CliError> {
     let assembly = load(opts)?;
     let service = required_service(opts)?;
-    let report =
-        Evaluator::with_options(&assembly, opts.eval_options()).report(&service, &opts.bindings)?;
+    let report = opts
+        .evaluator(&assembly)?
+        .report(&service, &opts.bindings)?;
     writeln!(out, "{report}")?;
     Ok(())
 }
@@ -425,7 +505,7 @@ fn cmd_sweep(opts: &Options, out: &mut impl Write) -> Result<(), CliError> {
     let assembly = load(opts)?;
     let service = required_service(opts)?;
     let (param, values) = sweep_grid(opts)?;
-    let evaluator = Evaluator::with_options(&assembly, opts.eval_options());
+    let evaluator = opts.evaluator(&assembly)?;
     // Only the swept parameter moves between points: services outside its
     // dependency cone pin after the first evaluation under the
     // assembly-program path.
@@ -493,7 +573,7 @@ fn cmd_batch(opts: &Options, out: &mut impl Write) -> Result<(), CliError> {
         })
         .collect();
     let batch =
-        BatchEvaluator::with_options(&assembly, opts.eval_options()).with_workers(opts.threads);
+        BatchEvaluator::from_evaluator(opts.evaluator(&assembly)?).with_workers(opts.threads);
     let (results, summary) = batch.evaluate_all_summarized(&queries);
     writeln!(out, "{:>16} {:>16} {:>16}", param, "Pfail", "reliability")?;
     for (query, result) in queries.iter().zip(&results).take(values.len()) {
@@ -1047,6 +1127,74 @@ mod tests {
             ])
             .unwrap_err();
             assert!(err.to_string().contains("auto, on, or off"), "{err}");
+        });
+    }
+
+    #[test]
+    fn artifact_flags_warm_and_reuse_a_store() {
+        with_document(|path| {
+            let store_dir = std::env::temp_dir().join(format!(
+                "archrel-cli-artifacts-{:?}",
+                std::thread::current().id()
+            ));
+            let store_dir = store_dir.to_str().unwrap().to_string();
+            let base = [
+                "predict",
+                path,
+                "--service",
+                "app",
+                "--bind",
+                "work=1e6",
+                "--solver",
+                "compiled",
+            ];
+            let run_with = |mode: &str| {
+                let mut args = base.to_vec();
+                args.extend_from_slice(&["--artifact-dir", &store_dir, "--artifact-mode", mode]);
+                run_capture(&args).unwrap()
+            };
+            let plain = run_capture(&base).unwrap();
+            // Warm the store, then answer from it read-only; the printed
+            // prediction never changes.
+            let warmed = run_with("readwrite");
+            assert_eq!(plain, warmed);
+            let archives = std::fs::read_dir(&store_dir)
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .filter(|e| e.file_name().to_string_lossy().ends_with(".arst"))
+                .count();
+            assert!(archives > 0, "warm run must publish archives");
+            assert_eq!(plain, run_with("read"));
+            assert_eq!(plain, run_with("off"));
+            let _ = std::fs::remove_dir_all(&store_dir);
+        });
+    }
+
+    #[test]
+    fn artifact_flags_are_validated() {
+        with_document(|path| {
+            let err = run_capture(&[
+                "predict",
+                path,
+                "--service",
+                "app",
+                "--artifact-mode",
+                "readwrite",
+            ])
+            .unwrap_err();
+            assert!(err.to_string().contains("--artifact-dir"), "{err}");
+            let err = run_capture(&[
+                "predict",
+                path,
+                "--service",
+                "app",
+                "--artifact-dir",
+                "/tmp/x",
+                "--artifact-mode",
+                "sometimes",
+            ])
+            .unwrap_err();
+            assert!(err.to_string().contains("off, read, or readwrite"), "{err}");
         });
     }
 

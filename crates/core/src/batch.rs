@@ -195,6 +195,11 @@ impl<'a> BatchEvaluator<'a> {
                 aitken_fallbacks: after.aitken_fallbacks - before.aitken_fallbacks,
                 program_loop_sccs: after.program_loop_sccs - before.program_loop_sccs,
                 scc_iterations: after.scc_iterations - before.scc_iterations,
+                store_hits: after.store_hits - before.store_hits,
+                store_misses: after.store_misses - before.store_misses,
+                store_validate_rejects: after.store_validate_rejects
+                    - before.store_validate_rejects,
+                store_writes: after.store_writes - before.store_writes,
             },
         };
         (results, summary)

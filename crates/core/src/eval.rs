@@ -22,6 +22,7 @@ use archrel_markov::{
 use archrel_model::{
     Assembly, CompositeService, Probability, Service, ServiceCall, ServiceId, StateId,
 };
+use archrel_store::ArtifactStore;
 use parking_lot::RwLock;
 
 use crate::augment::{augmented_chain, AugmentedState};
@@ -408,6 +409,17 @@ pub struct CacheStats {
     /// Per-SCC member-estimate updates performed by compiled programs'
     /// fixed-point drivers, summed over all loop SCCs.
     pub scc_iterations: u64,
+    /// Compiled plans and program bundles loaded (and fully validated)
+    /// from the persistent artifact store.
+    pub store_hits: u64,
+    /// Artifact-store lookups that found no archive on disk.
+    pub store_misses: u64,
+    /// Artifacts present on disk but rejected by validation — corrupt,
+    /// wrong format version, incompatible build, or hostile framing. Each
+    /// rejection fell back to fresh compilation.
+    pub store_validate_rejects: u64,
+    /// Artifacts this process published to the store.
+    pub store_writes: u64,
 }
 
 impl CacheStats {
@@ -475,6 +487,10 @@ impl CacheCounters {
             aitken_fallbacks: self.aitken_fallbacks.load(Ordering::Relaxed),
             program_loop_sccs: 0,
             scc_iterations: 0,
+            store_hits: 0,
+            store_misses: 0,
+            store_validate_rejects: 0,
+            store_writes: 0,
         }
     }
 }
@@ -520,6 +536,9 @@ pub struct PlanCache {
     evictions: AtomicU64,
     block_points: AtomicU64,
     block_flushes: AtomicU64,
+    /// Persistent artifact tier: archived plans are loaded instead of
+    /// compiled, and fresh compilations are published back.
+    store: Option<Arc<ArtifactStore>>,
 }
 
 /// One cached structure plus its LRU bookkeeping.
@@ -567,7 +586,22 @@ impl PlanCache {
             evictions: AtomicU64::new(0),
             block_points: AtomicU64::new(0),
             block_flushes: AtomicU64::new(0),
+            store: ArtifactStore::from_env(),
         }
+    }
+
+    /// Attaches a persistent artifact store (or detaches with `None`),
+    /// replacing whatever `ARCHREL_ARTIFACT_DIR` configured. Archived plans
+    /// then satisfy cache misses without compiling, and fresh compilations
+    /// are published back when the store's mode writes.
+    pub fn with_artifact_store(mut self, store: Option<Arc<ArtifactStore>>) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// The persistent artifact store this cache reads through, if any.
+    pub fn artifact_store(&self) -> Option<&Arc<ArtifactStore>> {
+        self.store.as_ref()
     }
 
     /// Maximum number of structures the cache retains.
@@ -626,21 +660,46 @@ impl PlanCache {
             }
         }
         self.plan_misses.fetch_add(1, Ordering::Relaxed);
-        let compiled = if acyclic_only {
-            SolvePlan::compile_acyclic(chain, from, target).map(|p| p.map(Arc::new))
-        } else {
-            SolvePlan::compile(chain, from, target).map(|p| Some(Arc::new(p)))
-        };
-        let fresh = match compiled {
-            Ok(Some(plan)) => PlanEntry::Plan(plan),
-            Ok(None) => PlanEntry::CyclicUncompiled,
-            Err(archrel_markov::MarkovError::UnreachableTarget { from, target }) => {
-                PlanEntry::Unreachable { from, target }
+        // Read-through: an archived artifact for this structure (published
+        // by an earlier process sharing the artifact directory) replaces
+        // the compile step entirely. An acyclic-only caller ignores an
+        // archived *cyclic* plan so the `Auto` classification outcome — and
+        // hence every downstream number — matches a store-less run exactly.
+        let archived = self.store.as_ref().and_then(|store| {
+            store
+                .load_plan(fingerprint)
+                .filter(|plan| !acyclic_only || plan.is_acyclic())
+                .map(Arc::new)
+        });
+        let fresh = match archived {
+            Some(plan) => PlanEntry::Plan(plan),
+            None => {
+                let compiled = if acyclic_only {
+                    SolvePlan::compile_acyclic(chain, from, target).map(|p| p.map(Arc::new))
+                } else {
+                    SolvePlan::compile(chain, from, target).map(|p| Some(Arc::new(p)))
+                };
+                match compiled {
+                    Ok(Some(plan)) => {
+                        // Write-behind: publication failures are non-fatal
+                        // (the in-memory plan is used either way) and
+                        // surface only through the store's counters.
+                        if let Some(store) = &self.store {
+                            let _ = store.store_plan(&plan);
+                        }
+                        PlanEntry::Plan(plan)
+                    }
+                    Ok(None) => PlanEntry::CyclicUncompiled,
+                    Err(archrel_markov::MarkovError::UnreachableTarget { from, target }) => {
+                        PlanEntry::Unreachable { from, target }
+                    }
+                    // Other validation errors (trapped mass, not an
+                    // absorbing chain, ...) are not cached: the direct
+                    // solvers re-derive them and the caller propagates them
+                    // either way.
+                    Err(e) => return Err(e),
+                }
             }
-            // Other validation errors (trapped mass, not an absorbing
-            // chain, ...) are not cached: the direct solvers re-derive them
-            // and the caller propagates them either way.
-            Err(e) => return Err(e),
         };
         let stamp = self.tick();
         let mut plans = self.plans.write();
@@ -714,7 +773,67 @@ impl PlanCache {
         stats.block_points = self.block_points.load(Ordering::Relaxed);
         stats.block_flushes = self.block_flushes.load(Ordering::Relaxed);
         stats.plan_evictions = self.evictions.load(Ordering::Relaxed);
+        if let Some(store) = &self.store {
+            let s = store.stats();
+            stats.store_hits = s.hits;
+            stats.store_misses = s.misses;
+            stats.store_validate_rejects = s.validate_rejects;
+            stats.store_writes = s.writes;
+        }
     }
+
+    /// Installs archived plans for the given structure fingerprints ahead
+    /// of demand (a compiled program's bundle warm-start); returns how many
+    /// were loaded. Only *acyclic* archives are installed: an `Auto` caller
+    /// must reach the same classification outcome as a store-less run (a
+    /// pre-installed cyclic plan would silently replace its sparse
+    /// fallback), while full-compilation callers still pick archived cyclic
+    /// plans up through the read-through path.
+    pub fn prefetch_archived(&self, fingerprints: &[u64]) -> usize {
+        let Some(store) = &self.store else { return 0 };
+        let mut loaded = 0;
+        for &fingerprint in fingerprints {
+            if self.plans.read().contains_key(&fingerprint) {
+                continue;
+            }
+            let Some(plan) = store.load_plan(fingerprint).filter(|p| p.is_acyclic()) else {
+                continue;
+            };
+            let stamp = self.tick();
+            let mut plans = self.plans.write();
+            plans.entry(fingerprint).or_insert_with(|| {
+                loaded += 1;
+                PlanSlot {
+                    entry: PlanEntry::Plan(Arc::new(plan)),
+                    last_used: AtomicU64::new(stamp),
+                }
+            });
+            while plans.len() > self.capacity {
+                let victim = plans
+                    .iter()
+                    .filter(|(&fp, _)| fp != fingerprint)
+                    .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
+                    .map(|(&fp, _)| fp);
+                match victim {
+                    Some(fp) => {
+                        plans.remove(&fp);
+                        self.seen.write().remove(&fp);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => break,
+                }
+            }
+        }
+        loaded
+    }
+}
+
+/// Store digest of one `(assembly, target)` program. Hashes the assembly's
+/// full debug rendering (deterministic: services live in a `BTreeMap`), so
+/// any model change — structure *or* numbers — keys a different bundle.
+/// Conservative over-keying only costs a warm-start, never correctness.
+fn program_digest(assembly: &Assembly, service: &ServiceId) -> u64 {
+    archrel_store::fnv1a64(format!("{assembly:?}|{service:?}").as_bytes())
 }
 
 thread_local! {
@@ -794,6 +913,10 @@ pub struct Evaluator<'a> {
     /// target's program when it compiles.
     varied: RwLock<HashMap<ServiceId, Vec<String>>>,
     programs_compiled: AtomicU64,
+    /// Targets whose pinned-plan bundle has been published to the artifact
+    /// store (publication happens once, after the first evaluation that
+    /// pinned at least one plan).
+    bundles_published: RwLock<HashSet<ServiceId>>,
 }
 
 /// Program-promotion state of one target service.
@@ -843,6 +966,7 @@ impl<'a> Evaluator<'a> {
             programs: RwLock::new(HashMap::new()),
             varied: RwLock::new(HashMap::new()),
             programs_compiled: AtomicU64::new(0),
+            bundles_published: RwLock::new(HashSet::new()),
         }
     }
 
@@ -969,6 +1093,18 @@ impl<'a> Evaluator<'a> {
                 if let Some(names) = self.varied.read().get(service) {
                     program.set_varied(names);
                 }
+                // Bundle warm-start: an earlier process that ran this same
+                // program published the fingerprints of the plans it
+                // pinned; installing their archives now lets even the first
+                // evaluation skip every per-node compile.
+                if let Some(store) = self.plans.artifact_store() {
+                    if store.mode().reads() {
+                        if let Some(fps) = store.load_bundle(program_digest(self.assembly, service))
+                        {
+                            self.plans.prefetch_archived(&fps);
+                        }
+                    }
+                }
                 let program = Arc::new(program);
                 programs.insert(service.clone(), ProgramSlot::Ready(Arc::clone(&program)));
                 Ok(Some(program))
@@ -998,8 +1134,28 @@ impl<'a> Evaluator<'a> {
         }
         self.counters.misses.fetch_add(1, Ordering::Relaxed);
         let p = program.evaluate(self, env)?;
+        self.publish_program_bundle(service, program);
         self.cache.write().insert(key, p);
         Ok(p)
+    }
+
+    /// Publishes the program's pinned-plan bundle to the artifact store —
+    /// once per target, after the first evaluation that pinned at least one
+    /// plan (pinning happens during evaluation, so the set is complete by
+    /// the time an evaluation returns). Publication failures are non-fatal.
+    fn publish_program_bundle(&self, service: &ServiceId, program: &AssemblyProgram<'a>) {
+        let Some(store) = self.plans.artifact_store() else {
+            return;
+        };
+        if !store.mode().writes() || self.bundles_published.read().contains(service) {
+            return;
+        }
+        let fingerprints = program.pinned_plan_fingerprints();
+        if fingerprints.is_empty() {
+            return;
+        }
+        let _ = store.store_bundle(program_digest(self.assembly, service), &fingerprints);
+        self.bundles_published.write().insert(service.clone());
     }
 
     /// Records one plan-path solve kind (shared with the program path).
@@ -1080,7 +1236,10 @@ impl<'a> Evaluator<'a> {
                         // driver. Like the recursive sweeps, it never reads
                         // or writes the shared value cache — estimates are
                         // sweep-local state.
-                        return program.evaluate_fixed_point(self, env, max_iterations, tolerance);
+                        let p =
+                            program.evaluate_fixed_point(self, env, max_iterations, tolerance)?;
+                        self.publish_program_bundle(service, &program);
+                        return Ok(p);
                     }
                     // Acyclic target under fixed-point mode: every value is
                     // exact, so the normal program path (with its caches)

@@ -530,6 +530,28 @@ impl<'a> AssemblyProgram<'a> {
         *self.cone.write() = None;
     }
 
+    /// Structure fingerprints of every solve plan pinned by this program's
+    /// pooled runtimes, sorted and deduplicated — the payload of a
+    /// persistent program bundle. Only parked runtimes are visible, so call
+    /// between evaluations (checkouts in flight contribute after they are
+    /// returned to the pool).
+    pub(crate) fn pinned_plan_fingerprints(&self) -> Vec<u64> {
+        let runtimes = self.runtimes.lock();
+        let mut fingerprints: Vec<u64> = runtimes
+            .iter()
+            .flat_map(|rt| rt.nodes.iter())
+            .filter_map(|node| {
+                node.chain
+                    .as_ref()
+                    .and_then(|c| c.plan.as_ref())
+                    .map(|plan| plan.fingerprint())
+            })
+            .collect();
+        fingerprints.sort_unstable();
+        fingerprints.dedup();
+        fingerprints
+    }
+
     /// Memo / pin counter snapshot: `(memo_hits, memo_misses, pin_hits)`.
     pub(crate) fn counter_snapshot(&self) -> (u64, u64, u64) {
         (

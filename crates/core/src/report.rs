@@ -45,6 +45,14 @@ impl fmt::Display for CacheStats {
         if self.plan_evictions > 0 {
             write!(f, "; {} plan evictions", self.plan_evictions)?;
         }
+        if self.store_hits + self.store_misses + self.store_validate_rejects + self.store_writes > 0
+        {
+            write!(
+                f,
+                "; store: {} hits / {} misses / {} rejects, {} writes",
+                self.store_hits, self.store_misses, self.store_validate_rejects, self.store_writes
+            )?;
+        }
         if self.programs_compiled > 0 {
             write!(
                 f,

@@ -44,13 +44,15 @@ mod lu;
 mod matrix;
 mod rank1;
 mod vector;
+mod view;
 
 pub use csr::CsrMatrix;
 pub use error::LinalgError;
-pub use lu::Lu;
+pub use lu::{Lu, SINGULARITY_EPS};
 pub use matrix::Matrix;
 pub use rank1::{sherman_morrison_solve, RANK1_REFUSAL_EPS};
 pub use vector::Vector;
+pub use view::{lu_solve_view, sherman_morrison_solve_view};
 
 /// Convenience result alias for fallible linear-algebra operations.
 pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -30,14 +30,16 @@ pub struct Lu {
     /// Combined L (strictly lower, unit diagonal implied) and U (upper).
     factors: Matrix,
     /// Row permutation: `perm[i]` is the original row now in position `i`.
-    perm: Vec<usize>,
+    /// Stored as `u32` so the factorization can round-trip through the
+    /// on-disk plan archive without an index-width conversion.
+    perm: Vec<u32>,
     /// Number of row swaps performed (determinant sign).
     swaps: usize,
 }
 
 /// Pivots with absolute value below this threshold are treated as zero,
 /// declaring the matrix numerically singular.
-const SINGULARITY_EPS: f64 = 1e-300;
+pub const SINGULARITY_EPS: f64 = 1e-300;
 
 impl Lu {
     /// Factorizes `a` with partial (row) pivoting.
@@ -52,7 +54,7 @@ impl Lu {
         }
         let n = a.rows();
         let mut f = a.clone();
-        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm: Vec<u32> = (0..n as u32).collect();
         let mut swaps = 0;
 
         for k in 0..n {
@@ -103,7 +105,22 @@ impl Lu {
         self.factors.rows()
     }
 
+    /// The combined row-major `L`/`U` storage, for archival and view-based
+    /// solves ([`crate::lu_solve_view`]).
+    pub fn factors_data(&self) -> &[f64] {
+        self.factors.as_slice()
+    }
+
+    /// The row permutation: `perm[i]` is the original row now in position
+    /// `i`.
+    pub fn perm(&self) -> &[u32] {
+        &self.perm
+    }
+
     /// Solves `A x = b` using the stored factorization.
+    ///
+    /// Delegates to [`crate::lu_solve_view`], the single implementation of
+    /// the triangular solves shared with mapped (archived) factorizations.
     ///
     /// # Errors
     ///
@@ -117,25 +134,8 @@ impl Lu {
                 right: (b.len(), 1),
             });
         }
-        // Apply permutation: y = P b.
-        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
-        // Forward substitution with unit-diagonal L.
-        for i in 1..n {
-            let mut s = x[i];
-            for j in 0..i {
-                s -= self.factors.get(i, j) * x[j];
-            }
-            x[i] = s;
-        }
-        // Back substitution with U.
-        for i in (0..n).rev() {
-            let mut s = x[i];
-            for j in (i + 1)..n {
-                s -= self.factors.get(i, j) * x[j];
-            }
-            x[i] = s / self.factors.get(i, i);
-        }
-        Ok(Vector::from(x))
+        crate::view::lu_solve_view(n, self.factors.as_slice(), &self.perm, b.as_slice())
+            .map(Vector::from)
     }
 
     /// Solves `A X = B` column by column.

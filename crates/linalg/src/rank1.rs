@@ -37,27 +37,16 @@ pub fn sherman_morrison_solve(
     v: &Vector,
     refusal_eps: f64,
 ) -> Result<Option<Vector>> {
-    let n = lu.dim();
-    if v.len() != n || row >= n {
-        return Err(crate::LinalgError::DimensionMismatch {
-            op: "Sherman-Morrison solve",
-            left: (n, n),
-            right: (v.len(), 1),
-        });
-    }
-    let y = lu.solve(b)?;
-    let z = lu.solve(&Vector::basis(n, row))?;
-    let denom = 1.0 + v.dot(&z);
-    if denom.abs() < refusal_eps {
-        return Ok(None);
-    }
-    let scale = v.dot(&y) / denom;
-    let x: Vec<f64> = y
-        .iter()
-        .zip(z.iter())
-        .map(|(&yi, &zi)| yi - zi * scale)
-        .collect();
-    Ok(Some(Vector::from(x)))
+    crate::view::sherman_morrison_solve_view(
+        lu.dim(),
+        lu.factors_data(),
+        lu.perm(),
+        b.as_slice(),
+        row,
+        v.as_slice(),
+        refusal_eps,
+    )
+    .map(|x| x.map(Vector::from))
 }
 
 #[cfg(test)]

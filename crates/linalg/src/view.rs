@@ -1,0 +1,157 @@
+//! Borrowed-storage LU solves: the same arithmetic as [`crate::Lu::solve`]
+//! and [`crate::sherman_morrison_solve`], operating on raw `&[f64]` /
+//! `&[u32]` views instead of an owned [`crate::Lu`].
+//!
+//! The compiled-plan archive (`archrel-store`) maps factorizations straight
+//! from disk and must evaluate them without first copying into an owned
+//! [`crate::Matrix`]. These free functions are the single implementation of
+//! the triangular solves: the owned [`crate::Lu::solve`] and
+//! [`crate::sherman_morrison_solve`] entry points delegate here, so owned
+//! and mapped evaluations are bit-for-bit identical by construction.
+
+use crate::{LinalgError, Result, Vector};
+
+/// Solves `A x = b` from a borrowed factorization: `factors` is the combined
+/// row-major `L` (unit diagonal implied) / `U` storage of an `n × n`
+/// [`crate::Lu`], and `perm` its row permutation.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] when `b`, `factors`, or `perm`
+/// do not match `n`.
+pub fn lu_solve_view(n: usize, factors: &[f64], perm: &[u32], b: &[f64]) -> Result<Vec<f64>> {
+    if b.len() != n || factors.len() != n * n || perm.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            op: "LU solve (view)",
+            left: (n, n),
+            right: (b.len(), 1),
+        });
+    }
+    // Apply permutation: y = P b.
+    let mut x: Vec<f64> = perm.iter().map(|&p| b[p as usize]).collect();
+    // Forward substitution with unit-diagonal L.
+    for i in 1..n {
+        let mut s = x[i];
+        for (j, xj) in x.iter().enumerate().take(i) {
+            s -= factors[i * n + j] * xj;
+        }
+        x[i] = s;
+    }
+    // Back substitution with U.
+    for i in (0..n).rev() {
+        let mut s = x[i];
+        for j in (i + 1)..n {
+            s -= factors[i * n + j] * x[j];
+        }
+        x[i] = s / factors[i * n + i];
+    }
+    Ok(x)
+}
+
+/// Solves `(A + e_row vᵀ) x = b` from a borrowed factorization of `A` —
+/// the view-storage twin of [`crate::sherman_morrison_solve`], with the
+/// same `Ok(None)` numerical-refusal contract.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] when any view or `row` does
+/// not match `n`.
+pub fn sherman_morrison_solve_view(
+    n: usize,
+    factors: &[f64],
+    perm: &[u32],
+    b: &[f64],
+    row: usize,
+    v: &[f64],
+    refusal_eps: f64,
+) -> Result<Option<Vec<f64>>> {
+    if v.len() != n || row >= n {
+        return Err(LinalgError::DimensionMismatch {
+            op: "Sherman-Morrison solve",
+            left: (n, n),
+            right: (v.len(), 1),
+        });
+    }
+    let y = lu_solve_view(n, factors, perm, b)?;
+    let e = Vector::basis(n, row);
+    let z = lu_solve_view(n, factors, perm, e.as_slice())?;
+    let denom = 1.0 + dot(v, &z);
+    if denom.abs() < refusal_eps {
+        return Ok(None);
+    }
+    let scale = dot(v, &y) / denom;
+    let x: Vec<f64> = y
+        .iter()
+        .zip(z.iter())
+        .map(|(&yi, &zi)| yi - zi * scale)
+        .collect();
+    Ok(Some(x))
+}
+
+/// Sequential dot product with the exact summation order of
+/// [`Vector::dot`].
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sherman_morrison_solve, Lu, Matrix, RANK1_REFUSAL_EPS};
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.25], &[0.5, 0.25, 5.0]]).unwrap()
+    }
+
+    #[test]
+    fn view_solve_is_bitwise_identical_to_owned_solve() {
+        let lu = Lu::decompose(&sample()).unwrap();
+        let b = Vector::from_slice(&[1.0, -2.0, 3.0]);
+        let owned = lu.solve(&b).unwrap();
+        let viewed = lu_solve_view(lu.dim(), lu.factors_data(), lu.perm(), b.as_slice()).unwrap();
+        for (o, v) in owned.iter().zip(&viewed) {
+            assert_eq!(o.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn view_rank1_is_bitwise_identical_to_owned_rank1() {
+        let lu = Lu::decompose(&sample()).unwrap();
+        let b = Vector::from_slice(&[1.0, 2.0, 3.0]);
+        let v = Vector::from_slice(&[0.3, -0.1, 0.2]);
+        let owned = sherman_morrison_solve(&lu, &b, 1, &v, RANK1_REFUSAL_EPS)
+            .unwrap()
+            .unwrap();
+        let viewed = sherman_morrison_solve_view(
+            lu.dim(),
+            lu.factors_data(),
+            lu.perm(),
+            b.as_slice(),
+            1,
+            v.as_slice(),
+            RANK1_REFUSAL_EPS,
+        )
+        .unwrap()
+        .unwrap();
+        for (o, w) in owned.iter().zip(&viewed) {
+            assert_eq!(o.to_bits(), w.to_bits());
+        }
+    }
+
+    #[test]
+    fn view_solve_rejects_bad_shapes() {
+        let lu = Lu::decompose(&Matrix::identity(3)).unwrap();
+        assert!(lu_solve_view(3, lu.factors_data(), lu.perm(), &[1.0, 2.0]).is_err());
+        assert!(lu_solve_view(2, lu.factors_data(), lu.perm(), &[1.0, 2.0]).is_err());
+        assert!(sherman_morrison_solve_view(
+            3,
+            lu.factors_data(),
+            lu.perm(),
+            &[1.0; 3],
+            3,
+            &[0.0; 3],
+            1e-9
+        )
+        .is_err());
+    }
+}

@@ -72,6 +72,12 @@ pub enum MarkovError {
     },
     /// The chain is empty.
     EmptyChain,
+    /// An archived compiled plan failed structural validation on load
+    /// (bounds, offsets, finiteness, permutation checks).
+    InvalidPlanArchive {
+        /// The first failed check.
+        reason: String,
+    },
     /// An underlying linear-algebra operation failed.
     Linalg(LinalgError),
 }
@@ -109,6 +115,9 @@ impl fmt::Display for MarkovError {
             ),
             MarkovError::NotErgodic { reason } => write!(f, "chain is not ergodic: {reason}"),
             MarkovError::EmptyChain => write!(f, "chain has no states"),
+            MarkovError::InvalidPlanArchive { reason } => {
+                write!(f, "invalid plan archive: {reason}")
+            }
             MarkovError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
         }
     }

@@ -51,6 +51,7 @@ mod error;
 mod iterative_absorption;
 pub mod paths;
 mod plan;
+mod section;
 mod sparse;
 pub mod stationary;
 pub mod transient;
@@ -60,8 +61,10 @@ pub use chain::{Dtmc, DtmcBuilder, StateLabel};
 pub use error::MarkovError;
 pub use iterative_absorption::{absorption_probabilities_iterative, AbsorptionIterOptions};
 pub use plan::{
-    structure_fingerprint, BlockSolveKinds, ParamBlock, PlanScratch, PlanSolveKind, SolvePlan, LANE,
+    structure_fingerprint, BlockSolveKinds, ParamBlock, PlanBody, PlanParts, PlanScratch,
+    PlanSolveKind, SolvePlan, LANE, PLAN_SLOT_NONE,
 };
+pub use section::{Section, SliceBacking};
 pub use sparse::{absorption_probability_sparse, SparseMethod, SparseSolveOptions};
 
 /// Alias naming [`MarkovError`] in its solver role: the absorption-solve

@@ -36,9 +36,13 @@
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
-use archrel_linalg::{sherman_morrison_solve, LinalgError, Lu, Matrix, Vector, RANK1_REFUSAL_EPS};
+use archrel_linalg::{
+    lu_solve_view, sherman_morrison_solve_view, LinalgError, Lu, Matrix, Vector, RANK1_REFUSAL_EPS,
+    SINGULARITY_EPS,
+};
 
 use crate::absorbing::{check_reachability, check_target_reachable};
+use crate::section::Section;
 use crate::{Dtmc, MarkovError, Result, StateLabel};
 
 /// Hash of everything a [`SolvePlan`] depends on except the numeric
@@ -228,56 +232,127 @@ pub enum PlanSolveKind {
     Full,
 }
 
-/// One tape instruction: solve transient position `pos` from its already
-/// solved successors, replicating the sparse path's back-substitution
-/// arithmetic exactly.
+/// Sentinel for "no slot" / "no index" in a plan's flat `u32` payload
+/// arrays: the archive format has no `Option`, so absence is in-band.
+pub const PLAN_SLOT_NONE: u32 = u32::MAX;
+
+/// Slot-role tags of a cyclic plan's flat role encoding: entry `Q[row][col]`
+/// of the transient-to-transient block, a contribution to `r[row]`
+/// (transition to the query target), or a transition to a non-target
+/// absorbing state (extracted for layout stability but unused by the solve).
+const ROLE_Q: u32 = 0;
+const ROLE_R: u32 = 1;
+const ROLE_IGNORED: u32 = 2;
+
+/// Flat back-substitution tape: one entry per transient position in solve
+/// order, successor terms packed CSR-style. Each entry replicates the
+/// sparse path's back-substitution arithmetic exactly; the flat `u32`
+/// encoding (instead of per-step structs) is what lets the artifact store
+/// archive and map a tape without pointer fixups.
 #[derive(Debug, Clone)]
-struct Step {
-    /// Transient position being solved.
-    pos: usize,
-    /// Slot holding the direct transition probability to the target, if any.
-    r_slot: Option<usize>,
-    /// Slot holding the self-loop probability, if any.
-    self_slot: Option<usize>,
-    /// `(slot, successor position)` pairs in adjacency order.
-    terms: Vec<(usize, usize)>,
+struct Tape {
+    /// Transient position solved by step `k`.
+    pos: Section<u32>,
+    /// Slot of the direct transition to the target, or [`PLAN_SLOT_NONE`].
+    r_slot: Section<u32>,
+    /// Slot of the self-loop probability, or [`PLAN_SLOT_NONE`].
+    self_slot: Section<u32>,
+    /// CSR offsets into `term_slot`/`term_pos`: step `k` owns span
+    /// `term_off[k]..term_off[k+1]`.
+    term_off: Section<u32>,
+    /// Successor-term parameter slots, in adjacency order.
+    term_slot: Section<u32>,
+    /// Successor-term transient positions, in adjacency order.
+    term_pos: Section<u32>,
 }
 
-/// What each parameter slot feeds in the linear system.
-#[derive(Debug, Clone, Copy)]
-enum SlotRole {
-    /// Entry `Q[row][col]` of the transient-to-transient block.
-    Q {
-        /// Transient row position.
-        row: usize,
-        /// Transient column position.
-        col: usize,
-    },
-    /// Contribution to `r[row]` (transition to the query target).
-    R {
-        /// Transient row position.
-        row: usize,
-    },
-    /// Transition to a non-target absorbing state: extracted for layout
-    /// stability but unused by the solve.
-    Ignored,
-}
-
-/// Compile-time state for a cyclic transient subgraph.
+/// Compile-time state for a cyclic transient subgraph: the slot roles and
+/// the baseline LU factorization of `I − Q₀`, flat-encoded as parallel
+/// arrays so the whole plan is archivable.
 #[derive(Debug, Clone)]
 struct CyclicPlan {
     nt: usize,
-    roles: Vec<SlotRole>,
+    /// Per-slot role tag (`ROLE_Q` / `ROLE_R` / `ROLE_IGNORED`).
+    role_tag: Section<u32>,
+    /// Transient row of Q/R slots; [`PLAN_SLOT_NONE`] for ignored slots.
+    role_row: Section<u32>,
+    /// Transient column of Q slots; [`PLAN_SLOT_NONE`] otherwise.
+    role_col: Section<u32>,
     /// Parameter vector the plan was compiled against (defines `Q₀`).
-    baseline: Vec<f64>,
-    /// LU factorization of `I − Q₀`.
-    lu: Lu,
+    baseline: Section<f64>,
+    /// Combined row-major L/U factors of `I − Q₀` (see
+    /// [`archrel_linalg::Lu`]).
+    factors: Section<f64>,
+    /// LU row permutation.
+    perm: Section<u32>,
 }
 
 #[derive(Debug, Clone)]
 enum PlanKind {
-    Acyclic { steps: Vec<Step> },
+    Acyclic(Tape),
     Cyclic(Box<CyclicPlan>),
+}
+
+/// A [`SolvePlan`] decomposed into its flat payload arrays — the unit of
+/// exchange with the on-disk artifact store (`archrel-store`).
+///
+/// Obtained from [`SolvePlan::to_parts`] for archival; reassembled (with
+/// full structural validation) by [`SolvePlan::from_parts`]. Each payload
+/// array is a [`Section`], so a store can hand back zero-copy views into a
+/// mapped archive instead of owned vectors.
+#[derive(Debug, Clone)]
+pub struct PlanParts {
+    /// Structure fingerprint the plan was compiled for.
+    pub fingerprint: u64,
+    /// Total state count of structurally matching chains.
+    pub n_states: usize,
+    /// Transient position of the query source.
+    pub from_pos: usize,
+    /// Parameter-vector width.
+    pub slot_count: usize,
+    /// The kind-specific payload arrays.
+    pub body: PlanBody,
+}
+
+/// Kind-specific payload arrays of a [`PlanParts`].
+#[derive(Debug, Clone)]
+pub enum PlanBody {
+    /// Back-substitution tape of an acyclic plan (see the private `Tape`
+    /// layout: positions, slot references, CSR successor terms).
+    Acyclic {
+        /// Chain indices of the transient states, ascending.
+        t_idx: Section<u32>,
+        /// Transient position solved by each tape step.
+        pos: Section<u32>,
+        /// Target-transition slot per step, or [`PLAN_SLOT_NONE`].
+        r_slot: Section<u32>,
+        /// Self-loop slot per step, or [`PLAN_SLOT_NONE`].
+        self_slot: Section<u32>,
+        /// CSR offsets into `term_slot`/`term_pos` (`len == steps + 1`).
+        term_off: Section<u32>,
+        /// Successor-term parameter slots.
+        term_slot: Section<u32>,
+        /// Successor-term transient positions.
+        term_pos: Section<u32>,
+    },
+    /// Slot roles and baseline factorization of a cyclic plan.
+    Cyclic {
+        /// Chain indices of the transient states, ascending.
+        t_idx: Section<u32>,
+        /// Per-slot role tag (0 = Q entry, 1 = target transition,
+        /// 2 = ignored).
+        role_tag: Section<u32>,
+        /// Transient row per Q/R slot, [`PLAN_SLOT_NONE`] when ignored.
+        role_row: Section<u32>,
+        /// Transient column per Q slot, [`PLAN_SLOT_NONE`] otherwise.
+        role_col: Section<u32>,
+        /// Compile-time baseline parameters.
+        baseline: Section<f64>,
+        /// Row-major combined L/U factors of `I − Q₀`.
+        factors: Section<f64>,
+        /// LU row permutation.
+        perm: Section<u32>,
+    },
 }
 
 /// A compiled, reusable solve for one absorbing-chain structure.
@@ -305,7 +380,7 @@ pub struct SolvePlan {
     fingerprint: u64,
     n_states: usize,
     /// Chain indices of the transient states, in classification order.
-    t_idx: Vec<usize>,
+    t_idx: Section<u32>,
     from_pos: usize,
     slot_count: usize,
     kind: PlanKind,
@@ -390,7 +465,9 @@ impl SolvePlan {
         // in classification/adjacency order — the same order
         // `SolvePlan::parameters` extracts.
         let nt = t_idx.len();
-        let mut roles: Vec<SlotRole> = Vec::new();
+        let mut role_tag: Vec<u32> = Vec::new();
+        let mut role_row: Vec<u32> = Vec::new();
+        let mut role_col: Vec<u32> = Vec::new();
         let mut baseline: Vec<f64> = Vec::new();
         // Per transient row: `(col position, slot)` of the Q entries, in
         // adjacency order (mirrors the sparse path's `q_rows`).
@@ -398,49 +475,69 @@ impl SolvePlan {
         let mut r_slots: Vec<Option<usize>> = vec![None; nt];
         for (k, &i) in t_idx.iter().enumerate() {
             for &(j, p) in &chain.adjacency()[i] {
-                let slot = roles.len();
+                let slot = baseline.len();
                 baseline.push(p);
                 if let Some(&kj) = pos_of_state.get(&j) {
-                    roles.push(SlotRole::Q { row: k, col: kj });
+                    role_tag.push(ROLE_Q);
+                    role_row.push(k as u32);
+                    role_col.push(kj as u32);
                     q_rows[k].push((kj, slot));
                 } else if j == target_idx {
-                    roles.push(SlotRole::R { row: k });
+                    role_tag.push(ROLE_R);
+                    role_row.push(k as u32);
+                    role_col.push(PLAN_SLOT_NONE);
                     r_slots[k] = Some(slot);
                 } else {
-                    roles.push(SlotRole::Ignored);
+                    role_tag.push(ROLE_IGNORED);
+                    role_row.push(PLAN_SLOT_NONE);
+                    role_col.push(PLAN_SLOT_NONE);
                 }
             }
         }
-        let slot_count = roles.len();
+        let slot_count = baseline.len();
 
         let kind = match topological_order(&q_rows) {
             Some(order) => {
-                // Bake the back-substitution into a tape, one step per
-                // transient position in reverse topological order.
-                let steps = order
-                    .iter()
-                    .rev()
-                    .map(|&k| Step {
-                        pos: k,
-                        r_slot: r_slots[k],
-                        self_slot: q_rows[k]
+                // Bake the back-substitution into a flat tape, one entry per
+                // transient position in reverse topological order, successor
+                // terms packed CSR-style in adjacency order.
+                let mut pos = Vec::with_capacity(nt);
+                let mut r_slot = Vec::with_capacity(nt);
+                let mut self_slot = Vec::with_capacity(nt);
+                let mut term_off = Vec::with_capacity(nt + 1);
+                let mut term_slot = Vec::new();
+                let mut term_pos = Vec::new();
+                term_off.push(0u32);
+                for &k in order.iter().rev() {
+                    pos.push(k as u32);
+                    r_slot.push(r_slots[k].map_or(PLAN_SLOT_NONE, |s| s as u32));
+                    self_slot.push(
+                        q_rows[k]
                             .iter()
                             .find(|&&(j, _)| j == k)
-                            .map(|&(_, slot)| slot),
-                        terms: q_rows[k]
-                            .iter()
-                            .filter(|&&(j, _)| j != k)
-                            .map(|&(j, slot)| (slot, j))
-                            .collect(),
-                    })
-                    .collect();
-                PlanKind::Acyclic { steps }
+                            .map_or(PLAN_SLOT_NONE, |&(_, slot)| slot as u32),
+                    );
+                    for &(j, slot) in q_rows[k].iter().filter(|&&(j, _)| j != k) {
+                        term_slot.push(slot as u32);
+                        term_pos.push(j as u32);
+                    }
+                    term_off.push(term_slot.len() as u32);
+                }
+                PlanKind::Acyclic(Tape {
+                    pos: pos.into(),
+                    r_slot: r_slot.into(),
+                    self_slot: self_slot.into(),
+                    term_off: term_off.into(),
+                    term_slot: term_slot.into(),
+                    term_pos: term_pos.into(),
+                })
             }
             None if acyclic_only => return Ok(None),
             None => {
                 let mut a = Matrix::identity(nt);
-                for (slot, role) in roles.iter().enumerate() {
-                    if let SlotRole::Q { row, col } = *role {
+                for (slot, &tag) in role_tag.iter().enumerate() {
+                    if tag == ROLE_Q {
+                        let (row, col) = (role_row[slot] as usize, role_col[slot] as usize);
                         a.set(row, col, a.get(row, col) - baseline[slot]);
                     }
                 }
@@ -452,9 +549,12 @@ impl SolvePlan {
                 })?;
                 PlanKind::Cyclic(Box::new(CyclicPlan {
                     nt,
-                    roles,
-                    baseline,
-                    lu,
+                    role_tag: role_tag.into(),
+                    role_row: role_row.into(),
+                    role_col: role_col.into(),
+                    baseline: baseline.into(),
+                    factors: lu.factors_data().to_vec().into(),
+                    perm: lu.perm().to_vec().into(),
                 }))
             }
         };
@@ -462,7 +562,7 @@ impl SolvePlan {
         Ok(Some(SolvePlan {
             fingerprint: structure_fingerprint(chain, from, target),
             n_states: chain.len(),
-            t_idx,
+            t_idx: t_idx.iter().map(|&i| i as u32).collect::<Vec<u32>>().into(),
             from_pos,
             slot_count,
             kind,
@@ -523,8 +623,8 @@ impl SolvePlan {
         }
         out.reserve(self.slot_count);
         let adj = chain.adjacency();
-        for &i in &self.t_idx {
-            for &(_, p) in &adj[i] {
+        for &i in self.t_idx.as_slice() {
+            for &(_, p) in &adj[i as usize] {
                 out.push(p);
             }
         }
@@ -580,22 +680,34 @@ impl SolvePlan {
             return Err(plan_shape_mismatch(self.slot_count, params.len()));
         }
         match &self.kind {
-            PlanKind::Acyclic { steps } => {
+            PlanKind::Acyclic(tape) => {
                 x.clear();
                 x.resize(self.t_idx.len(), 0.0);
-                for step in steps {
-                    let mut s = step.r_slot.map_or(0.0, |slot| params[slot]);
-                    for &(slot, j) in &step.terms {
-                        s += params[slot] * x[j];
+                let pos = tape.pos.as_slice();
+                let r_slot = tape.r_slot.as_slice();
+                let self_slot = tape.self_slot.as_slice();
+                let term_off = tape.term_off.as_slice();
+                let term_slot = tape.term_slot.as_slice();
+                let term_pos = tape.term_pos.as_slice();
+                for k in 0..pos.len() {
+                    let mut s = match r_slot[k] {
+                        PLAN_SLOT_NONE => 0.0,
+                        slot => params[slot as usize],
+                    };
+                    for t in term_off[k] as usize..term_off[k + 1] as usize {
+                        s += params[term_slot[t] as usize] * x[term_pos[t] as usize];
                     }
-                    let self_loop = step.self_slot.map_or(0.0, |slot| params[slot]);
+                    let self_loop = match self_slot[k] {
+                        PLAN_SLOT_NONE => 0.0,
+                        slot => params[slot as usize],
+                    };
                     let den = 1.0 - self_loop;
                     if den <= 0.0 {
                         return Err(MarkovError::TrappedMass {
-                            state: format!("transient position {} (self-loop ≥ 1)", step.pos),
+                            state: format!("transient position {} (self-loop ≥ 1)", pos[k]),
                         });
                     }
-                    x[step.pos] = s / den;
+                    x[pos[k] as usize] = s / den;
                 }
                 Ok((x[self.from_pos], PlanSolveKind::Tape))
             }
@@ -648,7 +760,7 @@ impl SolvePlan {
         let occupied = block.len();
         let mut kinds = BlockSolveKinds::default();
         match &self.kind {
-            PlanKind::Acyclic { steps } => {
+            PlanKind::Acyclic(tape) => {
                 scratch.x_block.clear();
                 scratch.x_block.resize(self.t_idx.len(), [0.0; LANE]);
                 // Gather each slot's lane group straight from the staged
@@ -661,28 +773,33 @@ impl SolvePlan {
                 // values are never read back out below.
                 let rows: [&[f64]; LANE] = std::array::from_fn(|l| block.lane_row(l));
                 let x_block = &mut scratch.x_block;
-                for step in steps {
-                    let mut s = match step.r_slot {
-                        Some(slot) => std::array::from_fn(|l| rows[l][slot]),
-                        None => [0.0; LANE],
+                let pos = tape.pos.as_slice();
+                let r_slot = tape.r_slot.as_slice();
+                let self_slot = tape.self_slot.as_slice();
+                let term_off = tape.term_off.as_slice();
+                let term_slot = tape.term_slot.as_slice();
+                let term_pos = tape.term_pos.as_slice();
+                for k in 0..pos.len() {
+                    let mut s = match r_slot[k] {
+                        PLAN_SLOT_NONE => [0.0; LANE],
+                        slot => std::array::from_fn(|l| rows[l][slot as usize]),
                     };
-                    for &(slot, j) in &step.terms {
-                        let xj = &x_block[j];
+                    for t in term_off[k] as usize..term_off[k + 1] as usize {
+                        let slot = term_slot[t] as usize;
+                        let xj = &x_block[term_pos[t] as usize];
                         for l in 0..LANE {
                             s[l] += rows[l][slot] * xj[l];
                         }
                     }
-                    if let Some(slot) = step.self_slot {
+                    if self_slot[k] != PLAN_SLOT_NONE {
+                        let slot = self_slot[k] as usize;
                         for (l, sl) in s.iter_mut().enumerate() {
                             let den = 1.0 - rows[l][slot];
                             // Only occupied lanes can fail: unused lanes may
                             // hold stale garbage but are never read out.
                             if l < occupied && den <= 0.0 {
                                 return Err(MarkovError::TrappedMass {
-                                    state: format!(
-                                        "transient position {} (self-loop ≥ 1)",
-                                        step.pos
-                                    ),
+                                    state: format!("transient position {} (self-loop ≥ 1)", pos[k]),
                                 });
                             }
                             *sl /= den;
@@ -691,7 +808,7 @@ impl SolvePlan {
                     // When there is no self-loop the scalar path divides by
                     // `1.0 - 0.0`; `s / 1.0` is exact in IEEE 754, so
                     // skipping the division preserves bitwise identity.
-                    x_block[step.pos] = s;
+                    x_block[pos[k] as usize] = s;
                 }
                 kinds.tape = occupied as u64;
                 scratch.out.clear();
@@ -719,44 +836,54 @@ impl SolvePlan {
     fn evaluate_cyclic(&self, c: &CyclicPlan, params: &[f64]) -> Result<(f64, PlanSolveKind)> {
         // Right-hand side and the set of transient rows whose Q entries
         // moved away from the compile-time baseline.
+        let role_tag = c.role_tag.as_slice();
+        let role_row = c.role_row.as_slice();
+        let role_col = c.role_col.as_slice();
+        let baseline = c.baseline.as_slice();
         let mut r = vec![0.0_f64; c.nt];
         let mut changed: Vec<usize> = Vec::new();
-        for (slot, role) in c.roles.iter().enumerate() {
-            match *role {
-                SlotRole::R { row } => r[row] += params[slot],
-                SlotRole::Q { row, .. } => {
-                    if params[slot] != c.baseline[slot] && changed.last() != Some(&row) {
+        for (slot, &tag) in role_tag.iter().enumerate() {
+            match tag {
+                ROLE_R => r[role_row[slot] as usize] += params[slot],
+                ROLE_Q => {
+                    let row = role_row[slot] as usize;
+                    if params[slot] != baseline[slot] && changed.last() != Some(&row) {
                         changed.push(row);
                     }
                 }
-                SlotRole::Ignored => {}
+                _ => {}
             }
         }
-        let b = Vector::from(r);
         match changed[..] {
             [] => {
                 // Same Q as the baseline: one back-substitution.
-                let x = c.lu.solve(&b)?;
+                let x = lu_solve_view(c.nt, c.factors.as_slice(), c.perm.as_slice(), &r)?;
                 Ok((x[self.from_pos], PlanSolveKind::Rank1))
             }
             [row] => {
                 // Exactly one row moved: Sherman–Morrison against the
                 // baseline factorization, with a numerical refusal fallback.
                 let mut v = vec![0.0_f64; c.nt];
-                for (slot, role) in c.roles.iter().enumerate() {
-                    if let SlotRole::Q { row: rr, col } = *role {
-                        if rr == row {
-                            // A = I − Q, so a Q delta enters A negated.
-                            v[col] -= params[slot] - c.baseline[slot];
-                        }
+                for (slot, &tag) in role_tag.iter().enumerate() {
+                    if tag == ROLE_Q && role_row[slot] as usize == row {
+                        // A = I − Q, so a Q delta enters A negated.
+                        v[role_col[slot] as usize] -= params[slot] - baseline[slot];
                     }
                 }
-                match sherman_morrison_solve(&c.lu, &b, row, &Vector::from(v), RANK1_REFUSAL_EPS)? {
+                match sherman_morrison_solve_view(
+                    c.nt,
+                    c.factors.as_slice(),
+                    c.perm.as_slice(),
+                    &r,
+                    row,
+                    &v,
+                    RANK1_REFUSAL_EPS,
+                )? {
                     Some(x) => Ok((x[self.from_pos], PlanSolveKind::Rank1)),
-                    None => self.full_cyclic_solve(c, params, &b),
+                    None => self.full_cyclic_solve(c, params, &r),
                 }
             }
-            _ => self.full_cyclic_solve(c, params, &b),
+            _ => self.full_cyclic_solve(c, params, &r),
         }
     }
 
@@ -764,11 +891,15 @@ impl SolvePlan {
         &self,
         c: &CyclicPlan,
         params: &[f64],
-        b: &Vector,
+        b: &[f64],
     ) -> Result<(f64, PlanSolveKind)> {
         let mut a = Matrix::identity(c.nt);
-        for (slot, role) in c.roles.iter().enumerate() {
-            if let SlotRole::Q { row, col } = *role {
+        for (slot, &tag) in c.role_tag.as_slice().iter().enumerate() {
+            if tag == ROLE_Q {
+                let (row, col) = (
+                    c.role_row.as_slice()[slot] as usize,
+                    c.role_col.as_slice()[slot] as usize,
+                );
                 a.set(row, col, a.get(row, col) - params[slot]);
             }
         }
@@ -778,8 +909,287 @@ impl SolvePlan {
             },
             other => MarkovError::Linalg(other),
         })?;
-        let x = lu.solve(b)?;
+        let x = lu.solve(&Vector::from_slice(b))?;
         Ok((x[self.from_pos], PlanSolveKind::Full))
+    }
+
+    /// Decomposes the plan into its flat payload arrays for archival.
+    ///
+    /// Mapped sections are cheaply cloned (an `Arc` bump); a freshly
+    /// compiled plan's owned arrays are copied — archival is a cold path.
+    pub fn to_parts(&self) -> PlanParts {
+        let body = match &self.kind {
+            PlanKind::Acyclic(tape) => PlanBody::Acyclic {
+                t_idx: self.t_idx.clone(),
+                pos: tape.pos.clone(),
+                r_slot: tape.r_slot.clone(),
+                self_slot: tape.self_slot.clone(),
+                term_off: tape.term_off.clone(),
+                term_slot: tape.term_slot.clone(),
+                term_pos: tape.term_pos.clone(),
+            },
+            PlanKind::Cyclic(c) => PlanBody::Cyclic {
+                t_idx: self.t_idx.clone(),
+                role_tag: c.role_tag.clone(),
+                role_row: c.role_row.clone(),
+                role_col: c.role_col.clone(),
+                baseline: c.baseline.clone(),
+                factors: c.factors.clone(),
+                perm: c.perm.clone(),
+            },
+        };
+        PlanParts {
+            fingerprint: self.fingerprint,
+            n_states: self.n_states,
+            from_pos: self.from_pos,
+            slot_count: self.slot_count,
+            body,
+        }
+    }
+
+    /// Reassembles a plan from archived parts, fully validating structure:
+    /// every index is bounds-checked, tape positions and the LU permutation
+    /// must be permutations, offsets must be monotone, baselines must be
+    /// finite probabilities, and factors must be finite with non-singular
+    /// pivots — so a plan built from a corrupt or hostile archive can never
+    /// index out of bounds or divide by an invalid pivot. (A well-formed but
+    /// *wrong* tape still yields wrong numbers; the store's checksum and
+    /// fingerprint keying are what tie an archive to its structure.)
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::InvalidPlanArchive`] naming the first failed check.
+    pub fn from_parts(parts: PlanParts) -> Result<SolvePlan> {
+        fn invalid(reason: impl Into<String>) -> MarkovError {
+            MarkovError::InvalidPlanArchive {
+                reason: reason.into(),
+            }
+        }
+        fn check_t_idx(t_idx: &Section<u32>, n_states: usize) -> Result<usize> {
+            let t = t_idx.as_slice();
+            if t.is_empty() {
+                return Err(invalid("no transient states"));
+            }
+            // Branchless flag reduction (vectorizes — this runs on every
+            // archive load): strictly ascending means the maximum is the
+            // last element, so the range check collapses to one compare.
+            let mut ascending = true;
+            for w in t.windows(2) {
+                ascending &= w[0] < w[1];
+            }
+            if !ascending {
+                return Err(invalid("transient indices not strictly ascending"));
+            }
+            if t[t.len() - 1] as usize >= n_states {
+                return Err(invalid("transient index out of range"));
+            }
+            Ok(t.len())
+        }
+        fn check_permutation(values: &[u32], n: usize, what: &str) -> Result<()> {
+            // `n` distinct in-range values over `n` slots is a permutation
+            // (pigeonhole), so marking seen slots and counting them replaces
+            // per-element duplicate detection. The range test folds into a
+            // flag, the index clamps, and the marks are plain byte stores
+            // (no load-modify-store), so the marking loop carries no
+            // data-dependent branch — this runs on every archive load.
+            if values.len() != n {
+                return Err(invalid(format!("{what} is not a permutation")));
+            }
+            let mut seen = vec![0u8; n];
+            let mut in_range = true;
+            let cap = n.saturating_sub(1);
+            for &p in values {
+                let p = p as usize;
+                in_range &= p < n;
+                seen[p.min(cap)] = 1;
+            }
+            if !in_range || seen.iter().map(|&b| b as usize).sum::<usize>() != n {
+                return Err(invalid(format!("{what} is not a permutation")));
+            }
+            Ok(())
+        }
+
+        let PlanParts {
+            fingerprint,
+            n_states,
+            from_pos,
+            slot_count,
+            body,
+        } = parts;
+        if slot_count >= PLAN_SLOT_NONE as usize {
+            return Err(invalid("slot count overflows the u32 tape encoding"));
+        }
+        match body {
+            PlanBody::Acyclic {
+                t_idx,
+                pos,
+                r_slot,
+                self_slot,
+                term_off,
+                term_slot,
+                term_pos,
+            } => {
+                let nt = check_t_idx(&t_idx, n_states)?;
+                if from_pos >= nt {
+                    return Err(invalid("source position out of range"));
+                }
+                if pos.len() != nt || r_slot.len() != nt || self_slot.len() != nt {
+                    return Err(invalid("tape arrays do not match the transient count"));
+                }
+                if term_off.len() != nt + 1 {
+                    return Err(invalid("term offsets do not match the transient count"));
+                }
+                let off = term_off.as_slice();
+                let mut monotone = off[0] == 0;
+                for w in off.windows(2) {
+                    monotone &= w[0] <= w[1];
+                }
+                if !monotone {
+                    return Err(invalid("term offsets not monotone from zero"));
+                }
+                if off[nt] as usize != term_slot.len() || term_slot.len() != term_pos.len() {
+                    return Err(invalid("term arrays do not match the term offsets"));
+                }
+                check_permutation(pos.as_slice(), nt, "tape position array")?;
+                // Range checks as branchless max-reductions (the compiler
+                // vectorizes these): one compare per array instead of one
+                // per element — these passes run on every archive load.
+                // `PLAN_SLOT_NONE` is `u32::MAX`, so `wrapping_add(1)` maps
+                // it to 0 and every real slot to `slot + 1`, all in u32.
+                let max_slot_plus1 =
+                    |xs: &[u32]| xs.iter().map(|&s| s.wrapping_add(1)).max().unwrap_or(0);
+                if max_slot_plus1(r_slot.as_slice()) as usize > slot_count
+                    || max_slot_plus1(self_slot.as_slice()) as usize > slot_count
+                {
+                    return Err(invalid("tape slot out of range"));
+                }
+                if term_slot
+                    .as_slice()
+                    .iter()
+                    .max()
+                    .is_some_and(|&s| s as usize >= slot_count)
+                {
+                    return Err(invalid("term slot out of range"));
+                }
+                if term_pos
+                    .as_slice()
+                    .iter()
+                    .max()
+                    .is_some_and(|&p| p as usize >= nt)
+                {
+                    return Err(invalid("term position out of range"));
+                }
+                Ok(SolvePlan {
+                    fingerprint,
+                    n_states,
+                    t_idx,
+                    from_pos,
+                    slot_count,
+                    kind: PlanKind::Acyclic(Tape {
+                        pos,
+                        r_slot,
+                        self_slot,
+                        term_off,
+                        term_slot,
+                        term_pos,
+                    }),
+                })
+            }
+            PlanBody::Cyclic {
+                t_idx,
+                role_tag,
+                role_row,
+                role_col,
+                baseline,
+                factors,
+                perm,
+            } => {
+                let nt = check_t_idx(&t_idx, n_states)?;
+                if from_pos >= nt {
+                    return Err(invalid("source position out of range"));
+                }
+                if role_tag.len() != slot_count
+                    || role_row.len() != slot_count
+                    || role_col.len() != slot_count
+                    || baseline.len() != slot_count
+                {
+                    return Err(invalid("role arrays do not match the slot count"));
+                }
+                if factors.len() != nt * nt || perm.len() != nt {
+                    return Err(invalid("factorization does not match the transient count"));
+                }
+                for (slot, &tag) in role_tag.as_slice().iter().enumerate() {
+                    let (row, col) = (role_row.as_slice()[slot], role_col.as_slice()[slot]);
+                    match tag {
+                        ROLE_Q if (row as usize) < nt && (col as usize) < nt => {}
+                        ROLE_R if (row as usize) < nt => {}
+                        ROLE_IGNORED => {}
+                        ROLE_Q | ROLE_R => {
+                            return Err(invalid("role row/column out of range"));
+                        }
+                        _ => return Err(invalid("unknown slot role tag")),
+                    }
+                }
+                if baseline
+                    .as_slice()
+                    .iter()
+                    .any(|&p| !p.is_finite() || !(0.0..=1.0).contains(&p))
+                {
+                    return Err(invalid("baseline entry is not a probability"));
+                }
+                let f = factors.as_slice();
+                if f.iter().any(|&v| !v.is_finite()) {
+                    return Err(invalid("non-finite factorization entry"));
+                }
+                if (0..nt).any(|i| f[i * nt + i].abs() < SINGULARITY_EPS) {
+                    return Err(invalid("singular factorization pivot"));
+                }
+                check_permutation(perm.as_slice(), nt, "LU permutation")?;
+                Ok(SolvePlan {
+                    fingerprint,
+                    n_states,
+                    t_idx,
+                    from_pos,
+                    slot_count,
+                    kind: PlanKind::Cyclic(Box::new(CyclicPlan {
+                        nt,
+                        role_tag,
+                        role_row,
+                        role_col,
+                        baseline,
+                        factors,
+                        perm,
+                    })),
+                })
+            }
+        }
+    }
+
+    /// Whether every payload array of this plan is a zero-copy view into a
+    /// mapped archive (true only for plans reassembled by the artifact
+    /// store from a mapped file).
+    pub fn is_zero_copy(&self) -> bool {
+        if !self.t_idx.is_mapped() {
+            return false;
+        }
+        match &self.kind {
+            PlanKind::Acyclic(t) => {
+                t.pos.is_mapped()
+                    && t.r_slot.is_mapped()
+                    && t.self_slot.is_mapped()
+                    && t.term_off.is_mapped()
+                    && t.term_slot.is_mapped()
+                    && t.term_pos.is_mapped()
+            }
+            PlanKind::Cyclic(c) => {
+                c.role_tag.is_mapped()
+                    && c.role_row.is_mapped()
+                    && c.role_col.is_mapped()
+                    && c.baseline.is_mapped()
+                    && c.factors.is_mapped()
+                    && c.perm.is_mapped()
+            }
+        }
     }
 }
 
@@ -1178,6 +1588,121 @@ mod tests {
             assert_eq!(kind, PlanSolveKind::Tape);
             assert_eq!(value.to_bits(), plan.evaluate(&params).unwrap().to_bits());
         }
+    }
+
+    #[test]
+    fn parts_round_trip_is_bitwise_identical_for_both_kinds() {
+        // Acyclic plan.
+        let chain = branchy_chain(0.3);
+        let plan = SolvePlan::compile(&chain, &"s", &"end").unwrap();
+        let back = SolvePlan::from_parts(plan.to_parts()).unwrap();
+        assert_eq!(back.fingerprint(), plan.fingerprint());
+        assert_eq!(back.slot_count(), plan.slot_count());
+        assert!(!back.is_zero_copy());
+        let params = plan.parameters(&chain).unwrap();
+        assert_eq!(
+            back.evaluate(&params).unwrap().to_bits(),
+            plan.evaluate(&params).unwrap().to_bits()
+        );
+        // Cyclic plan: the round trip must preserve the baseline LU bits so
+        // the rank-1 dispatch is unchanged.
+        let cyc = gamblers_ruin(0.5, 8);
+        let plan = SolvePlan::compile(&cyc, &3, &8).unwrap();
+        let back = SolvePlan::from_parts(plan.to_parts()).unwrap();
+        for p_up in [0.5, 0.45, 0.62] {
+            let params = plan.parameters(&gamblers_ruin(p_up, 8)).unwrap();
+            let (want, want_kind) = plan.evaluate_with_kind(&params).unwrap();
+            let (got, got_kind) = back.evaluate_with_kind(&params).unwrap();
+            assert_eq!(got_kind, want_kind, "p_up {p_up}");
+            assert_eq!(got.to_bits(), want.to_bits(), "p_up {p_up}");
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_archives() {
+        let plan = SolvePlan::compile(&branchy_chain(0.3), &"s", &"end").unwrap();
+        let reject = |mutate: &dyn Fn(&mut PlanParts)| {
+            let mut parts = plan.to_parts();
+            mutate(&mut parts);
+            assert!(matches!(
+                SolvePlan::from_parts(parts),
+                Err(MarkovError::InvalidPlanArchive { .. })
+            ));
+        };
+        reject(&|p| p.from_pos = usize::MAX);
+        reject(&|p| p.slot_count = PLAN_SLOT_NONE as usize);
+        reject(&|p| {
+            if let PlanBody::Acyclic { pos, .. } = &mut p.body {
+                *pos = vec![0, 0, 0].into(); // not a permutation
+            }
+        });
+        reject(&|p| {
+            if let PlanBody::Acyclic { term_slot, .. } = &mut p.body {
+                *term_slot = vec![u32::MAX - 1; term_slot.len()].into();
+            }
+        });
+        reject(&|p| {
+            if let PlanBody::Acyclic { term_off, .. } = &mut p.body {
+                let mut off = term_off.as_slice().to_vec();
+                off[0] = 7;
+                *term_off = off.into();
+            }
+        });
+        reject(&|p| {
+            if let PlanBody::Acyclic { t_idx, .. } = &mut p.body {
+                *t_idx = vec![2, 1, 0].into(); // not ascending
+            }
+        });
+
+        let cyclic = SolvePlan::compile(&gamblers_ruin(0.5, 8), &3, &8).unwrap();
+        let reject_cyc = |mutate: &dyn Fn(&mut PlanParts)| {
+            let mut parts = cyclic.to_parts();
+            mutate(&mut parts);
+            assert!(matches!(
+                SolvePlan::from_parts(parts),
+                Err(MarkovError::InvalidPlanArchive { .. })
+            ));
+        };
+        reject_cyc(&|p| {
+            if let PlanBody::Cyclic { baseline, .. } = &mut p.body {
+                let mut b = baseline.as_slice().to_vec();
+                b[0] = f64::NAN;
+                *baseline = b.into();
+            }
+        });
+        reject_cyc(&|p| {
+            if let PlanBody::Cyclic { baseline, .. } = &mut p.body {
+                let mut b = baseline.as_slice().to_vec();
+                b[0] = 1.5;
+                *baseline = b.into();
+            }
+        });
+        reject_cyc(&|p| {
+            if let PlanBody::Cyclic { factors, .. } = &mut p.body {
+                let mut f = factors.as_slice().to_vec();
+                f[0] = f64::INFINITY;
+                *factors = f.into();
+            }
+        });
+        reject_cyc(&|p| {
+            if let PlanBody::Cyclic { factors, .. } = &mut p.body {
+                let mut f = factors.as_slice().to_vec();
+                f[0] = 0.0; // singular pivot
+                *factors = f.into();
+            }
+        });
+        reject_cyc(&|p| {
+            if let PlanBody::Cyclic { perm, .. } = &mut p.body {
+                *perm = vec![0; perm.len()].into();
+            }
+        });
+        reject_cyc(&|p| {
+            if let PlanBody::Cyclic { role_tag, .. } = &mut p.body {
+                let mut t = role_tag.as_slice().to_vec();
+                t[0] = 99;
+                *role_tag = t.into();
+            }
+        });
     }
 
     #[test]

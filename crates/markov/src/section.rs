@@ -1,0 +1,114 @@
+//! Dual-storage payload sections for compiled plans.
+//!
+//! A [`crate::SolvePlan`]'s payload arrays (tape instructions, slot roles,
+//! LU factors) live either in process-owned `Vec`s — the freshly compiled
+//! case — or as typed views into a memory-mapped archive owned by
+//! `archrel-store` — the zero-copy loaded case. [`Section`] abstracts over
+//! the two so the evaluation loops see a plain slice either way and the
+//! plan itself stays free of `unsafe`: the byte-to-typed-slice cast happens
+//! behind the safe [`SliceBacking`] trait, implemented (with validation at
+//! construction) by the store crate.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A stable, typed view into externally owned bytes (e.g. a memory-mapped
+/// archive file).
+///
+/// # Contract
+///
+/// `as_slice` must return the same, immutable slice for the lifetime of the
+/// backing: implementations point into storage that is never mutated or
+/// remapped while the backing is alive. The store crate guarantees this by
+/// validating alignment/bounds at construction and by publishing archives
+/// via atomic rename (never in-place mutation).
+pub trait SliceBacking<T>: Send + Sync {
+    /// The typed payload view.
+    fn as_slice(&self) -> &[T];
+}
+
+/// Payload storage of one plan array: owned by the process or mapped from
+/// an archive.
+pub enum Section<T> {
+    /// Process-owned storage (freshly compiled plans).
+    Owned(Vec<T>),
+    /// Zero-copy view into a mapped archive.
+    Mapped(Arc<dyn SliceBacking<T>>),
+}
+
+impl<T> Section<T> {
+    /// The payload as a plain slice, whichever storage backs it.
+    pub fn as_slice(&self) -> &[T] {
+        match self {
+            Section::Owned(v) => v,
+            Section::Mapped(m) => m.as_slice(),
+        }
+    }
+
+    /// Number of items in the section.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the section holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    /// Whether the section is a zero-copy view into a mapped archive
+    /// (rather than process-owned storage).
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, Section::Mapped(_))
+    }
+}
+
+impl<T> From<Vec<T>> for Section<T> {
+    fn from(v: Vec<T>) -> Section<T> {
+        Section::Owned(v)
+    }
+}
+
+impl<T: Clone> Clone for Section<T> {
+    fn clone(&self) -> Section<T> {
+        match self {
+            Section::Owned(v) => Section::Owned(v.clone()),
+            Section::Mapped(m) => Section::Mapped(Arc::clone(m)),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Section<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Section")
+            .field("len", &self.len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FixedBacking(Vec<u32>);
+
+    impl SliceBacking<u32> for FixedBacking {
+        fn as_slice(&self) -> &[u32] {
+            &self.0
+        }
+    }
+
+    #[test]
+    fn owned_and_mapped_expose_the_same_slice_api() {
+        let owned: Section<u32> = vec![1, 2, 3].into();
+        assert_eq!(owned.as_slice(), &[1, 2, 3]);
+        assert!(!owned.is_mapped());
+
+        let mapped: Section<u32> = Section::Mapped(Arc::new(FixedBacking(vec![4, 5])));
+        assert_eq!(mapped.as_slice(), &[4, 5]);
+        assert_eq!(mapped.len(), 2);
+        assert!(mapped.is_mapped());
+        let clone = mapped.clone();
+        assert_eq!(clone.as_slice(), &[4, 5]);
+    }
+}

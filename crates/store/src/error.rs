@@ -1,0 +1,133 @@
+use std::fmt;
+
+use archrel_markov::MarkovError;
+
+use crate::format::FORMAT_VERSION;
+
+/// Typed rejection of an artifact archive: every way a file can fail to be
+/// a trustworthy compiled plan, from plain I/O trouble to a hostile byte
+/// stream. A [`StoreError`] is always a *soft* failure for the evaluation
+/// pipeline — callers fall back to fresh compilation — but never silent:
+/// the store counts each rejection.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The underlying file operation failed (including not-found).
+    Io(std::io::Error),
+    /// The file is too short to hold the structure it claims.
+    Truncated {
+        /// Bytes needed for the next parse step.
+        needed: usize,
+        /// Bytes actually present.
+        len: usize,
+    },
+    /// The file does not start with the archive magic.
+    BadMagic,
+    /// The archive was written by a different format version.
+    BadVersion {
+        /// Version found in the header.
+        found: u32,
+    },
+    /// The header's recorded file length does not match the actual file —
+    /// a truncated or padded archive.
+    LengthMismatch {
+        /// Length recorded in the header.
+        header: u64,
+        /// Actual file length.
+        actual: u64,
+    },
+    /// The archive was produced by an incompatible build (pointer width,
+    /// endianness, or layout revision).
+    BuildMismatch {
+        /// Build key found in the header.
+        found: u64,
+    },
+    /// The whole-file checksum does not verify: the body was corrupted.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        stored: u64,
+        /// Checksum computed over the file.
+        computed: u64,
+    },
+    /// The archive kind tag is not one this reader understands.
+    BadKind {
+        /// Kind tag found in the header.
+        found: u32,
+    },
+    /// The archive is keyed to a different structure than requested (e.g.
+    /// a plan file renamed to another fingerprint).
+    KeyMismatch {
+        /// Key the caller asked for.
+        expected: u64,
+        /// Key recorded in the archive.
+        found: u64,
+    },
+    /// A payload section's framing is invalid: out of bounds, misaligned,
+    /// or inconsistent with the header metadata.
+    BadSection {
+        /// Zero-based section index.
+        section: usize,
+        /// What was wrong with it.
+        reason: &'static str,
+    },
+    /// The payload framed correctly but failed the plan's semantic
+    /// validation (bounds, permutations, finiteness — see
+    /// [`archrel_markov::SolvePlan::from_parts`]).
+    InvalidPlan(MarkovError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "artifact I/O failure: {e}"),
+            StoreError::Truncated { needed, len } => {
+                write!(f, "artifact truncated: need {needed} bytes, have {len}")
+            }
+            StoreError::BadMagic => write!(f, "not an archrel artifact (bad magic)"),
+            StoreError::BadVersion { found } => write!(
+                f,
+                "artifact format version {found} (this build reads {FORMAT_VERSION})"
+            ),
+            StoreError::LengthMismatch { header, actual } => write!(
+                f,
+                "artifact length mismatch: header says {header} bytes, file has {actual}"
+            ),
+            StoreError::BuildMismatch { found } => {
+                write!(f, "artifact written by an incompatible build ({found:#x})")
+            }
+            StoreError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "artifact checksum mismatch: stored {stored:#x}, computed {computed:#x}"
+            ),
+            StoreError::BadKind { found } => write!(f, "unknown artifact kind {found}"),
+            StoreError::KeyMismatch { expected, found } => {
+                write!(f, "artifact keyed to {found:#x}, expected {expected:#x}")
+            }
+            StoreError::BadSection { section, reason } => {
+                write!(f, "artifact section {section} invalid: {reason}")
+            }
+            StoreError::InvalidPlan(e) => write!(f, "archived plan failed validation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::InvalidPlan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+impl From<MarkovError> for StoreError {
+    fn from(e: MarkovError) -> StoreError {
+        StoreError::InvalidPlan(e)
+    }
+}

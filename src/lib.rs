@@ -18,6 +18,7 @@
 //! | [`baselines`] | Cheung / path-based / no-sharing comparison models |
 //! | [`profile`] | usage-profile estimation (MLE, HMM) |
 //! | [`dsl`] | the assembly description language and Graphviz export |
+//! | [`store`] | zero-copy persistent artifact store for compiled solve plans |
 //! | [`markov`], [`linalg`], [`expr`] | the DTMC, linear-algebra, and symbolic-expression substrates |
 //!
 //! # Example
@@ -53,3 +54,4 @@ pub use archrel_model as model;
 pub use archrel_perf as perf;
 pub use archrel_profile as profile;
 pub use archrel_sim as sim;
+pub use archrel_store as store;

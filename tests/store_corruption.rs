@@ -1,0 +1,234 @@
+//! Corruption and robustness suite for the persistent artifact store.
+//!
+//! A store directory is a trust boundary: any process (or any bit rot)
+//! may have written the files under it. The contract this suite pins
+//! (ISSUE 7): a corrupt, truncated, stale, or hostile archive is always
+//! a **typed** [`StoreError`] — never a panic, never UB, never a wrong
+//! number — and the evaluation pipeline falls back to fresh compilation,
+//! counting the rejection in `CacheStats::store_validate_rejects`.
+//!
+//! Fixtures, each derived from one valid published plan archive:
+//!
+//! 1. truncation at every prefix length → `Truncated` / `LengthMismatch`
+//!    (and checksum/magic errors for cuts the framing can't see);
+//! 2. single-bit flips over every byte of the archive body → an error
+//!    from the typed family, with `ChecksumMismatch` for payload flips;
+//! 3. a crafted wrong-format-version file whose checksum is *valid* →
+//!    `BadVersion` (the version gate fires before payload parsing);
+//! 4. a valid archive renamed to another fingerprint's path →
+//!    `KeyMismatch` (the key gate binds file name to content).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use archrel::core::{EvalOptions, Evaluator, PlanCache, SolverPolicy};
+use archrel::markov::{Dtmc, DtmcBuilder, SolvePlan};
+use archrel::store::{archive_checksum, ArtifactMode, ArtifactStore, StoreError, FORMAT_VERSION};
+
+const END: u32 = 1000;
+const FAIL: u32 = 1001;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "archrel-store-corrupt-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// A small cyclic absorbing chain — cyclic so the archive carries every
+/// section kind the format defines (factors, permutation, baseline).
+fn sample_chain() -> Dtmc<u32> {
+    DtmcBuilder::new()
+        .transition(0u32, 1u32, 0.55)
+        .transition(0u32, END, 0.35)
+        .transition(0u32, FAIL, 0.10)
+        .transition(1u32, 0u32, 0.25)
+        .transition(1u32, 2u32, 0.40)
+        .transition(1u32, END, 0.35)
+        .transition(2u32, 2u32, 0.15)
+        .transition(2u32, END, 0.60)
+        .transition(2u32, FAIL, 0.25)
+        .build()
+        .expect("stochastic rows")
+}
+
+/// Publishes the sample plan into a fresh store directory and returns
+/// the store, the plan, and the bytes of the published archive.
+fn published_fixture(tag: &str) -> (Arc<ArtifactStore>, SolvePlan, Vec<u8>) {
+    let store =
+        Arc::new(ArtifactStore::open(scratch_dir(tag), ArtifactMode::ReadWrite).expect("open"));
+    let chain = sample_chain();
+    let plan = SolvePlan::compile(&chain, &0u32, &END).expect("compiles");
+    assert!(store.store_plan(&plan).expect("publishes"));
+    let bytes = std::fs::read(store.plan_path(plan.fingerprint())).expect("published file");
+    (store, plan, bytes)
+}
+
+fn cleanup(store: &ArtifactStore) {
+    std::fs::remove_dir_all(store.dir()).ok();
+}
+
+/// Every truncation of the archive is a typed framing error — and no
+/// prefix, however short, panics or parses.
+#[test]
+fn every_truncation_is_a_typed_error() {
+    let (store, plan, bytes) = published_fixture("truncate");
+    let path = store.plan_path(plan.fingerprint());
+    for len in 0..bytes.len() {
+        std::fs::write(&path, &bytes[..len]).unwrap();
+        let err = store.read_plan(plan.fingerprint()).expect_err("truncated");
+        assert!(
+            matches!(
+                err,
+                StoreError::Truncated { .. }
+                    | StoreError::LengthMismatch { .. }
+                    | StoreError::BadMagic
+                    | StoreError::ChecksumMismatch { .. }
+                    // The zero-byte prefix cannot even be mapped; that
+                    // surfaces as the (typed) I/O variant.
+                    | StoreError::Io(_)
+            ),
+            "truncation to {len} bytes gave unexpected error: {err}"
+        );
+    }
+    cleanup(&store);
+}
+
+/// Single-bit flips over every byte: always a typed error, and for any
+/// flip past the header's self-describing fields the checksum catches it.
+#[test]
+fn every_single_bit_flip_is_a_typed_error() {
+    let (store, plan, bytes) = published_fixture("bitflip");
+    let path = store.plan_path(plan.fingerprint());
+    for byte in 0..bytes.len() {
+        // One flip per byte keeps the suite fast; the bit index varies
+        // with position so low and high bits both get coverage.
+        let bit = byte % 8;
+        let mut corrupt = bytes.clone();
+        corrupt[byte] ^= 1 << bit;
+        std::fs::write(&path, &corrupt).unwrap();
+        let err = store
+            .read_plan(plan.fingerprint())
+            .expect_err("bit flip must not parse");
+        // Flips inside the checksum field itself, or in header fields
+        // checked before the checksum, surface as their own variants;
+        // everything from the meta block onward is a checksum mismatch.
+        if byte >= 48 {
+            assert!(
+                matches!(err, StoreError::ChecksumMismatch { .. }),
+                "payload flip at byte {byte} bit {bit} gave {err}"
+            );
+        }
+    }
+    cleanup(&store);
+}
+
+/// A file from "format version 2" with a perfectly valid checksum is
+/// rejected by the version gate — the reader never guesses at layouts.
+#[test]
+fn wrong_format_version_is_rejected_before_parsing() {
+    let (store, plan, bytes) = published_fixture("version");
+    let path = store.plan_path(plan.fingerprint());
+    let mut future = bytes;
+    future[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    let sum = archive_checksum(&future);
+    future[40..48].copy_from_slice(&sum.to_le_bytes());
+    std::fs::write(&path, &future).unwrap();
+    match store.read_plan(plan.fingerprint()) {
+        Err(StoreError::BadVersion { found }) => assert_eq!(found, FORMAT_VERSION + 1),
+        other => panic!("expected BadVersion, got {other:?}"),
+    }
+    cleanup(&store);
+}
+
+/// A valid archive filed under another fingerprint's name is rejected by
+/// the key gate: the expected fingerprint is cross-checked against the
+/// one sealed into the header.
+#[test]
+fn fingerprint_mismatch_is_rejected() {
+    let (store, plan, bytes) = published_fixture("keymismatch");
+    let wrong_fp = plan.fingerprint() ^ 0xdead_beef;
+    std::fs::write(store.plan_path(wrong_fp), &bytes).unwrap();
+    match store.read_plan(wrong_fp) {
+        Err(StoreError::KeyMismatch { expected, found }) => {
+            assert_eq!(expected, wrong_fp);
+            assert_eq!(found, plan.fingerprint());
+        }
+        other => panic!("expected KeyMismatch, got {other:?}"),
+    }
+    cleanup(&store);
+}
+
+/// End-to-end fallback: an evaluator pointed at a store whose archive is
+/// corrupt still answers correctly (fresh compile), counts the rejection
+/// in `CacheStats::store_validate_rejects`, and the `load_plan` soft
+/// path returns `None` rather than erroring.
+#[test]
+fn corrupt_archive_falls_back_to_fresh_compilation() {
+    use archrel::model::paper;
+
+    let assembly = paper::local_assembly(&paper::PaperParams::default()).unwrap();
+    let env = paper::search_bindings(4.0, 1024.0, 1.0);
+    let opts = EvalOptions {
+        solver: SolverPolicy::Compiled,
+        ..EvalOptions::default()
+    };
+
+    // Reference result with no store at all.
+    let reference = Evaluator::with_plan_cache(
+        &assembly,
+        opts,
+        Arc::new(PlanCache::new().with_artifact_store(None)),
+    )
+    .failure_probability(&paper::SEARCH.into(), &env)
+    .unwrap()
+    .value();
+
+    // Warm a store, then corrupt every published archive in place.
+    let dir = scratch_dir("fallback");
+    let warm = Arc::new(ArtifactStore::open(&dir, ArtifactMode::ReadWrite).unwrap());
+    Evaluator::with_plan_cache(
+        &assembly,
+        opts,
+        Arc::new(PlanCache::new().with_artifact_store(Some(Arc::clone(&warm)))),
+    )
+    .failure_probability(&paper::SEARCH.into(), &env)
+    .unwrap();
+    let mut corrupted = 0;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        corrupted += 1;
+    }
+    assert!(corrupted > 0, "warm run published nothing");
+
+    // A cold reader over the corrupted store: same answer, rejections
+    // counted, soft path silent.
+    let read = Arc::new(ArtifactStore::open(&dir, ArtifactMode::Read).unwrap());
+    let eval = Evaluator::with_plan_cache(
+        &assembly,
+        opts,
+        Arc::new(PlanCache::new().with_artifact_store(Some(Arc::clone(&read)))),
+    );
+    let got = eval
+        .failure_probability(&paper::SEARCH.into(), &env)
+        .unwrap()
+        .value();
+    assert_eq!(got.to_bits(), reference.to_bits());
+    let stats = eval.cache_stats();
+    assert!(
+        stats.store_validate_rejects > 0,
+        "corrupt archives must be counted: {stats:?}"
+    );
+    assert_eq!(stats.store_hits, 0, "nothing valid to hit: {stats:?}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
