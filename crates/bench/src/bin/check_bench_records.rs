@@ -3,6 +3,10 @@
 //! [`BenchRecord`](archrel_bench::record::BenchRecord) fields —
 //! a `scenario` string matching the filename and a non-empty `recorded`
 //! date stamp — and its `results/` companion must be byte-identical.
+//! The staged-driver records additionally must publish their
+//! extraction/staging/replay phase counters (`uncertainty_e2e_phase_ns`),
+//! and `uncertainty_e2e` its two headline speedups plus the acceptance
+//! verdict.
 //!
 //! The workspace vendors no JSON deserializer, so this binary carries a
 //! minimal recursive-descent parser covering exactly the value model
@@ -226,7 +230,47 @@ fn check_record(name: &str, text: &str) -> Vec<String> {
         Some(_) => problems.push("`recorded` is not a string".into()),
         None => problems.push("missing required field `recorded`".into()),
     }
+    // Scenario-specific contracts: the lane-blocked driver records must
+    // carry the extraction/staging/replay phase counters, and the
+    // end-to-end record its headline speedups and acceptance verdict.
+    if matches!(expected_scenario, "uncertainty_e2e" | "block_replay") {
+        check_phase_ns(&fields, &mut problems);
+    }
+    if expected_scenario == "uncertainty_e2e" {
+        for key in ["speedup_uncertainty", "speedup_sensitivity"] {
+            match fields.get(key) {
+                Some(Json::Num) => {}
+                Some(_) => problems.push(format!("`{key}` is not a number")),
+                None => problems.push(format!("missing required field `{key}`")),
+            }
+        }
+        match fields.get("acceptance_met") {
+            Some(Json::Bool) => {}
+            Some(_) => problems.push("`acceptance_met` is not a boolean".into()),
+            None => problems.push("missing required field `acceptance_met`".into()),
+        }
+    }
     problems
+}
+
+/// Requires `uncertainty_e2e_phase_ns` to be an object carrying numeric
+/// `extract_ns` / `stage_ns` / `replay_ns` counters.
+fn check_phase_ns(fields: &BTreeMap<String, Json>, problems: &mut Vec<String>) {
+    match fields.get("uncertainty_e2e_phase_ns") {
+        Some(Json::Object(phases)) => {
+            for key in ["extract_ns", "stage_ns", "replay_ns"] {
+                match phases.get(key) {
+                    Some(Json::Num) => {}
+                    Some(_) => {
+                        problems.push(format!("`uncertainty_e2e_phase_ns.{key}` is not a number"))
+                    }
+                    None => problems.push(format!("`uncertainty_e2e_phase_ns` is missing `{key}`")),
+                }
+            }
+        }
+        Some(_) => problems.push("`uncertainty_e2e_phase_ns` is not an object".into()),
+        None => problems.push("missing required field `uncertainty_e2e_phase_ns`".into()),
+    }
 }
 
 fn main() {
@@ -264,4 +308,59 @@ fn main() {
         std::process::exit(1);
     }
     println!("{} record(s) valid", names.len());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_minimal_generic_record() {
+        let text = r#"{"scenario": "foo", "recorded": "2026-08-08"}"#;
+        assert!(check_record("BENCH_foo.json", text).is_empty());
+    }
+
+    #[test]
+    fn staged_records_require_phase_counters() {
+        let text = r#"{
+            "scenario": "uncertainty_e2e",
+            "recorded": "2026-08-08",
+            "speedup_uncertainty": 324.1,
+            "speedup_sensitivity": 8.0,
+            "acceptance_met": true
+        }"#;
+        let problems = check_record("BENCH_uncertainty_e2e.json", text);
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("uncertainty_e2e_phase_ns")));
+    }
+
+    #[test]
+    fn phase_counters_must_be_numbers() {
+        let text = r#"{
+            "scenario": "block_replay",
+            "recorded": "2026-08-08",
+            "uncertainty_e2e_phase_ns": {
+                "extract_ns": 1, "stage_ns": "fast", "replay_ns": 3
+            }
+        }"#;
+        let problems = check_record("BENCH_block_replay.json", text);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("stage_ns"));
+    }
+
+    #[test]
+    fn e2e_record_requires_speedups_and_verdict() {
+        let text = r#"{
+            "scenario": "uncertainty_e2e",
+            "recorded": "2026-08-08",
+            "uncertainty_e2e_phase_ns": {
+                "extract_ns": 1, "stage_ns": 2, "replay_ns": 3
+            },
+            "speedup_uncertainty": 324.1
+        }"#;
+        let problems = check_record("BENCH_uncertainty_e2e.json", text);
+        assert!(problems.iter().any(|p| p.contains("speedup_sensitivity")));
+        assert!(problems.iter().any(|p| p.contains("acceptance_met")));
+    }
 }

@@ -15,10 +15,11 @@
 //!   per-point parameter extraction from the perturbed chain — allocating
 //!   `parameters` + `evaluate` vs zero-allocation `parameters_into` +
 //!   block accumulate/flush.
-//! - **end-to-end uncertainty**: `uncertainty::propagate_with_options` on a
-//!   1024-state flow assembly, 1024 samples, compiled policy with
+//! - **end-to-end uncertainty**: `uncertainty::propagate_with_plan_cache` on
+//!   a 1024-state flow assembly, 1024 samples, compiled policy with
 //!   `plan_lanes = 1` (per-point flushes — the PR 3 behavior) vs
-//!   `plan_lanes = LANE`.
+//!   `plan_lanes = LANE`; the shared cache's phase counters report the
+//!   extraction-vs-staging-vs-replay split of the blocked configuration.
 //!
 //! Writes `results/block_replay.md` plus machine-readable
 //! `results/BENCH_block_replay.json` and root `BENCH_block_replay.json`,
@@ -26,6 +27,7 @@
 //!
 //! Run with: `cargo run --release -p archrel-bench --bin exp_block_replay`
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use archrel_bench::record::{BenchRecord, JsonValue};
@@ -33,8 +35,8 @@ use archrel_bench::scenarios::{
     synthetic_absorbing_chain, synthetic_flow_assembly, SyntheticTopology, CHAIN_END,
 };
 use archrel_core::improvement::Lever;
-use archrel_core::uncertainty::{propagate_with_options, FactorDistribution, UncertainQuantity};
-use archrel_core::{EvalOptions, SolverPolicy};
+use archrel_core::uncertainty::{propagate_with_plan_cache, FactorDistribution, UncertainQuantity};
+use archrel_core::{CacheStats, EvalOptions, PlanCache, SolverPolicy};
 use archrel_expr::Bindings;
 use archrel_markov::{ParamBlock, PlanScratch, SolvePlan, LANE};
 
@@ -67,6 +69,16 @@ fn time_sweeps(repeats: usize, mut sweep: impl FnMut() -> f64) -> (Duration, f64
 /// untouched.
 fn point_factor(k: usize) -> f64 {
     0.5 + 1.5 * k as f64 / (POINTS - 1) as f64
+}
+
+/// The cache's cumulative extract/stage/replay phase nanoseconds, as the
+/// machine-readable record reports them.
+fn phase_ns_object(stats: &CacheStats) -> JsonValue {
+    JsonValue::object(vec![
+        ("extract_ns", JsonValue::Int(stats.extract_nanos as u128)),
+        ("stage_ns", JsonValue::Int(stats.stage_nanos as u128)),
+        ("replay_ns", JsonValue::Int(stats.replay_nanos as u128)),
+    ])
 }
 
 fn main() {
@@ -186,14 +198,18 @@ fn main() {
         },
     }];
     let env = Bindings::new();
+    // One shared plan cache per lane configuration: repeats reuse the
+    // compiled plan, and the cache's phase counters (extract/stage/replay
+    // nanoseconds) accumulate across the whole configuration.
     let propagate_at = |lanes: usize| {
         let options = EvalOptions {
             solver: SolverPolicy::Compiled,
             plan_lanes: lanes,
             ..EvalOptions::default()
         };
-        time_sweeps(E2E_REPEATS, || {
-            propagate_with_options(
+        let plans = Arc::new(PlanCache::new());
+        let (time, mean) = time_sweeps(E2E_REPEATS, || {
+            propagate_with_plan_cache(
                 &assembly,
                 &"app".into(),
                 &env,
@@ -202,13 +218,15 @@ fn main() {
                 42,
                 1,
                 options,
+                &plans,
             )
             .expect("propagates")
             .mean
-        })
+        });
+        (time, mean, plans.stats())
     };
-    let (e2e_scalar, e2e_scalar_mean) = propagate_at(1);
-    let (e2e_block, e2e_block_mean) = propagate_at(LANE);
+    let (e2e_scalar, e2e_scalar_mean, _) = propagate_at(1);
+    let (e2e_block, e2e_block_mean, e2e_block_stats) = propagate_at(LANE);
     assert_eq!(
         e2e_scalar_mean.to_bits(),
         e2e_block_mean.to_bits(),
@@ -217,6 +235,10 @@ fn main() {
     let e2e_scalar_us = e2e_scalar.as_nanos() as f64 / E2E_SAMPLES as f64 / 1e3;
     let e2e_block_us = e2e_block.as_nanos() as f64 / E2E_SAMPLES as f64 / 1e3;
     let e2e_speedup = e2e_scalar_us / e2e_block_us;
+    // Phase counters accumulate over every repeat of the configuration;
+    // report the per-sweep share against the median sweep.
+    let phase_pct =
+        |nanos: u64| 100.0 * (nanos as f64 / E2E_REPEATS as f64) / e2e_block.as_nanos() as f64;
 
     // ---- reports ------------------------------------------------------
     let verdict = if replay_speedup >= 3.0 {
@@ -227,7 +249,7 @@ fn main() {
     let markdown = format!(
         "# Lane-blocked plan replay (`cargo run --release -p archrel-bench --bin \
 exp_block_replay`)\n\n\
-Recorded 2026-08-06 on the CI container (Linux, 1 CPU core, release profile).\n\n\
+Recorded 2026-08-08 on the CI container (Linux, 1 CPU core, release profile).\n\n\
 Workload: the {STATES}-state chain structure of PR 3's acceptance sweep, \
 evaluated at {POINTS} uncertainty-style parameter points (every point scales \
 the step failure probabilities by a factor in [0.5, 2.0]; structure shared, \
@@ -262,7 +284,10 @@ removes both per-point heap allocations.\n\n\
 **{e2e_speedup:.2}×** |\n\n\
 End-to-end gains are bounded by per-sample assembly perturbation and flow \
 resolution, which the block engine does not touch; the propagated mean is \
-bitwise-identical across lane widths.\n\n\
+bitwise-identical across lane widths. Lane-{LANE} phase split (share of the \
+median sweep): extraction {e2e_extract_pct:.1}%, staging {e2e_stage_pct:.1}%, \
+replay {e2e_replay_pct:.1}% — the remainder is sampling, perturbation, and \
+flow resolution outside the blocked row path.\n\n\
 ## Acceptance\n\n\
 The ≥3× bar on the {STATES}-state / {POINTS}-point uncertainty sweep is \
 {verdict}: lane-blocked replay retires {replay_speedup:.1}× more points per \
@@ -277,6 +302,9 @@ second than the PR 3 compiled-plan path (tape-replay scope).\n",
         block_sweep_ms = block_sweep.as_secs_f64() * 1e3,
         e2e_scalar_ms = e2e_scalar.as_secs_f64() * 1e3,
         e2e_block_ms = e2e_block.as_secs_f64() * 1e3,
+        e2e_extract_pct = phase_pct(e2e_block_stats.extract_nanos),
+        e2e_stage_pct = phase_pct(e2e_block_stats.stage_nanos),
+        e2e_replay_pct = phase_pct(e2e_block_stats.replay_nanos),
     );
 
     let measurement = |scope: &str, path: &str, ns_per_point: f64| {
@@ -290,7 +318,7 @@ second than the PR 3 compiled-plan path (tape-replay scope).\n",
         ])
     };
     let round2 = |x: f64| (x * 100.0).round() / 100.0;
-    let record = BenchRecord::new("block_replay", "2026-08-06")
+    let record = BenchRecord::new("block_replay", "2026-08-08")
         .field("flow_states", JsonValue::Int(STATES as u128))
         .field("points", JsonValue::Int(POINTS as u128))
         .field("lane_width", JsonValue::Int(LANE as u128))
@@ -317,6 +345,10 @@ second than the PR 3 compiled-plan path (tape-replay scope).\n",
         .field(
             "speedup_uncertainty_e2e",
             JsonValue::Num(round2(e2e_speedup)),
+        )
+        .field(
+            "uncertainty_e2e_phase_ns",
+            phase_ns_object(&e2e_block_stats),
         )
         .field("bitwise_identical", JsonValue::Bool(true))
         .field("acceptance_min_speedup", JsonValue::Num(3.0))

@@ -1,10 +1,11 @@
 //! Reusable synthetic scenarios for experiments and benchmarks.
 
-use archrel_expr::Expr;
+use archrel_expr::{Bindings, Expr};
 use archrel_markov::{Dtmc, DtmcBuilder};
 use archrel_model::{
     catalog, Assembly, AssemblyBuilder, CompletionModel, CompositeService, DependencyModel,
-    FlowBuilder, FlowState, Result as ModelResult, Service, ServiceCall, StateId,
+    FailureModel, FlowBuilder, FlowState, Result as ModelResult, Service, ServiceCall,
+    SimpleService, StateId,
 };
 
 /// `End` state of a [`synthetic_absorbing_chain`].
@@ -242,6 +243,60 @@ pub fn synthetic_flow_assembly(
             flow.build()?,
         )?))
         .build()
+}
+
+/// A sequential `states`-state flow whose calls cycle through `params`
+/// formal parameters — the scalable input for the sensitivity sweeps.
+///
+/// State `i` issues one call to a shared per-unit blackbox with demand
+/// `v{i % params}`, and the `app` composite declares `v0..v{params-1}` as
+/// formals, so every returned binding genuinely moves the answer (the
+/// finite-difference stencil probes `3 × params` points). The returned
+/// [`Bindings`] place each parameter at a distinct demand in `[1, 2)`.
+///
+/// # Errors
+///
+/// Propagates model-construction errors (none for valid inputs).
+pub fn parameterized_flow_assembly(
+    states: usize,
+    params: usize,
+    step_pfail: f64,
+) -> ModelResult<(Assembly, Bindings)> {
+    let states = states.max(1);
+    let params = params.clamp(1, states);
+    let name = |i: usize| StateId::named(format!("s{i}"));
+    let formal = |j: usize| format!("v{j}");
+    let mut flow = FlowBuilder::new();
+    for i in 0..states {
+        flow = flow.state(FlowState::new(
+            name(i),
+            vec![ServiceCall::new("unit").with_param("x", Expr::param(formal(i % params)))],
+        ));
+    }
+    flow = flow.transition(StateId::Start, name(0), Expr::one());
+    for i in 1..states {
+        flow = flow.transition(name(i - 1), name(i), Expr::one());
+    }
+    flow = flow.transition(name(states - 1), StateId::End, Expr::one());
+    let assembly = AssemblyBuilder::new()
+        .service(Service::Simple(SimpleService::new(
+            "unit",
+            "x",
+            FailureModel::PerUnit {
+                probability: step_pfail,
+            },
+        )))
+        .service(Service::Composite(CompositeService::new(
+            "app",
+            (0..params).map(formal).collect(),
+            flow.build()?,
+        )?))
+        .build()?;
+    let mut env = Bindings::new();
+    for j in 0..params {
+        env.insert(formal(j), 1.0 + j as f64 / params as f64);
+    }
+    Ok((assembly, env))
 }
 
 /// A deep **shared-DAG** assembly — the acceptance scenario for the

@@ -185,6 +185,9 @@ impl<'a> BatchEvaluator<'a> {
                 full_solves: after.full_solves - before.full_solves,
                 block_points: after.block_points - before.block_points,
                 block_flushes: after.block_flushes - before.block_flushes,
+                extract_nanos: after.extract_nanos - before.extract_nanos,
+                stage_nanos: after.stage_nanos - before.stage_nanos,
+                replay_nanos: after.replay_nanos - before.replay_nanos,
                 plan_evictions: after.plan_evictions - before.plan_evictions,
                 memo_hits: after.memo_hits - before.memo_hits,
                 memo_misses: after.memo_misses - before.memo_misses,

@@ -17,7 +17,8 @@ use std::time::{Duration, Instant};
 
 use archrel_expr::Bindings;
 use archrel_markov::{
-    structure_fingerprint, BlockSolveKinds, ParamBlock, PlanScratch, PlanSolveKind, SolvePlan, LANE,
+    structure_fingerprint, BlockSolveKinds, ParamBlock, PlanScratch, PlanSolveKind, SimdMode,
+    SimdPath, SolvePlan, LANE,
 };
 use archrel_model::{
     Assembly, CompositeService, Probability, Service, ServiceCall, ServiceId, StateId,
@@ -286,6 +287,12 @@ pub struct EvalOptions {
     /// [`FixedPointMode::Plain`] — the bitwise reference — unless the
     /// `ARCHREL_FIXED_POINT` environment variable forces a mode).
     pub fixed_point: FixedPointMode,
+    /// SIMD dispatch mode for the lane-blocked tape replay (defaults to
+    /// [`SimdMode::Auto`] — runtime-detected AVX-512/AVX2 with the scalar
+    /// tape as the bitwise-reference fallback — unless the `ARCHREL_SIMD`
+    /// environment variable forces a path). Every path is bitwise-identical,
+    /// so this toggle never changes a result.
+    pub simd: SimdMode,
 }
 
 impl Default for EvalOptions {
@@ -298,6 +305,7 @@ impl Default for EvalOptions {
             program: ProgramMode::from_env().unwrap_or_default(),
             program_memo: true,
             fixed_point: FixedPointMode::from_env().unwrap_or_default(),
+            simd: SimdMode::from_env().unwrap_or_default(),
         }
     }
 }
@@ -379,6 +387,17 @@ pub struct CacheStats {
     /// Block flushes performed; `block_points / block_flushes` is the mean
     /// lane occupancy of the blocked path.
     pub block_flushes: u64,
+    /// Nanoseconds the blocked path spent *extracting* parameter vectors
+    /// from freshly built chains ([`SolvePlan::parameters_into`]) — the
+    /// per-point cost the staged drivers exist to avoid.
+    pub extract_nanos: u64,
+    /// Nanoseconds the staged sweep drivers spent computing sample
+    /// parameters directly into [`ParamBlock`] rows (no intermediate
+    /// `Bindings`, no chain rebuild).
+    pub stage_nanos: u64,
+    /// Nanoseconds spent inside blocked plan replays — the tape/SIMD kernel
+    /// itself plus the cyclic lane-by-lane fallback.
+    pub replay_nanos: u64,
     /// Compiled plans evicted from the bounded plan cache (LRU on structure
     /// fingerprint).
     pub plan_evictions: u64,
@@ -477,6 +496,9 @@ impl CacheCounters {
             full_solves: 0,
             block_points: 0,
             block_flushes: 0,
+            extract_nanos: 0,
+            stage_nanos: 0,
+            replay_nanos: 0,
             plan_evictions: 0,
             memo_hits: 0,
             memo_misses: 0,
@@ -497,7 +519,7 @@ impl CacheCounters {
 
 /// What the plan cache knows about one flow structure.
 #[derive(Debug, Clone)]
-enum PlanEntry {
+pub(crate) enum PlanEntry {
     /// A compiled plan, ready to evaluate.
     Plan(Arc<SolvePlan>),
     /// The structure is cyclic and the caller asked for acyclic-only
@@ -536,6 +558,11 @@ pub struct PlanCache {
     evictions: AtomicU64,
     block_points: AtomicU64,
     block_flushes: AtomicU64,
+    /// Per-phase wall-clock attribution of the blocked sweep pipeline
+    /// (see the matching [`CacheStats`] fields).
+    extract_nanos: AtomicU64,
+    stage_nanos: AtomicU64,
+    replay_nanos: AtomicU64,
     /// Persistent artifact tier: archived plans are loaded instead of
     /// compiled, and fresh compilations are published back.
     store: Option<Arc<ArtifactStore>>,
@@ -586,6 +613,9 @@ impl PlanCache {
             evictions: AtomicU64::new(0),
             block_points: AtomicU64::new(0),
             block_flushes: AtomicU64::new(0),
+            extract_nanos: AtomicU64::new(0),
+            stage_nanos: AtomicU64::new(0),
+            replay_nanos: AtomicU64::new(0),
             store: ArtifactStore::from_env(),
         }
     }
@@ -638,7 +668,7 @@ impl PlanCache {
 
     /// Looks up (or compiles) the entry for a structure. With
     /// `acyclic_only`, cyclic structures are classified but not compiled.
-    fn entry(
+    pub(crate) fn entry(
         &self,
         fingerprint: u64,
         chain: &archrel_markov::Dtmc<AugmentedState>,
@@ -746,7 +776,7 @@ impl PlanCache {
         Ok(entry)
     }
 
-    fn record(&self, kind: PlanSolveKind) {
+    pub(crate) fn record(&self, kind: PlanSolveKind) {
         match kind {
             PlanSolveKind::Tape | PlanSolveKind::Rank1 => {
                 self.rank1_solves.fetch_add(1, Ordering::Relaxed)
@@ -765,6 +795,36 @@ impl PlanCache {
         self.block_flushes.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Folds blocked-pipeline phase attribution (parameter extraction and
+    /// plan replay nanoseconds) into the counters.
+    fn record_phase_nanos(&self, extract: u64, replay: u64) {
+        if extract > 0 {
+            self.extract_nanos.fetch_add(extract, Ordering::Relaxed);
+        }
+        if replay > 0 {
+            self.replay_nanos.fetch_add(replay, Ordering::Relaxed);
+        }
+    }
+
+    /// Folds staged-driver sample staging time into the counters.
+    pub(crate) fn record_stage_nanos(&self, stage: u64) {
+        if stage > 0 {
+            self.stage_nanos.fetch_add(stage, Ordering::Relaxed);
+        }
+    }
+
+    /// A snapshot of this cache's own counters (plan hits/misses, solve
+    /// kinds, blocked-replay tallies, and the extract/stage/replay phase
+    /// nanoseconds). Callers that share one cache across many short-lived
+    /// evaluators — the sweep drivers, the benches — read the sweep-wide
+    /// phase split here; [`Evaluator::cache_stats`] folds the same counters
+    /// into its per-evaluator view.
+    pub fn stats(&self) -> CacheStats {
+        let mut stats = CacheStats::default();
+        self.fold_into(&mut stats);
+        stats
+    }
+
     fn fold_into(&self, stats: &mut CacheStats) {
         stats.plan_hits = self.plan_hits.load(Ordering::Relaxed);
         stats.plan_misses = self.plan_misses.load(Ordering::Relaxed);
@@ -772,6 +832,9 @@ impl PlanCache {
         stats.full_solves = self.full_solves.load(Ordering::Relaxed);
         stats.block_points = self.block_points.load(Ordering::Relaxed);
         stats.block_flushes = self.block_flushes.load(Ordering::Relaxed);
+        stats.extract_nanos = self.extract_nanos.load(Ordering::Relaxed);
+        stats.stage_nanos = self.stage_nanos.load(Ordering::Relaxed);
+        stats.replay_nanos = self.replay_nanos.load(Ordering::Relaxed);
         stats.plan_evictions = self.evictions.load(Ordering::Relaxed);
         if let Some(store) = &self.store {
             let s = store.stats();
@@ -1668,7 +1731,11 @@ impl<'a> Evaluator<'a> {
         let mut results: Vec<Option<Result<Probability>>> = Vec::with_capacity(n);
         results.resize_with(n, || None);
         let mut success = vec![f64::NAN; n];
-        let mut acc = FlowBlockAccumulator::new(Arc::clone(&self.plans), self.options.plan_lanes);
+        let mut acc = FlowBlockAccumulator::new(
+            Arc::clone(&self.plans),
+            self.options.plan_lanes,
+            self.options.simd,
+        );
         // First point of each still-in-flight (deferred) parameter key, and
         // the duplicates waiting on it.
         let mut first_of: HashMap<String, usize> = HashMap::new();
@@ -1848,12 +1915,18 @@ pub(crate) struct FlowBlockAccumulator {
     plans: Arc<PlanCache>,
     /// Flush threshold in `1..=LANE` (see [`EvalOptions::plan_lanes`]).
     lanes: usize,
+    /// Hardware-validated replay path, resolved once at construction (see
+    /// [`EvalOptions::simd`]) and reused across every flush.
+    path: SimdPath,
     pending: Vec<PendingBlock>,
     scratch: PlanScratch,
     params_buf: Vec<f64>,
     errors: Vec<(usize, crate::CoreError)>,
     flush_nanos: u64,
     flushed_points: u64,
+    /// Parameter-extraction time accrued since the last flush (folded into
+    /// the plan cache's phase counters at flush time).
+    extract_pending_nanos: u64,
 }
 
 struct PendingBlock {
@@ -1863,16 +1936,18 @@ struct PendingBlock {
 }
 
 impl FlowBlockAccumulator {
-    pub(crate) fn new(plans: Arc<PlanCache>, lanes: usize) -> Self {
+    pub(crate) fn new(plans: Arc<PlanCache>, lanes: usize, simd: SimdMode) -> Self {
         FlowBlockAccumulator {
             plans,
             lanes: lanes.clamp(1, LANE),
+            path: simd.resolve(),
             pending: Vec::new(),
             scratch: PlanScratch::new(),
             params_buf: Vec::new(),
             errors: Vec::new(),
             flush_nanos: 0,
             flushed_points: 0,
+            extract_pending_nanos: 0,
         }
     }
 
@@ -1886,8 +1961,41 @@ impl FlowBlockAccumulator {
         tag: usize,
         out: &mut [f64],
     ) -> archrel_markov::Result<()> {
+        let extract_started = Instant::now();
         plan.parameters_into(chain, &mut self.params_buf)?;
-        let idx = match self
+        self.extract_pending_nanos +=
+            u64::try_from(extract_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let idx = self.pending_for(plan);
+        let pending = &mut self.pending[idx];
+        pending.block.push(&self.params_buf)?;
+        pending.tags.push(tag);
+        self.flush_full(out);
+        Ok(())
+    }
+
+    /// Queues one point whose parameter row the caller staged itself (the
+    /// zero-`Bindings` driver path: no chain was built, so there is nothing
+    /// to extract — the caller accounts its staging time through
+    /// [`PlanCache::record_stage_nanos`]).
+    pub(crate) fn submit_row(
+        &mut self,
+        plan: &Arc<SolvePlan>,
+        params: &[f64],
+        tag: usize,
+        out: &mut [f64],
+    ) -> archrel_markov::Result<()> {
+        let idx = self.pending_for(plan);
+        let pending = &mut self.pending[idx];
+        pending.block.push(params)?;
+        pending.tags.push(tag);
+        self.flush_full(out);
+        Ok(())
+    }
+
+    /// Index of the pending block matching `plan`'s structure, creating one
+    /// on first sight.
+    fn pending_for(&mut self, plan: &Arc<SolvePlan>) -> usize {
+        match self
             .pending
             .iter()
             .position(|p| p.plan.fingerprint() == plan.fingerprint())
@@ -1901,14 +2009,18 @@ impl FlowBlockAccumulator {
                 });
                 self.pending.len() - 1
             }
-        };
-        let pending = &mut self.pending[idx];
-        pending.block.push(&self.params_buf)?;
-        pending.tags.push(tag);
-        if pending.block.len() >= self.lanes {
+        }
+    }
+
+    /// Flushes the (single) block that just reached the lane threshold.
+    fn flush_full(&mut self, out: &mut [f64]) {
+        if let Some(idx) = self
+            .pending
+            .iter()
+            .position(|p| p.block.len() >= self.lanes)
+        {
             self.flush_at(idx, out);
         }
-        Ok(())
     }
 
     /// Flushes every non-empty pending block into `out`.
@@ -1927,7 +2039,7 @@ impl FlowBlockAccumulator {
         }
         match pending
             .plan
-            .evaluate_block_with_kinds(&pending.block, &mut self.scratch)
+            .evaluate_block_with_path(&pending.block, &mut self.scratch, self.path)
         {
             Ok((values, kinds)) => {
                 for (lane, &value) in values.iter().enumerate() {
@@ -1955,7 +2067,10 @@ impl FlowBlockAccumulator {
         }
         pending.block.clear();
         pending.tags.clear();
-        self.flush_nanos += u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let replay = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.flush_nanos += replay;
+        self.plans
+            .record_phase_nanos(std::mem::take(&mut self.extract_pending_nanos), replay);
     }
 
     /// Per-tag errors raised by flushed lanes (drained).

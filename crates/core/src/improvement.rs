@@ -10,6 +10,7 @@
 //! (bisection over the monotone response).
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use archrel_expr::Bindings;
 use archrel_model::{
@@ -17,6 +18,7 @@ use archrel_model::{
     Probability, Service, ServiceId, SimpleService,
 };
 
+use crate::staged::{StagedLevers, StagedSweep, Staging};
 use crate::{CoreError, EvalOptions, Evaluator, PlanCache, Result};
 
 /// One improvement lever: scale a service's failure mechanism by `factor`
@@ -104,8 +106,11 @@ pub fn apply_lever(assembly: &Assembly, lever: &Lever, factor: f64) -> Result<As
     Ok(builder.build()?)
 }
 
-fn scale_simple(s: &SimpleService, factor: f64) -> SimpleService {
-    let model = match *s.model() {
+/// The `ServiceFailure` lever's arithmetic on one failure law. Shared with
+/// the staged-sweep compiler (`crate::staged`) so a staged factor sweep
+/// reproduces `apply_lever` bit for bit.
+pub(crate) fn scale_failure_model(model: &FailureModel, factor: f64) -> FailureModel {
+    match *model {
         FailureModel::ExponentialRate { rate, capacity } => FailureModel::ExponentialRate {
             rate: rate * factor,
             capacity,
@@ -117,8 +122,32 @@ fn scale_simple(s: &SimpleService, factor: f64) -> SimpleService {
         FailureModel::PerUnit { probability } => FailureModel::PerUnit {
             probability: (probability * factor).min(1.0),
         },
-    };
-    SimpleService::new(s.id().clone(), s.formal_param(), model)
+    }
+}
+
+/// The `InternalFailure` lever's arithmetic on one caller-side law
+/// (see [`scale_failure_model`] for why it is factored out).
+pub(crate) fn scale_internal_model(
+    model: &InternalFailureModel,
+    factor: f64,
+) -> InternalFailureModel {
+    match *model {
+        InternalFailureModel::None => InternalFailureModel::None,
+        InternalFailureModel::Constant { probability } => InternalFailureModel::Constant {
+            probability: (probability * factor).min(1.0),
+        },
+        InternalFailureModel::PerOperation { phi } => InternalFailureModel::PerOperation {
+            phi: (phi * factor).min(1.0),
+        },
+    }
+}
+
+fn scale_simple(s: &SimpleService, factor: f64) -> SimpleService {
+    SimpleService::new(
+        s.id().clone(),
+        s.formal_param(),
+        scale_failure_model(s.model(), factor),
+    )
 }
 
 fn scale_internal(c: &CompositeService, factor: f64) -> Result<CompositeService> {
@@ -126,15 +155,7 @@ fn scale_internal(c: &CompositeService, factor: f64) -> Result<CompositeService>
     for state in c.flow().states() {
         let mut scaled = state.clone();
         for call in &mut scaled.calls {
-            call.internal_failure = match call.internal_failure {
-                InternalFailureModel::None => InternalFailureModel::None,
-                InternalFailureModel::Constant { probability } => InternalFailureModel::Constant {
-                    probability: (probability * factor).min(1.0),
-                },
-                InternalFailureModel::PerOperation { phi } => InternalFailureModel::PerOperation {
-                    phi: (phi * factor).min(1.0),
-                },
-            };
+            call.internal_failure = scale_internal_model(&call.internal_failure, factor);
         }
         flow = flow.state(scaled);
     }
@@ -210,20 +231,60 @@ pub fn rank_levers_with_options(
     options: EvalOptions,
 ) -> Result<Vec<LeverAssessment>> {
     let plans = Arc::new(PlanCache::new());
-    let baseline = Evaluator::with_plan_cache(assembly, options, Arc::clone(&plans))
-        .failure_probability(service, env)?
-        .value();
+    // Staged fast path: the baseline and every lever assessment share one
+    // compiled sweep; points whose zeroing keeps the flow structure stage
+    // straight into a plan row (no rebuild, no `Bindings`), while levers
+    // that drop a `Fail` edge fall back to the generic rebuild below.
+    let staged = StagedSweep::compile(assembly, service, env, &plans, options)?;
+    let mut scratch = staged.as_ref().map(|s| s.new_scratch());
+    let mut stage_nanos = 0u64;
+    let mut stage_point =
+        |sweep: &StagedSweep, prepared: &StagedLevers, factors: &[f64]| -> Result<Option<f64>> {
+            let scratch = scratch
+                .as_mut()
+                .expect("scratch exists alongside the sweep");
+            let started = Instant::now();
+            let staging = sweep.stage_factors(prepared, factors, scratch);
+            stage_nanos += u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            match staging? {
+                Staging::Row => Ok(Some(sweep.evaluate_row(scratch)?.value())),
+                Staging::Fallback => Ok(None),
+            }
+        };
+    let baseline = match &staged {
+        Some(sweep) => stage_point(sweep, &StagedLevers::empty(), &[])?,
+        None => None,
+    };
+    let baseline = match baseline {
+        Some(p) => p,
+        None => Evaluator::with_plan_cache(assembly, options, Arc::clone(&plans))
+            .failure_probability(service, env)?
+            .value(),
+    };
     let mut out = Vec::new();
     for lever in levers(assembly) {
-        let improved = apply_lever(assembly, &lever, 0.0)?;
-        let best_case = Evaluator::with_plan_cache(&improved, options, Arc::clone(&plans))
-            .failure_probability(service, env)?;
+        let staged_best = match &staged {
+            Some(sweep) => {
+                let prepared = sweep.prepare_levers(assembly, std::iter::once(&lever))?;
+                stage_point(sweep, &prepared, &[0.0])?
+            }
+            None => None,
+        };
+        let best_case = match staged_best {
+            Some(p) => Probability::new(p)?,
+            None => {
+                let improved = apply_lever(assembly, &lever, 0.0)?;
+                Evaluator::with_plan_cache(&improved, options, Arc::clone(&plans))
+                    .failure_probability(service, env)?
+            }
+        };
         out.push(LeverAssessment {
             head_room: (baseline - best_case.value()).max(0.0),
             best_case_failure: best_case,
             lever,
         });
     }
+    plans.record_stage_nanos(stage_nanos);
     out.sort_by(|a, b| {
         b.head_room
             .partial_cmp(&a.head_room)
@@ -276,7 +337,29 @@ pub fn required_factor_with_options(
     options: EvalOptions,
 ) -> Result<Option<f64>> {
     let plans = Arc::new(PlanCache::new());
-    let pfail_at = |factor: f64| -> Result<f64> {
+    // Staged fast path: the ~60 bisection probes share one compiled sweep
+    // and stage straight into plan rows. A probe that changes the flow
+    // structure (typically only `factor = 0`) rebuilds generically; both
+    // paths are bitwise-identical on compiled structures.
+    let staged = match StagedSweep::compile(assembly, service, env, &plans, options)? {
+        Some(sweep) => {
+            let prepared = sweep.prepare_levers(assembly, std::iter::once(lever))?;
+            Some((sweep, prepared))
+        }
+        None => None,
+    };
+    let mut scratch = staged.as_ref().map(|(sweep, _)| sweep.new_scratch());
+    let mut pfail_at = |factor: f64| -> Result<f64> {
+        if let (Some((sweep, prepared)), Some(scratch)) = (&staged, scratch.as_mut()) {
+            let started = Instant::now();
+            let staging = sweep.stage_factors(prepared, &[factor], scratch);
+            plans.record_stage_nanos(
+                u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
+            if staging? == Staging::Row {
+                return Ok(sweep.evaluate_row(scratch)?.value());
+            }
+        }
         let improved = apply_lever(assembly, lever, factor)?;
         Ok(
             Evaluator::with_plan_cache(&improved, options, Arc::clone(&plans))
@@ -427,6 +510,126 @@ mod tests {
         )
         .unwrap();
         assert_eq!(result, Some(1.0));
+    }
+
+    /// An acyclic assembly the staged sweep compiler accepts (bitwise
+    /// block ≡ scalar holds on the straight-line tape only).
+    fn stageable_assembly() -> (Assembly, Bindings) {
+        use archrel_expr::Expr;
+        use archrel_model::{FlowState, ServiceCall, StateId};
+        let call_a = ServiceCall {
+            target: "cpu".into(),
+            actual_params: vec![("ops".to_string(), Expr::param("n"))],
+            connector: None,
+            internal_failure: InternalFailureModel::PerOperation { phi: 1e-4 },
+        };
+        let call_b = ServiceCall {
+            target: "disk".into(),
+            actual_params: vec![("ops".to_string(), Expr::num(3.0))],
+            connector: None,
+            internal_failure: InternalFailureModel::None,
+        };
+        let flow = FlowBuilder::new()
+            .state(FlowState::new("a", vec![call_a]))
+            .state(FlowState::new("b", vec![call_b]))
+            .transition(StateId::Start, "a", Expr::num(0.6))
+            .transition(StateId::Start, "b", Expr::num(0.4))
+            .transition("a", "b", Expr::one())
+            .transition("b", StateId::End, Expr::one())
+            .build()
+            .unwrap();
+        let assembly = AssemblyBuilder::new()
+            .service(Service::Simple(SimpleService::new(
+                "cpu",
+                "ops",
+                FailureModel::ExponentialRate {
+                    rate: 0.02,
+                    capacity: 1.0,
+                },
+            )))
+            .service(Service::Simple(SimpleService::new(
+                "disk",
+                "ops",
+                FailureModel::PerUnit { probability: 1e-3 },
+            )))
+            .service(Service::Composite(
+                CompositeService::new("app", vec!["n".to_string()], flow).unwrap(),
+            ))
+            .build()
+            .unwrap();
+        (assembly, Bindings::new().with("n", 6.0))
+    }
+
+    /// Staged lever assessments and bisection probes must be **bitwise**
+    /// identical to the generic rebuild-per-point path under the same
+    /// compiled-plan policy.
+    #[test]
+    fn staged_improvement_matches_generic_rebuild_bitwise() {
+        use crate::SolverPolicy;
+        let (assembly, env) = stageable_assembly();
+        let service: ServiceId = "app".into();
+        let options = EvalOptions {
+            solver: SolverPolicy::Compiled,
+            ..EvalOptions::default()
+        };
+        let ranked = rank_levers_with_options(&assembly, &service, &env, options).unwrap();
+        // Generic reference: rebuild per lever, fresh shared-cache
+        // evaluators, identical ordering criteria.
+        let plans = Arc::new(PlanCache::new());
+        let baseline = Evaluator::with_plan_cache(&assembly, options, Arc::clone(&plans))
+            .failure_probability(&service, &env)
+            .unwrap()
+            .value();
+        let mut reference: Vec<LeverAssessment> = levers(&assembly)
+            .into_iter()
+            .map(|lever| {
+                let improved = apply_lever(&assembly, &lever, 0.0).unwrap();
+                let best_case = Evaluator::with_plan_cache(&improved, options, Arc::clone(&plans))
+                    .failure_probability(&service, &env)
+                    .unwrap();
+                LeverAssessment {
+                    head_room: (baseline - best_case.value()).max(0.0),
+                    best_case_failure: best_case,
+                    lever,
+                }
+            })
+            .collect();
+        reference.sort_by(|a, b| b.head_room.partial_cmp(&a.head_room).unwrap());
+        assert_eq!(ranked.len(), reference.len());
+        for (r, g) in ranked.iter().zip(&reference) {
+            assert_eq!(r.lever, g.lever);
+            assert_eq!(
+                r.best_case_failure.value().to_bits(),
+                g.best_case_failure.value().to_bits()
+            );
+            assert_eq!(r.head_room.to_bits(), g.head_room.to_bits());
+        }
+        // Bisection: the staged factor search lands on the exact same
+        // factor as a generic bisection over rebuilt assemblies.
+        let lever = Lever::ServiceFailure("cpu".into());
+        let target = Probability::new(baseline * 0.7).unwrap();
+        let staged_factor =
+            required_factor_with_options(&assembly, &service, &env, &lever, target, options)
+                .unwrap()
+                .expect("scaling cpu can reach 70% of baseline");
+        let generic_pfail = |factor: f64| -> f64 {
+            let improved = apply_lever(&assembly, &lever, factor).unwrap();
+            let plans = Arc::new(PlanCache::new());
+            Evaluator::with_plan_cache(&improved, options, plans)
+                .failure_probability(&service, &env)
+                .unwrap()
+                .value()
+        };
+        let (mut lo, mut hi) = (0.0_f64, 1.0_f64);
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if generic_pfail(mid) <= target.value() {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        assert_eq!(staged_factor.to_bits(), lo.to_bits());
     }
 
     #[test]

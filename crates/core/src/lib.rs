@@ -66,9 +66,11 @@ pub mod propagation;
 mod report;
 pub mod selection;
 pub mod sensitivity;
+mod staged;
 pub mod symbolic;
 pub mod uncertainty;
 
+pub use archrel_markov::{SimdMode, SimdPath};
 pub use augment::{augmented_chain, AugmentedState};
 pub use batch::{BatchEvaluator, BatchSummary, Query};
 pub use error::CoreError;

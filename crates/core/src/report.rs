@@ -42,6 +42,15 @@ impl fmt::Display for CacheStats {
                 self.block_points as f64 / self.block_flushes as f64
             )?;
         }
+        if self.extract_nanos + self.stage_nanos + self.replay_nanos > 0 {
+            write!(
+                f,
+                "; phases: extract {:.3} ms / stage {:.3} ms / replay {:.3} ms",
+                self.extract_nanos as f64 * 1e-6,
+                self.stage_nanos as f64 * 1e-6,
+                self.replay_nanos as f64 * 1e-6
+            )?;
+        }
         if self.plan_evictions > 0 {
             write!(f, "; {} plan evictions", self.plan_evictions)?;
         }

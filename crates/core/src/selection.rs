@@ -9,12 +9,15 @@
 //! reliability, and ranks the combinations.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use archrel_expr::Bindings;
-use archrel_model::{Assembly, AssemblyBuilder, Probability, Service, ServiceId};
+use archrel_model::{Assembly, AssemblyBuilder, Probability, Service, ServiceId, SimpleService};
 
 use crate::batch::parallel_map_indexed;
+use crate::eval::FlowBlockAccumulator;
 use crate::sensitivity::default_workers;
+use crate::staged::{StagedSweep, Staging};
 use crate::{CoreError, EvalOptions, Evaluator, PlanCache, Result};
 
 /// One selectable position in the assembly: any of the `candidates` can fill
@@ -169,9 +172,20 @@ pub fn select_with_workers(
     }
 
     let plans = Arc::new(PlanCache::new());
-    let evaluated = parallel_map_indexed(workers, &all_choices, |_, combination| {
-        evaluate_combination(problem, combination, &plans)
-    });
+    // Staged fast path: when every slot holds simple-service candidates and
+    // the target compiles to a staged sweep, each combination stages its
+    // candidates as whole-model overrides on one compiled plan — no
+    // per-combination assembly build, no `Bindings`, and lane-blocked tape
+    // replay across combinations. Ineligible problems (and combinations
+    // whose overrides change the flow structure) run the generic
+    // build-and-evaluate path below, unchanged.
+    let staged = staged_selection(problem, &plans)?;
+    let evaluated = match &staged {
+        Some(sel) => staged_results(sel, problem, &all_choices, &plans, workers),
+        None => parallel_map_indexed(workers, &all_choices, |_, combination| {
+            evaluate_combination(problem, combination, &plans)
+        }),
+    };
     let mut results = Vec::with_capacity(all_choices.len());
     for r in evaluated {
         if let Some(result) = r? {
@@ -195,6 +209,213 @@ pub fn select_with_workers(
 /// See [`select`].
 pub fn select_best(problem: &SelectionProblem) -> Result<Option<SelectionResult>> {
     Ok(select(problem)?.into_iter().next())
+}
+
+/// A selection problem compiled for staged evaluation: the sweep over the
+/// baseline (all-zero) combination, plus each slot's position in the
+/// sweep's simple-service table (`None` when the slot's service is not
+/// referenced by the target, so swapping it cannot move the prediction).
+struct StagedSelection {
+    sweep: StagedSweep,
+    slot_index: Vec<Option<usize>>,
+    /// Per slot, per candidate: whether substituting just that candidate
+    /// into the baseline builds a valid assembly. Assembly validation is
+    /// slot-local (ids and call targets are fixed by the baseline), so a
+    /// combination validates iff all its candidates do — invalid ones are
+    /// routed through the generic path, which skips them.
+    valid: Vec<Vec<bool>>,
+}
+
+/// Compiles the staged form of `problem`, or `None` when it is not
+/// eligible: staging needs every candidate to be a simple service sharing
+/// its slot's id (a pure model swap), a baseline combination that builds,
+/// and a target the sweep compiler accepts.
+fn staged_selection(
+    problem: &SelectionProblem,
+    plans: &Arc<PlanCache>,
+) -> Result<Option<StagedSelection>> {
+    let mut slot_ids: Vec<&ServiceId> = Vec::with_capacity(problem.slots.len());
+    for slot in &problem.slots {
+        let mut ids = slot.candidates.iter().map(|c| match c {
+            Service::Simple(s) => Some(s.id()),
+            Service::Composite(_) => None,
+        });
+        let Some(Some(first)) = ids.next() else {
+            return Ok(None);
+        };
+        if !ids.all(|id| id == Some(first)) {
+            return Ok(None);
+        }
+        slot_ids.push(first);
+    }
+    let mut builder = AssemblyBuilder::new().services(problem.fixed.iter().cloned());
+    for slot in &problem.slots {
+        builder = builder.service(slot.candidates[0].clone());
+    }
+    let Ok(baseline) = builder.build() else {
+        return Ok(None);
+    };
+    let Some(sweep) = StagedSweep::compile(
+        &baseline,
+        &problem.target,
+        &problem.bindings,
+        plans,
+        problem.eval_options,
+    )?
+    else {
+        return Ok(None);
+    };
+    let slot_index = slot_ids.iter().map(|id| sweep.simple_index(id)).collect();
+    let valid = problem
+        .slots
+        .iter()
+        .enumerate()
+        .map(|(s, slot)| {
+            slot.candidates
+                .iter()
+                .enumerate()
+                .map(|(c, candidate)| {
+                    if c == 0 {
+                        return true; // the baseline built above
+                    }
+                    let mut builder =
+                        AssemblyBuilder::new().services(problem.fixed.iter().cloned());
+                    for (s2, slot2) in problem.slots.iter().enumerate() {
+                        let pick = if s2 == s {
+                            candidate
+                        } else {
+                            &slot2.candidates[0]
+                        };
+                        builder = builder.service(pick.clone());
+                    }
+                    builder.build().is_ok()
+                })
+                .collect()
+        })
+        .collect();
+    Ok(Some(StagedSelection {
+        sweep,
+        slot_index,
+        valid,
+    }))
+}
+
+/// Evaluates every combination through the staged sweep, striping across
+/// workers; combinations the sweep cannot stage run the generic path.
+fn staged_results(
+    sel: &StagedSelection,
+    problem: &SelectionProblem,
+    all_choices: &[Vec<usize>],
+    plans: &Arc<PlanCache>,
+    workers: usize,
+) -> Vec<Result<Option<SelectionResult>>> {
+    let options = problem.eval_options;
+    let result_for = |choices: &[usize], failure_probability: Probability| SelectionResult {
+        choices: choices.to_vec(),
+        description: problem
+            .slots
+            .iter()
+            .zip(choices)
+            .map(|(s, &c)| (s.label.clone(), c))
+            .collect(),
+        failure_probability,
+    };
+    let run_stripe = |stripe: Vec<usize>| -> Vec<(usize, Result<Option<SelectionResult>>)> {
+        let mut acc =
+            FlowBlockAccumulator::new(Arc::clone(plans), options.plan_lanes, options.simd);
+        let mut success = vec![f64::NAN; stripe.len()];
+        let mut results: Vec<Option<Result<Option<SelectionResult>>>> =
+            Vec::with_capacity(stripe.len());
+        results.resize_with(stripe.len(), || None);
+        let mut deferred: Vec<usize> = Vec::new();
+        let mut scratch = sel.sweep.new_scratch();
+        let mut overrides: Vec<Option<&SimpleService>> = Vec::new();
+        let mut stage_nanos = 0u64;
+        for (pos, &i) in stripe.iter().enumerate() {
+            let choices = &all_choices[i];
+            if choices.iter().zip(&sel.valid).any(|(&c, valid)| !valid[c]) {
+                results[pos] = Some(evaluate_combination(problem, choices, plans));
+                continue;
+            }
+            overrides.clear();
+            overrides.resize(sel.sweep.simple_count(), None);
+            for ((slot, &c), idx) in problem.slots.iter().zip(choices).zip(&sel.slot_index) {
+                if let (Some(idx), Service::Simple(simple)) = (idx, &slot.candidates[c]) {
+                    overrides[*idx] = Some(simple);
+                }
+            }
+            let started = Instant::now();
+            let staging = sel.sweep.stage_models(&overrides, &mut scratch);
+            stage_nanos += u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            match staging {
+                Ok(Staging::Row) => {
+                    match acc.submit_row(sel.sweep.plan(), &scratch.row, pos, &mut success) {
+                        Ok(()) => deferred.push(pos),
+                        Err(err) => results[pos] = Some(Err(err.into())),
+                    }
+                }
+                Ok(Staging::Fallback) => {
+                    results[pos] = Some(evaluate_combination(problem, choices, plans));
+                }
+                Err(err) => results[pos] = Some(Err(err)),
+            }
+        }
+        plans.record_stage_nanos(stage_nanos);
+        acc.finish(&mut success);
+        for (tag, err) in acc.take_errors() {
+            results[tag] = Some(Err(err));
+        }
+        for pos in deferred {
+            if results[pos].is_some() {
+                continue;
+            }
+            results[pos] = Some(
+                Probability::new(success[pos])
+                    .map_err(CoreError::from)
+                    .map(|p| Some(result_for(&all_choices[stripe[pos]], p.complement()))),
+            );
+        }
+        stripe
+            .into_iter()
+            .zip(results)
+            .map(|(i, r)| (i, r.expect("every combination resolved")))
+            .collect()
+    };
+
+    let workers = workers.max(1).min(all_choices.len().max(1));
+    let mut results: Vec<Option<Result<Option<SelectionResult>>>> =
+        Vec::with_capacity(all_choices.len());
+    results.resize_with(all_choices.len(), || None);
+    if workers == 1 {
+        for (i, r) in run_stripe((0..all_choices.len()).collect()) {
+            results[i] = Some(r);
+        }
+    } else {
+        let run_stripe = &run_stripe;
+        let collected: Vec<Vec<(usize, Result<Option<SelectionResult>>)>> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let stripe: Vec<usize> = (w..all_choices.len()).step_by(workers).collect();
+                        scope.spawn(move |_| run_stripe(stripe))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("selection worker panicked"))
+                    .collect()
+            })
+            .expect("selection worker panicked");
+        for stripe in collected {
+            for (i, r) in stripe {
+                results[i] = Some(r);
+            }
+        }
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every combination resolved"))
+        .collect()
 }
 
 fn evaluate_combination(
@@ -388,6 +609,91 @@ mod tests {
             assert_eq!(d.choices, s.choices);
             assert!((d.failure_probability.value() - s.failure_probability.value()).abs() < 1e-10);
         }
+    }
+
+    /// Under the compiled-plan policy the staged path takes over; it must
+    /// be **bitwise** identical to the generic build-per-combination path
+    /// on acyclic flows (block ≡ scalar covers the straight-line tape),
+    /// at every worker count.
+    #[test]
+    fn staged_selection_matches_generic_rebuild_bitwise() {
+        use crate::SolverPolicy;
+        let cand = |name: &str, p: f64| catalog::blackbox_service(name, "x", p);
+        let flow = FlowBuilder::new()
+            .state(FlowState::new(
+                "1",
+                vec![
+                    ServiceCall::new("a").with_param("x", Expr::num(1.0)),
+                    ServiceCall::new("b").with_param("x", Expr::num(2.0)),
+                ],
+            ))
+            .state(FlowState::new(
+                "2",
+                vec![ServiceCall::new("a").with_param("x", Expr::num(3.0))],
+            ))
+            .transition(StateId::Start, "1", Expr::one())
+            .transition("1", "2", Expr::one())
+            .transition("2", StateId::End, Expr::one())
+            .build()
+            .unwrap();
+        let app = Service::Composite(CompositeService::new("app", vec![], flow).unwrap());
+        let problem = SelectionProblem::new(
+            vec![app],
+            vec![
+                Slot::new(
+                    "a",
+                    (0..5).map(|i| cand("a", 0.01 * (i + 1) as f64)).collect(),
+                ),
+                Slot::new(
+                    "b",
+                    (0..4).map(|i| cand("b", 0.02 * (i + 1) as f64)).collect(),
+                ),
+            ],
+            "app",
+            Bindings::new(),
+        )
+        .with_eval_options(EvalOptions {
+            solver: SolverPolicy::Compiled,
+            ..EvalOptions::default()
+        });
+        // Generic reference: the same combinations, rebuilt and evaluated
+        // one at a time on the same compiled-plan policy.
+        let plans = Arc::new(PlanCache::new());
+        let staged = staged_selection(&problem, &plans).unwrap();
+        assert!(staged.is_some(), "problem is stageable");
+        let mut reference: Vec<SelectionResult> = Vec::new();
+        for a in 0..5 {
+            for b in 0..4 {
+                if let Some(r) = evaluate_combination(&problem, &[a, b], &plans).unwrap() {
+                    reference.push(r);
+                }
+            }
+        }
+        reference.sort_by(|x, y| {
+            x.failure_probability
+                .value()
+                .partial_cmp(&y.failure_probability.value())
+                .unwrap()
+        });
+        for workers in [1usize, 3] {
+            let got = select_with_workers(&problem, workers).unwrap();
+            assert_eq!(reference.len(), got.len());
+            for (r, g) in reference.iter().zip(&got) {
+                assert_eq!(r.choices, g.choices, "{workers} workers");
+                assert_eq!(
+                    r.failure_probability.value().to_bits(),
+                    g.failure_probability.value().to_bits()
+                );
+            }
+        }
+        // Incompatible candidates are still skipped on the staged path.
+        let mut slots = problem.slots.clone();
+        slots[1]
+            .candidates
+            .push(catalog::blackbox_service("b", "y", 0.001));
+        let problem = SelectionProblem { slots, ..problem };
+        let results = select(&problem).unwrap();
+        assert_eq!(results.len(), 20, "the y-interface candidate is skipped");
     }
 
     #[test]

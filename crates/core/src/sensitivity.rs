@@ -11,11 +11,16 @@
 //!   supplies a closure that rebuilds the assembly with a perturbed
 //!   attribute, which is how the Figure 6 harness explores γ and ϕ₁.
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use archrel_expr::Bindings;
-use archrel_model::{Assembly, ServiceId};
+use archrel_model::{Assembly, Probability, ServiceId};
 
 use crate::batch::blocked_probabilities;
-use crate::{symbolic, Evaluator, Result};
+use crate::eval::FlowBlockAccumulator;
+use crate::staged::{StagedSweep, Staging};
+use crate::{symbolic, CoreError, Evaluator, Result};
 
 /// Sensitivity of `Pfail` with respect to one input.
 #[derive(Debug, Clone, PartialEq)]
@@ -137,7 +142,26 @@ pub fn binding_sensitivities_with_workers(
     let varied: Vec<String> = env.iter().map(|(name, _)| name.to_string()).collect();
     evaluator.declare_varied(service, &varied);
     let flat: Vec<&Bindings> = probes.iter().flat_map(|p| p.envs.iter()).collect();
-    let values = blocked_probabilities(evaluator, service, &flat, workers);
+    // Which binding each flattened probe perturbs — the staged path uses
+    // it to restage only that binding's dependency cone per probe.
+    let names: Vec<&str> = probes.iter().flat_map(|p| [p.name.as_str(); 3]).collect();
+    // Staged fast path: when the target compiles to a staged sweep, every
+    // probe's parameter row is generated directly from the stencil env —
+    // no per-probe state resolution, chain build, or extraction. A sweep
+    // that declines (or a compile error) routes through the generic
+    // blocked path unchanged.
+    let staged = StagedSweep::compile(
+        evaluator.assembly(),
+        service,
+        env,
+        evaluator.plan_cache(),
+        evaluator.options(),
+    )
+    .unwrap_or(None);
+    let values = match &staged {
+        Some(sweep) => staged_probes(sweep, evaluator, service, env, &names, &flat, workers),
+        None => blocked_probabilities(evaluator, service, &flat, workers),
+    };
     let mut values = values.into_iter().map(|r| r.map(|p| p.value()));
     let mut out = Vec::with_capacity(probes.len());
     for probe in &probes {
@@ -178,6 +202,120 @@ pub(crate) fn default_workers() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Evaluate every probe env through a staged sweep: each row is generated
+/// straight from the stencil env — no per-probe state resolution, chain
+/// build, or extraction — then replayed through lane-blocked tapes. The
+/// stencil contract (each probe moves exactly one binding, `names[i]`)
+/// lets the sweep stage the center once and restage only each probe's
+/// dependency cone — bitwise what full staging computes. Probes whose
+/// values change the flow structure fall back to the generic evaluator,
+/// which is bitwise-identical on compiled structures.
+fn staged_probes(
+    sweep: &StagedSweep,
+    evaluator: &Evaluator<'_>,
+    service: &ServiceId,
+    center_env: &Bindings,
+    names: &[&str],
+    envs: &[&Bindings],
+    workers: usize,
+) -> Vec<Result<Probability>> {
+    debug_assert_eq!(names.len(), envs.len());
+    let options = evaluator.options();
+    let plans = evaluator.plan_cache();
+    // A center that fails to stage sends every probe through full
+    // staging, which reports any error probe by probe exactly as before.
+    let center = {
+        let mut scratch = sweep.new_scratch();
+        sweep
+            .prepare_env_center(center_env, &mut scratch)
+            .unwrap_or(None)
+    };
+    let center = center.as_ref();
+    let run_stripe = |stripe: Vec<usize>| -> Vec<(usize, Result<Probability>)> {
+        let mut acc =
+            FlowBlockAccumulator::new(Arc::clone(plans), options.plan_lanes, options.simd);
+        let mut success = vec![f64::NAN; stripe.len()];
+        let mut results: Vec<Option<Result<Probability>>> = Vec::with_capacity(stripe.len());
+        results.resize_with(stripe.len(), || None);
+        let mut deferred: Vec<usize> = Vec::new();
+        let mut scratch = sweep.new_scratch();
+        let mut stage_nanos = 0u64;
+        for (pos, &i) in stripe.iter().enumerate() {
+            let stage_started = Instant::now();
+            let staging = match center {
+                Some(c) => sweep.stage_env_delta(c, names[i], envs[i], &mut scratch),
+                None => sweep.stage_env(envs[i], &mut scratch),
+            };
+            stage_nanos += u64::try_from(stage_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            match staging {
+                Ok(Staging::Row) => {
+                    match acc.submit_row(sweep.plan(), &scratch.row, pos, &mut success) {
+                        Ok(()) => deferred.push(pos),
+                        Err(err) => results[pos] = Some(Err(err.into())),
+                    }
+                }
+                Ok(Staging::Fallback) => {
+                    results[pos] = Some(evaluator.failure_probability(service, envs[i]));
+                }
+                Err(err) => results[pos] = Some(Err(err)),
+            }
+        }
+        plans.record_stage_nanos(stage_nanos);
+        acc.finish(&mut success);
+        for (tag, err) in acc.take_errors() {
+            results[tag] = Some(Err(err));
+        }
+        for pos in deferred {
+            if results[pos].is_some() {
+                continue;
+            }
+            results[pos] = Some(
+                Probability::new(success[pos])
+                    .map(|p| p.complement())
+                    .map_err(CoreError::from),
+            );
+        }
+        stripe
+            .into_iter()
+            .zip(results)
+            .map(|(i, r)| (i, r.expect("every probe resolved")))
+            .collect()
+    };
+
+    let workers = workers.max(1).min(envs.len().max(1));
+    let mut results: Vec<Option<Result<Probability>>> = Vec::with_capacity(envs.len());
+    results.resize_with(envs.len(), || None);
+    if workers == 1 {
+        for (i, r) in run_stripe((0..envs.len()).collect()) {
+            results[i] = Some(r);
+        }
+    } else {
+        let run_stripe = &run_stripe;
+        let collected: Vec<Vec<(usize, Result<Probability>)>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let stripe: Vec<usize> = (w..envs.len()).step_by(workers).collect();
+                    scope.spawn(move |_| run_stripe(stripe))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sensitivity worker panicked"))
+                .collect()
+        })
+        .expect("sensitivity worker panicked");
+        for stripe in collected {
+            for (i, r) in stripe {
+                results[i] = Some(r);
+            }
+        }
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every probe resolved"))
+        .collect()
 }
 
 /// **Exact** sensitivities of `Pfail(service, ·)` with respect to every
@@ -394,6 +532,116 @@ mod tests {
                 d.derivative,
                 s.derivative
             );
+        }
+    }
+
+    /// An acyclic assembly the staged sweep compiler accepts. Acyclic on
+    /// purpose: the bitwise block ≡ scalar contract the reference values
+    /// rely on covers the straight-line tape, not incremental re-solves.
+    fn stageable_assembly() -> (Assembly, Bindings) {
+        use archrel_expr::Expr;
+        use archrel_model::{
+            AssemblyBuilder, CompositeService, FailureModel, FlowBuilder, FlowState,
+            InternalFailureModel, Service, ServiceCall, SimpleService, StateId,
+        };
+        let call_a = ServiceCall {
+            target: "cpu".into(),
+            actual_params: vec![("ops".to_string(), Expr::param("n"))],
+            connector: None,
+            internal_failure: InternalFailureModel::PerOperation { phi: 1e-4 },
+        };
+        let call_b = ServiceCall {
+            target: "disk".into(),
+            actual_params: vec![("ops".to_string(), Expr::param("m"))],
+            connector: None,
+            internal_failure: InternalFailureModel::None,
+        };
+        let flow = FlowBuilder::new()
+            .state(FlowState::new("a", vec![call_a]))
+            .state(FlowState::new("b", vec![call_b]))
+            .transition(StateId::Start, "a", Expr::num(0.6))
+            .transition(StateId::Start, "b", Expr::num(0.4))
+            .transition("a", "b", Expr::one())
+            .transition("b", StateId::End, Expr::one())
+            .build()
+            .unwrap();
+        let assembly = AssemblyBuilder::new()
+            .service(Service::Simple(SimpleService::new(
+                "cpu",
+                "ops",
+                FailureModel::ExponentialRate {
+                    rate: 0.02,
+                    capacity: 1.0,
+                },
+            )))
+            .service(Service::Simple(SimpleService::new(
+                "disk",
+                "ops",
+                FailureModel::PerUnit { probability: 1e-3 },
+            )))
+            .service(Service::Composite(
+                CompositeService::new("app", vec!["n".to_string(), "m".to_string()], flow).unwrap(),
+            ))
+            .build()
+            .unwrap();
+        (assembly, Bindings::new().with("n", 6.0).with("m", 3.0))
+    }
+
+    /// The staged probe sweep must be **bitwise** identical to the generic
+    /// blocked path under the same compiled-plan policy — same stencil,
+    /// same probabilities, at every worker count.
+    #[test]
+    fn staged_probes_match_blocked_path_bitwise() {
+        use crate::{EvalOptions, SolverPolicy};
+        let (assembly, env) = stageable_assembly();
+        let service: ServiceId = "app".into();
+        let options = EvalOptions {
+            solver: SolverPolicy::Compiled,
+            ..EvalOptions::default()
+        };
+        // Perturbed stencil points, like binding_sensitivities builds.
+        let mut flat_owned: Vec<(String, Bindings)> = Vec::new();
+        for (name, x0) in env.iter() {
+            let h = step(x0);
+            for x in [x0 + h, x0 - h, x0] {
+                let mut p = env.clone();
+                p.insert(name, x);
+                flat_owned.push((name.to_string(), p));
+            }
+        }
+        let names: Vec<&str> = flat_owned.iter().map(|(n, _)| n.as_str()).collect();
+        let flat: Vec<&Bindings> = flat_owned.iter().map(|(_, p)| p).collect();
+        let reference = {
+            let eval = Evaluator::with_options(&assembly, options);
+            blocked_probabilities(&eval, &service, &flat, 1)
+        };
+        for workers in [1usize, 3] {
+            let eval = Evaluator::with_options(&assembly, options);
+            let sweep = StagedSweep::compile(&assembly, &service, &env, eval.plan_cache(), options)
+                .unwrap()
+                .expect("assembly is stageable");
+            let staged = staged_probes(&sweep, &eval, &service, &env, &names, &flat, workers);
+            assert_eq!(reference.len(), staged.len());
+            for (r, s) in reference.iter().zip(&staged) {
+                let (r, s) = (r.as_ref().unwrap(), s.as_ref().unwrap());
+                assert_eq!(r.value().to_bits(), s.value().to_bits());
+            }
+        }
+        // End to end: the public entry point (which takes the staged path
+        // here) agrees with itself across worker counts.
+        let reference = {
+            let eval = Evaluator::with_options(&assembly, options);
+            binding_sensitivities_with_workers(&eval, &service, &env, 1).unwrap()
+        };
+        for workers in [2usize, 5] {
+            let eval = Evaluator::with_options(&assembly, options);
+            let got = binding_sensitivities_with_workers(&eval, &service, &env, workers).unwrap();
+            assert_eq!(reference.len(), got.len());
+            for (r, g) in reference.iter().zip(&got) {
+                assert_eq!(r.name, g.name);
+                assert_eq!(r.derivative.to_bits(), g.derivative.to_bits());
+                assert_eq!(r.elasticity.to_bits(), g.elasticity.to_bits());
+            }
         }
     }
 

@@ -17,6 +17,7 @@
 //!   true value — no sampling error.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use archrel_expr::Bindings;
 use archrel_model::{Assembly, Probability, ServiceId};
@@ -26,6 +27,7 @@ use rand::{Rng, SeedableRng};
 use crate::eval::{BlockedOutcome, FlowBlockAccumulator};
 use crate::improvement::{apply_lever, Lever};
 use crate::sensitivity::default_workers;
+use crate::staged::{StagedSweep, Staging};
 use crate::{CoreError, EvalOptions, Evaluator, PlanCache, Result};
 
 /// Distribution of the multiplicative error on a published failure quantity.
@@ -231,6 +233,41 @@ pub fn propagate_with_options(
     workers: usize,
     options: EvalOptions,
 ) -> Result<UncertaintySummary> {
+    propagate_with_plan_cache(
+        assembly,
+        service,
+        env,
+        quantities,
+        samples,
+        seed,
+        workers,
+        options,
+        &Arc::new(PlanCache::new()),
+    )
+}
+
+/// [`propagate_with_options`] against a caller-supplied [`PlanCache`]: the
+/// sweep's compiled plans, blocked-replay tallies, and per-phase
+/// nanosecond counters (extract / stage / replay — see
+/// [`crate::CacheStats`]) accumulate in `plans`, so callers can share
+/// compilation work across sweeps and read the phase split afterwards via
+/// [`PlanCache::stats`].
+///
+/// # Errors
+///
+/// See [`propagate`].
+#[allow(clippy::too_many_arguments)]
+pub fn propagate_with_plan_cache(
+    assembly: &Assembly,
+    service: &ServiceId,
+    env: &Bindings,
+    quantities: &[UncertainQuantity],
+    samples: usize,
+    seed: u64,
+    workers: usize,
+    options: EvalOptions,
+    plans: &Arc<PlanCache>,
+) -> Result<UncertaintySummary> {
     if samples == 0 {
         return Err(CoreError::Model(
             archrel_model::ModelError::InvalidAttribute {
@@ -254,7 +291,17 @@ pub fn propagate_with_options(
         })
         .collect();
 
-    let plans = Arc::new(PlanCache::new());
+    // Under a compiled-plan policy, try to stage the whole sweep: samples
+    // then generate directly into plan parameter rows — no per-sample
+    // assembly rebuild, no `Bindings`, no chain, no extraction — and only
+    // structure-changing samples fall back to the generic path below.
+    let staged = match StagedSweep::compile(assembly, service, env, plans, options)? {
+        Some(sweep) => {
+            let levers = sweep.prepare_levers(assembly, quantities.iter().map(|q| &q.lever))?;
+            Some((sweep, levers))
+        }
+        None => None,
+    };
     // Each worker owns one block accumulator: sample evaluators are
     // short-lived (one per perturbed assembly), but the accumulator holds
     // parameter copies and `Arc`s into the shared plan cache, so samples
@@ -262,23 +309,38 @@ pub fn propagate_with_options(
     // across evaluator lifetimes. Block ≡ scalar bitwise on compiled
     // acyclic structures, so the summary stays worker-count independent.
     let run_stripe = |stripe: Vec<usize>| -> Result<Vec<(usize, f64)>> {
-        let mut acc = FlowBlockAccumulator::new(Arc::clone(&plans), options.plan_lanes);
+        let mut acc =
+            FlowBlockAccumulator::new(Arc::clone(plans), options.plan_lanes, options.simd);
         let mut success = vec![f64::NAN; stripe.len()];
         let mut values: Vec<Option<f64>> = vec![None; stripe.len()];
         let mut deferred: Vec<usize> = Vec::new();
+        let mut scratch = staged.as_ref().map(|(sweep, _)| sweep.new_scratch());
+        let mut stage_nanos = 0u64;
         for (pos, &i) in stripe.iter().enumerate() {
+            if let (Some((sweep, levers)), Some(scratch)) = (&staged, scratch.as_mut()) {
+                let stage_started = Instant::now();
+                let staging = sweep.stage_factors(levers, &factor_vectors[i], scratch)?;
+                stage_nanos +=
+                    u64::try_from(stage_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                if staging == Staging::Row {
+                    acc.submit_row(sweep.plan(), &scratch.row, pos, &mut success)?;
+                    deferred.push(pos);
+                    continue;
+                }
+            }
             let factors: Vec<(&Lever, f64)> = quantities
                 .iter()
                 .zip(factor_vectors[i].iter())
                 .map(|(q, &f)| (&q.lever, f))
                 .collect();
             let perturbed = apply_all(assembly, &factors)?;
-            let evaluator = Evaluator::with_plan_cache(&perturbed, options, Arc::clone(&plans));
+            let evaluator = Evaluator::with_plan_cache(&perturbed, options, Arc::clone(plans));
             match evaluator.defer_failure_probability(service, env, pos, &mut acc, &mut success)? {
                 BlockedOutcome::Immediate(p) => values[pos] = Some(p.value()),
                 BlockedOutcome::Deferred => deferred.push(pos),
             }
         }
+        plans.record_stage_nanos(stage_nanos);
         acc.finish(&mut success);
         if let Some((_, err)) = acc.take_errors().into_iter().next() {
             return Err(err);
@@ -369,22 +431,46 @@ pub fn interval_with_options(
     for q in quantities {
         q.distribution.validate()?;
     }
-    let lows: Vec<(&Lever, f64)> = quantities
+    let lows: Vec<f64> = quantities
         .iter()
-        .map(|q| (&q.lever, q.distribution.bounds().0))
+        .map(|q| q.distribution.bounds().0)
         .collect();
-    let highs: Vec<(&Lever, f64)> = quantities
+    let highs: Vec<f64> = quantities
         .iter()
-        .map(|q| (&q.lever, q.distribution.bounds().1))
+        .map(|q| q.distribution.bounds().1)
         .collect();
     // The two bracketing assemblies share every flow structure: one plan
     // cache (and one block accumulator) lets both top-level solves ride a
-    // single two-lane tape replay under a compiled-plan policy.
+    // single two-lane tape replay under a compiled-plan policy — staged
+    // straight into parameter rows when the sweep compiles.
     let plans = Arc::new(PlanCache::new());
-    let mut acc = FlowBlockAccumulator::new(Arc::clone(&plans), options.plan_lanes);
+    let staged = match StagedSweep::compile(assembly, service, env, &plans, options)? {
+        Some(sweep) => {
+            let levers = sweep.prepare_levers(assembly, quantities.iter().map(|q| &q.lever))?;
+            Some((sweep, levers))
+        }
+        None => None,
+    };
+    let mut scratch = staged.as_ref().map(|(sweep, _)| sweep.new_scratch());
+    let mut acc = FlowBlockAccumulator::new(Arc::clone(&plans), options.plan_lanes, options.simd);
     let mut success = [f64::NAN; 2];
-    let mut bracket = |factors: &[(&Lever, f64)], tag: usize| -> Result<Option<Probability>> {
-        let perturbed = apply_all(assembly, factors)?;
+    let mut stage_nanos = 0u64;
+    let mut bracket = |factors: &[f64], tag: usize| -> Result<Option<Probability>> {
+        if let (Some((sweep, levers)), Some(scratch)) = (&staged, scratch.as_mut()) {
+            let stage_started = Instant::now();
+            let staging = sweep.stage_factors(levers, factors, scratch)?;
+            stage_nanos += u64::try_from(stage_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            if staging == Staging::Row {
+                acc.submit_row(sweep.plan(), &scratch.row, tag, &mut success)?;
+                return Ok(None);
+            }
+        }
+        let pairs: Vec<(&Lever, f64)> = quantities
+            .iter()
+            .zip(factors)
+            .map(|(q, &f)| (&q.lever, f))
+            .collect();
+        let perturbed = apply_all(assembly, &pairs)?;
         let evaluator = Evaluator::with_plan_cache(&perturbed, options, Arc::clone(&plans));
         match evaluator.defer_failure_probability(service, env, tag, &mut acc, &mut success)? {
             BlockedOutcome::Immediate(p) => Ok(Some(p)),
@@ -393,6 +479,7 @@ pub fn interval_with_options(
     };
     let low = bracket(&lows, 0)?;
     let high = bracket(&highs, 1)?;
+    plans.record_stage_nanos(stage_nanos);
     acc.finish(&mut success);
     if let Some((_, err)) = acc.take_errors().into_iter().next() {
         return Err(err);
@@ -595,6 +682,143 @@ mod tests {
         .unwrap();
         assert!((dl.value() - sl.value()).abs() < 1e-10);
         assert!((dh.value() - sh.value()).abs() < 1e-10);
+    }
+
+    /// An assembly whose target composite calls only simple services —
+    /// the shape the staged sweep compiler accepts.
+    fn stageable_assembly() -> (Assembly, Bindings) {
+        use archrel_expr::Expr;
+        use archrel_model::{
+            AssemblyBuilder, CompositeService, FailureModel, FlowBuilder, FlowState,
+            InternalFailureModel, Service, ServiceCall, SimpleService, StateId,
+        };
+        let call_a = ServiceCall {
+            target: "cpu".into(),
+            actual_params: vec![("ops".to_string(), Expr::param("n"))],
+            connector: None,
+            internal_failure: InternalFailureModel::PerOperation { phi: 1e-4 },
+        };
+        let call_b = ServiceCall {
+            target: "disk".into(),
+            actual_params: vec![("ops".to_string(), Expr::num(3.0))],
+            connector: None,
+            internal_failure: InternalFailureModel::None,
+        };
+        // Acyclic on purpose: the bitwise block ≡ scalar replay contract —
+        // which this test leans on for its reference values — covers the
+        // straight-line tape, not rank-1 incremental re-solves.
+        let flow = FlowBuilder::new()
+            .state(FlowState::new("a", vec![call_a]))
+            .state(FlowState::new("b", vec![call_b]))
+            .transition(StateId::Start, "a", Expr::num(0.6))
+            .transition(StateId::Start, "b", Expr::num(0.4))
+            .transition("a", "b", Expr::one())
+            .transition("b", StateId::End, Expr::one())
+            .build()
+            .unwrap();
+        let assembly = AssemblyBuilder::new()
+            .service(Service::Simple(SimpleService::new(
+                "cpu",
+                "ops",
+                FailureModel::ExponentialRate {
+                    rate: 0.02,
+                    capacity: 1.0,
+                },
+            )))
+            .service(Service::Simple(SimpleService::new(
+                "disk",
+                "ops",
+                FailureModel::PerUnit { probability: 1e-3 },
+            )))
+            .service(Service::Composite(
+                CompositeService::new("app", vec!["n".to_string()], flow).unwrap(),
+            ))
+            .build()
+            .unwrap();
+        (assembly, Bindings::new().with("n", 6.0))
+    }
+
+    /// Staged factor sweeps must be **bitwise** identical to the generic
+    /// per-sample scalar rebuild under the same compiled-plan policy: same
+    /// sampled factors, same values, same summary.
+    #[test]
+    fn staged_propagation_matches_generic_scalar_loop_bitwise() {
+        use crate::SolverPolicy;
+        let (assembly, env) = stageable_assembly();
+        let qs = vec![
+            UncertainQuantity {
+                lever: Lever::ServiceFailure("cpu".into()),
+                distribution: FactorDistribution::LogUniform {
+                    low: 0.5,
+                    high: 2.0,
+                },
+            },
+            UncertainQuantity {
+                lever: Lever::InternalFailure("app".into()),
+                distribution: FactorDistribution::Uniform {
+                    low: 0.8,
+                    high: 1.2,
+                },
+            },
+        ];
+        let options = EvalOptions {
+            solver: SolverPolicy::Compiled,
+            ..EvalOptions::default()
+        };
+        let (samples, seed) = (64, 9);
+        let summary = propagate_with_options(
+            &assembly,
+            &"app".into(),
+            &env,
+            &qs,
+            samples,
+            seed,
+            3,
+            options,
+        )
+        .unwrap();
+        // Reference: identical factor draws, evaluated one by one on the
+        // generic path (rebuild assembly, fresh evaluator, scalar solve).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut values: Vec<f64> = (0..samples)
+            .map(|_| {
+                let factors: Vec<(&Lever, f64)> = qs
+                    .iter()
+                    .map(|q| (&q.lever, q.distribution.sample(&mut rng)))
+                    .collect();
+                let perturbed = apply_all(&assembly, &factors).unwrap();
+                let plans = Arc::new(PlanCache::new());
+                Evaluator::with_plan_cache(&perturbed, options, plans)
+                    .failure_probability(&"app".into(), &env)
+                    .unwrap()
+                    .value()
+            })
+            .collect();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let pct = |q: f64| values[((values.len() as f64 - 1.0) * q).round() as usize];
+        assert_eq!(
+            summary.mean.to_bits(),
+            (values.iter().sum::<f64>() / samples as f64).to_bits()
+        );
+        assert_eq!(summary.p05.to_bits(), pct(0.05).to_bits());
+        assert_eq!(summary.p50.to_bits(), pct(0.50).to_bits());
+        assert_eq!(summary.p95.to_bits(), pct(0.95).to_bits());
+        // The interval must agree with the generic bracketing too.
+        let (low, high) =
+            interval_with_options(&assembly, &"app".into(), &env, &qs, options).unwrap();
+        let bracket = |pick: fn(&FactorDistribution) -> f64| -> f64 {
+            let factors: Vec<(&Lever, f64)> = qs
+                .iter()
+                .map(|q| (&q.lever, pick(&q.distribution)))
+                .collect();
+            let perturbed = apply_all(&assembly, &factors).unwrap();
+            Evaluator::with_plan_cache(&perturbed, options, Arc::new(PlanCache::new()))
+                .failure_probability(&"app".into(), &env)
+                .unwrap()
+                .value()
+        };
+        assert_eq!(low.value().to_bits(), bracket(|d| d.bounds().0).to_bits());
+        assert_eq!(high.value().to_bits(), bracket(|d| d.bounds().1).to_bits());
     }
 
     #[test]

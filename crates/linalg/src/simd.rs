@@ -1,0 +1,569 @@
+//! Explicit SIMD kernels for the lane-8 blocked tape replay, plus the
+//! runtime dispatch machinery (`ARCHREL_SIMD`) that selects them.
+//!
+//! The consumer is `archrel_markov::SolvePlan::evaluate_block`: an acyclic
+//! absorbing-chain solve compiled to a back-substitution tape, replayed over
+//! eight parameter lanes at once. The portable scalar replay (fixed-width
+//! loops the compiler autovectorizes) is the **bitwise reference**; the
+//! kernels here perform exactly the same arithmetic per lane — one multiply
+//! and one add per term (no FMA contraction: the reference computes the
+//! product and the sum as two separately rounded operations), one subtract
+//! and one divide per self-loop (IEEE division is correctly rounded, so
+//! `vdivpd` matches the scalar quotient bit for bit) — only batched four
+//! (AVX2) or eight (AVX-512) lanes per instruction. Lane groups are
+//! assembled from the eight staged parameter rows with plain scalar loads
+//! (each tape slot is read exactly once, so a gather instruction or an eager
+//! transpose would only add traffic), while the solution tile `x` is kept
+//! lane-major in 64-byte-aligned [`Lane8`] groups so every intermediate
+//! load/store is a single aligned vector move.
+//!
+//! This module is the crate's only `unsafe` surface: the intrinsics
+//! themselves are memory-safe here (all indexing is bounds-checked slice
+//! indexing; vector moves go through `[f64; 8]` references), and the sole
+//! obligation — only executing a kernel on a CPU that supports it — is
+//! enforced at the dispatch boundary ([`replay_tape_lane8`] asserts
+//! [`SimdPath::is_available`] before entering a kernel).
+
+#![allow(unsafe_code)]
+
+/// Lane width of the blocked replay path (mirrors `archrel_markov::LANE`).
+pub const LANE8: usize = 8;
+
+/// One lane-major group of the blocked solution tile: the value of a single
+/// transient state across all eight lanes, aligned so AVX2/AVX-512 kernels
+/// can use aligned vector moves (`align(64)` keeps the low half 32-byte- and
+/// the full group 64-byte-aligned).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(C, align(64))]
+pub struct Lane8(pub [f64; LANE8]);
+
+impl Default for Lane8 {
+    fn default() -> Self {
+        Lane8([0.0; LANE8])
+    }
+}
+
+impl std::ops::Index<usize> for Lane8 {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.0[i]
+    }
+}
+
+impl std::ops::IndexMut<usize> for Lane8 {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.0[i]
+    }
+}
+
+/// Requested SIMD dispatch mode for the blocked tape replay, settable
+/// through the `ARCHREL_SIMD` environment variable (values `auto` /
+/// `scalar` / `avx2` / `avx512`) mirroring the `ARCHREL_SOLVER` /
+/// `ARCHREL_PLAN_LANES` forced-path conventions: `auto` picks the widest
+/// instruction set the running CPU reports, the others force one path and
+/// hard-error when it cannot run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimdMode {
+    /// Runtime-detect: AVX-512 when available, else AVX2, else the portable
+    /// scalar tape. Detection is per-process and never changes results —
+    /// every path is bitwise-identical to the scalar reference.
+    #[default]
+    Auto,
+    /// Force the portable scalar replay (the bitwise reference).
+    Scalar,
+    /// Force the AVX2 kernel (two `f64x4` groups per lane step); panics at
+    /// resolution time when the CPU lacks AVX2.
+    Avx2,
+    /// Force the AVX-512 kernel (one `f64x8` group per lane step); panics at
+    /// resolution time when the CPU lacks AVX-512F.
+    Avx512,
+}
+
+impl SimdMode {
+    /// Parses `auto` / `scalar` / `avx2` / `avx512` (case-insensitive).
+    pub fn parse(s: &str) -> Option<SimdMode> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "auto" => Some(SimdMode::Auto),
+            "scalar" => Some(SimdMode::Scalar),
+            "avx2" => Some(SimdMode::Avx2),
+            "avx512" => Some(SimdMode::Avx512),
+            _ => None,
+        }
+    }
+
+    /// Parses a value of the `ARCHREL_SIMD` environment variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value is not a recognized mode spelling — mirroring
+    /// the `ARCHREL_SOLVER` hard-error behavior, a typo'd override must not
+    /// silently run an analysis on the wrong replay path.
+    pub fn parse_env_value(raw: &str) -> SimdMode {
+        SimdMode::parse(raw).unwrap_or_else(|| {
+            panic!(
+                "unrecognized ARCHREL_SIMD value `{raw}`: \
+                 expected one of auto, scalar, avx2, avx512"
+            )
+        })
+    }
+
+    /// Mode forced by the `ARCHREL_SIMD` environment variable, if set. An
+    /// empty value counts as unset (CI matrices expand absent entries to
+    /// empty strings).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the variable is set to an unrecognized value (see
+    /// [`SimdMode::parse_env_value`]).
+    pub fn from_env() -> Option<SimdMode> {
+        std::env::var("ARCHREL_SIMD")
+            .ok()
+            .filter(|v| !v.trim().is_empty())
+            .map(|v| SimdMode::parse_env_value(&v))
+    }
+
+    /// Resolves the mode against the running CPU: `Auto` picks the widest
+    /// available kernel (falling back cleanly to scalar on machines without
+    /// AVX2/AVX-512 and on non-x86_64 architectures); a forced mode is
+    /// validated against the hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a forced `Avx2`/`Avx512` mode names an instruction set
+    /// the running CPU (or target architecture) does not support, listing
+    /// the usable alternatives.
+    pub fn resolve(self) -> SimdPath {
+        match self {
+            SimdMode::Scalar => SimdPath::Scalar,
+            SimdMode::Auto => {
+                if SimdPath::Avx512.is_available() {
+                    SimdPath::Avx512
+                } else if SimdPath::Avx2.is_available() {
+                    SimdPath::Avx2
+                } else {
+                    SimdPath::Scalar
+                }
+            }
+            SimdMode::Avx2 => {
+                assert!(
+                    SimdPath::Avx2.is_available(),
+                    "ARCHREL_SIMD forced `avx2`, but this CPU does not support AVX2 \
+                     (use `auto` for clean fallback or `scalar` for the reference path)"
+                );
+                SimdPath::Avx2
+            }
+            SimdMode::Avx512 => {
+                assert!(
+                    SimdPath::Avx512.is_available(),
+                    "ARCHREL_SIMD forced `avx512`, but this CPU does not support AVX-512F \
+                     (use `auto` for clean fallback, or `avx2`/`scalar`)"
+                );
+                SimdPath::Avx512
+            }
+        }
+    }
+
+    /// The mode's canonical spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdMode::Auto => "auto",
+            SimdMode::Scalar => "scalar",
+            SimdMode::Avx2 => "avx2",
+            SimdMode::Avx512 => "avx512",
+        }
+    }
+}
+
+impl std::fmt::Display for SimdMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A concrete, hardware-validated replay path (the outcome of
+/// [`SimdMode::resolve`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdPath {
+    /// The portable scalar tape — the bitwise reference, runs everywhere.
+    Scalar,
+    /// AVX2: each tape step advances the eight lanes as two `f64x4` groups.
+    Avx2,
+    /// AVX-512F: each tape step advances the eight lanes as one `f64x8`
+    /// group.
+    Avx512,
+}
+
+impl SimdPath {
+    /// Whether the running CPU can execute this path.
+    pub fn is_available(self) -> bool {
+        match self {
+            SimdPath::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            SimdPath::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(target_arch = "x86_64")]
+            SimdPath::Avx512 => std::arch::is_x86_feature_detected!("avx512f"),
+            #[cfg(not(target_arch = "x86_64"))]
+            SimdPath::Avx2 | SimdPath::Avx512 => false,
+        }
+    }
+
+    /// The path's canonical spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdPath::Scalar => "scalar",
+            SimdPath::Avx2 => "avx2",
+            SimdPath::Avx512 => "avx512",
+        }
+    }
+}
+
+impl std::fmt::Display for SimdPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Borrowed view of a compiled back-substitution tape, decoupling the
+/// kernels from `archrel_markov`'s plan representation. One tape step `k`
+/// computes state `pos[k]` from an optional direct-to-target slot
+/// (`r_slot[k]`), the already-solved terms `term_slot/term_pos` in
+/// `term_off[k]..term_off[k+1]`, and an optional self-loop division
+/// (`self_slot[k]`); `slot_none` marks absent optional slots.
+#[derive(Debug, Clone, Copy)]
+pub struct TapeView<'a> {
+    /// Solution-tile position written by each tape step.
+    pub pos: &'a [u32],
+    /// Direct transient→target parameter slot per step (or `slot_none`).
+    pub r_slot: &'a [u32],
+    /// Self-loop parameter slot per step (or `slot_none`).
+    pub self_slot: &'a [u32],
+    /// CSR offsets into `term_slot`/`term_pos`, length `pos.len() + 1`.
+    pub term_off: &'a [u32],
+    /// Parameter slot of each term.
+    pub term_slot: &'a [u32],
+    /// Solution-tile position of each term's already-solved state.
+    pub term_pos: &'a [u32],
+    /// Sentinel value marking an absent `r_slot`/`self_slot`.
+    pub slot_none: u32,
+}
+
+/// Replays an acyclic tape over eight staged parameter rows with the given
+/// (non-scalar) SIMD kernel, writing the lane-major solution tile into `x`.
+///
+/// `rows[l]` is lane `l`'s parameter row (all of equal width covering every
+/// slot the tape names); lanes `occupied..` may hold stale values — they are
+/// computed but excluded from the trapped-mass check, exactly like the
+/// scalar block reference. On success `x[pos[k]]` holds every lane's value
+/// for each solved state.
+///
+/// # Errors
+///
+/// Returns `Err(k)` — the tape step index — when an *occupied* lane's
+/// self-loop denominator `1 - q` is not positive (trapped probability mass),
+/// matching the scalar reference's error point.
+///
+/// # Panics
+///
+/// Panics when `path` is [`SimdPath::Scalar`] (the caller owns the scalar
+/// reference loop) or names an instruction set the running CPU does not
+/// support, and on out-of-bounds tape indices (indexing is bounds-checked).
+pub fn replay_tape_lane8(
+    path: SimdPath,
+    tape: &TapeView<'_>,
+    rows: &[&[f64]; LANE8],
+    occupied: usize,
+    x: &mut [Lane8],
+) -> std::result::Result<(), usize> {
+    assert!(
+        path.is_available(),
+        "SIMD path `{path}` is not supported on this CPU"
+    );
+    match path {
+        SimdPath::Scalar => {
+            panic!("replay_tape_lane8 dispatches vector kernels; the caller owns the scalar tape")
+        }
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: availability asserted above; kernels use bounds-checked
+        // indexing and aligned `Lane8` vector moves only.
+        SimdPath::Avx2 => unsafe { kernels::replay_avx2(tape, rows, occupied, x) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        SimdPath::Avx512 => unsafe { kernels::replay_avx512(tape, rows, occupied, x) },
+        #[cfg(not(target_arch = "x86_64"))]
+        SimdPath::Avx2 | SimdPath::Avx512 => unreachable!("unavailable on this architecture"),
+    }
+}
+
+/// Bitmask of the error-checked (occupied) lanes.
+#[cfg(target_arch = "x86_64")]
+fn lane_mask(occupied: usize) -> u32 {
+    ((1u32 << occupied.min(LANE8)) - 1) & 0xff
+}
+
+#[cfg(target_arch = "x86_64")]
+mod kernels {
+    use super::{lane_mask, Lane8, TapeView, LANE8};
+    use std::arch::x86_64::*;
+
+    /// Lanes 0–3 and 4–7 of one parameter slot, assembled from the eight
+    /// staged rows with scalar loads (each slot is read exactly once per
+    /// replay, so gathers or an eager transpose would only add traffic).
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn slot_group_avx2(rows: &[&[f64]; LANE8], slot: usize) -> (__m256d, __m256d) {
+        (
+            _mm256_set_pd(rows[3][slot], rows[2][slot], rows[1][slot], rows[0][slot]),
+            _mm256_set_pd(rows[7][slot], rows[6][slot], rows[5][slot], rows[4][slot]),
+        )
+    }
+
+    /// AVX2 tape replay: per step, two `f64x4` groups carry the eight lanes
+    /// through separately-rounded multiply/add (no FMA — the scalar
+    /// reference rounds the product and the sum independently) and an IEEE
+    /// `vdivpd` self-loop division that matches the scalar quotient bitwise.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn replay_avx2(
+        tape: &TapeView<'_>,
+        rows: &[&[f64]; LANE8],
+        occupied: usize,
+        x: &mut [Lane8],
+    ) -> Result<(), usize> {
+        let occ = lane_mask(occupied);
+        let zero = _mm256_setzero_pd();
+        let one = _mm256_set1_pd(1.0);
+        for k in 0..tape.pos.len() {
+            let (mut lo, mut hi) = match tape.r_slot[k] {
+                s if s == tape.slot_none => (zero, zero),
+                s => slot_group_avx2(rows, s as usize),
+            };
+            for t in tape.term_off[k] as usize..tape.term_off[k + 1] as usize {
+                let (pl, ph) = slot_group_avx2(rows, tape.term_slot[t] as usize);
+                let xj = x[tape.term_pos[t] as usize].0.as_ptr();
+                lo = _mm256_add_pd(lo, _mm256_mul_pd(pl, _mm256_load_pd(xj)));
+                hi = _mm256_add_pd(hi, _mm256_mul_pd(ph, _mm256_load_pd(xj.add(4))));
+            }
+            match tape.self_slot[k] {
+                s if s == tape.slot_none => {
+                    // The scalar reference skips the division outright:
+                    // `s / (1.0 - 0.0)` is exact in IEEE 754.
+                }
+                s => {
+                    let (ql, qh) = slot_group_avx2(rows, s as usize);
+                    let dl = _mm256_sub_pd(one, ql);
+                    let dh = _mm256_sub_pd(one, qh);
+                    let bad_lo = _mm256_movemask_pd(_mm256_cmp_pd::<_CMP_LE_OQ>(dl, zero)) as u32;
+                    let bad_hi = _mm256_movemask_pd(_mm256_cmp_pd::<_CMP_LE_OQ>(dh, zero)) as u32;
+                    if (bad_lo | (bad_hi << 4)) & occ != 0 {
+                        return Err(k);
+                    }
+                    lo = _mm256_div_pd(lo, dl);
+                    hi = _mm256_div_pd(hi, dh);
+                }
+            }
+            let out = x[tape.pos[k] as usize].0.as_mut_ptr();
+            _mm256_store_pd(out, lo);
+            _mm256_store_pd(out.add(4), hi);
+        }
+        Ok(())
+    }
+
+    /// All eight lanes of one parameter slot as a single `f64x8` group.
+    #[target_feature(enable = "avx512f")]
+    #[inline]
+    unsafe fn slot_group_avx512(rows: &[&[f64]; LANE8], slot: usize) -> __m512d {
+        _mm512_set_pd(
+            rows[7][slot],
+            rows[6][slot],
+            rows[5][slot],
+            rows[4][slot],
+            rows[3][slot],
+            rows[2][slot],
+            rows[1][slot],
+            rows[0][slot],
+        )
+    }
+
+    /// AVX-512F tape replay: one `f64x8` group per step; same no-FMA,
+    /// IEEE-division discipline as [`replay_avx2`], with the trapped-mass
+    /// check taken from a native compare mask.
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn replay_avx512(
+        tape: &TapeView<'_>,
+        rows: &[&[f64]; LANE8],
+        occupied: usize,
+        x: &mut [Lane8],
+    ) -> Result<(), usize> {
+        let occ = lane_mask(occupied) as u8;
+        let zero = _mm512_setzero_pd();
+        let one = _mm512_set1_pd(1.0);
+        for k in 0..tape.pos.len() {
+            let mut s = match tape.r_slot[k] {
+                s if s == tape.slot_none => zero,
+                s => slot_group_avx512(rows, s as usize),
+            };
+            for t in tape.term_off[k] as usize..tape.term_off[k + 1] as usize {
+                let p = slot_group_avx512(rows, tape.term_slot[t] as usize);
+                let xj = _mm512_load_pd(x[tape.term_pos[t] as usize].0.as_ptr());
+                s = _mm512_add_pd(s, _mm512_mul_pd(p, xj));
+            }
+            match tape.self_slot[k] {
+                s if s == tape.slot_none => {}
+                slot => {
+                    let den = _mm512_sub_pd(one, slot_group_avx512(rows, slot as usize));
+                    if _mm512_cmp_pd_mask::<_CMP_LE_OQ>(den, zero) & occ != 0 {
+                        return Err(k);
+                    }
+                    s = _mm512_div_pd(s, den);
+                }
+            }
+            _mm512_store_pd(x[tape.pos[k] as usize].0.as_mut_ptr(), s);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_parsing_accepts_all_spellings() {
+        assert_eq!(SimdMode::parse("auto"), Some(SimdMode::Auto));
+        assert_eq!(SimdMode::parse(" Scalar "), Some(SimdMode::Scalar));
+        assert_eq!(SimdMode::parse("AVX2"), Some(SimdMode::Avx2));
+        assert_eq!(SimdMode::parse("avx512"), Some(SimdMode::Avx512));
+        assert_eq!(SimdMode::parse("sse2"), None);
+        assert_eq!(SimdMode::parse(""), None);
+    }
+
+    #[test]
+    fn env_value_parsing_hard_errors_listing_accepted_values() {
+        let err = std::panic::catch_unwind(|| SimdMode::parse_env_value("avx1024")).unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic carries a String");
+        assert!(msg.contains("ARCHREL_SIMD"), "{msg}");
+        assert!(msg.contains("avx1024"), "{msg}");
+        assert!(msg.contains("auto, scalar, avx2, avx512"), "{msg}");
+    }
+
+    #[test]
+    fn auto_resolves_to_an_available_path() {
+        let path = SimdMode::Auto.resolve();
+        assert!(path.is_available());
+    }
+
+    #[test]
+    fn scalar_resolves_everywhere() {
+        assert_eq!(SimdMode::Scalar.resolve(), SimdPath::Scalar);
+        assert!(SimdPath::Scalar.is_available());
+    }
+
+    #[test]
+    fn forced_modes_resolve_or_panic_with_guidance() {
+        for (mode, path) in [
+            (SimdMode::Avx2, SimdPath::Avx2),
+            (SimdMode::Avx512, SimdPath::Avx512),
+        ] {
+            if path.is_available() {
+                assert_eq!(mode.resolve(), path);
+            } else {
+                let err = std::panic::catch_unwind(move || mode.resolve()).unwrap_err();
+                let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+                assert!(msg.contains("ARCHREL_SIMD"), "{msg}");
+            }
+        }
+    }
+
+    #[test]
+    fn lane8_is_sixtyfour_byte_aligned() {
+        assert_eq!(std::mem::align_of::<Lane8>(), 64);
+        assert_eq!(std::mem::size_of::<Lane8>(), 64);
+        let tile = vec![Lane8::default(); 3];
+        for group in &tile {
+            assert_eq!(group.0.as_ptr() as usize % 64, 0);
+        }
+    }
+
+    /// A hand-built 3-step tape (diamond with a self-loop) replayed by every
+    /// available vector kernel against a straightforward scalar evaluation.
+    #[test]
+    fn vector_kernels_match_a_hand_rolled_scalar_replay() {
+        // States: 2 (leaf, r=slot 4, self-loop slot 5), 1 (leaf, r=slot 3),
+        // 0 (terms: slot 0 → state 1, slot 1 → state 2, r=slot 2).
+        let tape = TapeView {
+            pos: &[2, 1, 0],
+            r_slot: &[4, 3, 2],
+            self_slot: &[5, u32::MAX, u32::MAX],
+            term_off: &[0, 0, 0, 2],
+            term_slot: &[0, 1],
+            term_pos: &[1, 2],
+            slot_none: u32::MAX,
+        };
+        let base = [0.25, 0.5, 0.03, 0.9, 0.6, 0.2];
+        let rows_data: Vec<Vec<f64>> = (0..LANE8)
+            .map(|l| base.iter().map(|v| v * (1.0 + l as f64 * 0.01)).collect())
+            .collect();
+        let rows: [&[f64]; LANE8] = std::array::from_fn(|l| rows_data[l].as_slice());
+        let expected: Vec<[f64; 3]> = (0..LANE8)
+            .map(|l| {
+                let p = rows[l];
+                let x2 = p[4] / (1.0 - p[5]);
+                let x1 = p[3];
+                let x0 = ((p[2] + p[0] * x1) + p[1] * x2) / 1.0;
+                [x0, x1, x2]
+            })
+            .collect();
+        for path in [SimdPath::Avx2, SimdPath::Avx512] {
+            if !path.is_available() {
+                continue;
+            }
+            let mut x = vec![Lane8::default(); 3];
+            replay_tape_lane8(path, &tape, &rows, LANE8, &mut x).unwrap();
+            for (l, exp) in expected.iter().enumerate() {
+                for (state, value) in exp.iter().enumerate() {
+                    assert_eq!(
+                        x[state][l].to_bits(),
+                        value.to_bits(),
+                        "path {path}, lane {l}, state {state}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A trapped self-loop on a stale lane is ignored; on an occupied lane
+    /// it reports the tape step.
+    #[test]
+    fn trapped_mass_respects_lane_occupancy() {
+        let tape = TapeView {
+            pos: &[0],
+            r_slot: &[0],
+            self_slot: &[1],
+            term_off: &[0, 0],
+            term_slot: &[],
+            term_pos: &[],
+            slot_none: u32::MAX,
+        };
+        let healthy = [0.5, 0.25];
+        let trapped = [0.5, 1.0];
+        for path in [SimdPath::Avx2, SimdPath::Avx512] {
+            if !path.is_available() {
+                continue;
+            }
+            // Trapped parameters in the last (stale) lane only: fine.
+            let mut rows_data = vec![healthy.to_vec(); LANE8];
+            rows_data[LANE8 - 1] = trapped.to_vec();
+            let rows: [&[f64]; LANE8] = std::array::from_fn(|l| rows_data[l].as_slice());
+            let mut x = vec![Lane8::default(); 1];
+            replay_tape_lane8(path, &tape, &rows, LANE8 - 1, &mut x).unwrap();
+            assert_eq!(x[0][0].to_bits(), (0.5f64 / 0.75).to_bits());
+            // The same lane occupied: step 0 reports trapped mass.
+            assert_eq!(
+                replay_tape_lane8(path, &tape, &rows, LANE8, &mut x),
+                Err(0),
+                "path {path}"
+            );
+        }
+    }
+}

@@ -36,6 +36,7 @@
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
+use archrel_linalg::simd::{replay_tape_lane8, Lane8, SimdMode, SimdPath, TapeView};
 use archrel_linalg::{
     lu_solve_view, sherman_morrison_solve_view, LinalgError, Lu, Matrix, Vector, RANK1_REFUSAL_EPS,
     SINGULARITY_EPS,
@@ -190,8 +191,9 @@ impl ParamBlock {
 pub struct PlanScratch {
     /// Scalar back-substitution vector.
     x: Vec<f64>,
-    /// Blocked back-substitution vector, one lane group per transient.
-    x_block: Vec<[f64; LANE]>,
+    /// Blocked back-substitution tile, one 64-byte-aligned lane group per
+    /// transient so the SIMD replay kernels use aligned vector moves.
+    x_block: Vec<Lane8>,
     /// De-interleaved single-lane parameters (cyclic block fallback).
     lane_params: Vec<f64>,
     /// Per-lane results handed back from a block evaluation.
@@ -744,15 +746,47 @@ impl SolvePlan {
     }
 
     /// Like [`SolvePlan::evaluate_block`], also tallying how each lane was
-    /// answered.
+    /// answered. The replay path is resolved from `ARCHREL_SIMD` on every
+    /// call (defaulting to `auto`); hot-loop callers that already resolved a
+    /// [`SimdPath`] once should use [`SolvePlan::evaluate_block_with_path`].
     ///
     /// # Errors
     ///
     /// See [`SolvePlan::evaluate_block`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ARCHREL_SIMD` is set to an unrecognized value or forces
+    /// an instruction set the running CPU lacks (see [`SimdMode`]).
     pub fn evaluate_block_with_kinds<'s>(
         &self,
         block: &ParamBlock,
         scratch: &'s mut PlanScratch,
+    ) -> Result<(&'s [f64], BlockSolveKinds)> {
+        let path = SimdMode::from_env().unwrap_or_default().resolve();
+        self.evaluate_block_with_path(block, scratch, path)
+    }
+
+    /// Like [`SolvePlan::evaluate_block_with_kinds`], but replaying acyclic
+    /// tapes on a caller-resolved SIMD path (resolve a [`SimdMode`] once,
+    /// then reuse the [`SimdPath`] across flushes). Every path performs the
+    /// scalar reference arithmetic per lane — no FMA contraction, IEEE
+    /// division — so results are bitwise-identical across paths; cyclic
+    /// plans ignore `path` and fall back lane by lane as before.
+    ///
+    /// # Errors
+    ///
+    /// See [`SolvePlan::evaluate_block`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `path` names an instruction set the running CPU does not
+    /// support (resolve via [`SimdMode::resolve`] to prevent this).
+    pub fn evaluate_block_with_path<'s>(
+        &self,
+        block: &ParamBlock,
+        scratch: &'s mut PlanScratch,
+        path: SimdPath,
     ) -> Result<(&'s [f64], BlockSolveKinds)> {
         if block.slot_count() != self.slot_count {
             return Err(plan_shape_mismatch(self.slot_count, block.slot_count()));
@@ -762,7 +796,7 @@ impl SolvePlan {
         match &self.kind {
             PlanKind::Acyclic(tape) => {
                 scratch.x_block.clear();
-                scratch.x_block.resize(self.t_idx.len(), [0.0; LANE]);
+                scratch.x_block.resize(self.t_idx.len(), Lane8::default());
                 // Gather each slot's lane group straight from the staged
                 // rows: every tape slot is read exactly once, and slot
                 // indices grow in tape order, so the LANE reads per slot
@@ -772,49 +806,32 @@ impl SolvePlan {
                 // partially filled block gather harmlessly — unoccupied lane
                 // values are never read back out below.
                 let rows: [&[f64]; LANE] = std::array::from_fn(|l| block.lane_row(l));
-                let x_block = &mut scratch.x_block;
                 let pos = tape.pos.as_slice();
-                let r_slot = tape.r_slot.as_slice();
-                let self_slot = tape.self_slot.as_slice();
-                let term_off = tape.term_off.as_slice();
-                let term_slot = tape.term_slot.as_slice();
-                let term_pos = tape.term_pos.as_slice();
-                for k in 0..pos.len() {
-                    let mut s = match r_slot[k] {
-                        PLAN_SLOT_NONE => [0.0; LANE],
-                        slot => std::array::from_fn(|l| rows[l][slot as usize]),
-                    };
-                    for t in term_off[k] as usize..term_off[k + 1] as usize {
-                        let slot = term_slot[t] as usize;
-                        let xj = &x_block[term_pos[t] as usize];
-                        for l in 0..LANE {
-                            s[l] += rows[l][slot] * xj[l];
-                        }
+                match path {
+                    SimdPath::Scalar => {
+                        self.replay_tape_scalar(tape, &rows, occupied, &mut scratch.x_block)?
                     }
-                    if self_slot[k] != PLAN_SLOT_NONE {
-                        let slot = self_slot[k] as usize;
-                        for (l, sl) in s.iter_mut().enumerate() {
-                            let den = 1.0 - rows[l][slot];
-                            // Only occupied lanes can fail: unused lanes may
-                            // hold stale garbage but are never read out.
-                            if l < occupied && den <= 0.0 {
-                                return Err(MarkovError::TrappedMass {
-                                    state: format!("transient position {} (self-loop ≥ 1)", pos[k]),
-                                });
-                            }
-                            *sl /= den;
-                        }
+                    vector => {
+                        let view = TapeView {
+                            pos,
+                            r_slot: tape.r_slot.as_slice(),
+                            self_slot: tape.self_slot.as_slice(),
+                            term_off: tape.term_off.as_slice(),
+                            term_slot: tape.term_slot.as_slice(),
+                            term_pos: tape.term_pos.as_slice(),
+                            slot_none: PLAN_SLOT_NONE,
+                        };
+                        replay_tape_lane8(vector, &view, &rows, occupied, &mut scratch.x_block)
+                            .map_err(|k| MarkovError::TrappedMass {
+                                state: format!("transient position {} (self-loop ≥ 1)", pos[k]),
+                            })?;
                     }
-                    // When there is no self-loop the scalar path divides by
-                    // `1.0 - 0.0`; `s / 1.0` is exact in IEEE 754, so
-                    // skipping the division preserves bitwise identity.
-                    x_block[pos[k] as usize] = s;
                 }
                 kinds.tape = occupied as u64;
                 scratch.out.clear();
                 scratch
                     .out
-                    .extend_from_slice(&scratch.x_block[self.from_pos][..occupied]);
+                    .extend_from_slice(&scratch.x_block[self.from_pos].0[..occupied]);
             }
             PlanKind::Cyclic(c) => {
                 scratch.out.clear();
@@ -831,6 +848,57 @@ impl SolvePlan {
             }
         }
         Ok((scratch.out.as_slice(), kinds))
+    }
+
+    /// Portable scalar lane-8 tape replay — the bitwise reference every SIMD
+    /// kernel is pinned to. The fixed-trip-count inner loops autovectorize on
+    /// stable Rust against the x86-64 SSE2 baseline; per lane the arithmetic
+    /// is exactly the scalar [`SolvePlan::evaluate`] sequence.
+    fn replay_tape_scalar(
+        &self,
+        tape: &Tape,
+        rows: &[&[f64]; LANE],
+        occupied: usize,
+        x_block: &mut [Lane8],
+    ) -> Result<()> {
+        let pos = tape.pos.as_slice();
+        let r_slot = tape.r_slot.as_slice();
+        let self_slot = tape.self_slot.as_slice();
+        let term_off = tape.term_off.as_slice();
+        let term_slot = tape.term_slot.as_slice();
+        let term_pos = tape.term_pos.as_slice();
+        for k in 0..pos.len() {
+            let mut s = match r_slot[k] {
+                PLAN_SLOT_NONE => [0.0; LANE],
+                slot => std::array::from_fn(|l| rows[l][slot as usize]),
+            };
+            for t in term_off[k] as usize..term_off[k + 1] as usize {
+                let slot = term_slot[t] as usize;
+                let xj = &x_block[term_pos[t] as usize];
+                for l in 0..LANE {
+                    s[l] += rows[l][slot] * xj[l];
+                }
+            }
+            if self_slot[k] != PLAN_SLOT_NONE {
+                let slot = self_slot[k] as usize;
+                for (l, sl) in s.iter_mut().enumerate() {
+                    let den = 1.0 - rows[l][slot];
+                    // Only occupied lanes can fail: unused lanes may
+                    // hold stale garbage but are never read out.
+                    if l < occupied && den <= 0.0 {
+                        return Err(MarkovError::TrappedMass {
+                            state: format!("transient position {} (self-loop ≥ 1)", pos[k]),
+                        });
+                    }
+                    *sl /= den;
+                }
+            }
+            // When there is no self-loop the scalar path divides by
+            // `1.0 - 0.0`; `s / 1.0` is exact in IEEE 754, so
+            // skipping the division preserves bitwise identity.
+            x_block[pos[k] as usize] = Lane8(s);
+        }
+        Ok(())
     }
 
     fn evaluate_cyclic(&self, c: &CyclicPlan, params: &[f64]) -> Result<(f64, PlanSolveKind)> {
