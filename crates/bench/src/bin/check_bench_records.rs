@@ -237,20 +237,65 @@ fn check_record(name: &str, text: &str) -> Vec<String> {
         check_phase_ns(&fields, &mut problems);
     }
     if expected_scenario == "uncertainty_e2e" {
-        for key in ["speedup_uncertainty", "speedup_sensitivity"] {
-            match fields.get(key) {
-                Some(Json::Num) => {}
-                Some(_) => problems.push(format!("`{key}` is not a number")),
-                None => problems.push(format!("missing required field `{key}`")),
-            }
-        }
-        match fields.get("acceptance_met") {
-            Some(Json::Bool) => {}
-            Some(_) => problems.push("`acceptance_met` is not a boolean".into()),
-            None => problems.push("missing required field `acceptance_met`".into()),
-        }
+        require_numbers(
+            &fields,
+            &["speedup_uncertainty", "speedup_sensitivity"],
+            &mut problems,
+        );
+        require_bools(&fields, &["acceptance_met"], &mut problems);
+    }
+    // The streaming-fleet record must carry its throughput counters, the
+    // delta-refresh headline speedup, and both verdicts (the speedup is
+    // only meaningful when the refreshed fleet is bitwise the reference).
+    if expected_scenario == "streaming_fleet" {
+        require_numbers(
+            &fields,
+            &[
+                "traces_per_sec",
+                "services_per_sec",
+                "speedup_delta_refresh",
+            ],
+            &mut problems,
+        );
+        require_bools(
+            &fields,
+            &["acceptance_met", "bitwise_identical"],
+            &mut problems,
+        );
+    }
+    // The staged-driver record must carry both driver speedups and the
+    // acceptance verdict.
+    if expected_scenario == "staged_drivers" {
+        require_numbers(
+            &fields,
+            &["speedup_improvement", "speedup_selection"],
+            &mut problems,
+        );
+        require_bools(&fields, &["acceptance_met"], &mut problems);
     }
     problems
+}
+
+/// Requires each named field to be present and numeric.
+fn require_numbers(fields: &BTreeMap<String, Json>, keys: &[&str], problems: &mut Vec<String>) {
+    for key in keys {
+        match fields.get(*key) {
+            Some(Json::Num) => {}
+            Some(_) => problems.push(format!("`{key}` is not a number")),
+            None => problems.push(format!("missing required field `{key}`")),
+        }
+    }
+}
+
+/// Requires each named field to be present and boolean.
+fn require_bools(fields: &BTreeMap<String, Json>, keys: &[&str], problems: &mut Vec<String>) {
+    for key in keys {
+        match fields.get(*key) {
+            Some(Json::Bool) => {}
+            Some(_) => problems.push(format!("`{key}` is not a boolean")),
+            None => problems.push(format!("missing required field `{key}`")),
+        }
+    }
 }
 
 /// Requires `uncertainty_e2e_phase_ns` to be an object carrying numeric
@@ -362,5 +407,63 @@ mod tests {
         let problems = check_record("BENCH_uncertainty_e2e.json", text);
         assert!(problems.iter().any(|p| p.contains("speedup_sensitivity")));
         assert!(problems.iter().any(|p| p.contains("acceptance_met")));
+    }
+
+    #[test]
+    fn streaming_fleet_record_requires_throughput_and_verdicts() {
+        let text = r#"{
+            "scenario": "streaming_fleet",
+            "recorded": "2026-08-08",
+            "traces_per_sec": 80062.0,
+            "speedup_delta_refresh": "fast",
+            "acceptance_met": true
+        }"#;
+        let problems = check_record("BENCH_streaming_fleet.json", text);
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("`services_per_sec`") && p.contains("missing")));
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("`speedup_delta_refresh` is not a number")));
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("`bitwise_identical`") && p.contains("missing")));
+
+        let complete = r#"{
+            "scenario": "streaming_fleet",
+            "recorded": "2026-08-08",
+            "traces_per_sec": 80062.0,
+            "services_per_sec": 72059.0,
+            "speedup_delta_refresh": 291.0,
+            "bitwise_identical": true,
+            "acceptance_met": true
+        }"#;
+        assert!(check_record("BENCH_streaming_fleet.json", complete).is_empty());
+    }
+
+    #[test]
+    fn staged_drivers_record_requires_speedups_and_verdict() {
+        let text = r#"{
+            "scenario": "staged_drivers",
+            "recorded": "2026-08-08",
+            "speedup_improvement": 3.4,
+            "acceptance_met": 1
+        }"#;
+        let problems = check_record("BENCH_staged_drivers.json", text);
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("`speedup_selection`") && p.contains("missing")));
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("`acceptance_met` is not a boolean")));
+
+        let complete = r#"{
+            "scenario": "staged_drivers",
+            "recorded": "2026-08-08",
+            "speedup_improvement": 3.4,
+            "speedup_selection": 2.8,
+            "acceptance_met": true
+        }"#;
+        assert!(check_record("BENCH_staged_drivers.json", complete).is_empty());
     }
 }

@@ -1,0 +1,322 @@
+//! Acceptance speedups for the staged improvement/selection drivers (the
+//! remaining PR hook after the zero-`Bindings` staged sweeps landed): the
+//! drivers reuse staged `ParamBlock` rows under the compiled-plan policy,
+//! and this sweep records what that is worth against the sparse generic
+//! rebuild-per-point baseline.
+//!
+//! Fixture: a seeded fleet slice (16 shared blackbox backends behind one
+//! session entry), so the improvement advisor ranks 16 `ServiceFailure`
+//! levers and the selection driver enumerates 20 provider combinations
+//! over two of the entry's hottest backends. Three scopes:
+//!
+//! - **improvement rank**: `rank_levers_with_options` — per-lever staged
+//!   factor rows vs per-lever assembly rebuild + sparse solve;
+//! - **required factor**: `required_factor_with_options` — the ~60
+//!   bisection probes staged vs rebuilt;
+//! - **selection**: `select_with_workers` (1 worker) — staged whole-model
+//!   overrides vs per-combination rebuild + sparse solve.
+//!
+//! The two policies answer with different solvers, so results are asserted
+//! to agree within 1e-9 (rank order, factors, combination ranking) rather
+//! than bitwise; staged-vs-generic bitwise equality under the *same*
+//! compiled policy is pinned by the core unit suites.
+//!
+//! Writes `results/staged_drivers.md` plus machine-readable
+//! `results/BENCH_staged_drivers.json` and root
+//! `BENCH_staged_drivers.json`, then prints the markdown.
+//!
+//! Run with: `cargo run --release -p archrel-bench --bin exp_staged_drivers`
+
+use std::time::{Duration, Instant};
+
+use archrel_bench::record::{BenchRecord, JsonValue};
+use archrel_bench::scenarios::{generate_fleet, FleetSpec};
+use archrel_core::improvement::{rank_levers_with_options, required_factor_with_options};
+use archrel_core::selection::{select_with_workers, SelectionProblem, Slot};
+use archrel_core::{EvalOptions, SolverPolicy};
+use archrel_model::{catalog, Probability, Service, ServiceId};
+
+const REPEATS: usize = 7;
+const TARGET: &str = "e0";
+const ACCEPTANCE_MIN_SPEEDUP: f64 = 2.0;
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+fn timed<T>(repeats: usize, mut f: impl FnMut() -> T) -> (Duration, T) {
+    let mut times = Vec::with_capacity(repeats);
+    let mut out = None;
+    for _ in 0..repeats {
+        let started = Instant::now();
+        out = Some(f());
+        times.push(started.elapsed());
+    }
+    (median(times), out.expect("at least one repeat"))
+}
+
+fn options(solver: SolverPolicy) -> EvalOptions {
+    EvalOptions {
+        solver,
+        ..EvalOptions::default()
+    }
+}
+
+fn main() {
+    // A fleet slice: one session entry over 16 zipf-hot backends — 16
+    // `ServiceFailure` levers for the advisor, and the entry's own call
+    // targets for the selection slots.
+    let fleet = generate_fleet(&FleetSpec {
+        entries: 8,
+        backends: 16,
+        replica_groups: 4,
+        aggregates: 4,
+        zipf_exponent: 1.1,
+        seed: 42,
+    })
+    .expect("fleet generates");
+    let target: ServiceId = TARGET.into();
+    let env = fleet
+        .services
+        .iter()
+        .find(|s| s.service == TARGET)
+        .expect("entry exists")
+        .ground_env
+        .clone();
+
+    // ---- improvement rank scope --------------------------------------
+    let (rank_sparse_time, rank_sparse) = timed(REPEATS, || {
+        rank_levers_with_options(
+            &fleet.assembly,
+            &target,
+            &env,
+            options(SolverPolicy::Sparse),
+        )
+        .expect("sparse ranking")
+    });
+    let (rank_staged_time, rank_staged) = timed(REPEATS, || {
+        rank_levers_with_options(
+            &fleet.assembly,
+            &target,
+            &env,
+            options(SolverPolicy::Compiled),
+        )
+        .expect("staged ranking")
+    });
+    assert_eq!(rank_sparse.len(), rank_staged.len());
+    for (s, c) in rank_sparse.iter().zip(&rank_staged) {
+        assert_eq!(s.lever, c.lever, "solver policy changed the lever order");
+        assert!(
+            (s.head_room - c.head_room).abs() < 1e-9,
+            "head rooms diverged: {} vs {}",
+            s.head_room,
+            c.head_room
+        );
+    }
+    let lever_count = rank_staged.len();
+    let speedup_improvement = rank_sparse_time.as_secs_f64() / rank_staged_time.as_secs_f64();
+
+    // ---- required-factor scope ---------------------------------------
+    // How far must the dominant backend improve to claw back half its
+    // head-room? ~60 bisection probes per call.
+    let top = &rank_staged[0];
+    let goal = Probability::new(top.best_case_failure.value() + 0.5 * top.head_room)
+        .expect("valid target");
+    let (factor_sparse_time, factor_sparse) = timed(REPEATS, || {
+        required_factor_with_options(
+            &fleet.assembly,
+            &target,
+            &env,
+            &top.lever,
+            goal,
+            options(SolverPolicy::Sparse),
+        )
+        .expect("sparse bisection")
+        .expect("half the head-room is reachable")
+    });
+    let (factor_staged_time, factor_staged) = timed(REPEATS, || {
+        required_factor_with_options(
+            &fleet.assembly,
+            &target,
+            &env,
+            &top.lever,
+            goal,
+            options(SolverPolicy::Compiled),
+        )
+        .expect("staged bisection")
+        .expect("half the head-room is reachable")
+    });
+    assert!(
+        (factor_sparse - factor_staged).abs() < 1e-6,
+        "required factors diverged: {factor_sparse} vs {factor_staged}"
+    );
+    let speedup_factor = factor_sparse_time.as_secs_f64() / factor_staged_time.as_secs_f64();
+
+    // ---- selection scope ---------------------------------------------
+    // Two of the entry's own backends become provider slots (5 × 4 = 20
+    // candidate combinations); everything else stays fixed.
+    let Some(Service::Composite(entry)) = fleet
+        .assembly
+        .services()
+        .find(|s| s.id().as_str() == TARGET)
+    else {
+        panic!("entry is a composite");
+    };
+    let mut slot_backends: Vec<String> = entry
+        .flow()
+        .states()
+        .iter()
+        .flat_map(|st| st.calls.iter().map(|c| c.target.to_string()))
+        .collect();
+    slot_backends.sort();
+    slot_backends.dedup();
+    slot_backends.truncate(2);
+    assert_eq!(slot_backends.len(), 2, "entry calls at least two backends");
+    let fixed: Vec<Service> = fleet
+        .assembly
+        .services()
+        .filter(|s| !slot_backends.contains(&s.id().to_string()))
+        .cloned()
+        .collect();
+    let candidates = |name: &str, count: usize| -> Vec<Service> {
+        (0..count)
+            .map(|i| catalog::blackbox_service(name, "x", 1e-2 / 3f64.powi(i as i32)))
+            .collect()
+    };
+    let problem = SelectionProblem::new(
+        fixed,
+        vec![
+            Slot::new("primary backend", candidates(&slot_backends[0], 5)),
+            Slot::new("secondary backend", candidates(&slot_backends[1], 4)),
+        ],
+        TARGET,
+        env.clone(),
+    );
+    let (select_sparse_time, select_sparse) = timed(REPEATS, || {
+        select_with_workers(
+            &problem
+                .clone()
+                .with_eval_options(options(SolverPolicy::Sparse)),
+            1,
+        )
+        .expect("sparse selection")
+    });
+    let (select_staged_time, select_staged) = timed(REPEATS, || {
+        select_with_workers(
+            &problem
+                .clone()
+                .with_eval_options(options(SolverPolicy::Compiled)),
+            1,
+        )
+        .expect("staged selection")
+    });
+    assert_eq!(select_sparse.len(), select_staged.len());
+    assert_eq!(select_sparse.len(), 20, "5 × 4 combinations all validate");
+    for (s, c) in select_sparse.iter().zip(&select_staged) {
+        assert_eq!(s.choices, c.choices, "solver policy changed the ranking");
+        assert!(
+            (s.failure_probability.value() - c.failure_probability.value()).abs() < 1e-9,
+            "combination failure diverged: {} vs {}",
+            s.failure_probability.value(),
+            c.failure_probability.value()
+        );
+    }
+    let combination_count = select_staged.len();
+    let speedup_selection = select_sparse_time.as_secs_f64() / select_staged_time.as_secs_f64();
+
+    // ---- reports ------------------------------------------------------
+    let acceptance_met = speedup_improvement >= ACCEPTANCE_MIN_SPEEDUP
+        && speedup_selection >= ACCEPTANCE_MIN_SPEEDUP;
+    let verdict = if acceptance_met { "met" } else { "NOT met" };
+    let us = |d: Duration| d.as_secs_f64() * 1e6;
+    let markdown = format!(
+        "# Staged improvement/selection drivers (`cargo run --release -p archrel-bench \
+--bin exp_staged_drivers`)\n\n\
+Recorded 2026-08-08 on the CI container (Linux, 1 CPU core, release profile).\n\n\
+Workload: a seeded fleet slice (session entry `{TARGET}` over 16 zipf-hot \
+blackbox backends, 32 services total); each scope timed {REPEATS}×, median \
+reported. The sparse baseline is the generic rebuild-per-point path; the \
+staged path stages `ParamBlock` rows on one compiled sweep. Rankings, \
+factors, and per-combination failures agree across policies within 1e-9 \
+(staged-vs-generic bitwise equality under the same compiled policy is \
+pinned by the core unit suites).\n\n\
+| driver scope | points | sparse generic | staged compiled | speedup |\n\
+|--------------|-------:|---------------:|----------------:|--------:|\n\
+| `rank_levers` ({lever_count} levers) | {lever_count} rebuilds | \
+{rank_sparse_us:.0} µs | {rank_staged_us:.0} µs | **{speedup_improvement:.1}×** |\n\
+| `required_factor` (bisection) | ~60 probes | {factor_sparse_us:.0} µs | \
+{factor_staged_us:.0} µs | **{speedup_factor:.1}×** |\n\
+| `select` ({combination_count} combinations) | {combination_count} builds | \
+{select_sparse_us:.0} µs | {select_staged_us:.0} µs | **{speedup_selection:.1}×** |\n\n\
+The advisor's per-lever probes and the selector's per-combination \
+evaluations skip the assembly rebuild, `Bindings` construction, and \
+expression re-evaluation entirely: each point stages its factors or \
+whole-model overrides straight into a compiled plan row.\n\n\
+## Acceptance\n\n\
+The ≥{ACCEPTANCE_MIN_SPEEDUP}× bar on the improvement and selection \
+drivers is {verdict}: staged rows retire lever ranking \
+{speedup_improvement:.1}× and provider selection {speedup_selection:.1}× \
+faster than the sparse generic baseline (required-factor bisection: \
+{speedup_factor:.1}×).\n",
+        rank_sparse_us = us(rank_sparse_time),
+        rank_staged_us = us(rank_staged_time),
+        factor_sparse_us = us(factor_sparse_time),
+        factor_staged_us = us(factor_staged_time),
+        select_sparse_us = us(select_sparse_time),
+        select_staged_us = us(select_staged_time),
+    );
+
+    let round2 = |x: f64| (x * 100.0).round() / 100.0;
+    let measurement = |scope: &str, path: &str, time: Duration| {
+        JsonValue::object(vec![
+            ("scope", JsonValue::Str(scope.into())),
+            ("path", JsonValue::Str(path.into())),
+            ("median_ns", JsonValue::Int(time.as_nanos())),
+        ])
+    };
+    let record = BenchRecord::new("staged_drivers", "2026-08-08")
+        .field("levers", JsonValue::Int(lever_count as u128))
+        .field("combinations", JsonValue::Int(combination_count as u128))
+        .field("repeats", JsonValue::Int(REPEATS as u128))
+        .field(
+            "results",
+            JsonValue::Array(vec![
+                measurement("improvement-rank", "sparse", rank_sparse_time),
+                measurement("improvement-rank", "staged", rank_staged_time),
+                measurement("required-factor", "sparse", factor_sparse_time),
+                measurement("required-factor", "staged", factor_staged_time),
+                measurement("selection", "sparse", select_sparse_time),
+                measurement("selection", "staged", select_staged_time),
+            ]),
+        )
+        .field(
+            "speedup_improvement",
+            JsonValue::Num(round2(speedup_improvement)),
+        )
+        .field(
+            "speedup_required_factor",
+            JsonValue::Num(round2(speedup_factor)),
+        )
+        .field(
+            "speedup_selection",
+            JsonValue::Num(round2(speedup_selection)),
+        )
+        .field(
+            "acceptance_min_speedup",
+            JsonValue::Num(ACCEPTANCE_MIN_SPEEDUP),
+        )
+        .field("acceptance_met", JsonValue::Bool(acceptance_met));
+
+    std::fs::create_dir_all("results").expect("can create results/");
+    std::fs::write("results/staged_drivers.md", &markdown)
+        .expect("can write results/staged_drivers.md");
+    let json_path = record
+        .write()
+        .expect("can write results/BENCH_staged_drivers.json");
+    print!("{markdown}");
+    println!(
+        "# wrote results/staged_drivers.md, {} and BENCH_staged_drivers.json",
+        json_path.display()
+    );
+}

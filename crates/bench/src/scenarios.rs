@@ -1,5 +1,6 @@
 //! Reusable synthetic scenarios for experiments and benchmarks.
 
+use archrel_core::propagation::PropagationOptions;
 use archrel_expr::{Bindings, Expr};
 use archrel_markov::{Dtmc, DtmcBuilder};
 use archrel_model::{
@@ -7,6 +8,8 @@ use archrel_model::{
     FailureModel, FlowBuilder, FlowState, Result as ModelResult, Service, ServiceCall,
     SimpleService, StateId,
 };
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// `End` state of a [`synthetic_absorbing_chain`].
 pub const CHAIN_END: u32 = u32::MAX - 1;
@@ -499,6 +502,383 @@ pub fn recursive_mesh_assembly(
         .build()
 }
 
+/// Shape of a seeded web-scale service fleet (see [`generate_fleet`]).
+///
+/// The fleet has four tiers:
+///
+/// - **backends**: shared simple blackbox services — the hotspots every
+///   other tier's calls concentrate on under a zipf popularity law;
+/// - **replica groups**: composites issuing `n` redundant backend calls
+///   under a `k`-out-of-`n` completion model;
+/// - **entries**: the bulk of the fleet — session composites whose flow
+///   transitions are **bare usage parameters** estimated from traffic.
+///   Every call resolves to a simple backend, so entries compile to
+///   staged sweeps (the streaming fast path);
+/// - **aggregates**: trace-driven composites whose states call replica
+///   *groups* (composite targets), so they decline staging and exercise
+///   the dirty-cone generic fallback.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetSpec {
+    /// Session (entry) composites — the staged-sweep tier.
+    pub entries: usize,
+    /// Shared backend hotspot services.
+    pub backends: usize,
+    /// `k`-out-of-`n` replica-group composites.
+    pub replica_groups: usize,
+    /// Aggregate composites over replica groups — the fallback tier.
+    pub aggregates: usize,
+    /// Zipf popularity exponent for backend choice and usage weights.
+    pub zipf_exponent: f64,
+    /// Generator seed: identical specs generate identical fleets.
+    pub seed: u64,
+}
+
+impl FleetSpec {
+    /// A web-scale spec totalling (about) `services` services: ~1% shared
+    /// backends, ~0.5% replica groups, ~1% aggregates, the rest entries.
+    pub fn web_scale(services: usize, seed: u64) -> FleetSpec {
+        let services = services.max(16);
+        let backends = (services / 100).max(8);
+        let replica_groups = (services / 200).max(4);
+        let aggregates = (services / 100).max(4);
+        FleetSpec {
+            entries: services
+                .saturating_sub(backends + replica_groups + aggregates)
+                .max(1),
+            backends,
+            replica_groups,
+            aggregates,
+            zipf_exponent: 1.1,
+            seed,
+        }
+    }
+
+    /// Total services the spec generates (all four tiers).
+    pub fn total_services(&self) -> usize {
+        self.entries + self.backends + self.replica_groups + self.aggregates
+    }
+}
+
+/// One usage-parameterized flow edge of a fleet service: the formal
+/// parameter carrying the edge's probability, and the flow states it
+/// connects (`start`/`end` name the session boundary states, matching
+/// the trace alphabet of [`FleetService::chain`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetEdge {
+    /// Fleet-unique usage parameter name bound to this edge.
+    pub param: String,
+    /// Source trace state.
+    pub from: String,
+    /// Destination trace state.
+    pub to: String,
+}
+
+/// One trace-driven fleet service (an entry or an aggregate) with its
+/// ground-truth usage profile.
+#[derive(Debug, Clone)]
+pub struct FleetService {
+    /// Service id in the fleet assembly.
+    pub service: String,
+    /// Usage parameters, one per branching flow edge.
+    pub edges: Vec<FleetEdge>,
+    /// Ground-truth usage DTMC over the trace alphabet
+    /// (`start → s0 → … → end`), the distribution traffic is sampled
+    /// from. Absorbing at `end`.
+    pub chain: Dtmc<String>,
+    /// Env binding every usage parameter to its ground-truth probability.
+    pub ground_env: Bindings,
+    /// Normalized zipf usage weight (how much of the fleet's traffic this
+    /// service receives).
+    pub weight: f64,
+    /// Whether every call of the service resolves to a simple backend
+    /// (staged-sweep eligible) or to composites (generic fallback tier).
+    pub staged_eligible: bool,
+}
+
+/// A generated web-scale fleet (see [`FleetSpec`] and [`generate_fleet`]).
+pub struct Fleet {
+    /// All tiers assembled: backends, replica groups, entries, aggregates.
+    pub assembly: Assembly,
+    /// Trace-driven services (entries first, then aggregates), each with
+    /// its ground-truth usage chain and zipf traffic weight.
+    pub services: Vec<FleetService>,
+    /// Error-propagation taints: imperfect per-backend error detection on
+    /// the hottest backends over a high default, for
+    /// [`archrel_core::propagation::evaluate`] studies on entry services.
+    pub propagation: PropagationOptions,
+}
+
+impl Fleet {
+    /// The trace-driven service owning `param`, if any.
+    pub fn owner_of(&self, param: &str) -> Option<&FleetService> {
+        self.services
+            .iter()
+            .find(|s| s.edges.iter().any(|e| e.param == param))
+    }
+}
+
+/// Normalized zipf weights `w_i ∝ 1/(i+1)^s` over `n` ranks.
+fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    let mut w: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
+    let total: f64 = w.iter().sum();
+    for x in &mut w {
+        *x /= total;
+    }
+    w
+}
+
+/// Samples an index from cumulative weights by inversion (the compat
+/// `rand` exposes only uniform `gen::<f64>()`).
+fn sample_index(cumulative: &[f64], rng: &mut StdRng) -> usize {
+    let u: f64 = rng.gen();
+    match cumulative.binary_search_by(|c| c.partial_cmp(&u).expect("finite")) {
+        Ok(i) | Err(i) => i.min(cumulative.len() - 1),
+    }
+}
+
+/// Generates a seeded web-scale fleet: identical specs produce identical
+/// assemblies, chains, parameter names, and weights (the generator draws
+/// every random quantity from one `StdRng` seeded with `spec.seed`, in a
+/// fixed order).
+///
+/// Entry flows are stamped from a small set of session templates
+/// (branching chains, skip edges, and an optional retry loop) so the
+/// compiled-plan cache amortizes across the whole tier, while every
+/// branching transition carries a fleet-unique bare usage parameter
+/// (`u{i}_{from}_{to}`) whose value streams in from estimated traffic.
+/// Ground-truth branch probabilities stay in `[0.15, 0.85]` so bootstrap
+/// traffic observes every edge quickly.
+///
+/// # Errors
+///
+/// Propagates model-construction errors (none for valid specs).
+pub fn generate_fleet(spec: &FleetSpec) -> ModelResult<Fleet> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut builder = AssemblyBuilder::new();
+
+    // Backends: log-uniform failure probabilities in [1e-5, 1e-2].
+    for b in 0..spec.backends {
+        let pfail = 10f64.powf(-5.0 + 3.0 * rng.gen::<f64>());
+        builder = builder.service(catalog::blackbox_service(format!("b{b}"), "x", pfail));
+    }
+    // Backend popularity: zipf by index, so `b0` is always the hottest
+    // shared hotspot (which is also where the propagation taints sit).
+    let backend_weights = zipf_weights(spec.backends, spec.zipf_exponent);
+    let backend_cum: Vec<f64> = backend_weights
+        .iter()
+        .scan(0.0, |acc, w| {
+            *acc += w;
+            Some(*acc)
+        })
+        .collect();
+    let pick_backend = |rng: &mut StdRng| sample_index(&backend_cum, rng);
+
+    // Replica groups: n redundant calls to one hot backend, k-out-of-n.
+    for g in 0..spec.replica_groups {
+        let n = 3 + (rng.gen::<f64>() * 3.0) as usize; // 3..=5
+        let k = (n / 2 + 1).min(n); // majority
+        let target = format!("b{}", pick_backend(&mut rng));
+        let calls: Vec<ServiceCall> = (0..n)
+            .map(|_| ServiceCall::new(target.clone()).with_param("x", Expr::num(1.0)))
+            .collect();
+        let flow = FlowBuilder::new()
+            .state(
+                FlowState::new("replicated", calls)
+                    .with_completion(CompletionModel::KOutOfN { k })
+                    .with_dependency(DependencyModel::Independent),
+            )
+            .transition(StateId::Start, "replicated", Expr::one())
+            .transition("replicated", StateId::End, Expr::one())
+            .build()?;
+        builder = builder.service(Service::Composite(CompositeService::new(
+            format!("g{g}"),
+            vec![],
+            flow,
+        )?));
+    }
+
+    let mut services = Vec::with_capacity(spec.entries + spec.aggregates);
+
+    // Entries: session flows stamped from 8 templates; calls hit zipf-hot
+    // backends, branching transitions carry bare usage params.
+    for e in 0..spec.entries {
+        let template = e % 8;
+        let targets: Vec<String> = (0..session_states(template))
+            .map(|_| format!("b{}", pick_backend(&mut rng)))
+            .collect();
+        let fleet_service = session_service(
+            format!("e{e}"),
+            template,
+            &targets,
+            &format!("u{e}"),
+            &mut rng,
+        )?;
+        builder = builder.service(fleet_service.0);
+        services.push(fleet_service.1);
+    }
+
+    // Aggregates: the same session shapes, but every call targets a
+    // replica-group composite — staging declines, the generic dirty-cone
+    // path serves them.
+    for a in 0..spec.aggregates {
+        let template = a % 8;
+        let targets: Vec<String> = (0..session_states(template))
+            .map(|_| {
+                let g = (rng.gen::<f64>() * spec.replica_groups as f64) as usize;
+                format!("g{}", g.min(spec.replica_groups - 1))
+            })
+            .collect();
+        let fleet_service = session_service(
+            format!("a{a}"),
+            template,
+            &targets,
+            &format!("ua{a}"),
+            &mut rng,
+        )?;
+        builder = builder.service(fleet_service.0);
+        services.push(fleet_service.1);
+    }
+
+    // Zipf traffic weights over the trace-driven services.
+    let weights = zipf_weights(services.len(), spec.zipf_exponent);
+    for (service, w) in services.iter_mut().zip(weights) {
+        service.weight = w;
+    }
+
+    // Propagation taints: the 25% hottest backends detect errors with a
+    // degraded seed-drawn probability; everything else detects at 0.99.
+    let mut propagation = PropagationOptions::uniform(0.99).expect("valid detection");
+    for b in 0..spec.backends.div_ceil(4) {
+        let detection = 0.5 + 0.4 * rng.gen::<f64>();
+        propagation = propagation
+            .with_service(format!("b{b}"), detection)
+            .expect("valid detection");
+    }
+
+    Ok(Fleet {
+        assembly: builder.build()?,
+        services,
+        propagation,
+    })
+}
+
+/// Flow states of session template `t` (templates 0–7 cycle through
+/// lengths 4–11).
+fn session_states(template: usize) -> usize {
+    4 + (template % 8)
+}
+
+/// Builds one trace-driven session composite: a branching chain over
+/// `targets.len()` states (state `si` calls `targets[i]` with unit
+/// demand), a skip edge every third state, and a retry loop back to `s0`
+/// on odd templates. Branching transitions are bare usage parameters
+/// named `{prefix}_{from}_{to}`; ground-truth probabilities are drawn
+/// from `rng` into `[0.15, 0.85]`.
+fn session_service(
+    name: String,
+    template: usize,
+    targets: &[String],
+    prefix: &str,
+    rng: &mut StdRng,
+) -> ModelResult<(Service, FleetService)> {
+    let k = targets.len();
+    let state = |i: usize| format!("s{i}");
+    let mut flow = FlowBuilder::new();
+    for (i, target) in targets.iter().enumerate() {
+        // Backends take a demand formal; replica-group composites take none.
+        let call = if target.starts_with('b') {
+            ServiceCall::new(target.clone()).with_param("x", Expr::num(1.0))
+        } else {
+            ServiceCall::new(target.clone())
+        };
+        flow = flow.state(FlowState::new(state(i), vec![call]));
+    }
+    let mut edges: Vec<FleetEdge> = Vec::new();
+    let mut ground_env = Bindings::new();
+    let mut chain = DtmcBuilder::new().state("start".to_string());
+    for i in 0..k {
+        chain = chain.state(state(i));
+    }
+    chain = chain.state("end".to_string());
+    let mut formals: Vec<String> = Vec::new();
+    // One closure adds an edge in all three representations at once: the
+    // flow transition, the ground-truth chain, and the param bookkeeping.
+    let mut add = |flow: &mut FlowBuilder,
+                   chain: &mut DtmcBuilder<String>,
+                   from: &str,
+                   to: &str,
+                   p: Option<f64>| {
+        let from_id = if from == "start" {
+            StateId::Start
+        } else {
+            StateId::named(from)
+        };
+        let to_id = if to == "end" {
+            StateId::End
+        } else {
+            StateId::named(to)
+        };
+        match p {
+            None => {
+                *flow = std::mem::take(flow).transition(from_id, to_id, Expr::one());
+                *chain = std::mem::take(chain).transition(from.to_string(), to.to_string(), 1.0);
+            }
+            Some(p) => {
+                let param = format!("{prefix}_{from}_{to}");
+                *flow = std::mem::take(flow).transition(from_id, to_id, Expr::param(&param));
+                *chain = std::mem::take(chain).transition(from.to_string(), to.to_string(), p);
+                ground_env.insert(&param, p);
+                formals.push(param.clone());
+                edges.push(FleetEdge {
+                    param,
+                    from: from.to_string(),
+                    to: to.to_string(),
+                });
+            }
+        }
+    };
+    add(&mut flow, &mut chain, "start", &state(0), None);
+    let retry = template % 2 == 1;
+    for i in 0..k {
+        let last = i == k - 1;
+        let skip = !last && i % 3 == 1 && i + 2 < k;
+        let next = if last {
+            "end".to_string()
+        } else {
+            state(i + 1)
+        };
+        if skip {
+            // Branch: continue to s{i+1} or skip to s{i+2}.
+            let p = 0.15 + 0.7 * rng.gen::<f64>();
+            add(&mut flow, &mut chain, &state(i), &next, Some(p));
+            add(
+                &mut flow,
+                &mut chain,
+                &state(i),
+                &state(i + 2),
+                Some(1.0 - p),
+            );
+        } else if last && retry {
+            // Session retry: loop back to s0 with a small probability.
+            let p = 0.05 + 0.1 * rng.gen::<f64>();
+            add(&mut flow, &mut chain, &state(i), &state(0), Some(p));
+            add(&mut flow, &mut chain, &state(i), "end", Some(1.0 - p));
+        } else {
+            add(&mut flow, &mut chain, &state(i), &next, None);
+        }
+    }
+    let fleet_service = FleetService {
+        service: name.clone(),
+        edges,
+        chain: chain.build().expect("ground-truth rows sum to one"),
+        ground_env,
+        weight: 0.0,
+        staged_eligible: targets.iter().all(|t| t.starts_with('b')),
+    };
+    let service = Service::Composite(CompositeService::new(name, formals, flow.build()?)?);
+    Ok((service, fleet_service))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -681,6 +1061,136 @@ mod tests {
                 .value()
         };
         assert!(p(&deep) > p(&shallow));
+    }
+
+    fn small_fleet_spec(seed: u64) -> FleetSpec {
+        FleetSpec {
+            entries: 24,
+            backends: 8,
+            replica_groups: 4,
+            aggregates: 4,
+            zipf_exponent: 1.1,
+            seed,
+        }
+    }
+
+    #[test]
+    fn fleet_is_deterministic_per_seed() {
+        let a = generate_fleet(&small_fleet_spec(7)).unwrap();
+        let b = generate_fleet(&small_fleet_spec(7)).unwrap();
+        assert_eq!(a.services.len(), b.services.len());
+        for (x, y) in a.services.iter().zip(&b.services) {
+            assert_eq!(x.service, y.service);
+            assert_eq!(x.edges, y.edges);
+            assert_eq!(x.weight.to_bits(), y.weight.to_bits());
+            assert_eq!(x.chain.states(), y.chain.states());
+            for from in x.chain.states() {
+                for (to, p) in x.chain.successors(from).unwrap() {
+                    let q = y.chain.transition_probability(from, to).unwrap();
+                    assert_eq!(p.to_bits(), q.to_bits());
+                }
+            }
+            for (name, v) in x.ground_env.iter() {
+                assert_eq!(y.ground_env.get(name), Some(v));
+            }
+        }
+        // A different seed moves the ground truth.
+        let c = generate_fleet(&small_fleet_spec(8)).unwrap();
+        let moved = a.services.iter().zip(&c.services).any(|(x, z)| {
+            x.ground_env
+                .iter()
+                .any(|(name, v)| z.ground_env.get(name) != Some(v))
+        });
+        assert!(moved, "seed must change ground-truth probabilities");
+    }
+
+    #[test]
+    fn fleet_services_evaluate_under_ground_truth() {
+        let fleet = generate_fleet(&small_fleet_spec(11)).unwrap();
+        assert_eq!(fleet.services.len(), 28);
+        let evaluator = Evaluator::new(&fleet.assembly);
+        // A staged-eligible entry, a fallback aggregate, and a replica
+        // group all evaluate to interior probabilities.
+        for (service, env) in [
+            ("e0", fleet.services[0].ground_env.clone()),
+            ("a0", fleet.services[24].ground_env.clone()),
+            ("g0", Bindings::new()),
+        ] {
+            let p = evaluator
+                .failure_probability(&service.into(), &env)
+                .unwrap();
+            assert!(
+                p.value() > 0.0 && p.value() < 1.0,
+                "{service}: {}",
+                p.value()
+            );
+        }
+        // Tier split: entries staged-eligible, aggregates not.
+        assert!(fleet.services[..24].iter().all(|s| s.staged_eligible));
+        assert!(!fleet.services[24..].iter().any(|s| s.staged_eligible));
+        // Zipf weights normalize and decay.
+        let total: f64 = fleet.services.iter().map(|s| s.weight).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(fleet.services[0].weight > fleet.services[27].weight);
+    }
+
+    #[test]
+    fn fleet_ground_truth_chains_match_flow_params() {
+        let fleet = generate_fleet(&small_fleet_spec(3)).unwrap();
+        for service in &fleet.services {
+            for edge in &service.edges {
+                let p = service
+                    .chain
+                    .transition_probability(&edge.from, &edge.to)
+                    .expect("chain carries every parameterized edge");
+                assert_eq!(service.ground_env.get(&edge.param), Some(p));
+            }
+            // Param names are fleet-unique: the owner lookup round-trips.
+            let first = &service.edges.first();
+            if let Some(edge) = first {
+                assert_eq!(
+                    fleet.owner_of(&edge.param).unwrap().service,
+                    service.service
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_propagation_taints_hot_backends() {
+        use archrel_core::propagation;
+        let fleet = generate_fleet(&small_fleet_spec(5)).unwrap();
+        // 8 backends -> 2 tainted, detection under the 0.99 default.
+        assert_eq!(fleet.propagation.per_service.len(), 2);
+        for detection in fleet.propagation.per_service.values() {
+            assert!(*detection < 0.99 && *detection >= 0.5);
+        }
+        let entry = &fleet.services[0];
+        let outcome = propagation::evaluate(
+            &fleet.assembly,
+            &entry.service.as_str().into(),
+            &entry.ground_env,
+            &fleet.propagation,
+        )
+        .unwrap();
+        let total =
+            outcome.correct.value() + outcome.erroneous.value() + outcome.detected_failure.value();
+        assert!((total - 1.0).abs() < 1e-9, "outcomes sum to one: {total}");
+    }
+
+    #[test]
+    fn web_scale_spec_partitions_services() {
+        let spec = FleetSpec::web_scale(10_000, 42);
+        assert_eq!(spec.total_services(), 10_000);
+        assert_eq!(spec.backends, 100);
+        assert_eq!(spec.replica_groups, 50);
+        assert_eq!(spec.aggregates, 100);
+        assert_eq!(spec.entries, 9_750);
+        // The floors keep tiny fleets well-formed (at the cost of slightly
+        // exceeding the requested count).
+        let tiny = FleetSpec::web_scale(1, 0);
+        assert_eq!(tiny.entries, 1);
+        assert_eq!(tiny.total_services(), 17);
     }
 
     #[test]

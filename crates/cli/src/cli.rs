@@ -71,10 +71,21 @@ commands:
   batch      multi-threaded sweep with a shared solve cache (sweep options,
              --threads, --repeat; prints cache hit/miss/solve statistics)
   improve    rank improvement levers; with --target, size the best one
+  stream     ingest line-delimited call traces (--traces FILE) into a
+             streaming usage-profile estimator, print the drained delta set,
+             and re-evaluate the service with moved `<from>_<to>` usage
+             parameters bound (--service, --bind, --delta-threshold)
   dot        Graphviz export (--service for a flow, omit for the assembly)
   fmt        canonical pretty-printed form of the document
 
 common options:
+  --traces FILE   call traces for stream: one session per line, whitespace-
+             separated state names (e.g. `start s end`); blank lines are
+             skipped
+  --delta-threshold T   minimum per-edge probability movement before stream
+             emits a row in its delta set: a finite value in [0, 1)
+             (default: 0 -- emit every changed row; or the
+             ARCHREL_DELTA_THRESHOLD environment variable when set)
   --solver {auto,dense,sparse,compiled}   absorbing-chain solver for predict/
              report/sweep/batch/improve (default: auto, or the ARCHREL_SOLVER
              environment variable when set; compiled builds each flow
@@ -134,6 +145,8 @@ struct Options {
     fixed_point: Option<FixedPointMode>,
     artifact_dir: Option<String>,
     artifact_mode: Option<ArtifactMode>,
+    traces: Option<String>,
+    delta_threshold: Option<f64>,
 }
 
 impl Options {
@@ -213,6 +226,8 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         fixed_point: None,
         artifact_dir: None,
         artifact_mode: None,
+        traces: None,
+        delta_threshold: None,
     };
     let mut positional = Vec::new();
     let mut i = 0;
@@ -306,6 +321,18 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                     CliError::new(format!("`--fixed-point {value}`: expected plain or aitken"))
                 })?);
             }
+            "--traces" => opts.traces = Some(next_value(args, &mut i, "--traces")?),
+            "--delta-threshold" => {
+                let value = next_value(args, &mut i, "--delta-threshold")?;
+                opts.delta_threshold = Some(
+                    archrel_profile::streaming::parse_delta_threshold(&value).ok_or_else(|| {
+                        CliError::new(format!(
+                            "`--delta-threshold {value}`: expected a finite probability \
+                             threshold in [0, 1)"
+                        ))
+                    })?,
+                );
+            }
             "--artifact-dir" => {
                 opts.artifact_dir = Some(next_value(args, &mut i, "--artifact-dir")?)
             }
@@ -339,6 +366,19 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         ));
     }
     Ok(opts)
+}
+
+/// Pre-validates an `ARCHREL_DELTA_THRESHOLD` value so a typo'd threshold
+/// surfaces as a normal CLI error instead of the library's hard panic when
+/// `stream` later reads the environment.
+fn check_delta_threshold_env(raw: &str) -> Result<(), CliError> {
+    if !raw.trim().is_empty() && archrel_profile::streaming::parse_delta_threshold(raw).is_none() {
+        return Err(CliError::new(format!(
+            "unrecognized ARCHREL_DELTA_THRESHOLD value `{raw}`: \
+             expected a finite probability threshold in [0, 1)"
+        )));
+    }
+    Ok(())
 }
 
 fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, CliError> {
@@ -406,6 +446,9 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
             )));
         }
     }
+    if let Ok(raw) = std::env::var(archrel_profile::streaming::DELTA_THRESHOLD_ENV) {
+        check_delta_threshold_env(&raw)?;
+    }
     if let Ok(raw) = std::env::var("ARCHREL_ARTIFACT_MODE") {
         if !raw.is_empty() {
             if ArtifactMode::parse(&raw).is_none() {
@@ -436,6 +479,7 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         "sweep" => cmd_sweep(&opts, out),
         "batch" => cmd_batch(&opts, out),
         "improve" => cmd_improve(&opts, out),
+        "stream" => cmd_stream(&opts, out),
         "dot" => cmd_dot(&opts, out),
         "fmt" => cmd_fmt(&opts, out),
         other => Err(CliError::new(format!(
@@ -690,6 +734,84 @@ fn cmd_improve(opts: &Options, out: &mut impl Write) -> Result<(), CliError> {
     Ok(())
 }
 
+fn cmd_stream(opts: &Options, out: &mut impl Write) -> Result<(), CliError> {
+    use archrel_profile::streaming::{delta_threshold_from_env, StreamingEstimator};
+    let assembly = load(opts)?;
+    let service = required_service(opts)?;
+    let formals: Vec<String> = assembly
+        .require(&service)?
+        .formal_params()
+        .iter()
+        .map(|p| p.to_string())
+        .collect();
+    let traces_path = opts.traces.as_deref().ok_or_else(|| {
+        CliError::new(
+            "missing required `--traces FILE` (one session per line, \
+             whitespace-separated state names)",
+        )
+    })?;
+    let raw = std::fs::read_to_string(traces_path)
+        .map_err(|e| CliError::new(format!("cannot read `{traces_path}`: {e}")))?;
+    let mut estimator: StreamingEstimator<String> = StreamingEstimator::new();
+    for line in raw.lines() {
+        let trace: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+        if !trace.is_empty() {
+            estimator.observe(&trace);
+        }
+    }
+    writeln!(
+        out,
+        "ingested {} trace(s), {} transition(s) from `{traces_path}`",
+        estimator.traces_ingested(),
+        estimator.transitions_observed()
+    )?;
+    // The ARCHREL_DELTA_THRESHOLD fallback is prevalidated in `run`, so
+    // this cannot hit the library's hard panic.
+    let threshold = opts
+        .delta_threshold
+        .unwrap_or_else(delta_threshold_from_env);
+    let deltas = estimator.drain_deltas(threshold);
+    writeln!(
+        out,
+        "delta set at threshold {threshold}: {} row(s), {} edge(s)",
+        deltas.rows.len(),
+        deltas.edge_count()
+    )?;
+    // Moved edges bind the `<from>_<to>` usage parameter when the service
+    // declares it; everything else is informational output.
+    let mut bindings = opts.bindings.clone();
+    let mut updated = Vec::new();
+    for row in &deltas.rows {
+        for (to, p) in &row.edges {
+            writeln!(out, "  {} -> {to} : {p}", row.from)?;
+            let param = format!("{}_{to}", row.from);
+            if formals.contains(&param) {
+                bindings.insert(&param, *p);
+                updated.push(param);
+            }
+        }
+    }
+    if updated.is_empty() {
+        writeln!(
+            out,
+            "no usage parameter of `{service}` moved; reliability unchanged"
+        )?;
+        return Ok(());
+    }
+    writeln!(
+        out,
+        "updated {} usage parameter(s): {}",
+        updated.len(),
+        updated.join(", ")
+    )?;
+    let p = opts
+        .evaluator(&assembly)?
+        .failure_probability(&service, &bindings)?;
+    writeln!(out, "Pfail({service}) = {:e}", p.value())?;
+    writeln!(out, "reliability      = {:.12}", p.complement().value())?;
+    Ok(())
+}
+
 fn cmd_dot(opts: &Options, out: &mut impl Write) -> Result<(), CliError> {
     let assembly = load(opts)?;
     match &opts.service {
@@ -738,6 +860,35 @@ mod tests {
         let path = dir.join("test.arch");
         std::fs::write(&path, DOCUMENT).unwrap();
         f(path.to_str().unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A service whose `s` row is driven by `<from>_<to>` usage
+    /// parameters, plus a trace file splitting `s`'s sessions 50/50
+    /// between the two branches.
+    const STREAM_DOCUMENT: &str = r#"
+        blackbox dep(x) { pfail: 0.1; }
+        service app(s_t, s_end) {
+          state s { call dep(x: 1); }
+          state t { call dep(x: 1); }
+          start -> s : 1;
+          s -> t : s_t;
+          s -> end : s_end;
+          t -> end : 1;
+        }
+    "#;
+
+    const STREAM_TRACES: &str = "start s t end\nstart s end\n\n";
+
+    fn with_stream_fixture(f: impl FnOnce(&str, &str)) {
+        let dir =
+            std::env::temp_dir().join(format!("archrel-stream-{:?}", std::thread::current().id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let arch = dir.join("stream.arch");
+        let traces = dir.join("traces.txt");
+        std::fs::write(&arch, STREAM_DOCUMENT).unwrap();
+        std::fs::write(&traces, STREAM_TRACES).unwrap();
+        f(arch.to_str().unwrap(), traces.to_str().unwrap());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -1300,5 +1451,108 @@ mod tests {
     fn missing_file_is_reported() {
         let err = run_capture(&["validate", "/nonexistent/path.arch"]).unwrap_err();
         assert!(err.to_string().contains("cannot read"));
+    }
+
+    #[test]
+    fn stream_updates_reliability_from_traces() {
+        with_stream_fixture(|arch, traces| {
+            let out = run_capture(&[
+                "stream",
+                arch,
+                "--service",
+                "app",
+                "--traces",
+                traces,
+                "--delta-threshold",
+                "0",
+            ])
+            .unwrap();
+            assert!(
+                out.contains("ingested 2 trace(s), 5 transition(s)"),
+                "{out}"
+            );
+            assert!(out.contains("s -> t : 0.5"), "{out}");
+            assert!(out.contains("s -> end : 0.5"), "{out}");
+            assert!(
+                out.contains("updated 2 usage parameter(s): s_t, s_end"),
+                "{out}"
+            );
+            assert!(out.contains("Pfail(app)"), "{out}");
+            assert!(out.contains("reliability"), "{out}");
+        });
+    }
+
+    #[test]
+    fn stream_threshold_suppresses_unmoved_rows() {
+        with_stream_fixture(|arch, traces| {
+            // The `s` row moved by 0.5 < 0.9 so it is suppressed whole;
+            // only the probability-1 rows (start, t) clear the bar, and
+            // neither maps to a usage parameter of `app`.
+            let out = run_capture(&[
+                "stream",
+                arch,
+                "--service",
+                "app",
+                "--traces",
+                traces,
+                "--delta-threshold",
+                "0.9",
+            ])
+            .unwrap();
+            assert!(!out.contains("s -> t"), "{out}");
+            assert!(out.contains("reliability unchanged"), "{out}");
+        });
+    }
+
+    #[test]
+    fn stream_rejects_bad_delta_thresholds() {
+        with_stream_fixture(|arch, traces| {
+            for bad in ["1.5", "1.0", "-0.1", "nan", "inf", "many"] {
+                let err = run_capture(&[
+                    "stream",
+                    arch,
+                    "--service",
+                    "app",
+                    "--traces",
+                    traces,
+                    "--delta-threshold",
+                    bad,
+                ])
+                .unwrap_err();
+                assert!(
+                    err.to_string()
+                        .contains("expected a finite probability threshold in [0, 1)"),
+                    "`{bad}`: {err}"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn stream_requires_traces_and_service() {
+        with_stream_fixture(|arch, _| {
+            let err = run_capture(&["stream", arch, "--service", "app"]).unwrap_err();
+            assert!(err.to_string().contains("--traces FILE"), "{err}");
+            let err = run_capture(&["stream", arch]).unwrap_err();
+            assert!(err.to_string().contains("--service"), "{err}");
+        });
+    }
+
+    #[test]
+    fn delta_threshold_env_values_are_prevalidated() {
+        // The helper behind `run`'s environment prevalidation, exercised
+        // directly so the test never mutates process-global state.
+        assert!(check_delta_threshold_env("").is_ok());
+        assert!(check_delta_threshold_env("0").is_ok());
+        assert!(check_delta_threshold_env(" 0.25 ").is_ok());
+        for bad in ["1.0", "-0.1", "nan", "inf", "two"] {
+            let err = check_delta_threshold_env(bad).unwrap_err();
+            assert!(
+                err.to_string()
+                    .contains("unrecognized ARCHREL_DELTA_THRESHOLD value"),
+                "`{bad}`: {err}"
+            );
+            assert!(err.to_string().contains("[0, 1)"), "`{bad}`: {err}");
+        }
     }
 }

@@ -57,6 +57,22 @@ pub enum CoreError {
         /// Configured cap.
         cap: u128,
     },
+    /// A streaming delta named a usage parameter no registered fleet
+    /// service declared (see [`crate::refresh::FleetRefresh`]).
+    FleetUnknownParam {
+        /// The unrecognized parameter name.
+        param: String,
+    },
+    /// Two fleet services registered the same varied usage parameter;
+    /// delta routing requires a unique owner per parameter.
+    FleetDuplicateParam {
+        /// The doubly-claimed parameter name.
+        param: String,
+        /// The service that registered it first.
+        first: String,
+        /// The service that tried to register it again.
+        second: String,
+    },
     /// An underlying model operation failed.
     Model(ModelError),
     /// An underlying Markov-chain operation failed.
@@ -98,6 +114,19 @@ impl fmt::Display for CoreError {
             CoreError::SelectionSpaceTooLarge { combinations, cap } => write!(
                 f,
                 "selection space of {combinations} combinations exceeds cap {cap}"
+            ),
+            CoreError::FleetUnknownParam { param } => write!(
+                f,
+                "streaming delta names parameter `{param}` owned by no registered fleet service"
+            ),
+            CoreError::FleetDuplicateParam {
+                param,
+                first,
+                second,
+            } => write!(
+                f,
+                "usage parameter `{param}` registered by both `{first}` and `{second}`; \
+                 delta routing requires a unique owner"
             ),
             CoreError::Model(e) => write!(f, "model error: {e}"),
             CoreError::Markov(e) => write!(f, "markov error: {e}"),

@@ -63,6 +63,7 @@ pub mod improvement;
 pub mod paper_closed;
 mod program;
 pub mod propagation;
+pub mod refresh;
 mod report;
 pub mod selection;
 pub mod sensitivity;
@@ -81,6 +82,7 @@ pub use eval::{
 };
 pub use failprob::{state_failure_probability, RequestFailure};
 pub use program::AssemblyProgram;
+pub use refresh::{FleetRefresh, RefreshStats};
 pub use report::{EvaluationReport, ServiceBreakdown, StateBreakdown};
 
 /// Convenience result alias for fallible engine operations.

@@ -729,14 +729,23 @@ impl StagedSweep {
         if self.stage_env(env, scratch)? != Staging::Row {
             return Ok(None);
         }
-        Ok(Some(StagedEnvCenter {
+        Ok(Some(self.snapshot_center(scratch)))
+    }
+
+    /// Snapshots the staging `scratch` currently holds into a fresh env
+    /// center. Call only after a staging that returned [`Staging::Row`]
+    /// (callers that already staged — fleet refresh recovering from a
+    /// structural fallback — use this to skip
+    /// [`StagedSweep::prepare_env_center`]'s redundant restage).
+    pub(crate) fn snapshot_center(&self, scratch: &StagedScratch) -> StagedEnvCenter {
+        StagedEnvCenter {
             reqs: scratch.reqs.clone(),
             fps: scratch.fps.clone(),
             trans_ps: scratch.trans_ps.clone(),
             edge_ps: scratch.edge_ps.clone(),
             row: scratch.row.clone(),
             deps: self.env_delta_deps(),
-        }))
+        }
     }
 
     /// Stages one env probe that differs from `center`'s env in exactly
@@ -839,6 +848,144 @@ impl StagedSweep {
             scratch.row[k] = scratch.fps[s].value().min(1.0);
         }
         Ok(Staging::Row)
+    }
+
+    /// Stages one env probe that differs from `center`'s env in the
+    /// bindings `names` — the multi-binding generalization of
+    /// [`StagedSweep::stage_env_delta`] used by streaming fleet refresh,
+    /// where one delta set can move several usage parameters of the same
+    /// service at once. Restages the **union** of the named parameters'
+    /// dependency cones, visiting each recipe class in ascending index
+    /// order (the order full staging uses), so rows, errors, and fallback
+    /// decisions are bitwise/first-error identical to
+    /// [`StagedSweep::stage_env`] on the probe env.
+    ///
+    /// # Errors
+    ///
+    /// See [`StagedSweep::stage_env`].
+    pub(crate) fn stage_env_deltas(
+        &self,
+        center: &StagedEnvCenter,
+        names: &[String],
+        env: &Bindings,
+        scratch: &mut StagedScratch,
+    ) -> Result<Staging> {
+        if let [name] = names {
+            return self.stage_env_delta(center, name, env, scratch);
+        }
+        scratch.reqs.clear();
+        scratch.reqs.extend_from_slice(&center.reqs);
+        scratch.fps.clear();
+        scratch.fps.extend_from_slice(&center.fps);
+        scratch.trans_ps.clear();
+        scratch.trans_ps.extend_from_slice(&center.trans_ps);
+        scratch.edge_ps.clear();
+        scratch.edge_ps.extend_from_slice(&center.edge_ps);
+        scratch.row.clear();
+        scratch.row.extend_from_slice(&center.row);
+        use std::collections::BTreeSet;
+        let mut calls: BTreeSet<usize> = BTreeSet::new();
+        let mut states: BTreeSet<usize> = BTreeSet::new();
+        let mut trans: BTreeSet<usize> = BTreeSet::new();
+        let mut rows: BTreeSet<usize> = BTreeSet::new();
+        let mut edges: BTreeSet<usize> = BTreeSet::new();
+        let mut fail_slots: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for name in names {
+            let Some(deps) = center.deps.get(name) else {
+                continue;
+            };
+            calls.extend(deps.calls.iter().copied());
+            states.extend(deps.states.iter().copied());
+            trans.extend(deps.trans.iter().copied());
+            rows.extend(deps.rows.iter().copied());
+            edges.extend(deps.edges.iter().copied());
+            fail_slots.extend(deps.fail_slots.iter().copied());
+        }
+        for &i in &calls {
+            self.stage_call(i, env, scratch)?;
+        }
+        for &si in &states {
+            self.stage_state_fp(si, scratch)?;
+        }
+        for &ti in &trans {
+            let t = &self.transitions[ti];
+            let p = t.expr.eval(env)?;
+            if !(0.0..=1.0 + 1e-9).contains(&p) {
+                return Err(CoreError::BadTransitions {
+                    service: self.service.to_string(),
+                    state: t.from.to_string(),
+                    sum: p,
+                });
+            }
+            scratch.trans_ps[ti] = p;
+        }
+        for &ri in &rows {
+            let rc = &self.rows[ri];
+            let sum: f64 = rc.trans.iter().fold(0.0, |s, &ti| s + scratch.trans_ps[ti]);
+            if (sum - 1.0).abs() > 1e-9 {
+                return Err(CoreError::BadTransitions {
+                    service: self.service.to_string(),
+                    state: rc.from.to_string(),
+                    sum,
+                });
+            }
+        }
+        for &ei in &edges {
+            let e = &self.edges[ei];
+            scratch.edge_ps[ei] = e.trans.iter().fold(0.0, |s, &ti| s + scratch.trans_ps[ti]);
+        }
+        for &si in &states {
+            let (b, f) = (&self.base_fps[si], &scratch.fps[si]);
+            if b.is_zero() != f.is_zero() || b.is_one() != f.is_one() {
+                return Ok(Staging::Fallback);
+            }
+        }
+        for &ei in &edges {
+            let e = &self.edges[ei];
+            let comp = match e.state {
+                Some(s) => scratch.fps[s].complement().value(),
+                None => 1.0,
+            };
+            let scaled = scratch.edge_ps[ei] * comp;
+            match e.slot {
+                Some(k) => {
+                    let v = scaled.min(1.0);
+                    if v <= 0.0 {
+                        return Ok(Staging::Fallback);
+                    }
+                    scratch.row[k] = v;
+                }
+                None => {
+                    if scaled > 0.0 {
+                        return Ok(Staging::Fallback);
+                    }
+                }
+            }
+        }
+        for &(s, k) in &fail_slots {
+            scratch.row[k] = scratch.fps[s].value().min(1.0);
+        }
+        Ok(Staging::Row)
+    }
+
+    /// Moves `center` to the staging `scratch` currently holds, so the
+    /// next delta can be expressed against the just-applied env instead of
+    /// the original one. Streaming refresh applies delta sets
+    /// sequentially: after each successful [`Staging::Row`], advancing the
+    /// center keeps every later delta bitwise equal to full staging by
+    /// induction (the snapshot always equals a full staging of the current
+    /// env). Call only after a staging that returned [`Staging::Row`].
+    pub(crate) fn advance_center(&self, center: &mut StagedEnvCenter, scratch: &StagedScratch) {
+        center.reqs.clear();
+        center.reqs.extend_from_slice(&scratch.reqs);
+        center.fps.clear();
+        center.fps.extend_from_slice(&scratch.fps);
+        center.trans_ps.clear();
+        center.trans_ps.extend_from_slice(&scratch.trans_ps);
+        center.edge_ps.clear();
+        center.edge_ps.extend_from_slice(&scratch.edge_ps);
+        center.row.clear();
+        center.row.extend_from_slice(&scratch.row);
     }
 
     /// Dependency cones of every formal parameter the staged expressions
@@ -1410,6 +1557,128 @@ mod tests {
             );
             assert_eq!(full.row.len(), delta.row.len());
             for (f, d) in full.row.iter().zip(&delta.row) {
+                assert_eq!(f.to_bits(), d.to_bits());
+            }
+        }
+    }
+
+    /// Like [`assembly`], but with the retry loop driven by a `loop`
+    /// usage parameter — two independent cones (`n` → calls, `loop` →
+    /// transitions) for multi-binding delta staging.
+    fn parametric_assembly() -> Assembly {
+        let call_a = ServiceCall {
+            target: "cpu".into(),
+            actual_params: vec![("ops".to_string(), Expr::param("n"))],
+            connector: None,
+            internal_failure: InternalFailureModel::None,
+        };
+        let call_b = ServiceCall {
+            target: "disk".into(),
+            actual_params: vec![("ops".to_string(), Expr::num(3.0))],
+            connector: None,
+            internal_failure: InternalFailureModel::None,
+        };
+        let flow = FlowBuilder::new()
+            .state(FlowState::new("a", vec![call_a]))
+            .state(FlowState::new("b", vec![call_b]))
+            .transition(StateId::Start, "a", Expr::one())
+            .transition("a", "b", Expr::one())
+            .transition("b", "a", Expr::param("loop"))
+            .transition("b", StateId::End, Expr::one() - Expr::param("loop"))
+            .build()
+            .unwrap();
+        AssemblyBuilder::new()
+            .service(simple("cpu", 0.02))
+            .service(simple("disk", 0.01))
+            .service(Service::Composite(
+                archrel_model::CompositeService::new(
+                    "app",
+                    vec!["n".to_string(), "loop".to_string()],
+                    flow,
+                )
+                .unwrap(),
+            ))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn env_multi_delta_rows_match_full_staging_bitwise() {
+        let assembly = parametric_assembly();
+        let env = Bindings::new()
+            .with("n", 5.0)
+            .with("loop", 0.1)
+            .with("unused", 2.0);
+        let (_, sweep) = compile_app(&assembly, &env);
+        let sweep = sweep.unwrap();
+        let mut center_scratch = sweep.new_scratch();
+        let center = sweep
+            .prepare_env_center(&env, &mut center_scratch)
+            .unwrap()
+            .expect("center stages a row");
+        let mut full = sweep.new_scratch();
+        let mut delta = sweep.new_scratch();
+        type DeltaCase<'a> = (&'a [(&'a str, f64)], &'a [&'a str]);
+        let cases: [DeltaCase; 4] = [
+            (&[("n", 7.0), ("loop", 0.25)], &["n", "loop"]),
+            (&[("loop", 0.01)], &["loop", "unused"]),
+            (&[("n", 1.5)], &["n"]),
+            (&[], &["unused"]),
+        ];
+        for (moves, names) in cases {
+            let mut probe = env.clone();
+            for (name, x) in moves {
+                probe.insert(*name, *x);
+            }
+            let names: Vec<String> = names.iter().map(|s| s.to_string()).collect();
+            assert_eq!(sweep.stage_env(&probe, &mut full).unwrap(), Staging::Row);
+            assert_eq!(
+                sweep
+                    .stage_env_deltas(&center, &names, &probe, &mut delta)
+                    .unwrap(),
+                Staging::Row
+            );
+            assert_eq!(full.row.len(), delta.row.len());
+            for (f, d) in full.row.iter().zip(&delta.row) {
+                assert_eq!(f.to_bits(), d.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn advance_center_keeps_sequential_deltas_bitwise() {
+        let assembly = parametric_assembly();
+        let mut env = Bindings::new().with("n", 5.0).with("loop", 0.1);
+        let (_, sweep) = compile_app(&assembly, &env);
+        let sweep = sweep.unwrap();
+        let mut scratch = sweep.new_scratch();
+        let mut center = sweep
+            .prepare_env_center(&env, &mut scratch)
+            .unwrap()
+            .expect("center stages a row");
+        let mut full = sweep.new_scratch();
+        let steps: [&[(&str, f64)]; 4] = [
+            &[("loop", 0.2)],
+            &[("n", 8.0), ("loop", 0.05)],
+            &[("n", 2.0)],
+            &[("loop", 0.5)],
+        ];
+        for moves in steps {
+            for (name, x) in moves {
+                env.insert(*name, *x);
+            }
+            let names: Vec<String> = moves.iter().map(|(n, _)| n.to_string()).collect();
+            assert_eq!(
+                sweep
+                    .stage_env_deltas(&center, &names, &env, &mut scratch)
+                    .unwrap(),
+                Staging::Row
+            );
+            sweep.advance_center(&mut center, &scratch);
+            // Each advanced center stays bitwise equal to staging the
+            // cumulative env from scratch.
+            assert_eq!(sweep.stage_env(&env, &mut full).unwrap(), Staging::Row);
+            for (f, d) in full.row.iter().zip(&scratch.row) {
                 assert_eq!(f.to_bits(), d.to_bits());
             }
         }

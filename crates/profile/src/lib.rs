@@ -12,13 +12,17 @@
 //!   probabilities from traces, with Laplace smoothing;
 //! - [`hmm`]: a discrete hidden Markov model with forward/backward,
 //!   Viterbi, and Baum–Welch re-estimation, for the imperfect-observability
-//!   case where flow states are only seen through noisy observations.
+//!   case where flow states are only seen through noisy observations;
+//! - [`streaming`]: an incremental estimator that ingests traces online and
+//!   emits delta sets of moved transition rows, bitwise-pinned to
+//!   [`estimate::estimate_dtmc`] on the concatenated traces.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod estimate;
 pub mod hmm;
+pub mod streaming;
 pub mod trace;
 
 mod error;

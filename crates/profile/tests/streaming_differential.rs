@@ -1,0 +1,138 @@
+//! Streaming ↔ batch differential suite: a [`StreamingEstimator`] fed a
+//! random trace set in arbitrarily split increments must be
+//! indistinguishable — **bitwise** — from [`estimate_dtmc`] on the whole
+//! batch, and its threshold-0 delta sets must reconstruct the full current
+//! estimate exactly.
+
+use std::collections::HashMap;
+
+use archrel_profile::estimate::{estimate_dtmc, EstimatorOptions};
+use archrel_profile::streaming::StreamingEstimator;
+use proptest::prelude::*;
+
+/// Strategy: a random trace set over a small alphabet — `1..24` traces of
+/// `0..8` states each, so empty and single-state traces (no transitions)
+/// are generated alongside real sessions.
+fn trace_set() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    proptest::collection::vec(proptest::collection::vec(0u32..6, 0..8), 1..24)
+}
+
+/// Asserts two estimated chains are bitwise identical: same states in the
+/// same intern order, same per-edge probability bits.
+fn assert_chains_bitwise(streamed: &archrel_markov::Dtmc<u32>, batch: &archrel_markov::Dtmc<u32>) {
+    prop_assert_eq!(streamed.states(), batch.states());
+    for from in batch.states() {
+        for to in batch.states() {
+            let s = streamed.transition_probability(from, to).unwrap();
+            let b = batch.transition_probability(from, to).unwrap();
+            prop_assert_eq!(
+                s.to_bits(),
+                b.to_bits(),
+                "{} -> {}: streamed {} vs batch {}",
+                from,
+                to,
+                s,
+                b
+            );
+        }
+    }
+}
+
+proptest! {
+    /// Flushing the stream reproduces the batch estimate bitwise, no
+    /// matter where the trace set is split into ingestion increments —
+    /// including drains between the increments (draining must not disturb
+    /// the counts).
+    #[test]
+    fn flush_matches_batch_at_every_split(
+        traces in trace_set(),
+        split_frac in 0.0..1.0f64,
+        smoothing_idx in 0usize..3,
+    ) {
+        let opts = EstimatorOptions { smoothing: [0.0, 0.5, 1.0][smoothing_idx] };
+        let split = (split_frac * traces.len() as f64) as usize;
+        let mut estimator = StreamingEstimator::with_options(opts);
+        estimator.observe_all(traces[..split].iter());
+        let _ = estimator.drain_deltas(0.0);
+        estimator.observe_all(traces[split..].iter());
+        match (estimator.estimate(), estimate_dtmc(&traces, opts)) {
+            (Ok(streamed), Ok(batch)) => assert_chains_bitwise(&streamed, &batch),
+            (Err(s), Err(b)) => prop_assert_eq!(s.to_string(), b.to_string()),
+            (s, b) => prop_assert!(false, "paths disagree: {:?} vs {:?}", s.is_ok(), b.is_ok()),
+        }
+    }
+
+    /// Threshold-0 delta sets are complete: folding every drained row into
+    /// a probability map reconstructs the final estimate bitwise (no moved
+    /// edge is ever suppressed), and a drain with nothing new is empty.
+    #[test]
+    fn threshold_zero_deltas_reconstruct_the_estimate(
+        traces in trace_set(),
+        splits in proptest::collection::vec(0.0..1.0f64, 1..4),
+    ) {
+        let mut estimator = StreamingEstimator::new();
+        let mut reconstructed: HashMap<(u32, u32), f64> = HashMap::new();
+        let mut fold = |estimator: &mut StreamingEstimator<u32>| {
+            for row in estimator.drain_deltas(0.0).rows {
+                for (to, p) in row.edges {
+                    reconstructed.insert((row.from, to), p);
+                }
+            }
+        };
+        // Ingest in `splits.len() + 1` increments, draining after each.
+        let mut start = 0usize;
+        let mut bounds: Vec<usize> = splits
+            .iter()
+            .map(|f| (f * traces.len() as f64) as usize)
+            .collect();
+        bounds.sort_unstable();
+        bounds.push(traces.len());
+        for end in bounds {
+            estimator.observe_all(traces[start..end].iter());
+            fold(&mut estimator);
+            start = end;
+        }
+        // Nothing moved since the last drain.
+        prop_assert!(estimator.drain_deltas(0.0).is_empty());
+        match estimator.estimate() {
+            Ok(chain) => {
+                let mut edges = 0usize;
+                for from in chain.states() {
+                    for to in chain.states() {
+                        let p = chain.transition_probability(from, to).unwrap();
+                        if let Some(&r) = reconstructed.get(&(*from, *to)) {
+                            prop_assert_eq!(r.to_bits(), p.to_bits());
+                            edges += 1;
+                        } else {
+                            // Unobserved pairs carry no delta; absorbing
+                            // states report an implicit self-loop.
+                            prop_assert!(
+                                p == 0.0 || (*from == *to && p == 1.0),
+                                "missing delta for {} -> {} = {}", from, to, p
+                            );
+                        }
+                    }
+                }
+                prop_assert_eq!(edges, reconstructed.len());
+            }
+            Err(_) => prop_assert!(reconstructed.is_empty()),
+        }
+    }
+
+    /// Ingesting trace-by-trace and all-at-once agree with each other (the
+    /// increment boundaries above are coarse; this pins the finest split).
+    #[test]
+    fn per_trace_ingestion_matches_bulk(traces in trace_set()) {
+        let mut one_by_one = StreamingEstimator::new();
+        for t in &traces {
+            one_by_one.observe(t);
+        }
+        let mut bulk = StreamingEstimator::new();
+        bulk.observe_all(traces.iter());
+        prop_assert_eq!(one_by_one.traces_ingested(), bulk.traces_ingested());
+        prop_assert_eq!(one_by_one.transitions_observed(), bulk.transitions_observed());
+        if let (Ok(a), Ok(b)) = (one_by_one.estimate(), bulk.estimate()) {
+            assert_chains_bitwise(&a, &b);
+        }
+    }
+}
