@@ -273,6 +273,26 @@ fn check_record(name: &str, text: &str) -> Vec<String> {
         );
         require_bools(&fields, &["acceptance_met"], &mut problems);
     }
+    // The serve record must carry both sides' throughput, the headline
+    // warm-vs-cold speedup, and both verdicts (the speedup is only
+    // meaningful when the daemon's answers are bitwise the cold
+    // pipeline's).
+    if expected_scenario == "serve" {
+        require_numbers(
+            &fields,
+            &[
+                "warm_requests_per_sec",
+                "cold_invocations_per_sec",
+                "speedup_warm_daemon",
+            ],
+            &mut problems,
+        );
+        require_bools(
+            &fields,
+            &["acceptance_met", "bitwise_identical"],
+            &mut problems,
+        );
+    }
     problems
 }
 
@@ -465,5 +485,37 @@ mod tests {
             "acceptance_met": true
         }"#;
         assert!(check_record("BENCH_staged_drivers.json", complete).is_empty());
+    }
+
+    #[test]
+    fn serve_record_requires_throughput_and_verdicts() {
+        let text = r#"{
+            "scenario": "serve",
+            "recorded": "2026-08-08",
+            "warm_requests_per_sec": 73000.0,
+            "speedup_warm_daemon": "huge",
+            "acceptance_met": true
+        }"#;
+        let problems = check_record("BENCH_serve.json", text);
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("`cold_invocations_per_sec`") && p.contains("missing")));
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("`speedup_warm_daemon` is not a number")));
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("`bitwise_identical`") && p.contains("missing")));
+
+        let complete = r#"{
+            "scenario": "serve",
+            "recorded": "2026-08-08",
+            "warm_requests_per_sec": 73000.0,
+            "cold_invocations_per_sec": 128.0,
+            "speedup_warm_daemon": 573.0,
+            "bitwise_identical": true,
+            "acceptance_met": true
+        }"#;
+        assert!(check_record("BENCH_serve.json", complete).is_empty());
     }
 }

@@ -1,0 +1,201 @@
+//! The warm-daemon acceptance race: repeated reliability queries against a
+//! resident `archrel-serve` daemon vs paying the full cold pipeline per
+//! query, on the 1024-state chain scenario.
+//!
+//! This is the number the daemon exists for. A one-shot CLI invocation
+//! re-parses the model, re-compiles its solve plans, and evaluates — every
+//! time, even though nothing changed between queries. The daemon keeps the
+//! parsed catalog entry, the compiled plans, and the value cache resident,
+//! so a repeated query costs one socket roundtrip plus a cache hit. The
+//! cold side here is deliberately conservative: it is the in-process
+//! pipeline (parse + fresh caches + compile + evaluate) *without* the
+//! process spawn a real CLI invocation would add on top.
+//!
+//! Every warm response is asserted bitwise-identical to the cold
+//! evaluation before any timing is reported — the JSON number path uses
+//! Rust's shortest-round-trip `f64` formatting, so the wire does not cost
+//! precision.
+//!
+//! Writes `results/serve.md` and machine-readable `BENCH_serve.json`
+//! (root + `results/` copies), then prints the markdown.
+//!
+//! Run with: `cargo run --release -p archrel-bench --bin exp_serve`
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use archrel_bench::record::{BenchRecord, JsonValue as Rec};
+use archrel_bench::scenarios::{synthetic_flow_assembly, SyntheticTopology};
+use archrel_core::{EvalOptions, Evaluator, PlanCache, SolverPolicy};
+use archrel_dsl::{parse_assembly, print_assembly};
+use archrel_expr::Bindings;
+use archrel_serve::client::{Client, Response};
+use archrel_serve::json::JsonValue;
+use archrel_serve::server::{ServeConfig, Server};
+
+const STATES: usize = 1024;
+const STEP_PFAIL: f64 = 1e-5;
+const COLD_REPEATS: usize = 20;
+const WARM_REQUESTS: usize = 400;
+const ACCEPTANCE_MIN_SPEEDUP: f64 = 20.0;
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+fn options() -> EvalOptions {
+    // Force the compiled-plan path on both sides: the cold pipeline pays
+    // the compile, the warm daemon replays it out of the shared cache.
+    EvalOptions {
+        solver: SolverPolicy::Compiled,
+        ..EvalOptions::default()
+    }
+}
+
+/// One full cold invocation: parse the DSL source, build an evaluator with
+/// fresh caches, compile, evaluate. Returns the answer so the bits can be
+/// compared against the daemon's.
+fn cold_query(source: &str) -> f64 {
+    let assembly = parse_assembly(source).expect("bench model parses");
+    let evaluator = Evaluator::with_plan_cache(&assembly, options(), Arc::new(PlanCache::new()));
+    evaluator
+        .failure_probability(&"app".into(), &Bindings::new())
+        .expect("bench model evaluates")
+        .value()
+}
+
+fn main() {
+    let assembly = synthetic_flow_assembly(SyntheticTopology::Chain, STATES, STEP_PFAIL)
+        .expect("chain scenario builds");
+    let source = print_assembly(&assembly).expect("chain scenario prints");
+
+    // --- Cold side: the full per-invocation pipeline, timed end to end.
+    let expected = cold_query(&source);
+    let mut cold_times = Vec::with_capacity(COLD_REPEATS);
+    for _ in 0..COLD_REPEATS {
+        let started = Instant::now();
+        let got = std::hint::black_box(cold_query(&source));
+        cold_times.push(started.elapsed());
+        assert_eq!(got.to_bits(), expected.to_bits(), "cold pipeline drifted");
+    }
+    let cold = median(cold_times);
+
+    // --- Warm side: a resident daemon on a Unix socket, one model load,
+    // then repeated queries over one connection.
+    let sock = std::env::temp_dir().join(format!("archrel-exp-serve-{}.sock", std::process::id()));
+    let config = ServeConfig {
+        unix: Some(sock.clone()),
+        eval_options: options(),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(config).expect("bind bench daemon");
+    let runner = std::thread::spawn(move || server.run().expect("daemon runs"));
+    let mut client = Client::connect_unix(&sock).expect("connect to bench daemon");
+
+    let load = format!(
+        r#"{{"op":"load","name":"bench","source":{}}}"#,
+        archrel_serve::json::write(&JsonValue::String(source.clone()))
+    );
+    let loaded = Response::from_json(&client.roundtrip(&load).expect("load roundtrip"))
+        .expect("load envelope");
+    assert!(
+        loaded.ok,
+        "daemon rejected the bench model: {:?}",
+        loaded.error_message
+    );
+
+    let predict = r#"{"op":"predict","assembly":"bench","service":"app"}"#;
+    let warm_pfail = |client: &mut Client| -> f64 {
+        let v = client.roundtrip(predict).expect("predict roundtrip");
+        let r = Response::from_json(&v).expect("predict envelope");
+        assert!(r.ok, "daemon predict failed: {:?}", r.error_message);
+        r.result
+            .as_ref()
+            .and_then(JsonValue::as_object)
+            .and_then(|o| o.get("pfail"))
+            .and_then(JsonValue::as_f64)
+            .expect("predict result carries pfail")
+    };
+
+    // First query compiles the plan into the daemon's cache; it is the
+    // daemon's cold start, not its steady state, so it is not timed.
+    let first = warm_pfail(&mut client);
+    assert_eq!(
+        first.to_bits(),
+        expected.to_bits(),
+        "daemon answer is not bitwise the cold pipeline's"
+    );
+    let mut bitwise_identical = true;
+    let warm_started = Instant::now();
+    for _ in 0..WARM_REQUESTS {
+        let p = warm_pfail(&mut client);
+        bitwise_identical &= p.to_bits() == expected.to_bits();
+    }
+    let warm_total = warm_started.elapsed();
+    let warm = warm_total / WARM_REQUESTS as u32;
+    assert!(bitwise_identical, "a warm response diverged bitwise");
+
+    let bye = Response::from_json(&client.roundtrip(r#"{"op":"shutdown"}"#).expect("shutdown"))
+        .expect("shutdown envelope");
+    assert!(bye.ok);
+    runner.join().expect("daemon thread joins");
+
+    let cold_per_sec = 1e9 / cold.as_nanos() as f64;
+    let warm_per_sec = 1e9 / warm.as_nanos().max(1) as f64;
+    let speedup = cold.as_nanos() as f64 / warm.as_nanos().max(1) as f64;
+    let met = speedup >= ACCEPTANCE_MIN_SPEEDUP && bitwise_identical;
+
+    let markdown = format!(
+        "# Warm-process daemon (`cargo run --release -p archrel-bench --bin exp_serve`)\n\n\
+Recorded 2026-08-08 on the CI container (Linux, 1 CPU core, release profile).\n\n\
+Workload: the {STATES}-state chain scenario (`synthetic_flow_assembly`, step \
+pfail {STEP_PFAIL:e}), solver forced to `compiled` on both sides. **Cold** is \
+the full per-invocation pipeline — parse the printed DSL source, build an \
+evaluator over fresh caches, compile the solve plan, evaluate — timed \
+{COLD_REPEATS}×, median reported (no process-spawn cost is charged, so the \
+cold side is a *lower* bound on what a real one-shot CLI run pays). **Warm** \
+is a resident `archrel serve` daemon on a Unix socket answering the identical \
+`predict` over one connection, mean over {WARM_REQUESTS} requests after one \
+untimed warmup query (the daemon's own cold start). Every warm response is \
+asserted bitwise-identical to the cold answer.\n\n\
+| side | per query | queries/s |\n\
+|------|----------:|----------:|\n\
+| cold pipeline (parse + compile + evaluate) | {cold_us:.1} µs | {cold_per_sec:.0} |\n\
+| warm daemon (socket roundtrip + caches) | {warm_us:.1} µs | {warm_per_sec:.0} |\n\n\
+Speedup: **{speedup:.0}×**; responses bitwise-identical: **{bitwise_identical}**.\n\n\
+The warm request never re-parses and never re-compiles: the catalog holds the \
+parsed assembly behind an `Arc`, the structure-keyed plan cache holds the \
+compiled solve plan, and the repeated identical query is a value-cache hit — \
+the remaining cost is one line-delimited JSON roundtrip.\n\n\
+## Acceptance\n\n\
+The ≥{ACCEPTANCE_MIN_SPEEDUP:.0}× warm-vs-cold bar at {STATES} states with \
+bitwise-equal responses is {verdict}.\n",
+        cold_us = cold.as_nanos() as f64 / 1e3,
+        warm_us = warm.as_nanos() as f64 / 1e3,
+        verdict = if met { "met" } else { "NOT met" },
+    );
+
+    let record = BenchRecord::new("serve", "2026-08-08")
+        .field("states", Rec::Int(STATES as u128))
+        .field("step_pfail", Rec::Num(STEP_PFAIL))
+        .field("cold_repeats", Rec::Int(COLD_REPEATS as u128))
+        .field("warm_requests", Rec::Int(WARM_REQUESTS as u128))
+        .field("cold_ns", Rec::Int(cold.as_nanos()))
+        .field("warm_ns", Rec::Int(warm.as_nanos()))
+        .field("cold_invocations_per_sec", Rec::Num(cold_per_sec.round()))
+        .field("warm_requests_per_sec", Rec::Num(warm_per_sec.round()))
+        .field(
+            "speedup_warm_daemon",
+            Rec::Num((speedup * 100.0).round() / 100.0),
+        )
+        .field("bitwise_identical", Rec::Bool(bitwise_identical))
+        .field("acceptance_min_speedup", Rec::Num(ACCEPTANCE_MIN_SPEEDUP))
+        .field("acceptance_met", Rec::Bool(met));
+
+    std::fs::create_dir_all("results").expect("can create results/");
+    std::fs::write("results/serve.md", &markdown).expect("can write results/serve.md");
+    let json_path = record.write().expect("can write BENCH_serve.json");
+    print!("{markdown}");
+    println!("# wrote results/serve.md and {}", json_path.display());
+}

@@ -31,7 +31,7 @@ impl fmt::Display for CliError {
 impl std::error::Error for CliError {}
 
 impl CliError {
-    fn new(msg: impl Into<String>) -> CliError {
+    pub(crate) fn new(msg: impl Into<String>) -> CliError {
         CliError(msg.into())
     }
 }
@@ -77,6 +77,9 @@ commands:
              parameters bound (--service, --bind, --delta-threshold)
   dot        Graphviz export (--service for a flow, omit for the assembly)
   fmt        canonical pretty-printed form of the document
+  serve      warm-process daemon answering line-delimited JSON requests over
+             Unix/TCP sockets, amortizing plan compilation across requests
+             (`archrel serve --help` for its options)
 
 common options:
   --traces FILE   call traces for stream: one session per line, whitespace-
@@ -467,6 +470,10 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
                 ));
             }
         }
+    }
+    // `serve` has its own argument shape (no positional file) and parser.
+    if command == "serve" {
+        return crate::serve_cmd::cmd_serve(&args[1..], out);
     }
     let opts = parse_options(&args[1..])?;
     match command.as_str() {

@@ -12,6 +12,7 @@
 //!                   [--steps N] [--log] [--bind k=v ...]
 //! archrel dot       <file.arch> [--service S]
 //! archrel fmt       <file.arch>
+//! archrel serve     [--unix PATH] [--tcp ADDR] [--catalog NAME=FILE ...]
 //! ```
 //!
 //! Assemblies are written in the `archrel-dsl` description language; see the
@@ -20,6 +21,7 @@
 use std::process::ExitCode;
 
 mod cli;
+mod serve_cmd;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

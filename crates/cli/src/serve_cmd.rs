@@ -1,0 +1,137 @@
+//! The `archrel serve` subcommand: boot the warm-process daemon.
+//!
+//! `serve` has its own argument shape (no `<file.arch>` positional — models
+//! arrive over the wire or via `--catalog name=file` preloads), so it is
+//! dispatched before the common option parser.
+
+use std::io::Write;
+
+use archrel_serve::{ServeConfig, Server};
+
+use crate::cli::CliError;
+
+pub(crate) const SERVE_USAGE: &str = "usage: archrel serve [options]
+
+options:
+  --unix PATH          listen on a Unix socket at PATH
+  --tcp ADDR           listen on a TCP address (e.g. 127.0.0.1:7878; port 0
+                       picks a free port, announced on stdout)
+  --catalog NAME=FILE  preload FILE as assembly NAME before serving
+                       (repeatable)
+  --workers N          evaluation worker threads
+                       (default: min(cores, 8); env ARCHREL_SERVE_WORKERS)
+  --queue-depth N      admission queue capacity; a full queue answers
+                       `overloaded` (default: 256; env
+                       ARCHREL_SERVE_QUEUE_DEPTH)
+  --deadline-ms N      per-request deadline in milliseconds, stamped at
+                       admission (default: 10000; env
+                       ARCHREL_SERVE_DEADLINE_MS)
+  --max-line-bytes N   request line cap; longer lines answer
+                       `line_too_long` (default: 4194304; env
+                       ARCHREL_SERVE_MAX_LINE_BYTES)
+  --artifact-dir DIR   boot the shared plan cache read-through on a
+                       persistent artifact store (read-only; a missing
+                       directory is a cold boot)
+
+at least one of --unix / --tcp is required; flags take precedence over the
+ARCHREL_SERVE_* environment variables. The daemon speaks one JSON object
+per line in both directions — see DESIGN.md for the protocol grammar.";
+
+/// Parses `serve` arguments, boots the daemon, and blocks until a client
+/// sends the `shutdown` op.
+pub(crate) fn cmd_serve(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        writeln!(out, "{SERVE_USAGE}")?;
+        return Ok(());
+    }
+    let mut config = ServeConfig::default().apply_env().map_err(CliError::new)?;
+    let mut preloads: Vec<(String, String)> = Vec::new();
+    let mut i = 0;
+    let next_value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, CliError> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| CliError::new(format!("`{flag}` needs a value")))
+    };
+    let positive = |s: &str, flag: &str| -> Result<u64, CliError> {
+        s.parse::<u64>().ok().filter(|&v| v > 0).ok_or_else(|| {
+            CliError::new(format!("`{flag}`: expected a positive integer, got `{s}`"))
+        })
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--unix" => config.unix = Some(next_value(args, &mut i, "--unix")?.into()),
+            "--tcp" => config.tcp = Some(next_value(args, &mut i, "--tcp")?),
+            "--catalog" => {
+                let kv = next_value(args, &mut i, "--catalog")?;
+                let (name, file) = kv.split_once('=').ok_or_else(|| {
+                    CliError::new(format!("`--catalog {kv}`: expected NAME=FILE"))
+                })?;
+                preloads.push((name.to_string(), file.to_string()));
+            }
+            "--workers" => {
+                config.workers =
+                    positive(&next_value(args, &mut i, "--workers")?, "--workers")? as usize;
+            }
+            "--queue-depth" => {
+                config.queue_depth =
+                    positive(&next_value(args, &mut i, "--queue-depth")?, "--queue-depth")?
+                        as usize;
+            }
+            "--deadline-ms" => {
+                config.deadline = std::time::Duration::from_millis(positive(
+                    &next_value(args, &mut i, "--deadline-ms")?,
+                    "--deadline-ms",
+                )?);
+            }
+            "--max-line-bytes" => {
+                config.max_line_bytes = positive(
+                    &next_value(args, &mut i, "--max-line-bytes")?,
+                    "--max-line-bytes",
+                )? as usize;
+            }
+            "--artifact-dir" => {
+                config.artifact_dir = Some(next_value(args, &mut i, "--artifact-dir")?.into());
+            }
+            other => {
+                return Err(CliError::new(format!(
+                    "unknown serve option `{other}`\n\n{SERVE_USAGE}"
+                )))
+            }
+        }
+        i += 1;
+    }
+    if config.unix.is_none() && config.tcp.is_none() {
+        return Err(CliError::new(format!(
+            "serve needs `--unix PATH` and/or `--tcp ADDR`\n\n{SERVE_USAGE}"
+        )));
+    }
+
+    let server = Server::bind(config).map_err(|e| CliError::new(format!("cannot bind: {e}")))?;
+    for (name, file) in &preloads {
+        let source = std::fs::read_to_string(file)
+            .map_err(|e| CliError::new(format!("cannot read `{file}`: {e}")))?;
+        let (entry, _) = server
+            .catalog()
+            .load(name, &source)
+            .map_err(|e| CliError::new(format!("`--catalog {name}={file}`: {e}")))?;
+        writeln!(out, "loaded {name} ({} services)", entry.assembly.len())?;
+    }
+    if let Some(path) = server.unix_path() {
+        writeln!(out, "listening on unix://{}", path.display())?;
+    }
+    if let Some(addr) = server.tcp_addr() {
+        writeln!(out, "listening on tcp://{addr}")?;
+    }
+    out.flush()?;
+
+    let summary = server
+        .run()
+        .map_err(|e| CliError::new(format!("serve failed: {e}")))?;
+    writeln!(
+        out,
+        "served {} requests ({} overloaded, {} timed out)",
+        summary.requests, summary.rejected_overload, summary.timed_out
+    )?;
+    Ok(())
+}

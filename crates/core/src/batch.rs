@@ -127,6 +127,16 @@ impl<'a> BatchEvaluator<'a> {
         self
     }
 
+    /// Attaches a cooperative cancellation token to the underlying
+    /// evaluator (see [`Evaluator::with_cancellation`]): every worker
+    /// checks it, so one tripped token aborts the whole sweep with typed
+    /// per-query errors.
+    #[must_use]
+    pub fn with_cancellation(mut self, token: crate::CancelToken) -> Self {
+        self.evaluator = self.evaluator.with_cancellation(token);
+        self
+    }
+
     /// The underlying shared evaluator.
     pub fn evaluator(&self) -> &Evaluator<'a> {
         &self.evaluator

@@ -73,6 +73,17 @@ pub enum CoreError {
         /// The service that tried to register it again.
         second: String,
     },
+    /// A cooperative deadline check tripped mid-evaluation: the wall-clock
+    /// budget attached to the evaluator's
+    /// [`crate::CancelToken`] ran out before the result was ready.
+    DeadlineExceeded {
+        /// The budget that was exceeded, in milliseconds (0 when the token
+        /// carried no recorded budget).
+        budget_ms: u64,
+    },
+    /// The evaluation was cancelled through its [`crate::CancelToken`]
+    /// before completing.
+    Cancelled,
     /// An underlying model operation failed.
     Model(ModelError),
     /// An underlying Markov-chain operation failed.
@@ -128,6 +139,10 @@ impl fmt::Display for CoreError {
                 "usage parameter `{param}` registered by both `{first}` and `{second}`; \
                  delta routing requires a unique owner"
             ),
+            CoreError::DeadlineExceeded { budget_ms } => {
+                write!(f, "evaluation deadline of {budget_ms} ms exceeded")
+            }
+            CoreError::Cancelled => write!(f, "evaluation cancelled"),
             CoreError::Model(e) => write!(f, "model error: {e}"),
             CoreError::Markov(e) => write!(f, "markov error: {e}"),
             CoreError::Expr(e) => write!(f, "expression error: {e}"),

@@ -27,6 +27,7 @@ use archrel_store::ArtifactStore;
 use parking_lot::RwLock;
 
 use crate::augment::{augmented_chain, AugmentedState};
+use crate::cancel::CancelToken;
 use crate::failprob::{state_failure_probability, RequestFailure};
 pub use crate::fixedpoint::FixedPointMode;
 use crate::fixedpoint::FixedPointSolver;
@@ -468,6 +469,76 @@ impl CacheStats {
             answered as f64 / total as f64
         }
     }
+
+    /// Adds every counter of `other` into `self` (saturating).
+    ///
+    /// This is the aggregation primitive for callers that sum activity
+    /// across many evaluators — the `archrel serve` daemon folding
+    /// per-request [`Evaluator::local_stats`] snapshots into one
+    /// daemon-wide view. Merge **local** snapshots plus the shared
+    /// [`PlanCache::stats`] exactly once; merging full
+    /// [`Evaluator::cache_stats`] snapshots would double-count the shared
+    /// plan-cache counters, which every evaluator folds in.
+    pub fn merge(&mut self, other: &CacheStats) {
+        let CacheStats {
+            hits,
+            misses,
+            solves,
+            solve_nanos,
+            plan_hits,
+            plan_misses,
+            rank1_solves,
+            full_solves,
+            block_points,
+            block_flushes,
+            extract_nanos,
+            stage_nanos,
+            replay_nanos,
+            plan_evictions,
+            memo_hits,
+            memo_misses,
+            pin_hits,
+            programs_compiled,
+            fixed_point_sweeps,
+            aitken_accels,
+            aitken_fallbacks,
+            program_loop_sccs,
+            scc_iterations,
+            store_hits,
+            store_misses,
+            store_validate_rejects,
+            store_writes,
+        } = *other;
+        self.hits = self.hits.saturating_add(hits);
+        self.misses = self.misses.saturating_add(misses);
+        self.solves = self.solves.saturating_add(solves);
+        self.solve_nanos = self.solve_nanos.saturating_add(solve_nanos);
+        self.plan_hits = self.plan_hits.saturating_add(plan_hits);
+        self.plan_misses = self.plan_misses.saturating_add(plan_misses);
+        self.rank1_solves = self.rank1_solves.saturating_add(rank1_solves);
+        self.full_solves = self.full_solves.saturating_add(full_solves);
+        self.block_points = self.block_points.saturating_add(block_points);
+        self.block_flushes = self.block_flushes.saturating_add(block_flushes);
+        self.extract_nanos = self.extract_nanos.saturating_add(extract_nanos);
+        self.stage_nanos = self.stage_nanos.saturating_add(stage_nanos);
+        self.replay_nanos = self.replay_nanos.saturating_add(replay_nanos);
+        self.plan_evictions = self.plan_evictions.saturating_add(plan_evictions);
+        self.memo_hits = self.memo_hits.saturating_add(memo_hits);
+        self.memo_misses = self.memo_misses.saturating_add(memo_misses);
+        self.pin_hits = self.pin_hits.saturating_add(pin_hits);
+        self.programs_compiled = self.programs_compiled.saturating_add(programs_compiled);
+        self.fixed_point_sweeps = self.fixed_point_sweeps.saturating_add(fixed_point_sweeps);
+        self.aitken_accels = self.aitken_accels.saturating_add(aitken_accels);
+        self.aitken_fallbacks = self.aitken_fallbacks.saturating_add(aitken_fallbacks);
+        self.program_loop_sccs = self.program_loop_sccs.saturating_add(program_loop_sccs);
+        self.scc_iterations = self.scc_iterations.saturating_add(scc_iterations);
+        self.store_hits = self.store_hits.saturating_add(store_hits);
+        self.store_misses = self.store_misses.saturating_add(store_misses);
+        self.store_validate_rejects = self
+            .store_validate_rejects
+            .saturating_add(store_validate_rejects);
+        self.store_writes = self.store_writes.saturating_add(store_writes);
+    }
 }
 
 /// Internal atomic counters behind [`CacheStats`]; relaxed ordering is
@@ -563,6 +634,14 @@ pub struct PlanCache {
     extract_nanos: AtomicU64,
     stage_nanos: AtomicU64,
     replay_nanos: AtomicU64,
+    /// Group-atomicity gate for multi-counter updates: writers of a counter
+    /// *group* (e.g. [`PlanCache::record_block`]'s four related adds) hold a
+    /// read guard, while [`PlanCache::stats`] snapshots under the write
+    /// guard — so a snapshot never observes a torn group (block flushes
+    /// without their points, rank-1 solves without their flush). Individual
+    /// counters stay plain relaxed atomics; the gate is only contended for
+    /// the duration of a handful of `fetch_add`s.
+    stats_gate: RwLock<()>,
     /// Persistent artifact tier: archived plans are loaded instead of
     /// compiled, and fresh compilations are published back.
     store: Option<Arc<ArtifactStore>>,
@@ -616,6 +695,7 @@ impl PlanCache {
             extract_nanos: AtomicU64::new(0),
             stage_nanos: AtomicU64::new(0),
             replay_nanos: AtomicU64::new(0),
+            stats_gate: RwLock::new(()),
             store: ArtifactStore::from_env(),
         }
     }
@@ -786,7 +866,12 @@ impl PlanCache {
     }
 
     /// Folds one block flush's per-lane solve kinds into the counters.
+    ///
+    /// The whole group lands under one `stats_gate` read guard so a
+    /// concurrent [`PlanCache::stats`] snapshot sees the flush together
+    /// with its points and solve kinds, never a torn mixture.
     fn record_block(&self, kinds: BlockSolveKinds) {
+        let _group = self.stats_gate.read();
         self.rank1_solves
             .fetch_add(kinds.tape + kinds.rank1, Ordering::Relaxed);
         self.full_solves.fetch_add(kinds.full, Ordering::Relaxed);
@@ -798,6 +883,7 @@ impl PlanCache {
     /// Folds blocked-pipeline phase attribution (parameter extraction and
     /// plan replay nanoseconds) into the counters.
     fn record_phase_nanos(&self, extract: u64, replay: u64) {
+        let _group = self.stats_gate.read();
         if extract > 0 {
             self.extract_nanos.fetch_add(extract, Ordering::Relaxed);
         }
@@ -819,6 +905,12 @@ impl PlanCache {
     /// evaluators — the sweep drivers, the benches — read the sweep-wide
     /// phase split here; [`Evaluator::cache_stats`] folds the same counters
     /// into its per-evaluator view.
+    ///
+    /// The snapshot is *group-atomic*: multi-counter update groups (one
+    /// block flush's points + flush + solve kinds, one pipeline's phase
+    /// nanoseconds) are excluded for the duration of the read, so related
+    /// counters are always mutually consistent — the invariant the daemon's
+    /// `stats` op relies on when aggregating across concurrent requests.
     pub fn stats(&self) -> CacheStats {
         let mut stats = CacheStats::default();
         self.fold_into(&mut stats);
@@ -826,6 +918,10 @@ impl PlanCache {
     }
 
     fn fold_into(&self, stats: &mut CacheStats) {
+        // Write guard: waits out in-flight counter groups and blocks new
+        // ones while the snapshot loads, making the group updates atomic
+        // with respect to this read (seqlock-style, but blocking).
+        let _snapshot = self.stats_gate.write();
         stats.plan_hits = self.plan_hits.load(Ordering::Relaxed);
         stats.plan_misses = self.plan_misses.load(Ordering::Relaxed);
         stats.rank1_solves = self.rank1_solves.load(Ordering::Relaxed);
@@ -966,7 +1062,7 @@ struct Ctx<'e> {
 pub struct Evaluator<'a> {
     assembly: &'a Assembly,
     options: EvalOptions,
-    cache: RwLock<HashMap<CacheKey, Probability>>,
+    values: Arc<ValueCache>,
     counters: CacheCounters,
     plans: Arc<PlanCache>,
     /// Compiled assembly programs (and their promotion bookkeeping), one
@@ -980,6 +1076,42 @@ pub struct Evaluator<'a> {
     /// store (publication happens once, after the first evaluation that
     /// pinned at least one plan).
     bundles_published: RwLock<HashSet<ServiceId>>,
+    /// Cooperative cancellation handle (see [`Evaluator::with_cancellation`]);
+    /// `None` means evaluations run to completion.
+    cancel: Option<CancelToken>,
+}
+
+/// A shareable `(service, resolved-parameter)` → [`Probability`] memo.
+///
+/// Unlike the structure-keyed [`PlanCache`], cached *values* bake the
+/// assembly's numbers in, so a `ValueCache` may only be shared across
+/// evaluators of the **same assembly content** — never across numeric
+/// variants. Long-lived hosts that build a short-lived [`Evaluator`] per
+/// request over one resident model (the `archrel serve` daemon's catalog
+/// entries) attach one shared cache per model version via
+/// [`Evaluator::with_value_cache`], so a repeated query is a memo hit
+/// instead of a fresh solve; a hot-swap allocates a fresh cache while the
+/// plan cache stays warm.
+#[derive(Debug, Default)]
+pub struct ValueCache {
+    memo: RwLock<HashMap<CacheKey, Probability>>,
+}
+
+impl ValueCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ValueCache::default()
+    }
+
+    /// Number of memoized `(service, parameter-fingerprint)` results.
+    pub fn len(&self) -> usize {
+        self.memo.read().len()
+    }
+
+    /// Whether nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 /// Program-promotion state of one target service.
@@ -1023,13 +1155,56 @@ impl<'a> Evaluator<'a> {
         Evaluator {
             assembly,
             options,
-            cache: RwLock::new(HashMap::new()),
+            values: Arc::new(ValueCache::new()),
             counters: CacheCounters::default(),
             plans,
             programs: RwLock::new(HashMap::new()),
             varied: RwLock::new(HashMap::new()),
             programs_compiled: AtomicU64::new(0),
             bundles_published: RwLock::new(HashSet::new()),
+            cancel: None,
+        }
+    }
+
+    /// Attaches a cooperative cancellation token: evaluations check it at
+    /// every composite-service resolution, every fixed-point sweep, and
+    /// every blocked sweep point, failing fast with the token's typed error
+    /// ([`crate::CoreError::Cancelled`] /
+    /// [`crate::CoreError::DeadlineExceeded`]) once it trips. The `archrel
+    /// serve` daemon uses this to enforce per-request deadlines without
+    /// killing worker threads.
+    pub fn with_cancellation(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The attached cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Attaches a shared value cache (see [`ValueCache`] for the sharing
+    /// contract: same assembly *content* only). Replaces this evaluator's
+    /// private memo, so results computed here are visible to every other
+    /// evaluator holding the same handle and vice versa.
+    #[must_use]
+    pub fn with_value_cache(mut self, values: Arc<ValueCache>) -> Self {
+        self.values = values;
+        self
+    }
+
+    /// The evaluator's value cache (clone the `Arc` to share it with other
+    /// evaluators of the same assembly content).
+    pub fn value_cache(&self) -> &Arc<ValueCache> {
+        &self.values
+    }
+
+    /// Fails with the token's typed error if cancellation has tripped.
+    #[inline]
+    fn check_cancel(&self) -> Result<()> {
+        match &self.cancel {
+            Some(token) => token.check(),
+            None => Ok(()),
         }
     }
 
@@ -1067,10 +1242,34 @@ impl<'a> Evaluator<'a> {
         stats
     }
 
+    /// Like [`Evaluator::cache_stats`] but restricted to counters private
+    /// to this evaluator — the value-cache hits/misses/solves and the
+    /// per-program memo counters — *without* folding in the (possibly
+    /// shared) [`PlanCache`]. Aggregators summing many evaluators over one
+    /// shared plan cache (the `archrel serve` daemon's `stats` op) merge
+    /// these local snapshots and add [`PlanCache::stats`] exactly once;
+    /// summing [`Evaluator::cache_stats`] instead would count the shared
+    /// plan-cache activity once per evaluator.
+    pub fn local_stats(&self) -> CacheStats {
+        let mut stats = self.counters.snapshot();
+        stats.programs_compiled = self.programs_compiled.load(Ordering::Relaxed);
+        for slot in self.programs.read().values() {
+            if let ProgramSlot::Ready(program) = slot {
+                let (memo_hits, memo_misses, pin_hits) = program.counter_snapshot();
+                stats.memo_hits += memo_hits;
+                stats.memo_misses += memo_misses;
+                stats.pin_hits += pin_hits;
+                stats.program_loop_sccs += program.loop_scc_count() as u64;
+                stats.scc_iterations += program.scc_iteration_total();
+            }
+        }
+        stats
+    }
+
     /// Number of `(service, parameter-fingerprint)` results currently held
     /// by the shared cache.
     pub fn cache_len(&self) -> usize {
-        self.cache.read().len()
+        self.values.memo.read().len()
     }
 
     /// Declares that upcoming evaluations of `service` will only vary the
@@ -1190,15 +1389,16 @@ impl<'a> Evaluator<'a> {
         service: &ServiceId,
         env: &Bindings,
     ) -> Result<Probability> {
+        self.check_cancel()?;
         let key: CacheKey = (service.clone(), env.cache_key());
-        if let Some(p) = self.cache.read().get(&key) {
+        if let Some(p) = self.values.memo.read().get(&key) {
             self.counters.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(*p);
         }
         self.counters.misses.fetch_add(1, Ordering::Relaxed);
         let p = program.evaluate(self, env)?;
         self.publish_program_bundle(service, program);
-        self.cache.write().insert(key, p);
+        self.values.memo.write().insert(key, p);
         Ok(p)
     }
 
@@ -1286,7 +1486,7 @@ impl<'a> Evaluator<'a> {
                 };
                 let p = self.eval_rec(service, env, &mut ctx)?;
                 // All values computed without estimates are exact: persist.
-                self.cache.write().extend(ctx.memo);
+                self.values.memo.write().extend(ctx.memo);
                 Ok(p)
             }
             CycleMode::FixedPoint {
@@ -1348,6 +1548,7 @@ impl<'a> Evaluator<'a> {
         let mut solver: FixedPointSolver<CacheKey> =
             FixedPointSolver::new(self.options.fixed_point, max_iterations, tolerance);
         for _ in 0..max_iterations {
+            self.check_cancel()?;
             let (top, cycle_keys, sweep_values) = {
                 let mut ctx = Ctx {
                     stack: Vec::new(),
@@ -1363,7 +1564,7 @@ impl<'a> Evaluator<'a> {
                 // No recursion anywhere below: the value is exact.
                 solver.note_exact_sweep();
                 self.note_fixed_point(&solver);
-                self.cache.write().extend(sweep_values);
+                self.values.memo.write().extend(sweep_values);
                 return Ok((top, solver));
             }
             let converged = solver.record_sweep(
@@ -1397,7 +1598,7 @@ impl<'a> Evaluator<'a> {
             }
         }
         if ctx.estimates.is_none() {
-            if let Some(p) = self.cache.read().get(&key) {
+            if let Some(p) = self.values.memo.read().get(&key) {
                 self.counters.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(*p);
             }
@@ -1442,6 +1643,7 @@ impl<'a> Evaluator<'a> {
         env: &Bindings,
         ctx: &mut Ctx<'_>,
     ) -> Result<Probability> {
+        self.check_cancel()?;
         match self.assembly.require(service)? {
             Service::Simple(simple) => {
                 let demand = env.get(simple.formal_param()).ok_or_else(|| {
@@ -1742,6 +1944,10 @@ impl<'a> Evaluator<'a> {
         let mut dups: Vec<(usize, usize)> = Vec::new();
         let mut deferred: Vec<usize> = Vec::new();
         for (i, env) in envs.iter().enumerate() {
+            if let Err(e) = self.check_cancel() {
+                results[i] = Some(Err(e));
+                continue;
+            }
             if let Some(&j) = first_of.get(&env.cache_key()) {
                 // Duplicate of a deferred point: the shared cache only
                 // learns the value at flush time, but it is the same number
@@ -1777,7 +1983,8 @@ impl<'a> Evaluator<'a> {
                 .map(|p| p.complement())
                 .map_err(Into::into);
             if let Ok(p) = &r {
-                self.cache
+                self.values
+                    .memo
                     .write()
                     .insert((service.clone(), envs[i].cache_key()), *p);
             }
@@ -1824,7 +2031,7 @@ impl<'a> Evaluator<'a> {
             ));
         }
         let key: CacheKey = (service.clone(), env.cache_key());
-        if let Some(p) = self.cache.read().get(&key) {
+        if let Some(p) = self.values.memo.read().get(&key) {
             self.counters.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(BlockedOutcome::Immediate(*p));
         }
@@ -1882,9 +2089,9 @@ impl<'a> Evaluator<'a> {
             }
         };
         // Everything resolved below the top level is exact: persist it.
-        self.cache.write().extend(ctx.memo);
+        self.values.memo.write().extend(ctx.memo);
         if let BlockedOutcome::Immediate(p) = &outcome {
-            self.cache.write().insert(key, *p);
+            self.values.memo.write().insert(key, *p);
         }
         Ok(outcome)
     }
@@ -3136,5 +3343,168 @@ mod tests {
         for v in values {
             assert_eq!(want.value().to_bits(), v.value().to_bits());
         }
+    }
+
+    #[test]
+    fn cancelled_evaluator_fails_with_typed_error() {
+        let a = single_state_assembly(&[0.1], CompletionModel::And, DependencyModel::Independent);
+        let token = crate::CancelToken::new();
+        let eval = Evaluator::new(&a).with_cancellation(token.clone());
+        // Live token: evaluation proceeds normally.
+        assert!(eval
+            .failure_probability(&"top".into(), &Bindings::new())
+            .is_ok());
+        token.cancel();
+        // The value cache would answer the repeated query, but the program
+        // entry checks the token first: tripped wins.
+        let err = eval
+            .failure_probability(&"top".into(), &Bindings::new())
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Cancelled), "got {err:?}");
+    }
+
+    #[test]
+    fn expired_deadline_fails_evaluation_with_typed_error() {
+        let a = single_state_assembly(&[0.1], CompletionModel::And, DependencyModel::Independent);
+        let token = crate::CancelToken::with_deadline(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(2));
+        let eval = Evaluator::new(&a).with_cancellation(token);
+        let err = eval
+            .failure_probability(&"top".into(), &Bindings::new())
+            .unwrap_err();
+        assert!(
+            matches!(err, CoreError::DeadlineExceeded { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn cache_stats_merge_sums_every_counter() {
+        let mut a = CacheStats {
+            hits: 1,
+            block_points: 8,
+            block_flushes: 1,
+            store_writes: 2,
+            ..CacheStats::default()
+        };
+        let b = CacheStats {
+            hits: 2,
+            misses: 3,
+            block_points: 16,
+            block_flushes: 2,
+            memo_hits: 5,
+            store_writes: u64::MAX, // merge saturates, never wraps
+            ..CacheStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.hits, 3);
+        assert_eq!(a.misses, 3);
+        assert_eq!(a.block_points, 24);
+        assert_eq!(a.block_flushes, 3);
+        assert_eq!(a.memo_hits, 5);
+        assert_eq!(a.store_writes, u64::MAX);
+    }
+
+    /// `local_stats` + one shared-cache fold must equal what a single
+    /// evaluator's `cache_stats` reports — the daemon's no-double-count
+    /// aggregation contract.
+    #[test]
+    fn local_stats_plus_shared_fold_matches_cache_stats() {
+        let a = single_state_assembly(&[0.1], CompletionModel::And, DependencyModel::Independent);
+        let plans = Arc::new(PlanCache::new());
+        let eval = Evaluator::with_plan_cache(&a, EvalOptions::default(), Arc::clone(&plans));
+        for _ in 0..3 {
+            eval.failure_probability(&"top".into(), &Bindings::new())
+                .unwrap();
+        }
+        let mut aggregated = eval.local_stats();
+        aggregated.merge(&plans.stats());
+        let direct = eval.cache_stats();
+        assert_eq!(aggregated, direct);
+    }
+
+    /// Regression (serve daemon stats op): `PlanCache::stats()` must never
+    /// observe a *torn* multi-counter group. Each `record_block` call adds
+    /// `LANES` points as tape solves plus one flush in four separate atomic
+    /// adds; without the stats gate a concurrent snapshot could see the
+    /// flush without its points (or vice versa). Hammer the group from
+    /// several threads while snapshotting and assert the group invariants
+    /// hold in every snapshot.
+    #[test]
+    fn plan_cache_stats_snapshot_is_group_atomic() {
+        const LANES: u64 = 8;
+        const WRITERS: usize = 4;
+        const FLUSHES_PER_WRITER: u64 = 2000;
+        let cache = PlanCache::new();
+        let live_writers = AtomicU64::new(WRITERS as u64);
+        std::thread::scope(|scope| {
+            for _ in 0..WRITERS {
+                scope.spawn(|| {
+                    for _ in 0..FLUSHES_PER_WRITER {
+                        cache.record_block(BlockSolveKinds {
+                            tape: LANES,
+                            rank1: 0,
+                            full: 0,
+                        });
+                    }
+                    live_writers.fetch_sub(1, Ordering::Relaxed);
+                });
+            }
+            scope.spawn(|| {
+                let mut snapshots = 0u64;
+                // Keep snapshotting while writers run, plus one final pass.
+                loop {
+                    let done = live_writers.load(Ordering::Relaxed) == 0;
+                    let stats = cache.stats();
+                    assert_eq!(
+                        stats.block_points,
+                        stats.block_flushes * LANES,
+                        "torn snapshot: {stats:?}"
+                    );
+                    assert_eq!(
+                        stats.rank1_solves, stats.block_points,
+                        "torn snapshot: {stats:?}"
+                    );
+                    snapshots += 1;
+                    if done {
+                        break;
+                    }
+                }
+                assert!(snapshots > 0);
+            });
+        });
+        let total = WRITERS as u64 * FLUSHES_PER_WRITER;
+        let stats = cache.stats();
+        assert_eq!(stats.block_flushes, total);
+        assert_eq!(stats.block_points, total * LANES);
+        assert_eq!(stats.rank1_solves, total * LANES);
+    }
+
+    /// The warm-host pattern behind `archrel serve`: short-lived evaluators
+    /// over one resident model share a [`ValueCache`], so the second
+    /// evaluator's identical query is a memo hit (no fresh solve) with a
+    /// bitwise-identical answer.
+    #[test]
+    fn shared_value_cache_answers_across_evaluators() {
+        let a = single_state_assembly(&[0.1], CompletionModel::And, DependencyModel::Independent);
+        let plans = Arc::new(PlanCache::new());
+        let values = Arc::new(ValueCache::new());
+
+        let first = Evaluator::with_plan_cache(&a, EvalOptions::default(), Arc::clone(&plans))
+            .with_value_cache(Arc::clone(&values));
+        let want = first
+            .failure_probability(&"top".into(), &Bindings::new())
+            .unwrap();
+        assert!(!values.is_empty(), "the solve must land in the shared memo");
+
+        let second = Evaluator::with_plan_cache(&a, EvalOptions::default(), Arc::clone(&plans))
+            .with_value_cache(Arc::clone(&values));
+        let got = second
+            .failure_probability(&"top".into(), &Bindings::new())
+            .unwrap();
+        assert_eq!(want.value().to_bits(), got.value().to_bits());
+        let stats = second.local_stats();
+        assert_eq!(stats.hits, 1, "fresh evaluator must hit the shared memo");
+        assert_eq!(stats.misses, 0, "stats: {stats:?}");
     }
 }

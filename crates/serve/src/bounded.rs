@@ -1,0 +1,203 @@
+//! Size-bounded collection wrappers for hostile-input ingestion.
+//!
+//! The daemon decodes requests from untrusted sockets, so every collection
+//! it materializes while decoding goes through these wrappers: a
+//! [`BoundedVec`] or [`BoundedBTreeMap`] refuses the insertion that would
+//! exceed its limit with a typed [`SizeLimitExceeded`] instead of growing
+//! without bound. The caps make a malicious "model upload" (a bindings map
+//! with a billion entries, a sweep with a billion steps) cost the attacker
+//! a rejected request, not the daemon its heap.
+//!
+//! The wrappers deliberately expose only growth-by-one entry points
+//! (`push` / `insert`); bulk constructors would bypass the check.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Typed error raised when an insertion would grow a bounded collection
+/// past its limit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SizeLimitExceeded {
+    /// What was being decoded (e.g. `"bindings"`, `"request array"`).
+    pub what: String,
+    /// The configured cap the insertion would have exceeded.
+    pub limit: usize,
+}
+
+impl fmt::Display for SizeLimitExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} exceeds the size limit of {} entries",
+            self.what, self.limit
+        )
+    }
+}
+
+impl std::error::Error for SizeLimitExceeded {}
+
+/// A `Vec` that refuses to grow past a fixed entry limit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundedVec<T> {
+    items: Vec<T>,
+    limit: usize,
+    what: &'static str,
+}
+
+impl<T> BoundedVec<T> {
+    /// An empty vector capped at `limit` entries; `what` names the
+    /// collection in the typed error.
+    pub fn new(what: &'static str, limit: usize) -> Self {
+        BoundedVec {
+            items: Vec::new(),
+            limit,
+            what,
+        }
+    }
+
+    /// Appends one item, or fails with [`SizeLimitExceeded`] when the
+    /// vector already holds `limit` entries.
+    pub fn push(&mut self, item: T) -> Result<(), SizeLimitExceeded> {
+        if self.items.len() >= self.limit {
+            return Err(SizeLimitExceeded {
+                what: self.what.to_string(),
+                limit: self.limit,
+            });
+        }
+        self.items.push(item);
+        Ok(())
+    }
+
+    /// Entries held so far.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no entries are held.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Unwraps into the underlying `Vec` once decoding is done.
+    pub fn into_inner(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// A `BTreeMap` that refuses to grow past a fixed entry limit.
+///
+/// Overwriting an existing key never fails: the map is not growing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundedBTreeMap<K: Ord, V> {
+    entries: BTreeMap<K, V>,
+    limit: usize,
+    what: &'static str,
+}
+
+impl<K: Ord, V> BoundedBTreeMap<K, V> {
+    /// An empty map capped at `limit` entries; `what` names the collection
+    /// in the typed error.
+    pub fn new(what: &'static str, limit: usize) -> Self {
+        BoundedBTreeMap {
+            entries: BTreeMap::new(),
+            limit,
+            what,
+        }
+    }
+
+    /// Inserts one entry, or fails with [`SizeLimitExceeded`] when adding a
+    /// *new* key would exceed the limit.
+    pub fn insert(&mut self, key: K, value: V) -> Result<Option<V>, SizeLimitExceeded> {
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.limit {
+            return Err(SizeLimitExceeded {
+                what: self.what.to_string(),
+                limit: self.limit,
+            });
+        }
+        Ok(self.entries.insert(key, value))
+    }
+
+    /// Entries held so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are held.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Unwraps into the underlying `BTreeMap` once decoding is done.
+    pub fn into_inner(self) -> BTreeMap<K, V> {
+        self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_accepts_exactly_the_limit() {
+        let mut v = BoundedVec::new("test vec", 3);
+        for i in 0..3 {
+            v.push(i).unwrap();
+        }
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.into_inner(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn vec_rejects_limit_plus_one_with_typed_error() {
+        let mut v = BoundedVec::new("test vec", 3);
+        for i in 0..3 {
+            v.push(i).unwrap();
+        }
+        let err = v.push(3).unwrap_err();
+        assert_eq!(
+            err,
+            SizeLimitExceeded {
+                what: "test vec".to_string(),
+                limit: 3,
+            }
+        );
+        assert!(err.to_string().contains("size limit of 3"));
+        // The rejected push did not grow the collection.
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn zero_limit_vec_rejects_everything() {
+        let mut v = BoundedVec::new("empty", 0);
+        assert!(v.push(1).is_err());
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn map_accepts_exactly_the_limit() {
+        let mut m = BoundedBTreeMap::new("test map", 2);
+        m.insert("a", 1).unwrap();
+        m.insert("b", 2).unwrap();
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn map_rejects_limit_plus_one_with_typed_error() {
+        let mut m = BoundedBTreeMap::new("test map", 2);
+        m.insert("a", 1).unwrap();
+        m.insert("b", 2).unwrap();
+        let err = m.insert("c", 3).unwrap_err();
+        assert_eq!(err.limit, 2);
+        assert_eq!(err.what, "test map");
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn map_overwrite_at_limit_is_not_growth() {
+        let mut m = BoundedBTreeMap::new("test map", 2);
+        m.insert("a", 1).unwrap();
+        m.insert("b", 2).unwrap();
+        assert_eq!(m.insert("a", 10).unwrap(), Some(1));
+        assert_eq!(m.into_inner()["a"], 10);
+    }
+}

@@ -1,0 +1,125 @@
+//! A minimal line-protocol client, for tests, benches, and the smoke
+//! driver. One request out, one response line back — the transport is a
+//! plain socket, so any language with a socket API can do the same.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use crate::json::{self, DecodeLimits, JsonValue};
+
+/// A connected client over either transport.
+pub struct Client {
+    reader: BufReader<Box<dyn Read + Send>>,
+    writer: Box<dyn Write + Send>,
+}
+
+impl Client {
+    /// Connects to a Unix-socket daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect_unix(path: impl AsRef<Path>) -> io::Result<Client> {
+        let stream = UnixStream::connect(path)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(Box::new(stream)),
+            writer: Box::new(writer),
+        })
+    }
+
+    /// Connects to a TCP daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect_tcp(addr: impl std::net::ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(Box::new(stream)),
+            writer: Box::new(writer),
+        })
+    }
+
+    /// Sends one raw line (the newline is appended here).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn send(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Reads one response line (without the newline).
+    ///
+    /// # Errors
+    ///
+    /// `UnexpectedEof` when the daemon closed the connection.
+    pub fn recv_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    /// Sends one request line and parses the one response line as JSON.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the socket; `InvalidData` when the response is not
+    /// valid JSON (the daemon never emits such a line).
+    pub fn roundtrip(&mut self, line: &str) -> io::Result<JsonValue> {
+        self.send(line)?;
+        let response = self.recv_line()?;
+        json::parse(&response, &DecodeLimits::default())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+/// Convenience view of a response envelope.
+pub struct Response {
+    /// Whether the request succeeded.
+    pub ok: bool,
+    /// `result` on success, absent on error.
+    pub result: Option<JsonValue>,
+    /// `error.kind` on failure, absent on success.
+    pub error_kind: Option<String>,
+    /// `error.message` on failure, absent on success.
+    pub error_message: Option<String>,
+}
+
+impl Response {
+    /// Splits a parsed response line into its envelope parts; `None` when
+    /// the value is not a response object.
+    pub fn from_json(value: &JsonValue) -> Option<Response> {
+        let obj = value.as_object()?;
+        let ok = matches!(obj.get("ok"), Some(JsonValue::Bool(true)));
+        let error = obj.get("error").and_then(JsonValue::as_object);
+        Some(Response {
+            ok,
+            result: obj.get("result").cloned(),
+            error_kind: error
+                .and_then(|e| e.get("kind"))
+                .and_then(JsonValue::as_str)
+                .map(str::to_string),
+            error_message: error
+                .and_then(|e| e.get("message"))
+                .and_then(JsonValue::as_str)
+                .map(str::to_string),
+        })
+    }
+}

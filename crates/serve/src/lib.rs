@@ -1,0 +1,51 @@
+//! `archrel-serve`: a warm-process reliability daemon.
+//!
+//! The one-shot CLI pays the full pipeline — parse, validate, compile
+//! solve plans, evaluate — on every invocation, even though the expensive
+//! middle of that pipeline depends only on model *structure*, which barely
+//! changes between queries. This crate keeps a process resident instead: a
+//! catalog of named assemblies, a shared structure-keyed [`PlanCache`]
+//! (optionally booted read-through on a persistent artifact store), and a
+//! worker pool answering line-delimited JSON requests over Unix and/or TCP
+//! sockets. The first query against a model compiles its plans; every
+//! query after that — including queries against hot-swapped versions with
+//! unchanged structure — replays them warm.
+//!
+//! The daemon is built to face hostile clients: request decoding is
+//! size-bounded end to end (line length, JSON nesting, collection and
+//! string sizes, binding/delta/step counts), admission is a bounded queue
+//! with typed `overloaded` rejections, and every evaluation carries a
+//! deadline enforced cooperatively inside the engine. Malformed input
+//! costs one typed error line, never the process.
+//!
+//! Protocol sketch (one JSON object per line, both directions):
+//!
+//! ```text
+//! -> {"id":"1","op":"load","name":"m","source":"service app() {...}"}
+//! <- {"id":"1","ok":true,"result":{"name":"m","services":3,"version":1,"swapped":false}}
+//! -> {"id":"2","op":"predict","assembly":"m","service":"app","bindings":{"x":0.5}}
+//! <- {"id":"2","ok":true,"result":{"service":"app","pfail":0.0123,"reliability":0.9877}}
+//! -> not json
+//! <- {"id":null,"ok":false,"error":{"kind":"parse","message":"..."}}
+//! ```
+//!
+//! See `DESIGN.md` for the full grammar, the hot-swap semantics, and the
+//! admission-control model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounded;
+pub mod catalog;
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use archrel_core::PlanCache;
+pub use bounded::{BoundedBTreeMap, BoundedVec, SizeLimitExceeded};
+pub use catalog::{Catalog, CatalogEntry};
+pub use client::{Client, Response};
+pub use json::{DecodeLimits, JsonValue};
+pub use protocol::{DecodeCaps, Envelope, ErrorKind, ProtocolError, Request};
+pub use server::{RunSummary, ServeConfig, Server, ServerHandle};

@@ -1,0 +1,526 @@
+//! The daemon's line-delimited JSON protocol.
+//!
+//! One request per line, one response per line, every response tagged with
+//! the request's `id` (echoed verbatim; `null` when the request carried
+//! none or was too broken to have one). Grammar:
+//!
+//! ```text
+//! request   := { "id"?: string, "op": string, ...op fields }
+//! response  := { "id": string|null, "ok": true,  "result": object }
+//!            | { "id": string|null, "ok": false, "error": { "kind": string, "message": string } }
+//! ```
+//!
+//! Operations: `ping`, `load`, `unload`, `list`, `predict`, `sweep`,
+//! `sensitivity`, `stream`, `stats`, `shutdown` (see [`Request`]).
+//!
+//! Error kinds are closed and typed ([`ErrorKind`]); a client can switch on
+//! `error.kind` without parsing messages. Malformed input of any shape —
+//! bad JSON, wrong field types, oversized collections, overlong lines —
+//! yields an error *response* on the same connection, never a disconnect.
+
+use std::collections::BTreeMap;
+
+use archrel_expr::Bindings;
+
+use crate::bounded::{BoundedBTreeMap, BoundedVec};
+use crate::json::{self, DecodeLimits, JsonError, JsonValue};
+
+/// Closed set of machine-readable error kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request line was not valid JSON.
+    Parse,
+    /// A size limit tripped while decoding (collection entries, string
+    /// bytes, nesting depth).
+    Oversized,
+    /// The request line itself exceeded the byte cap before a newline.
+    LineTooLong,
+    /// Valid JSON, but not a valid request (missing/ill-typed fields,
+    /// unknown op, out-of-range argument).
+    BadRequest,
+    /// The named assembly or service is not in the catalog.
+    NotFound,
+    /// The per-request deadline expired (queued or mid-evaluation).
+    Timeout,
+    /// The admission queue was full; retry later.
+    Overloaded,
+    /// The evaluation itself failed (model/expression/Markov error).
+    Eval,
+    /// The daemon is shutting down and not accepting work.
+    ShuttingDown,
+}
+
+impl ErrorKind {
+    /// The wire spelling of the kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Parse => "parse",
+            ErrorKind::Oversized => "oversized",
+            ErrorKind::LineTooLong => "line_too_long",
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::NotFound => "not_found",
+            ErrorKind::Timeout => "timeout",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Eval => "eval",
+            ErrorKind::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+/// A typed protocol-level failure, rendered as an error response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolError {
+    /// Machine-readable kind.
+    pub kind: ErrorKind,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ProtocolError {
+    /// Shorthand constructor.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        ProtocolError {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+impl From<JsonError> for ProtocolError {
+    fn from(e: JsonError) -> Self {
+        let kind = match &e {
+            JsonError::Syntax { .. } => ErrorKind::Parse,
+            JsonError::TooDeep { .. } | JsonError::Oversized(_) => ErrorKind::Oversized,
+        };
+        ProtocolError::new(kind, e.to_string())
+    }
+}
+
+/// Protocol-level decode caps, layered over the JSON-level
+/// [`DecodeLimits`]: even a structurally small document cannot smuggle an
+/// unreasonable workload (a million bindings, a billion sweep steps).
+#[derive(Debug, Clone, Copy)]
+pub struct DecodeCaps {
+    /// JSON-level limits (depth, collection entries, string bytes).
+    pub json: DecodeLimits,
+    /// Maximum entries in a request's `bindings` map.
+    pub max_bindings: usize,
+    /// Maximum entries in a `stream` request's `deltas` array.
+    pub max_deltas: usize,
+    /// Maximum `steps` of a `sweep` request.
+    pub max_steps: usize,
+}
+
+impl Default for DecodeCaps {
+    fn default() -> Self {
+        DecodeCaps {
+            json: DecodeLimits::default(),
+            max_bindings: 1024,
+            max_deltas: 4096,
+            max_steps: 65_536,
+        }
+    }
+}
+
+/// One decoded operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Parse `source` (DSL text) and publish it in the catalog as `name`,
+    /// hot-swapping any previous version.
+    Load {
+        /// Catalog name.
+        name: String,
+        /// DSL source text.
+        source: String,
+    },
+    /// Remove a catalog entry.
+    Unload {
+        /// Catalog name.
+        name: String,
+    },
+    /// List catalog entries.
+    List,
+    /// One `Pfail` / reliability prediction.
+    Predict {
+        /// Catalog name of the assembly.
+        assembly: String,
+        /// Target service.
+        service: String,
+        /// Formal-parameter bindings.
+        bindings: Bindings,
+    },
+    /// A one-parameter grid sweep.
+    Sweep {
+        /// Catalog name of the assembly.
+        assembly: String,
+        /// Target service.
+        service: String,
+        /// Swept parameter name.
+        param: String,
+        /// Inclusive grid start.
+        from: f64,
+        /// Inclusive grid end.
+        to: f64,
+        /// Grid points (≥ 2).
+        steps: usize,
+        /// Bindings for the non-swept parameters.
+        bindings: Bindings,
+    },
+    /// Per-parameter finite-difference sensitivities.
+    Sensitivity {
+        /// Catalog name of the assembly.
+        assembly: String,
+        /// Target service.
+        service: String,
+        /// Formal-parameter bindings.
+        bindings: Bindings,
+    },
+    /// Streaming usage-profile refresh: apply `(param, value)` deltas in
+    /// order and report the refreshed prediction.
+    Stream {
+        /// Catalog name of the assembly.
+        assembly: String,
+        /// Target service.
+        service: String,
+        /// Initial bindings.
+        bindings: Bindings,
+        /// Ordered `(param, new value)` deltas.
+        deltas: Vec<(String, f64)>,
+    },
+    /// Daemon-wide cache/queue statistics.
+    Stats,
+    /// Stop accepting work and exit after draining.
+    Shutdown,
+}
+
+/// A decoded request plus its echoed `id`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: Option<String>,
+    /// The operation.
+    pub request: Request,
+}
+
+/// Decodes one request line under the caps.
+///
+/// # Errors
+///
+/// A [`ProtocolError`] whose kind distinguishes JSON-level failures
+/// (`parse`, `oversized`) from request-shape failures (`bad_request`). When
+/// an `id` could be recovered before the failure it is attached so the
+/// error response still correlates.
+pub fn decode_line(
+    line: &str,
+    caps: &DecodeCaps,
+) -> Result<Envelope, (Option<String>, ProtocolError)> {
+    let value = json::parse(line, &caps.json).map_err(|e| (None, ProtocolError::from(e)))?;
+    let Some(fields) = value.as_object() else {
+        return Err((
+            None,
+            ProtocolError::new(ErrorKind::BadRequest, "request must be a JSON object"),
+        ));
+    };
+    let id = fields
+        .get("id")
+        .and_then(JsonValue::as_str)
+        .map(str::to_string);
+    match decode_fields(fields, caps) {
+        Ok(request) => Ok(Envelope { id, request }),
+        Err(e) => Err((id, e)),
+    }
+}
+
+fn decode_fields(
+    fields: &BTreeMap<String, JsonValue>,
+    caps: &DecodeCaps,
+) -> Result<Request, ProtocolError> {
+    let op = require_str(fields, "op")?;
+    match op {
+        "ping" => Ok(Request::Ping),
+        "list" => Ok(Request::List),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "load" => Ok(Request::Load {
+            name: require_str(fields, "name")?.to_string(),
+            source: require_str(fields, "source")?.to_string(),
+        }),
+        "unload" => Ok(Request::Unload {
+            name: require_str(fields, "name")?.to_string(),
+        }),
+        "predict" => Ok(Request::Predict {
+            assembly: require_str(fields, "assembly")?.to_string(),
+            service: require_str(fields, "service")?.to_string(),
+            bindings: decode_bindings(fields, caps)?,
+        }),
+        "sensitivity" => Ok(Request::Sensitivity {
+            assembly: require_str(fields, "assembly")?.to_string(),
+            service: require_str(fields, "service")?.to_string(),
+            bindings: decode_bindings(fields, caps)?,
+        }),
+        "sweep" => {
+            let steps_raw = require_f64(fields, "steps")?;
+            if !(steps_raw.fract() == 0.0 && steps_raw >= 2.0) {
+                return Err(ProtocolError::new(
+                    ErrorKind::BadRequest,
+                    "`steps` must be an integer >= 2",
+                ));
+            }
+            let steps = steps_raw as usize;
+            if steps > caps.max_steps {
+                return Err(ProtocolError::new(
+                    ErrorKind::Oversized,
+                    format!("`steps` exceeds the limit of {}", caps.max_steps),
+                ));
+            }
+            Ok(Request::Sweep {
+                assembly: require_str(fields, "assembly")?.to_string(),
+                service: require_str(fields, "service")?.to_string(),
+                param: require_str(fields, "param")?.to_string(),
+                from: require_f64(fields, "from")?,
+                to: require_f64(fields, "to")?,
+                steps,
+                bindings: decode_bindings(fields, caps)?,
+            })
+        }
+        "stream" => {
+            let raw = fields
+                .get("deltas")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| {
+                    ProtocolError::new(ErrorKind::BadRequest, "missing `deltas` array")
+                })?;
+            let mut deltas = BoundedVec::new("deltas", caps.max_deltas);
+            for item in raw {
+                let pair = item.as_array().filter(|p| p.len() == 2).ok_or_else(|| {
+                    ProtocolError::new(
+                        ErrorKind::BadRequest,
+                        "each delta must be a [\"param\", value] pair",
+                    )
+                })?;
+                let (name, value) = match (pair[0].as_str(), pair[1].as_f64()) {
+                    (Some(name), Some(value)) => (name.to_string(), value),
+                    _ => {
+                        return Err(ProtocolError::new(
+                            ErrorKind::BadRequest,
+                            "each delta must be a [\"param\", value] pair",
+                        ))
+                    }
+                };
+                deltas
+                    .push((name, value))
+                    .map_err(|e| ProtocolError::new(ErrorKind::Oversized, e.to_string()))?;
+            }
+            Ok(Request::Stream {
+                assembly: require_str(fields, "assembly")?.to_string(),
+                service: require_str(fields, "service")?.to_string(),
+                bindings: decode_bindings(fields, caps)?,
+                deltas: deltas.into_inner(),
+            })
+        }
+        other => Err(ProtocolError::new(
+            ErrorKind::BadRequest,
+            format!("unknown op `{other}`"),
+        )),
+    }
+}
+
+fn require_str<'a>(
+    fields: &'a BTreeMap<String, JsonValue>,
+    key: &str,
+) -> Result<&'a str, ProtocolError> {
+    fields.get(key).and_then(JsonValue::as_str).ok_or_else(|| {
+        ProtocolError::new(
+            ErrorKind::BadRequest,
+            format!("missing or non-string `{key}`"),
+        )
+    })
+}
+
+fn require_f64(fields: &BTreeMap<String, JsonValue>, key: &str) -> Result<f64, ProtocolError> {
+    fields.get(key).and_then(JsonValue::as_f64).ok_or_else(|| {
+        ProtocolError::new(
+            ErrorKind::BadRequest,
+            format!("missing or non-numeric `{key}`"),
+        )
+    })
+}
+
+/// Decodes the optional `bindings` object through a [`BoundedBTreeMap`], so
+/// an attacker-sized map is rejected with a typed `oversized` error.
+fn decode_bindings(
+    fields: &BTreeMap<String, JsonValue>,
+    caps: &DecodeCaps,
+) -> Result<Bindings, ProtocolError> {
+    let mut bounded: BoundedBTreeMap<String, f64> =
+        BoundedBTreeMap::new("bindings", caps.max_bindings);
+    if let Some(raw) = fields.get("bindings") {
+        let map = raw.as_object().ok_or_else(|| {
+            ProtocolError::new(ErrorKind::BadRequest, "`bindings` must be an object")
+        })?;
+        for (name, value) in map {
+            let value = value.as_f64().ok_or_else(|| {
+                ProtocolError::new(
+                    ErrorKind::BadRequest,
+                    format!("binding `{name}` must be numeric"),
+                )
+            })?;
+            bounded
+                .insert(name.clone(), value)
+                .map_err(|e| ProtocolError::new(ErrorKind::Oversized, e.to_string()))?;
+        }
+    }
+    let mut bindings = Bindings::new();
+    for (name, value) in bounded.into_inner() {
+        bindings.insert(name, value);
+    }
+    Ok(bindings)
+}
+
+fn id_value(id: &Option<String>) -> JsonValue {
+    match id {
+        Some(id) => JsonValue::String(id.clone()),
+        None => JsonValue::Null,
+    }
+}
+
+/// Renders a success response line (no trailing newline).
+pub fn ok_line(id: &Option<String>, result: JsonValue) -> String {
+    let mut fields = BTreeMap::new();
+    fields.insert("id".to_string(), id_value(id));
+    fields.insert("ok".to_string(), JsonValue::Bool(true));
+    fields.insert("result".to_string(), result);
+    json::write(&JsonValue::Object(fields))
+}
+
+/// Renders an error response line (no trailing newline).
+pub fn error_line(id: &Option<String>, error: &ProtocolError) -> String {
+    let mut detail = BTreeMap::new();
+    detail.insert(
+        "kind".to_string(),
+        JsonValue::String(error.kind.as_str().to_string()),
+    );
+    detail.insert(
+        "message".to_string(),
+        JsonValue::String(error.message.clone()),
+    );
+    let mut fields = BTreeMap::new();
+    fields.insert("id".to_string(), id_value(id));
+    fields.insert("ok".to_string(), JsonValue::Bool(false));
+    fields.insert("error".to_string(), JsonValue::Object(detail));
+    json::write(&JsonValue::Object(fields))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn caps() -> DecodeCaps {
+        DecodeCaps::default()
+    }
+
+    #[test]
+    fn decodes_predict_with_id_and_bindings() {
+        let env = decode_line(
+            r#"{"id":"q1","op":"predict","assembly":"m","service":"app","bindings":{"x":2.5}}"#,
+            &caps(),
+        )
+        .unwrap();
+        assert_eq!(env.id.as_deref(), Some("q1"));
+        match env.request {
+            Request::Predict {
+                assembly,
+                service,
+                bindings,
+            } => {
+                assert_eq!(assembly, "m");
+                assert_eq!(service, "app");
+                assert_eq!(bindings.get("x"), Some(2.5));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_json_is_parse_kind_without_id() {
+        let (id, err) = decode_line("{nope", &caps()).unwrap_err();
+        assert!(id.is_none());
+        assert_eq!(err.kind, ErrorKind::Parse);
+    }
+
+    #[test]
+    fn shape_errors_keep_the_recovered_id() {
+        let (id, err) = decode_line(r#"{"id":"q9","op":"predict"}"#, &caps()).unwrap_err();
+        assert_eq!(id.as_deref(), Some("q9"));
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+    }
+
+    #[test]
+    fn unknown_op_is_bad_request() {
+        let (_, err) = decode_line(r#"{"op":"frobnicate"}"#, &caps()).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+        assert!(err.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn oversized_bindings_map_is_typed_at_limit_plus_one() {
+        let tight = DecodeCaps {
+            max_bindings: 2,
+            ..DecodeCaps::default()
+        };
+        let ok = r#"{"op":"predict","assembly":"m","service":"s","bindings":{"a":1,"b":2}}"#;
+        assert!(decode_line(ok, &tight).is_ok());
+        let over =
+            r#"{"op":"predict","assembly":"m","service":"s","bindings":{"a":1,"b":2,"c":3}}"#;
+        let (_, err) = decode_line(over, &tight).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Oversized);
+    }
+
+    #[test]
+    fn sweep_steps_are_range_checked() {
+        let base = r#"{"op":"sweep","assembly":"m","service":"s","param":"x","from":0,"to":1"#;
+        let (_, err) = decode_line(&format!("{base},\"steps\":1}}"), &caps()).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+        let (_, err) = decode_line(&format!("{base},\"steps\":1e9}}"), &caps()).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Oversized);
+        let env = decode_line(&format!("{base},\"steps\":11}}"), &caps()).unwrap();
+        assert!(matches!(env.request, Request::Sweep { steps: 11, .. }));
+    }
+
+    #[test]
+    fn stream_deltas_decode_in_order() {
+        let env = decode_line(
+            r#"{"op":"stream","assembly":"m","service":"s","deltas":[["x",1.0],["y",2.0],["x",3.0]]}"#,
+            &caps(),
+        )
+        .unwrap();
+        match env.request {
+            Request::Stream { deltas, .. } => {
+                assert_eq!(
+                    deltas,
+                    vec![
+                        ("x".to_string(), 1.0),
+                        ("y".to_string(), 2.0),
+                        ("x".to_string(), 3.0)
+                    ]
+                );
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_lines_echo_the_id() {
+        let ok = ok_line(&Some("q1".to_string()), JsonValue::Bool(true));
+        assert!(ok.contains(r#""id":"q1""#));
+        assert!(ok.contains(r#""ok":true"#));
+        let err = error_line(
+            &None,
+            &ProtocolError::new(ErrorKind::Timeout, "deadline of 5 ms exceeded"),
+        );
+        assert!(err.contains(r#""id":null"#));
+        assert!(err.contains(r#""kind":"timeout""#));
+    }
+}

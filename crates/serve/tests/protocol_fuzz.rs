@@ -1,0 +1,164 @@
+//! Hostile-input fuzzing: arbitrary, truncated, and oversized request
+//! lines must come back as *typed* protocol errors — never a panic in the
+//! decoder, and never a dead daemon. The decoder is fuzzed directly (fast,
+//! millions of shapes) and the live daemon is fuzzed over a real socket
+//! interleaved with health-check pings.
+
+use proptest::prelude::*;
+
+use archrel_serve::client::{Client, Response};
+use archrel_serve::json::JsonValue;
+use archrel_serve::protocol::{decode_line, DecodeCaps, ErrorKind};
+use archrel_serve::server::{ServeConfig, Server};
+
+/// Every kind the decoder itself may produce (transport-level kinds like
+/// `line_too_long` and queue-level kinds like `overloaded` come from the
+/// server, not the decoder).
+fn decoder_kind(kind: ErrorKind) -> bool {
+    matches!(
+        kind,
+        ErrorKind::Parse | ErrorKind::Oversized | ErrorKind::BadRequest
+    )
+}
+
+proptest! {
+    /// Arbitrary printable junk: decode never panics, and a rejection is
+    /// always one of the decoder's typed kinds.
+    #[test]
+    fn arbitrary_lines_decode_to_typed_errors(line in "\\PC{0,512}") {
+        let caps = DecodeCaps::default();
+        if let Err((_, error)) = decode_line(&line, &caps) {
+            prop_assert!(
+                decoder_kind(error.kind),
+                "unexpected kind {:?} for line {line:?}",
+                error.kind
+            );
+            prop_assert!(!error.message.is_empty());
+        }
+    }
+
+    /// Truncating a valid request mid-line never panics and (when it no
+    /// longer decodes) yields a typed error.
+    #[test]
+    fn truncated_requests_stay_typed(cut in 0usize..120) {
+        let full = r#"{"id":"q","op":"predict","assembly":"m","service":"app","bindings":{"x":0.5,"y":1.0}}"#;
+        let cut = cut.min(full.len());
+        // Cut at a char boundary (ASCII here, but stay safe).
+        let truncated = &full[..cut];
+        let caps = DecodeCaps::default();
+        match decode_line(truncated, &caps) {
+            Ok(_) => prop_assert!(cut == full.len(), "a strict prefix cannot decode"),
+            Err((_, error)) => prop_assert!(decoder_kind(error.kind)),
+        }
+    }
+
+    /// Structurally oversized requests (too many bindings / deltas / steps)
+    /// are rejected as `oversized`, not accepted and not `parse`.
+    #[test]
+    fn oversized_collections_reject_as_oversized(extra in 1usize..64) {
+        let caps = DecodeCaps {
+            max_bindings: 8,
+            max_deltas: 8,
+            ..DecodeCaps::default()
+        };
+        let mut bindings = String::new();
+        for i in 0..(caps.max_bindings + extra) {
+            if i > 0 {
+                bindings.push(',');
+            }
+            bindings.push_str(&format!(r#""p{i}":0.5"#));
+        }
+        let line = format!(
+            r#"{{"id":"big","op":"predict","assembly":"m","service":"app","bindings":{{{bindings}}}}}"#
+        );
+        let (id, error) = decode_line(&line, &caps).expect_err("over-cap bindings must reject");
+        prop_assert_eq!(id.as_deref(), Some("big"), "id survives for correlation");
+        prop_assert_eq!(error.kind, ErrorKind::Oversized);
+
+        let mut deltas = String::new();
+        for i in 0..(caps.max_deltas + extra) {
+            if i > 0 {
+                deltas.push(',');
+            }
+            deltas.push_str(&format!(r#"["p{i}",0.5]"#));
+        }
+        let line = format!(
+            r#"{{"op":"stream","assembly":"m","service":"app","deltas":[{deltas}]}}"#
+        );
+        let (_, error) = decode_line(&line, &caps).expect_err("over-cap deltas must reject");
+        prop_assert_eq!(error.kind, ErrorKind::Oversized);
+    }
+}
+
+#[test]
+fn live_daemon_survives_a_hostile_connection() {
+    let sock = std::env::temp_dir().join(format!("archrel-serve-fuzz-{}.sock", std::process::id()));
+    let config = ServeConfig {
+        unix: Some(sock.clone()),
+        // Small caps so the hostile lines below actually cross them.
+        max_line_bytes: 64 * 1024,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(config).expect("bind fuzz daemon");
+    let runner = std::thread::spawn(move || server.run().expect("daemon run"));
+    let mut client = Client::connect_unix(&sock).unwrap();
+
+    let hostile: Vec<String> = vec![
+        String::new(),
+        "   ".to_string(),
+        "not json at all".to_string(),
+        r#"{"op":"#.to_string(),
+        r#"{"op":"predict"}"#.to_string(),
+        r#"{"op":"no_such_op"}"#.to_string(),
+        r#"{"op":42}"#.to_string(),
+        r#"[1,2,3]"#.to_string(),
+        r#""just a string""#.to_string(),
+        r#"{"op":"predict","assembly":"m","service":"app"} trailing"#.to_string(),
+        // Deep nesting past the JSON depth limit.
+        format!("{}1{}", "[".repeat(64), "]".repeat(64)),
+        // A line past the transport cap.
+        format!(r#"{{"op":"ping","pad":"{}"}}"#, "x".repeat(128 * 1024)),
+        // Valid JSON, hostile numbers.
+        r#"{"op":"sweep","assembly":"m","service":"app","param":"x","from":0,"to":1,"steps":9999999999}"#
+            .to_string(),
+        r#"{"op":"sweep","assembly":"m","service":"app","param":"x","from":0,"to":1,"steps":-3}"#
+            .to_string(),
+    ];
+    for (i, line) in hostile.iter().enumerate() {
+        client.send(line).unwrap();
+        if !line.trim().is_empty() {
+            let raw = client.recv_line().unwrap();
+            let v = archrel_serve::json::parse(&raw, &archrel_serve::json::DecodeLimits::default())
+                .unwrap_or_else(|e| panic!("hostile line {i}: response is not JSON: {e}"));
+            let r = Response::from_json(&v).expect("envelope");
+            assert!(!r.ok, "hostile line {i} was accepted: {line:?}");
+            let kind = r.error_kind.expect("typed kind");
+            assert!(
+                [
+                    "parse",
+                    "oversized",
+                    "line_too_long",
+                    "bad_request",
+                    "not_found"
+                ]
+                .contains(&kind.as_str()),
+                "hostile line {i}: unexpected kind {kind}"
+            );
+        }
+        // The same connection still answers after every hostile line.
+        let pong = client.roundtrip(r#"{"op":"ping"}"#).unwrap();
+        let r = Response::from_json(&pong).expect("envelope");
+        assert!(r.ok, "connection died after hostile line {i}: {line:?}");
+        assert_eq!(
+            r.result
+                .as_ref()
+                .and_then(JsonValue::as_object)
+                .and_then(|o| o.get("pong")),
+            Some(&JsonValue::Bool(true))
+        );
+    }
+
+    let bye = Response::from_json(&client.roundtrip(r#"{"op":"shutdown"}"#).unwrap()).unwrap();
+    assert!(bye.ok);
+    runner.join().unwrap();
+}

@@ -158,6 +158,21 @@ impl ArtifactStore {
         }
     }
 
+    /// Read-only boot path for long-running daemons: opens an *existing*
+    /// artifact directory in [`ArtifactMode::Read`], so archived plans
+    /// satisfy cache misses but nothing a client uploads can ever be
+    /// published back. Returns `None` when the directory does not exist —
+    /// a daemon booting against an empty store simply runs cold.
+    pub fn open_read_only(dir: impl Into<PathBuf>) -> Option<Arc<ArtifactStore>> {
+        let dir = dir.into();
+        if !dir.is_dir() {
+            return None;
+        }
+        ArtifactStore::open(dir, ArtifactMode::Read)
+            .ok()
+            .map(Arc::new)
+    }
+
     /// The directory this store reads from and publishes into.
     pub fn dir(&self) -> &Path {
         &self.dir

@@ -53,5 +53,6 @@ pub use archrel_markov as markov;
 pub use archrel_model as model;
 pub use archrel_perf as perf;
 pub use archrel_profile as profile;
+pub use archrel_serve as serve;
 pub use archrel_sim as sim;
 pub use archrel_store as store;
